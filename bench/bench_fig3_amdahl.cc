@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 3: maximum ideal speedup as a function of the enhancement
+ * applied to ALU/control/move operations, under the shared-memory
+ * model. The dotted curve assumes memory accesses execute separately
+ * from computation; the continuous curve assumes they overlap
+ * completely, saturating at 1/mem_fraction ~ 3 — the Amdahl bound of
+ * §4.2 ("factors of concurrency greater than three are useless").
+ *
+ * The memory fraction is the measured Figure-2 average, so this
+ * figure is regenerated from the same profiles as the paper's.
+ */
+
+#include "common.hh"
+
+using namespace symbol;
+using namespace symbol::bench;
+
+int
+main()
+{
+    analysis::InstructionMix all;
+    for (const auto &b : suite::aquarius()) {
+        const suite::Workload &w = workload(b.name);
+        all += analysis::instructionMix(w.ici(), w.profile());
+    }
+    double mem = all.memory;
+    std::printf("measured memory fraction: %.3f (paper: 0.32)\n",
+                mem);
+    std::printf("asymptotic shared-memory speedup: %.2f (paper: "
+                "~3.0)\n",
+                1.0 / mem);
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"enhancement", "separate(dotted)",
+                    "overlapped(solid)"});
+    for (double f : {1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0,
+                     12.0, 16.0}) {
+        rows.push_back({fmt(f, 1),
+                        fmt(analysis::amdahlSpeedup(mem, f, false)),
+                        fmt(analysis::amdahlSpeedup(mem, f, true))});
+    }
+    printTable("Figure 3 - ideal speedup vs. non-memory enhancement",
+               rows);
+
+    // ASCII rendition of the two curves.
+    std::printf("\n");
+    for (double f : {1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0}) {
+        double s = analysis::amdahlSpeedup(mem, f, true);
+        std::printf("%s\n",
+                    barLine("x" + fmt(f, 0), s / 3.5, 40, fmt(s))
+                        .c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 3 and Figure 6: cycles and speedup over the pure sequential
+ * machine for the BAM-processor baseline and VLIW configurations of
+ * 1..5 units (each unit: one memory + one ALU + one move + one
+ * control slot per cycle; shared memory sustains one access per
+ * cycle). Paper shape: BAM ~1.6, 1 unit ~1.6, rising to ~2.2 and
+ * saturating at 3-4 units below the Amdahl bound of ~3.
+ */
+
+#include "common.hh"
+
+using namespace symbol;
+using namespace symbol::bench;
+
+int
+main()
+{
+    const int max_units = 5;
+    std::vector<std::vector<std::string>> rows;
+    std::vector<std::string> hdr = {"benchmark", "seq", "BAM",
+                                    "BAM.su"};
+    for (int u = 1; u <= max_units; ++u) {
+        hdr.push_back(strprintf("%du.cyc", u));
+        hdr.push_back(strprintf("%du.su", u));
+    }
+    rows.push_back(hdr);
+
+    std::vector<double> su_sum(static_cast<std::size_t>(max_units) +
+                               1, 0.0);
+    double bam_sum = 0;
+    int n = 0;
+    for (const auto &b : suite::aquarius()) {
+        const suite::Workload &w = workload(b.name);
+        std::vector<std::string> row = {b.name, fmtU(w.seqCycles())};
+        double bam_su = static_cast<double>(w.seqCycles()) /
+                        static_cast<double>(w.bamCycles());
+        row.push_back(fmtU(w.bamCycles()));
+        row.push_back(fmt(bam_su));
+        bam_sum += bam_su;
+        for (int u = 1; u <= max_units; ++u) {
+            suite::VliwRun r = w.runVliw(
+                machine::MachineConfig::idealShared(u));
+            row.push_back(fmtU(r.cycles));
+            row.push_back(fmt(r.speedupVsSeq));
+            su_sum[static_cast<std::size_t>(u)] += r.speedupVsSeq;
+        }
+        rows.push_back(row);
+        ++n;
+    }
+    std::vector<std::string> avg = {"Average", "", "",
+                                    fmt(bam_sum / n)};
+    for (int u = 1; u <= max_units; ++u) {
+        avg.push_back("");
+        avg.push_back(fmt(su_sum[static_cast<std::size_t>(u)] / n));
+    }
+    rows.push_back(avg);
+    printTable("Table 3 - cycles and speedup vs the sequential "
+               "machine (1..5 units, shared memory)",
+               rows);
+
+    std::printf("\n== Figure 6 - speedup vs number of units ==\n");
+    std::printf("%s\n", barLine("BAM", bam_sum / n / 3.0, 40,
+                                fmt(bam_sum / n)).c_str());
+    for (int u = 1; u <= max_units; ++u) {
+        double s = su_sum[static_cast<std::size_t>(u)] / n;
+        std::printf("%s\n", barLine(strprintf("%d unit%s", u,
+                                              u > 1 ? "s" : ""),
+                                    s / 3.0, 40, fmt(s)).c_str());
+    }
+    std::printf("\npaper averages: BAM 1.58*, 1u 1.58, 2u 1.68, 3u "
+                "1.89, 4u/5u saturating ~1.9-2.0 (Amdahl bound ~3)\n");
+    return 0;
+}

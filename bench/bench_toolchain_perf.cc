@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the toolchain itself: parser,
+ * BAM compiler, translator, sequential emulator, compactor and VLIW
+ * simulator throughput. These are engineering health checks for the
+ * repo, not paper artifacts.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bamc/compiler.hh"
+#include "emul/machine.hh"
+#include "intcode/translate.hh"
+#include "machine/config.hh"
+#include "prolog/parser.hh"
+#include "sched/compact.hh"
+#include "suite/pipeline.hh"
+#include "vliw/sim.hh"
+
+using namespace symbol;
+
+namespace
+{
+
+const suite::Benchmark &
+nrev()
+{
+    return suite::benchmark("nreverse");
+}
+
+const suite::Workload &
+nrevWorkload()
+{
+    static suite::Workload w(nrev());
+    return w;
+}
+
+} // namespace
+
+static void
+BM_ParseProgram(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Interner in;
+        benchmark::DoNotOptimize(
+            prolog::parseProgram(nrev().source, in));
+    }
+}
+BENCHMARK(BM_ParseProgram);
+
+static void
+BM_CompileToBam(benchmark::State &state)
+{
+    for (auto _ : state) {
+        Interner in;
+        prolog::Program p = prolog::parseProgram(nrev().source, in);
+        benchmark::DoNotOptimize(bamc::compile(p));
+    }
+}
+BENCHMARK(BM_CompileToBam);
+
+static void
+BM_TranslateToIntcode(benchmark::State &state)
+{
+    Interner in;
+    prolog::Program p = prolog::parseProgram(nrev().source, in);
+    bam::Module m = bamc::compile(p);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(intcode::translate(m));
+}
+BENCHMARK(BM_TranslateToIntcode);
+
+static void
+BM_SequentialEmulation(benchmark::State &state)
+{
+    const suite::Workload &w = nrevWorkload();
+    for (auto _ : state) {
+        emul::Machine mach(w.ici());
+        benchmark::DoNotOptimize(mach.run());
+    }
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(w.instructions()));
+}
+BENCHMARK(BM_SequentialEmulation);
+
+static void
+BM_TraceCompaction(benchmark::State &state)
+{
+    const suite::Workload &w = nrevWorkload();
+    auto mc = machine::MachineConfig::idealShared(
+        static_cast<int>(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            sched::compact(w.ici(), w.profile(), mc, {}));
+}
+BENCHMARK(BM_TraceCompaction)->Arg(1)->Arg(3)->Arg(5);
+
+static void
+BM_VliwSimulation(benchmark::State &state)
+{
+    const suite::Workload &w = nrevWorkload();
+    auto mc = machine::MachineConfig::idealShared(3);
+    auto cr = sched::compact(w.ici(), w.profile(), mc, {});
+    for (auto _ : state) {
+        vliw::Machine vm(cr.code, mc);
+        benchmark::DoNotOptimize(vm.run());
+    }
+}
+BENCHMARK(BM_VliwSimulation);
+
+BENCHMARK_MAIN();

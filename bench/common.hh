@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Shared helpers for the table/figure reproduction harnesses. Each
+ * bench binary regenerates one artifact of the paper's evaluation;
+ * the printed rows mirror the paper's layout so the shapes can be
+ * compared side by side (see EXPERIMENTS.md).
+ */
+
+#ifndef SYMBOL_BENCH_COMMON_HH
+#define SYMBOL_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "analysis/stats.hh"
+#include "machine/config.hh"
+#include "suite/pipeline.hh"
+#include "support/text.hh"
+
+namespace symbol::bench
+{
+
+/** Lazily constructed, cached workloads (front end runs once). */
+inline const suite::Workload &
+workload(const std::string &name,
+         const suite::WorkloadOptions &opts = {})
+{
+    static std::map<std::string,
+                    std::unique_ptr<suite::Workload>> cache;
+    std::string key = name +
+                      (opts.translate.expandTagBranches ? "#x" : "") +
+                      (opts.compiler.indexing ? "" : "#n");
+    auto it = cache.find(key);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(key, std::make_unique<suite::Workload>(
+                                   suite::benchmark(name), opts))
+                 .first;
+    }
+    return *it->second;
+}
+
+/** Print a rendered table with a title block. */
+inline void
+printTable(const std::string &title,
+           const std::vector<std::vector<std::string>> &rows)
+{
+    std::printf("\n== %s ==\n%s", title.c_str(),
+                renderTable(rows).c_str());
+}
+
+inline std::string
+fmt(double v, int prec = 2)
+{
+    return strprintf("%.*f", prec, v);
+}
+
+inline std::string
+fmtU(std::uint64_t v)
+{
+    return strprintf("%llu", static_cast<unsigned long long>(v));
+}
+
+} // namespace symbol::bench
+
+#endif // SYMBOL_BENCH_COMMON_HH

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Example: bring your own Prolog program. Compiles a small
+ * graph-search program (not part of the Aquarius suite), runs it
+ * sequentially and on the SYMBOL-3 prototype configuration, and
+ * decodes the answers. This is the path a user of the library takes
+ * for new workloads: no registration needed, just source text with a
+ * main/0 that reports answers through out/1.
+ */
+
+#include <cstdio>
+
+#include "machine/config.hh"
+#include "suite/pipeline.hh"
+
+int
+main()
+{
+    using namespace symbol;
+
+    suite::Benchmark mine;
+    mine.name = "routes";
+    mine.source = R"PL(
+        % A little flight network: find all routes from genova to
+        % berkeley with their hop counts.
+        edge(genova, milano).
+        edge(milano, paris).
+        edge(milano, frankfurt).
+        edge(paris, newyork).
+        edge(frankfurt, newyork).
+        edge(frankfurt, sanfrancisco).
+        edge(newyork, sanfrancisco).
+        edge(sanfrancisco, berkeley).
+
+        route(A, A, [A], 0).
+        route(A, B, [A|P], N) :-
+            edge(A, C),
+            route(C, B, P, N1),
+            N is N1 + 1.
+
+        main :-
+            route(genova, berkeley, Path, Hops),
+            out(Path), out(Hops), fail.
+        main :- out(done).
+    )PL";
+
+    suite::Workload w(mine);
+    std::printf("sequential answer:\n%s", w.seqOutput().c_str());
+    std::printf("(%llu ICIs, %llu cycles sequential)\n\n",
+                static_cast<unsigned long long>(w.instructions()),
+                static_cast<unsigned long long>(w.seqCycles()));
+
+    for (int units : {1, 3}) {
+        suite::VliwRun r =
+            w.runVliw(machine::MachineConfig::prototype(units));
+        std::printf("SYMBOL-%d prototype: %llu cycles, speedup "
+                    "%.2f, %.3f ms at 30 MHz\n",
+                    units, static_cast<unsigned long long>(r.cycles),
+                    r.speedupVsSeq,
+                    static_cast<double>(r.cycles) / 30e3);
+    }
+    return 0;
+}

@@ -1,0 +1,154 @@
+#include "analysis/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/diagnostics.hh"
+
+namespace symbol::analysis
+{
+
+using intcode::IOp;
+using intcode::OpClass;
+
+InstructionMix &
+InstructionMix::operator+=(const InstructionMix &o)
+{
+    // Combine as totals, then renormalise.
+    double t = static_cast<double>(total);
+    double u = static_cast<double>(o.total);
+    double sum = t + u;
+    if (sum <= 0)
+        return *this;
+    memory = (memory * t + o.memory * u) / sum;
+    alu = (alu * t + o.alu * u) / sum;
+    move = (move * t + o.move * u) / sum;
+    control = (control * t + o.control * u) / sum;
+    other = (other * t + o.other * u) / sum;
+    total += o.total;
+    return *this;
+}
+
+InstructionMix
+instructionMix(const intcode::Program &prog,
+               const emul::Profile &profile)
+{
+    std::uint64_t counts[5] = {0, 0, 0, 0, 0};
+    std::uint64_t total = 0;
+    for (std::size_t k = 0; k < prog.code.size(); ++k) {
+        std::uint64_t e = profile.expect[k];
+        counts[static_cast<int>(intcode::opClass(prog.code[k].op))] +=
+            e;
+        total += e;
+    }
+    InstructionMix mix;
+    mix.total = total;
+    if (total == 0)
+        return mix;
+    double t = static_cast<double>(total);
+    mix.memory =
+        static_cast<double>(counts[static_cast<int>(
+            OpClass::Memory)]) / t;
+    mix.alu = static_cast<double>(counts[static_cast<int>(
+                  OpClass::Alu)]) / t;
+    mix.move = static_cast<double>(counts[static_cast<int>(
+                   OpClass::Move)]) / t;
+    mix.control = static_cast<double>(counts[static_cast<int>(
+                      OpClass::Control)]) / t;
+    mix.other = static_cast<double>(counts[static_cast<int>(
+                    OpClass::Other)]) / t;
+    return mix;
+}
+
+double
+amdahlSpeedup(double mem_fraction, double factor, bool overlapped)
+{
+    panicIf(factor <= 0, "enhancement factor must be positive");
+    double rest = (1.0 - mem_fraction) / factor;
+    double time = overlapped ? std::max(mem_fraction, rest)
+                             : mem_fraction + rest;
+    return time > 0 ? 1.0 / time : 0.0;
+}
+
+BranchStats
+branchStats(const intcode::Program &prog,
+            const emul::Profile &profile, int bins)
+{
+    BranchStats st;
+    st.histogram.assign(static_cast<std::size_t>(bins), 0.0);
+    double fp_num = 0, taken_num = 0;
+    std::uint64_t den = 0;
+    for (std::size_t k = 0; k < prog.code.size(); ++k) {
+        if (!intcode::isCondBranch(prog.code[k].op))
+            continue;
+        std::uint64_t e = profile.expect[k];
+        if (e == 0)
+            continue;
+        double p = profile.probability(k);
+        double fp = std::min(p, 1.0 - p);
+        fp_num += fp * static_cast<double>(e);
+        taken_num += p * static_cast<double>(e);
+        den += e;
+        int bin = std::min(bins - 1,
+                           static_cast<int>(fp * 2.0 * bins));
+        st.histogram[static_cast<std::size_t>(bin)] +=
+            static_cast<double>(e);
+    }
+    st.branchExecutions = den;
+    if (den > 0) {
+        st.avgFaultyPrediction = fp_num / static_cast<double>(den);
+        st.avgTakenProbability = taken_num / static_cast<double>(den);
+        for (double &h : st.histogram)
+            h /= static_cast<double>(den);
+    }
+    return st;
+}
+
+double
+bamFusionFactor(bam::Op op)
+{
+    using Op = bam::Op;
+    switch (op) {
+      case Op::Deref:
+        return 1.6; // hardware dereference: ~one chase step per cycle
+      case Op::Trail:
+      case Op::Bind:
+        return 1.6; // conditional-trail test folded into one instr
+      case Op::Try:
+      case Op::Retry:
+      case Op::Trust:
+      case Op::Allocate:
+      case Op::Deallocate:
+        return 1.5; // double-word stack traffic
+      case Op::SwitchTag:
+        return 2.0; // hardware multiway tag dispatch
+      case Op::Call:
+        return 1.5; // call = set-CP + jump in one instruction
+      case Op::Fail:
+      case Op::Cut:
+        return 1.2;
+      default:
+        return 1.0; // simple RISC-like instructions map 1:1
+    }
+}
+
+std::uint64_t
+bamCycles(const intcode::Program &prog, const emul::Profile &profile)
+{
+    double cycles = 0;
+    for (std::size_t k = 0; k < prog.code.size(); ++k) {
+        std::uint64_t e = profile.expect[k];
+        if (e == 0)
+            continue;
+        int b = prog.code[k].bam;
+        double fusion =
+            b >= 0 && static_cast<std::size_t>(b) < prog.bamOps.size()
+                ? bamFusionFactor(
+                      prog.bamOps[static_cast<std::size_t>(b)])
+                : 1.0;
+        cycles += static_cast<double>(e) / fusion;
+    }
+    return static_cast<std::uint64_t>(std::llround(cycles));
+}
+
+} // namespace symbol::analysis

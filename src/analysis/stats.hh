@@ -1,0 +1,82 @@
+/**
+ * @file
+ * The code-analysis layer of §4: dynamic instruction mix (Fig. 2),
+ * Amdahl projections for the shared-memory model (§4.2, Fig. 3),
+ * branch-predictability statistics (§4.4, Table 2 and Fig. 4), and
+ * the BAM-processor baseline cycle model.
+ */
+
+#ifndef SYMBOL_ANALYSIS_STATS_HH
+#define SYMBOL_ANALYSIS_STATS_HH
+
+#include <vector>
+
+#include "emul/machine.hh"
+#include "intcode/instr.hh"
+
+namespace symbol::analysis
+{
+
+/** Dynamic instruction mix (fractions sum to ~1). */
+struct InstructionMix
+{
+    double memory = 0;
+    double alu = 0;
+    double move = 0;
+    double control = 0;
+    double other = 0;
+    std::uint64_t total = 0;
+
+    InstructionMix &operator+=(const InstructionMix &o);
+};
+
+/** Fig. 2: classify executed instructions by datapath resource. */
+InstructionMix instructionMix(const intcode::Program &prog,
+                              const emul::Profile &profile);
+
+/**
+ * §4.2 / Fig. 3: ideal speedup when all non-memory work is enhanced
+ * by @p factor. With @p overlapped, memory accesses proceed in
+ * parallel with computation (continuous line, asymptote
+ * 1/mem_fraction); otherwise they serialise (dotted line).
+ */
+double amdahlSpeedup(double mem_fraction, double factor,
+                     bool overlapped);
+
+/** Branch-predictability measurements of §4.4. */
+struct BranchStats
+{
+    /** Expect-weighted mean probability of a faulty prediction. */
+    double avgFaultyPrediction = 0;
+    /** Expect-weighted mean taken-probability. */
+    double avgTakenProbability = 0;
+    /** Dynamic fraction of branches with P_fp in each of @p bins
+     *  equal slices of [0, 0.5] (Fig. 4). */
+    std::vector<double> histogram;
+    /** Total dynamic branch executions. */
+    std::uint64_t branchExecutions = 0;
+};
+
+BranchStats branchStats(const intcode::Program &prog,
+                        const emul::Profile &profile, int bins = 10);
+
+/**
+ * BAM-processor baseline cycles. The translator records which BAM
+ * instruction each ICI came from; the BAM chip executes each macro
+ * instruction in fewer cycles than the expanded primitive sequence
+ * (hardware dereference steps, double-word choice-point traffic, a
+ * one-cycle multiway tag dispatch, fused compare-and-branch). The
+ * per-opcode fusion factors below model that, giving the ~1.5x
+ * advantage over pure sequential execution the paper reports for the
+ * BAM (§4.5: "the BAM shows a speed-up of about 1.6 with respect to
+ * a pure sequential implementation").
+ */
+std::uint64_t bamCycles(const intcode::Program &prog,
+                        const emul::Profile &profile);
+
+/** ICIs a single BAM cycle retires for the given source opcode. */
+double bamFusionFactor(bam::Op op);
+
+} // namespace symbol::analysis
+
+#endif // SYMBOL_ANALYSIS_STATS_HH

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * The BAM-level intermediate representation (§2, §3.1 of the paper).
+ *
+ * Instructions at this level still express Prolog-engine macro
+ * operations (dereference, trail, choice-point management, specialised
+ * unification steps) together with plain RISC-like moves, loads,
+ * stores, ALU operations and branches. The BAM→IntCode translator
+ * expands every macro instruction into primitive ICIs; the provenance
+ * link it records is what allows the analysis layer to charge
+ * BAM-processor cycle costs for the paper's baseline comparison.
+ */
+
+#ifndef SYMBOL_BAM_INSTR_HH
+#define SYMBOL_BAM_INSTR_HH
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bam/word.hh"
+#include "support/interner.hh"
+
+namespace symbol::bam
+{
+
+/** BAM opcodes. */
+enum class Op : std::uint8_t
+{
+    // Structure / control.
+    Procedure,   ///< procedure entry annotation (also defines a label)
+    Label,       ///< label definition
+    Jump,        ///< unconditional jump to label
+    JumpInd,     ///< jump through a Cod word in a register
+    Call,        ///< set CP to the following instruction, jump to label
+    Return,      ///< jump through CP
+    Halt,        ///< stop the machine
+    // Conditionals.
+    SwitchTag,   ///< five-way dispatch on the tag of a register
+    TestTag,     ///< branch if tag(a) ==/!= tag
+    CmpBranch,   ///< branch on signed value-field comparison
+    EqualBranch, ///< branch on full-word (tag+value) comparison
+    // Prolog-engine macros.
+    Deref,       ///< pointer-chase a Ref chain to its end
+    Trail,       ///< conditionally record a binding on the trail
+    Bind,        ///< store a value into an unbound cell + Trail
+    Allocate,    ///< push an environment frame of N permanent slots
+    Deallocate,  ///< pop the current environment frame
+    Try,         ///< push a choice point saving N argument registers
+    Retry,       ///< update the retry address of the current CP
+    Trust,       ///< pop the current choice point
+    Cut,         ///< reset B (and HB) to a saved choice point
+    Fail,        ///< enter the backtracking routine
+    // Data movement / computation.
+    Move,        ///< register or immediate move
+    Ld,          ///< load  dst <- [base+off]
+    St,          ///< store [base+off] <- src
+    Arith,       ///< ALU op on value fields, result tagged Int
+    MkTag,       ///< retag: dst <- <tag, value(src)>
+    GetTag,      ///< dst <- <Int, tag(src)>
+    Out,         ///< append a word to the observable output
+    Nop,
+};
+
+/** Comparison conditions. */
+enum class Cond : std::uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+/** ALU operations. */
+enum class AluOp : std::uint8_t
+{
+    Add, Sub, Mul, Div, Mod, And, Or, Xor, Sll, Sra
+};
+
+/** An instruction operand: none, register, tagged immediate, label. */
+struct Operand
+{
+    enum class Kind : std::uint8_t { None, Reg, Imm, Lab };
+
+    Kind kind = Kind::None;
+    int reg = -1;
+    Word imm = 0;
+    int label = -1;
+
+    static Operand none() { return {}; }
+
+    static Operand
+    mkReg(int r)
+    {
+        Operand o;
+        o.kind = Kind::Reg;
+        o.reg = r;
+        return o;
+    }
+
+    static Operand
+    mkImm(Tag tag, std::int64_t value)
+    {
+        Operand o;
+        o.kind = Kind::Imm;
+        o.imm = makeWord(tag, value);
+        return o;
+    }
+
+    static Operand
+    mkLab(int label)
+    {
+        Operand o;
+        o.kind = Kind::Lab;
+        o.label = label;
+        return o;
+    }
+
+    bool isReg() const { return kind == Kind::Reg; }
+    bool isImm() const { return kind == Kind::Imm; }
+    bool isNone() const { return kind == Kind::None; }
+};
+
+/** Number of SwitchTag targets: Ref, Atm, Int, Lst, Str. */
+constexpr int kSwitchWays = 5;
+
+/** One BAM instruction. */
+struct Instr
+{
+    Op op = Op::Nop;
+    Cond cond = Cond::Eq;
+    AluOp alu = AluOp::Add;
+    Tag tag = Tag::Ref;
+    /**
+     * Operand roles by opcode:
+     *  - Jump/Call: labs[0] target
+     *  - JumpInd: a = address register
+     *  - SwitchTag: a = scrutinee, labs[0..4] = Ref,Atm,Int,Lst,Str
+     *  - TestTag: a = scrutinee, tag, cond in {Eq,Ne}, labs[0]
+     *  - CmpBranch/EqualBranch: a, b compared, labs[0]
+     *  - Deref: a = source, b = destination
+     *  - Trail: a = Ref word whose binding may need recording
+     *  - Bind: a = Ref word (the cell), b = value to store
+     *  - Allocate: off = permanent-slot count
+     *  - Try/Retry: off = saved-argument count, labs[0] = retry target
+     *  - Trust: off = saved-argument count
+     *  - Cut: a = register holding the saved B word
+     *  - Move: a = source (reg/imm), b = destination register
+     *  - Ld: b = destination, a = base register, off = offset
+     *  - St: a = base register, off = offset, b = source (reg/imm)
+     *  - Arith: a, b = sources (reg/imm), c = destination
+     *  - MkTag/GetTag: a = source, b = destination
+     *  - Out: a = source (reg/imm)
+     *  - Procedure/Label: labs[0] = label being defined
+     */
+    Operand a, b, c;
+    int off = 0;
+    int labs[kSwitchWays] = {-1, -1, -1, -1, -1};
+    /**
+     * For St: the store targets a freshly allocated heap cell (a
+     * sound memory-disambiguation hint — nothing can alias memory
+     * above the old heap top). For Call/Return: 'off' holds the link
+     * register (kCp for predicate calls, kRr for runtime calls).
+     */
+    bool fresh = false;
+    /** Procedure name or other annotation for listings. */
+    std::string comment;
+};
+
+/** A translation unit of BAM code. */
+struct Module
+{
+    explicit Module(Interner &interner) : interner(&interner) {}
+
+    std::vector<Instr> code;
+    int numLabels = 0;
+    /** "name/arity" -> entry label. */
+    std::unordered_map<std::string, int> procEntry;
+    int entryLabel = -1; ///< the $start procedure
+    int failLabel = -1;  ///< the $fail backtracking routine
+    /** One past the highest virtual register referenced. */
+    int numRegs = 0;
+    Interner *interner;
+
+    /** Allocate a fresh label id. */
+    int
+    newLabel()
+    {
+        return numLabels++;
+    }
+
+    void
+    emit(Instr i)
+    {
+        noteOperand(i.a);
+        noteOperand(i.b);
+        noteOperand(i.c);
+        code.push_back(std::move(i));
+    }
+
+  private:
+    void
+    noteOperand(const Operand &o)
+    {
+        if (o.isReg() && o.reg + 1 > numRegs)
+            numRegs = o.reg + 1;
+    }
+};
+
+/** Render a human-readable listing of @p module. */
+std::string print(const Module &module);
+
+/** Render a single instruction (without provenance). */
+std::string print(const Module &module, const Instr &instr);
+
+/**
+ * Check structural well-formedness: every label used is defined
+ * exactly once, operand kinds match opcodes, register indices are
+ * non-negative. Returns a list of human-readable problems (empty when
+ * the module verifies).
+ */
+std::vector<std::string> verify(const Module &module);
+
+} // namespace symbol::bam
+
+#endif // SYMBOL_BAM_INSTR_HH

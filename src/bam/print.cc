@@ -1,0 +1,300 @@
+#include "bam/instr.hh"
+
+#include "support/text.hh"
+
+namespace symbol::bam
+{
+
+namespace
+{
+
+const char *
+condName(Cond cond)
+{
+    switch (cond) {
+      case Cond::Eq: return "eq";
+      case Cond::Ne: return "ne";
+      case Cond::Lt: return "lt";
+      case Cond::Le: return "le";
+      case Cond::Gt: return "gt";
+      case Cond::Ge: return "ge";
+    }
+    return "?";
+}
+
+const char *
+aluName(AluOp op)
+{
+    switch (op) {
+      case AluOp::Add: return "add";
+      case AluOp::Sub: return "sub";
+      case AluOp::Mul: return "mul";
+      case AluOp::Div: return "div";
+      case AluOp::Mod: return "mod";
+      case AluOp::And: return "and";
+      case AluOp::Or: return "or";
+      case AluOp::Xor: return "xor";
+      case AluOp::Sll: return "sll";
+      case AluOp::Sra: return "sra";
+    }
+    return "?";
+}
+
+std::string
+regName(int r)
+{
+    using R = Regs;
+    switch (r) {
+      case R::kH: return "H";
+      case R::kE: return "E";
+      case R::kB: return "B";
+      case R::kTr: return "TR";
+      case R::kPdl: return "PDL";
+      case R::kCp: return "CP";
+      case R::kHb: return "HB";
+      case R::kRr: return "RR";
+      case R::kU0: return "U0";
+      case R::kU1: return "U1";
+      case R::kU2: return "U2";
+      default:
+        break;
+    }
+    if (r >= R::kA0 && r < R::kA0 + R::kMaxArgs)
+        return strprintf("a%d", r - R::kA0);
+    return strprintf("t%d", r - R::kT0);
+}
+
+std::string
+operandStr(const Module &m, const Operand &o)
+{
+    switch (o.kind) {
+      case Operand::Kind::None:
+        return "_";
+      case Operand::Kind::Reg:
+        return regName(o.reg);
+      case Operand::Kind::Lab:
+        return strprintf("L%d", o.label);
+      case Operand::Kind::Imm: {
+        Tag t = wordTag(o.imm);
+        std::int64_t v = wordVal(o.imm);
+        switch (t) {
+          case Tag::Atm:
+            if (m.interner && m.interner->valid(
+                    static_cast<AtomId>(v)))
+                return "#" + m.interner->name(static_cast<AtomId>(v));
+            return strprintf("#atm:%lld", static_cast<long long>(v));
+          case Tag::Int:
+            return strprintf("#%lld", static_cast<long long>(v));
+          case Tag::Fun: {
+            AtomId a = functorAtom(v);
+            std::string name =
+                m.interner && m.interner->valid(a)
+                    ? m.interner->name(a)
+                    : strprintf("f%d", a);
+            return strprintf("#%s/%d", name.c_str(), functorArity(v));
+          }
+          case Tag::Cod:
+            return strprintf("#L%lld", static_cast<long long>(v));
+          default:
+            return strprintf("#%s:%lld", tagName(t),
+                             static_cast<long long>(v));
+        }
+      }
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+print(const Module &m, const Instr &i)
+{
+    auto a = [&] { return operandStr(m, i.a); };
+    auto b = [&] { return operandStr(m, i.b); };
+    auto c = [&] { return operandStr(m, i.c); };
+    auto lab = [&](int k) { return strprintf("L%d", i.labs[k]); };
+
+    switch (i.op) {
+      case Op::Procedure:
+        return strprintf("procedure %s:  (L%d)", i.comment.c_str(),
+                         i.labs[0]);
+      case Op::Label:
+        return strprintf("L%d:", i.labs[0]);
+      case Op::Jump:
+        return "    jump " + lab(0);
+      case Op::JumpInd:
+        return "    jump_ind " + a();
+      case Op::Call:
+        return "    call " + lab(0) +
+               (i.comment.empty() ? "" : "  % " + i.comment);
+      case Op::Return:
+        return "    return";
+      case Op::Halt:
+        return "    halt";
+      case Op::SwitchTag:
+        return strprintf(
+            "    switch_tag %s [ref:%s atm:%s int:%s lst:%s str:%s]",
+            a().c_str(), lab(0).c_str(), lab(1).c_str(), lab(2).c_str(),
+            lab(3).c_str(), lab(4).c_str());
+      case Op::TestTag:
+        return strprintf("    test_tag.%s %s, %s -> %s",
+                         condName(i.cond), a().c_str(), tagName(i.tag),
+                         lab(0).c_str());
+      case Op::CmpBranch:
+        return strprintf("    cmp.%s %s, %s -> %s", condName(i.cond),
+                         a().c_str(), b().c_str(), lab(0).c_str());
+      case Op::EqualBranch:
+        return strprintf("    equal.%s %s, %s -> %s", condName(i.cond),
+                         a().c_str(), b().c_str(), lab(0).c_str());
+      case Op::Deref:
+        return "    deref " + a() + " -> " + b();
+      case Op::Trail:
+        return "    trail " + a();
+      case Op::Bind:
+        return "    bind [" + a() + "] <- " + b();
+      case Op::Allocate:
+        return strprintf("    allocate %d", i.off);
+      case Op::Deallocate:
+        return "    deallocate";
+      case Op::Try:
+        return strprintf("    try n=%d retry=%s", i.off,
+                         lab(0).c_str());
+      case Op::Retry:
+        return strprintf("    retry n=%d next=%s", i.off,
+                         lab(0).c_str());
+      case Op::Trust:
+        return strprintf("    trust n=%d", i.off);
+      case Op::Cut:
+        return "    cut " + a();
+      case Op::Fail:
+        return "    fail";
+      case Op::Move:
+        return "    move " + a() + " -> " + b();
+      case Op::Ld:
+        return strprintf("    ld %s <- [%s%+d]", b().c_str(),
+                         a().c_str(), i.off);
+      case Op::St:
+        return strprintf("    st [%s%+d] <- %s", a().c_str(), i.off,
+                         b().c_str());
+      case Op::Arith:
+        return strprintf("    %s %s, %s -> %s", aluName(i.alu),
+                         a().c_str(), b().c_str(), c().c_str());
+      case Op::MkTag:
+        return strprintf("    mktag.%s %s -> %s", tagName(i.tag),
+                         a().c_str(), b().c_str());
+      case Op::GetTag:
+        return "    gettag " + a() + " -> " + b();
+      case Op::Out:
+        return "    out " + a();
+      case Op::Nop:
+        return "    nop";
+    }
+    return "    ?";
+}
+
+std::string
+print(const Module &m)
+{
+    std::string out;
+    for (const Instr &i : m.code) {
+        out += print(m, i);
+        out += '\n';
+    }
+    return out;
+}
+
+std::vector<std::string>
+verify(const Module &m)
+{
+    std::vector<std::string> problems;
+    std::vector<int> defs(static_cast<std::size_t>(m.numLabels), 0);
+
+    auto note = [&](const std::string &msg) { problems.push_back(msg); };
+
+    auto checkLab = [&](int idx, int lab, bool required) {
+        if (lab < 0) {
+            if (required)
+                note(strprintf("instr %d: missing label operand", idx));
+            return;
+        }
+        if (lab >= m.numLabels)
+            note(strprintf("instr %d: label L%d never allocated", idx,
+                           lab));
+    };
+
+    for (std::size_t k = 0; k < m.code.size(); ++k) {
+        const Instr &i = m.code[k];
+        int idx = static_cast<int>(k);
+        switch (i.op) {
+          case Op::Procedure:
+          case Op::Label:
+            checkLab(idx, i.labs[0], true);
+            if (i.labs[0] >= 0 && i.labs[0] < m.numLabels)
+                ++defs[static_cast<std::size_t>(i.labs[0])];
+            break;
+          case Op::Jump:
+          case Op::Call:
+          case Op::Try:
+          case Op::Retry:
+          case Op::TestTag:
+          case Op::CmpBranch:
+          case Op::EqualBranch:
+            checkLab(idx, i.labs[0], true);
+            break;
+          case Op::SwitchTag:
+            for (int w = 0; w < kSwitchWays; ++w)
+                checkLab(idx, i.labs[w], true);
+            if (!i.a.isReg())
+                note(strprintf("instr %d: switch_tag needs reg", idx));
+            break;
+          case Op::Ld:
+            if (!i.a.isReg() || !i.b.isReg())
+                note(strprintf("instr %d: ld needs two regs", idx));
+            break;
+          case Op::St:
+            if (!i.a.isReg() || i.b.isNone())
+                note(strprintf("instr %d: st needs base and source",
+                               idx));
+            break;
+          case Op::Move:
+          case Op::Deref:
+          case Op::MkTag:
+          case Op::GetTag:
+            if (i.a.isNone() || !i.b.isReg())
+                note(strprintf("instr %d: needs source and dest reg",
+                               idx));
+            break;
+          case Op::Arith:
+            if (i.a.isNone() || i.b.isNone() || !i.c.isReg())
+                note(strprintf("instr %d: arith needs a, b, dest",
+                               idx));
+            break;
+          case Op::Bind:
+            if (!i.a.isReg() || i.b.isNone())
+                note(strprintf("instr %d: bind needs cell reg + value",
+                               idx));
+            break;
+          default:
+            break;
+        }
+    }
+
+    // Every used label must be defined exactly once.
+    for (std::size_t k = 0; k < m.code.size(); ++k) {
+        const Instr &i = m.code[k];
+        for (int w = 0; w < kSwitchWays; ++w) {
+            int lab = i.labs[w];
+            bool is_def = i.op == Op::Label || i.op == Op::Procedure;
+            if (lab >= 0 && lab < m.numLabels && !is_def &&
+                defs[static_cast<std::size_t>(lab)] != 1) {
+                note(strprintf(
+                    "instr %d: label L%d defined %d times",
+                    static_cast<int>(k), lab,
+                    defs[static_cast<std::size_t>(lab)]));
+            }
+        }
+    }
+    return problems;
+}
+
+} // namespace symbol::bam

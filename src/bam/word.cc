@@ -1,0 +1,21 @@
+#include "bam/word.hh"
+
+namespace symbol::bam
+{
+
+const char *
+tagName(Tag tag)
+{
+    switch (tag) {
+      case Tag::Ref: return "ref";
+      case Tag::Lst: return "lst";
+      case Tag::Str: return "str";
+      case Tag::Atm: return "atm";
+      case Tag::Int: return "int";
+      case Tag::Cod: return "cod";
+      case Tag::Fun: return "fun";
+    }
+    return "?";
+}
+
+} // namespace symbol::bam

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * The tagged machine-word model shared by the whole toolchain.
+ *
+ * The paper's datapath (§5.2) holds 32-bit words split into independent
+ * fields: a 28-bit value, a 3-bit tag and a cdr bit. We model the same
+ * structure inside a 64-bit host word with a comfortable 32-bit value
+ * field; the field separation (the property the architecture exploits)
+ * is what matters, not the exact widths.
+ *
+ * This header also fixes the data-memory layout of the abstract
+ * machine (heap / local stack / trail / push-down list — the BAM and
+ * WAM stack areas of §4.1) and the virtual-register conventions used
+ * by the compiler before unit binding.
+ */
+
+#ifndef SYMBOL_BAM_WORD_HH
+#define SYMBOL_BAM_WORD_HH
+
+#include <cstdint>
+#include <string>
+
+namespace symbol::bam
+{
+
+/** Data tags of the BAM model. */
+enum class Tag : std::uint8_t
+{
+    Ref = 0, ///< reference / unbound variable
+    Lst = 1, ///< pointer to a 2-word list cell
+    Str = 2, ///< pointer to a functor word followed by arguments
+    Atm = 3, ///< atomic constant (value = atom id)
+    Int = 4, ///< integer constant (value = signed integer)
+    Cod = 5, ///< code address (value = instruction index)
+    Fun = 6, ///< functor header word inside a structure
+};
+
+constexpr int kNumTags = 7;
+
+/** A machine word: value + tag fields packed for the emulators. */
+using Word = std::uint64_t;
+
+/** Build a word from tag and (signed) value. */
+constexpr Word
+makeWord(Tag tag, std::int64_t value)
+{
+    return (static_cast<Word>(static_cast<std::uint8_t>(tag)) << 32) |
+           (static_cast<Word>(value) & 0xffffffffull);
+}
+
+/** The tag field of a word. */
+constexpr Tag
+wordTag(Word w)
+{
+    return static_cast<Tag>((w >> 32) & 0x7);
+}
+
+/** The value field of a word, sign-extended. */
+constexpr std::int64_t
+wordVal(Word w)
+{
+    return static_cast<std::int64_t>(
+        static_cast<std::int32_t>(w & 0xffffffffull));
+}
+
+/** Pack a functor header (atom id + arity) into a Fun word value. */
+constexpr std::int64_t
+functorValue(std::int32_t atom, int arity)
+{
+    return (static_cast<std::int64_t>(atom) << 8) |
+           (static_cast<std::int64_t>(arity) & 0xff);
+}
+
+constexpr std::int32_t
+functorAtom(std::int64_t fun_value)
+{
+    return static_cast<std::int32_t>(fun_value >> 8);
+}
+
+constexpr int
+functorArity(std::int64_t fun_value)
+{
+    return static_cast<int>(fun_value & 0xff);
+}
+
+/** Printable tag mnemonic. */
+const char *tagName(Tag tag);
+
+/**
+ * Data-memory layout (word addresses). The separate areas mirror the
+ * WAM/BAM execution model: heap, local (environment + choice-point)
+ * stack, trail and push-down list.
+ */
+struct Layout
+{
+    static constexpr std::int64_t kHeapBase = 0x00001000;
+    static constexpr std::int64_t kHeapEnd = 0x00400000;
+    static constexpr std::int64_t kStackBase = 0x00400000;
+    static constexpr std::int64_t kStackEnd = 0x00500000;
+    static constexpr std::int64_t kTrailBase = 0x00500000;
+    static constexpr std::int64_t kTrailEnd = 0x00580000;
+    static constexpr std::int64_t kPdlBase = 0x00580000;
+    static constexpr std::int64_t kPdlEnd = 0x005C0000;
+    static constexpr std::int64_t kMemWords = 0x005C0000;
+};
+
+/**
+ * Virtual-register conventions. The compiler works with an unbounded
+ * virtual register file; the first few indices are the abstract
+ * machine's global state registers, then the argument registers, then
+ * per-procedure temporaries.
+ */
+struct Regs
+{
+    static constexpr int kH = 0;   ///< heap top
+    static constexpr int kE = 1;   ///< current environment frame
+    static constexpr int kB = 2;   ///< current choice-point frame
+    static constexpr int kTr = 3;  ///< trail top
+    static constexpr int kPdl = 4; ///< push-down-list top
+    static constexpr int kCp = 5;  ///< continuation (return address)
+    static constexpr int kHb = 6;  ///< heap mark of current choice point
+    static constexpr int kRr = 7;  ///< link register for runtime calls
+    static constexpr int kU0 = 8;  ///< runtime result (unify: 1/0)
+    static constexpr int kU1 = 9;  ///< runtime argument 1
+    static constexpr int kU2 = 10; ///< runtime argument 2
+    static constexpr int kA0 = 11; ///< first goal-argument register
+    static constexpr int kMaxArgs = 13;
+    static constexpr int kT0 = kA0 + kMaxArgs; ///< first temporary
+
+    static constexpr int
+    arg(int i)
+    {
+        return kA0 + i;
+    }
+
+    /** Is @p r one of the global state registers? */
+    static constexpr bool
+    isGlobal(int r)
+    {
+        return r >= kH && r <= kHb;
+    }
+};
+
+/**
+ * Choice-point frame layout (offsets from B, frame grows upward):
+ * prevB, retry address, saved H, saved TR, saved E, saved CP, arg
+ * count, then the saved argument registers.
+ */
+struct ChoiceFrame
+{
+    static constexpr int kPrevB = 0;
+    static constexpr int kRetry = 1;
+    static constexpr int kSavedH = 2;
+    static constexpr int kSavedTr = 3;
+    static constexpr int kSavedE = 4;
+    static constexpr int kSavedCp = 5;
+    static constexpr int kNumArgs = 6;
+    static constexpr int kArgs = 7;
+};
+
+/**
+ * Environment frame layout (offsets from E): previous E, saved CP,
+ * number of permanent slots, then the slots.
+ */
+struct EnvFrame
+{
+    static constexpr int kPrevE = 0;
+    static constexpr int kSavedCp = 1;
+    static constexpr int kNumPerms = 2;
+    static constexpr int kPerms = 3;
+};
+
+} // namespace symbol::bam
+
+#endif // SYMBOL_BAM_WORD_HH

@@ -1,0 +1,867 @@
+#include "bamc/compiler.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "bamc/emit.hh"
+#include "support/text.hh"
+
+namespace symbol::bamc
+{
+
+using prolog::Term;
+using prolog::TermKind;
+using prolog::TermPool;
+using R = bam::Regs;
+using CF = bam::ChoiceFrame;
+using EF = bam::EnvFrame;
+
+namespace
+{
+
+/** How a clause instance is entered at run time; decides where the
+ *  pre-call B (the cut barrier) can be found. */
+enum class EntryMode
+{
+    Det,        ///< no choice point owned by this predicate
+    AfterTry,   ///< this predicate's choice point is on top
+    AfterTrust, ///< the predicate's choice point was just popped
+};
+
+/** What is statically known about the (dereferenced) first argument
+ *  when a clause instance starts. */
+struct Ctx
+{
+    enum class K
+    {
+        Unknown,        ///< nothing known, full unification
+        KnownRef,       ///< an unbound variable (write mode)
+        TagKnown,       ///< tag known, value/functor unchecked
+        ConstMatched,   ///< constant fully matched, skip the argument
+        FunctorMatched, ///< structure with verified functor word
+    };
+    K k = K::Unknown;
+    Tag tag = Tag::Ref;
+};
+
+/** Principal shape of a clause's first argument. */
+enum class ArgShape { Var, AtomC, IntC, List, Struct };
+
+class Compiler : public Emit
+{
+  public:
+    Compiler(prolog::Program &prog, bam::Module &m,
+             const CompilerOptions &opts)
+        : Emit(m), pool_(prog.pool), in_(prog.pool.interner()),
+          opts_(opts), flat_(normalize(prog))
+    {
+    }
+
+    void
+    run()
+    {
+        PredKey main_key{in_.intern("main"), 0};
+        if (!flat_.find(main_key))
+            throw CompileError("program does not define main/0");
+
+        RuntimeLabels labels;
+        labels.start = nl();
+        labels.fail = nl();
+        labels.unify = nl();
+        labels.outTerm = nl();
+        labels.halt = nl();
+        labels.queryFail = nl();
+        m_.entryLabel = labels.start;
+        m_.failLabel = labels.fail;
+        labels_ = labels;
+
+        emitRuntime(*this, labels_, labelFor(main_key));
+        for (const FlatPred &p : flat_.preds)
+            compilePred(p);
+    }
+
+  private:
+    TermPool &pool_;
+    Interner &in_;
+    CompilerOptions opts_;
+    FlatProgram flat_;
+    RuntimeLabels labels_;
+    std::map<PredKey, int> predLabels_;
+
+    // --- Per-clause state -------------------------------------------
+    struct Home
+    {
+        bool perm = false;
+        int slot = -1;
+        int temp = -1;
+        bool init = false;
+    };
+    const FlatClause *cl_ = nullptr;
+    std::map<int, Home> homes_;
+    bool ended_ = false;
+    int callsSeen_ = 0;
+    int cutTemp_ = -1;
+    /**
+     * Read/write-mode convergence: variables whose first occurrence
+     * is inside a split head structure must end up in the *same* home
+     * on both paths. The write path re-initialises them and this map
+     * forces buildTerm to reuse the read path's home temporary.
+     */
+    std::map<int, int> forcedTemp_;
+
+    int
+    labelFor(const PredKey &key)
+    {
+        auto it = predLabels_.find(key);
+        if (it != predLabels_.end())
+            return it->second;
+        int lab = nl();
+        predLabels_[key] = lab;
+        m_.procEntry[keyName(key)] = lab;
+        return lab;
+    }
+
+    std::string
+    keyName(const PredKey &key) const
+    {
+        return strprintf("%s/%d", in_.name(key.name).c_str(),
+                         key.arity);
+    }
+
+    ArgShape
+    shapeOf(const FlatClause &fc) const
+    {
+        TermId a0 = pool_.at(fc.head).args[0];
+        const Term &t = pool_.at(a0);
+        switch (t.kind) {
+          case TermKind::Var: return ArgShape::Var;
+          case TermKind::Atom: return ArgShape::AtomC;
+          case TermKind::Int: return ArgShape::IntC;
+          case TermKind::Struct:
+            return pool_.isCons(a0) ? ArgShape::List : ArgShape::Struct;
+        }
+        return ArgShape::Var;
+    }
+
+    // --- Predicate-level indexing -----------------------------------
+
+    void
+    compilePred(const FlatPred &p)
+    {
+        procedure(labelFor(p.key), keyName(p.key));
+        std::vector<const FlatClause *> all;
+        for (const FlatClause &c : p.clauses)
+            all.push_back(&c);
+
+        bool no_index = !opts_.indexing || p.key.arity < 1 ||
+                        p.clauses.size() < 2;
+        if (!no_index) {
+            no_index = std::all_of(p.clauses.begin(), p.clauses.end(),
+                                   [&](const FlatClause &c) {
+                                       return shapeOf(c) ==
+                                              ArgShape::Var;
+                                   });
+        }
+        if (no_index) {
+            chain(all, Ctx{}, p.key.arity);
+            return;
+        }
+
+        // First-argument indexing: dereference A0 in place, then
+        // dispatch on its tag.
+        derefE(rg(R::arg(0)), R::arg(0));
+        int lvar = nl(), latm = nl(), lint = nl(), llst = nl(),
+            lstr = nl();
+        switchTag(R::arg(0), lvar, latm, lint, llst, lstr);
+
+        label(lvar);
+        chain(all, Ctx{Ctx::K::KnownRef, Tag::Ref}, p.key.arity);
+
+        label(latm);
+        constClassChain(p, ArgShape::AtomC, Tag::Atm);
+        label(lint);
+        constClassChain(p, ArgShape::IntC, Tag::Int);
+
+        label(llst);
+        chain(applicable(p, ArgShape::List),
+              Ctx{Ctx::K::TagKnown, Tag::Lst}, p.key.arity);
+
+        label(lstr);
+        functorClassChain(p);
+    }
+
+    std::vector<const FlatClause *>
+    applicable(const FlatPred &p, ArgShape shape) const
+    {
+        std::vector<const FlatClause *> out;
+        for (const FlatClause &c : p.clauses) {
+            ArgShape s = shapeOf(c);
+            if (s == ArgShape::Var || s == shape)
+                out.push_back(&c);
+        }
+        return out;
+    }
+
+    bool
+    anyVarFirst(const std::vector<const FlatClause *> &cls) const
+    {
+        return std::any_of(cls.begin(), cls.end(),
+                           [&](const FlatClause *c) {
+                               return shapeOf(*c) == ArgShape::Var;
+                           });
+    }
+
+    /** Constant key of a clause's first argument for grouping. */
+    std::int64_t
+    constKey(const FlatClause &fc) const
+    {
+        const Term &t = pool_.at(pool_.at(fc.head).args[0]);
+        return t.kind == TermKind::Atom ? t.functor : t.value;
+    }
+
+    void
+    constClassChain(const FlatPred &p, ArgShape shape, Tag tag)
+    {
+        auto cls = applicable(p, shape);
+        if (cls.empty()) {
+            eI(base(Op::Fail));
+            return;
+        }
+        if (anyVarFirst(cls)) {
+            // Mixed constants and variables: fall back to a plain
+            // chain with only the tag knowledge retained.
+            chain(cls, Ctx{Ctx::K::TagKnown, tag}, p.key.arity);
+            return;
+        }
+        // Mutually exclusive constants: deterministic dispatch, no
+        // choice point across groups.
+        std::vector<std::pair<std::int64_t,
+                              std::vector<const FlatClause *>>> groups;
+        for (const FlatClause *c : cls) {
+            std::int64_t k = constKey(*c);
+            auto it = std::find_if(groups.begin(), groups.end(),
+                                   [&](const auto &g) {
+                                       return g.first == k;
+                                   });
+            if (it == groups.end())
+                groups.push_back({k, {c}});
+            else
+                it->second.push_back(c);
+        }
+        for (const auto &[k, group] : groups) {
+            int lnext = nl();
+            eqB(Cond::Ne, rg(R::arg(0)), Operand::mkImm(tag, k), lnext);
+            chain(group, Ctx{Ctx::K::ConstMatched, tag}, p.key.arity);
+            label(lnext);
+        }
+        eI(base(Op::Fail));
+    }
+
+    void
+    functorClassChain(const FlatPred &p)
+    {
+        auto cls = applicable(p, ArgShape::Struct);
+        if (cls.empty()) {
+            eI(base(Op::Fail));
+            return;
+        }
+        if (anyVarFirst(cls)) {
+            chain(cls, Ctx{Ctx::K::TagKnown, Tag::Str}, p.key.arity);
+            return;
+        }
+        std::vector<std::pair<std::int64_t,
+                              std::vector<const FlatClause *>>> groups;
+        auto fkey = [&](const FlatClause &fc) {
+            TermId a0 = pool_.at(fc.head).args[0];
+            const Term &t = pool_.at(a0);
+            return bam::functorValue(t.functor,
+                                     static_cast<int>(t.args.size()));
+        };
+        for (const FlatClause *c : cls) {
+            std::int64_t k = fkey(*c);
+            auto it = std::find_if(groups.begin(), groups.end(),
+                                   [&](const auto &g) {
+                                       return g.first == k;
+                                   });
+            if (it == groups.end())
+                groups.push_back({k, {c}});
+            else
+                it->second.push_back(c);
+        }
+        int fw = nt();
+        ld(fw, R::arg(0), 0);
+        for (const auto &[k, group] : groups) {
+            int lnext = nl();
+            eqB(Cond::Ne, rg(fw), Operand::mkImm(Tag::Fun, k), lnext);
+            chain(group, Ctx{Ctx::K::FunctorMatched, Tag::Str},
+                  p.key.arity);
+            label(lnext);
+        }
+        eI(base(Op::Fail));
+    }
+
+    /** Emit a try/retry/trust chain over @p cls. */
+    void
+    chain(const std::vector<const FlatClause *> &cls, Ctx ctx,
+          int arity)
+    {
+        if (cls.empty()) {
+            eI(base(Op::Fail));
+            return;
+        }
+        if (cls.size() == 1) {
+            compileClause(*cls[0], ctx, EntryMode::Det);
+            return;
+        }
+        std::vector<int> retries;
+        for (std::size_t i = 1; i < cls.size(); ++i)
+            retries.push_back(nl());
+
+        Instr t = base(Op::Try);
+        t.off = arity;
+        t.labs[0] = retries[0];
+        eI(t);
+        compileClause(*cls[0], ctx, EntryMode::AfterTry);
+
+        for (std::size_t i = 1; i < cls.size(); ++i) {
+            label(retries[i - 1]);
+            if (i + 1 < cls.size()) {
+                Instr r = base(Op::Retry);
+                r.off = arity;
+                r.labs[0] = retries[i];
+                eI(r);
+                compileClause(*cls[i], ctx, EntryMode::AfterTry);
+            } else {
+                Instr r = base(Op::Trust);
+                r.off = arity;
+                eI(r);
+                compileClause(*cls[i], ctx, EntryMode::AfterTrust);
+            }
+        }
+    }
+
+    // --- Clause compilation ------------------------------------------
+
+    Home &
+    home(int var_id)
+    {
+        auto it = homes_.find(var_id);
+        panicIf(it == homes_.end(), "unclassified variable");
+        return it->second;
+    }
+
+    Operand
+    loadHome(int var_id)
+    {
+        Home &h = home(var_id);
+        panicIf(!h.init, "loadHome before initialisation");
+        if (!h.perm)
+            return rg(h.temp);
+        int t = nt();
+        ld(t, R::kE, EF::kPerms + h.slot);
+        return rg(t);
+    }
+
+    void
+    setHome(int var_id, Operand value, bool copy_reg)
+    {
+        Home &h = home(var_id);
+        panicIf(h.init, "setHome on initialised variable");
+        h.init = true;
+        if (h.perm) {
+            st(R::kE, EF::kPerms + h.slot, value);
+            return;
+        }
+        if (value.isReg() && !copy_reg) {
+            h.temp = value.reg;
+            return;
+        }
+        int t = nt();
+        mov(value, t);
+        h.temp = t;
+    }
+
+    void
+    compileClause(const FlatClause &fc, Ctx ctx, EntryMode mode)
+    {
+        cl_ = &fc;
+        homes_.clear();
+        for (const auto &[var, slot] : fc.vars) {
+            Home h;
+            h.perm = slot.isPerm;
+            h.slot = slot.slot;
+            homes_[var] = h;
+        }
+        ended_ = false;
+        callsSeen_ = 0;
+        cutTemp_ = -1;
+
+        if (fc.hasCut) {
+            cutTemp_ = nt();
+            if (mode == EntryMode::AfterTry)
+                ld(cutTemp_, R::kB, CF::kPrevB);
+            else
+                mov(rg(R::kB), cutTemp_);
+        }
+        if (fc.needsEnv) {
+            Instr a = base(Op::Allocate);
+            a.off = fc.numPerms;
+            eI(a);
+        }
+        if (fc.cutNeedsSlot)
+            st(R::kE, EF::kPerms + fc.cutSlot, rg(cutTemp_));
+
+        const Term &head = pool_.at(fc.head);
+        for (std::size_t i = 0; i < head.args.size(); ++i)
+            getArg(head.args[i], R::arg(static_cast<int>(i)),
+                   i == 0 ? &ctx : nullptr);
+
+        for (std::size_t gi = 0; gi < fc.goals.size() && !ended_; ++gi)
+            compileGoal(fc.goals[gi], gi + 1 == fc.goals.size());
+
+        if (!ended_) {
+            if (fc.needsEnv)
+                eI(base(Op::Deallocate));
+            Instr r = base(Op::Return);
+            r.off = R::kCp;
+            eI(r);
+        }
+    }
+
+    // --- Head unification (get) --------------------------------------
+
+    Operand
+    constOf(TermId t) const
+    {
+        const Term &term = pool_.at(t);
+        return term.kind == TermKind::Atom
+                   ? Operand::mkImm(Tag::Atm, term.functor)
+                   : Operand::mkImm(Tag::Int, term.value);
+    }
+
+    void
+    getArg(TermId t, int src, const Ctx *ctx)
+    {
+        const Term &term = pool_.at(t);
+        switch (term.kind) {
+          case TermKind::Var: {
+            Home &h = home(term.varId);
+            if (!h.init)
+                setHome(term.varId, rg(src), true);
+            else
+                emitUnifyCall(loadHome(term.varId), rg(src));
+            return;
+          }
+          case TermKind::Int:
+          case TermKind::Atom: {
+            Operand c = constOf(t);
+            if (ctx && ctx->k == Ctx::K::ConstMatched)
+                return;
+            if (ctx && ctx->k == Ctx::K::KnownRef) {
+                bind(src, c);
+                return;
+            }
+            if (ctx && ctx->k == Ctx::K::TagKnown) {
+                eqB(Cond::Ne, rg(src), c, m_.failLabel);
+                return;
+            }
+            int d = nt();
+            derefE(rg(src), d);
+            int l_check = nl(), l_cont = nl();
+            testTag(Cond::Ne, d, Tag::Ref, l_check);
+            bind(d, c);
+            jump(l_cont);
+            label(l_check);
+            eqB(Cond::Ne, rg(d), c, m_.failLabel);
+            label(l_cont);
+            return;
+          }
+          case TermKind::Struct:
+            getStruct(t, src, ctx);
+            return;
+        }
+    }
+
+    void
+    readArgs(TermId t, int base_reg)
+    {
+        const Term &term = pool_.at(t);
+        int first_off = pool_.isCons(t) ? 0 : 1;
+        for (std::size_t j = 0; j < term.args.size(); ++j) {
+            int tj = nt();
+            ld(tj, base_reg, first_off + static_cast<int>(j));
+            getArg(term.args[j], tj, nullptr);
+        }
+    }
+
+    void
+    getStruct(TermId t, int src, const Ctx *ctx)
+    {
+        const Term &term = pool_.at(t);
+        bool is_list = pool_.isCons(t);
+        Tag want = is_list ? Tag::Lst : Tag::Str;
+        int n = static_cast<int>(term.args.size());
+
+        if (ctx && (ctx->k == Ctx::K::FunctorMatched ||
+                    (ctx->k == Ctx::K::TagKnown && is_list &&
+                     ctx->tag == Tag::Lst))) {
+            readArgs(t, src);
+            return;
+        }
+        if (ctx && ctx->k == Ctx::K::KnownRef) {
+            Operand v = buildTerm(t);
+            bind(src, v);
+            return;
+        }
+        if (ctx && ctx->k == Ctx::K::TagKnown && !is_list) {
+            int f = nt();
+            ld(f, src, 0);
+            eqB(Cond::Ne, rg(f),
+                Operand::mkImm(Tag::Fun,
+                               bam::functorValue(term.functor, n)),
+                m_.failLabel);
+            readArgs(t, src);
+            return;
+        }
+
+        // Unknown: dereference and split into read and write paths.
+        int d = nt();
+        derefE(rg(src), d);
+        int l_write = nl(), l_cont = nl();
+        testTag(Cond::Eq, d, Tag::Ref, l_write);
+        testTag(Cond::Ne, d, want, m_.failLabel);
+        if (!is_list) {
+            int f = nt();
+            ld(f, d, 0);
+            eqB(Cond::Ne, rg(f),
+                Operand::mkImm(Tag::Fun,
+                               bam::functorValue(term.functor, n)),
+                m_.failLabel);
+        }
+        // Variables first initialised by the read path must land in
+        // the same homes on the write path (only one path executes).
+        std::map<int, bool> before;
+        for (const auto &[var, h] : homes_)
+            before[var] = h.init;
+        readArgs(t, d);
+        jump(l_cont);
+        label(l_write);
+        std::map<int, int> saved_forced = forcedTemp_;
+        for (auto &[var, h] : homes_) {
+            if (h.init && !before[var]) {
+                h.init = false;
+                if (!h.perm)
+                    forcedTemp_[var] = h.temp;
+            }
+        }
+        Operand v = buildTerm(t);
+        forcedTemp_ = std::move(saved_forced);
+        bind(d, v);
+        label(l_cont);
+    }
+
+    // --- Term construction (put / write mode) ------------------------
+
+    Operand
+    buildTerm(TermId t)
+    {
+        const Term &term = pool_.at(t);
+        switch (term.kind) {
+          case TermKind::Var: {
+            Home &h = home(term.varId);
+            if (h.init)
+                return loadHome(term.varId);
+            // Fresh variable: allocate an unbound heap cell. Keeping
+            // all unbound cells on the heap sidesteps the classic
+            // unsafe-variable problem.
+            int tr = nt();
+            mkTag(Tag::Ref, R::kH, tr);
+            st(R::kH, 0, rg(tr), opts_.markFreshHeapStores);
+            arith(AluOp::Add, rg(R::kH), ii(1), R::kH);
+            auto forced = forcedTemp_.find(term.varId);
+            if (forced != forcedTemp_.end()) {
+                // Converge with the read path's home temporary.
+                mov(rg(tr), forced->second);
+                Home &h = home(term.varId);
+                h.init = true;
+                h.temp = forced->second;
+                return rg(forced->second);
+            }
+            setHome(term.varId, rg(tr), false);
+            return rg(tr);
+          }
+          case TermKind::Int:
+          case TermKind::Atom:
+            return constOf(t);
+          case TermKind::Struct: {
+            bool is_list = pool_.isCons(t);
+            int n = static_cast<int>(term.args.size());
+            int first_off = is_list ? 0 : 1;
+            int tb = nt();
+            mov(rg(R::kH), tb);
+            arith(AluOp::Add, rg(R::kH), ii(is_list ? 2 : n + 1),
+                  R::kH);
+            if (!is_list)
+                st(tb, 0,
+                   Operand::mkImm(Tag::Fun,
+                                  bam::functorValue(term.functor, n)),
+                   opts_.markFreshHeapStores);
+            for (int j = 0; j < n; ++j) {
+                Operand v =
+                    buildTerm(term.args[static_cast<std::size_t>(j)]);
+                st(tb, first_off + j, v, opts_.markFreshHeapStores);
+            }
+            int tp = nt();
+            mkTag(is_list ? Tag::Lst : Tag::Str, tb, tp);
+            return rg(tp);
+          }
+        }
+        panic("buildTerm: unreachable");
+    }
+
+    // --- Goals --------------------------------------------------------
+
+    void
+    emitUnifyCall(Operand a, Operand b)
+    {
+        mov(a, R::kU1);
+        mov(b, R::kU2);
+        callTo(labels_.unify, R::kRr, "$unify");
+        cmpB(Cond::Eq, rg(R::kU0), ii(0), m_.failLabel);
+    }
+
+    void
+    compileGoal(TermId g, bool is_last)
+    {
+        const Term &gt = pool_.at(g);
+        const std::string &name = in_.name(gt.functor);
+        int n = static_cast<int>(gt.args.size());
+
+        if (gt.kind == TermKind::Atom && name == "!") {
+            Operand b0;
+            if (callsSeen_ > 0) {
+                int t = nt();
+                ld(t, R::kE, EF::kPerms + cl_->cutSlot);
+                b0 = rg(t);
+            } else {
+                b0 = rg(cutTemp_);
+            }
+            Instr c = base(Op::Cut);
+            c.a = b0;
+            eI(c);
+            return;
+        }
+        if (isBuiltin(in_, gt.functor, n)) {
+            compileBuiltin(name, g);
+            return;
+        }
+
+        // User predicate call.
+        PredKey key{gt.functor, n};
+        if (!flat_.find(key))
+            throw CompileError("call to undefined predicate " +
+                               keyName(key));
+        for (int i = 0; i < n; ++i) {
+            Operand v = buildTerm(gt.args[static_cast<std::size_t>(i)]);
+            mov(v, R::arg(i));
+        }
+        if (is_last) {
+            // Last-call optimisation: reuse the caller's frame.
+            if (cl_->needsEnv)
+                eI(base(Op::Deallocate));
+            jump(labelFor(key));
+            ended_ = true;
+        } else {
+            callTo(labelFor(key), R::kCp, keyName(key));
+            ++callsSeen_;
+        }
+    }
+
+    /** Evaluate an arithmetic expression; returns an <Int,_> operand. */
+    Operand
+    evalArith(TermId t)
+    {
+        const Term &term = pool_.at(t);
+        switch (term.kind) {
+          case TermKind::Int:
+            return ii(term.value);
+          case TermKind::Var: {
+            Home &h = home(term.varId);
+            if (!h.init)
+                throw CompileError(
+                    "arithmetic on an unbound variable");
+            int d = nt();
+            derefE(loadHome(term.varId), d);
+            testTag(Cond::Ne, d, Tag::Int, m_.failLabel);
+            return rg(d);
+          }
+          case TermKind::Atom:
+            throw CompileError("atom '" + in_.name(term.functor) +
+                               "' in arithmetic expression");
+          case TermKind::Struct: {
+            const std::string &op = in_.name(term.functor);
+            if (term.args.size() == 1) {
+                if (op == "-") {
+                    Operand v = evalArith(term.args[0]);
+                    int r = nt();
+                    arith(AluOp::Sub, ii(0), v, r);
+                    return rg(r);
+                }
+                if (op == "+")
+                    return evalArith(term.args[0]);
+                throw CompileError("unknown arithmetic functor " + op);
+            }
+            if (term.args.size() != 2)
+                throw CompileError("unknown arithmetic functor " + op);
+            static const std::map<std::string, AluOp> ops = {
+                {"+", AluOp::Add},   {"-", AluOp::Sub},
+                {"*", AluOp::Mul},   {"//", AluOp::Div},
+                {"/", AluOp::Div},   {"mod", AluOp::Mod},
+                {"rem", AluOp::Mod}, {">>", AluOp::Sra},
+                {"<<", AluOp::Sll},  {"/\\", AluOp::And},
+                {"\\/", AluOp::Or},  {"xor", AluOp::Xor},
+            };
+            auto it = ops.find(op);
+            if (it == ops.end())
+                throw CompileError("unknown arithmetic functor " + op);
+            Operand a = evalArith(term.args[0]);
+            Operand b = evalArith(term.args[1]);
+            int r = nt();
+            arith(it->second, a, b, r);
+            return rg(r);
+        }
+        }
+        panic("evalArith: unreachable");
+    }
+
+    /** Home operand of a term for ==, type tests and output: creates
+     *  a fresh heap cell for first-occurrence variables. */
+    Operand
+    valueOf(TermId t)
+    {
+        return buildTerm(t);
+    }
+
+    /** Dereferenced value for ==/\== and type tests. */
+    Operand
+    derefValue(TermId t)
+    {
+        Operand v = valueOf(t);
+        if (v.isImm())
+            return v;
+        int d = nt();
+        derefE(v, d);
+        return rg(d);
+    }
+
+    void
+    bindResult(TermId lhs, Operand value)
+    {
+        const Term &t = pool_.at(lhs);
+        if (t.kind == TermKind::Var && !home(t.varId).init) {
+            setHome(t.varId, value, true);
+            return;
+        }
+        emitUnifyCall(valueOf(lhs), value);
+    }
+
+    void
+    compileBuiltin(const std::string &name, TermId g)
+    {
+        const Term &gt = pool_.at(g);
+        auto arg = [&](int i) {
+            return gt.args[static_cast<std::size_t>(i)];
+        };
+
+        if (name == "true")
+            return;
+        if (name == "fail" || name == "false") {
+            eI(base(Op::Fail));
+            ended_ = true;
+            return;
+        }
+        if (name == "halt") {
+            eI(base(Op::Halt));
+            ended_ = true;
+            return;
+        }
+        if (name == "=") {
+            emitUnifyCall(valueOf(arg(0)), valueOf(arg(1)));
+            return;
+        }
+        if (name == "is") {
+            bindResult(arg(0), evalArith(arg(1)));
+            return;
+        }
+        if (name == "<" || name == ">" || name == "=<" ||
+            name == ">=" || name == "=:=" || name == "=\\=") {
+            // Branch to $fail on the *negated* condition.
+            static const std::map<std::string, Cond> neg = {
+                {"<", Cond::Ge},   {">", Cond::Le},
+                {"=<", Cond::Gt},  {">=", Cond::Lt},
+                {"=:=", Cond::Ne}, {"=\\=", Cond::Eq},
+            };
+            Operand a = evalArith(arg(0));
+            Operand b = evalArith(arg(1));
+            cmpB(neg.at(name), a, b, m_.failLabel);
+            return;
+        }
+        if (name == "==" || name == "\\==") {
+            Operand a = derefValue(arg(0));
+            Operand b = derefValue(arg(1));
+            eqB(name == "==" ? Cond::Ne : Cond::Eq, a, b,
+                m_.failLabel);
+            return;
+        }
+        if (name == "var" || name == "nonvar" || name == "atom" ||
+            name == "integer") {
+            Operand v = derefValue(arg(0));
+            int d;
+            if (v.isImm()) {
+                d = nt();
+                mov(v, d);
+            } else {
+                d = v.reg;
+            }
+            Tag want = name == "var" || name == "nonvar"
+                           ? Tag::Ref
+                           : (name == "atom" ? Tag::Atm : Tag::Int);
+            testTag(name == "nonvar" ? Cond::Eq : Cond::Ne, d, want,
+                    m_.failLabel);
+            return;
+        }
+        if (name == "atomic") {
+            Operand v = derefValue(arg(0));
+            int d;
+            if (v.isImm()) {
+                d = nt();
+                mov(v, d);
+            } else {
+                d = v.reg;
+            }
+            testTag(Cond::Eq, d, Tag::Ref, m_.failLabel);
+            testTag(Cond::Eq, d, Tag::Lst, m_.failLabel);
+            testTag(Cond::Eq, d, Tag::Str, m_.failLabel);
+            return;
+        }
+        if (name == "out") {
+            mov(valueOf(arg(0)), R::kU1);
+            callTo(labels_.outTerm, R::kRr, "$out_term");
+            return;
+        }
+        throw CompileError("unimplemented builtin " + name);
+    }
+};
+
+} // namespace
+
+bam::Module
+compile(prolog::Program &prog, const CompilerOptions &opts)
+{
+    bam::Module m(prog.pool.interner());
+    Compiler c(prog, m, opts);
+    c.run();
+    return m;
+}
+
+} // namespace symbol::bamc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The Prolog→BAM compiler (§2 and §3.1 of the paper).
+ *
+ * Reconstructs the structurally important features of Van Roy's
+ * Aquarius/BAM compiler:
+ *  - determinism extraction by first-argument indexing: a tag switch
+ *    at every predicate entry, constant/functor dispatch chains that
+ *    avoid creating choice points for mutually exclusive clauses;
+ *  - specialised unification: head unification compiled into separate
+ *    read-mode and write-mode code paths (no runtime S register or
+ *    mode bit), with general unification only for variable-variable
+ *    cases;
+ *  - WAM-style environment and choice-point management with last-call
+ *    optimisation and conditional trailing;
+ *  - inline expansion of arithmetic and type-test builtins.
+ *
+ * The compiled module contains a '$start' prologue that initialises
+ * the machine state, the runtime routines ('$fail', '$unify',
+ * '$out_term') written directly in BAM code, and one code region per
+ * predicate. Programs signal their results through the out/1 builtin,
+ * which emits an address-free linearisation of a term to the
+ * observable output channel; a query that fails emits a sentinel word
+ * (<Fun,-1>) that no term linearisation can contain.
+ */
+
+#ifndef SYMBOL_BAMC_COMPILER_HH
+#define SYMBOL_BAMC_COMPILER_HH
+
+#include "bam/instr.hh"
+#include "bamc/normalize.hh"
+#include "prolog/parser.hh"
+
+namespace symbol::bamc
+{
+
+/** Compiler configuration. */
+struct CompilerOptions
+{
+    /** Enable first-argument indexing (switch_tag + dispatch chains).
+     *  When off, every predicate is a plain try/retry/trust chain —
+     *  the pre-BAM "naive WAM" behaviour, exposed for ablations. */
+    bool indexing = true;
+    /** Annotate stores into freshly allocated heap cells so the
+     *  back end may disambiguate them from other memory accesses. */
+    bool markFreshHeapStores = true;
+};
+
+/**
+ * Compile @p prog into a BAM module. The program must define main/0,
+ * which becomes the query goal.  Throws CompileError for malformed
+ * programs or calls to undefined predicates.
+ */
+bam::Module compile(prolog::Program &prog,
+                    const CompilerOptions &opts = {});
+
+} // namespace symbol::bamc
+
+#endif // SYMBOL_BAMC_COMPILER_HH

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Internal emission helpers shared by the clause compiler and the
+ * hand-written BAM runtime routines.
+ *
+ * Temporaries are allocated from a single monotonic counter for the
+ * whole module: every expansion site gets fresh virtual registers,
+ * which is the "variable renaming procedure to eliminate redundant
+ * data-dependencies" of §3.1 — the back end never sees false
+ * dependencies between unrelated temporaries.
+ */
+
+#ifndef SYMBOL_BAMC_EMIT_HH
+#define SYMBOL_BAMC_EMIT_HH
+
+#include "bam/instr.hh"
+
+namespace symbol::bamc
+{
+
+using bam::AluOp;
+using bam::Cond;
+using bam::Instr;
+using bam::Op;
+using bam::Operand;
+using bam::Tag;
+
+/** Thin instruction-building wrapper around a bam::Module. */
+class Emit
+{
+  public:
+    explicit Emit(bam::Module &m) : m_(m) {}
+
+    bam::Module &module() { return m_; }
+
+    /** Fresh label. */
+    int nl() { return m_.newLabel(); }
+
+    /** Fresh temporary register (module-wide unique). */
+    int nt() { return nextTemp_++; }
+
+    /** @name Operand shorthands */
+    /** @{ */
+    static Operand rg(int r) { return Operand::mkReg(r); }
+    static Operand ii(std::int64_t v)
+    {
+        return Operand::mkImm(Tag::Int, v);
+    }
+    static Operand ia(AtomId a) { return Operand::mkImm(Tag::Atm, a); }
+    static Operand
+    ic(int label)
+    {
+        return Operand::mkImm(Tag::Cod, label);
+    }
+    static Operand
+    ifn(AtomId f, int arity)
+    {
+        return Operand::mkImm(Tag::Fun, bam::functorValue(f, arity));
+    }
+    /** @} */
+
+    Instr
+    base(Op op)
+    {
+        Instr i;
+        i.op = op;
+        return i;
+    }
+
+    void eI(Instr i) { m_.emit(std::move(i)); }
+
+    void
+    label(int lab)
+    {
+        Instr i = base(Op::Label);
+        i.labs[0] = lab;
+        eI(i);
+    }
+
+    void
+    procedure(int lab, const std::string &name)
+    {
+        Instr i = base(Op::Procedure);
+        i.labs[0] = lab;
+        i.comment = name;
+        eI(i);
+    }
+
+    void
+    mov(Operand src, int dst)
+    {
+        Instr i = base(Op::Move);
+        i.a = src;
+        i.b = rg(dst);
+        eI(i);
+    }
+
+    void
+    ld(int dst, int base_reg, int off)
+    {
+        Instr i = base(Op::Ld);
+        i.a = rg(base_reg);
+        i.b = rg(dst);
+        i.off = off;
+        eI(i);
+    }
+
+    void
+    st(int base_reg, int off, Operand src, bool fresh = false)
+    {
+        Instr i = base(Op::St);
+        i.a = rg(base_reg);
+        i.b = src;
+        i.off = off;
+        i.fresh = fresh;
+        eI(i);
+    }
+
+    void
+    arith(AluOp op, Operand a, Operand b, int dst)
+    {
+        Instr i = base(Op::Arith);
+        i.alu = op;
+        i.a = a;
+        i.b = b;
+        i.c = rg(dst);
+        eI(i);
+    }
+
+    void
+    mkTag(Tag tag, int src, int dst)
+    {
+        Instr i = base(Op::MkTag);
+        i.tag = tag;
+        i.a = rg(src);
+        i.b = rg(dst);
+        eI(i);
+    }
+
+    void
+    getTag(int src, int dst)
+    {
+        Instr i = base(Op::GetTag);
+        i.a = rg(src);
+        i.b = rg(dst);
+        eI(i);
+    }
+
+    void
+    jump(int lab)
+    {
+        Instr i = base(Op::Jump);
+        i.labs[0] = lab;
+        eI(i);
+    }
+
+    void
+    jumpInd(int reg)
+    {
+        Instr i = base(Op::JumpInd);
+        i.a = rg(reg);
+        eI(i);
+    }
+
+    void
+    testTag(Cond cond, int reg, Tag tag, int lab)
+    {
+        Instr i = base(Op::TestTag);
+        i.cond = cond;
+        i.tag = tag;
+        i.a = rg(reg);
+        i.labs[0] = lab;
+        eI(i);
+    }
+
+    void
+    cmpB(Cond cond, Operand a, Operand b, int lab)
+    {
+        Instr i = base(Op::CmpBranch);
+        i.cond = cond;
+        i.a = a;
+        i.b = b;
+        i.labs[0] = lab;
+        eI(i);
+    }
+
+    void
+    eqB(Cond cond, Operand a, Operand b, int lab)
+    {
+        Instr i = base(Op::EqualBranch);
+        i.cond = cond;
+        i.a = a;
+        i.b = b;
+        i.labs[0] = lab;
+        eI(i);
+    }
+
+    void
+    switchTag(int reg, int lref, int latm, int lint, int llst, int lstr)
+    {
+        Instr i = base(Op::SwitchTag);
+        i.a = rg(reg);
+        i.labs[0] = lref;
+        i.labs[1] = latm;
+        i.labs[2] = lint;
+        i.labs[3] = llst;
+        i.labs[4] = lstr;
+        eI(i);
+    }
+
+    void
+    derefE(Operand src, int dst)
+    {
+        Instr i = base(Op::Deref);
+        i.a = src;
+        i.b = rg(dst);
+        eI(i);
+    }
+
+    void
+    bind(int cell_reg, Operand val)
+    {
+        Instr i = base(Op::Bind);
+        i.a = rg(cell_reg);
+        i.b = val;
+        eI(i);
+    }
+
+    void
+    callTo(int lab, int link_reg, const std::string &comment = "")
+    {
+        Instr i = base(Op::Call);
+        i.labs[0] = lab;
+        i.off = link_reg;
+        i.comment = comment;
+        eI(i);
+    }
+
+    void
+    out(Operand src)
+    {
+        Instr i = base(Op::Out);
+        i.a = src;
+        eI(i);
+    }
+
+  protected:
+    bam::Module &m_;
+    int nextTemp_ = bam::Regs::kT0;
+};
+
+/** Labels of the runtime routines every compiled program contains. */
+struct RuntimeLabels
+{
+    int start = -1;     ///< $start prologue
+    int fail = -1;      ///< $fail backtracking routine
+    int unify = -1;     ///< $unify general unification
+    int outTerm = -1;   ///< $out_term linearised output
+    int halt = -1;      ///< successful-termination landing point
+    int queryFail = -1; ///< query-failure landing point
+};
+
+/**
+ * Emit the $start prologue (machine-state initialisation, the dummy
+ * bottom environment and choice point, the call to main/0) and the
+ * runtime routines. @p main_entry is the label of main/0.
+ */
+void emitRuntime(Emit &e, RuntimeLabels &labels, int main_entry);
+
+} // namespace symbol::bamc
+
+#endif // SYMBOL_BAMC_EMIT_HH

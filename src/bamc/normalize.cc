@@ -1,0 +1,335 @@
+#include "bamc/normalize.hh"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "bam/word.hh"
+#include "support/text.hh"
+
+namespace symbol::bamc
+{
+
+using prolog::Term;
+using prolog::TermKind;
+using prolog::TermPool;
+
+const FlatPred *
+FlatProgram::find(const PredKey &key) const
+{
+    auto it = byKey.find(key);
+    return it == byKey.end() ? nullptr
+                             : &preds[static_cast<std::size_t>(it->second)];
+}
+
+bool
+isBuiltin(const Interner &interner, AtomId name, int arity)
+{
+    static const std::unordered_set<std::string> two = {
+        "is", "<", ">", "=<", ">=", "=:=", "=\\=", "==", "\\==", "=",
+    };
+    static const std::unordered_set<std::string> one = {
+        "var", "nonvar", "atom", "integer", "atomic", "out",
+    };
+    static const std::unordered_set<std::string> zero = {
+        "true", "fail", "false", "halt", "!",
+    };
+    const std::string &n = interner.name(name);
+    switch (arity) {
+      case 0: return zero.count(n) > 0;
+      case 1: return one.count(n) > 0;
+      case 2: return two.count(n) > 0;
+      default: return false;
+    }
+}
+
+namespace
+{
+
+/** Worker that owns the auxiliary-predicate counter. */
+class Normalizer
+{
+  public:
+    explicit Normalizer(prolog::Program &prog)
+        : prog_(prog), pool_(prog.pool), in_(prog.pool.interner())
+    {
+        comma_ = in_.intern(",");
+        semicolon_ = in_.intern(";");
+        arrow_ = in_.intern("->");
+        naf_ = in_.intern("\\+");
+        notUnify_ = in_.intern("\\=");
+        unify_ = in_.intern("=");
+        cut_ = in_.intern("!");
+        true_ = in_.trueAtom();
+        fail_ = in_.failAtom();
+    }
+
+    FlatProgram
+    run()
+    {
+        for (const prolog::Clause &c : prog_.clauses)
+            addClause(c.head, c.body, false);
+        // Aux predicates are appended to preds_ as they are created by
+        // addClause, so iterating with an index is required.
+        FlatProgram out;
+        out.preds = std::move(preds_);
+        for (std::size_t i = 0; i < out.preds.size(); ++i) {
+            for (FlatClause &fc : out.preds[i].clauses)
+                classify(fc);
+            out.byKey[out.preds[i].key] = static_cast<int>(i);
+        }
+        return out;
+    }
+
+  private:
+    prolog::Program &prog_;
+    TermPool &pool_;
+    Interner &in_;
+    AtomId comma_, semicolon_, arrow_, naf_, notUnify_, unify_, cut_;
+    AtomId true_, fail_;
+    std::vector<FlatPred> preds_;
+    std::map<PredKey, int> predIndex_;
+    int auxCounter_ = 0;
+
+    FlatPred &
+    predFor(const PredKey &key, bool is_aux)
+    {
+        auto it = predIndex_.find(key);
+        if (it != predIndex_.end())
+            return preds_[static_cast<std::size_t>(it->second)];
+        predIndex_[key] = static_cast<int>(preds_.size());
+        FlatPred p;
+        p.key = key;
+        p.isAux = is_aux;
+        preds_.push_back(std::move(p));
+        return preds_.back();
+    }
+
+    void
+    addClause(TermId head, TermId body, bool is_aux)
+    {
+        PredKey key{pool_.at(head).functor, pool_.arity(head)};
+        if (pool_.isVar(head) || pool_.isInt(head))
+            throw CompileError("clause head must be callable");
+        if (key.arity > bam::Regs::kMaxArgs)
+            throw CompileError(strprintf(
+                "predicate %s/%d exceeds the %d-argument limit",
+                in_.name(key.name).c_str(), key.arity,
+                bam::Regs::kMaxArgs));
+        FlatClause fc;
+        fc.head = head;
+        if (body != prolog::kNoTerm)
+            flatten(body, fc.goals);
+        predFor(key, is_aux).clauses.push_back(std::move(fc));
+    }
+
+    /** Ordered distinct variables (by first occurrence) below @p t. */
+    void
+    collectVars(TermId t, std::vector<TermId> &out,
+                std::set<int> &seen) const
+    {
+        const Term &term = pool_.at(t);
+        switch (term.kind) {
+          case TermKind::Var:
+            if (seen.insert(term.varId).second)
+                out.push_back(t);
+            break;
+          case TermKind::Struct:
+            for (TermId a : term.args)
+                collectVars(a, out, seen);
+            break;
+          default:
+            break;
+        }
+    }
+
+    /** Create a '$auxN' predicate over the variables of the construct
+     *  and return the replacement goal term. */
+    TermId
+    makeAux(const std::vector<TermId> &clause_bodies, TermId vars_of)
+    {
+        std::vector<TermId> vars;
+        std::set<int> seen;
+        collectVars(vars_of, vars, seen);
+        if (static_cast<int>(vars.size()) > bam::Regs::kMaxArgs)
+            throw CompileError(
+                "control construct captures too many variables");
+        AtomId name = in_.intern(strprintf("$aux%d", auxCounter_++));
+        TermId head = vars.empty()
+                          ? pool_.mkAtom(name)
+                          : pool_.mkStruct(name, vars);
+        for (TermId body : clause_bodies)
+            addClause(head, body, true);
+        return head;
+    }
+
+    /** Build ','(a, b). */
+    TermId
+    conj(TermId a, TermId b)
+    {
+        return pool_.mkStruct(comma_, {a, b});
+    }
+
+    void
+    flatten(TermId t, std::vector<TermId> &goals)
+    {
+        const Term &term = pool_.at(t);
+        if (term.kind == TermKind::Var)
+            throw CompileError(
+                "unbound variable used as a goal (call/1 unsupported)");
+        if (term.kind == TermKind::Int)
+            throw CompileError("integer used as a goal");
+
+        if (pool_.isStruct(t, comma_, 2)) {
+            flatten(term.args[0], goals);
+            flatten(term.args[1], goals);
+            return;
+        }
+        if (pool_.isAtom(t, true_))
+            return;
+        if (pool_.isStruct(t, semicolon_, 2)) {
+            TermId lhs = term.args[0];
+            TermId rhs = term.args[1];
+            if (pool_.isStruct(lhs, arrow_, 2)) {
+                // (C -> T ; E): $aux :- C, !, T.  $aux :- E.
+                const Term &ite = pool_.at(lhs);
+                TermId b1 = conj(ite.args[0],
+                                 conj(pool_.mkAtom(cut_), ite.args[1]));
+                goals.push_back(makeAux({b1, rhs}, t));
+                return;
+            }
+            // (A ; B): plain disjunction.
+            goals.push_back(makeAux({lhs, rhs}, t));
+            return;
+        }
+        if (pool_.isStruct(t, arrow_, 2)) {
+            // Bare (C -> T) behaves as (C -> T ; fail).
+            TermId b1 = conj(term.args[0],
+                             conj(pool_.mkAtom(cut_), term.args[1]));
+            goals.push_back(makeAux({b1, pool_.mkAtom(fail_)}, t));
+            return;
+        }
+        if (pool_.isStruct(t, naf_, 1)) {
+            // \+ G: $aux :- G, !, fail.  $aux.
+            TermId b1 = conj(term.args[0],
+                             conj(pool_.mkAtom(cut_),
+                                  pool_.mkAtom(fail_)));
+            goals.push_back(makeAux({b1, pool_.mkAtom(true_)}, t));
+            return;
+        }
+        if (pool_.isStruct(t, notUnify_, 2)) {
+            // A \= B  ==>  \+ (A = B).
+            TermId eq = pool_.mkStruct(unify_, {term.args[0],
+                                                term.args[1]});
+            TermId b1 = conj(eq, conj(pool_.mkAtom(cut_),
+                                      pool_.mkAtom(fail_)));
+            goals.push_back(makeAux({b1, pool_.mkAtom(true_)}, t));
+            return;
+        }
+        goals.push_back(t);
+    }
+
+    bool
+    isCall(TermId goal) const
+    {
+        const Term &g = pool_.at(goal);
+        if (g.kind == TermKind::Atom && g.functor == cut_)
+            return false;
+        return !isBuiltin(in_, g.functor,
+                          static_cast<int>(g.args.size()));
+    }
+
+    void
+    noteVars(TermId t, int chunk,
+             std::map<int, std::set<int>> &chunks_of) const
+    {
+        const Term &term = pool_.at(t);
+        switch (term.kind) {
+          case TermKind::Var:
+            chunks_of[term.varId].insert(chunk);
+            break;
+          case TermKind::Struct:
+            for (TermId a : term.args)
+                noteVars(a, chunk, chunks_of);
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    classify(FlatClause &fc) const
+    {
+        std::map<int, std::set<int>> chunks_of;
+        std::map<int, int> first_seen;
+        int order = 0;
+        auto first = [&](TermId t, auto &&self) -> void {
+            const Term &term = pool_.at(t);
+            if (term.kind == TermKind::Var) {
+                if (!first_seen.count(term.varId))
+                    first_seen[term.varId] = order++;
+            } else if (term.kind == TermKind::Struct) {
+                for (TermId a : term.args)
+                    self(a, self);
+            }
+        };
+
+        int chunk = 0;
+        int num_calls = 0;
+        bool last_is_call = false;
+        noteVars(fc.head, 0, chunks_of);
+        first(fc.head, first);
+        for (std::size_t i = 0; i < fc.goals.size(); ++i) {
+            TermId g = fc.goals[i];
+            noteVars(g, chunk, chunks_of);
+            first(g, first);
+            const Term &gt = pool_.at(g);
+            if (gt.kind == TermKind::Atom && gt.functor == cut_) {
+                fc.hasCut = true;
+                if (chunk > 0)
+                    fc.cutNeedsSlot = true;
+                last_is_call = false;
+                continue;
+            }
+            if (isCall(g)) {
+                ++num_calls;
+                ++chunk;
+                last_is_call = i + 1 == fc.goals.size();
+            } else {
+                last_is_call = false;
+            }
+        }
+
+        // Permanent = lives in more than one chunk.
+        std::vector<std::pair<int, int>> perms; // (first_seen, varId)
+        for (const auto &[var, chunks] : chunks_of) {
+            VarSlot slot;
+            slot.isPerm = chunks.size() > 1;
+            fc.vars[var] = slot;
+            if (slot.isPerm)
+                perms.emplace_back(first_seen[var], var);
+        }
+        std::sort(perms.begin(), perms.end());
+        int next_slot = 0;
+        for (const auto &[_, var] : perms)
+            fc.vars[var].slot = next_slot++;
+        if (fc.cutNeedsSlot)
+            fc.cutSlot = next_slot++;
+        fc.numPerms = next_slot;
+
+        fc.needsEnv = fc.numPerms > 0 || fc.cutNeedsSlot ||
+                      num_calls >= 2 ||
+                      (num_calls == 1 && !last_is_call);
+    }
+};
+
+} // namespace
+
+FlatProgram
+normalize(prolog::Program &prog)
+{
+    Normalizer n(prog);
+    return n.run();
+}
+
+} // namespace symbol::bamc

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Clause normalisation for the Prolog→BAM compiler.
+ *
+ * Turns parsed clauses into a flat form the code generator can walk:
+ * bodies become linear goal sequences, and the control constructs
+ * ';'/2, '->'/2 and '\\+'/1 are lifted into freshly generated auxiliary
+ * predicates whose arguments are the variables the construct shares
+ * with its context. After flattening, variables are classified into
+ * temporaries and permanents using the classic chunk criterion, which
+ * decides whether a clause needs an environment frame.
+ */
+
+#ifndef SYMBOL_BAMC_NORMALIZE_HH
+#define SYMBOL_BAMC_NORMALIZE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "prolog/parser.hh"
+
+namespace symbol::bamc
+{
+
+using prolog::TermId;
+
+/** Identifies a predicate by name and arity. */
+struct PredKey
+{
+    AtomId name;
+    int arity;
+
+    bool
+    operator<(const PredKey &o) const
+    {
+        return name != o.name ? name < o.name : arity < o.arity;
+    }
+    bool operator==(const PredKey &o) const = default;
+};
+
+/** How a variable is stored inside a clause. */
+struct VarSlot
+{
+    bool isPerm = false;
+    /** Permanent-slot index (perms) — assigned by the normaliser. */
+    int slot = -1;
+};
+
+/** One flattened clause. */
+struct FlatClause
+{
+    TermId head = prolog::kNoTerm;
+    /** Linear goal sequence: atoms or structures only. */
+    std::vector<TermId> goals;
+    /** varId -> storage classification. */
+    std::map<int, VarSlot> vars;
+    /** Number of permanent slots (environment size). */
+    int numPerms = 0;
+    /** Whether the clause needs an environment frame. */
+    bool needsEnv = false;
+    /** Whether the clause contains a cut. */
+    bool hasCut = false;
+    /** Whether the saved-B for cut must live in the environment. */
+    bool cutNeedsSlot = false;
+    /** Environment slot reserved for the saved-B (if cutNeedsSlot). */
+    int cutSlot = -1;
+};
+
+/** A predicate: all flattened clauses in source order. */
+struct FlatPred
+{
+    PredKey key;
+    std::vector<FlatClause> clauses;
+    /** True for compiler-generated auxiliary predicates. */
+    bool isAux = false;
+};
+
+/** The normalised program. */
+struct FlatProgram
+{
+    std::vector<FlatPred> preds;
+    /** Index into preds by key. */
+    std::map<PredKey, int> byKey;
+
+    const FlatPred *find(const PredKey &key) const;
+};
+
+/** Is @p name/arity one of the inline builtins the code generator
+ *  expands without a call? */
+bool isBuiltin(const Interner &interner, AtomId name, int arity);
+
+/**
+ * Normalise @p prog. New auxiliary predicates are named '$aux<N>'.
+ * Throws CompileError on malformed bodies (e.g. a variable goal).
+ */
+FlatProgram normalize(prolog::Program &prog);
+
+} // namespace symbol::bamc
+
+#endif // SYMBOL_BAMC_NORMALIZE_HH

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * The BAM-coded runtime library: $start, $fail, $unify, $out_term.
+ *
+ * These routines are ordinary BAM code built programmatically; they
+ * are expanded to ICIs, profiled, scheduled and simulated exactly
+ * like compiled predicate code, so their cost is part of every
+ * measurement — as it was in the paper's toolchain.
+ */
+
+#include "bamc/emit.hh"
+
+namespace symbol::bamc
+{
+
+using R = bam::Regs;
+using CF = bam::ChoiceFrame;
+using EF = bam::EnvFrame;
+using L = bam::Layout;
+
+namespace
+{
+
+/**
+ * $fail: the backtracking routine. Restores H/HB, E, CP from the
+ * current choice point, unwinds the trail, and jumps to the retry
+ * address. Argument registers are restored by the retry/trust code
+ * at the jump target, which knows the arity statically.
+ */
+void
+emitFail(Emit &e, RuntimeLabels &labels)
+{
+    e.procedure(labels.fail, "$fail");
+    int ttr = e.nt();
+    int r = e.nt();
+    int t = e.nt();
+    int l_ut = e.nl();
+    int l_jump = e.nl();
+
+    e.ld(R::kH, R::kB, CF::kSavedH);
+    e.mov(Emit::rg(R::kH), R::kHb);
+    e.ld(R::kE, R::kB, CF::kSavedE);
+    e.ld(R::kCp, R::kB, CF::kSavedCp);
+    e.ld(ttr, R::kB, CF::kSavedTr);
+    e.label(l_ut);
+    e.cmpB(Cond::Eq, Emit::rg(R::kTr), Emit::rg(ttr), l_jump);
+    e.arith(AluOp::Sub, Emit::rg(R::kTr), Emit::ii(1), R::kTr);
+    e.ld(r, R::kTr, 0);
+    // Reset the trailed cell to an unbound variable (self-reference).
+    e.st(r, 0, Emit::rg(r));
+    e.jump(l_ut);
+    e.label(l_jump);
+    e.ld(t, R::kB, CF::kRetry);
+    e.jumpInd(t);
+}
+
+/**
+ * $unify: iterative general unification over the push-down list.
+ * In: U1, U2. Out: U0 = <Int,1> on success, <Int,0> on failure.
+ * Link register: RR.
+ */
+void
+emitUnify(Emit &e, RuntimeLabels &labels)
+{
+    e.procedure(labels.unify, "$unify");
+    int x = e.nt(), y = e.nt(), t = e.nt();
+    int tx = e.nt(), ty = e.nt();
+    int n = e.nt(), ix = e.nt(), iy = e.nt();
+    int fx = e.nt(), fy = e.nt();
+    int l_loop = e.nl(), l_succ = e.nl(), l_fail = e.nl();
+    int l_bindx = e.nl(), l_bindy = e.nl(), l_dox = e.nl();
+    int l_lst = e.nl(), l_str = e.nl(), l_push = e.nl();
+
+    e.st(R::kPdl, 0, Emit::rg(R::kU1));
+    e.st(R::kPdl, 1, Emit::rg(R::kU2));
+    e.arith(AluOp::Add, Emit::rg(R::kPdl), Emit::ii(2), R::kPdl);
+
+    e.label(l_loop);
+    e.cmpB(Cond::Eq, Emit::rg(R::kPdl), Emit::ii(L::kPdlBase), l_succ);
+    e.arith(AluOp::Sub, Emit::rg(R::kPdl), Emit::ii(2), R::kPdl);
+    e.ld(x, R::kPdl, 0);
+    e.ld(y, R::kPdl, 1);
+    e.derefE(Emit::rg(x), x);
+    e.derefE(Emit::rg(y), y);
+    e.eqB(Cond::Eq, Emit::rg(x), Emit::rg(y), l_loop);
+    e.testTag(Cond::Eq, x, Tag::Ref, l_bindx);
+    e.testTag(Cond::Eq, y, Tag::Ref, l_bindy);
+    e.getTag(x, tx);
+    e.getTag(y, ty);
+    e.cmpB(Cond::Ne, Emit::rg(tx), Emit::rg(ty), l_fail);
+    e.testTag(Cond::Eq, x, Tag::Lst, l_lst);
+    e.testTag(Cond::Eq, x, Tag::Str, l_str);
+    // Equal tags, unequal words: atomic mismatch.
+    e.jump(l_fail);
+
+    // x unbound: bind the younger cell to the older one.
+    e.label(l_bindx);
+    e.testTag(Cond::Ne, y, Tag::Ref, l_dox);
+    e.cmpB(Cond::Lt, Emit::rg(x), Emit::rg(y), l_bindy);
+    e.label(l_dox);
+    e.bind(x, Emit::rg(y));
+    e.jump(l_loop);
+    e.label(l_bindy);
+    e.bind(y, Emit::rg(x));
+    e.jump(l_loop);
+
+    // Lists: push both argument pairs.
+    e.label(l_lst);
+    e.ld(t, x, 0);
+    e.st(R::kPdl, 0, Emit::rg(t));
+    e.ld(t, y, 0);
+    e.st(R::kPdl, 1, Emit::rg(t));
+    e.ld(t, x, 1);
+    e.st(R::kPdl, 2, Emit::rg(t));
+    e.ld(t, y, 1);
+    e.st(R::kPdl, 3, Emit::rg(t));
+    e.arith(AluOp::Add, Emit::rg(R::kPdl), Emit::ii(4), R::kPdl);
+    e.jump(l_loop);
+
+    // Structures: compare functor words, push all argument pairs.
+    e.label(l_str);
+    e.ld(fx, x, 0);
+    e.ld(fy, y, 0);
+    e.eqB(Cond::Ne, Emit::rg(fx), Emit::rg(fy), l_fail);
+    e.arith(AluOp::And, Emit::rg(fx), Emit::ii(255), n);
+    e.mov(Emit::rg(x), ix);
+    e.mov(Emit::rg(y), iy);
+    e.label(l_push);
+    e.cmpB(Cond::Eq, Emit::rg(n), Emit::ii(0), l_loop);
+    e.arith(AluOp::Add, Emit::rg(ix), Emit::ii(1), ix);
+    e.arith(AluOp::Add, Emit::rg(iy), Emit::ii(1), iy);
+    e.ld(t, ix, 0);
+    e.st(R::kPdl, 0, Emit::rg(t));
+    e.ld(t, iy, 0);
+    e.st(R::kPdl, 1, Emit::rg(t));
+    e.arith(AluOp::Add, Emit::rg(R::kPdl), Emit::ii(2), R::kPdl);
+    e.arith(AluOp::Sub, Emit::rg(n), Emit::ii(1), n);
+    e.jump(l_push);
+
+    e.label(l_succ);
+    e.mov(Emit::ii(1), R::kU0);
+    e.jumpInd(R::kRr);
+    e.label(l_fail);
+    e.mov(Emit::ii(0), R::kU0);
+    e.mov(Emit::ii(L::kPdlBase), R::kPdl);
+    e.jumpInd(R::kRr);
+}
+
+/**
+ * $out_term: emit an address-free preorder linearisation of the term
+ * in U1 on the output channel. Unbound variables print as <Ref,0>,
+ * list cells as <Lst,0>, structures as their functor word followed by
+ * the arguments. Link register: RR.
+ */
+void
+emitOutTerm(Emit &e, RuntimeLabels &labels)
+{
+    e.procedure(labels.outTerm, "$out_term");
+    int t = e.nt(), t2 = e.nt(), f = e.nt(), n = e.nt(), ta = e.nt();
+    int l_loop = e.nl(), l_done = e.nl();
+    int l_ref = e.nl(), l_lst = e.nl(), l_str = e.nl(), l_psh = e.nl();
+
+    e.st(R::kPdl, 0, Emit::rg(R::kU1));
+    e.arith(AluOp::Add, Emit::rg(R::kPdl), Emit::ii(1), R::kPdl);
+
+    e.label(l_loop);
+    e.cmpB(Cond::Eq, Emit::rg(R::kPdl), Emit::ii(L::kPdlBase), l_done);
+    e.arith(AluOp::Sub, Emit::rg(R::kPdl), Emit::ii(1), R::kPdl);
+    e.ld(t, R::kPdl, 0);
+    e.derefE(Emit::rg(t), t);
+    e.testTag(Cond::Eq, t, Tag::Lst, l_lst);
+    e.testTag(Cond::Eq, t, Tag::Str, l_str);
+    e.testTag(Cond::Eq, t, Tag::Ref, l_ref);
+    e.out(Emit::rg(t));
+    e.jump(l_loop);
+
+    e.label(l_ref);
+    e.out(Operand::mkImm(Tag::Ref, 0));
+    e.jump(l_loop);
+
+    e.label(l_lst);
+    e.out(Operand::mkImm(Tag::Lst, 0));
+    e.ld(t2, t, 1);
+    e.st(R::kPdl, 0, Emit::rg(t2)); // cdr popped second
+    e.ld(t2, t, 0);
+    e.st(R::kPdl, 1, Emit::rg(t2)); // car popped first
+    e.arith(AluOp::Add, Emit::rg(R::kPdl), Emit::ii(2), R::kPdl);
+    e.jump(l_loop);
+
+    e.label(l_str);
+    e.ld(f, t, 0);
+    e.out(Emit::rg(f));
+    e.arith(AluOp::And, Emit::rg(f), Emit::ii(255), n);
+    e.label(l_psh);
+    e.cmpB(Cond::Eq, Emit::rg(n), Emit::ii(0), l_loop);
+    e.arith(AluOp::Add, Emit::rg(t), Emit::rg(n), ta);
+    e.ld(t2, ta, 0);
+    e.st(R::kPdl, 0, Emit::rg(t2));
+    e.arith(AluOp::Add, Emit::rg(R::kPdl), Emit::ii(1), R::kPdl);
+    e.arith(AluOp::Sub, Emit::rg(n), Emit::ii(1), n);
+    e.jump(l_psh);
+
+    e.label(l_done);
+    e.jumpInd(R::kRr);
+}
+
+/**
+ * $start: initialise every machine register, build the dummy bottom
+ * environment and choice point (whose retry address is the
+ * query-failure landing point), and tail-call main/0 with CP set to
+ * the halt landing point.
+ */
+void
+emitStart(Emit &e, RuntimeLabels &labels, int main_entry)
+{
+    e.procedure(labels.start, "$start");
+    int t = e.nt();
+
+    e.mov(Emit::ii(L::kHeapBase), R::kH);
+    e.mov(Emit::ii(L::kHeapBase), R::kHb);
+    e.mov(Emit::ii(L::kTrailBase), R::kTr);
+    e.mov(Emit::ii(L::kPdlBase), R::kPdl);
+
+    // Dummy environment frame at the stack base.
+    e.mov(Emit::ii(L::kStackBase), R::kE);
+    e.st(R::kE, EF::kPrevE, Emit::rg(R::kE));
+    e.st(R::kE, EF::kSavedCp, Emit::ic(labels.halt));
+    e.st(R::kE, EF::kNumPerms, Emit::ii(0));
+
+    // Dummy bottom choice point right above it.
+    e.mov(Emit::ii(L::kStackBase + 3), R::kB);
+    e.st(R::kB, CF::kPrevB, Emit::rg(R::kB));
+    e.st(R::kB, CF::kRetry, Emit::ic(labels.queryFail));
+    e.st(R::kB, CF::kSavedH, Emit::ii(L::kHeapBase));
+    e.st(R::kB, CF::kSavedTr, Emit::ii(L::kTrailBase));
+    e.st(R::kB, CF::kSavedE, Emit::rg(R::kE));
+    e.st(R::kB, CF::kSavedCp, Emit::ic(labels.halt));
+    e.st(R::kB, CF::kNumArgs, Emit::ii(0));
+
+    e.mov(Emit::ic(labels.halt), R::kCp);
+    e.jump(main_entry);
+
+    e.label(labels.halt);
+    e.eI(e.base(Op::Halt));
+
+    // The bottom choice point lands here when the query has no
+    // (further) solutions: emit the failure sentinel and stop. The
+    // sentinel is a <Fun,-1> word, which no term linearisation can
+    // contain (functor headers are never negative).
+    e.label(labels.queryFail);
+    e.out(Operand::mkImm(Tag::Fun, -1));
+    e.eI(e.base(Op::Halt));
+    (void)t;
+}
+
+} // namespace
+
+void
+emitRuntime(Emit &e, RuntimeLabels &labels, int main_entry)
+{
+    emitStart(e, labels, main_entry);
+    emitFail(e, labels);
+    emitUnify(e, labels);
+    emitOutTerm(e, labels);
+}
+
+} // namespace symbol::bamc

@@ -1,0 +1,403 @@
+#include "emul/machine.hh"
+
+#include <algorithm>
+
+#include "support/diagnostics.hh"
+#include "support/text.hh"
+
+namespace symbol::emul
+{
+
+using bam::Tag;
+using intcode::IOp;
+using L = bam::Layout;
+
+Machine::Machine(const Program &prog)
+    : prog_(prog), regs_(static_cast<std::size_t>(prog.numRegs), 0),
+      memory_(static_cast<std::size_t>(L::kMemWords), 0)
+{
+}
+
+Word
+Machine::reg(int r) const
+{
+    panicIf(r < 0 || static_cast<std::size_t>(r) >= regs_.size(),
+            "register index out of range");
+    return regs_[static_cast<std::size_t>(r)];
+}
+
+Word
+Machine::mem(std::int64_t addr) const
+{
+    panicIf(addr < 0 || addr >= L::kMemWords,
+            "memory address out of range");
+    return memory_[static_cast<std::size_t>(addr)];
+}
+
+Word
+Machine::operandB(const IInstr &i) const
+{
+    return i.useImm ? i.imm : regs_[static_cast<std::size_t>(i.rb)];
+}
+
+std::int64_t
+Machine::memAddr(const IInstr &i) const
+{
+    std::int64_t addr =
+        bam::wordVal(regs_[static_cast<std::size_t>(i.ra)]) + i.off;
+    if (addr < 0 || addr >= L::kMemWords)
+        throw RuntimeError(strprintf(
+            "memory access out of range: %lld",
+            static_cast<long long>(addr)));
+    return addr;
+}
+
+RunResult
+Machine::run(const RunOptions &opts)
+{
+    RunResult res;
+    const std::size_t n = prog_.code.size();
+    if (opts.collectProfile) {
+        res.profile.expect.assign(n, 0);
+        res.profile.taken.assign(n, 0);
+    }
+
+    // Sequential-machine timing: per-register ready times implement
+    // the load/branch interlocks of a pipelined single-issue RISC.
+    std::vector<std::uint64_t> ready(regs_.size(), 0);
+    std::uint64_t now = 0;
+
+    std::int64_t pc = prog_.entry;
+    std::uint64_t steps = 0;
+
+    auto rdy = [&](int r) {
+        if (r >= 0)
+            now = std::max(now, ready[static_cast<std::size_t>(r)]);
+    };
+    auto setReady = [&](int r, std::uint64_t t) {
+        if (r >= 0)
+            ready[static_cast<std::size_t>(r)] = t;
+    };
+
+    while (true) {
+        if (pc < 0 || static_cast<std::size_t>(pc) >= n)
+            throw RuntimeError(strprintf(
+                "PC out of range: %lld", static_cast<long long>(pc)));
+        if (++steps > opts.maxSteps)
+            throw RuntimeError("step budget exhausted");
+        const IInstr &i = prog_.code[static_cast<std::size_t>(pc)];
+        if (opts.collectProfile)
+            ++res.profile.expect[static_cast<std::size_t>(pc)];
+
+        // Issue time: one instruction per cycle, stalling until all
+        // source operands are available.
+        ++now;
+        rdy(i.ra);
+        if (!i.useImm)
+            rdy(i.rb);
+
+        std::int64_t next = pc + 1;
+        bool taken = false;
+        switch (i.op) {
+          case IOp::Ld: {
+            regs_[static_cast<std::size_t>(i.rd)] =
+                memory_[static_cast<std::size_t>(memAddr(i))];
+            setReady(i.rd, now + static_cast<std::uint64_t>(
+                                     opts.memLatency));
+            break;
+          }
+          case IOp::St:
+            memory_[static_cast<std::size_t>(memAddr(i))] =
+                operandB(i);
+            break;
+          case IOp::Add: case IOp::Sub: case IOp::Mul: case IOp::Div:
+          case IOp::Mod: case IOp::And: case IOp::Or: case IOp::Xor:
+          case IOp::Sll: case IOp::Sra: {
+            std::int64_t a =
+                bam::wordVal(regs_[static_cast<std::size_t>(i.ra)]);
+            std::int64_t b = bam::wordVal(operandB(i));
+            std::int64_t v = 0;
+            switch (i.op) {
+              case IOp::Add: v = a + b; break;
+              case IOp::Sub: v = a - b; break;
+              case IOp::Mul: v = a * b; break;
+              case IOp::Div:
+                if (b == 0)
+                    throw RuntimeError("division by zero");
+                v = a / b;
+                break;
+              case IOp::Mod:
+                if (b == 0)
+                    throw RuntimeError("modulo by zero");
+                v = a % b;
+                break;
+              case IOp::And: v = a & b; break;
+              case IOp::Or: v = a | b; break;
+              case IOp::Xor: v = a ^ b; break;
+              case IOp::Sll: v = a << (b & 31); break;
+              case IOp::Sra: v = a >> (b & 31); break;
+              default: break;
+            }
+            regs_[static_cast<std::size_t>(i.rd)] =
+                bam::makeWord(Tag::Int, v);
+            setReady(i.rd, now + 1);
+            break;
+          }
+          case IOp::Mov:
+            regs_[static_cast<std::size_t>(i.rd)] =
+                regs_[static_cast<std::size_t>(i.ra)];
+            setReady(i.rd, now + 1);
+            break;
+          case IOp::Movi:
+            regs_[static_cast<std::size_t>(i.rd)] = i.imm;
+            setReady(i.rd, now + 1);
+            break;
+          case IOp::MkTag:
+            regs_[static_cast<std::size_t>(i.rd)] = bam::makeWord(
+                i.tag,
+                bam::wordVal(regs_[static_cast<std::size_t>(i.ra)]));
+            setReady(i.rd, now + 1);
+            break;
+          case IOp::GetTag:
+            regs_[static_cast<std::size_t>(i.rd)] = bam::makeWord(
+                Tag::Int,
+                static_cast<std::int64_t>(bam::wordTag(
+                    regs_[static_cast<std::size_t>(i.ra)])));
+            setReady(i.rd, now + 1);
+            break;
+          case IOp::Beq:
+            taken = regs_[static_cast<std::size_t>(i.ra)] ==
+                    operandB(i);
+            break;
+          case IOp::Bne:
+            taken = regs_[static_cast<std::size_t>(i.ra)] !=
+                    operandB(i);
+            break;
+          case IOp::Blt: case IOp::Ble: case IOp::Bgt:
+          case IOp::Bge: {
+            std::int64_t a =
+                bam::wordVal(regs_[static_cast<std::size_t>(i.ra)]);
+            std::int64_t b = bam::wordVal(operandB(i));
+            switch (i.op) {
+              case IOp::Blt: taken = a < b; break;
+              case IOp::Ble: taken = a <= b; break;
+              case IOp::Bgt: taken = a > b; break;
+              case IOp::Bge: taken = a >= b; break;
+              default: break;
+            }
+            break;
+          }
+          case IOp::BtagEq:
+            taken = bam::wordTag(
+                        regs_[static_cast<std::size_t>(i.ra)]) ==
+                    i.tag;
+            break;
+          case IOp::BtagNe:
+            taken = bam::wordTag(
+                        regs_[static_cast<std::size_t>(i.ra)]) !=
+                    i.tag;
+            break;
+          case IOp::Jmp:
+            next = i.target;
+            now += static_cast<std::uint64_t>(opts.takenPenalty);
+            break;
+          case IOp::Jmpi: {
+            Word w = regs_[static_cast<std::size_t>(i.ra)];
+            next = bam::wordVal(w);
+            now += static_cast<std::uint64_t>(opts.takenPenalty);
+            break;
+          }
+          case IOp::Out:
+            output_.push_back(operandB(i));
+            break;
+          case IOp::Halt:
+            res.halted = true;
+            break;
+          case IOp::Nop:
+            break;
+        }
+
+        if (intcode::isCondBranch(i.op) && taken) {
+            if (opts.collectProfile)
+                ++res.profile.taken[static_cast<std::size_t>(pc)];
+            next = i.target;
+            now += static_cast<std::uint64_t>(opts.takenPenalty);
+        }
+
+        if (res.halted)
+            break;
+        pc = next;
+    }
+
+    res.instructions = steps;
+    res.seqCycles = now;
+    res.output = output_;
+    return res;
+}
+
+// --- Output decoding ----------------------------------------------------
+
+namespace
+{
+
+/** Recursive-descent reader over the linearised stream. */
+struct StreamReader
+{
+    const std::vector<Word> &s;
+    const Interner *in;
+    std::size_t pos = 0;
+
+    bool atEnd() const { return pos >= s.size(); }
+
+    std::string
+    atomName(std::int64_t v) const
+    {
+        if (in && in->valid(static_cast<AtomId>(v)))
+            return in->name(static_cast<AtomId>(v));
+        return strprintf("atm_%lld", static_cast<long long>(v));
+    }
+
+    std::string
+    term()
+    {
+        if (atEnd())
+            return "<truncated>";
+        Word w = s[pos++];
+        std::int64_t v = bam::wordVal(w);
+        switch (bam::wordTag(w)) {
+          case Tag::Int:
+            return strprintf("%lld", static_cast<long long>(v));
+          case Tag::Atm:
+            return atomName(v);
+          case Tag::Ref:
+            return "_";
+          case Tag::Lst: {
+            std::string out = "[" + term();
+            // Chase the cdr: further list cells extend the bracket
+            // notation, [] closes it, anything else is an improper
+            // tail.
+            while (true) {
+                if (atEnd())
+                    return out + "|<truncated>";
+                Word t = s[pos];
+                if (bam::wordTag(t) == Tag::Lst) {
+                    ++pos;
+                    out += "," + term();
+                    continue;
+                }
+                if (bam::wordTag(t) == Tag::Atm &&
+                    in && bam::wordVal(t) == in->nilAtom()) {
+                    ++pos;
+                    return out + "]";
+                }
+                return out + "|" + term() + "]";
+            }
+          }
+          case Tag::Fun: {
+            int arity = bam::functorArity(v);
+            std::string out = atomName(bam::functorAtom(v)) + "(";
+            for (int i = 0; i < arity; ++i) {
+                if (i)
+                    out += ",";
+                out += term();
+            }
+            return out + ")";
+          }
+          default:
+            return strprintf("<%s:%lld>", bam::tagName(bam::wordTag(w)),
+                             static_cast<long long>(v));
+        }
+    }
+};
+
+} // namespace
+
+std::string
+decodeOutputStream(const std::vector<Word> &stream,
+                   const Interner *interner)
+{
+    StreamReader r{stream, interner};
+    std::string out;
+    while (!r.atEnd()) {
+        Word w = stream[r.pos];
+        if (bam::wordTag(w) == Tag::Fun && bam::wordVal(w) == -1) {
+            ++r.pos;
+            out += "no\n";
+            continue;
+        }
+        out += r.term();
+        out += '\n';
+    }
+    return out;
+}
+
+std::string
+Machine::decodeOutput() const
+{
+    return decodeOutputStream(output_, prog_.interner);
+}
+
+std::string
+Machine::decodeTerm(Word w, int depth) const
+{
+    if (depth <= 0)
+        return "...";
+    std::int64_t v = bam::wordVal(w);
+    switch (bam::wordTag(w)) {
+      case Tag::Int:
+        return strprintf("%lld", static_cast<long long>(v));
+      case Tag::Atm:
+        if (prog_.interner &&
+            prog_.interner->valid(static_cast<AtomId>(v)))
+            return prog_.interner->name(static_cast<AtomId>(v));
+        return strprintf("atm_%lld", static_cast<long long>(v));
+      case Tag::Ref: {
+        Word cell = mem(v);
+        if (cell == w)
+            return strprintf("_G%lld", static_cast<long long>(v));
+        return decodeTerm(cell, depth - 1);
+      }
+      case Tag::Lst: {
+        std::string out = "[" + decodeTerm(mem(v), depth - 1);
+        Word tail = mem(v + 1);
+        for (int guard = 0; guard < 1 << 20; ++guard) {
+            // Deref the tail.
+            while (bam::wordTag(tail) == Tag::Ref &&
+                   mem(bam::wordVal(tail)) != tail)
+                tail = mem(bam::wordVal(tail));
+            if (bam::wordTag(tail) == Tag::Lst) {
+                std::int64_t a = bam::wordVal(tail);
+                out += "," + decodeTerm(mem(a), depth - 1);
+                tail = mem(a + 1);
+                continue;
+            }
+            if (prog_.interner && bam::wordTag(tail) == Tag::Atm &&
+                bam::wordVal(tail) == prog_.interner->nilAtom())
+                return out + "]";
+            return out + "|" + decodeTerm(tail, depth - 1) + "]";
+        }
+        return out + "|...]";
+      }
+      case Tag::Str: {
+        Word f = mem(v);
+        int arity = bam::functorArity(bam::wordVal(f));
+        AtomId name = bam::functorAtom(bam::wordVal(f));
+        std::string out =
+            prog_.interner && prog_.interner->valid(name)
+                ? prog_.interner->name(name)
+                : strprintf("f%d", name);
+        out += "(";
+        for (int i = 0; i < arity; ++i) {
+            if (i)
+                out += ",";
+            out += decodeTerm(mem(v + 1 + i), depth - 1);
+        }
+        return out + ")";
+      }
+      default:
+        return strprintf("<%s:%lld>", bam::tagName(bam::wordTag(w)),
+                         static_cast<long long>(v));
+    }
+}
+
+} // namespace symbol::emul

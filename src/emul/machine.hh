@@ -1,0 +1,123 @@
+/**
+ * @file
+ * The IntCode sequential emulator (§3.1 of the paper).
+ *
+ * Executes an ICI program with full semantics, validating the code
+ * produced by the front end, and extracts the statistical information
+ * that drives global compaction: the *Expect* of every instruction
+ * (how many times it executed) and the *Probability* of every branch
+ * (how often it was taken).
+ *
+ * The emulator also charges cycles for the paper's pure sequential
+ * reference machine: a single-issue pipelined RISC in which every
+ * operation takes one cycle, memory and control are 2-cycle pipelined
+ * (dependent uses interlock; taken branches cost one bubble).
+ */
+
+#ifndef SYMBOL_EMUL_MACHINE_HH
+#define SYMBOL_EMUL_MACHINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "intcode/instr.hh"
+
+namespace symbol::emul
+{
+
+using bam::Word;
+using intcode::IInstr;
+using intcode::Program;
+
+/** Per-instruction execution statistics. */
+struct Profile
+{
+    /** Expect: dynamic execution count per instruction. */
+    std::vector<std::uint64_t> expect;
+    /** Taken count per (conditional-branch) instruction. */
+    std::vector<std::uint64_t> taken;
+
+    /** Probability of instruction @p i being taken (branches). */
+    double
+    probability(std::size_t i) const
+    {
+        return expect[i] == 0
+                   ? 0.0
+                   : static_cast<double>(taken[i]) /
+                         static_cast<double>(expect[i]);
+    }
+};
+
+/** Execution limits and switches. */
+struct RunOptions
+{
+    std::uint64_t maxSteps = 4ull << 30;
+    bool collectProfile = true;
+    /** Load-to-use latency of the pipelined memory (§4.3: 2). */
+    int memLatency = 2;
+    /** Bubbles lost on a taken branch (§4.3 control pipeline: 1). */
+    int takenPenalty = 1;
+};
+
+/** Result of a completed run. */
+struct RunResult
+{
+    bool halted = false;
+    std::uint64_t instructions = 0;
+    /** Cycles on the pure sequential pipelined reference machine. */
+    std::uint64_t seqCycles = 0;
+    std::vector<Word> output;
+    Profile profile;
+};
+
+/** The emulator. State survives run() so tests can inspect it. */
+class Machine
+{
+  public:
+    explicit Machine(const Program &prog);
+
+    /** Execute from the program entry until Halt. Throws
+     *  RuntimeError on illegal accesses or exhausted step budget. */
+    RunResult run(const RunOptions &opts = {});
+
+    /** @name Post-run state inspection */
+    /** @{ */
+    Word reg(int r) const;
+    Word mem(std::int64_t addr) const;
+    const std::vector<Word> &output() const { return output_; }
+    /** @} */
+
+    /**
+     * Decode the observable output stream (the address-free
+     * linearisation produced by $out_term) back into readable term
+     * text; multiple out/1 calls yield one line each, and the
+     * <Int,-1> query-failure sentinel prints as "no".
+     */
+    std::string decodeOutput() const;
+
+    /** Decode a tagged word against the current memory (follows heap
+     *  pointers; @p depth bounds recursion). */
+    std::string decodeTerm(Word w, int depth = 64) const;
+
+  private:
+    const Program &prog_;
+    std::vector<Word> regs_;
+    std::vector<Word> memory_;
+    std::vector<Word> output_;
+
+    Word operandB(const IInstr &i) const;
+    std::int64_t memAddr(const IInstr &i) const;
+};
+
+/**
+ * Decode a linearised output stream (see $out_term) into readable
+ * text, one term per line. Exposed separately so VLIW-run outputs can
+ * be decoded with the same routine.
+ */
+std::string decodeOutputStream(const std::vector<Word> &stream,
+                               const Interner *interner);
+
+} // namespace symbol::emul
+
+#endif // SYMBOL_EMUL_MACHINE_HH

@@ -1,0 +1,77 @@
+#include "intcode/cfg.hh"
+
+#include <algorithm>
+
+#include "support/diagnostics.hh"
+
+namespace symbol::intcode
+{
+
+Cfg
+Cfg::build(const Program &prog)
+{
+    const std::size_t n = prog.code.size();
+    panicIf(n == 0, "Cfg::build on empty program");
+
+    std::vector<bool> starts(n, false);
+    starts[static_cast<std::size_t>(prog.entry)] = true;
+    for (std::size_t k = 0; k < n; ++k) {
+        const IInstr &i = prog.code[k];
+        if (prog.addressTaken[k] || prog.procEntry[k])
+            starts[k] = true;
+        if (i.target >= 0)
+            starts[static_cast<std::size_t>(i.target)] = true;
+        if (isControl(i.op) && k + 1 < n)
+            starts[k + 1] = true;
+    }
+
+    Cfg cfg;
+    cfg.blockOf.assign(n, -1);
+    for (std::size_t k = 0; k < n; ++k) {
+        if (starts[k]) {
+            Block b;
+            b.first = static_cast<int>(k);
+            b.addressTaken = prog.addressTaken[k];
+            b.procEntry = prog.procEntry[k];
+            cfg.blocks.push_back(b);
+        }
+        cfg.blockOf[k] = static_cast<int>(cfg.blocks.size()) - 1;
+    }
+    for (std::size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+        Block &b = cfg.blocks[bi];
+        b.last = bi + 1 < cfg.blocks.size()
+                     ? cfg.blocks[bi + 1].first - 1
+                     : static_cast<int>(n) - 1;
+    }
+
+    auto addEdge = [&](int from, int to) {
+        cfg.blocks[static_cast<std::size_t>(from)].succs.push_back(to);
+        cfg.blocks[static_cast<std::size_t>(to)].preds.push_back(from);
+    };
+
+    for (std::size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+        const Block &b = cfg.blocks[bi];
+        const IInstr &term =
+            prog.code[static_cast<std::size_t>(b.last)];
+        int from = static_cast<int>(bi);
+        if (isCondBranch(term.op)) {
+            addEdge(from, cfg.blockOf[static_cast<std::size_t>(
+                              term.target)]);
+            if (b.last + 1 < static_cast<int>(n))
+                addEdge(from, cfg.blockOf[static_cast<std::size_t>(
+                                  b.last + 1)]);
+        } else if (term.op == IOp::Jmp) {
+            addEdge(from, cfg.blockOf[static_cast<std::size_t>(
+                              term.target)]);
+        } else if (term.op == IOp::Jmpi || term.op == IOp::Halt) {
+            // No static successors.
+        } else if (b.last + 1 < static_cast<int>(n)) {
+            addEdge(from, cfg.blockOf[static_cast<std::size_t>(
+                              b.last + 1)]);
+        }
+    }
+    cfg.entryBlock = cfg.blockOf[static_cast<std::size_t>(prog.entry)];
+    return cfg;
+}
+
+} // namespace symbol::intcode

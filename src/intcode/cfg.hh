@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Basic-block control-flow graph over an ICI program.
+ *
+ * Used by the code analysis of §4.3 (basic-block statistics) and by
+ * the back-end compactors. Jmpi successors are unknowable statically;
+ * blocks whose address is taken are marked so the schedulers treat
+ * them as always-reachable entry points.
+ */
+
+#ifndef SYMBOL_INTCODE_CFG_HH
+#define SYMBOL_INTCODE_CFG_HH
+
+#include <vector>
+
+#include "intcode/instr.hh"
+
+namespace symbol::intcode
+{
+
+/** One basic block: the instruction range [first, last]. */
+struct Block
+{
+    int first = 0;
+    int last = 0; ///< inclusive; the block's only control instruction
+    std::vector<int> succs;
+    std::vector<int> preds;
+    /** Reachable through a Cod immediate (Jmpi from anywhere). */
+    bool addressTaken = false;
+    /** Starts a BAM procedure. */
+    bool procEntry = false;
+
+    int size() const { return last - first + 1; }
+};
+
+/** The control-flow graph. */
+struct Cfg
+{
+    std::vector<Block> blocks;
+    /** Instruction index -> owning block id. */
+    std::vector<int> blockOf;
+    /** Block containing the program entry. */
+    int entryBlock = 0;
+
+    static Cfg build(const Program &prog);
+};
+
+} // namespace symbol::intcode
+
+#endif // SYMBOL_INTCODE_CFG_HH

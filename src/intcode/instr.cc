@@ -1,0 +1,237 @@
+#include "intcode/instr.hh"
+
+#include "support/text.hh"
+
+namespace symbol::intcode
+{
+
+OpClass
+opClass(IOp op)
+{
+    switch (op) {
+      case IOp::Ld:
+      case IOp::St:
+        return OpClass::Memory;
+      case IOp::Add: case IOp::Sub: case IOp::Mul: case IOp::Div:
+      case IOp::Mod: case IOp::And: case IOp::Or: case IOp::Xor:
+      case IOp::Sll: case IOp::Sra:
+      case IOp::MkTag: case IOp::GetTag:
+        return OpClass::Alu;
+      case IOp::Mov:
+      case IOp::Movi:
+        return OpClass::Move;
+      case IOp::Beq: case IOp::Bne: case IOp::Blt: case IOp::Ble:
+      case IOp::Bgt: case IOp::Bge: case IOp::BtagEq:
+      case IOp::BtagNe: case IOp::Jmp: case IOp::Jmpi:
+      case IOp::Halt:
+        return OpClass::Control;
+      case IOp::Out:
+      case IOp::Nop:
+        return OpClass::Other;
+    }
+    return OpClass::Other;
+}
+
+bool
+isCondBranch(IOp op)
+{
+    switch (op) {
+      case IOp::Beq: case IOp::Bne: case IOp::Blt: case IOp::Ble:
+      case IOp::Bgt: case IOp::Bge: case IOp::BtagEq:
+      case IOp::BtagNe:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+isControl(IOp op)
+{
+    return isCondBranch(op) || op == IOp::Jmp || op == IOp::Jmpi ||
+           op == IOp::Halt;
+}
+
+int
+defReg(const IInstr &i)
+{
+    switch (i.op) {
+      case IOp::St:
+      case IOp::Out:
+      case IOp::Jmp:
+      case IOp::Jmpi:
+      case IOp::Halt:
+      case IOp::Nop:
+      case IOp::Beq: case IOp::Bne: case IOp::Blt: case IOp::Ble:
+      case IOp::Bgt: case IOp::Bge: case IOp::BtagEq:
+      case IOp::BtagNe:
+        return -1;
+      default:
+        return i.rd;
+    }
+}
+
+void
+useRegs(const IInstr &i, int out[2], int &n)
+{
+    n = 0;
+    if (i.ra >= 0)
+        out[n++] = i.ra;
+    if (!i.useImm && i.rb >= 0)
+        out[n++] = i.rb;
+}
+
+IOp
+invertBranch(IOp op)
+{
+    switch (op) {
+      case IOp::Beq: return IOp::Bne;
+      case IOp::Bne: return IOp::Beq;
+      case IOp::Blt: return IOp::Bge;
+      case IOp::Bge: return IOp::Blt;
+      case IOp::Ble: return IOp::Bgt;
+      case IOp::Bgt: return IOp::Ble;
+      case IOp::BtagEq: return IOp::BtagNe;
+      case IOp::BtagNe: return IOp::BtagEq;
+      default:
+        break;
+    }
+    return op;
+}
+
+namespace
+{
+
+const char *
+iopName(IOp op)
+{
+    switch (op) {
+      case IOp::Ld: return "ld";
+      case IOp::St: return "st";
+      case IOp::Add: return "add";
+      case IOp::Sub: return "sub";
+      case IOp::Mul: return "mul";
+      case IOp::Div: return "div";
+      case IOp::Mod: return "mod";
+      case IOp::And: return "and";
+      case IOp::Or: return "or";
+      case IOp::Xor: return "xor";
+      case IOp::Sll: return "sll";
+      case IOp::Sra: return "sra";
+      case IOp::Mov: return "mov";
+      case IOp::Movi: return "movi";
+      case IOp::MkTag: return "mktag";
+      case IOp::GetTag: return "gettag";
+      case IOp::Beq: return "beq";
+      case IOp::Bne: return "bne";
+      case IOp::Blt: return "blt";
+      case IOp::Ble: return "ble";
+      case IOp::Bgt: return "bgt";
+      case IOp::Bge: return "bge";
+      case IOp::BtagEq: return "btageq";
+      case IOp::BtagNe: return "btagne";
+      case IOp::Jmp: return "jmp";
+      case IOp::Jmpi: return "jmpi";
+      case IOp::Out: return "out";
+      case IOp::Halt: return "halt";
+      case IOp::Nop: return "nop";
+    }
+    return "?";
+}
+
+std::string
+immStr(const Program &p, Word w)
+{
+    Tag t = bam::wordTag(w);
+    std::int64_t v = bam::wordVal(w);
+    switch (t) {
+      case Tag::Int:
+        return strprintf("#%lld", static_cast<long long>(v));
+      case Tag::Atm:
+        if (p.interner && p.interner->valid(static_cast<AtomId>(v)))
+            return "#'" + p.interner->name(static_cast<AtomId>(v)) +
+                   "'";
+        return strprintf("#atm:%lld", static_cast<long long>(v));
+      case Tag::Cod:
+        return strprintf("#@%lld", static_cast<long long>(v));
+      case Tag::Fun: {
+        AtomId a = bam::functorAtom(v);
+        std::string n = p.interner && p.interner->valid(a)
+                            ? p.interner->name(a)
+                            : strprintf("f%d", a);
+        return strprintf("#%s/%d", n.c_str(), bam::functorArity(v));
+      }
+      default:
+        return strprintf("#%s:%lld", bam::tagName(t),
+                         static_cast<long long>(v));
+    }
+}
+
+} // namespace
+
+std::string
+Program::str(const IInstr &i) const
+{
+    auto r = [](int reg) { return strprintf("r%d", reg); };
+    std::string src_b =
+        i.useImm ? immStr(*this, i.imm) : r(i.rb);
+
+    switch (i.op) {
+      case IOp::Ld:
+        return strprintf("ld %s, [%s%+d]", r(i.rd).c_str(),
+                         r(i.ra).c_str(), i.off);
+      case IOp::St:
+        return strprintf("st [%s%+d], %s%s", r(i.ra).c_str(), i.off,
+                         src_b.c_str(), i.fresh ? "  ; fresh" : "");
+      case IOp::Mov:
+        return strprintf("mov %s, %s", r(i.rd).c_str(),
+                         r(i.ra).c_str());
+      case IOp::Movi:
+        return strprintf("movi %s, %s", r(i.rd).c_str(),
+                         immStr(*this, i.imm).c_str());
+      case IOp::MkTag:
+        return strprintf("mktag.%s %s, %s", bam::tagName(i.tag),
+                         r(i.rd).c_str(), r(i.ra).c_str());
+      case IOp::GetTag:
+        return strprintf("gettag %s, %s", r(i.rd).c_str(),
+                         r(i.ra).c_str());
+      case IOp::BtagEq:
+      case IOp::BtagNe:
+        return strprintf("%s %s, %s -> %d", iopName(i.op),
+                         r(i.ra).c_str(), bam::tagName(i.tag),
+                         i.target);
+      case IOp::Beq: case IOp::Bne: case IOp::Blt: case IOp::Ble:
+      case IOp::Bgt: case IOp::Bge:
+        return strprintf("%s %s, %s -> %d", iopName(i.op),
+                         r(i.ra).c_str(), src_b.c_str(), i.target);
+      case IOp::Jmp:
+        return strprintf("jmp %d", i.target);
+      case IOp::Jmpi:
+        return strprintf("jmpi %s", r(i.ra).c_str());
+      case IOp::Out:
+        return strprintf("out %s", src_b.c_str());
+      case IOp::Halt:
+        return "halt";
+      case IOp::Nop:
+        return "nop";
+      default:
+        return strprintf("%s %s, %s, %s", iopName(i.op),
+                         r(i.rd).c_str(), r(i.ra).c_str(),
+                         src_b.c_str());
+    }
+}
+
+std::string
+Program::str() const
+{
+    std::string out;
+    for (std::size_t k = 0; k < code.size(); ++k) {
+        out += strprintf("%6d%s%s  %s\n", static_cast<int>(k),
+                         procEntry[k] ? "P" : " ",
+                         addressTaken[k] ? "@" : " ",
+                         str(code[k]).c_str());
+    }
+    return out;
+}
+
+} // namespace symbol::intcode

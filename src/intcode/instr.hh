@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The Intermediate Code Instruction (ICI) set of §3.1.
+ *
+ * ICIs are simple instructions that each express one primitive
+ * hardware functionality of the target datapath: loads and stores
+ * (direct addressing with a constant offset only), ALU operations on
+ * the value field, tag-field manipulation, moves, and branches —
+ * including branches directly on the tag field, the paper's dedicated
+ * Prolog support (§4.5). Operands are virtual registers or tagged
+ * immediates; there is no register allocation or unit assignment at
+ * this level.
+ */
+
+#ifndef SYMBOL_INTCODE_INSTR_HH
+#define SYMBOL_INTCODE_INSTR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bam/instr.hh"
+
+namespace symbol::intcode
+{
+
+using bam::Tag;
+using bam::Word;
+
+/** ICI opcodes. */
+enum class IOp : std::uint8_t
+{
+    // Memory.
+    Ld,  ///< rd <- mem[val(ra) + off]
+    St,  ///< mem[val(ra) + off] <- rb/imm
+    // ALU (value fields; result tagged Int).
+    Add, Sub, Mul, Div, Mod, And, Or, Xor, Sll, Sra,
+    // Moves and tag manipulation.
+    Mov,    ///< rd <- ra
+    Movi,   ///< rd <- imm (a full tagged word)
+    MkTag,  ///< rd <- <tag, val(ra)>
+    GetTag, ///< rd <- <Int, tag(ra)>
+    // Control.
+    Beq,    ///< full-word compare, branch if equal
+    Bne,    ///< full-word compare, branch if not equal
+    Blt, Ble, Bgt, Bge, ///< signed value-field compare
+    BtagEq, ///< branch if tag(ra) == tag
+    BtagNe, ///< branch if tag(ra) != tag
+    Jmp,    ///< unconditional direct jump
+    Jmpi,   ///< jump through the Cod word in ra
+    // Miscellaneous.
+    Out,    ///< append rb/imm to the observable output
+    Halt,
+    Nop,
+};
+
+/** Execution-resource class of an opcode (Fig. 2 categories). */
+enum class OpClass : std::uint8_t
+{
+    Memory,  ///< Ld, St
+    Alu,     ///< arithmetic/logic + tag manipulation
+    Move,    ///< Mov, Movi
+    Control, ///< branches and jumps, Halt
+    Other,   ///< Out, Nop
+};
+
+OpClass opClass(IOp op);
+
+/** True for the conditional branches (two CFG successors). */
+bool isCondBranch(IOp op);
+
+/** True for any control transfer (cond branch, Jmp, Jmpi, Halt). */
+bool isControl(IOp op);
+
+struct IInstr;
+
+/** Destination register of @p i, or -1. */
+int defReg(const IInstr &i);
+
+/** Append the source registers of @p i to @p out (max 2). */
+void useRegs(const IInstr &i, int out[2], int &n);
+
+/** Invert a conditional branch (Beq<->Bne, Blt<->Bge, ...). */
+IOp invertBranch(IOp op);
+
+/** One intermediate-code instruction. */
+struct IInstr
+{
+    IOp op = IOp::Nop;
+    int rd = -1; ///< destination register
+    int ra = -1; ///< first source (base register for Ld/St)
+    int rb = -1; ///< second source, unless useImm
+    bool useImm = false;
+    Word imm = 0;  ///< tagged immediate (second source / Movi value)
+    int off = 0;   ///< Ld/St addressing offset
+    int target = -1; ///< branch/jump target (instruction index)
+    Tag tag = Tag::Ref; ///< BtagEq/BtagNe comparison tag
+    /** Provenance: index of the source BAM instruction. */
+    int bam = -1;
+    /** Store into a freshly allocated heap cell (see bam::Instr). */
+    bool fresh = false;
+};
+
+/** A complete ICI program. */
+struct Program
+{
+    std::vector<IInstr> code;
+    /** Entry instruction index ($start). */
+    int entry = 0;
+    /** One past the highest virtual register used. */
+    int numRegs = 0;
+    /**
+     * Instruction indices whose address is taken (they appear in Cod
+     * immediates: call return points, retry addresses, ...). Such
+     * instructions can be reached by Jmpi from anywhere, so the
+     * back end must keep them addressable.
+     */
+    std::vector<bool> addressTaken;
+    /** Instruction indices that begin a BAM procedure. */
+    std::vector<bool> procEntry;
+    /** Per-BAM-instruction opcode table, for cycle accounting. */
+    std::vector<bam::Op> bamOps;
+    /** Interner used for listings. */
+    const Interner *interner = nullptr;
+
+    /** Human-readable mnemonic listing. */
+    std::string str() const;
+    /** Render one instruction. */
+    std::string str(const IInstr &i) const;
+};
+
+} // namespace symbol::intcode
+
+#endif // SYMBOL_INTCODE_INSTR_HH

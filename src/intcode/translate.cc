@@ -1,0 +1,559 @@
+#include "intcode/translate.hh"
+
+#include "support/diagnostics.hh"
+#include "support/text.hh"
+
+namespace symbol::intcode
+{
+
+using bam::AluOp;
+using bam::Cond;
+using bam::Instr;
+using bam::Op;
+using bam::Operand;
+using R = bam::Regs;
+using CF = bam::ChoiceFrame;
+using EF = bam::EnvFrame;
+using L = bam::Layout;
+
+namespace
+{
+
+/** Two-pass translator: emit with label placeholders, then fix up. */
+class Translator
+{
+  public:
+    Translator(const bam::Module &m, const TranslateOptions &opts)
+        : m_(m), opts_(opts), numLabels_(m.numLabels),
+          nextTemp_(m.numRegs)
+    {
+        labelPos_.assign(static_cast<std::size_t>(numLabels_), -1);
+    }
+
+    Program
+    run()
+    {
+        for (std::size_t k = 0; k < m_.code.size(); ++k) {
+            curBam_ = static_cast<int>(k);
+            expand(m_.code[k]);
+        }
+        fixup();
+
+        Program p;
+        p.code = std::move(out_);
+        p.numRegs = nextTemp_;
+        panicIf(m_.entryLabel < 0, "module has no entry label");
+        p.entry = pos(m_.entryLabel);
+        p.addressTaken = std::move(addressTaken_);
+        p.procEntry = std::move(procEntry_);
+        p.addressTaken.resize(p.code.size(), false);
+        p.procEntry.resize(p.code.size(), false);
+        p.interner = m_.interner;
+        p.bamOps.reserve(m_.code.size());
+        for (const Instr &i : m_.code)
+            p.bamOps.push_back(i.op);
+        return p;
+    }
+
+  private:
+    const bam::Module &m_;
+    TranslateOptions opts_;
+    int numLabels_;
+    int nextTemp_;
+    int curBam_ = -1;
+    std::vector<IInstr> out_;
+    std::vector<int> labelPos_;
+    std::vector<bool> addressTaken_;
+    std::vector<bool> procEntry_;
+    /** (instr index, label) pairs for branch-target fixup. */
+    std::vector<std::pair<int, int>> branchFixups_;
+    /** (instr index, label) pairs for Cod-immediate fixup. */
+    std::vector<std::pair<int, int>> immFixups_;
+
+    int nt() { return nextTemp_++; }
+    int
+    newLabel()
+    {
+        labelPos_.push_back(-1);
+        return numLabels_++;
+    }
+
+    int
+    pos(int label) const
+    {
+        int p = labelPos_[static_cast<std::size_t>(label)];
+        panicIf(p < 0, strprintf("undefined label L%d", label));
+        return p;
+    }
+
+    void
+    defineLabel(int label, bool proc_entry = false)
+    {
+        panicIf(labelPos_[static_cast<std::size_t>(label)] >= 0,
+                strprintf("label L%d defined twice", label));
+        labelPos_[static_cast<std::size_t>(label)] =
+            static_cast<int>(out_.size());
+        if (proc_entry)
+            markHere(procEntry_);
+    }
+
+    void
+    markHere(std::vector<bool> &bits)
+    {
+        std::size_t at = out_.size();
+        if (bits.size() <= at)
+            bits.resize(at + 1, false);
+        bits[at] = true;
+    }
+
+    IInstr &
+    eI(IInstr i)
+    {
+        i.bam = curBam_;
+        out_.push_back(i);
+        return out_.back();
+    }
+
+    IInstr
+    mk(IOp op)
+    {
+        IInstr i;
+        i.op = op;
+        return i;
+    }
+
+    // --- Small emission helpers ---------------------------------------
+
+    void
+    ld(int rd, int base, int off)
+    {
+        IInstr i = mk(IOp::Ld);
+        i.rd = rd;
+        i.ra = base;
+        i.off = off;
+        eI(i);
+    }
+
+    /** Store; @p src may be a register or an immediate operand. */
+    void
+    st(int base, int off, const Operand &src, bool fresh = false)
+    {
+        IInstr i = mk(IOp::St);
+        i.ra = base;
+        i.off = off;
+        i.fresh = fresh;
+        setSrcB(i, src);
+        eI(i);
+    }
+
+    /** Bind i.rb/imm from a BAM operand, registering Cod fixups. */
+    void
+    setSrcB(IInstr &i, const Operand &o)
+    {
+        if (o.isReg()) {
+            i.rb = o.reg;
+            return;
+        }
+        panicIf(!o.isImm(), "expected register or immediate");
+        i.useImm = true;
+        i.imm = o.imm;
+        if (bam::wordTag(o.imm) == bam::Tag::Cod) {
+            immFixups_.emplace_back(static_cast<int>(out_.size()),
+                                    static_cast<int>(
+                                        bam::wordVal(o.imm)));
+        }
+    }
+
+    /** Materialise a BAM operand into a register. */
+    int
+    regOf(const Operand &o)
+    {
+        if (o.isReg())
+            return o.reg;
+        int t = nt();
+        IInstr i = mk(IOp::Movi);
+        i.rd = t;
+        i.useImm = true;
+        i.imm = o.imm;
+        if (bam::wordTag(o.imm) == bam::Tag::Cod)
+            immFixups_.emplace_back(static_cast<int>(out_.size()),
+                                    static_cast<int>(
+                                        bam::wordVal(o.imm)));
+        eI(i);
+        return t;
+    }
+
+    void
+    mov(int rd, int ra)
+    {
+        if (rd == ra)
+            return;
+        IInstr i = mk(IOp::Mov);
+        i.rd = rd;
+        i.ra = ra;
+        eI(i);
+    }
+
+    void
+    movOperand(const Operand &src, int rd)
+    {
+        if (src.isReg()) {
+            mov(rd, src.reg);
+            return;
+        }
+        IInstr i = mk(IOp::Movi);
+        i.rd = rd;
+        i.useImm = true;
+        i.imm = src.imm;
+        if (bam::wordTag(src.imm) == bam::Tag::Cod)
+            immFixups_.emplace_back(static_cast<int>(out_.size()),
+                                    static_cast<int>(
+                                        bam::wordVal(src.imm)));
+        eI(i);
+    }
+
+    void
+    addImm(int rd, int ra, std::int64_t v)
+    {
+        IInstr i = mk(IOp::Add);
+        i.rd = rd;
+        i.ra = ra;
+        i.useImm = true;
+        i.imm = bam::makeWord(bam::Tag::Int, v);
+        eI(i);
+    }
+
+    void
+    branch(IOp op, int ra, const Operand &b, int label)
+    {
+        IInstr i = mk(op);
+        i.ra = ra;
+        if (op != IOp::BtagEq && op != IOp::BtagNe)
+            setSrcB(i, b);
+        i.target = label; // fixed up later
+        branchFixups_.emplace_back(static_cast<int>(out_.size()),
+                                   label);
+        eI(i);
+    }
+
+    void
+    btag(Cond cond, int ra, bam::Tag tag, int label)
+    {
+        if (opts_.expandTagBranches) {
+            int t = nt();
+            IInstr g = mk(IOp::GetTag);
+            g.rd = t;
+            g.ra = ra;
+            eI(g);
+            branch(cond == Cond::Eq ? IOp::Beq : IOp::Bne, t,
+                   Operand::mkImm(bam::Tag::Int,
+                                  static_cast<int>(tag)),
+                   label);
+            return;
+        }
+        IInstr i = mk(cond == Cond::Eq ? IOp::BtagEq : IOp::BtagNe);
+        i.ra = ra;
+        i.tag = tag;
+        i.target = label;
+        branchFixups_.emplace_back(static_cast<int>(out_.size()),
+                                   label);
+        eI(i);
+    }
+
+    void
+    jmp(int label)
+    {
+        IInstr i = mk(IOp::Jmp);
+        i.target = label;
+        branchFixups_.emplace_back(static_cast<int>(out_.size()),
+                                   label);
+        eI(i);
+    }
+
+    void
+    jmpi(int reg)
+    {
+        IInstr i = mk(IOp::Jmpi);
+        i.ra = reg;
+        eI(i);
+    }
+
+    // --- Macro expansions ---------------------------------------------
+
+    /** deref: chase Ref chains until a non-Ref or a self-reference. */
+    void
+    expandDeref(const Operand &src, int dst)
+    {
+        if (src.isReg())
+            mov(dst, src.reg);
+        else
+            movOperand(src, dst);
+        int l_loop = newLabel(), l_done = newLabel();
+        defineLabel(l_loop);
+        btag(Cond::Ne, dst, bam::Tag::Ref, l_done);
+        int t = nt();
+        ld(t, dst, 0);
+        branch(IOp::Beq, t, Operand::mkReg(dst), l_done);
+        mov(dst, t);
+        jmp(l_loop);
+        defineLabel(l_done);
+    }
+
+    /**
+     * Conditional trailing: record the cell iff it predates the
+     * current choice point (heap cells older than HB; local-stack
+     * cells older than B).
+     */
+    void
+    expandTrail(int cell)
+    {
+        int l_do = newLabel(), l_skip = newLabel();
+        branch(IOp::Blt, cell, Operand::mkReg(R::kHb), l_do);
+        branch(IOp::Blt, cell,
+               Operand::mkImm(bam::Tag::Int, L::kStackBase), l_skip);
+        branch(IOp::Blt, cell, Operand::mkReg(R::kB), l_do);
+        jmp(l_skip);
+        defineLabel(l_do);
+        st(R::kTr, 0, Operand::mkReg(cell));
+        addImm(R::kTr, R::kTr, 1);
+        defineLabel(l_skip);
+    }
+
+    /** Compute max(end of E frame, end of B frame) into a register. */
+    int
+    expandFrameTop()
+    {
+        int t1 = nt(), t2 = nt();
+        ld(t1, R::kE, EF::kNumPerms);
+        IInstr a = mk(IOp::Add);
+        a.rd = t1;
+        a.ra = R::kE;
+        a.rb = t1;
+        eI(a);
+        addImm(t1, t1, EF::kPerms);
+        ld(t2, R::kB, CF::kNumArgs);
+        IInstr b = mk(IOp::Add);
+        b.rd = t2;
+        b.ra = R::kB;
+        b.rb = t2;
+        eI(b);
+        addImm(t2, t2, CF::kArgs);
+        int l_ok = newLabel();
+        branch(IOp::Bge, t1, Operand::mkReg(t2), l_ok);
+        mov(t1, t2);
+        defineLabel(l_ok);
+        return t1;
+    }
+
+    void
+    expandTry(int nargs, int retry_label)
+    {
+        int top = expandFrameTop();
+        st(top, CF::kPrevB, Operand::mkReg(R::kB));
+        st(top, CF::kRetry,
+           Operand::mkImm(bam::Tag::Cod, retry_label));
+        st(top, CF::kSavedH, Operand::mkReg(R::kH));
+        st(top, CF::kSavedTr, Operand::mkReg(R::kTr));
+        st(top, CF::kSavedE, Operand::mkReg(R::kE));
+        st(top, CF::kSavedCp, Operand::mkReg(R::kCp));
+        st(top, CF::kNumArgs, Operand::mkImm(bam::Tag::Int, nargs));
+        for (int i = 0; i < nargs; ++i)
+            st(top, CF::kArgs + i, Operand::mkReg(R::arg(i)));
+        mov(R::kB, top);
+        mov(R::kHb, R::kH);
+    }
+
+    void
+    expandRetry(int nargs, int next_label)
+    {
+        st(R::kB, CF::kRetry,
+           Operand::mkImm(bam::Tag::Cod, next_label));
+        for (int i = 0; i < nargs; ++i)
+            ld(R::arg(i), R::kB, CF::kArgs + i);
+    }
+
+    void
+    expandTrust(int nargs)
+    {
+        for (int i = 0; i < nargs; ++i)
+            ld(R::arg(i), R::kB, CF::kArgs + i);
+        ld(R::kB, R::kB, CF::kPrevB);
+        ld(R::kHb, R::kB, CF::kSavedH);
+    }
+
+    void
+    expandAllocate(int nperms)
+    {
+        int top = expandFrameTop();
+        st(top, EF::kPrevE, Operand::mkReg(R::kE));
+        st(top, EF::kSavedCp, Operand::mkReg(R::kCp));
+        st(top, EF::kNumPerms,
+           Operand::mkImm(bam::Tag::Int, nperms));
+        mov(R::kE, top);
+    }
+
+    void
+    expand(const Instr &i)
+    {
+        switch (i.op) {
+          case Op::Procedure:
+            defineLabel(i.labs[0], true);
+            return;
+          case Op::Label:
+            defineLabel(i.labs[0]);
+            return;
+          case Op::Jump:
+            jmp(i.labs[0]);
+            return;
+          case Op::JumpInd:
+            jmpi(i.a.reg);
+            return;
+          case Op::Call: {
+            int ret = newLabel();
+            movOperand(Operand::mkImm(bam::Tag::Cod, ret), i.off);
+            jmp(i.labs[0]);
+            defineLabel(ret);
+            return;
+          }
+          case Op::Return:
+            jmpi(i.off);
+            return;
+          case Op::Halt:
+            eI(mk(IOp::Halt));
+            return;
+          case Op::SwitchTag: {
+            // labs: Ref, Atm, Int, Lst, Str.
+            static const bam::Tag tags[4] = {
+                bam::Tag::Ref, bam::Tag::Atm, bam::Tag::Int,
+                bam::Tag::Lst};
+            for (int w = 0; w < 4; ++w)
+                btag(Cond::Eq, i.a.reg, tags[w], i.labs[w]);
+            jmp(i.labs[4]);
+            return;
+          }
+          case Op::TestTag:
+            btag(i.cond, i.a.reg, i.tag, i.labs[0]);
+            return;
+          case Op::CmpBranch:
+          case Op::EqualBranch: {
+            IOp op;
+            switch (i.cond) {
+              case Cond::Eq: op = IOp::Beq; break;
+              case Cond::Ne: op = IOp::Bne; break;
+              case Cond::Lt: op = IOp::Blt; break;
+              case Cond::Le: op = IOp::Ble; break;
+              case Cond::Gt: op = IOp::Bgt; break;
+              case Cond::Ge: op = IOp::Bge; break;
+              default: panic("bad cond");
+            }
+            branch(op, regOf(i.a), i.b, i.labs[0]);
+            return;
+          }
+          case Op::Deref:
+            expandDeref(i.a, i.b.reg);
+            return;
+          case Op::Trail:
+            expandTrail(i.a.reg);
+            return;
+          case Op::Bind:
+            st(i.a.reg, 0, i.b, i.fresh);
+            expandTrail(i.a.reg);
+            return;
+          case Op::Allocate:
+            expandAllocate(i.off);
+            return;
+          case Op::Deallocate:
+            ld(R::kCp, R::kE, EF::kSavedCp);
+            ld(R::kE, R::kE, EF::kPrevE);
+            return;
+          case Op::Try:
+            expandTry(i.off, i.labs[0]);
+            return;
+          case Op::Retry:
+            expandRetry(i.off, i.labs[0]);
+            return;
+          case Op::Trust:
+            expandTrust(i.off);
+            return;
+          case Op::Cut:
+            mov(R::kB, i.a.reg);
+            ld(R::kHb, R::kB, CF::kSavedH);
+            return;
+          case Op::Fail:
+            jmp(m_.failLabel);
+            return;
+          case Op::Move:
+            movOperand(i.a, i.b.reg);
+            return;
+          case Op::Ld:
+            ld(i.b.reg, i.a.reg, i.off);
+            return;
+          case Op::St:
+            st(i.a.reg, i.off, i.b, i.fresh);
+            return;
+          case Op::Arith: {
+            static const IOp map[] = {IOp::Add, IOp::Sub, IOp::Mul,
+                                      IOp::Div, IOp::Mod, IOp::And,
+                                      IOp::Or,  IOp::Xor, IOp::Sll,
+                                      IOp::Sra};
+            IInstr a = mk(map[static_cast<int>(i.alu)]);
+            a.rd = i.c.reg;
+            a.ra = regOf(i.a);
+            setSrcB(a, i.b);
+            eI(a);
+            return;
+          }
+          case Op::MkTag: {
+            IInstr t = mk(IOp::MkTag);
+            t.rd = i.b.reg;
+            t.ra = i.a.reg;
+            t.tag = i.tag;
+            eI(t);
+            return;
+          }
+          case Op::GetTag: {
+            IInstr t = mk(IOp::GetTag);
+            t.rd = i.b.reg;
+            t.ra = i.a.reg;
+            eI(t);
+            return;
+          }
+          case Op::Out: {
+            IInstr o = mk(IOp::Out);
+            setSrcB(o, i.a);
+            eI(o);
+            return;
+          }
+          case Op::Nop:
+            return;
+        }
+        panic("unhandled BAM opcode");
+    }
+
+    void
+    fixup()
+    {
+        addressTaken_.resize(out_.size(), false);
+        procEntry_.resize(out_.size(), false);
+        for (auto [idx, label] : branchFixups_) {
+            out_[static_cast<std::size_t>(idx)].target = pos(label);
+        }
+        for (auto [idx, label] : immFixups_) {
+            IInstr &i = out_[static_cast<std::size_t>(idx)];
+            int addr = pos(label);
+            i.imm = bam::makeWord(bam::Tag::Cod, addr);
+            addressTaken_[static_cast<std::size_t>(addr)] = true;
+        }
+    }
+};
+
+} // namespace
+
+Program
+translate(const bam::Module &module, const TranslateOptions &opts)
+{
+    Translator t(module, opts);
+    return t.run();
+}
+
+} // namespace symbol::intcode

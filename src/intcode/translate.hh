@@ -1,0 +1,42 @@
+/**
+ * @file
+ * BAM → IntCode expansion (§3.1 of the paper).
+ *
+ * Every BAM instruction expands into one or more primitive ICIs;
+ * Prolog-engine macros (deref, trail, try/retry/trust, allocate,
+ * bind, ...) become explicit load/store/ALU/branch sequences, so the
+ * back end sees all the work the abstract machine does. Each emitted
+ * ICI records the index of the BAM instruction it came from, which
+ * is used for the BAM-processor baseline cycle accounting.
+ *
+ * Scratch registers for expansions are freshly allocated per site,
+ * completing the front end's variable-renaming discipline.
+ */
+
+#ifndef SYMBOL_INTCODE_TRANSLATE_HH
+#define SYMBOL_INTCODE_TRANSLATE_HH
+
+#include "bam/instr.hh"
+#include "intcode/instr.hh"
+
+namespace symbol::intcode
+{
+
+/** Translation options. */
+struct TranslateOptions
+{
+    /**
+     * When true (the ablation configuration), tag branches are
+     * expanded into gettag + compare-branch pairs, modelling a plain
+     * RISC without the paper's branch-on-tag-field support.
+     */
+    bool expandTagBranches = false;
+};
+
+/** Expand @p module into an ICI program. */
+Program translate(const bam::Module &module,
+                  const TranslateOptions &opts = {});
+
+} // namespace symbol::intcode
+
+#endif // SYMBOL_INTCODE_TRANSLATE_HH

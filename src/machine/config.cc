@@ -1,0 +1,45 @@
+#include "machine/config.hh"
+
+#include "support/text.hh"
+
+namespace symbol::machine
+{
+
+MachineConfig
+MachineConfig::idealShared(int units)
+{
+    MachineConfig c;
+    c.name = strprintf("vliw-%d", units);
+    c.numUnits = units;
+    return c;
+}
+
+MachineConfig
+MachineConfig::unboundedShared()
+{
+    MachineConfig c;
+    c.name = "vliw-unbounded";
+    c.numUnits = 64;
+    c.busTransfersPerCycle = 64;
+    c.clustered = false;
+    return c;
+}
+
+MachineConfig
+MachineConfig::prototype(int units)
+{
+    MachineConfig c;
+    c.name = strprintf("symbol-%d", units);
+    c.numUnits = units;
+    c.twoFormats = true;
+    // Three-stage memory pipeline: peak one access per cycle, but a
+    // longer completion time for data memory operations (§5.1).
+    c.memLatency = 3;
+    // Two-cycle delayed branches; the compiler fills the first slot
+    // nearly always (the paper's back end schedules into delay
+    // slots), leaving one bubble on average.
+    c.branchPenalty = 1;
+    return c;
+}
+
+} // namespace symbol::machine

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Machine descriptions for the class of parallel synchronous
+ * non-homogeneous architectures of §3 and §4.5, including the SYMBOL
+ * VLSI prototype restrictions of §5.
+ *
+ * A machine is a set of identical units, each contributing one memory
+ * slot, one ALU slot, one move slot and one control slot per cycle
+ * (§4.5: "each unit ... can execute in the same cycle a memory
+ * access, a control operation, an ALU operation and a local data
+ * movement"). The *shared memory* sustains `memPortsTotal` accesses
+ * per cycle in total across all units — one, in every configuration
+ * the paper studies, which is what makes Amdahl's bound of §4.2 bite.
+ *
+ * Units are clustered: each owns a register bank, and an operand
+ * produced on another unit must cross the shared bus, adding a cycle
+ * and consuming bus bandwidth (§3.2's BUG heuristics optimise this).
+ */
+
+#ifndef SYMBOL_MACHINE_CONFIG_HH
+#define SYMBOL_MACHINE_CONFIG_HH
+
+#include <string>
+
+namespace symbol::machine
+{
+
+/** One target-architecture configuration. */
+struct MachineConfig
+{
+    std::string name = "vliw";
+    /** Number of basic units (processors). */
+    int numUnits = 1;
+
+    /** @name Per-unit issue slots per cycle */
+    /** @{ */
+    int aluPerUnit = 1;
+    int movePerUnit = 1;
+    int branchPerUnit = 1;
+    int memPerUnit = 1;
+    /** @} */
+
+    /** Shared-memory accesses per cycle across all units. */
+    int memPortsTotal = 1;
+
+    /** @name Operation latencies (cycles until the result is usable) */
+    /** @{ */
+    int memLatency = 2;    ///< "memory: 2 cycles in pipeline" (§4.3)
+    int aluLatency = 1;
+    int moveLatency = 1;
+    /** @} */
+    /** Extra cycles lost on a taken branch ("control: 2 cycles in
+     *  pipeline" == one bubble). */
+    int branchPenalty = 1;
+
+    /**
+     * SYMBOL prototype restriction (§5.1): two instruction formats
+     * per unit — direct (memory + ALU + move) or immediate (control
+     * + memory). When set, a unit that issues a control operation in
+     * a cycle cannot also issue an ALU op or a move that cycle.
+     */
+    bool twoFormats = false;
+
+    /** @name Clustering (per-unit register banks, shared bus) */
+    /** @{ */
+    bool clustered = true;
+    int regsPerBank = 16;
+    int busTransfersPerCycle = 1;
+    /** Cycles for a value to cross the inter-unit bus. */
+    int busLatency = 1;
+    /** @} */
+
+    /** Nominal clock for absolute-time reporting (Table 4). */
+    double clockMHz = 30.0;
+
+    /** The shared-memory VLIW of §4.5 with @p units units. */
+    static MachineConfig idealShared(int units);
+
+    /**
+     * The unbounded-resource shared-memory machine of Table 1: as
+     * many units as needed, still one memory access per cycle.
+     */
+    static MachineConfig unboundedShared();
+
+    /** The SYMBOL-n prototype of §5 (two formats, 3-cycle memory
+     *  pipeline, 2-cycle delayed branches). */
+    static MachineConfig prototype(int units);
+};
+
+} // namespace symbol::machine
+
+#endif // SYMBOL_MACHINE_CONFIG_HH

@@ -1,0 +1,244 @@
+#include "prolog/lexer.hh"
+
+#include <cctype>
+
+namespace symbol::prolog
+{
+
+namespace
+{
+
+bool
+isSymbolChar(char c)
+{
+    static const std::string symbolic = "+-*/\\^<>=~:.?@#&$";
+    return symbolic.find(c) != std::string::npos;
+}
+
+bool
+isAlnumChar(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+} // namespace
+
+Lexer::Lexer(const std::string &source)
+    : src_(source)
+{
+}
+
+char
+Lexer::peek(std::size_t off) const
+{
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+}
+
+char
+Lexer::advance()
+{
+    char c = src_[pos_++];
+    if (c == '\n') {
+        ++line_;
+        col_ = 1;
+    } else {
+        ++col_;
+    }
+    return c;
+}
+
+void
+Lexer::skipLayout()
+{
+    while (!atEnd()) {
+        char c = peek();
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            advance();
+        } else if (c == '%') {
+            while (!atEnd() && peek() != '\n')
+                advance();
+        } else if (c == '/' && peek(1) == '*') {
+            SourcePos start = here();
+            advance();
+            advance();
+            while (!atEnd() && !(peek() == '*' && peek(1) == '/'))
+                advance();
+            if (atEnd())
+                throw CompileError(start, "unterminated block comment");
+            advance();
+            advance();
+        } else {
+            break;
+        }
+    }
+}
+
+Token
+Lexer::lexNumber()
+{
+    Token tok;
+    tok.kind = TokenKind::Int;
+    tok.pos = here();
+    // 0'c character-code literal.
+    if (peek() == '0' && peek(1) == '\'') {
+        advance();
+        advance();
+        if (atEnd())
+            throw CompileError(tok.pos, "unterminated 0' literal");
+        char c = advance();
+        if (c == '\\' && !atEnd()) {
+            char e = advance();
+            switch (e) {
+              case 'n': c = '\n'; break;
+              case 't': c = '\t'; break;
+              case 'a': c = '\a'; break;
+              case '\\': c = '\\'; break;
+              case '\'': c = '\''; break;
+              default:
+                throw CompileError(tok.pos, "bad escape in 0' literal");
+            }
+        }
+        tok.value = static_cast<unsigned char>(c);
+        tok.text = std::string(1, c);
+        return tok;
+    }
+    std::int64_t v = 0;
+    while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        v = v * 10 + (advance() - '0');
+        tok.text.push_back(src_[pos_ - 1]);
+    }
+    tok.value = v;
+    return tok;
+}
+
+Token
+Lexer::lexQuoted(char quote)
+{
+    Token tok;
+    tok.kind = quote == '\'' ? TokenKind::Atom : TokenKind::Str;
+    tok.pos = here();
+    advance(); // opening quote
+    while (true) {
+        if (atEnd())
+            throw CompileError(tok.pos, "unterminated quoted token");
+        char c = advance();
+        if (c == quote) {
+            if (peek() == quote) {
+                tok.text.push_back(quote);
+                advance();
+                continue;
+            }
+            break;
+        }
+        if (c == '\\' && !atEnd()) {
+            char e = advance();
+            switch (e) {
+              case 'n': tok.text.push_back('\n'); break;
+              case 't': tok.text.push_back('\t'); break;
+              case 'a': tok.text.push_back('\a'); break;
+              case '\\': tok.text.push_back('\\'); break;
+              case '\'': tok.text.push_back('\''); break;
+              case '"': tok.text.push_back('"'); break;
+              case '\n': break; // line continuation
+              default:
+                throw CompileError(tok.pos, "bad escape in quoted token");
+            }
+            continue;
+        }
+        tok.text.push_back(c);
+    }
+    tok.functorParen = peek() == '(';
+    return tok;
+}
+
+Token
+Lexer::next()
+{
+    skipLayout();
+    Token tok;
+    tok.pos = here();
+    if (atEnd()) {
+        tok.kind = TokenKind::Eof;
+        return tok;
+    }
+    char c = peek();
+
+    if (std::isdigit(static_cast<unsigned char>(c)))
+        return lexNumber();
+
+    if (c == '\'' || c == '"')
+        return lexQuoted(c);
+
+    if (std::isupper(static_cast<unsigned char>(c)) || c == '_') {
+        tok.kind = TokenKind::Var;
+        while (!atEnd() && isAlnumChar(peek()))
+            tok.text.push_back(advance());
+        return tok;
+    }
+
+    if (std::islower(static_cast<unsigned char>(c))) {
+        tok.kind = TokenKind::Atom;
+        while (!atEnd() && isAlnumChar(peek()))
+            tok.text.push_back(advance());
+        tok.functorParen = peek() == '(';
+        return tok;
+    }
+
+    switch (c) {
+      case '(':
+      case ')':
+      case '[':
+      case ']':
+      case '{':
+      case '}':
+      case ',':
+      case '|':
+        tok.kind = TokenKind::Punct;
+        tok.text.push_back(advance());
+        return tok;
+      case '!':
+      case ';':
+        tok.kind = TokenKind::Atom;
+        tok.text.push_back(advance());
+        tok.functorParen = peek() == '(';
+        return tok;
+      default:
+        break;
+    }
+
+    if (isSymbolChar(c)) {
+        // A '.' followed by layout or EOF terminates the clause.
+        if (c == '.') {
+            char after = peek(1);
+            if (after == '\0' || after == '%' ||
+                std::isspace(static_cast<unsigned char>(after))) {
+                advance();
+                tok.kind = TokenKind::End;
+                tok.text = ".";
+                return tok;
+            }
+        }
+        tok.kind = TokenKind::Atom;
+        while (!atEnd() && isSymbolChar(peek()))
+            tok.text.push_back(advance());
+        tok.functorParen = peek() == '(';
+        return tok;
+    }
+
+    throw CompileError(tok.pos,
+                       std::string("unexpected character '") + c + "'");
+}
+
+std::vector<Token>
+Lexer::all()
+{
+    std::vector<Token> out;
+    while (true) {
+        out.push_back(next());
+        if (out.back().kind == TokenKind::Eof)
+            break;
+    }
+    return out;
+}
+
+} // namespace symbol::prolog

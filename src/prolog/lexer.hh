@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Tokenizer for (a practical subset of) ISO Prolog text.
+ *
+ * Supports: unquoted, quoted and symbolic atoms, variables, integers
+ * (decimal and 0'c character codes), double-quoted strings (read as
+ * code lists), punctuation, '%' line comments and nested-free block
+ * comments. The clause terminator '.' is recognised when followed by
+ * layout or end of input, as required by the standard.
+ */
+
+#ifndef SYMBOL_PROLOG_LEXER_HH
+#define SYMBOL_PROLOG_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/diagnostics.hh"
+
+namespace symbol::prolog
+{
+
+/** Lexical classes produced by the Lexer. */
+enum class TokenKind : std::uint8_t
+{
+    Atom,   ///< any atom, including symbolic and quoted ones
+    Var,    ///< variable name (uppercase or '_' start)
+    Int,    ///< integer literal
+    Str,    ///< double-quoted string (code list)
+    Punct,  ///< one of ( ) [ ] { } , |
+    End,    ///< clause-terminating '.'
+    Eof,    ///< end of input
+};
+
+/** One token with its source position. */
+struct Token
+{
+    TokenKind kind;
+    std::string text;      ///< atom/var name, punct char, string body
+    std::int64_t value = 0; ///< integer value for Int tokens
+    SourcePos pos;
+    /** True when a '(' follows with no layout (functor application). */
+    bool functorParen = false;
+};
+
+/** Streaming tokenizer over an in-memory source string. */
+class Lexer
+{
+  public:
+    explicit Lexer(const std::string &source);
+
+    /** Scan and return the next token. */
+    Token next();
+
+    /** Tokenize the whole input (trailing Eof included). */
+    std::vector<Token> all();
+
+  private:
+    const std::string &src_;
+    std::size_t pos_ = 0;
+    int line_ = 1;
+    int col_ = 1;
+
+    char peek(std::size_t off = 0) const;
+    char advance();
+    bool atEnd() const { return pos_ >= src_.size(); }
+    void skipLayout();
+    SourcePos here() const { return {line_, col_}; }
+
+    Token lexNumber();
+    Token lexQuoted(char quote);
+};
+
+} // namespace symbol::prolog
+
+#endif // SYMBOL_PROLOG_LEXER_HH

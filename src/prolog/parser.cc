@@ -1,0 +1,338 @@
+#include "prolog/parser.hh"
+
+#include <unordered_map>
+
+namespace symbol::prolog
+{
+
+OpTable::OpTable()
+{
+    auto def = [](int prec, OpType type) { return OpDef{prec, type}; };
+
+    infix_[":-"] = def(1200, OpType::Xfx);
+    infix_["-->"] = def(1200, OpType::Xfx);
+    infix_[";"] = def(1100, OpType::Xfy);
+    infix_["->"] = def(1050, OpType::Xfy);
+    infix_[","] = def(1000, OpType::Xfy);
+    for (const char *c : {"=", "\\=", "==", "\\==", "is", "=:=", "=\\=",
+                          "<", ">", "=<", ">=", "@<", "@>", "@=<", "@>=",
+                          "=.."})
+        infix_[c] = def(700, OpType::Xfx);
+    for (const char *c : {"+", "-", "/\\", "\\/", "xor"})
+        infix_[c] = def(500, OpType::Yfx);
+    for (const char *c : {"*", "/", "//", "mod", "rem", "<<", ">>"})
+        infix_[c] = def(400, OpType::Yfx);
+    infix_["**"] = def(200, OpType::Xfx);
+    infix_["^"] = def(200, OpType::Xfy);
+
+    prefix_[":-"] = def(1200, OpType::Fx);
+    prefix_["?-"] = def(1200, OpType::Fx);
+    prefix_["\\+"] = def(900, OpType::Fy);
+    prefix_["-"] = def(200, OpType::Fy);
+    prefix_["+"] = def(200, OpType::Fy);
+    prefix_["\\"] = def(200, OpType::Fy);
+}
+
+const OpDef *
+OpTable::infix(const std::string &name) const
+{
+    auto it = infix_.find(name);
+    return it == infix_.end() ? nullptr : &it->second;
+}
+
+const OpDef *
+OpTable::prefix(const std::string &name) const
+{
+    auto it = prefix_.find(name);
+    return it == prefix_.end() ? nullptr : &it->second;
+}
+
+namespace
+{
+
+/** Recursive-descent precedence-climbing term reader. */
+class Parser
+{
+  public:
+    Parser(const std::string &source, TermPool &pool)
+        : pool_(pool), interner_(pool.interner()), lexer_(source)
+    {
+        cur_ = lexer_.next();
+    }
+
+    bool atEof() const { return cur_.kind == TokenKind::Eof; }
+
+    /** Parse one clause-level term and consume the trailing '.'. */
+    TermId
+    readClauseTerm()
+    {
+        varIds_.clear();
+        nextVar_ = 0;
+        TermId t = parse(1200);
+        expectEnd();
+        return t;
+    }
+
+    int numVars() const { return nextVar_; }
+    SourcePos pos() const { return cur_.pos; }
+
+  private:
+    TermPool &pool_;
+    Interner &interner_;
+    Lexer lexer_;
+    Token cur_;
+    OpTable ops_;
+    std::unordered_map<std::string, TermId> varIds_;
+    int nextVar_ = 0;
+
+    void bump() { cur_ = lexer_.next(); }
+
+    [[noreturn]] void
+    fail(const std::string &msg)
+    {
+        throw CompileError(cur_.pos, msg);
+    }
+
+    void
+    expectEnd()
+    {
+        if (cur_.kind != TokenKind::End)
+            fail("expected '.' at end of clause");
+        bump();
+    }
+
+    bool
+    isPunct(const char *p) const
+    {
+        return cur_.kind == TokenKind::Punct && cur_.text == p;
+    }
+
+    void
+    expectPunct(const char *p)
+    {
+        if (!isPunct(p))
+            fail(std::string("expected '") + p + "'");
+        bump();
+    }
+
+    TermId
+    mkVarTerm(const std::string &name)
+    {
+        if (name == "_")
+            return pool_.mkVar(interner_.intern("_"), nextVar_++);
+        auto it = varIds_.find(name);
+        if (it != varIds_.end())
+            return it->second;
+        TermId v = pool_.mkVar(interner_.intern(name), nextVar_++);
+        varIds_.emplace(name, v);
+        return v;
+    }
+
+    /** Can the current token start a term (prefix-operator operand)? */
+    bool
+    startsTerm() const
+    {
+        switch (cur_.kind) {
+          case TokenKind::Int:
+          case TokenKind::Var:
+          case TokenKind::Str:
+          case TokenKind::Atom:
+            return true;
+          case TokenKind::Punct:
+            return cur_.text == "(" || cur_.text == "[" ||
+                   cur_.text == "{";
+          default:
+            return false;
+        }
+    }
+
+    std::vector<TermId>
+    parseArgList()
+    {
+        std::vector<TermId> args;
+        args.push_back(parse(999));
+        while (isPunct(",")) {
+            bump();
+            args.push_back(parse(999));
+        }
+        return args;
+    }
+
+    TermId
+    parseList()
+    {
+        // '[' already consumed.
+        if (isPunct("]")) {
+            bump();
+            return pool_.mkAtom(interner_.nilAtom());
+        }
+        std::vector<TermId> items;
+        items.push_back(parse(999));
+        while (isPunct(",")) {
+            bump();
+            items.push_back(parse(999));
+        }
+        TermId tail = kNoTerm;
+        if (isPunct("|")) {
+            bump();
+            tail = parse(999);
+        }
+        expectPunct("]");
+        return pool_.mkList(items, tail);
+    }
+
+    TermId
+    parsePrimary(int max_prec, int &prec)
+    {
+        prec = 0;
+        switch (cur_.kind) {
+          case TokenKind::Int: {
+            TermId t = pool_.mkInt(cur_.value);
+            bump();
+            return t;
+          }
+          case TokenKind::Var: {
+            TermId t = mkVarTerm(cur_.text);
+            bump();
+            return t;
+          }
+          case TokenKind::Str: {
+            std::vector<TermId> codes;
+            for (char c : cur_.text)
+                codes.push_back(
+                    pool_.mkInt(static_cast<unsigned char>(c)));
+            bump();
+            return pool_.mkList(codes);
+          }
+          case TokenKind::Punct: {
+            if (cur_.text == "(") {
+                bump();
+                TermId t = parse(1200);
+                expectPunct(")");
+                return t;
+            }
+            if (cur_.text == "[") {
+                bump();
+                return parseList();
+            }
+            if (cur_.text == "{") {
+                bump();
+                if (isPunct("}")) {
+                    bump();
+                    return pool_.mkAtom(interner_.intern("{}"));
+                }
+                TermId t = parse(1200);
+                expectPunct("}");
+                return pool_.mkStruct(interner_.intern("{}"), {t});
+            }
+            fail("unexpected punctuation '" + cur_.text + "'");
+          }
+          case TokenKind::Atom: {
+            std::string name = cur_.text;
+            bool functor_paren = cur_.functorParen;
+            bump();
+            if (functor_paren) {
+                expectPunct("(");
+                std::vector<TermId> args = parseArgList();
+                expectPunct(")");
+                return pool_.mkStruct(interner_.intern(name),
+                                      std::move(args));
+            }
+            // Negative integer literal: '-' immediately applied to a
+            // number is folded into the constant.
+            if (name == "-" && cur_.kind == TokenKind::Int) {
+                TermId t = pool_.mkInt(-cur_.value);
+                bump();
+                return t;
+            }
+            const OpDef *pre = ops_.prefix(name);
+            if (pre && pre->prec <= max_prec && startsTerm() &&
+                !(cur_.kind == TokenKind::Atom && ops_.infix(cur_.text) &&
+                  !ops_.prefix(cur_.text) && !cur_.functorParen)) {
+                int arg_max =
+                    pre->type == OpType::Fy ? pre->prec : pre->prec - 1;
+                TermId arg = parse(arg_max);
+                prec = pre->prec;
+                return pool_.mkStruct(interner_.intern(name), {arg});
+            }
+            return pool_.mkAtom(interner_.intern(name));
+          }
+          default:
+            fail("unexpected end of clause");
+        }
+    }
+
+    TermId
+    parse(int max_prec)
+    {
+        int left_prec = 0;
+        TermId left = parsePrimary(max_prec, left_prec);
+        while (true) {
+            std::string opname;
+            if (cur_.kind == TokenKind::Atom) {
+                opname = cur_.text;
+            } else if (isPunct(",")) {
+                opname = ",";
+            } else {
+                break;
+            }
+            const OpDef *in = ops_.infix(opname);
+            if (!in || in->prec > max_prec)
+                break;
+            int left_max = in->type == OpType::Yfx ? in->prec
+                                                   : in->prec - 1;
+            int right_max = in->type == OpType::Xfy ? in->prec
+                                                    : in->prec - 1;
+            if (left_prec > left_max)
+                break;
+            bump();
+            TermId right = parse(right_max);
+            left = pool_.mkStruct(interner_.intern(opname), {left, right});
+            left_prec = in->prec;
+        }
+        return left;
+    }
+};
+
+} // namespace
+
+Program
+parseProgram(const std::string &source, Interner &interner)
+{
+    Program prog(interner);
+    Parser parser(source, prog.pool);
+    AtomId neck = interner.intern(":-");
+    while (!parser.atEof()) {
+        SourcePos pos = parser.pos();
+        TermId t = parser.readClauseTerm();
+        if (prog.pool.isStruct(t, neck, 1)) {
+            prog.directives.push_back(prog.pool.at(t).args[0]);
+            continue;
+        }
+        Clause c;
+        c.pos = pos;
+        c.numVars = parser.numVars();
+        if (prog.pool.isStruct(t, neck, 2)) {
+            c.head = prog.pool.at(t).args[0];
+            c.body = prog.pool.at(t).args[1];
+        } else {
+            c.head = t;
+        }
+        if (prog.pool.isVar(c.head) || prog.pool.isInt(c.head))
+            throw CompileError(pos, "clause head must be callable");
+        prog.clauses.push_back(c);
+    }
+    return prog;
+}
+
+TermId
+parseTerm(const std::string &source, TermPool &pool, int *num_vars)
+{
+    Parser parser(source, pool);
+    TermId t = parser.readClauseTerm();
+    if (num_vars)
+        *num_vars = parser.numVars();
+    return t;
+}
+
+} // namespace symbol::prolog

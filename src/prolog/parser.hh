@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Operator-precedence parser producing clauses over a TermPool.
+ *
+ * Implements the standard Prolog reader algorithm with the classic
+ * built-in operator table (1200 xfx ':-' down to 200 'fy' '-'). The
+ * result of parsing a source file is a Program: a term arena plus the
+ * list of clauses and directives in source order.
+ */
+
+#ifndef SYMBOL_PROLOG_PARSER_HH
+#define SYMBOL_PROLOG_PARSER_HH
+
+#include <string>
+#include <vector>
+
+#include "prolog/lexer.hh"
+#include "prolog/term.hh"
+
+namespace symbol::prolog
+{
+
+/** One program clause Head :- Body (Body == kNoTerm for facts). */
+struct Clause
+{
+    TermId head = kNoTerm;
+    TermId body = kNoTerm;
+    /** Number of distinct variables in the clause. */
+    int numVars = 0;
+    SourcePos pos;
+};
+
+/** A parsed source file. */
+struct Program
+{
+    explicit Program(Interner &interner) : pool(interner) {}
+
+    TermPool pool;
+    std::vector<Clause> clauses;
+    /** Goals of ':-'/1 directives, in source order. */
+    std::vector<TermId> directives;
+};
+
+/** Operator fixity classes from the ISO table. */
+enum class OpType : std::uint8_t
+{
+    Xfx, Xfy, Yfx, Fy, Fx,
+};
+
+/** One operator-table entry. */
+struct OpDef
+{
+    int prec;
+    OpType type;
+};
+
+/** The built-in operator table (shared, immutable). */
+class OpTable
+{
+  public:
+    OpTable();
+
+    /** Infix definition of @p name, or nullptr. */
+    const OpDef *infix(const std::string &name) const;
+    /** Prefix definition of @p name, or nullptr. */
+    const OpDef *prefix(const std::string &name) const;
+
+  private:
+    std::unordered_map<std::string, OpDef> infix_;
+    std::unordered_map<std::string, OpDef> prefix_;
+};
+
+/**
+ * Parse @p source into a Program whose atoms are interned in
+ * @p interner. Throws CompileError with a source position on any
+ * syntax error.
+ */
+Program parseProgram(const std::string &source, Interner &interner);
+
+/**
+ * Parse a single term followed by '.' — convenience for tests and for
+ * building queries.  @p num_vars receives the variable count.
+ */
+TermId parseTerm(const std::string &source, TermPool &pool,
+                 int *num_vars = nullptr);
+
+} // namespace symbol::prolog
+
+#endif // SYMBOL_PROLOG_PARSER_HH

@@ -1,0 +1,206 @@
+#include "prolog/term.hh"
+
+#include <cctype>
+
+#include "support/diagnostics.hh"
+#include "support/text.hh"
+
+namespace symbol::prolog
+{
+
+TermPool::TermPool(Interner &interner)
+    : interner_(interner)
+{
+    consAtom_ = interner_.intern(".");
+}
+
+TermId
+TermPool::push(Term t)
+{
+    TermId id = static_cast<TermId>(terms_.size());
+    terms_.push_back(std::move(t));
+    return id;
+}
+
+TermId
+TermPool::mkVar(AtomId name, std::int32_t var_id)
+{
+    Term t;
+    t.kind = TermKind::Var;
+    t.functor = name;
+    t.varId = var_id;
+    return push(std::move(t));
+}
+
+TermId
+TermPool::mkInt(std::int64_t value)
+{
+    Term t;
+    t.kind = TermKind::Int;
+    t.value = value;
+    return push(std::move(t));
+}
+
+TermId
+TermPool::mkAtom(AtomId atom)
+{
+    Term t;
+    t.kind = TermKind::Atom;
+    t.functor = atom;
+    return push(std::move(t));
+}
+
+TermId
+TermPool::mkStruct(AtomId functor, std::vector<TermId> args)
+{
+    panicIf(args.empty(), "mkStruct: zero-arity struct must be an atom");
+    Term t;
+    t.kind = TermKind::Struct;
+    t.functor = functor;
+    t.args = std::move(args);
+    return push(std::move(t));
+}
+
+TermId
+TermPool::mkList(const std::vector<TermId> &items, TermId tail)
+{
+    TermId list = tail == kNoTerm ? mkAtom(interner_.nilAtom()) : tail;
+    for (auto it = items.rbegin(); it != items.rend(); ++it)
+        list = mkStruct(consAtom_, {*it, list});
+    return list;
+}
+
+const Term &
+TermPool::at(TermId id) const
+{
+    panicIf(id < 0 || static_cast<std::size_t>(id) >= terms_.size(),
+            "TermPool::at: bad TermId");
+    return terms_[static_cast<std::size_t>(id)];
+}
+
+bool
+TermPool::isAtom(TermId id, AtomId atom) const
+{
+    const Term &t = at(id);
+    return t.kind == TermKind::Atom && t.functor == atom;
+}
+
+bool
+TermPool::isStruct(TermId id, AtomId functor, int arity) const
+{
+    const Term &t = at(id);
+    return t.kind == TermKind::Struct && t.functor == functor &&
+           static_cast<int>(t.args.size()) == arity;
+}
+
+bool
+TermPool::isCons(TermId id) const
+{
+    return isStruct(id, consAtom_, 2);
+}
+
+int
+TermPool::arity(TermId id) const
+{
+    const Term &t = at(id);
+    return t.kind == TermKind::Struct ? static_cast<int>(t.args.size())
+                                      : 0;
+}
+
+namespace
+{
+
+/** Does @p name print as a plain unquoted atom? */
+bool
+plainAtom(const std::string &name)
+{
+    if (name.empty())
+        return false;
+    if (name == "[]" || name == "!" || name == ";" || name == "{}")
+        return true;
+    if (std::islower(static_cast<unsigned char>(name[0]))) {
+        for (char c : name) {
+            if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_')
+                return false;
+        }
+        return true;
+    }
+    static const std::string symbolic = "+-*/\\^<>=~:.?@#&$";
+    for (char c : name) {
+        if (symbolic.find(c) == std::string::npos)
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+TermPool::strInto(TermId id, std::string &out) const
+{
+    const Term &t = at(id);
+    switch (t.kind) {
+      case TermKind::Var:
+        out += interner_.name(t.functor);
+        out += strprintf("_%d", t.varId);
+        break;
+      case TermKind::Int:
+        out += strprintf("%lld", static_cast<long long>(t.value));
+        break;
+      case TermKind::Atom: {
+        const std::string &name = interner_.name(t.functor);
+        if (plainAtom(name)) {
+            out += name;
+        } else {
+            out += '\'';
+            out += name;
+            out += '\'';
+        }
+        break;
+      }
+      case TermKind::Struct: {
+        if (isCons(id)) {
+            out += '[';
+            strInto(t.args[0], out);
+            TermId rest = t.args[1];
+            while (isCons(rest)) {
+                out += ',';
+                strInto(at(rest).args[0], out);
+                rest = at(rest).args[1];
+            }
+            if (!isAtom(rest, interner_.nilAtom())) {
+                out += '|';
+                strInto(rest, out);
+            }
+            out += ']';
+            break;
+        }
+        const std::string &fname = interner_.name(t.functor);
+        if (plainAtom(fname)) {
+            out += fname;
+        } else {
+            out += '\'';
+            out += fname;
+            out += '\'';
+        }
+        out += '(';
+        for (std::size_t i = 0; i < t.args.size(); ++i) {
+            if (i)
+                out += ',';
+            strInto(t.args[i], out);
+        }
+        out += ')';
+        break;
+      }
+    }
+}
+
+std::string
+TermPool::str(TermId id) const
+{
+    std::string out;
+    strInto(id, out);
+    return out;
+}
+
+} // namespace symbol::prolog

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Compile-time Prolog term representation.
+ *
+ * Terms live in an arena (TermPool) and are referenced by dense TermId
+ * indices; they are immutable once created. Lists are ordinary
+ * structures with functor '.'/2 terminated by the atom [], as in
+ * standard Prolog.
+ */
+
+#ifndef SYMBOL_PROLOG_TERM_HH
+#define SYMBOL_PROLOG_TERM_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "support/interner.hh"
+
+namespace symbol::prolog
+{
+
+/** Index of a term inside its TermPool. */
+using TermId = std::int32_t;
+
+/** Sentinel for "no term". */
+constexpr TermId kNoTerm = -1;
+
+/** The four source-level term shapes. */
+enum class TermKind : std::uint8_t
+{
+    Var,    ///< logic variable
+    Int,    ///< integer constant
+    Atom,   ///< atomic constant
+    Struct, ///< compound term functor(args...)
+};
+
+/** One node of the term arena. */
+struct Term
+{
+    TermKind kind;
+    /** Atom id of the atom / functor name; name id for variables. */
+    AtomId functor = -1;
+    /** Integer constants only. */
+    std::int64_t value = 0;
+    /** Distinct id per clause-local variable. */
+    std::int32_t varId = -1;
+    /** Argument terms of a Struct. */
+    std::vector<TermId> args;
+};
+
+/** Arena of immutable terms with constructors and a printer. */
+class TermPool
+{
+  public:
+    explicit TermPool(Interner &interner);
+
+    /** @name Constructors */
+    /** @{ */
+    TermId mkVar(AtomId name, std::int32_t var_id);
+    TermId mkInt(std::int64_t value);
+    TermId mkAtom(AtomId atom);
+    TermId mkStruct(AtomId functor, std::vector<TermId> args);
+    /** Build a proper list of @p items ending in @p tail (or []). */
+    TermId mkList(const std::vector<TermId> &items, TermId tail = kNoTerm);
+    /** @} */
+
+    const Term &at(TermId id) const;
+
+    /** @name Shape tests */
+    /** @{ */
+    bool isVar(TermId id) const { return at(id).kind == TermKind::Var; }
+    bool isInt(TermId id) const { return at(id).kind == TermKind::Int; }
+    bool isAtom(TermId id) const { return at(id).kind == TermKind::Atom; }
+    bool isStruct(TermId id) const
+    {
+        return at(id).kind == TermKind::Struct;
+    }
+    bool isAtom(TermId id, AtomId atom) const;
+    /** Struct with the given name/arity? */
+    bool isStruct(TermId id, AtomId functor, int arity) const;
+    /** A '.'/2 cell? */
+    bool isCons(TermId id) const;
+    /** @} */
+
+    /** Arity (0 for non-structs). */
+    int arity(TermId id) const;
+
+    /** The interner all atoms in this pool refer to. */
+    Interner &interner() const { return interner_; }
+
+    /** The '.' atom used for list cells. */
+    AtomId consAtom() const { return consAtom_; }
+
+    /** Number of terms allocated. */
+    std::size_t size() const { return terms_.size(); }
+
+    /** Canonical text of a term (operators rendered functionally,
+     *  lists in bracket notation). */
+    std::string str(TermId id) const;
+
+  private:
+    Interner &interner_;
+    /** Deque keeps Term references stable while new terms are
+     *  created (the normaliser builds terms while reading others). */
+    std::deque<Term> terms_;
+    AtomId consAtom_;
+
+    TermId push(Term t);
+    void strInto(TermId id, std::string &out) const;
+};
+
+} // namespace symbol::prolog
+
+#endif // SYMBOL_PROLOG_TERM_HH

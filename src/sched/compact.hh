@@ -1,0 +1,99 @@
+/**
+ * @file
+ * The back-end parallelising compiler of §3.2: global compaction by
+ * trace scheduling (Fisher 81) with Bottom-Up-Greedy unit binding
+ * (Ellis 85), plus the basic-block-only baseline of Table 1.
+ *
+ * Traces are picked by descending Expect, following the most probable
+ * branch edges; in this implementation a trace may only extend into a
+ * single-predecessor, non-address-taken successor, so traces have no
+ * side entrances and only *split* bookkeeping is needed. Branches
+ * never reorder ("a constraint on the sequence of branches has been
+ * imposed in order to limit the possibility of code motion" §4.3);
+ * operations hoist above a split only when side-effect free and not
+ * *off-live* on the split's off-trace edge.
+ *
+ * Dependence kinds implemented (§4.3): true (source-destination),
+ * write-after-read, write-after-write, memory, off-live. Memory
+ * disambiguation uses (a) symbolic base+offset tracking through the
+ * H/TR/PDL/E/B allocation registers, (b) the disjointness of the
+ * abstract machine's memory areas, and (c) the freshly-allocated-cell
+ * argument for heap stores (optional, for the ablation study);
+ * everything else — in particular dereference-chain pointers into the
+ * stack, exactly the paper's observation — stays conservative.
+ */
+
+#ifndef SYMBOL_SCHED_COMPACT_HH
+#define SYMBOL_SCHED_COMPACT_HH
+
+#include "emul/machine.hh"
+#include "intcode/cfg.hh"
+#include "machine/config.hh"
+#include "vliw/code.hh"
+
+namespace symbol::sched
+{
+
+/** Compaction options. */
+struct CompactOptions
+{
+    /** Trace scheduling (true) or per-basic-block compaction. */
+    bool traceMode = true;
+    /** Use the fresh-heap-cell memory-disambiguation rule. */
+    bool freshAllocDisambiguation = true;
+    /** Upper bound on blocks per trace. */
+    int maxTraceBlocks = 64;
+    /** Upper bound on operations per trace. */
+    int maxTraceOps = 192;
+    /** Minimum edge count for a trace to keep growing. */
+    std::uint64_t minEdgeCount = 1;
+    /**
+     * Trace growth proceeds through join points by *tail duplication*
+     * (the paper's compensation copies): the joined block is copied
+     * into the trace while the original stays addressable. This
+     * factor bounds the total copied code relative to the original
+     * program size ("disadvantages of a larger code size ... are
+     * overcome by the advantage of a faster execution" §4.4).
+     */
+    double dupBudgetFactor = 3.0;
+    /** Stop growing when the next edge is colder than the trace head
+     *  by more than this ratio. */
+    double coldEdgeRatio = 0.25;
+};
+
+/** Descriptive statistics about the compacted code. */
+struct CompactStats
+{
+    std::size_t numRegions = 0; ///< traces (or blocks) scheduled
+    std::size_t totalOps = 0;
+    std::size_t wideInstrs = 0;
+    /** Static mean of operations per scheduled region. */
+    double avgStaticLength = 0.0;
+    /** Expect-weighted mean of operations per region. */
+    double avgDynamicLength = 0.0;
+    /** Expect-weighted mean region length in blocks. */
+    double avgBlocksPerRegion = 0.0;
+    /** Peak simultaneously-live values homed on one unit (register
+     *  pressure against the 16-register banks of §5.2). */
+    int peakBankPressure = 0;
+};
+
+/** Result of compaction. */
+struct CompactResult
+{
+    vliw::Code code;
+    CompactStats stats;
+};
+
+/**
+ * Compact @p prog for @p config, guided by the Expect/Probability
+ * information in @p profile (from a sequential profiling run).
+ */
+CompactResult compact(const intcode::Program &prog,
+                      const emul::Profile &profile,
+                      const machine::MachineConfig &config,
+                      const CompactOptions &opts = {});
+
+} // namespace symbol::sched
+
+#endif // SYMBOL_SCHED_COMPACT_HH

@@ -1,0 +1,96 @@
+#include "sched/liveness.hh"
+
+namespace symbol::sched
+{
+
+using intcode::Block;
+using intcode::Cfg;
+using intcode::IInstr;
+using intcode::IOp;
+using intcode::Program;
+
+Liveness
+Liveness::compute(const Program &prog, const Cfg &cfg)
+{
+    Liveness lv;
+    const std::size_t nb = cfg.blocks.size();
+    lv.words_ = (static_cast<std::size_t>(prog.numRegs) + 63) / 64;
+    lv.liveIn_.assign(nb * lv.words_, 0);
+
+    // Per-block gen (upward-exposed uses) and kill (defs).
+    std::vector<std::uint64_t> gen(nb * lv.words_, 0);
+    std::vector<std::uint64_t> kill(nb * lv.words_, 0);
+    auto bit = [&](std::vector<std::uint64_t> &m, std::size_t b,
+                   int r) -> std::uint64_t & {
+        return m[b * lv.words_ + (static_cast<std::size_t>(r) >> 6)];
+    };
+    auto test = [&](const std::vector<std::uint64_t> &m,
+                    std::size_t b, int r) {
+        return (m[b * lv.words_ + (static_cast<std::size_t>(r) >> 6)] >>
+                (r & 63)) &
+               1;
+    };
+
+    for (std::size_t b = 0; b < nb; ++b) {
+        const Block &blk = cfg.blocks[b];
+        for (int k = blk.first; k <= blk.last; ++k) {
+            const IInstr &i =
+                prog.code[static_cast<std::size_t>(k)];
+            int uses[2];
+            int nu = 0;
+            intcode::useRegs(i, uses, nu);
+            for (int u = 0; u < nu; ++u) {
+                if (!test(kill, b, uses[u]))
+                    bit(gen, b, uses[u]) |=
+                        1ull << (uses[u] & 63);
+            }
+            int d = intcode::defReg(i);
+            if (d >= 0)
+                bit(kill, b, d) |= 1ull << (d & 63);
+        }
+    }
+
+    // Blocks reachable only through Jmpi: collect their ids once.
+    std::vector<std::size_t> entry_blocks;
+    for (std::size_t b = 0; b < nb; ++b) {
+        if (cfg.blocks[b].addressTaken || cfg.blocks[b].procEntry)
+            entry_blocks.push_back(b);
+    }
+
+    // Iterate to fixpoint (reverse order converges fast).
+    bool changed = true;
+    std::vector<std::uint64_t> out(lv.words_);
+    while (changed) {
+        changed = false;
+        for (std::size_t bi = nb; bi-- > 0;) {
+            const Block &blk = cfg.blocks[bi];
+            std::fill(out.begin(), out.end(), 0);
+            const IInstr &term =
+                prog.code[static_cast<std::size_t>(blk.last)];
+            if (term.op == IOp::Jmpi) {
+                for (std::size_t e : entry_blocks) {
+                    for (std::size_t w = 0; w < lv.words_; ++w)
+                        out[w] |= lv.liveIn_[e * lv.words_ + w];
+                }
+            }
+            for (int s : blk.succs) {
+                for (std::size_t w = 0; w < lv.words_; ++w)
+                    out[w] |= lv.liveIn_[static_cast<std::size_t>(s) *
+                                             lv.words_ +
+                                         w];
+            }
+            for (std::size_t w = 0; w < lv.words_; ++w) {
+                std::uint64_t in =
+                    gen[bi * lv.words_ + w] |
+                    (out[w] & ~kill[bi * lv.words_ + w]);
+                if (in != lv.liveIn_[bi * lv.words_ + w]) {
+                    lv.liveIn_[bi * lv.words_ + w] = in;
+                    changed = true;
+                }
+            }
+        }
+    }
+    return lv;
+}
+
+} // namespace symbol::sched

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Register liveness over the ICI control-flow graph.
+ *
+ * Needed for the *off-live* dependence of §4.3: an operation may be
+ * hoisted above an in-trace branch only if its destination is not
+ * live on the branch's off-trace edge. Blocks ending in Jmpi have
+ * statically unknown successors; their live-out conservatively
+ * includes the live-in of every address-taken or procedure-entry
+ * block.
+ */
+
+#ifndef SYMBOL_SCHED_LIVENESS_HH
+#define SYMBOL_SCHED_LIVENESS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "intcode/cfg.hh"
+
+namespace symbol::sched
+{
+
+/** Per-block live-in sets as packed bitsets. */
+class Liveness
+{
+  public:
+    static Liveness compute(const intcode::Program &prog,
+                            const intcode::Cfg &cfg);
+
+    /** Is @p reg live at the entry of @p block? */
+    bool
+    isLiveIn(int block, int reg) const
+    {
+        const std::uint64_t *bits =
+            liveIn_.data() +
+            static_cast<std::size_t>(block) * words_;
+        return (bits[static_cast<std::size_t>(reg) >> 6] >>
+                (reg & 63)) &
+               1;
+    }
+
+  private:
+    std::size_t words_ = 0;
+    /** blocks x words_ matrix. */
+    std::vector<std::uint64_t> liveIn_;
+};
+
+} // namespace symbol::sched
+
+#endif // SYMBOL_SCHED_LIVENESS_HH

@@ -1,0 +1,385 @@
+#include "suite/benchmarks.hh"
+
+#include "support/diagnostics.hh"
+
+namespace symbol::suite
+{
+
+namespace
+{
+
+std::vector<Benchmark>
+makeSuite()
+{
+    std::vector<Benchmark> v;
+
+    // ---------------------------------------------------------------
+    v.push_back({"conc30", R"PL(
+% Concatenation of a 30-element list (Warren's concat kernel).
+conc([], L, L).
+conc([X|L1], L2, [X|L3]) :- conc(L1, L2, L3).
+
+main :-
+    conc([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,
+          16,17,18,19,20,21,22,23,24,25,26,27,28,29,30],
+         [31,32,33], R),
+    out(R).
+)PL", 
+                 "[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21,22,23,24,25,26,27,28,29,30,31,32,33]\n"});
+
+    // ---------------------------------------------------------------
+    v.push_back({"crypt", R"PL(
+% Crypto-arithmetic digit puzzle: find EO * EO products whose digits
+% are all odd (a reconstruction of the classic crypt search shape:
+% digit generators, arithmetic, deep backtracking).
+even(0). even(2). even(4). even(6). even(8).
+odd(1). odd(3). odd(5). odd(7). odd(9).
+
+allodd(0).
+allodd(N) :- N > 0, D is N mod 10, odd(D), Q is N // 10, allodd(Q).
+
+main :-
+    even(A), A > 0, odd(B), even(C), C > 0, odd(D),
+    N is (10 * A + B) * (10 * C + D),
+    N >= 1000,
+    allodd(N),
+    out([A,B,C,D,N]).
+)PL", 
+                 "[2,3,8,5,1955]\n"});
+
+    // ---------------------------------------------------------------
+    const char *deriv = R"PL(
+% Warren's symbolic differentiation kernel.
+d(U + V, X, DU + DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U - V, X, DU - DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U * V, X, DU * V + U * DV) :- !, d(U, X, DU), d(V, X, DV).
+d(U / V, X, (DU * V - U * DV) / (V * V)) :- !, d(U, X, DU), d(V, X, DV).
+d(U ^ N, X, DU * N * U ^ N1) :- !, integer(N), N1 is N - 1, d(U, X, DU).
+d(- U, X, - DU) :- !, d(U, X, DU).
+d(exp(U), X, exp(U) * DU) :- !, d(U, X, DU).
+d(log(U), X, DU / U) :- !, d(U, X, DU).
+d(X, X, 1) :- !.
+d(_, _, 0).
+)PL";
+
+    v.push_back({"divide10", std::string(deriv) + R"PL(
+main :-
+    d(((((((((x / x) / x) / x) / x) / x) / x) / x) / x) / x, x, D),
+    out(D).
+)PL", 
+                 "/(-(*(/(-(*(/(-(*(/(-(*(/(-(*(/(-(*(/(-(*(/(-(*(/(-(*(1,x),*(x,1)),*(x,x)),x),*(/(x,x),1)),*(x,x)),x),*(/(/(x,x),x),1)),*(x,x)),x),*(/(/(/(x,x),x),x),1)),*(x,x)),x),*(/(/(/(/(x,x),x),x),x),1)),*(x,x)),x),*(/(/(/(/(/(x,x),x),x),x),x),1)),*(x,x)),x),*(/(/(/(/(/(/(x,x),x),x),x),x),x),1)),*(x,x)),x),*(/(/(/(/(/(/(/(x,x),x),x),x),x),x),x),1)),*(x,x)),x),*(/(/(/(/(/(/(/(/(x,x),x),x),x),x),x),x),x),1)),*(x,x))\n"});
+
+    v.push_back({"log10", std::string(deriv) + R"PL(
+main :-
+    d(log(log(log(log(log(log(log(log(log(log(x)))))))))), x, D),
+    out(D).
+)PL", 
+                 "/(/(/(/(/(/(/(/(/(/(1,x),log(x)),log(log(x))),log(log(log(x)))),log(log(log(log(x))))),log(log(log(log(log(x)))))),log(log(log(log(log(log(x))))))),log(log(log(log(log(log(log(x)))))))),log(log(log(log(log(log(log(log(x))))))))),log(log(log(log(log(log(log(log(log(x))))))))))\n"});
+
+    // ---------------------------------------------------------------
+    v.push_back({"mu", R"PL(
+% Hofstadter's MU puzzle: derive a string of the MIU system within a
+% bounded number of rule applications.
+app([], L, L).
+app([X|L1], L2, [X|L3]) :- app(L1, L2, L3).
+
+rules(S, R) :- rule1(S, R).
+rules(S, R) :- rule2(S, R).
+rules(S, R) :- rule3(S, R).
+rules(S, R) :- rule4(S, R).
+
+rule1(S, R) :- app(X, [i], S), app(X, [i,u], R).
+rule2([m|T], [m|R]) :- app(T, T, R).
+rule3(S, R) :- app(X, [i,i,i|U], S), app(X, [u|U], R).
+rule4(S, R) :- app(X, [u,u|U], S), app(X, U, R).
+
+theorem(_, [m,i]).
+theorem(D, R) :- D > 0, D1 is D - 1, theorem(D1, S), rules(S, R).
+
+main :- theorem(4, [m,u,i,u]), out(derived).
+)PL", 
+                 "derived\n"});
+
+    // ---------------------------------------------------------------
+    v.push_back({"nreverse", R"PL(
+% Naive reverse of a 30-element list: the canonical LIPS benchmark.
+app([], L, L).
+app([X|L1], L2, [X|L3]) :- app(L1, L2, L3).
+
+nrev([], []).
+nrev([X|L], R) :- nrev(L, RL), app(RL, [X], R).
+
+main :-
+    nrev([1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,
+          16,17,18,19,20,21,22,23,24,25,26,27,28,29,30], R),
+    out(R).
+)PL", 
+                 "[30,29,28,27,26,25,24,23,22,21,20,19,18,17,16,15,14,13,12,11,10,9,8,7,6,5,4,3,2,1]\n"});
+
+    // ---------------------------------------------------------------
+    v.push_back({"ops8", std::string(deriv) + R"PL(
+main :-
+    d((x + 1) * ((x ^ 2 + 2) * (x ^ 3 + 3)), x, D),
+    out(D).
+)PL", 
+                 "+(*(+(1,0),*(+(^(x,2),2),+(^(x,3),3))),*(+(x,1),+(*(+(*(*(1,2),^(x,1)),0),+(^(x,3),3)),*(+(^(x,2),2),+(*(*(1,3),^(x,2)),0)))))\n"});
+
+    // ---------------------------------------------------------------
+    v.push_back({"prover", R"PL(
+% A propositional sequent prover (Wang's algorithm): proves a battery
+% of classic tautologies, including Peirce's law.
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+
+th(G, D) :- member(X, G), atom(X), member(X, D).
+th(G, D) :- sel(neg(A), G, G1), th(G1, [A|D]).
+th(G, D) :- sel(and(A,B), G, G1), th([A,B|G1], D).
+th(G, D) :- sel(or(A,B), G, G1), th([A|G1], D), th([B|G1], D).
+th(G, D) :- sel(imp(A,B), G, G1), th(G1, [A|D]), th([B|G1], D).
+th(G, D) :- sel(neg(A), D, D1), th([A|G], D1).
+th(G, D) :- sel(and(A,B), D, D1), th(G, [A|D1]), th(G, [B|D1]).
+th(G, D) :- sel(or(A,B), D, D1), th(G, [A,B|D1]).
+th(G, D) :- sel(imp(A,B), D, D1), th([A|G], [B|D1]).
+
+prove(F) :- th([], [F]).
+
+main :-
+    prove(imp(and(p,q), and(q,p))),
+    prove(or(p, neg(p))),
+    prove(imp(imp(imp(p,q), p), p)),
+    prove(imp(neg(neg(p)), p)),
+    prove(imp(and(imp(p,q), imp(q,r)), imp(p,r))),
+    prove(imp(and(or(p,q), and(imp(p,r), imp(q,r))), r)),
+    prove(or(imp(p,q), imp(q,p))),
+    out(proved).
+)PL", 
+                 "proved\n"});
+
+    // ---------------------------------------------------------------
+    v.push_back({"qsort", R"PL(
+% Warren's quicksort of the standard 50-element list, with
+% difference-list accumulation.
+qsort([], R, R).
+qsort([X|L], R, R0) :-
+    partition(L, X, L1, L2),
+    qsort(L2, R1, R0),
+    qsort(L1, R, [X|R1]).
+
+partition([], _, [], []).
+partition([X|L], Y, [X|L1], L2) :- X =< Y, !, partition(L, Y, L1, L2).
+partition([X|L], Y, L1, [X|L2]) :- partition(L, Y, L1, L2).
+
+main :-
+    qsort([27,74,17,33,94,18,46,83,65,2,
+           32,53,28,85,99,47,28,82,6,11,
+           55,29,39,81,90,37,10,0,66,51,
+           7,21,85,27,31,63,75,4,95,99,
+           11,28,61,74,18,92,40,53,59,8], R, []),
+    out(R).
+)PL", 
+                 "[0,2,4,6,7,8,10,11,11,17,18,18,21,27,27,28,28,28,29,31,32,33,37,39,40,46,47,51,53,53,55,59,61,63,65,66,74,74,75,81,82,83,85,85,90,92,94,95,99,99]\n"});
+
+    // ---------------------------------------------------------------
+    v.push_back({"queens_8", R"PL(
+% First solution of the 8-queens problem (permutation formulation).
+range(N, N, [N]) :- !.
+range(M, N, [M|Ns]) :- M < N, M1 is M + 1, range(M1, N, Ns).
+
+sel(X, [X|T], T).
+sel(X, [H|T], [H|R]) :- sel(X, T, R).
+
+attack(X, Xs) :- attack3(X, 1, Xs).
+attack3(X, N, [Y|_]) :- X =:= Y + N.
+attack3(X, N, [Y|_]) :- X =:= Y - N.
+attack3(X, N, [_|Ys]) :- N1 is N + 1, attack3(X, N1, Ys).
+
+queens([], Qs, Qs).
+queens(Unplaced, Safe, Qs) :-
+    sel(Q, Unplaced, Rest),
+    \+ attack(Q, Safe),
+    queens(Rest, [Q|Safe], Qs).
+
+main :- range(1, 8, Ns), queens(Ns, [], Qs), out(Qs).
+)PL", 
+                 "[4,2,7,3,6,8,5,1]\n"});
+
+    // ---------------------------------------------------------------
+    v.push_back({"query", R"PL(
+% The classic database query benchmark: pairs of countries whose
+% population densities are within 5 percent of each other.
+main :- query(X), out(X), fail.
+main :- out(done).
+
+query([C1, D1, C2, D2]) :-
+    density(C1, D1), density(C2, D2),
+    D1 > D2,
+    T1 is 20 * D1, T2 is 21 * D2, T1 < T2.
+
+density(C, D) :- pop(C, P), area(C, A), D is P * 100 // A.
+
+pop(china, 8250).      pop(india, 5863).      pop(ussr, 2521).
+pop(usa, 2119).        pop(indonesia, 1276).  pop(japan, 1097).
+pop(brazil, 1042).     pop(bangladesh, 750).  pop(pakistan, 682).
+pop(w_germany, 620).   pop(nigeria, 613).     pop(mexico, 581).
+pop(uk, 559).          pop(italy, 554).       pop(france, 525).
+pop(philippines, 415). pop(thailand, 410).    pop(turkey, 383).
+pop(egypt, 364).       pop(spain, 352).       pop(poland, 337).
+pop(s_korea, 335).     pop(iran, 320).        pop(ethiopia, 272).
+pop(argentina, 251).
+
+area(china, 3380).     area(india, 1139).     area(ussr, 8708).
+area(usa, 3609).       area(indonesia, 570).  area(japan, 148).
+area(brazil, 3288).    area(bangladesh, 55).  area(pakistan, 311).
+area(w_germany, 96).   area(nigeria, 373).    area(mexico, 764).
+area(uk, 86).          area(italy, 116).      area(france, 213).
+area(philippines, 90). area(thailand, 200).   area(turkey, 296).
+area(egypt, 386).      area(spain, 190).      area(poland, 121).
+area(s_korea, 37).     area(iran, 628).       area(ethiopia, 350).
+area(argentina, 1080).
+)PL", 
+                 "[indonesia,223,pakistan,219]\n[uk,650,w_germany,645]\n[italy,477,philippines,461]\n[france,246,china,244]\n[ethiopia,77,mexico,76]\ndone\n"});
+
+    // ---------------------------------------------------------------
+    v.push_back({"sendmore", R"PL(
+% SEND + MORE = MONEY, solved column-wise with carries.
+dig(0). dig(1). dig(2). dig(3). dig(4).
+dig(5). dig(6). dig(7). dig(8). dig(9).
+carry(0). carry(1).
+
+main :- solve(S,E,N,D,M,O,R,Y), out([S,E,N,D,M,O,R,Y]).
+
+solve(S,E,N,D,M,O,R,Y) :-
+    M = 1,
+    dig(D), D =\= M,
+    dig(E), E =\= M, E =\= D,
+    T1 is D + E, Y is T1 mod 10, C1 is T1 // 10,
+    Y =\= M, Y =\= D, Y =\= E,
+    dig(N), N =\= M, N =\= D, N =\= E, N =\= Y,
+    carry(C2),
+    R is E + 10 * C2 - N - C1, R >= 0, R =< 9,
+    R =\= M, R =\= D, R =\= E, R =\= Y, R =\= N,
+    carry(C3),
+    O is N + 10 * C3 - E - C2, O >= 0, O =< 9,
+    O =\= M, O =\= D, O =\= E, O =\= Y, O =\= N, O =\= R,
+    S is O + 10 - M - C3, S >= 1, S =< 9,
+    S =\= D, S =\= E, S =\= Y, S =\= N, S =\= R, S =\= O.
+)PL", 
+                 "[9,5,6,7,1,0,8,2]\n"});
+
+    // ---------------------------------------------------------------
+    v.push_back({"serialise", R"PL(
+% Warren's serialise: replace each character of a palindrome by its
+% rank among the distinct characters, via an ordered tree.
+serialise(L, R) :- pairlists(L, R, A), arrange(A, T), numbered(T, 1, _).
+
+pairlists([X|L], [Y|R], [pair(X,Y)|A]) :- pairlists(L, R, A).
+pairlists([], [], []).
+
+arrange([X|L], tree(T1, X, T2)) :-
+    split(L, X, L1, L2),
+    arrange(L1, T1),
+    arrange(L2, T2).
+arrange([], void).
+
+split([X|L], X, L1, L2) :- !, split(L, X, L1, L2).
+split([X|L], Y, [X|L1], L2) :- before(X, Y), !, split(L, Y, L1, L2).
+split([X|L], Y, L1, [X|L2]) :- before(Y, X), !, split(L, Y, L1, L2).
+split([], _, [], []).
+
+before(pair(X1, _), pair(X2, _)) :- X1 < X2.
+
+numbered(tree(T1, pair(_, N1), T2), N0, N) :-
+    numbered(T1, N0, N1),
+    N2 is N1 + 1,
+    numbered(T2, N2, N).
+numbered(void, N, N).
+
+main :- serialise("ABLE WAS I ERE I SAW ELBA", R), out(R).
+)PL", 
+                 "[2,3,6,4,1,9,2,8,1,5,1,4,7,4,1,5,1,8,2,9,1,4,6,3,2]\n"});
+
+    // ---------------------------------------------------------------
+    v.push_back({"tak", R"PL(
+% The Takeuchi function, tak(18,12,6) = 7: deep deterministic
+% recursion dominated by integer arithmetic and shallow indexing.
+tak(X, Y, Z, A) :- X =< Y, !, Z = A.
+tak(X, Y, Z, A) :-
+    X1 is X - 1, Y1 is Y - 1, Z1 is Z - 1,
+    tak(X1, Y, Z, A1),
+    tak(Y1, Z, X, A2),
+    tak(Z1, X, Y, A3),
+    tak(A1, A2, A3, A).
+
+main :- tak(18, 12, 6, A), out(A).
+)PL", 
+                 "7\n"});
+
+    // ---------------------------------------------------------------
+    v.push_back({"times10", std::string(deriv) + R"PL(
+main :-
+    d(((((((((x * x) * x) * x) * x) * x) * x) * x) * x) * x, x, D),
+    out(D).
+)PL", 
+                 "+(*(+(*(+(*(+(*(+(*(+(*(+(*(+(*(+(*(1,x),*(x,1)),x),*(*(x,x),1)),x),*(*(*(x,x),x),1)),x),*(*(*(*(x,x),x),x),1)),x),*(*(*(*(*(x,x),x),x),x),1)),x),*(*(*(*(*(*(x,x),x),x),x),x),1)),x),*(*(*(*(*(*(*(x,x),x),x),x),x),x),1)),x),*(*(*(*(*(*(*(*(x,x),x),x),x),x),x),x),1)),x),*(*(*(*(*(*(*(*(*(x,x),x),x),x),x),x),x),x),1))\n"});
+
+    // ---------------------------------------------------------------
+    v.push_back({"zebra", R"PL(
+% The five-houses (zebra) puzzle: pure unification over a 5-element
+% house list with heavy shallow backtracking.
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+right_of(A, B, [B,A|_]).
+right_of(A, B, [_|T]) :- right_of(A, B, T).
+
+next_to(A, B, [A,B|_]).
+next_to(A, B, [B,A|_]).
+next_to(A, B, [_|T]) :- next_to(A, B, T).
+
+zebra(Z, W) :-
+    H = [house(norwegian,_,_,_,_), _, house(_,_,_,milk,_), _, _],
+    member(house(englishman,_,_,_,red), H),
+    member(house(spaniard,dog,_,_,_), H),
+    member(house(_,_,_,coffee,green), H),
+    member(house(ukrainian,_,_,tea,_), H),
+    right_of(house(_,_,_,_,green), house(_,_,_,_,ivory), H),
+    member(house(_,snails,oldgold,_,_), H),
+    member(house(_,_,kools,_,yellow), H),
+    next_to(house(_,_,chesterfield,_,_), house(_,fox,_,_,_), H),
+    next_to(house(_,_,kools,_,_), house(_,horse,_,_,_), H),
+    member(house(_,_,luckystrike,orangejuice,_), H),
+    member(house(japanese,_,parliament,_,_), H),
+    next_to(house(norwegian,_,_,_,_), house(_,_,_,_,blue), H),
+    member(house(Z,zebra,_,_,_), H),
+    member(house(W,_,_,water,_), H).
+
+main :- zebra(Z, W), out(Z), out(W).
+)PL", 
+                 "japanese\nnorwegian\n"});
+
+    return v;
+}
+
+} // namespace
+
+const std::vector<Benchmark> &
+aquarius()
+{
+    static const std::vector<Benchmark> suite = makeSuite();
+    return suite;
+}
+
+const Benchmark &
+benchmark(const std::string &name)
+{
+    for (const Benchmark &b : aquarius()) {
+        if (b.name == name)
+            return b;
+    }
+    throw CompileError("unknown benchmark: " + name);
+}
+
+} // namespace symbol::suite

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The benchmark subset of the Aquarius suite used in the paper
+ * (§4, Tables 1-5): conc30, crypt, divide10, log10, mu, nreverse,
+ * ops8, prover, qsort, queens_8, query, sendmore, serialise, tak,
+ * times10, zebra.
+ *
+ * The Aquarius sources themselves are not redistributable here; these
+ * are faithful re-writes of the same classic folk benchmarks (Warren's
+ * benchmark set and its descendants) with the same workloads and
+ * sizes. Every program defines main/0 and reports its answer through
+ * out/1, so runs are validated end to end against the expected
+ * answer text.
+ */
+
+#ifndef SYMBOL_SUITE_BENCHMARKS_HH
+#define SYMBOL_SUITE_BENCHMARKS_HH
+
+#include <string>
+#include <vector>
+
+namespace symbol::suite
+{
+
+/** One benchmark program. */
+struct Benchmark
+{
+    std::string name;
+    /** Complete Prolog source (defines main/0). */
+    std::string source;
+    /** Expected decoded output (empty = only check non-failure). */
+    std::string expected;
+};
+
+/** The full benchmark set, in the paper's table order. */
+const std::vector<Benchmark> &aquarius();
+
+/** Look up one benchmark by name (throws CompileError if missing). */
+const Benchmark &benchmark(const std::string &name);
+
+} // namespace symbol::suite
+
+#endif // SYMBOL_SUITE_BENCHMARKS_HH

@@ -1,0 +1,95 @@
+#include "suite/pipeline.hh"
+
+#include "analysis/stats.hh"
+#include "support/diagnostics.hh"
+
+namespace symbol::suite
+{
+
+Workload::Workload(const Benchmark &bench, const WorkloadOptions &opts)
+    : bench_(&bench), maxSteps_(opts.maxSteps)
+{
+    interner_ = std::make_unique<Interner>();
+    prog_ = std::make_unique<prolog::Program>(
+        prolog::parseProgram(bench.source, *interner_));
+    module_ = std::make_unique<bam::Module>(
+        bamc::compile(*prog_, opts.compiler));
+    ici_ = std::make_unique<intcode::Program>(
+        intcode::translate(*module_, opts.translate));
+
+    emul::Machine machine(*ici_);
+    emul::RunOptions ro;
+    ro.maxSteps = maxSteps_;
+    run_ = machine.run(ro);
+    if (!run_.halted)
+        throw RuntimeError(bench.name +
+                           ": sequential run did not halt");
+    seqOutput_ = machine.decodeOutput();
+}
+
+std::uint64_t
+Workload::seqCyclesFor(const machine::MachineConfig &config) const
+{
+    std::pair<int, int> key{config.memLatency, config.branchPenalty};
+    if (key == std::pair<int, int>{2, 1})
+        return run_.seqCycles; // the default model
+    auto it = seqCache_.find(key);
+    if (it != seqCache_.end())
+        return it->second;
+    emul::Machine machine(*ici_);
+    emul::RunOptions ro;
+    ro.maxSteps = maxSteps_;
+    ro.collectProfile = false;
+    ro.memLatency = config.memLatency;
+    ro.takenPenalty = config.branchPenalty;
+    std::uint64_t cycles = machine.run(ro).seqCycles;
+    seqCache_[key] = cycles;
+    return cycles;
+}
+
+std::uint64_t
+Workload::bamCycles() const
+{
+    return analysis::bamCycles(*ici_, run_.profile);
+}
+
+bool
+Workload::answerMatches() const
+{
+    return bench_->expected.empty() ||
+           seqOutput_ == bench_->expected;
+}
+
+VliwRun
+Workload::runVliw(const machine::MachineConfig &config,
+                  const sched::CompactOptions &copts) const
+{
+    sched::CompactResult cr =
+        sched::compact(*ici_, run_.profile, config, copts);
+    vliw::Machine vm(cr.code, config);
+    vliw::SimOptions so;
+    so.maxCycles = maxSteps_ * 4;
+    vliw::SimResult sr = vm.run(so);
+
+    VliwRun out;
+    out.cycles = sr.cycles;
+    out.wideExecuted = sr.wideExecuted;
+    out.opsExecuted = sr.opsExecuted;
+    out.latencyViolations = sr.latencyViolations;
+    out.output = vm.decodeOutput();
+    out.stats = cr.stats;
+    out.speedupVsSeq =
+        sr.cycles ? static_cast<double>(seqCyclesFor(config)) /
+                        static_cast<double>(sr.cycles)
+                  : 0.0;
+    if (out.output != seqOutput_)
+        throw RuntimeError(
+            bench_->name + " (" + config.name +
+            "): VLIW output diverges from the sequential answer");
+    if (out.latencyViolations != 0)
+        throw RuntimeError(bench_->name + " (" + config.name +
+                           "): schedule violates latencies");
+    return out;
+}
+
+} // namespace symbol::suite

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The end-to-end evaluation pipeline of the paper's Fig. 1: Prolog
+ * source → BAM compiler → IntCode translation → sequential profiling
+ * emulation → global compaction → VLIW simulation.
+ *
+ * Workload owns every intermediate artefact with stable addresses, so
+ * downstream consumers can keep references while exploring multiple
+ * machine configurations over the same profiled program.
+ */
+
+#ifndef SYMBOL_SUITE_PIPELINE_HH
+#define SYMBOL_SUITE_PIPELINE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "bamc/compiler.hh"
+#include "emul/machine.hh"
+#include "intcode/translate.hh"
+#include "prolog/parser.hh"
+#include "sched/compact.hh"
+#include "suite/benchmarks.hh"
+#include "vliw/sim.hh"
+
+namespace symbol::suite
+{
+
+/** Front-end configuration for a Workload. */
+struct WorkloadOptions
+{
+    bamc::CompilerOptions compiler;
+    intcode::TranslateOptions translate;
+    std::uint64_t maxSteps = 600'000'000;
+};
+
+/** Outcome of one compacted-machine evaluation. */
+struct VliwRun
+{
+    std::uint64_t cycles = 0;
+    std::uint64_t wideExecuted = 0;
+    std::uint64_t opsExecuted = 0;
+    std::uint64_t latencyViolations = 0;
+    double speedupVsSeq = 0.0;
+    std::string output;
+    sched::CompactStats stats;
+};
+
+/** A benchmark carried through the front half of the pipeline. */
+class Workload
+{
+  public:
+    explicit Workload(const Benchmark &bench,
+                      const WorkloadOptions &opts = {});
+
+    const Benchmark &bench() const { return *bench_; }
+    const intcode::Program &ici() const { return *ici_; }
+    const emul::Profile &profile() const { return run_.profile; }
+
+    /** Executed ICIs on the sequential emulator. */
+    std::uint64_t instructions() const { return run_.instructions; }
+    /** Cycles of the pure sequential reference machine. */
+    std::uint64_t seqCycles() const { return run_.seqCycles; }
+    /**
+     * Sequential-machine cycles under the operation durations of
+     * @p config — the paper compares each architecture against "a
+     * sequential implementation which obeys the same operation
+     * duration hypotheses" (§5.3). Cached per latency pair.
+     */
+    std::uint64_t
+    seqCyclesFor(const machine::MachineConfig &config) const;
+    /** Cycles of the BAM-processor baseline model. */
+    std::uint64_t bamCycles() const;
+    /** Decoded answer from the sequential run. */
+    const std::string &seqOutput() const { return seqOutput_; }
+    /** Whether the sequential answer matches the pinned expectation. */
+    bool answerMatches() const;
+
+    /**
+     * Compact for @p config and simulate. Throws RuntimeError if the
+     * VLIW execution diverges from the sequential answer — the
+     * end-to-end correctness check of the back end.
+     */
+    VliwRun runVliw(const machine::MachineConfig &config,
+                    const sched::CompactOptions &copts = {}) const;
+
+  private:
+    const Benchmark *bench_;
+    std::unique_ptr<Interner> interner_;
+    std::unique_ptr<prolog::Program> prog_;
+    std::unique_ptr<bam::Module> module_;
+    std::unique_ptr<intcode::Program> ici_;
+    emul::RunResult run_;
+    std::string seqOutput_;
+    std::uint64_t maxSteps_;
+    mutable std::map<std::pair<int, int>, std::uint64_t> seqCache_;
+};
+
+} // namespace symbol::suite
+
+#endif // SYMBOL_SUITE_PIPELINE_HH

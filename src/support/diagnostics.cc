@@ -1,0 +1,40 @@
+#include "support/diagnostics.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace symbol
+{
+
+std::string
+SourcePos::str() const
+{
+    std::ostringstream os;
+    os << line << ':' << column;
+    return os.str();
+}
+
+CompileError::CompileError(const std::string &msg)
+    : std::runtime_error(msg)
+{
+}
+
+CompileError::CompileError(const SourcePos &pos, const std::string &msg)
+    : std::runtime_error(pos.str() + ": " + msg)
+{
+}
+
+RuntimeError::RuntimeError(const std::string &msg)
+    : std::runtime_error(msg)
+{
+}
+
+void
+panic(const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s\n", msg.c_str());
+    std::abort();
+}
+
+} // namespace symbol

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Error-reporting primitives shared by every SYMBOL component.
+ *
+ * Two failure classes are distinguished, following common simulator
+ * practice:
+ *  - CompileError / RuntimeError: the *input* (a Prolog program, a
+ *    machine description) is at fault. These are ordinary exceptions a
+ *    driver may catch and report.
+ *  - panic(): an internal invariant of the toolchain itself is broken.
+ */
+
+#ifndef SYMBOL_SUPPORT_DIAGNOSTICS_HH
+#define SYMBOL_SUPPORT_DIAGNOSTICS_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace symbol
+{
+
+/** A position inside a source text, for error messages. */
+struct SourcePos
+{
+    int line = 0;
+    int column = 0;
+
+    /** Render as "line:column". */
+    std::string str() const;
+};
+
+/** Raised when user input (Prolog source, configuration) is invalid. */
+class CompileError : public std::runtime_error
+{
+  public:
+    explicit CompileError(const std::string &msg);
+    CompileError(const SourcePos &pos, const std::string &msg);
+};
+
+/** Raised when emulated code performs an illegal operation. */
+class RuntimeError : public std::runtime_error
+{
+  public:
+    explicit RuntimeError(const std::string &msg);
+};
+
+/**
+ * Abort with a message; used for violated internal invariants only.
+ * Never returns.
+ */
+[[noreturn]] void panic(const std::string &msg);
+
+/** panic() unless @p cond holds. */
+inline void
+panicIf(bool cond, const std::string &msg)
+{
+    if (cond)
+        panic(msg);
+}
+
+} // namespace symbol
+
+#endif // SYMBOL_SUPPORT_DIAGNOSTICS_HH

@@ -1,0 +1,47 @@
+#include "support/interner.hh"
+
+#include "support/diagnostics.hh"
+
+namespace symbol
+{
+
+Interner::Interner()
+{
+    nilAtom_ = intern("[]");
+    trueAtom_ = intern("true");
+    failAtom_ = intern("fail");
+}
+
+AtomId
+Interner::intern(const std::string &name)
+{
+    auto it = ids_.find(name);
+    if (it != ids_.end())
+        return it->second;
+    AtomId id = static_cast<AtomId>(names_.size());
+    names_.push_back(name);
+    ids_.emplace(name, id);
+    return id;
+}
+
+AtomId
+Interner::find(const std::string &name) const
+{
+    auto it = ids_.find(name);
+    return it == ids_.end() ? -1 : it->second;
+}
+
+const std::string &
+Interner::name(AtomId id) const
+{
+    panicIf(!valid(id), "Interner::name: invalid atom id");
+    return names_[static_cast<std::size_t>(id)];
+}
+
+bool
+Interner::valid(AtomId id) const
+{
+    return id >= 0 && static_cast<std::size_t>(id) < names_.size();
+}
+
+} // namespace symbol

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * String interning for Prolog atoms and functor names.
+ *
+ * Every atom that appears anywhere in the toolchain is mapped to a
+ * dense small integer so that emulated tagged words can carry atoms as
+ * plain indices and comparisons are O(1). A single Interner instance is
+ * owned by the front end and threaded through the pipeline.
+ */
+
+#ifndef SYMBOL_SUPPORT_INTERNER_HH
+#define SYMBOL_SUPPORT_INTERNER_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace symbol
+{
+
+/** Dense identifier of an interned string. */
+using AtomId = std::int32_t;
+
+/** Bidirectional string <-> dense-id table. */
+class Interner
+{
+  public:
+    Interner();
+
+    /** Intern @p name, returning its stable id (idempotent). */
+    AtomId intern(const std::string &name);
+
+    /** Look up an existing id, or -1 if never interned. */
+    AtomId find(const std::string &name) const;
+
+    /** The text of an id. The id must be valid. */
+    const std::string &name(AtomId id) const;
+
+    /** Whether @p id names an interned atom. */
+    bool valid(AtomId id) const;
+
+    /** Number of interned strings. */
+    std::size_t size() const { return names_.size(); }
+
+    /** @name Atoms pre-interned by the constructor. */
+    /** @{ */
+    AtomId nilAtom() const { return nilAtom_; }
+    AtomId trueAtom() const { return trueAtom_; }
+    AtomId failAtom() const { return failAtom_; }
+    /** @} */
+
+  private:
+    std::vector<std::string> names_;
+    std::unordered_map<std::string, AtomId> ids_;
+    AtomId nilAtom_;
+    AtomId trueAtom_;
+    AtomId failAtom_;
+};
+
+} // namespace symbol
+
+#endif // SYMBOL_SUPPORT_INTERNER_HH

@@ -1,0 +1,110 @@
+#include "support/text.hh"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+
+namespace symbol
+{
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, ap2);
+        out.resize(static_cast<std::size_t>(n));
+    }
+    va_end(ap2);
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &text, char sep)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : text) {
+        if (c == sep) {
+            out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    out.push_back(cur);
+    return out;
+}
+
+std::string
+padLeft(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string
+padRight(const std::string &s, std::size_t width)
+{
+    if (s.size() >= width)
+        return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::string
+renderTable(const std::vector<std::vector<std::string>> &rows)
+{
+    if (rows.empty())
+        return "";
+    std::vector<std::size_t> widths;
+    for (const auto &row : rows) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    }
+    std::string out;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+        const auto &row = rows[r];
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            // First column left-aligned (names), the rest right-aligned
+            // (numbers), matching the layout of the paper's tables.
+            out += (i == 0 ? padRight(row[i], widths[i])
+                           : padLeft(row[i], widths[i]));
+            if (i + 1 < row.size())
+                out += "  ";
+        }
+        out += '\n';
+        if (r == 0) {
+            std::size_t total = 0;
+            for (std::size_t i = 0; i < widths.size(); ++i)
+                total += widths[i] + (i + 1 < widths.size() ? 2 : 0);
+            out += std::string(total, '-');
+            out += '\n';
+        }
+    }
+    return out;
+}
+
+std::string
+barLine(const std::string &label, double frac, int width,
+        const std::string &value)
+{
+    frac = std::clamp(frac, 0.0, 1.0);
+    int n = static_cast<int>(frac * width + 0.5);
+    std::string out = padRight(label, 14) + "|";
+    out += std::string(static_cast<std::size_t>(n), '#');
+    out += std::string(static_cast<std::size_t>(width - n), ' ');
+    out += "| " + value;
+    return out;
+}
+
+} // namespace symbol

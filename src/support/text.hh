@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Small text-formatting helpers used by printers and reports.
+ */
+
+#ifndef SYMBOL_SUPPORT_TEXT_HH
+#define SYMBOL_SUPPORT_TEXT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace symbol
+{
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Split @p text on @p sep, keeping empty fields. */
+std::vector<std::string> split(const std::string &text, char sep);
+
+/** Left-pad @p s with spaces to at least @p width characters. */
+std::string padLeft(const std::string &s, std::size_t width);
+
+/** Right-pad @p s with spaces to at least @p width characters. */
+std::string padRight(const std::string &s, std::size_t width);
+
+/**
+ * Render a plain-text table: first row is the header, columns are
+ * auto-sized. Used by the bench harnesses to print paper tables.
+ */
+std::string renderTable(const std::vector<std::vector<std::string>> &rows);
+
+/**
+ * Render a horizontal ASCII bar chart line: a label, a bar scaled to
+ * @p frac of @p width, and a value string.
+ */
+std::string barLine(const std::string &label, double frac, int width,
+                    const std::string &value);
+
+} // namespace symbol
+
+#endif // SYMBOL_SUPPORT_TEXT_HH

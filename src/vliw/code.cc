@@ -1,0 +1,32 @@
+#include "vliw/code.hh"
+
+#include "support/text.hh"
+
+namespace symbol::vliw
+{
+
+std::string
+Code::str() const
+{
+    std::string out;
+    intcode::Program helper;
+    helper.interner = interner;
+    for (std::size_t k = 0; k < code.size(); ++k) {
+        out += strprintf("%6d: ", static_cast<int>(k));
+        if (code[k].ops.empty()) {
+            out += "(stall)\n";
+            continue;
+        }
+        bool first = true;
+        for (const MicroOp &m : code[k].ops) {
+            if (!first)
+                out += std::string(8, ' ');
+            first = false;
+            out += strprintf("u%d  %s\n", m.unit,
+                             helper.str(m.instr).c_str());
+        }
+    }
+    return out;
+}
+
+} // namespace symbol::vliw

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Compacted very-long-instruction-word code.
+ *
+ * A VLIW program is a sequence of wide instructions; each wide
+ * instruction bundles micro-operations that issue in the same cycle,
+ * every one bound to a unit by the Bottom-Up-Greedy pass. Branch
+ * targets are wide-instruction indices. When several branches share a
+ * cycle, the earliest taken one wins — the multi-way branch priority
+ * scheme of §5.1 ("the compiler includes bits in the instructions to
+ * specify the priority of the branch operations").
+ */
+
+#ifndef SYMBOL_VLIW_CODE_HH
+#define SYMBOL_VLIW_CODE_HH
+
+#include <string>
+#include <vector>
+
+#include "intcode/instr.hh"
+
+namespace symbol::vliw
+{
+
+/** One operation inside a wide instruction. */
+struct MicroOp
+{
+    intcode::IInstr instr;
+    /** Unit the op is bound to. */
+    int unit = 0;
+};
+
+/** One wide instruction (everything issues in the same cycle). */
+struct WideInstr
+{
+    /** In priority order: branch priority follows position. */
+    std::vector<MicroOp> ops;
+};
+
+/** A complete compacted program. */
+struct Code
+{
+    std::vector<WideInstr> code;
+    int entry = 0;
+    int numRegs = 0;
+    const Interner *interner = nullptr;
+
+    /** Total micro-operations. */
+    std::size_t
+    numOps() const
+    {
+        std::size_t n = 0;
+        for (const WideInstr &w : code)
+            n += w.ops.size();
+        return n;
+    }
+
+    /** Listing for debugging. */
+    std::string str() const;
+};
+
+} // namespace symbol::vliw
+
+#endif // SYMBOL_VLIW_CODE_HH

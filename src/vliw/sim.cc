@@ -1,0 +1,272 @@
+#include "vliw/sim.hh"
+
+#include <algorithm>
+
+#include "emul/machine.hh"
+#include "support/diagnostics.hh"
+#include "support/text.hh"
+
+namespace symbol::vliw
+{
+
+using bam::Tag;
+using intcode::IInstr;
+using intcode::IOp;
+using L = bam::Layout;
+
+Machine::Machine(const Code &code, const machine::MachineConfig &cfg)
+    : code_(code), config_(cfg),
+      regs_(static_cast<std::size_t>(code.numRegs), 0),
+      memory_(static_cast<std::size_t>(L::kMemWords), 0)
+{
+}
+
+namespace
+{
+
+/** A register write waiting for its latency to elapse. */
+struct Pending
+{
+    std::uint64_t due = 0;
+    std::uint64_t issued = 0;
+    Word value = 0;
+    bool valid = false;
+};
+
+std::int64_t
+valOf(Word w)
+{
+    return bam::wordVal(w);
+}
+
+} // namespace
+
+SimResult
+Machine::run(const SimOptions &opts)
+{
+    SimResult res;
+    res.unitOps.assign(static_cast<std::size_t>(config_.numUnits),
+                       0);
+    std::vector<Pending> pending(regs_.size());
+    // Registers with an in-flight write: the live set is tiny (a few
+    // per issue width), so committing scans this list, not the whole
+    // register file.
+    std::vector<int> inflight;
+    std::uint64_t now = 0;
+
+    auto commitDue = [&]() {
+        std::size_t keep = 0;
+        for (std::size_t k = 0; k < inflight.size(); ++k) {
+            std::size_t r = static_cast<std::size_t>(inflight[k]);
+            if (pending[r].valid && pending[r].due <= now) {
+                regs_[r] = pending[r].value;
+                pending[r].valid = false;
+            } else if (pending[r].valid) {
+                inflight[keep++] = inflight[k];
+            }
+        }
+        inflight.resize(keep);
+    };
+    auto readReg = [&](int r) {
+        std::size_t sr = static_cast<std::size_t>(r);
+        // A same-cycle write is the normal parallel-issue case (the
+        // read sees the pre-cycle value); only an *earlier* write
+        // whose latency has not elapsed is a scheduling violation.
+        if (pending[sr].valid && pending[sr].due > now &&
+            pending[sr].issued < now)
+            ++res.latencyViolations;
+        return regs_[sr];
+    };
+    auto writeReg = [&](int r, Word v, int latency) {
+        std::size_t sr = static_cast<std::size_t>(r);
+        if (pending[sr].valid)
+            ++res.latencyViolations; // overlapping writes
+        if (!pending[sr].valid)
+            inflight.push_back(r);
+        pending[sr].due = now + static_cast<std::uint64_t>(latency);
+        pending[sr].issued = now;
+        pending[sr].value = v;
+        pending[sr].valid = true;
+    };
+
+    std::int64_t pc = code_.entry;
+
+    while (true) {
+        if (pc < 0 ||
+            static_cast<std::size_t>(pc) >= code_.code.size())
+            throw RuntimeError(strprintf(
+                "VLIW PC out of range: %lld",
+                static_cast<long long>(pc)));
+        if (res.cycles > opts.maxCycles)
+            throw RuntimeError("VLIW cycle budget exhausted");
+
+        commitDue();
+        const WideInstr &w =
+            code_.code[static_cast<std::size_t>(pc)];
+        ++res.wideExecuted;
+
+        // Phase 1: read all operands against pre-cycle state and
+        // compute results; remember stores for phase 2.
+        struct StoreReq
+        {
+            std::int64_t addr;
+            Word value;
+        };
+        std::vector<StoreReq> stores;
+        std::int64_t next = pc + 1;
+        bool branched = false;
+        bool halted = false;
+        bool mem_busy = false;
+
+        for (const MicroOp &m : w.ops) {
+            const IInstr &i = m.instr;
+            ++res.opsExecuted;
+            if (m.unit >= 0 &&
+                m.unit < static_cast<int>(res.unitOps.size()))
+                ++res.unitOps[static_cast<std::size_t>(m.unit)];
+            Word a = i.ra >= 0 ? readReg(i.ra) : 0;
+            Word b = i.useImm
+                         ? i.imm
+                         : (i.rb >= 0 ? readReg(i.rb) : 0);
+
+            switch (i.op) {
+              case IOp::Ld: {
+                mem_busy = true;
+                std::int64_t addr = valOf(a) + i.off;
+                // Speculative loads never fault: out-of-range reads
+                // return a junk word.
+                Word v = (addr >= 0 && addr < L::kMemWords)
+                             ? memory_[static_cast<std::size_t>(
+                                   addr)]
+                             : 0;
+                writeReg(i.rd, v, config_.memLatency);
+                break;
+              }
+              case IOp::St: {
+                mem_busy = true;
+                std::int64_t addr = valOf(a) + i.off;
+                if (addr < 0 || addr >= L::kMemWords)
+                    throw RuntimeError(strprintf(
+                        "VLIW store out of range: %lld",
+                        static_cast<long long>(addr)));
+                stores.push_back({addr, b});
+                break;
+              }
+              case IOp::Add: case IOp::Sub: case IOp::Mul:
+              case IOp::Div: case IOp::Mod: case IOp::And:
+              case IOp::Or: case IOp::Xor: case IOp::Sll:
+              case IOp::Sra: {
+                std::int64_t x = valOf(a), y = valOf(b), v = 0;
+                switch (i.op) {
+                  case IOp::Add: v = x + y; break;
+                  case IOp::Sub: v = x - y; break;
+                  case IOp::Mul: v = x * y; break;
+                  // Division never traps on the exposed datapath.
+                  case IOp::Div: v = y ? x / y : 0; break;
+                  case IOp::Mod: v = y ? x % y : 0; break;
+                  case IOp::And: v = x & y; break;
+                  case IOp::Or: v = x | y; break;
+                  case IOp::Xor: v = x ^ y; break;
+                  case IOp::Sll: v = x << (y & 31); break;
+                  case IOp::Sra: v = x >> (y & 31); break;
+                  default: break;
+                }
+                writeReg(i.rd, bam::makeWord(Tag::Int, v),
+                         config_.aluLatency);
+                break;
+              }
+              case IOp::Mov:
+                writeReg(i.rd, a, config_.moveLatency);
+                break;
+              case IOp::Movi:
+                writeReg(i.rd, i.imm, config_.moveLatency);
+                break;
+              case IOp::MkTag:
+                writeReg(i.rd, bam::makeWord(i.tag, valOf(a)),
+                         config_.aluLatency);
+                break;
+              case IOp::GetTag:
+                writeReg(i.rd,
+                         bam::makeWord(
+                             Tag::Int,
+                             static_cast<std::int64_t>(
+                                 bam::wordTag(a))),
+                         config_.aluLatency);
+                break;
+              case IOp::Out:
+                output_.push_back(b);
+                break;
+              case IOp::Halt:
+                halted = true;
+                break;
+              case IOp::Nop:
+                break;
+              default: {
+                // Branches: the first taken one wins (priority).
+                if (branched || halted)
+                    break;
+                bool taken = false;
+                switch (i.op) {
+                  case IOp::Beq: taken = a == b; break;
+                  case IOp::Bne: taken = a != b; break;
+                  case IOp::Blt: taken = valOf(a) < valOf(b); break;
+                  case IOp::Ble: taken = valOf(a) <= valOf(b); break;
+                  case IOp::Bgt: taken = valOf(a) > valOf(b); break;
+                  case IOp::Bge: taken = valOf(a) >= valOf(b); break;
+                  case IOp::BtagEq:
+                    taken = bam::wordTag(a) == i.tag;
+                    break;
+                  case IOp::BtagNe:
+                    taken = bam::wordTag(a) != i.tag;
+                    break;
+                  case IOp::Jmp:
+                    taken = true;
+                    break;
+                  case IOp::Jmpi:
+                    taken = true;
+                    break;
+                  default:
+                    panic("unhandled VLIW op");
+                }
+                if (taken) {
+                    branched = true;
+                    next = i.op == IOp::Jmpi
+                               ? valOf(a)
+                               : i.target;
+                }
+                break;
+              }
+            }
+        }
+
+        // Phase 2: commit stores (after all loads read pre-state).
+        for (const StoreReq &s : stores)
+            memory_[static_cast<std::size_t>(s.addr)] = s.value;
+
+        now += 1;
+        res.cycles += 1;
+        if (mem_busy)
+            ++res.memBusyCycles;
+        if (halted) {
+            res.halted = true;
+            break;
+        }
+        if (branched) {
+            now += static_cast<std::uint64_t>(config_.branchPenalty);
+            res.cycles +=
+                static_cast<std::uint64_t>(config_.branchPenalty);
+        }
+        pc = next;
+    }
+
+    res.output = output_;
+    return res;
+}
+
+std::string
+Machine::decodeOutput() const
+{
+    return emul::decodeOutputStream(output_, code_.interner);
+}
+
+} // namespace symbol::vliw

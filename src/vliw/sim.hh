@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Event-driven simulator for compacted VLIW code (§3.2, §4.5).
+ *
+ * Executes wide instructions with parallel-issue semantics: all
+ * operand reads in a cycle see the pre-cycle machine state; register
+ * results commit after their operation latency (there are no
+ * interlocks — the schedule must respect latencies, and the
+ * simulator counts violations); at most one branch takes effect per
+ * cycle, the highest-priority (earliest-position) taken one, as in
+ * the prototype's multi-way branch scheme (§5.1).
+ *
+ * Speculatively hoisted loads may compute wild addresses on paths
+ * where they would not originally have executed; like the real
+ * datapath (no MMU, untranslated 28-bit addresses), such loads return
+ * a junk word instead of faulting. Stores are never speculated and
+ * remain strictly bounds-checked.
+ */
+
+#ifndef SYMBOL_VLIW_SIM_HH
+#define SYMBOL_VLIW_SIM_HH
+
+#include "machine/config.hh"
+#include "vliw/code.hh"
+
+namespace symbol::vliw
+{
+
+using bam::Word;
+
+/** Simulation limits. */
+struct SimOptions
+{
+    std::uint64_t maxCycles = 1ull << 34;
+};
+
+/** Result of a VLIW run. */
+struct SimResult
+{
+    bool halted = false;
+    /** Total machine cycles (wide issues + taken-branch penalties). */
+    std::uint64_t cycles = 0;
+    std::uint64_t wideExecuted = 0;
+    std::uint64_t opsExecuted = 0;
+    /** Reads of registers whose producing write had not yet
+     *  committed — any nonzero value is a scheduler bug. */
+    std::uint64_t latencyViolations = 0;
+    /** Cycles in which at least one memory access issued. */
+    std::uint64_t memBusyCycles = 0;
+    /** Executed-operation count per unit (resource utilisation). */
+    std::vector<std::uint64_t> unitOps;
+    std::vector<Word> output;
+};
+
+/** The VLIW machine. */
+class Machine
+{
+  public:
+    Machine(const Code &code, const machine::MachineConfig &config);
+
+    /** Run from the entry until Halt. */
+    SimResult run(const SimOptions &opts = {});
+
+    /** Decoded observable output (see emul::decodeOutputStream). */
+    std::string decodeOutput() const;
+
+  private:
+    const Code &code_;
+    machine::MachineConfig config_;
+    std::vector<Word> regs_;
+    std::vector<Word> memory_;
+    std::vector<Word> output_;
+};
+
+} // namespace symbol::vliw
+
+#endif // SYMBOL_VLIW_SIM_HH

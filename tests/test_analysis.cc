@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Tests of the code-analysis layer: instruction mix, Amdahl
+ * projections, branch-predictability statistics and the BAM cycle
+ * model — including the paper's headline quantitative claims as
+ * property checks on real benchmark profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/stats.hh"
+#include "suite/pipeline.hh"
+
+using namespace symbol;
+using namespace symbol::analysis;
+
+namespace
+{
+
+const suite::Workload &
+workload(const std::string &name)
+{
+    static std::map<std::string, std::unique_ptr<suite::Workload>>
+        cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(name, std::make_unique<suite::Workload>(
+                                    suite::benchmark(name)))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace
+
+TEST(Amdahl, MatchesPaperHeadlineNumber)
+{
+    // §4.2: mem fraction 0.32, unbounded enhancement, overlapped
+    // memory => speedup ~3.
+    double s = amdahlSpeedup(0.32, 1e9, true);
+    EXPECT_NEAR(s, 3.125, 0.01);
+    // Non-overlapped memory gives the same asymptote.
+    EXPECT_NEAR(amdahlSpeedup(0.32, 1e9, false), 3.125, 0.01);
+}
+
+TEST(Amdahl, FactorOneIsNoSpeedup)
+{
+    EXPECT_NEAR(amdahlSpeedup(0.32, 1.0, false), 1.0, 1e-9);
+}
+
+TEST(Amdahl, OverlapDominatesSerial)
+{
+    for (double f : {1.0, 2.0, 3.0, 8.0}) {
+        EXPECT_GE(amdahlSpeedup(0.32, f, true) + 1e-9,
+                  amdahlSpeedup(0.32, f, false));
+    }
+}
+
+TEST(Amdahl, OverlappedSaturatesBeyondThree)
+{
+    // §4.2: "factors of concurrency greater than three are useless".
+    double s3 = amdahlSpeedup(0.32, 3.0, true);
+    double s8 = amdahlSpeedup(0.32, 8.0, true);
+    EXPECT_NEAR(s3, s8, 0.25);
+}
+
+TEST(InstructionMixTest, FractionsSumToOne)
+{
+    const suite::Workload &w = workload("qsort");
+    InstructionMix mix = instructionMix(w.ici(), w.profile());
+    EXPECT_NEAR(mix.memory + mix.alu + mix.move + mix.control +
+                    mix.other,
+                1.0, 1e-9);
+    EXPECT_EQ(mix.total, w.instructions());
+}
+
+TEST(InstructionMixTest, MemoryFractionNearPaperValue)
+{
+    // Fig. 2: memory ops are about a third of the dynamic mix.
+    InstructionMix all;
+    for (const char *n : {"nreverse", "qsort", "tak", "serialise"})
+        all += instructionMix(workload(n).ici(),
+                              workload(n).profile());
+    EXPECT_GT(all.memory, 0.15);
+    EXPECT_LT(all.memory, 0.45);
+}
+
+TEST(InstructionMixTest, BranchFractionSubstantial)
+{
+    // §4.3: "high percentage of branch operations (more than 15%)".
+    InstructionMix all;
+    for (const char *n : {"nreverse", "qsort", "zebra"})
+        all += instructionMix(workload(n).ici(),
+                              workload(n).profile());
+    EXPECT_GT(all.control, 0.15);
+}
+
+TEST(BranchStatsTest, FaultyPredictionIsLow)
+{
+    // Table 2: average P_fp ~0.1 — Prolog branches are predictable,
+    // refuting the 90/50 rule for symbolic code.
+    double weighted = 0;
+    std::uint64_t total = 0;
+    for (const auto &b : suite::aquarius()) {
+        const suite::Workload &w = workload(b.name);
+        BranchStats st = branchStats(w.ici(), w.profile());
+        weighted += st.avgFaultyPrediction *
+                    static_cast<double>(st.branchExecutions);
+        total += st.branchExecutions;
+    }
+    double avg = weighted / static_cast<double>(total);
+    EXPECT_GT(avg, 0.0);
+    EXPECT_LT(avg, 0.25);
+}
+
+TEST(BranchStatsTest, HistogramIsADistribution)
+{
+    const suite::Workload &w = workload("queens_8");
+    BranchStats st = branchStats(w.ici(), w.profile(), 10);
+    ASSERT_EQ(st.histogram.size(), 10u);
+    double sum = 0;
+    for (double h : st.histogram) {
+        EXPECT_GE(h, 0.0);
+        sum += h;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    // Most branch executions are highly predictable (first bins).
+    EXPECT_GT(st.histogram[0] + st.histogram[1], 0.4);
+}
+
+TEST(BranchStatsTest, PfpIsBoundedByHalf)
+{
+    for (const auto &b : suite::aquarius()) {
+        const suite::Workload &w = workload(b.name);
+        BranchStats st = branchStats(w.ici(), w.profile());
+        EXPECT_LE(st.avgFaultyPrediction, 0.5) << b.name;
+    }
+}
+
+TEST(BamCycles, FusionFactorsAtLeastOne)
+{
+    for (int op = 0; op <= static_cast<int>(bam::Op::Nop); ++op)
+        EXPECT_GE(bamFusionFactor(static_cast<bam::Op>(op)), 1.0);
+}
+
+TEST(BamCycles, BamBeatsSequentialByAboutHalf)
+{
+    // §4.5: the BAM shows a speedup of roughly 1.5-1.6 over a pure
+    // sequential implementation.
+    double sum = 0;
+    int n = 0;
+    for (const char *name : {"nreverse", "qsort", "tak", "times10"}) {
+        const suite::Workload &w = workload(name);
+        double su = static_cast<double>(w.seqCycles()) /
+                    static_cast<double>(w.bamCycles());
+        EXPECT_GT(su, 1.0) << name;
+        EXPECT_LT(su, 2.6) << name;
+        sum += su;
+        ++n;
+    }
+    double avg = sum / n;
+    EXPECT_GT(avg, 1.2);
+    EXPECT_LT(avg, 2.1);
+}

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Unit tests for the tagged-word model and the BAM IR (module,
+ * printer, verifier).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bam/instr.hh"
+
+using namespace symbol;
+using namespace symbol::bam;
+
+TEST(Word, RoundtripTagAndValue)
+{
+    for (Tag t : {Tag::Ref, Tag::Lst, Tag::Str, Tag::Atm, Tag::Int,
+                  Tag::Cod, Tag::Fun}) {
+        Word w = makeWord(t, 12345);
+        EXPECT_EQ(wordTag(w), t);
+        EXPECT_EQ(wordVal(w), 12345);
+    }
+}
+
+TEST(Word, NegativeValuesSignExtend)
+{
+    Word w = makeWord(Tag::Int, -7);
+    EXPECT_EQ(wordTag(w), Tag::Int);
+    EXPECT_EQ(wordVal(w), -7);
+}
+
+TEST(Word, ValueFieldIsolatedFromTag)
+{
+    // Two words with the same value but different tags differ, and
+    // equal-tag equal-value words are bit-identical.
+    EXPECT_NE(makeWord(Tag::Atm, 3), makeWord(Tag::Int, 3));
+    EXPECT_EQ(makeWord(Tag::Int, 3), makeWord(Tag::Int, 3));
+}
+
+TEST(Word, FunctorPacking)
+{
+    std::int64_t f = functorValue(42, 3);
+    EXPECT_EQ(functorAtom(f), 42);
+    EXPECT_EQ(functorArity(f), 3);
+}
+
+TEST(Word, LayoutAreasAreDisjointAndOrdered)
+{
+    EXPECT_LT(Layout::kHeapBase, Layout::kHeapEnd);
+    EXPECT_LE(Layout::kHeapEnd, Layout::kStackBase);
+    EXPECT_LE(Layout::kStackEnd, Layout::kTrailBase);
+    EXPECT_LE(Layout::kTrailEnd, Layout::kPdlBase);
+    EXPECT_LE(Layout::kPdlEnd, Layout::kMemWords);
+}
+
+TEST(Regs, ConventionsAreDense)
+{
+    EXPECT_EQ(Regs::arg(0), Regs::kA0);
+    EXPECT_LT(Regs::kA0 + Regs::kMaxArgs, Regs::kT0 + 1);
+    EXPECT_TRUE(Regs::isGlobal(Regs::kH));
+    EXPECT_TRUE(Regs::isGlobal(Regs::kHb));
+    EXPECT_FALSE(Regs::isGlobal(Regs::kA0));
+}
+
+namespace
+{
+
+Instr
+movInstr(int src, int dst)
+{
+    Instr i;
+    i.op = Op::Move;
+    i.a = Operand::mkReg(src);
+    i.b = Operand::mkReg(dst);
+    return i;
+}
+
+} // namespace
+
+TEST(Module, TracksRegisterCount)
+{
+    Interner in;
+    Module m(in);
+    m.emit(movInstr(3, 17));
+    EXPECT_EQ(m.numRegs, 18);
+}
+
+TEST(Module, VerifyAcceptsWellFormed)
+{
+    Interner in;
+    Module m(in);
+    int l = m.newLabel();
+    Instr lab;
+    lab.op = Op::Label;
+    lab.labs[0] = l;
+    m.emit(lab);
+    Instr j;
+    j.op = Op::Jump;
+    j.labs[0] = l;
+    m.emit(j);
+    EXPECT_TRUE(verify(m).empty());
+}
+
+TEST(Module, VerifyRejectsUndefinedLabel)
+{
+    Interner in;
+    Module m(in);
+    int l = m.newLabel();
+    Instr j;
+    j.op = Op::Jump;
+    j.labs[0] = l; // never defined
+    m.emit(j);
+    EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Module, VerifyRejectsMalformedLd)
+{
+    Interner in;
+    Module m(in);
+    Instr i;
+    i.op = Op::Ld;
+    i.a = Operand::mkImm(Tag::Int, 0); // base must be a register
+    i.b = Operand::mkReg(1);
+    m.emit(i);
+    EXPECT_FALSE(verify(m).empty());
+}
+
+TEST(Printer, RendersRegistersAndImmediates)
+{
+    Interner in;
+    Module m(in);
+    AtomId foo = in.intern("foo");
+    Instr i;
+    i.op = Op::Move;
+    i.a = Operand::mkImm(Tag::Atm, foo);
+    i.b = Operand::mkReg(Regs::kA0);
+    std::string s = print(m, i);
+    EXPECT_NE(s.find("#foo"), std::string::npos);
+    EXPECT_NE(s.find("a0"), std::string::npos);
+}
+
+TEST(Printer, ListsWholeModule)
+{
+    Interner in;
+    Module m(in);
+    m.emit(movInstr(0, 1));
+    m.emit(movInstr(1, 2));
+    std::string s = print(m);
+    EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 2);
+}

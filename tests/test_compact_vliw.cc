@@ -1,0 +1,167 @@
+/**
+ * @file
+ * End-to-end back-end tests: every benchmark is compacted (basic-block
+ * and trace modes) for several machine configurations and simulated
+ * on the VLIW machine; outputs must match the sequential answer
+ * exactly, schedules must respect latencies, and trace compaction
+ * must beat basic-block compaction on average.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/config.hh"
+#include "suite/pipeline.hh"
+
+using namespace symbol;
+using machine::MachineConfig;
+
+namespace
+{
+
+/** Shared workloads (front end runs once per benchmark). */
+const suite::Workload &
+workload(const std::string &name)
+{
+    static std::map<std::string, std::unique_ptr<suite::Workload>>
+        cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(name, std::make_unique<suite::Workload>(
+                                    suite::benchmark(name)))
+                 .first;
+    }
+    return *it->second;
+}
+
+/** Small-but-diverse sub-suite for the heavier sweeps. */
+std::vector<std::string>
+smallSuite()
+{
+    return {"conc30", "nreverse", "qsort", "serialise", "times10",
+            "query"};
+}
+
+} // namespace
+
+class CompactVliw : public ::testing::TestWithParam<suite::Benchmark>
+{
+};
+
+TEST_P(CompactVliw, TraceModeMatchesSequentialAnswer)
+{
+    const suite::Workload &w = workload(GetParam().name);
+    sched::CompactOptions co;
+    co.traceMode = true;
+    // runVliw throws on divergence or latency violations.
+    suite::VliwRun r = w.runVliw(MachineConfig::idealShared(3), co);
+    EXPECT_EQ(r.latencyViolations, 0u);
+    EXPECT_GT(r.speedupVsSeq, 1.0);
+}
+
+TEST_P(CompactVliw, BasicBlockModeMatchesSequentialAnswer)
+{
+    const suite::Workload &w = workload(GetParam().name);
+    sched::CompactOptions co;
+    co.traceMode = false;
+    suite::VliwRun r = w.runVliw(MachineConfig::idealShared(3), co);
+    EXPECT_EQ(r.latencyViolations, 0u);
+}
+
+TEST_P(CompactVliw, PrototypeConfigurationIsCorrect)
+{
+    const suite::Workload &w = workload(GetParam().name);
+    suite::VliwRun r = w.runVliw(MachineConfig::prototype(3));
+    EXPECT_EQ(r.latencyViolations, 0u);
+}
+
+TEST_P(CompactVliw, TraceBeatsBasicBlocks)
+{
+    const suite::Workload &w = workload(GetParam().name);
+    sched::CompactOptions tr, bb;
+    tr.traceMode = true;
+    bb.traceMode = false;
+    MachineConfig mc = MachineConfig::unboundedShared();
+    suite::VliwRun rt = w.runVliw(mc, tr);
+    suite::VliwRun rb = w.runVliw(mc, bb);
+    // Global compaction must not lose to local compaction.
+    EXPECT_GE(rt.speedupVsSeq, rb.speedupVsSeq * 0.98);
+    // And traces must be longer than basic blocks.
+    EXPECT_GT(rt.stats.avgDynamicLength, rb.stats.avgDynamicLength);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Aquarius, CompactVliw, ::testing::ValuesIn(suite::aquarius()),
+    [](const ::testing::TestParamInfo<suite::Benchmark> &info) {
+        return info.param.name;
+    });
+
+TEST(CompactSweep, UnitSweepIsMonotoneOnAverage)
+{
+    double prev = 0;
+    for (int units : {1, 2, 4}) {
+        double sum = 0;
+        int n = 0;
+        for (const std::string &name : smallSuite()) {
+            suite::VliwRun r = workload(name).runVliw(
+                MachineConfig::idealShared(units));
+            sum += r.speedupVsSeq;
+            ++n;
+        }
+        double avg = sum / n;
+        EXPECT_GE(avg, prev * 0.99)
+            << "average speedup dropped at " << units << " units";
+        prev = avg;
+    }
+}
+
+TEST(CompactSweep, SharedMemoryBoundsSpeedup)
+{
+    // With one memory port, speedup can never exceed 1/mem_fraction
+    // (Amdahl, §4.2); check a generous bound.
+    for (const std::string &name : smallSuite()) {
+        suite::VliwRun r = workload(name).runVliw(
+            MachineConfig::unboundedShared());
+        EXPECT_LT(r.speedupVsSeq, 5.0) << name;
+    }
+}
+
+TEST(CompactOptionsTest, TagBranchExpansionStillCorrect)
+{
+    suite::WorkloadOptions wo;
+    wo.translate.expandTagBranches = true;
+    suite::Workload w(suite::benchmark("nreverse"), wo);
+    EXPECT_TRUE(w.answerMatches());
+    suite::VliwRun r = w.runVliw(MachineConfig::idealShared(3));
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(CompactOptionsTest, DisambiguationOffStillCorrectAndSlower)
+{
+    const suite::Workload &w = workload("qsort");
+    sched::CompactOptions on, off;
+    on.freshAllocDisambiguation = true;
+    off.freshAllocDisambiguation = false;
+    MachineConfig mc = MachineConfig::idealShared(3);
+    suite::VliwRun r_on = w.runVliw(mc, on);
+    suite::VliwRun r_off = w.runVliw(mc, off);
+    EXPECT_LE(r_on.cycles, r_off.cycles);
+}
+
+TEST(CompactOptionsTest, NoDuplicationBudgetDegradesToBlocks)
+{
+    const suite::Workload &w = workload("nreverse");
+    sched::CompactOptions co;
+    co.dupBudgetFactor = 0.0;
+    suite::VliwRun r = w.runVliw(MachineConfig::idealShared(3), co);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(CompactOptionsTest, IndexingOffStillCorrect)
+{
+    suite::WorkloadOptions wo;
+    wo.compiler.indexing = false;
+    suite::Workload w(suite::benchmark("qsort"), wo);
+    EXPECT_TRUE(w.answerMatches());
+    w.runVliw(MachineConfig::idealShared(2));
+}

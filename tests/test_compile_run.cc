@@ -1,0 +1,372 @@
+/**
+ * @file
+ * End-to-end tests of the front half of the pipeline: Prolog source →
+ * BAM → IntCode → sequential emulation, validated by decoded output.
+ * Covers unification modes, indexing, backtracking, cut, arithmetic,
+ * negation, if-then-else and the runtime routines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bamc/compiler.hh"
+#include "emul/machine.hh"
+#include "intcode/translate.hh"
+#include "prolog/parser.hh"
+
+using namespace symbol;
+
+namespace
+{
+
+std::string
+runProgram(const std::string &src, bool indexing = true)
+{
+    Interner in;
+    prolog::Program p = prolog::parseProgram(src, in);
+    bamc::CompilerOptions co;
+    co.indexing = indexing;
+    bam::Module m = bamc::compile(p, co);
+    EXPECT_TRUE(bam::verify(m).empty());
+    intcode::Program ici = intcode::translate(m);
+    emul::Machine mach(ici);
+    emul::RunOptions o;
+    o.maxSteps = 50'000'000;
+    emul::RunResult r = mach.run(o);
+    EXPECT_TRUE(r.halted);
+    return mach.decodeOutput();
+}
+
+} // namespace
+
+TEST(CompileRun, ConstantOutput)
+{
+    EXPECT_EQ(runProgram("main :- out(42)."), "42\n");
+    EXPECT_EQ(runProgram("main :- out(hello)."), "hello\n");
+}
+
+TEST(CompileRun, FailedQueryPrintsNo)
+{
+    EXPECT_EQ(runProgram("main :- fail."), "no\n");
+    EXPECT_EQ(runProgram("f(1).\nmain :- f(2), out(yes)."), "no\n");
+}
+
+TEST(CompileRun, GeneralUnification)
+{
+    EXPECT_EQ(runProgram("main :- X = 42, out(X)."), "42\n");
+    EXPECT_EQ(runProgram("main :- f(X,2) = f(1,Y), out(X), out(Y)."),
+              "1\n2\n");
+    EXPECT_EQ(runProgram("main :- f(X) = g(X), out(yes)."), "no\n");
+    EXPECT_EQ(runProgram("main :- f(1,2) = f(1), out(yes)."), "no\n");
+}
+
+TEST(CompileRun, OccursUnify)
+{
+    // Unifying a variable with itself must succeed, distinct
+    // variables must alias.
+    EXPECT_EQ(runProgram("main :- X = X, out(ok)."), "ok\n");
+    EXPECT_EQ(runProgram("main :- X = Y, Y = 3, out(X)."), "3\n");
+}
+
+TEST(CompileRun, ListsAndStructures)
+{
+    EXPECT_EQ(runProgram("main :- X = [1,2,3], out(X)."), "[1,2,3]\n");
+    EXPECT_EQ(runProgram("main :- X = f(1,g(2),[3]), out(X)."),
+              "f(1,g(2),[3])\n");
+    EXPECT_EQ(runProgram("main :- X = [a|T], T = [b], out(X)."),
+              "[a,b]\n");
+}
+
+TEST(CompileRun, UnboundOutput)
+{
+    EXPECT_EQ(runProgram("main :- out(f(X,X))."), "f(_,_)\n");
+}
+
+TEST(CompileRun, HeadUnificationReadMode)
+{
+    const char *src = R"(
+        p(f(A,B), A, B).
+        main :- p(f(1,2), X, Y), out(X), out(Y).
+    )";
+    EXPECT_EQ(runProgram(src), "1\n2\n");
+}
+
+TEST(CompileRun, HeadUnificationWriteMode)
+{
+    const char *src = R"(
+        p(f(A,B), A, B).
+        main :- p(S, 1, 2), out(S).
+    )";
+    EXPECT_EQ(runProgram(src), "f(1,2)\n");
+}
+
+TEST(CompileRun, ReadWritePathsConverge)
+{
+    // The same clause must work whichever path head unification takes
+    // (this guards the forced-home convergence logic).
+    const char *src = R"(
+        app([], L, L).
+        app([X|A], B, [X|C]) :- app(A, B, C).
+        main :- app([1,2], [3,4], R), app(P, [9], [7,8,9]),
+                out(R), out(P).
+    )";
+    EXPECT_EQ(runProgram(src), "[1,2,3,4]\n[7,8]\n");
+}
+
+TEST(CompileRun, BacktrackingThroughFacts)
+{
+    const char *src = R"(
+        f(1). f(2). f(3).
+        main :- f(X), X > 2, out(X).
+    )";
+    EXPECT_EQ(runProgram(src), "3\n");
+}
+
+TEST(CompileRun, AllSolutionsViaFailLoop)
+{
+    const char *src = R"(
+        f(1). f(2). f(3).
+        main :- f(X), out(X), fail.
+        main :- out(done).
+    )";
+    EXPECT_EQ(runProgram(src), "1\n2\n3\ndone\n");
+}
+
+TEST(CompileRun, TrailRestoresBindings)
+{
+    // X is bound on the first clause attempt and must be unbound
+    // again before the second succeeds.
+    const char *src = R"(
+        p(1, a). p(2, b).
+        main :- p(X, b), out(X).
+    )";
+    EXPECT_EQ(runProgram(src), "2\n");
+}
+
+TEST(CompileRun, CutCommitsToFirstSolution)
+{
+    const char *src = R"(
+        f(1). f(2).
+        first(X) :- f(X), !.
+        main :- first(X), out(X), fail.
+        main :- out(done).
+    )";
+    EXPECT_EQ(runProgram(src), "1\ndone\n");
+}
+
+TEST(CompileRun, CutInsideClauseBody)
+{
+    const char *src = R"(
+        max(X, Y, X) :- X >= Y, !.
+        max(_, Y, Y).
+        main :- max(3, 7, A), max(9, 4, B), out(A), out(B).
+    )";
+    EXPECT_EQ(runProgram(src), "7\n9\n");
+}
+
+TEST(CompileRun, CutAfterCallUsesEnvironmentSlot)
+{
+    const char *src = R"(
+        f(1). f(2). f(3).
+        p(X) :- f(X), X > 1, !, out(X).
+        main :- p(_), fail.
+        main :- out(done).
+    )";
+    EXPECT_EQ(runProgram(src), "2\ndone\n");
+}
+
+TEST(CompileRun, Arithmetic)
+{
+    EXPECT_EQ(runProgram("main :- X is 3 + 4 * 5, out(X)."), "23\n");
+    EXPECT_EQ(runProgram("main :- X is (10 - 4) // 2, out(X)."),
+              "3\n");
+    EXPECT_EQ(runProgram("main :- X is 17 mod 5, out(X)."), "2\n");
+    EXPECT_EQ(runProgram("main :- X is -3 * 4, out(X)."), "-12\n");
+    EXPECT_EQ(runProgram("main :- Y = 6, X is Y * Y, out(X)."),
+              "36\n");
+}
+
+TEST(CompileRun, ArithmeticTypeFailure)
+{
+    // Arithmetic on a non-integer fails (backtracks) rather than
+    // crashing.
+    EXPECT_EQ(runProgram("f(a).\nmain :- f(Y), X is Y + 1, out(X)."),
+              "no\n");
+}
+
+TEST(CompileRun, Comparisons)
+{
+    EXPECT_EQ(runProgram("main :- 3 < 4, 4 =< 4, 5 > 1, 5 >= 5, "
+                         "3 =:= 3, 3 =\\= 4, out(ok)."),
+              "ok\n");
+    EXPECT_EQ(runProgram("main :- 4 < 3, out(ok)."), "no\n");
+    EXPECT_EQ(runProgram("main :- 2 + 2 =:= 1 + 3, out(ok)."), "ok\n");
+}
+
+TEST(CompileRun, TypeTests)
+{
+    EXPECT_EQ(runProgram("main :- atom(foo), integer(3), "
+                         "atomic(foo), var(_), out(ok)."),
+              "ok\n");
+    EXPECT_EQ(runProgram("main :- X = f(1), nonvar(X), out(ok)."),
+              "ok\n");
+    EXPECT_EQ(runProgram("main :- atom(f(1)), out(ok)."), "no\n");
+    EXPECT_EQ(runProgram("main :- X = 1, var(X), out(ok)."), "no\n");
+}
+
+TEST(CompileRun, StructuralIdentity)
+{
+    EXPECT_EQ(runProgram("main :- a == a, a \\== b, out(ok)."),
+              "ok\n");
+    EXPECT_EQ(runProgram("main :- X = 1, Y = 1, X == Y, out(ok)."),
+              "ok\n");
+    EXPECT_EQ(runProgram("main :- X == Y, out(ok)."), "no\n");
+}
+
+TEST(CompileRun, NegationAsFailure)
+{
+    EXPECT_EQ(runProgram("f(1).\nmain :- \\+ f(2), out(ok)."), "ok\n");
+    EXPECT_EQ(runProgram("f(1).\nmain :- \\+ f(1), out(ok)."), "no\n");
+    EXPECT_EQ(runProgram("main :- 1 \\= 2, out(ok)."), "ok\n");
+    EXPECT_EQ(runProgram("main :- f(X) \\= f(1), out(ok)."), "no\n");
+}
+
+TEST(CompileRun, NegationUndoesBindings)
+{
+    // \+ must not leave bindings behind.
+    const char *src = R"(
+        f(1).
+        main :- \+ (f(X), X > 1), out(X).
+    )";
+    EXPECT_EQ(runProgram(src), "_\n");
+}
+
+TEST(CompileRun, IfThenElse)
+{
+    EXPECT_EQ(runProgram(
+                  "main :- (1 < 2 -> out(then) ; out(else))."),
+              "then\n");
+    EXPECT_EQ(runProgram(
+                  "main :- (2 < 1 -> out(then) ; out(else))."),
+              "else\n");
+    EXPECT_EQ(runProgram("f(3).\nmain :- (f(X) -> out(X) ; out(no))."),
+              "3\n");
+}
+
+TEST(CompileRun, Disjunction)
+{
+    const char *src = R"(
+        main :- (X = 1 ; X = 2), out(X), fail.
+        main :- out(done).
+    )";
+    EXPECT_EQ(runProgram(src), "1\n2\ndone\n");
+}
+
+TEST(CompileRun, DeepRecursion)
+{
+    const char *src = R"(
+        count(0) :- !.
+        count(N) :- N1 is N - 1, count(N1).
+        main :- count(20000), out(done).
+    )";
+    EXPECT_EQ(runProgram(src), "done\n");
+}
+
+TEST(CompileRun, LastCallOptimisationBoundsStack)
+{
+    // A deterministic loop must run in constant environment space;
+    // 200k iterations would overflow the local stack without LCO.
+    const char *src = R"(
+        loop(0).
+        loop(N) :- N > 0, N1 is N - 1, loop(N1).
+        main :- loop(200000), out(done).
+    )";
+    EXPECT_EQ(runProgram(src), "done\n");
+}
+
+TEST(CompileRun, IndexingOffMatchesIndexingOn)
+{
+    const char *src = R"(
+        color(red, 1). color(green, 2). color(blue, 3).
+        main :- color(green, X), color(C, 3), out(X), out(C).
+    )";
+    EXPECT_EQ(runProgram(src, true), "2\nblue\n");
+    EXPECT_EQ(runProgram(src, false), "2\nblue\n");
+}
+
+TEST(CompileRun, MixedTagDispatch)
+{
+    const char *src = R"(
+        kind([], empty).
+        kind([_|_], list).
+        kind(f(_), structure).
+        kind(42, answer).
+        kind(foo, atom_foo).
+        main :- kind([], A), kind([1], B), kind(f(0), C),
+                kind(42, D), kind(foo, E),
+                out(A), out(B), out(C), out(D), out(E).
+    )";
+    EXPECT_EQ(runProgram(src),
+              "empty\nlist\nstructure\nanswer\natom_foo\n");
+}
+
+TEST(CompileRun, VariableFirstArgClauseInDispatch)
+{
+    const char *src = R"(
+        p(1, one).
+        p(X, other) :- integer(X), X > 1.
+        main :- p(1, A), p(5, B), out(A), out(B).
+    )";
+    EXPECT_EQ(runProgram(src), "one\nother\n");
+}
+
+TEST(CompileRun, UndefinedPredicateIsCompileError)
+{
+    Interner in;
+    prolog::Program p =
+        prolog::parseProgram("main :- nosuchpred(1).", in);
+    EXPECT_THROW(bamc::compile(p), CompileError);
+}
+
+TEST(CompileRun, MissingMainIsCompileError)
+{
+    Interner in;
+    prolog::Program p = prolog::parseProgram("f(1).", in);
+    EXPECT_THROW(bamc::compile(p), CompileError);
+}
+
+TEST(CompileRun, ProfileCountsMatchExecution)
+{
+    Interner in;
+    prolog::Program p = prolog::parseProgram(
+        "f(1). f(2). f(3).\nmain :- f(X), out(X), fail.\n"
+        "main :- out(done).",
+        in);
+    bam::Module m = bamc::compile(p);
+    intcode::Program ici = intcode::translate(m);
+    emul::Machine mach(ici);
+    emul::RunResult r = mach.run();
+    std::uint64_t total = 0;
+    for (std::uint64_t e : r.profile.expect)
+        total += e;
+    EXPECT_EQ(total, r.instructions);
+    // Taken counts never exceed expects.
+    for (std::size_t i = 0; i < r.profile.expect.size(); ++i)
+        EXPECT_LE(r.profile.taken[i], r.profile.expect[i]);
+}
+
+TEST(CompileRun, TagBranchExpansionPreservesSemantics)
+{
+    Interner in;
+    prolog::Program p = prolog::parseProgram(
+        "app([],L,L).\napp([X|A],B,[X|C]) :- app(A,B,C).\n"
+        "main :- app([1,2],[3],R), out(R).",
+        in);
+    bam::Module m = bamc::compile(p);
+    intcode::TranslateOptions to;
+    to.expandTagBranches = true;
+    intcode::Program ici = intcode::translate(m, to);
+    emul::Machine mach(ici);
+    emul::RunResult r = mach.run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(mach.decodeOutput(), "[1,2,3]\n");
+}

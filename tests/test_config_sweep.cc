@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Property tests: compacted code must stay semantically correct for
+ * *every* point of a machine-configuration grid — unit counts,
+ * latencies, branch penalties, format restrictions, port counts and
+ * compaction options. Each point is validated end to end against the
+ * sequential answer (runVliw throws on divergence).
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/config.hh"
+#include "suite/pipeline.hh"
+#include "support/text.hh"
+
+using namespace symbol;
+using machine::MachineConfig;
+
+namespace
+{
+
+const suite::Workload &
+crypt()
+{
+    static suite::Workload w(suite::benchmark("crypt"));
+    return w;
+}
+
+const suite::Workload &
+serialise()
+{
+    static suite::Workload w(suite::benchmark("serialise"));
+    return w;
+}
+
+} // namespace
+
+struct ConfigPoint
+{
+    int units;
+    int memLatency;
+    int branchPenalty;
+    bool twoFormats;
+    bool traces;
+
+    std::string
+    name() const
+    {
+        return strprintf("u%d_m%d_b%d_%s_%s", units, memLatency,
+                         branchPenalty, twoFormats ? "fmt2" : "full",
+                         traces ? "tr" : "bb");
+    }
+};
+
+class ConfigSweep : public ::testing::TestWithParam<ConfigPoint>
+{
+};
+
+TEST_P(ConfigSweep, CorrectAcrossTheGrid)
+{
+    const ConfigPoint &pt = GetParam();
+    MachineConfig mc = MachineConfig::idealShared(pt.units);
+    mc.memLatency = pt.memLatency;
+    mc.branchPenalty = pt.branchPenalty;
+    mc.twoFormats = pt.twoFormats;
+    sched::CompactOptions co;
+    co.traceMode = pt.traces;
+    suite::VliwRun r = crypt().runVliw(mc, co);
+    EXPECT_EQ(r.latencyViolations, 0u);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+static std::vector<ConfigPoint>
+grid()
+{
+    std::vector<ConfigPoint> pts;
+    for (int units : {1, 2, 4})
+        for (int mem : {2, 3})
+            for (int bp : {1, 2})
+                for (bool fmt2 : {false, true})
+                    for (bool tr : {false, true})
+                        pts.push_back({units, mem, bp, fmt2, tr});
+    return pts;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConfigSweep, ::testing::ValuesIn(grid()),
+    [](const ::testing::TestParamInfo<ConfigPoint> &info) {
+        return info.param.name();
+    });
+
+TEST(ConfigProperties, MoreUnitsNeverHurtMuch)
+{
+    std::uint64_t prev = ~0ull;
+    for (int units : {1, 2, 3, 4, 5}) {
+        suite::VliwRun r =
+            serialise().runVliw(MachineConfig::idealShared(units));
+        // Allow small scheduling noise, but no systematic regression.
+        EXPECT_LT(static_cast<double>(r.cycles),
+                  static_cast<double>(prev) * 1.05)
+            << units << " units";
+        prev = std::min(prev, r.cycles);
+    }
+}
+
+TEST(ConfigProperties, HigherMemoryLatencyCostsCycles)
+{
+    MachineConfig fast = MachineConfig::idealShared(3);
+    MachineConfig slow = fast;
+    slow.memLatency = 4;
+    suite::VliwRun rf = serialise().runVliw(fast);
+    suite::VliwRun rs = serialise().runVliw(slow);
+    EXPECT_GT(rs.cycles, rf.cycles);
+}
+
+TEST(ConfigProperties, TwoFormatRestrictionCostsCycles)
+{
+    MachineConfig full = MachineConfig::idealShared(2);
+    MachineConfig fmt2 = full;
+    fmt2.twoFormats = true;
+    suite::VliwRun rfull = serialise().runVliw(full);
+    suite::VliwRun rfmt = serialise().runVliw(fmt2);
+    EXPECT_GE(rfmt.cycles, rfull.cycles);
+}
+
+TEST(ConfigProperties, SecondMemoryPortBreaksAmdahlBound)
+{
+    // The paper's conclusion: only departing from the single shared
+    // memory port can move the ~3x asymptote. With two ports the
+    // bound doubles; measured cycles must improve.
+    MachineConfig one = MachineConfig::idealShared(4);
+    MachineConfig two = one;
+    two.memPortsTotal = 2;
+    suite::VliwRun r1 = serialise().runVliw(one);
+    suite::VliwRun r2 = serialise().runVliw(two);
+    EXPECT_LE(r2.cycles, r1.cycles);
+}

@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Unit tests of the sequential emulator semantics on hand-assembled
+ * ICI programs: word operations, memory, branches, the timing model
+ * (load interlocks, taken-branch bubbles) and output decoding.
+ */
+
+#include <gtest/gtest.h>
+
+#include "emul/machine.hh"
+#include "support/diagnostics.hh"
+
+using namespace symbol;
+using bam::Tag;
+using intcode::IInstr;
+using intcode::IOp;
+
+namespace
+{
+
+IInstr
+movi(int rd, std::int64_t v, Tag t = Tag::Int)
+{
+    IInstr i;
+    i.op = IOp::Movi;
+    i.rd = rd;
+    i.useImm = true;
+    i.imm = bam::makeWord(t, v);
+    return i;
+}
+
+IInstr
+alu(IOp op, int rd, int ra, std::int64_t imm)
+{
+    IInstr i;
+    i.op = op;
+    i.rd = rd;
+    i.ra = ra;
+    i.useImm = true;
+    i.imm = bam::makeWord(Tag::Int, imm);
+    return i;
+}
+
+IInstr
+outr(int r)
+{
+    IInstr i;
+    i.op = IOp::Out;
+    i.rb = r;
+    return i;
+}
+
+IInstr
+halt()
+{
+    IInstr i;
+    i.op = IOp::Halt;
+    return i;
+}
+
+intcode::Program
+prog(std::vector<IInstr> code, int regs = 16)
+{
+    intcode::Program p;
+    p.code = std::move(code);
+    p.numRegs = regs;
+    p.addressTaken.assign(p.code.size(), false);
+    p.procEntry.assign(p.code.size(), false);
+    return p;
+}
+
+} // namespace
+
+TEST(Emul, AluOperations)
+{
+    auto p = prog({movi(1, 7), alu(IOp::Add, 2, 1, 5),
+                   alu(IOp::Mul, 3, 2, 3), alu(IOp::Mod, 4, 3, 7),
+                   alu(IOp::Sub, 5, 4, 10), outr(2), outr(3),
+                   outr(4), outr(5), halt()});
+    emul::Machine m(p);
+    auto r = m.run();
+    EXPECT_EQ(bam::wordVal(r.output[0]), 12);
+    EXPECT_EQ(bam::wordVal(r.output[1]), 36);
+    EXPECT_EQ(bam::wordVal(r.output[2]), 1);
+    EXPECT_EQ(bam::wordVal(r.output[3]), -9);
+}
+
+TEST(Emul, ShiftAndBitOps)
+{
+    auto p = prog({movi(1, 0b1100), alu(IOp::And, 2, 1, 0b1010),
+                   alu(IOp::Or, 3, 1, 0b0011),
+                   alu(IOp::Xor, 4, 1, 0b1111),
+                   alu(IOp::Sll, 5, 1, 2),
+                   alu(IOp::Sra, 6, 1, 2), outr(2), outr(3),
+                   outr(4), outr(5), outr(6), halt()});
+    emul::Machine m(p);
+    auto r = m.run();
+    EXPECT_EQ(bam::wordVal(r.output[0]), 0b1000);
+    EXPECT_EQ(bam::wordVal(r.output[1]), 0b1111);
+    EXPECT_EQ(bam::wordVal(r.output[2]), 0b0011);
+    EXPECT_EQ(bam::wordVal(r.output[3]), 0b110000);
+    EXPECT_EQ(bam::wordVal(r.output[4]), 0b11);
+}
+
+TEST(Emul, DivisionByZeroThrows)
+{
+    auto p = prog({movi(1, 7), alu(IOp::Div, 2, 1, 0), halt()});
+    emul::Machine m(p);
+    EXPECT_THROW(m.run(), RuntimeError);
+}
+
+TEST(Emul, MemoryRoundtrip)
+{
+    using L = bam::Layout;
+    IInstr st;
+    st.op = IOp::St;
+    st.ra = 1;
+    st.off = 3;
+    st.rb = 2;
+    IInstr ld;
+    ld.op = IOp::Ld;
+    ld.rd = 4;
+    ld.ra = 1;
+    ld.off = 3;
+    auto p = prog({movi(1, L::kHeapBase), movi(2, 77, Tag::Atm), st,
+                   ld, outr(4), halt()});
+    emul::Machine m(p);
+    auto r = m.run();
+    EXPECT_EQ(bam::wordTag(r.output[0]), Tag::Atm);
+    EXPECT_EQ(bam::wordVal(r.output[0]), 77);
+    EXPECT_EQ(m.mem(L::kHeapBase + 3), bam::makeWord(Tag::Atm, 77));
+}
+
+TEST(Emul, OutOfRangeAccessThrows)
+{
+    IInstr ld;
+    ld.op = IOp::Ld;
+    ld.rd = 4;
+    ld.ra = 1;
+    auto p = prog({movi(1, -3), ld, halt()});
+    emul::Machine m(p);
+    EXPECT_THROW(m.run(), RuntimeError);
+}
+
+TEST(Emul, FullWordBranchesCompareTags)
+{
+    IInstr b;
+    b.op = IOp::Beq;
+    b.ra = 1;
+    b.rb = 2;
+    b.target = 5;
+    auto p = prog({movi(1, 5, Tag::Int), movi(2, 5, Tag::Atm), b,
+                   movi(3, 0), halt(), movi(3, 1), halt()});
+    emul::Machine m(p);
+    m.run();
+    // Same value, different tags: not equal.
+    EXPECT_EQ(bam::wordVal(m.reg(3)), 0);
+}
+
+TEST(Emul, TagBranches)
+{
+    IInstr b;
+    b.op = IOp::BtagEq;
+    b.ra = 1;
+    b.tag = Tag::Lst;
+    b.target = 4;
+    auto p = prog({movi(1, 5, Tag::Lst), b, movi(3, 0), halt(),
+                   movi(3, 1), halt()});
+    emul::Machine m(p);
+    m.run();
+    EXPECT_EQ(bam::wordVal(m.reg(3)), 1);
+}
+
+TEST(Emul, SignedComparisons)
+{
+    IInstr b;
+    b.op = IOp::Blt;
+    b.ra = 1;
+    b.rb = 2;
+    b.target = 5;
+    auto p = prog({movi(1, -4), movi(2, 3), b, movi(3, 0), halt(),
+                   movi(3, 1), halt()});
+    emul::Machine m(p);
+    m.run();
+    EXPECT_EQ(bam::wordVal(m.reg(3)), 1);
+}
+
+TEST(Emul, JmpiFollowsCodWord)
+{
+    IInstr ji;
+    ji.op = IOp::Jmpi;
+    ji.ra = 1;
+    auto p = prog({movi(1, 3, Tag::Cod), ji, halt(), movi(2, 9),
+                   halt()});
+    emul::Machine m(p);
+    m.run();
+    EXPECT_EQ(bam::wordVal(m.reg(2)), 9);
+}
+
+TEST(Emul, SequentialTimingChargesLoadInterlock)
+{
+    using L = bam::Layout;
+    IInstr ld;
+    ld.op = IOp::Ld;
+    ld.rd = 2;
+    ld.ra = 1;
+    // Dependent use immediately after a load stalls one cycle.
+    auto dependent =
+        prog({movi(1, L::kHeapBase), ld, alu(IOp::Add, 3, 2, 1),
+              halt()});
+    // An independent instruction in between hides the latency.
+    auto hidden =
+        prog({movi(1, L::kHeapBase), ld, movi(4, 0),
+              alu(IOp::Add, 3, 2, 1), halt()});
+    emul::Machine m1(dependent), m2(hidden);
+    auto r1 = m1.run();
+    auto r2 = m2.run();
+    EXPECT_EQ(r1.seqCycles, 5u); // 4 instructions + 1 stall
+    EXPECT_EQ(r2.seqCycles, 5u); // 5 instructions, no stall
+}
+
+TEST(Emul, SequentialTimingChargesTakenBranches)
+{
+    IInstr j;
+    j.op = IOp::Jmp;
+    j.target = 2;
+    auto taken = prog({movi(1, 1), j, halt()});
+    auto fall = prog({movi(1, 1), movi(2, 2), halt()});
+    emul::Machine m1(taken), m2(fall);
+    EXPECT_EQ(m1.run().seqCycles, 4u); // 3 instrs + 1 bubble
+    EXPECT_EQ(m2.run().seqCycles, 3u);
+}
+
+TEST(Emul, StepBudgetEnforced)
+{
+    IInstr j;
+    j.op = IOp::Jmp;
+    j.target = 0;
+    auto p = prog({j});
+    emul::Machine m(p);
+    emul::RunOptions o;
+    o.maxSteps = 100;
+    EXPECT_THROW(m.run(o), RuntimeError);
+}
+
+TEST(Emul, DecodeOutputStream)
+{
+    Interner in;
+    AtomId foo = in.intern("foo");
+    std::vector<bam::Word> stream = {
+        bam::makeWord(Tag::Lst, 0),  // [
+        bam::makeWord(Tag::Int, 1),  //  1,
+        bam::makeWord(Tag::Lst, 0),  //  [
+        bam::makeWord(Tag::Fun, bam::functorValue(foo, 2)),
+        bam::makeWord(Tag::Atm, in.nilAtom()),
+        bam::makeWord(Tag::Ref, 0),
+        bam::makeWord(Tag::Atm, in.nilAtom()), // ] (tail)
+    };
+    EXPECT_EQ(emul::decodeOutputStream(stream, &in),
+              "[1,foo([],_)]\n");
+}
+
+TEST(Emul, DecodeFailureSentinel)
+{
+    std::vector<bam::Word> stream = {bam::makeWord(Tag::Fun, -1)};
+    Interner in;
+    EXPECT_EQ(emul::decodeOutputStream(stream, &in), "no\n");
+}
+
+TEST(Emul, ProfileTakenCounts)
+{
+    IInstr b;
+    b.op = IOp::Bne;
+    b.ra = 1;
+    b.useImm = true;
+    b.imm = bam::makeWord(Tag::Int, 0);
+    b.target = 1;
+    // Count down from 3: the loop branch is taken 3 times, seen 4.
+    auto p = prog({movi(1, 3), alu(IOp::Sub, 1, 1, 1), b, halt()});
+    p.code[2].ra = 1;
+    emul::Machine m(p);
+    auto r = m.run();
+    EXPECT_EQ(r.profile.expect[2], 3u);
+    EXPECT_EQ(r.profile.taken[2], 2u);
+    EXPECT_NEAR(r.profile.probability(2), 2.0 / 3.0, 1e-9);
+}

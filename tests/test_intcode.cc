@@ -1,0 +1,308 @@
+/**
+ * @file
+ * Unit tests for the BAM→IntCode translator: macro expansions,
+ * label/immediate fixups, provenance, tag-branch ablation, and CFG
+ * invariants on hand-built modules.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bam/instr.hh"
+#include "intcode/cfg.hh"
+#include "intcode/translate.hh"
+
+using namespace symbol;
+using namespace symbol::bam;
+using intcode::IOp;
+
+namespace
+{
+
+/** A module with a $start that jumps to a payload and halts. */
+struct ModBuilder
+{
+    Interner in;
+    Module m{in};
+    int entry;
+    int fail;
+
+    ModBuilder()
+    {
+        entry = m.newLabel();
+        fail = m.newLabel();
+        m.entryLabel = entry;
+        m.failLabel = fail;
+        Instr p;
+        p.op = Op::Procedure;
+        p.labs[0] = entry;
+        p.comment = "$start";
+        m.emit(p);
+    }
+
+    void
+    finish()
+    {
+        Instr h;
+        h.op = Op::Halt;
+        m.emit(h);
+        Instr lf;
+        lf.op = Op::Label;
+        lf.labs[0] = fail;
+        m.emit(lf);
+        Instr h2;
+        h2.op = Op::Halt;
+        m.emit(h2);
+    }
+
+    void
+    push(Instr i)
+    {
+        m.emit(i);
+    }
+};
+
+int
+countOp(const intcode::Program &p, IOp op)
+{
+    int n = 0;
+    for (const auto &i : p.code)
+        n += i.op == op;
+    return n;
+}
+
+} // namespace
+
+TEST(Translate, MoveBecomesMovOrMovi)
+{
+    ModBuilder b;
+    Instr mv;
+    mv.op = Op::Move;
+    mv.a = Operand::mkReg(3);
+    mv.b = Operand::mkReg(4);
+    b.push(mv);
+    Instr mi;
+    mi.op = Op::Move;
+    mi.a = Operand::mkImm(Tag::Int, 9);
+    mi.b = Operand::mkReg(5);
+    b.push(mi);
+    b.finish();
+    auto p = intcode::translate(b.m);
+    EXPECT_EQ(countOp(p, IOp::Mov), 1);
+    EXPECT_EQ(countOp(p, IOp::Movi), 1);
+}
+
+TEST(Translate, SelfMoveElided)
+{
+    ModBuilder b;
+    Instr mv;
+    mv.op = Op::Move;
+    mv.a = Operand::mkReg(3);
+    mv.b = Operand::mkReg(3);
+    b.push(mv);
+    b.finish();
+    auto p = intcode::translate(b.m);
+    EXPECT_EQ(countOp(p, IOp::Mov), 0);
+}
+
+TEST(Translate, DerefExpandsToChaseLoop)
+{
+    ModBuilder b;
+    Instr d;
+    d.op = Op::Deref;
+    d.a = Operand::mkReg(3);
+    d.b = Operand::mkReg(4);
+    b.push(d);
+    b.finish();
+    auto p = intcode::translate(b.m);
+    // mov + btagne + ld + beq + mov + jmp
+    EXPECT_EQ(countOp(p, IOp::BtagNe), 1);
+    EXPECT_EQ(countOp(p, IOp::Ld), 1);
+    EXPECT_GE(countOp(p, IOp::Jmp), 1);
+}
+
+TEST(Translate, TagBranchAblationUsesGetTag)
+{
+    ModBuilder b;
+    Instr t;
+    t.op = Op::TestTag;
+    t.cond = Cond::Eq;
+    t.tag = Tag::Lst;
+    t.a = Operand::mkReg(3);
+    t.labs[0] = b.fail;
+    b.push(t);
+    b.finish();
+
+    auto fused = intcode::translate(b.m);
+    EXPECT_EQ(countOp(fused, IOp::BtagEq), 1);
+    EXPECT_EQ(countOp(fused, IOp::GetTag), 0);
+
+    intcode::TranslateOptions opts;
+    opts.expandTagBranches = true;
+    auto plain = intcode::translate(b.m, opts);
+    EXPECT_EQ(countOp(plain, IOp::BtagEq), 0);
+    EXPECT_EQ(countOp(plain, IOp::GetTag), 1);
+    EXPECT_EQ(countOp(plain, IOp::Beq), 1 + countOp(fused, IOp::Beq));
+}
+
+TEST(Translate, SwitchTagIsBranchChain)
+{
+    ModBuilder b;
+    int l[5];
+    for (int k = 0; k < 5; ++k)
+        l[k] = b.m.newLabel();
+    Instr sw;
+    sw.op = Op::SwitchTag;
+    sw.a = Operand::mkReg(3);
+    for (int k = 0; k < 5; ++k)
+        sw.labs[k] = l[k];
+    b.push(sw);
+    for (int k = 0; k < 5; ++k) {
+        Instr lab;
+        lab.op = Op::Label;
+        lab.labs[0] = l[k];
+        b.push(lab);
+        Instr n;
+        n.op = Op::Nop;
+        b.push(n);
+    }
+    b.finish();
+    auto p = intcode::translate(b.m);
+    EXPECT_EQ(countOp(p, IOp::BtagEq), 4); // 4 tests + default jmp
+}
+
+TEST(Translate, CallRecordsReturnAddressAndMarksIt)
+{
+    ModBuilder b;
+    int callee = b.m.newLabel();
+    Instr c;
+    c.op = Op::Call;
+    c.labs[0] = callee;
+    c.off = Regs::kCp;
+    b.push(c);
+    Instr lab;
+    lab.op = Op::Label;
+    lab.labs[0] = callee;
+    b.push(lab);
+    Instr r;
+    r.op = Op::Return;
+    r.off = Regs::kCp;
+    b.push(r);
+    b.finish();
+    auto p = intcode::translate(b.m);
+
+    // The movi CP holds a Cod immediate pointing at the instruction
+    // after the jmp, which must be flagged address-taken.
+    int movi_at = -1;
+    for (std::size_t k = 0; k < p.code.size(); ++k) {
+        if (p.code[k].op == IOp::Movi &&
+            bam::wordTag(p.code[k].imm) == Tag::Cod)
+            movi_at = static_cast<int>(k);
+    }
+    ASSERT_GE(movi_at, 0);
+    auto ret = static_cast<std::size_t>(
+        bam::wordVal(p.code[static_cast<std::size_t>(movi_at)].imm));
+    ASSERT_LT(ret, p.code.size());
+    EXPECT_TRUE(p.addressTaken[ret]);
+    EXPECT_EQ(countOp(p, IOp::Jmpi), 1);
+}
+
+TEST(Translate, TryStoresWholeChoiceFrame)
+{
+    ModBuilder b;
+    int retry = b.m.newLabel();
+    Instr t;
+    t.op = Op::Try;
+    t.off = 2; // save two argument registers
+    t.labs[0] = retry;
+    b.push(t);
+    Instr lab;
+    lab.op = Op::Label;
+    lab.labs[0] = retry;
+    b.push(lab);
+    b.finish();
+    auto p = intcode::translate(b.m);
+    // prevB, retry, H, TR, E, CP, n + 2 args = 9 stores.
+    EXPECT_EQ(countOp(p, IOp::St), 9);
+}
+
+TEST(Translate, FreshFlagSurvivesExpansion)
+{
+    ModBuilder b;
+    Instr s;
+    s.op = Op::St;
+    s.a = Operand::mkReg(Regs::kH);
+    s.b = Operand::mkImm(Tag::Int, 1);
+    s.off = 0;
+    s.fresh = true;
+    b.push(s);
+    b.finish();
+    auto p = intcode::translate(b.m);
+    bool found = false;
+    for (const auto &i : p.code)
+        found |= i.op == IOp::St && i.fresh;
+    EXPECT_TRUE(found);
+}
+
+TEST(Translate, ProvenanceCoversEveryInstruction)
+{
+    ModBuilder b;
+    Instr a;
+    a.op = Op::Arith;
+    a.alu = AluOp::Add;
+    a.a = Operand::mkReg(3);
+    a.b = Operand::mkImm(Tag::Int, 1);
+    a.c = Operand::mkReg(4);
+    b.push(a);
+    b.finish();
+    auto p = intcode::translate(b.m);
+    for (const auto &i : p.code) {
+        ASSERT_GE(i.bam, 0);
+        ASSERT_LT(static_cast<std::size_t>(i.bam), p.bamOps.size());
+    }
+}
+
+TEST(Translate, ArithWithTwoImmediatesMaterialises)
+{
+    ModBuilder b;
+    Instr a;
+    a.op = Op::Arith;
+    a.alu = AluOp::Sub;
+    a.a = Operand::mkImm(Tag::Int, 0);
+    a.b = Operand::mkReg(3);
+    a.c = Operand::mkReg(4);
+    b.push(a);
+    b.finish();
+    auto p = intcode::translate(b.m);
+    // The immediate first operand needs a movi.
+    EXPECT_EQ(countOp(p, IOp::Movi), 1);
+    EXPECT_EQ(countOp(p, IOp::Sub), 1);
+}
+
+TEST(Cfg, BlocksEndAtControlAndLabels)
+{
+    ModBuilder b;
+    int lab = b.m.newLabel();
+    Instr mv;
+    mv.op = Op::Move;
+    mv.a = Operand::mkImm(Tag::Int, 1);
+    mv.b = Operand::mkReg(3);
+    b.push(mv);
+    Instr j;
+    j.op = Op::Jump;
+    j.labs[0] = lab;
+    b.push(j);
+    Instr l;
+    l.op = Op::Label;
+    l.labs[0] = lab;
+    b.push(l);
+    b.finish();
+    auto p = intcode::translate(b.m);
+    auto cfg = intcode::Cfg::build(p);
+    for (const auto &blk : cfg.blocks) {
+        for (int k = blk.first; k < blk.last; ++k)
+            EXPECT_FALSE(intcode::isControl(
+                p.code[static_cast<std::size_t>(k)].op));
+    }
+    EXPECT_EQ(cfg.blockOf[static_cast<std::size_t>(p.entry)],
+              cfg.entryBlock);
+}

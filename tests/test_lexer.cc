@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Unit tests for the Prolog tokenizer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prolog/lexer.hh"
+
+using namespace symbol;
+using namespace symbol::prolog;
+
+namespace
+{
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    Lexer lx(src);
+    return lx.all();
+}
+
+} // namespace
+
+TEST(Lexer, SimpleAtomsAndEnd)
+{
+    auto ts = lex("foo bar.");
+    ASSERT_EQ(ts.size(), 4u);
+    EXPECT_EQ(ts[0].kind, TokenKind::Atom);
+    EXPECT_EQ(ts[0].text, "foo");
+    EXPECT_EQ(ts[1].text, "bar");
+    EXPECT_EQ(ts[2].kind, TokenKind::End);
+    EXPECT_EQ(ts[3].kind, TokenKind::Eof);
+}
+
+TEST(Lexer, VariablesStartUppercaseOrUnderscore)
+{
+    auto ts = lex("X _foo Abc_1");
+    EXPECT_EQ(ts[0].kind, TokenKind::Var);
+    EXPECT_EQ(ts[1].kind, TokenKind::Var);
+    EXPECT_EQ(ts[2].kind, TokenKind::Var);
+    EXPECT_EQ(ts[2].text, "Abc_1");
+}
+
+TEST(Lexer, Integers)
+{
+    auto ts = lex("0 42 123456");
+    EXPECT_EQ(ts[0].value, 0);
+    EXPECT_EQ(ts[1].value, 42);
+    EXPECT_EQ(ts[2].value, 123456);
+}
+
+TEST(Lexer, CharCodeLiteral)
+{
+    auto ts = lex("0'a 0' ");
+    EXPECT_EQ(ts[0].kind, TokenKind::Int);
+    EXPECT_EQ(ts[0].value, 'a');
+    EXPECT_EQ(ts[1].value, ' ');
+}
+
+TEST(Lexer, SymbolicAtomsGroupGreedily)
+{
+    auto ts = lex("X =:= Y");
+    EXPECT_EQ(ts[1].kind, TokenKind::Atom);
+    EXPECT_EQ(ts[1].text, "=:=");
+}
+
+TEST(Lexer, NeckIsOneAtom)
+{
+    auto ts = lex("a :- b.");
+    EXPECT_EQ(ts[1].text, ":-");
+    EXPECT_EQ(ts[3].kind, TokenKind::End);
+}
+
+TEST(Lexer, DotBeforeLayoutTerminates)
+{
+    auto ts = lex("a. b.");
+    EXPECT_EQ(ts[1].kind, TokenKind::End);
+    EXPECT_EQ(ts[2].text, "b");
+}
+
+TEST(Lexer, DotInsideSymbolIsAtom)
+{
+    auto ts = lex("a .. b.");
+    EXPECT_EQ(ts[1].kind, TokenKind::Atom);
+    EXPECT_EQ(ts[1].text, "..");
+}
+
+TEST(Lexer, QuotedAtomWithEscapes)
+{
+    auto ts = lex("'hello world' 'it''s' 'a\\nb'");
+    EXPECT_EQ(ts[0].text, "hello world");
+    EXPECT_EQ(ts[1].text, "it's");
+    EXPECT_EQ(ts[2].text, "a\nb");
+    EXPECT_EQ(ts[0].kind, TokenKind::Atom);
+}
+
+TEST(Lexer, DoubleQuotedString)
+{
+    auto ts = lex("\"AB\"");
+    EXPECT_EQ(ts[0].kind, TokenKind::Str);
+    EXPECT_EQ(ts[0].text, "AB");
+}
+
+TEST(Lexer, LineAndBlockComments)
+{
+    auto ts = lex("a % comment\n/* block\nmore */ b.");
+    EXPECT_EQ(ts[0].text, "a");
+    EXPECT_EQ(ts[1].text, "b");
+    EXPECT_EQ(ts[2].kind, TokenKind::End);
+}
+
+TEST(Lexer, FunctorParenFlag)
+{
+    auto ts = lex("foo(1) bar (2)");
+    EXPECT_TRUE(ts[0].functorParen);
+    EXPECT_FALSE(ts[4].functorParen);
+}
+
+TEST(Lexer, PunctuationTokens)
+{
+    auto ts = lex("( ) [ ] { } , |");
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(ts[static_cast<std::size_t>(i)].kind, TokenKind::Punct);
+}
+
+TEST(Lexer, CutAndSemicolonAreAtoms)
+{
+    auto ts = lex("! ;");
+    EXPECT_EQ(ts[0].kind, TokenKind::Atom);
+    EXPECT_EQ(ts[0].text, "!");
+    EXPECT_EQ(ts[1].text, ";");
+}
+
+TEST(Lexer, PositionsTrackLines)
+{
+    auto ts = lex("a\n  b");
+    EXPECT_EQ(ts[0].pos.line, 1);
+    EXPECT_EQ(ts[1].pos.line, 2);
+    EXPECT_EQ(ts[1].pos.column, 3);
+}
+
+TEST(Lexer, UnterminatedQuoteThrows)
+{
+    EXPECT_THROW(lex("'abc"), CompileError);
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows)
+{
+    EXPECT_THROW(lex("/* abc"), CompileError);
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Unit tests for the machine-description factory functions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/config.hh"
+
+using namespace symbol::machine;
+
+TEST(MachineConfig, IdealSharedDefaults)
+{
+    MachineConfig c = MachineConfig::idealShared(3);
+    EXPECT_EQ(c.numUnits, 3);
+    EXPECT_EQ(c.memPortsTotal, 1); // shared memory: one access/cycle
+    EXPECT_EQ(c.memLatency, 2);
+    EXPECT_EQ(c.branchPenalty, 1);
+    EXPECT_FALSE(c.twoFormats);
+    EXPECT_EQ(c.name, "vliw-3");
+}
+
+TEST(MachineConfig, UnboundedKeepsOneMemoryPort)
+{
+    MachineConfig c = MachineConfig::unboundedShared();
+    EXPECT_GE(c.numUnits, 16);
+    EXPECT_EQ(c.memPortsTotal, 1);
+    EXPECT_FALSE(c.clustered);
+}
+
+TEST(MachineConfig, PrototypeRestrictions)
+{
+    MachineConfig c = MachineConfig::prototype(3);
+    EXPECT_TRUE(c.twoFormats);
+    EXPECT_EQ(c.memLatency, 3);    // 3-stage memory pipeline
+    // 2-cycle delayed branches with the first slot compiler-filled.
+    EXPECT_EQ(c.branchPenalty, 1);
+    EXPECT_EQ(c.name, "symbol-3");
+    EXPECT_DOUBLE_EQ(c.clockMHz, 30.0); // measured silicon clock
+}
+
+TEST(MachineConfig, EveryUnitHasAllFourSlots)
+{
+    MachineConfig c = MachineConfig::idealShared(1);
+    EXPECT_EQ(c.aluPerUnit, 1);
+    EXPECT_EQ(c.movePerUnit, 1);
+    EXPECT_EQ(c.branchPerUnit, 1);
+    EXPECT_EQ(c.memPerUnit, 1);
+}
+
+TEST(MachineConfig, BankParametersMatchPrototype)
+{
+    MachineConfig c = MachineConfig::prototype(1);
+    EXPECT_EQ(c.regsPerBank, 16); // 16-register bank of §5.2
+}

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the clause normaliser: goal flattening, auxiliary
+ * predicate lifting for control constructs, chunk-based variable
+ * classification and environment decisions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bamc/normalize.hh"
+
+using namespace symbol;
+using namespace symbol::bamc;
+
+namespace
+{
+
+struct Normalized
+{
+    Interner in;
+    std::unique_ptr<prolog::Program> prog;
+    FlatProgram flat;
+
+    explicit Normalized(const std::string &src)
+    {
+        prog = std::make_unique<prolog::Program>(
+            prolog::parseProgram(src, in));
+        flat = normalize(*prog);
+    }
+
+    const FlatPred &
+    pred(const std::string &name, int arity)
+    {
+        PredKey key{in.intern(name), arity};
+        const FlatPred *p = flat.find(key);
+        EXPECT_NE(p, nullptr) << name << "/" << arity;
+        return *p;
+    }
+};
+
+} // namespace
+
+TEST(Normalize, FlattensConjunctions)
+{
+    Normalized n("p :- a, (b, c), d.\na. b. c. d.");
+    const FlatPred &p = n.pred("p", 0);
+    ASSERT_EQ(p.clauses.size(), 1u);
+    EXPECT_EQ(p.clauses[0].goals.size(), 4u);
+}
+
+TEST(Normalize, RemovesTrueGoals)
+{
+    Normalized n("p :- true, a, true.\na.");
+    EXPECT_EQ(n.pred("p", 0).clauses[0].goals.size(), 1u);
+}
+
+TEST(Normalize, LiftsDisjunctionIntoAux)
+{
+    Normalized n("p(X) :- (X = 1 ; X = 2).");
+    const FlatPred &p = n.pred("p", 1);
+    ASSERT_EQ(p.clauses[0].goals.size(), 1u);
+    // The replacement goal calls a generated $aux with X as argument.
+    TermId g = p.clauses[0].goals[0];
+    const prolog::Term &gt = n.prog->pool.at(g);
+    EXPECT_EQ(n.in.name(gt.functor).substr(0, 4), "$aux");
+    EXPECT_EQ(gt.args.size(), 1u);
+    // The aux predicate has two clauses.
+    const FlatPred &aux = n.pred(n.in.name(gt.functor), 1);
+    EXPECT_EQ(aux.clauses.size(), 2u);
+    EXPECT_TRUE(aux.isAux);
+}
+
+TEST(Normalize, IfThenElseBecomesCutClauses)
+{
+    Normalized n("p(X,Y) :- (X < 1 -> Y = a ; Y = b).");
+    const FlatPred &p = n.pred("p", 2);
+    TermId g = p.clauses[0].goals[0];
+    const prolog::Term &gt = n.prog->pool.at(g);
+    const FlatPred &aux = n.pred(n.in.name(gt.functor),
+                                 static_cast<int>(gt.args.size()));
+    ASSERT_EQ(aux.clauses.size(), 2u);
+    EXPECT_TRUE(aux.clauses[0].hasCut);
+    EXPECT_FALSE(aux.clauses[1].hasCut);
+}
+
+TEST(Normalize, NegationBecomesCutFail)
+{
+    Normalized n("p :- \\+ q.\nq.");
+    const FlatPred &p = n.pred("p", 0);
+    TermId g = p.clauses[0].goals[0];
+    const prolog::Term &gt = n.prog->pool.at(g);
+    const FlatPred &aux = n.pred(n.in.name(gt.functor), 0);
+    ASSERT_EQ(aux.clauses.size(), 2u);
+    EXPECT_TRUE(aux.clauses[0].hasCut);
+}
+
+TEST(Normalize, NotUnifyDesugarsToNegation)
+{
+    Normalized n("p(X) :- X \\= 1.");
+    const FlatPred &p = n.pred("p", 1);
+    const prolog::Term &gt =
+        n.prog->pool.at(p.clauses[0].goals[0]);
+    EXPECT_EQ(n.in.name(gt.functor).substr(0, 4), "$aux");
+}
+
+TEST(Normalize, TempVarStaysTemp)
+{
+    // X only lives in the head+first chunk: temporary.
+    Normalized n("p(X, Y) :- Y = X.");
+    const FlatClause &c = n.pred("p", 2).clauses[0];
+    for (const auto &[var, slot] : c.vars)
+        EXPECT_FALSE(slot.isPerm);
+    EXPECT_FALSE(c.needsEnv);
+}
+
+TEST(Normalize, VarAcrossCallBecomesPermanent)
+{
+    Normalized n("p(X, Y) :- q(X), r(Y).\nq(_). r(_).");
+    const FlatClause &c = n.pred("p", 2).clauses[0];
+    // Y crosses the q/1 call: permanent. X does not.
+    int perms = 0;
+    for (const auto &[var, slot] : c.vars)
+        perms += slot.isPerm;
+    EXPECT_EQ(perms, 1);
+    EXPECT_TRUE(c.needsEnv);
+    EXPECT_EQ(c.numPerms, 1);
+}
+
+TEST(Normalize, ChainRuleNeedsNoEnvironment)
+{
+    Normalized n("p(X) :- q(X).\nq(_).");
+    EXPECT_FALSE(n.pred("p", 1).clauses[0].needsEnv);
+}
+
+TEST(Normalize, BuiltinsDoNotEndChunks)
+{
+    // is/2 and comparison are inline: X stays temporary.
+    Normalized n("p(X, Y) :- Y is X + 1, Y > 0, X < Y.");
+    const FlatClause &c = n.pred("p", 2).clauses[0];
+    for (const auto &[var, slot] : c.vars)
+        EXPECT_FALSE(slot.isPerm);
+    EXPECT_FALSE(c.needsEnv);
+}
+
+TEST(Normalize, CutAfterCallNeedsSlot)
+{
+    Normalized n("p :- q, !.\nq.");
+    const FlatClause &c = n.pred("p", 0).clauses[0];
+    EXPECT_TRUE(c.hasCut);
+    EXPECT_TRUE(c.cutNeedsSlot);
+    EXPECT_TRUE(c.needsEnv);
+    EXPECT_GE(c.numPerms, 1); // the cut barrier slot
+}
+
+TEST(Normalize, CutBeforeCallNeedsNoSlot)
+{
+    Normalized n("p(X) :- X > 0, !, q(X).\nq(_).");
+    const FlatClause &c = n.pred("p", 1).clauses[0];
+    EXPECT_TRUE(c.hasCut);
+    EXPECT_FALSE(c.cutNeedsSlot);
+}
+
+TEST(Normalize, NonLastCallForcesEnvironment)
+{
+    Normalized n("p :- q, 1 < 2.\nq.");
+    EXPECT_TRUE(n.pred("p", 0).clauses[0].needsEnv);
+}
+
+TEST(Normalize, PermSlotsAreDense)
+{
+    Normalized n("p(A,B,C) :- q(A), q(B), q(C), q(A), q(B), q(C).\n"
+                 "q(_).");
+    const FlatClause &c = n.pred("p", 3).clauses[0];
+    std::set<int> slots;
+    for (const auto &[var, slot] : c.vars) {
+        if (slot.isPerm)
+            slots.insert(slot.slot);
+    }
+    EXPECT_EQ(static_cast<int>(slots.size()), c.numPerms);
+    if (!slots.empty()) {
+        EXPECT_EQ(*slots.begin(), 0);
+        EXPECT_EQ(*slots.rbegin(),
+                  static_cast<int>(slots.size()) - 1);
+    }
+}
+
+TEST(Normalize, VariableGoalIsError)
+{
+    Interner in;
+    auto p = std::make_unique<prolog::Program>(
+        prolog::parseProgram("p(X) :- X.", in));
+    EXPECT_THROW(normalize(*p), CompileError);
+}
+
+TEST(Normalize, BuiltinTableSanity)
+{
+    Interner in;
+    EXPECT_TRUE(isBuiltin(in, in.intern("is"), 2));
+    EXPECT_TRUE(isBuiltin(in, in.intern("out"), 1));
+    EXPECT_TRUE(isBuiltin(in, in.intern("halt"), 0));
+    EXPECT_FALSE(isBuiltin(in, in.intern("is"), 3));
+    EXPECT_FALSE(isBuiltin(in, in.intern("append"), 3));
+}

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the operator-precedence Prolog parser, checked by
+ * rendering parsed terms back to canonical text.
+ */
+
+#include <gtest/gtest.h>
+
+#include "prolog/parser.hh"
+
+using namespace symbol;
+using namespace symbol::prolog;
+
+namespace
+{
+
+/** Parse one term and print it canonically. */
+std::string
+roundtrip(const std::string &src)
+{
+    Interner in;
+    TermPool pool(in);
+    TermId t = parseTerm(src + " .", pool);
+    return pool.str(t);
+}
+
+} // namespace
+
+TEST(Parser, AtomsAndIntegers)
+{
+    EXPECT_EQ(roundtrip("foo"), "foo");
+    EXPECT_EQ(roundtrip("42"), "42");
+    EXPECT_EQ(roundtrip("-7"), "-7");
+}
+
+TEST(Parser, Structures)
+{
+    EXPECT_EQ(roundtrip("foo(a,B,12)"), "foo(a,B_0,12)");
+    EXPECT_EQ(roundtrip("f(g(h(x)))"), "f(g(h(x)))");
+}
+
+TEST(Parser, SharedVariablesGetOneId)
+{
+    Interner in;
+    TermPool pool(in);
+    TermId t = parseTerm("f(X,X,Y).", pool);
+    const Term &f = pool.at(t);
+    EXPECT_EQ(pool.at(f.args[0]).varId, pool.at(f.args[1]).varId);
+    EXPECT_NE(pool.at(f.args[0]).varId, pool.at(f.args[2]).varId);
+}
+
+TEST(Parser, AnonymousVariablesAreFresh)
+{
+    Interner in;
+    TermPool pool(in);
+    TermId t = parseTerm("f(_,_).", pool);
+    const Term &f = pool.at(t);
+    EXPECT_NE(pool.at(f.args[0]).varId, pool.at(f.args[1]).varId);
+}
+
+TEST(Parser, Lists)
+{
+    EXPECT_EQ(roundtrip("[]"), "[]");
+    EXPECT_EQ(roundtrip("[1,2,3]"), "[1,2,3]");
+    EXPECT_EQ(roundtrip("[a|T]"), "[a|T_0]");
+    EXPECT_EQ(roundtrip("[a,b|T]"), "[a,b|T_0]");
+}
+
+TEST(Parser, StringsBecomeCodeLists)
+{
+    EXPECT_EQ(roundtrip("\"AB\""), "[65,66]");
+}
+
+TEST(Parser, ArithmeticPrecedence)
+{
+    EXPECT_EQ(roundtrip("1+2*3"), "+(1,*(2,3))");
+    EXPECT_EQ(roundtrip("(1+2)*3"), "*(+(1,2),3)");
+    EXPECT_EQ(roundtrip("1-2-3"), "-(-(1,2),3)");
+    EXPECT_EQ(roundtrip("2*3 mod 4"), "mod(*(2,3),4)");
+}
+
+TEST(Parser, ComparisonAndIs)
+{
+    EXPECT_EQ(roundtrip("X is Y+1"), "is(X_0,+(Y_1,1))");
+    EXPECT_EQ(roundtrip("X =< Y"), "=<(X_0,Y_1)");
+}
+
+TEST(Parser, CommaAndNeck)
+{
+    EXPECT_EQ(roundtrip("a :- b, c"), ":-(a,','(b,c))");
+    EXPECT_EQ(roundtrip("a, b, c"), "','(a,','(b,c))");
+}
+
+TEST(Parser, IfThenElse)
+{
+    EXPECT_EQ(roundtrip("(a -> b ; c)"), ";(->(a,b),c)");
+}
+
+TEST(Parser, NegationAsFailure)
+{
+    EXPECT_EQ(roundtrip("\\+ a"), "\\+(a)");
+}
+
+TEST(Parser, PrefixMinusOnExpression)
+{
+    EXPECT_EQ(roundtrip("-(X)"), "-(X_0)");
+    EXPECT_EQ(roundtrip("- X"), "-(X_0)");
+    EXPECT_EQ(roundtrip("1 - 2"), "-(1,2)");
+}
+
+TEST(Parser, XfxDoesNotChain)
+{
+    EXPECT_THROW(roundtrip("a = b = c"), CompileError);
+}
+
+TEST(Parser, ClausesAndFacts)
+{
+    Interner in;
+    Program p = parseProgram("f(a).\ng(X) :- f(X).\n", in);
+    ASSERT_EQ(p.clauses.size(), 2u);
+    EXPECT_EQ(p.clauses[0].body, kNoTerm);
+    EXPECT_NE(p.clauses[1].body, kNoTerm);
+    EXPECT_EQ(p.clauses[1].numVars, 1);
+}
+
+TEST(Parser, Directives)
+{
+    Interner in;
+    Program p = parseProgram(":- main.\n", in);
+    EXPECT_EQ(p.clauses.size(), 0u);
+    ASSERT_EQ(p.directives.size(), 1u);
+    EXPECT_EQ(p.pool.str(p.directives[0]), "main");
+}
+
+TEST(Parser, HeadMustBeCallable)
+{
+    Interner in;
+    EXPECT_THROW(parseProgram("42.\n", in), CompileError);
+    EXPECT_THROW(parseProgram("X.\n", in), CompileError);
+}
+
+TEST(Parser, MissingEndThrows)
+{
+    Interner in;
+    EXPECT_THROW(parseProgram("foo", in), CompileError);
+}
+
+TEST(Parser, CutInBody)
+{
+    EXPECT_EQ(roundtrip("a :- !, b"), ":-(a,','(!,b))");
+}
+
+TEST(Parser, CurlyBraces)
+{
+    EXPECT_EQ(roundtrip("{a,b}"), "{}(','(a,b))");
+    EXPECT_EQ(roundtrip("{}"), "{}");
+}
+
+TEST(Parser, OperatorAtomAsArgument)
+{
+    // An operator name used as a plain argument.
+    EXPECT_EQ(roundtrip("f(+,-)"), "f(+,-)");
+}
+
+TEST(Parser, DeepRightNesting)
+{
+    // Stress right recursion of xfy ','.
+    std::string src = "a";
+    for (int i = 0; i < 200; ++i)
+        src += ", a";
+    EXPECT_NO_THROW(roundtrip(src));
+}

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Randomised property tests: generate random workloads, compute the
+ * ground truth in C++, and check the whole pipeline (and the VLIW
+ * back end) produces the same answers. This exercises unification,
+ * indexing, arithmetic and backtracking on inputs nobody hand-picked.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+
+#include "machine/config.hh"
+#include "suite/pipeline.hh"
+#include "support/text.hh"
+
+using namespace symbol;
+
+namespace
+{
+
+std::string
+listLiteral(const std::vector<int> &xs)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        if (i)
+            out += ",";
+        out += strprintf("%d", xs[i]);
+    }
+    return out + "]";
+}
+
+std::string
+runSeq(const std::string &src)
+{
+    suite::Benchmark b;
+    b.name = "random";
+    b.source = src;
+    suite::Workload w(b);
+    return w.seqOutput();
+}
+
+} // namespace
+
+class RandomLists : public ::testing::TestWithParam<int>
+{
+  protected:
+    std::mt19937 rng_{static_cast<unsigned>(GetParam())};
+
+    std::vector<int>
+    randomList(int max_len, int max_val)
+    {
+        std::uniform_int_distribution<int> len(0, max_len);
+        std::uniform_int_distribution<int> val(-max_val, max_val);
+        std::vector<int> xs(static_cast<std::size_t>(len(rng_)));
+        for (int &x : xs)
+            x = val(rng_);
+        return xs;
+    }
+};
+
+TEST_P(RandomLists, QsortSortsAnything)
+{
+    std::vector<int> xs = randomList(24, 99);
+    std::string src = strprintf(R"(
+        qs([], R, R).
+        qs([X|L], R, R0) :-
+            part(L, X, L1, L2), qs(L2, R1, R0), qs(L1, R, [X|R1]).
+        part([], _, [], []).
+        part([X|L], Y, [X|L1], L2) :- X =< Y, !, part(L, Y, L1, L2).
+        part([X|L], Y, L1, [X|L2]) :- part(L, Y, L1, L2).
+        main :- qs(%s, R, []), out(R).
+    )", listLiteral(xs).c_str());
+    std::vector<int> sorted = xs;
+    std::stable_sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(runSeq(src), listLiteral(sorted) + "\n");
+}
+
+TEST_P(RandomLists, NreverseReversesAnything)
+{
+    std::vector<int> xs = randomList(30, 999);
+    std::string src = strprintf(R"(
+        app([], L, L).
+        app([X|A], B, [X|C]) :- app(A, B, C).
+        rev([], []).
+        rev([X|L], R) :- rev(L, T), app(T, [X], R).
+        main :- rev(%s, R), out(R).
+    )", listLiteral(xs).c_str());
+    std::vector<int> r(xs.rbegin(), xs.rend());
+    EXPECT_EQ(runSeq(src), listLiteral(r) + "\n");
+}
+
+TEST_P(RandomLists, SumAndMaxViaArithmetic)
+{
+    std::vector<int> xs = randomList(20, 500);
+    if (xs.empty())
+        xs.push_back(0);
+    std::string src = strprintf(R"(
+        sum([], 0).
+        sum([X|L], S) :- sum(L, S1), S is S1 + X.
+        max([X], X).
+        max([X|L], M) :- max(L, M1), (X > M1 -> M = X ; M = M1).
+        main :- sum(%s, S), max(%s, M), out(S), out(M).
+    )", listLiteral(xs).c_str(), listLiteral(xs).c_str());
+    int sum = 0, mx = xs[0];
+    for (int x : xs) {
+        sum += x;
+        mx = std::max(mx, x);
+    }
+    EXPECT_EQ(runSeq(src), strprintf("%d\n%d\n", sum, mx));
+}
+
+TEST_P(RandomLists, MemberFindsEveryElementViaBacktracking)
+{
+    std::vector<int> xs = randomList(12, 9);
+    std::string src = strprintf(R"(
+        member(X, [X|_]).
+        member(X, [_|T]) :- member(X, T).
+        main :- member(X, %s), out(X), fail.
+        main :- out(done).
+    )", listLiteral(xs).c_str());
+    std::string expect;
+    for (int x : xs)
+        expect += strprintf("%d\n", x);
+    expect += "done\n";
+    EXPECT_EQ(runSeq(src), expect);
+}
+
+TEST_P(RandomLists, VliwAgreesWithSequentialOnRandomInput)
+{
+    std::vector<int> xs = randomList(16, 50);
+    suite::Benchmark b;
+    b.name = "random_vliw";
+    b.source = strprintf(R"(
+        app([], L, L).
+        app([X|A], B, [X|C]) :- app(A, B, C).
+        rev([], []).
+        rev([X|L], R) :- rev(L, T), app(T, [X], R).
+        main :- rev(%s, R), app(R, %s, S), out(S).
+    )", listLiteral(xs).c_str(), listLiteral(xs).c_str());
+    suite::Workload w(b);
+    // runVliw throws if the VLIW output diverges.
+    for (int units : {1, 3}) {
+        suite::VliwRun r = w.runVliw(
+            machine::MachineConfig::idealShared(units));
+        EXPECT_EQ(r.latencyViolations, 0u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLists,
+                         ::testing::Range(1, 11));

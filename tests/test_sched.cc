@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Unit and property tests of the back-end compaction machinery:
+ * liveness analysis on hand-built programs, trace statistics, and
+ * structural properties of the emitted wide code (resource limits,
+ * branch priority ordering).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sched/compact.hh"
+#include "sched/liveness.hh"
+#include "suite/pipeline.hh"
+
+using namespace symbol;
+using intcode::IInstr;
+using intcode::IOp;
+
+namespace
+{
+
+IInstr
+movi(int rd, std::int64_t v)
+{
+    IInstr i;
+    i.op = IOp::Movi;
+    i.rd = rd;
+    i.useImm = true;
+    i.imm = bam::makeWord(bam::Tag::Int, v);
+    return i;
+}
+
+IInstr
+mov(int rd, int ra)
+{
+    IInstr i;
+    i.op = IOp::Mov;
+    i.rd = rd;
+    i.ra = ra;
+    return i;
+}
+
+IInstr
+beq(int ra, int rb, int target)
+{
+    IInstr i;
+    i.op = IOp::Beq;
+    i.ra = ra;
+    i.rb = rb;
+    i.target = target;
+    return i;
+}
+
+IInstr
+halt()
+{
+    IInstr i;
+    i.op = IOp::Halt;
+    return i;
+}
+
+intcode::Program
+makeProgram(std::vector<IInstr> code, int regs)
+{
+    intcode::Program p;
+    p.code = std::move(code);
+    p.numRegs = regs;
+    p.addressTaken.assign(p.code.size(), false);
+    p.procEntry.assign(p.code.size(), false);
+    return p;
+}
+
+const suite::Workload &
+workload(const std::string &name)
+{
+    static std::map<std::string, std::unique_ptr<suite::Workload>>
+        cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(name, std::make_unique<suite::Workload>(
+                                    suite::benchmark(name)))
+                 .first;
+    }
+    return *it->second;
+}
+
+} // namespace
+
+TEST(LivenessTest, UseMakesLiveIn)
+{
+    // 0: mov r1 <- r2 ; 1: halt
+    auto p = makeProgram({mov(1, 2), halt()}, 4);
+    auto cfg = intcode::Cfg::build(p);
+    auto lv = sched::Liveness::compute(p, cfg);
+    EXPECT_TRUE(lv.isLiveIn(0, 2));
+    EXPECT_FALSE(lv.isLiveIn(0, 1));
+}
+
+TEST(LivenessTest, DefKillsLiveness)
+{
+    // r2 defined before its use: not live-in.
+    auto p = makeProgram({movi(2, 5), mov(1, 2), halt()}, 4);
+    auto cfg = intcode::Cfg::build(p);
+    auto lv = sched::Liveness::compute(p, cfg);
+    EXPECT_FALSE(lv.isLiveIn(0, 2));
+}
+
+TEST(LivenessTest, LivenessFlowsAcrossBranches)
+{
+    // 0: beq r1,r2 -> 3 ; 1: mov r5 <- r3 ; 2: halt ; 3: mov r6 <- r4
+    // 4: halt.  r4 is live-in of block 0 only via the taken edge.
+    auto p = makeProgram({beq(1, 2, 3), mov(5, 3), halt(),
+                          mov(6, 4), halt()},
+                         8);
+    auto cfg = intcode::Cfg::build(p);
+    auto lv = sched::Liveness::compute(p, cfg);
+    EXPECT_TRUE(lv.isLiveIn(0, 3));
+    EXPECT_TRUE(lv.isLiveIn(0, 4));
+    int target_block = cfg.blockOf[3];
+    EXPECT_TRUE(lv.isLiveIn(target_block, 4));
+    EXPECT_FALSE(lv.isLiveIn(target_block, 3));
+}
+
+TEST(CompactStats, TraceModeProducesLongerRegions)
+{
+    const suite::Workload &w = workload("nreverse");
+    sched::CompactOptions tr, bb;
+    tr.traceMode = true;
+    bb.traceMode = false;
+    auto mc = machine::MachineConfig::idealShared(3);
+    auto rt = sched::compact(w.ici(), w.profile(), mc, tr);
+    auto rb = sched::compact(w.ici(), w.profile(), mc, bb);
+    EXPECT_GT(rt.stats.avgDynamicLength,
+              rb.stats.avgDynamicLength * 1.5);
+    // Table 1 ballpark: basic blocks ~4-8 ICIs, traces ~9-20.
+    EXPECT_GT(rb.stats.avgDynamicLength, 2.0);
+    EXPECT_GT(rt.stats.avgDynamicLength, 6.0);
+}
+
+TEST(CompactStats, WideCodeRespectsResourceLimits)
+{
+    const suite::Workload &w = workload("qsort");
+    for (int units : {1, 2, 3}) {
+        auto mc = machine::MachineConfig::idealShared(units);
+        auto cr = sched::compact(w.ici(), w.profile(), mc, {});
+        for (const auto &wi : cr.code.code) {
+            int mem = 0;
+            std::vector<int> alu(static_cast<std::size_t>(units), 0);
+            std::vector<int> mv(static_cast<std::size_t>(units), 0);
+            std::vector<int> br(static_cast<std::size_t>(units), 0);
+            for (const auto &op : wi.ops) {
+                ASSERT_GE(op.unit, 0);
+                ASSERT_LT(op.unit, units);
+                auto u = static_cast<std::size_t>(op.unit);
+                switch (intcode::opClass(op.instr.op)) {
+                  case intcode::OpClass::Memory:
+                    ++mem;
+                    break;
+                  case intcode::OpClass::Alu:
+                    ++alu[u];
+                    break;
+                  case intcode::OpClass::Move:
+                  case intcode::OpClass::Other:
+                    ++mv[u];
+                    break;
+                  case intcode::OpClass::Control:
+                    ++br[u];
+                    break;
+                }
+            }
+            // Shared memory: one access per cycle in total.
+            EXPECT_LE(mem, 1);
+            for (int u = 0; u < units; ++u) {
+                EXPECT_LE(alu[static_cast<std::size_t>(u)], 1);
+                EXPECT_LE(mv[static_cast<std::size_t>(u)], 1);
+                EXPECT_LE(br[static_cast<std::size_t>(u)], 1);
+            }
+        }
+    }
+}
+
+TEST(CompactStats, BranchesKeepPriorityOrder)
+{
+    // Within a wide instruction, any unconditional jump must be the
+    // lowest-priority (last) operation.
+    const suite::Workload &w = workload("serialise");
+    auto mc = machine::MachineConfig::idealShared(4);
+    auto cr = sched::compact(w.ici(), w.profile(), mc, {});
+    for (const auto &wi : cr.code.code) {
+        for (std::size_t k = 0; k + 1 < wi.ops.size(); ++k)
+            EXPECT_NE(wi.ops[k].instr.op, IOp::Jmp);
+    }
+}
+
+TEST(CompactStats, EntryIsValid)
+{
+    const suite::Workload &w = workload("conc30");
+    auto mc = machine::MachineConfig::idealShared(2);
+    auto cr = sched::compact(w.ici(), w.profile(), mc, {});
+    EXPECT_GE(cr.code.entry, 0);
+    EXPECT_LT(static_cast<std::size_t>(cr.code.entry),
+              cr.code.code.size());
+}
+
+TEST(CompactStats, DuplicationBudgetBoundsCodeGrowth)
+{
+    const suite::Workload &w = workload("queens_8");
+    sched::CompactOptions co;
+    co.dupBudgetFactor = 1.0;
+    auto mc = machine::MachineConfig::idealShared(2);
+    auto cr = sched::compact(w.ici(), w.profile(), mc, co);
+    // Copies plus originals can at most double the code (factor 1.0).
+    EXPECT_LE(cr.stats.totalOps, w.ici().code.size() * 3);
+}
+
+TEST(CompactStats, PrototypeTwoFormatRestriction)
+{
+    // Under the SYMBOL format restriction a unit never issues a
+    // control op together with an ALU op or move in one cycle.
+    const suite::Workload &w = workload("times10");
+    auto mc = machine::MachineConfig::prototype(3);
+    auto cr = sched::compact(w.ici(), w.profile(), mc, {});
+    for (const auto &wi : cr.code.code) {
+        for (int u = 0; u < mc.numUnits; ++u) {
+            bool ctl = false, data = false;
+            for (const auto &op : wi.ops) {
+                if (op.unit != u)
+                    continue;
+                auto cls = intcode::opClass(op.instr.op);
+                if (cls == intcode::OpClass::Control)
+                    ctl = true;
+                if (cls == intcode::OpClass::Alu ||
+                    cls == intcode::OpClass::Move)
+                    data = true;
+            }
+            EXPECT_FALSE(ctl && data);
+        }
+    }
+}

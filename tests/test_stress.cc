@@ -1,0 +1,206 @@
+/**
+ * @file
+ * Stress and boundary tests of the runtime: deep structures, deep
+ * recursion, trail-heavy backtracking, wide functors, and the
+ * iterative runtime routines ($unify and $out_term working through
+ * the push-down list).
+ */
+
+#include <gtest/gtest.h>
+
+#include "bamc/compiler.hh"
+#include "emul/machine.hh"
+#include "intcode/translate.hh"
+#include "prolog/parser.hh"
+#include "support/text.hh"
+
+using namespace symbol;
+
+namespace
+{
+
+std::string
+runProgram(const std::string &src)
+{
+    Interner in;
+    prolog::Program p = prolog::parseProgram(src, in);
+    bam::Module m = bamc::compile(p);
+    intcode::Program ici = intcode::translate(m);
+    emul::Machine mach(ici);
+    emul::RunOptions o;
+    o.maxSteps = 200'000'000;
+    emul::RunResult r = mach.run(o);
+    EXPECT_TRUE(r.halted);
+    return mach.decodeOutput();
+}
+
+} // namespace
+
+TEST(Stress, DeeplyNestedStructureUnification)
+{
+    // Build s(s(...s(z)...)) 200 deep via recursion, then unify two
+    // independently built copies with the general unifier.
+    const char *src = R"(
+        peano(0, z) :- !.
+        peano(N, s(P)) :- N1 is N - 1, peano(N1, P).
+        main :- peano(200, A), peano(200, B), A = B, out(ok).
+    )";
+    EXPECT_EQ(runProgram(src), "ok\n");
+}
+
+TEST(Stress, DeepStructureMismatchFails)
+{
+    const char *src = R"(
+        peano(0, z) :- !.
+        peano(N, s(P)) :- N1 is N - 1, peano(N1, P).
+        main :- peano(120, A), peano(121, B), A = B, out(ok).
+    )";
+    EXPECT_EQ(runProgram(src), "no\n");
+}
+
+TEST(Stress, WideFunctor)
+{
+    // Arity 12 exercises the argument-count loops of $unify and
+    // $out_term.
+    const char *src = R"(
+        main :-
+            X = f(1,2,3,4,5,6,7,8,9,10,11,12),
+            X = f(A,_,_,_,_,_,_,_,_,_,_,L),
+            out(A), out(L), out(X).
+    )";
+    EXPECT_EQ(runProgram(src),
+              "1\n12\nf(1,2,3,4,5,6,7,8,9,10,11,12)\n");
+}
+
+TEST(Stress, LongListOutput)
+{
+    // A 500-element list through $out_term's push-down list.
+    const char *src = R"(
+        build(0, []) :- !.
+        build(N, [N|T]) :- N1 is N - 1, build(N1, T).
+        len([], 0).
+        len([_|T], N) :- len(T, N1), N is N1 + 1.
+        main :- build(500, L), len(L, N), out(N).
+    )";
+    EXPECT_EQ(runProgram(src), "500\n");
+}
+
+TEST(Stress, TrailHeavyBacktracking)
+{
+    // Each failing candidate binds many variables that must all be
+    // unwound before the next attempt.
+    const char *src = R"(
+        same([], _).
+        same([X|T], X) :- same(T, X).
+        pick(1). pick(2). pick(3). pick(4). pick(5).
+        main :-
+            L = [A,B,C,D,E,F,G,H],
+            pick(V), same(L, V), V =:= 4,
+            out([A,B,C,D,E,F,G,H]).
+    )";
+    EXPECT_EQ(runProgram(src), "[4,4,4,4,4,4,4,4]\n");
+}
+
+TEST(Stress, ChoicePointStackDepth)
+{
+    // Nested nondeterminism: 2^12 leaves explored by fail-driven
+    // enumeration, counting via an accumulator pair.
+    const char *src = R"(
+        bit(0). bit(1).
+        word([], 0).
+        word([B|T], N) :- word(T, N1), bit(B), N is 2 * N1 + B.
+        main :- word([_,_,_,_,_,_,_,_,_,_], N), N =:= 1023, out(N).
+    )";
+    EXPECT_EQ(runProgram(src), "1023\n");
+}
+
+TEST(Stress, MutualRecursion)
+{
+    const char *src = R"(
+        even(0).
+        even(N) :- N > 0, N1 is N - 1, odd(N1).
+        odd(N) :- N > 0, N1 is N - 1, even(N1).
+        main :- even(10000), \+ odd(10000), out(ok).
+    )";
+    EXPECT_EQ(runProgram(src), "ok\n");
+}
+
+TEST(Stress, ArithmeticRange)
+{
+    // Value fields are 32-bit; exercise large magnitudes and mixed
+    // signs within range.
+    const char *src = R"(
+        main :-
+            A is 46340 * 46340,
+            B is -46340 * 46340,
+            C is A + B,
+            D is A // 46340,
+            out(A), out(B), out(C), out(D).
+    )";
+    EXPECT_EQ(runProgram(src),
+              "2147395600\n-2147395600\n0\n46340\n");
+}
+
+TEST(Stress, PartialListsAndHoles)
+{
+    // Unbound tails bound later, difference-list style.
+    const char *src = R"(
+        main :-
+            X = [1,2|T1],
+            T1 = [3|T2],
+            T2 = [4],
+            X = [_,_,_,Last],
+            out(Last), out(X).
+    )";
+    EXPECT_EQ(runProgram(src), "4\n[1,2,3,4]\n");
+}
+
+TEST(Stress, AliasChains)
+{
+    // Long variable-to-variable chains exercise dereference loops.
+    const char *src = R"(
+        chain(X0) :-
+            X0 = X1, X1 = X2, X2 = X3, X3 = X4, X4 = X5,
+            X5 = X6, X6 = X7, X7 = X8, X8 = X9, X9 = done.
+        main :- chain(V), out(V).
+    )";
+    EXPECT_EQ(runProgram(src), "done\n");
+}
+
+TEST(Stress, ManyClausesConstantIndexing)
+{
+    // 26 constant-dispatched facts; hit first, middle, last.
+    std::string src;
+    for (char c = 'a'; c <= 'z'; ++c)
+        src += strprintf("code(%c, %d).\n", c, c - 'a');
+    src += "main :- code(a, A), code(m, M), code(z, Z), "
+           "out(A), out(M), out(Z).\n";
+    EXPECT_EQ(runProgram(src), "0\n12\n25\n");
+}
+
+TEST(Stress, CutInsideDeepBacktracking)
+{
+    // once/1-style commit deep inside a nondeterministic search.
+    const char *src = R"(
+        num(1). num(2). num(3). num(4).
+        firstsq(N, S) :- num(N), S is N * N, S > 5, !.
+        main :- firstsq(N, S), out(N), out(S), fail.
+        main :- out(done).
+    )";
+    EXPECT_EQ(runProgram(src), "3\n9\ndone\n");
+}
+
+TEST(Stress, GroundTermOutputIsStable)
+{
+    // The same ground term printed twice decodes identically
+    // (address-free linearisation).
+    const char *src = R"(
+        main :- X = tree(lf(1), tree(lf(2), lf([a,b]))),
+                out(X), out(X).
+    )";
+    std::string out = runProgram(src);
+    auto lines = split(out, '\n');
+    ASSERT_GE(lines.size(), 2u);
+    EXPECT_EQ(lines[0], lines[1]);
+    EXPECT_EQ(lines[0], "tree(lf(1),tree(lf(2),lf([a,b])))");
+}

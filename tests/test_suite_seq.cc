@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Integration tests: every Aquarius benchmark compiles, runs to
+ * completion on the sequential emulator, and produces its pinned
+ * expected answer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "bamc/compiler.hh"
+#include "emul/machine.hh"
+#include "intcode/cfg.hh"
+#include "intcode/translate.hh"
+#include "prolog/parser.hh"
+#include "suite/benchmarks.hh"
+
+using namespace symbol;
+
+class SuiteSeq : public ::testing::TestWithParam<suite::Benchmark>
+{
+};
+
+TEST_P(SuiteSeq, ProducesExpectedAnswer)
+{
+    const suite::Benchmark &b = GetParam();
+    Interner in;
+    prolog::Program p = prolog::parseProgram(b.source, in);
+    bam::Module m = bamc::compile(p);
+    ASSERT_TRUE(bam::verify(m).empty());
+    intcode::Program ici = intcode::translate(m);
+    emul::Machine mach(ici);
+    emul::RunOptions o;
+    o.maxSteps = 600'000'000;
+    emul::RunResult r = mach.run(o);
+    EXPECT_TRUE(r.halted);
+    ASSERT_FALSE(b.expected.empty());
+    EXPECT_EQ(mach.decodeOutput(), b.expected);
+}
+
+TEST_P(SuiteSeq, CfgIsWellFormed)
+{
+    const suite::Benchmark &b = GetParam();
+    Interner in;
+    prolog::Program p = prolog::parseProgram(b.source, in);
+    bam::Module m = bamc::compile(p);
+    intcode::Program ici = intcode::translate(m);
+    intcode::Cfg cfg = intcode::Cfg::build(ici);
+
+    // Every instruction belongs to exactly one block, blocks tile the
+    // program, and every edge is symmetric.
+    int covered = 0;
+    for (std::size_t bi = 0; bi < cfg.blocks.size(); ++bi) {
+        const intcode::Block &blk = cfg.blocks[bi];
+        ASSERT_LE(blk.first, blk.last);
+        covered += blk.size();
+        for (int k = blk.first; k <= blk.last; ++k)
+            EXPECT_EQ(cfg.blockOf[static_cast<std::size_t>(k)],
+                      static_cast<int>(bi));
+        // Only the last instruction may be control.
+        for (int k = blk.first; k < blk.last; ++k)
+            EXPECT_FALSE(intcode::isControl(
+                ici.code[static_cast<std::size_t>(k)].op));
+        for (int s : blk.succs) {
+            const auto &preds =
+                cfg.blocks[static_cast<std::size_t>(s)].preds;
+            EXPECT_NE(std::find(preds.begin(), preds.end(),
+                                static_cast<int>(bi)),
+                      preds.end());
+        }
+    }
+    EXPECT_EQ(covered, static_cast<int>(ici.code.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Aquarius, SuiteSeq, ::testing::ValuesIn(suite::aquarius()),
+    [](const ::testing::TestParamInfo<suite::Benchmark> &info) {
+        return info.param.name;
+    });

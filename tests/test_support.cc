@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Unit tests for the support library: interner, text helpers,
+ * diagnostics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "support/diagnostics.hh"
+#include "support/interner.hh"
+#include "support/text.hh"
+
+using namespace symbol;
+
+TEST(Interner, InternIsIdempotent)
+{
+    Interner in;
+    AtomId a = in.intern("foo");
+    AtomId b = in.intern("foo");
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(in.name(a), "foo");
+}
+
+TEST(Interner, DistinctNamesGetDistinctIds)
+{
+    Interner in;
+    AtomId a = in.intern("foo");
+    AtomId b = in.intern("bar");
+    EXPECT_NE(a, b);
+    EXPECT_EQ(in.name(b), "bar");
+}
+
+TEST(Interner, FindReturnsMinusOneForUnknown)
+{
+    Interner in;
+    EXPECT_EQ(in.find("nonexistent"), -1);
+    in.intern("known");
+    EXPECT_NE(in.find("known"), -1);
+}
+
+TEST(Interner, PreinternedAtoms)
+{
+    Interner in;
+    EXPECT_EQ(in.name(in.nilAtom()), "[]");
+    EXPECT_EQ(in.name(in.trueAtom()), "true");
+    EXPECT_EQ(in.name(in.failAtom()), "fail");
+}
+
+TEST(Interner, ValidRejectsOutOfRange)
+{
+    Interner in;
+    EXPECT_FALSE(in.valid(-1));
+    EXPECT_FALSE(in.valid(1000000));
+    EXPECT_TRUE(in.valid(in.nilAtom()));
+}
+
+TEST(Interner, SizeGrowsWithInterning)
+{
+    Interner in;
+    std::size_t base = in.size();
+    in.intern("a");
+    in.intern("b");
+    in.intern("a");
+    EXPECT_EQ(in.size(), base + 2);
+}
+
+TEST(Text, Strprintf)
+{
+    EXPECT_EQ(strprintf("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(strprintf("%.2f", 1.234), "1.23");
+    EXPECT_EQ(strprintf("empty"), "empty");
+}
+
+TEST(Text, Split)
+{
+    auto v = split("a,b,,c", ',');
+    ASSERT_EQ(v.size(), 4u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[2], "");
+    EXPECT_EQ(v[3], "c");
+}
+
+TEST(Text, Padding)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padLeft("abcd", 2), "abcd");
+}
+
+TEST(Text, RenderTableAlignsColumns)
+{
+    std::string t = renderTable({{"name", "val"}, {"x", "1234"}});
+    // Header, separator, one data row.
+    auto lines = split(t, '\n');
+    ASSERT_GE(lines.size(), 3u);
+    EXPECT_NE(lines[1].find("---"), std::string::npos);
+    EXPECT_NE(lines[2].find("1234"), std::string::npos);
+}
+
+TEST(Text, BarLineClampsFraction)
+{
+    std::string full = barLine("x", 2.0, 10, "v");
+    std::string empty = barLine("x", -1.0, 10, "v");
+    EXPECT_NE(full.find("##########"), std::string::npos);
+    EXPECT_EQ(empty.find('#'), std::string::npos);
+}
+
+TEST(Diagnostics, CompileErrorCarriesPosition)
+{
+    CompileError e(SourcePos{3, 7}, "bad thing");
+    EXPECT_EQ(std::string(e.what()), "3:7: bad thing");
+}
+
+TEST(Diagnostics, RuntimeErrorMessage)
+{
+    RuntimeError e("boom");
+    EXPECT_EQ(std::string(e.what()), "boom");
+}

@@ -1,0 +1,208 @@
+/**
+ * @file
+ * symbolc — command-line driver for the SYMBOL toolchain.
+ *
+ * Compiles a Prolog program (a file, or a built-in benchmark) down
+ * the full pipeline and runs it on a chosen machine, printing the
+ * answer and the cycle accounting. Intermediate representations can
+ * be dumped at every stage.
+ *
+ * Usage:
+ *   symbolc [options] <file.pl | --bench NAME | --list>
+ *     --units N        number of VLIW units (default 3)
+ *     --mode M         trace | bb | seq       (default trace)
+ *     --proto          SYMBOL prototype configuration (two formats,
+ *                      3-cycle memory, 2-cycle delayed branches)
+ *     --no-indexing    disable first-argument indexing
+ *     --expand-tags    expand tag branches (plain-RISC ablation)
+ *     --no-disamb      disable fresh-allocation disambiguation
+ *     --dump-bam       print the BAM code
+ *     --dump-ici       print the IntCode
+ *     --dump-wide      print the compacted wide code
+ *     --stats          print instruction mix and branch statistics
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "analysis/stats.hh"
+#include "machine/config.hh"
+#include "suite/pipeline.hh"
+
+using namespace symbol;
+
+namespace
+{
+
+struct Options
+{
+    std::string file;
+    std::string bench;
+    int units = 3;
+    std::string mode = "trace";
+    bool proto = false;
+    bool indexing = true;
+    bool expandTags = false;
+    bool disamb = true;
+    bool dumpBam = false;
+    bool dumpIci = false;
+    bool dumpWide = false;
+    bool stats = false;
+    bool list = false;
+};
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: symbolc [options] <file.pl|--bench NAME|"
+                 "--list>\n(see the header of tools/symbolc.cc)\n");
+    return 2;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &o)
+{
+    for (int k = 1; k < argc; ++k) {
+        std::string a = argv[k];
+        if (a == "--units" && k + 1 < argc) {
+            o.units = std::atoi(argv[++k]);
+        } else if (a == "--mode" && k + 1 < argc) {
+            o.mode = argv[++k];
+        } else if (a == "--bench" && k + 1 < argc) {
+            o.bench = argv[++k];
+        } else if (a == "--proto") {
+            o.proto = true;
+        } else if (a == "--no-indexing") {
+            o.indexing = false;
+        } else if (a == "--expand-tags") {
+            o.expandTags = true;
+        } else if (a == "--no-disamb") {
+            o.disamb = false;
+        } else if (a == "--dump-bam") {
+            o.dumpBam = true;
+        } else if (a == "--dump-ici") {
+            o.dumpIci = true;
+        } else if (a == "--dump-wide") {
+            o.dumpWide = true;
+        } else if (a == "--stats") {
+            o.stats = true;
+        } else if (a == "--list") {
+            o.list = true;
+        } else if (!a.empty() && a[0] != '-') {
+            o.file = a;
+        } else {
+            return false;
+        }
+    }
+    return o.list || !o.file.empty() || !o.bench.empty();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parseArgs(argc, argv, o))
+        return usage();
+
+    if (o.list) {
+        for (const auto &b : suite::aquarius())
+            std::printf("%s\n", b.name.c_str());
+        return 0;
+    }
+
+    try {
+        suite::Benchmark bench;
+        if (!o.bench.empty()) {
+            bench = suite::benchmark(o.bench);
+        } else {
+            std::ifstream in(o.file);
+            if (!in) {
+                std::fprintf(stderr, "symbolc: cannot open %s\n",
+                             o.file.c_str());
+                return 1;
+            }
+            std::ostringstream ss;
+            ss << in.rdbuf();
+            bench.name = o.file;
+            bench.source = ss.str();
+        }
+
+        suite::WorkloadOptions wo;
+        wo.compiler.indexing = o.indexing;
+        wo.translate.expandTagBranches = o.expandTags;
+        suite::Workload w(bench, wo);
+
+        if (o.dumpIci)
+            std::printf("%s\n", w.ici().str().c_str());
+        if (o.dumpBam) {
+            // Re-run the front half for the listing (the workload
+            // does not retain the BAM module).
+            Interner in;
+            prolog::Program p =
+                prolog::parseProgram(bench.source, in);
+            bamc::CompilerOptions co;
+            co.indexing = o.indexing;
+            bam::Module m = bamc::compile(p, co);
+            std::printf("%s\n", bam::print(m).c_str());
+        }
+
+        std::printf("answer:\n%s", w.seqOutput().c_str());
+        std::printf("\nsequential: %llu ICIs, %llu cycles; BAM "
+                    "model: %llu cycles (%.2fx)\n",
+                    static_cast<unsigned long long>(
+                        w.instructions()),
+                    static_cast<unsigned long long>(w.seqCycles()),
+                    static_cast<unsigned long long>(w.bamCycles()),
+                    static_cast<double>(w.seqCycles()) /
+                        static_cast<double>(w.bamCycles()));
+
+        if (o.mode != "seq") {
+            machine::MachineConfig mc =
+                o.proto ? machine::MachineConfig::prototype(o.units)
+                        : machine::MachineConfig::idealShared(
+                              o.units);
+            sched::CompactOptions co;
+            co.traceMode = o.mode == "trace";
+            co.freshAllocDisambiguation = o.disamb;
+            suite::VliwRun r = w.runVliw(mc, co);
+            std::printf(
+                "%s (%s): %llu cycles, speedup %.2f, avg region "
+                "%.1f ops, peak bank pressure %d\n",
+                mc.name.c_str(), o.mode.c_str(),
+                static_cast<unsigned long long>(r.cycles),
+                r.speedupVsSeq, r.stats.avgDynamicLength,
+                r.stats.peakBankPressure);
+            if (o.dumpWide) {
+                sched::CompactResult cr = sched::compact(
+                    w.ici(), w.profile(), mc, co);
+                std::printf("%s\n", cr.code.str().c_str());
+            }
+        }
+
+        if (o.stats) {
+            analysis::InstructionMix mix =
+                analysis::instructionMix(w.ici(), w.profile());
+            std::printf("\nmix: memory %.1f%%  alu %.1f%%  move "
+                        "%.1f%%  control %.1f%%\n",
+                        mix.memory * 100, mix.alu * 100,
+                        mix.move * 100, mix.control * 100);
+            analysis::BranchStats bs =
+                analysis::branchStats(w.ici(), w.profile());
+            std::printf("branches: %llu dynamic, P_fp %.4f, "
+                        "P_taken %.3f\n",
+                        static_cast<unsigned long long>(
+                            bs.branchExecutions),
+                        bs.avgFaultyPrediction,
+                        bs.avgTakenProbability);
+        }
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "symbolc: %s\n", e.what());
+        return 1;
+    }
+}
