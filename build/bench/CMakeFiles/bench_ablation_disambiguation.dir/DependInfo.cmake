@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_disambiguation.cc" "bench/CMakeFiles/bench_ablation_disambiguation.dir/bench_ablation_disambiguation.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_disambiguation.dir/bench_ablation_disambiguation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/suite/CMakeFiles/symbol_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/bamc/CMakeFiles/symbol_bamc.dir/DependInfo.cmake"
+  "/root/repo/build/src/prolog/CMakeFiles/symbol_prolog.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/symbol_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/vliw/CMakeFiles/symbol_vliw.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/symbol_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/emul/CMakeFiles/symbol_emul.dir/DependInfo.cmake"
+  "/root/repo/build/src/intcode/CMakeFiles/symbol_intcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/bam/CMakeFiles/symbol_bam.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/symbol_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/symbol_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_disambiguation.dir/bench_ablation_disambiguation.cc.o"
+  "CMakeFiles/bench_ablation_disambiguation.dir/bench_ablation_disambiguation.cc.o.d"
+  "bench_ablation_disambiguation"
+  "bench_ablation_disambiguation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_disambiguation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_memports.dir/bench_ablation_memports.cc.o"
+  "CMakeFiles/bench_ablation_memports.dir/bench_ablation_memports.cc.o.d"
+  "bench_ablation_memports"
+  "bench_ablation_memports.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_memports.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

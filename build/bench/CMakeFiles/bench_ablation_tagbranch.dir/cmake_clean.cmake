@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tagbranch.dir/bench_ablation_tagbranch.cc.o"
+  "CMakeFiles/bench_ablation_tagbranch.dir/bench_ablation_tagbranch.cc.o.d"
+  "bench_ablation_tagbranch"
+  "bench_ablation_tagbranch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tagbranch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

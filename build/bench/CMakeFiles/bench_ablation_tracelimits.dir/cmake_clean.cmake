@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_tracelimits.dir/bench_ablation_tracelimits.cc.o"
+  "CMakeFiles/bench_ablation_tracelimits.dir/bench_ablation_tracelimits.cc.o.d"
+  "bench_ablation_tracelimits"
+  "bench_ablation_tracelimits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tracelimits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

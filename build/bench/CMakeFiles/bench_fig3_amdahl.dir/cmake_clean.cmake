@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_amdahl.dir/bench_fig3_amdahl.cc.o"
+  "CMakeFiles/bench_fig3_amdahl.dir/bench_fig3_amdahl.cc.o.d"
+  "bench_fig3_amdahl"
+  "bench_fig3_amdahl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_amdahl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

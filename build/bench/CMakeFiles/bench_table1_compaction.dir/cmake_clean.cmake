@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_compaction.dir/bench_table1_compaction.cc.o"
+  "CMakeFiles/bench_table1_compaction.dir/bench_table1_compaction.cc.o.d"
+  "bench_table1_compaction"
+  "bench_table1_compaction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_compaction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_predictability.dir/bench_table2_predictability.cc.o"
+  "CMakeFiles/bench_table2_predictability.dir/bench_table2_predictability.cc.o.d"
+  "bench_table2_predictability"
+  "bench_table2_predictability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_predictability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_absolute.dir/bench_table4_absolute.cc.o"
+  "CMakeFiles/bench_table4_absolute.dir/bench_table4_absolute.cc.o.d"
+  "bench_table4_absolute"
+  "bench_table4_absolute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_absolute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

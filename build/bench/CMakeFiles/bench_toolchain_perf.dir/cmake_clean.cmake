@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_toolchain_perf.dir/bench_toolchain_perf.cc.o"
+  "CMakeFiles/bench_toolchain_perf.dir/bench_toolchain_perf.cc.o.d"
+  "bench_toolchain_perf"
+  "bench_toolchain_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_toolchain_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/branch_analysis.dir/branch_analysis.cpp.o"
+  "CMakeFiles/branch_analysis.dir/branch_analysis.cpp.o.d"
+  "branch_analysis"
+  "branch_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/branch_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/own_program.dir/own_program.cpp.o"
+  "CMakeFiles/own_program.dir/own_program.cpp.o.d"
+  "own_program"
+  "own_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/own_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("prolog")
+subdirs("bam")
+subdirs("bamc")
+subdirs("intcode")
+subdirs("emul")
+subdirs("machine")
+subdirs("sched")
+subdirs("vliw")
+subdirs("analysis")
+subdirs("suite")

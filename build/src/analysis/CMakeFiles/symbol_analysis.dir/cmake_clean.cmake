@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_analysis.dir/stats.cc.o"
+  "CMakeFiles/symbol_analysis.dir/stats.cc.o.d"
+  "libsymbol_analysis.a"
+  "libsymbol_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

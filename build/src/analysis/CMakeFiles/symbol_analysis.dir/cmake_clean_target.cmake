@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsymbol_analysis.a"
+)

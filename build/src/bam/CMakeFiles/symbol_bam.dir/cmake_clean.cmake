@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_bam.dir/print.cc.o"
+  "CMakeFiles/symbol_bam.dir/print.cc.o.d"
+  "CMakeFiles/symbol_bam.dir/word.cc.o"
+  "CMakeFiles/symbol_bam.dir/word.cc.o.d"
+  "libsymbol_bam.a"
+  "libsymbol_bam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_bam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

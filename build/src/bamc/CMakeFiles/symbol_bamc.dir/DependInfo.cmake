@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bamc/compiler.cc" "src/bamc/CMakeFiles/symbol_bamc.dir/compiler.cc.o" "gcc" "src/bamc/CMakeFiles/symbol_bamc.dir/compiler.cc.o.d"
+  "/root/repo/src/bamc/normalize.cc" "src/bamc/CMakeFiles/symbol_bamc.dir/normalize.cc.o" "gcc" "src/bamc/CMakeFiles/symbol_bamc.dir/normalize.cc.o.d"
+  "/root/repo/src/bamc/runtime.cc" "src/bamc/CMakeFiles/symbol_bamc.dir/runtime.cc.o" "gcc" "src/bamc/CMakeFiles/symbol_bamc.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bam/CMakeFiles/symbol_bam.dir/DependInfo.cmake"
+  "/root/repo/build/src/prolog/CMakeFiles/symbol_prolog.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/symbol_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

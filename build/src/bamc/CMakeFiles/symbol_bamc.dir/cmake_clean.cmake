@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_bamc.dir/compiler.cc.o"
+  "CMakeFiles/symbol_bamc.dir/compiler.cc.o.d"
+  "CMakeFiles/symbol_bamc.dir/normalize.cc.o"
+  "CMakeFiles/symbol_bamc.dir/normalize.cc.o.d"
+  "CMakeFiles/symbol_bamc.dir/runtime.cc.o"
+  "CMakeFiles/symbol_bamc.dir/runtime.cc.o.d"
+  "libsymbol_bamc.a"
+  "libsymbol_bamc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_bamc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

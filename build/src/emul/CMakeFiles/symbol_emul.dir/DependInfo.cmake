@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emul/machine.cc" "src/emul/CMakeFiles/symbol_emul.dir/machine.cc.o" "gcc" "src/emul/CMakeFiles/symbol_emul.dir/machine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/intcode/CMakeFiles/symbol_intcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/bam/CMakeFiles/symbol_bam.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/symbol_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_emul.dir/machine.cc.o"
+  "CMakeFiles/symbol_emul.dir/machine.cc.o.d"
+  "libsymbol_emul.a"
+  "libsymbol_emul.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_emul.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

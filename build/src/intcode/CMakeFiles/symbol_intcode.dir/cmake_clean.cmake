@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_intcode.dir/cfg.cc.o"
+  "CMakeFiles/symbol_intcode.dir/cfg.cc.o.d"
+  "CMakeFiles/symbol_intcode.dir/instr.cc.o"
+  "CMakeFiles/symbol_intcode.dir/instr.cc.o.d"
+  "CMakeFiles/symbol_intcode.dir/translate.cc.o"
+  "CMakeFiles/symbol_intcode.dir/translate.cc.o.d"
+  "libsymbol_intcode.a"
+  "libsymbol_intcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_intcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_machine.dir/config.cc.o"
+  "CMakeFiles/symbol_machine.dir/config.cc.o.d"
+  "libsymbol_machine.a"
+  "libsymbol_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_prolog.dir/lexer.cc.o"
+  "CMakeFiles/symbol_prolog.dir/lexer.cc.o.d"
+  "CMakeFiles/symbol_prolog.dir/parser.cc.o"
+  "CMakeFiles/symbol_prolog.dir/parser.cc.o.d"
+  "CMakeFiles/symbol_prolog.dir/term.cc.o"
+  "CMakeFiles/symbol_prolog.dir/term.cc.o.d"
+  "libsymbol_prolog.a"
+  "libsymbol_prolog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_prolog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_sched.dir/compact.cc.o"
+  "CMakeFiles/symbol_sched.dir/compact.cc.o.d"
+  "CMakeFiles/symbol_sched.dir/liveness.cc.o"
+  "CMakeFiles/symbol_sched.dir/liveness.cc.o.d"
+  "libsymbol_sched.a"
+  "libsymbol_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

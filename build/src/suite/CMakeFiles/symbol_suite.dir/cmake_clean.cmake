@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_suite.dir/benchmarks.cc.o"
+  "CMakeFiles/symbol_suite.dir/benchmarks.cc.o.d"
+  "CMakeFiles/symbol_suite.dir/pipeline.cc.o"
+  "CMakeFiles/symbol_suite.dir/pipeline.cc.o.d"
+  "libsymbol_suite.a"
+  "libsymbol_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

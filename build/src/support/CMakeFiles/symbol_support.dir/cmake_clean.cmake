@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_support.dir/diagnostics.cc.o"
+  "CMakeFiles/symbol_support.dir/diagnostics.cc.o.d"
+  "CMakeFiles/symbol_support.dir/interner.cc.o"
+  "CMakeFiles/symbol_support.dir/interner.cc.o.d"
+  "CMakeFiles/symbol_support.dir/text.cc.o"
+  "CMakeFiles/symbol_support.dir/text.cc.o.d"
+  "libsymbol_support.a"
+  "libsymbol_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_vliw.dir/code.cc.o"
+  "CMakeFiles/symbol_vliw.dir/code.cc.o.d"
+  "CMakeFiles/symbol_vliw.dir/sim.cc.o"
+  "CMakeFiles/symbol_vliw.dir/sim.cc.o.d"
+  "libsymbol_vliw.a"
+  "libsymbol_vliw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_vliw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bam.dir/test_bam.cc.o"
+  "CMakeFiles/test_bam.dir/test_bam.cc.o.d"
+  "test_bam"
+  "test_bam.pdb"
+  "test_bam[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compact_vliw.dir/test_compact_vliw.cc.o"
+  "CMakeFiles/test_compact_vliw.dir/test_compact_vliw.cc.o.d"
+  "test_compact_vliw"
+  "test_compact_vliw.pdb"
+  "test_compact_vliw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compact_vliw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

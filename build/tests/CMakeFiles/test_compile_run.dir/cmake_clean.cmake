@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compile_run.dir/test_compile_run.cc.o"
+  "CMakeFiles/test_compile_run.dir/test_compile_run.cc.o.d"
+  "test_compile_run"
+  "test_compile_run.pdb"
+  "test_compile_run[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compile_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intcode.dir/test_intcode.cc.o"
+  "CMakeFiles/test_intcode.dir/test_intcode.cc.o.d"
+  "test_intcode"
+  "test_intcode.pdb"
+  "test_intcode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

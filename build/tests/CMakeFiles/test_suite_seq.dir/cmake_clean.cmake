@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_seq.dir/test_suite_seq.cc.o"
+  "CMakeFiles/test_suite_seq.dir/test_suite_seq.cc.o.d"
+  "test_suite_seq"
+  "test_suite_seq.pdb"
+  "test_suite_seq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vliw_sim.dir/test_vliw_sim.cc.o"
+  "CMakeFiles/test_vliw_sim.dir/test_vliw_sim.cc.o.d"
+  "test_vliw_sim"
+  "test_vliw_sim.pdb"
+  "test_vliw_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vliw_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_support[1]_include.cmake")
+include("/root/repo/build/tests/test_lexer[1]_include.cmake")
+include("/root/repo/build/tests/test_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_bam[1]_include.cmake")
+include("/root/repo/build/tests/test_compile_run[1]_include.cmake")
+include("/root/repo/build/tests/test_suite_seq[1]_include.cmake")
+include("/root/repo/build/tests/test_machine[1]_include.cmake")
+include("/root/repo/build/tests/test_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_compact_vliw[1]_include.cmake")
+include("/root/repo/build/tests/test_sched[1]_include.cmake")
+include("/root/repo/build/tests/test_vliw_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_intcode[1]_include.cmake")
+include("/root/repo/build/tests/test_emul[1]_include.cmake")
+include("/root/repo/build/tests/test_normalize[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_property_random[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbolc.dir/symbolc.cc.o"
+  "CMakeFiles/symbolc.dir/symbolc.cc.o.d"
+  "symbolc"
+  "symbolc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbolc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
