@@ -12,27 +12,45 @@
 using namespace symbol;
 using namespace symbol::bench;
 
+namespace
+{
+
+struct Row
+{
+    suite::VliwRun on;
+    suite::VliwRun off;
+};
+
+} // namespace
+
 int
 main()
 {
     machine::MachineConfig mc = machine::MachineConfig::idealShared(3);
-    sched::CompactOptions on, off;
-    on.freshAllocDisambiguation = true;
-    off.freshAllocDisambiguation = false;
+    const std::vector<std::string> names = suiteNames();
+    prefetchSuite();
+
+    std::vector<Row> results =
+        parallelIndex(names.size(), [&](std::size_t i) {
+            const suite::Workload &w = workload(names[i]);
+            sched::CompactOptions on, off;
+            on.freshAllocDisambiguation = true;
+            off.freshAllocDisambiguation = false;
+            return Row{w.runVliw(mc, on), w.runVliw(mc, off)};
+        });
 
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"benchmark", "disamb.cyc", "no-disamb.cyc",
                     "penalty%"});
     double pen = 0;
     int n = 0;
-    for (const auto &b : suite::aquarius()) {
-        const suite::Workload &w = workload(b.name);
-        suite::VliwRun r_on = w.runVliw(mc, on);
-        suite::VliwRun r_off = w.runVliw(mc, off);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const suite::VliwRun &r_on = results[i].on;
+        const suite::VliwRun &r_off = results[i].off;
         double p = 100.0 * (static_cast<double>(r_off.cycles) /
                                 static_cast<double>(r_on.cycles) -
                             1.0);
-        rows.push_back({b.name, fmtU(r_on.cycles),
+        rows.push_back({names[i], fmtU(r_on.cycles),
                         fmtU(r_off.cycles), fmt(p, 1)});
         pen += p;
         ++n;
@@ -41,5 +59,6 @@ main()
     printTable("Ablation - fresh-allocation memory disambiguation "
                "(3-unit VLIW, trace mode)",
                rows);
+    reportDriverStats();
     return 0;
 }

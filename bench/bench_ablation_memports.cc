@@ -15,21 +15,30 @@ using namespace symbol::bench;
 int
 main()
 {
-    std::vector<std::vector<std::string>> rows;
-    rows.push_back({"benchmark", "1 port", "2 ports", "4 ports"});
-    std::vector<double> sums(3, 0.0);
-    int n = 0;
-    for (const auto &b : suite::aquarius()) {
-        const suite::Workload &w = workload(b.name);
-        std::vector<std::string> row = {b.name};
-        int col = 0;
-        for (int ports : {1, 2, 4}) {
+    const int kPorts[] = {1, 2, 4};
+    const std::size_t kNumPorts = 3;
+    const std::vector<std::string> names = suiteNames();
+    prefetchSuite();
+
+    // One task per (benchmark, port-count) grid point.
+    std::vector<suite::VliwRun> runs = parallelIndex(
+        names.size() * kNumPorts, [&](std::size_t i) {
             machine::MachineConfig mc =
                 machine::MachineConfig::idealShared(4);
-            mc.memPortsTotal = ports;
-            suite::VliwRun r = w.runVliw(mc);
-            row.push_back(fmt(r.speedupVsSeq));
-            sums[static_cast<std::size_t>(col++)] += r.speedupVsSeq;
+            mc.memPortsTotal = kPorts[i % kNumPorts];
+            return workload(names[i / kNumPorts]).runVliw(mc);
+        });
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"benchmark", "1 port", "2 ports", "4 ports"});
+    std::vector<double> sums(kNumPorts, 0.0);
+    int n = 0;
+    for (std::size_t b = 0; b < names.size(); ++b) {
+        std::vector<std::string> row = {names[b]};
+        for (std::size_t c = 0; c < kNumPorts; ++c) {
+            double su = runs[b * kNumPorts + c].speedupVsSeq;
+            row.push_back(fmt(su));
+            sums[c] += su;
         }
         rows.push_back(row);
         ++n;
@@ -44,5 +53,6 @@ main()
                 "ports are the escape hatch the conclusion "
                 "anticipates (true multi-bank disambiguation is the "
                 "open research it calls for)\n");
+    reportDriverStats();
     return 0;
 }

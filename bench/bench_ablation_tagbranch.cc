@@ -12,31 +12,53 @@
 using namespace symbol;
 using namespace symbol::bench;
 
+namespace
+{
+
+struct Row
+{
+    suite::VliwRun tagged;
+    suite::VliwRun expanded;
+    std::uint64_t seqTagged;
+    std::uint64_t seqExpanded;
+};
+
+} // namespace
+
 int
 main()
 {
     machine::MachineConfig mc = machine::MachineConfig::idealShared(3);
     suite::WorkloadOptions plain;
     plain.translate.expandTagBranches = true;
+    const std::vector<std::string> names = suiteNames();
+    prefetchSuite();
+    prefetchSuite(plain); // the expanded front ends, concurrently too
+
+    std::vector<Row> results =
+        parallelIndex(names.size(), [&](std::size_t i) {
+            const suite::Workload &w = workload(names[i]);
+            const suite::Workload &wx = workload(names[i], plain);
+            return Row{w.runVliw(mc), wx.runVliw(mc), w.seqCycles(),
+                       wx.seqCycles()};
+        });
 
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"benchmark", "tag-branch.cyc", "expanded.cyc",
                     "overhead%", "seq.overhead%"});
     double ov = 0, sov = 0;
     int n = 0;
-    for (const auto &b : suite::aquarius()) {
-        const suite::Workload &w = workload(b.name);
-        const suite::Workload &wx = workload(b.name, plain);
-        suite::VliwRun r = w.runVliw(mc);
-        suite::VliwRun rx = wx.runVliw(mc);
-        double o = 100.0 * (static_cast<double>(rx.cycles) /
-                                static_cast<double>(r.cycles) -
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const Row &res = results[i];
+        double o = 100.0 * (static_cast<double>(res.expanded.cycles) /
+                                static_cast<double>(res.tagged.cycles) -
                             1.0);
-        double so = 100.0 * (static_cast<double>(wx.seqCycles()) /
-                                 static_cast<double>(w.seqCycles()) -
+        double so = 100.0 * (static_cast<double>(res.seqExpanded) /
+                                 static_cast<double>(res.seqTagged) -
                              1.0);
-        rows.push_back({b.name, fmtU(r.cycles), fmtU(rx.cycles),
-                        fmt(o, 1), fmt(so, 1)});
+        rows.push_back({names[i], fmtU(res.tagged.cycles),
+                        fmtU(res.expanded.cycles), fmt(o, 1),
+                        fmt(so, 1)});
         ov += o;
         sov += so;
         ++n;
@@ -48,5 +70,6 @@ main()
                rows);
     std::printf("\nthe datapath tag support pays for itself on every "
                 "dispatch and dereference step\n");
+    reportDriverStats();
     return 0;
 }

@@ -15,27 +15,37 @@ int
 main()
 {
     machine::MachineConfig mc = machine::MachineConfig::idealShared(3);
-    const char *names[] = {"nreverse", "qsort", "serialise",
-                           "queens_8", "times10", "query"};
+    const std::vector<std::string> names = {
+        "nreverse", "qsort", "serialise",
+        "queens_8", "times10", "query"};
+    const std::vector<double> budgets = {0.0, 0.5, 1.0,
+                                         2.0, 3.0, 6.0};
+    driver().prefetch(names);
+
+    // One task per (budget, benchmark) grid point.
+    std::vector<suite::VliwRun> runs = parallelIndex(
+        budgets.size() * names.size(), [&](std::size_t i) {
+            sched::CompactOptions co;
+            co.dupBudgetFactor = budgets[i / names.size()];
+            return workload(names[i % names.size()]).runVliw(mc, co);
+        });
 
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"dup.budget", "avg.speedup", "avg.trace.len",
                     "code.growth"});
-    for (double budget : {0.0, 0.5, 1.0, 2.0, 3.0, 6.0}) {
+    for (std::size_t bi = 0; bi < budgets.size(); ++bi) {
         double su = 0, len = 0, growth = 0;
         int n = 0;
-        for (const char *name : names) {
-            const suite::Workload &w = workload(name);
-            sched::CompactOptions co;
-            co.dupBudgetFactor = budget;
-            suite::VliwRun r = w.runVliw(mc, co);
+        for (std::size_t k = 0; k < names.size(); ++k) {
+            const suite::VliwRun &r = runs[bi * names.size() + k];
+            const suite::Workload &w = workload(names[k]);
             su += r.speedupVsSeq;
             len += r.stats.avgDynamicLength;
             growth += static_cast<double>(r.stats.totalOps) /
                       static_cast<double>(w.ici().code.size());
             ++n;
         }
-        rows.push_back({fmt(budget, 1), fmt(su / n),
+        rows.push_back({fmt(budgets[bi], 1), fmt(su / n),
                         fmt(len / n, 1), fmt(growth / n)});
     }
     printTable("Ablation - tail-duplication budget sweep (3-unit "
@@ -44,5 +54,6 @@ main()
     std::printf("\n\"disadvantages of a larger code size ... are "
                 "overcome by the advantage of a faster execution of "
                 "the most frequently executed parts\" (§4.4)\n");
+    reportDriverStats();
     return 0;
 }

@@ -14,17 +14,23 @@ using namespace symbol::bench;
 int
 main()
 {
+    const std::vector<std::string> names = suiteNames();
+
+    std::vector<analysis::InstructionMix> mixes =
+        parallelIndex(names.size(), [&](std::size_t i) {
+            const suite::Workload &w = workload(names[i]);
+            return analysis::instructionMix(w.ici(), w.profile());
+        });
+
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"benchmark", "memory", "alu", "move", "control",
                     "other"});
 
     analysis::InstructionMix all;
-    for (const auto &b : suite::aquarius()) {
-        const suite::Workload &w = workload(b.name);
-        analysis::InstructionMix mix =
-            analysis::instructionMix(w.ici(), w.profile());
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const analysis::InstructionMix &mix = mixes[i];
         all += mix;
-        rows.push_back({b.name, fmt(mix.memory * 100, 1),
+        rows.push_back({names[i], fmt(mix.memory * 100, 1),
                         fmt(mix.alu * 100, 1), fmt(mix.move * 100, 1),
                         fmt(mix.control * 100, 1),
                         fmt(mix.other * 100, 1)});
@@ -52,5 +58,6 @@ main()
     std::printf("\npaper: memory ~32%%, control >15%% -- measured "
                 "memory %.1f%%, control %.1f%%\n",
                 all.memory * 100, all.control * 100);
+    reportDriverStats();
     return 0;
 }

@@ -19,11 +19,17 @@ using namespace symbol::bench;
 int
 main()
 {
+    const std::vector<std::string> names = suiteNames();
+
+    std::vector<analysis::InstructionMix> mixes =
+        parallelIndex(names.size(), [&](std::size_t i) {
+            const suite::Workload &w = workload(names[i]);
+            return analysis::instructionMix(w.ici(), w.profile());
+        });
+
     analysis::InstructionMix all;
-    for (const auto &b : suite::aquarius()) {
-        const suite::Workload &w = workload(b.name);
-        all += analysis::instructionMix(w.ici(), w.profile());
-    }
+    for (const analysis::InstructionMix &mix : mixes)
+        all += mix;
     double mem = all.memory;
     std::printf("measured memory fraction: %.3f (paper: 0.32)\n",
                 mem);
@@ -51,5 +57,6 @@ main()
                     barLine("x" + fmt(f, 0), s / 3.5, 40, fmt(s))
                         .c_str());
     }
+    reportDriverStats();
     return 0;
 }

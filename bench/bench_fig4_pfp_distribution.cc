@@ -17,12 +17,17 @@ int
 main()
 {
     const int bins = 10;
+    const std::vector<std::string> names = suiteNames();
+
+    std::vector<analysis::BranchStats> stats =
+        parallelIndex(names.size(), [&](std::size_t i) {
+            const suite::Workload &w = workload(names[i]);
+            return analysis::branchStats(w.ici(), w.profile(), bins);
+        });
+
     std::vector<double> hist(bins, 0.0);
     std::uint64_t total = 0;
-    for (const auto &b : suite::aquarius()) {
-        const suite::Workload &w = workload(b.name);
-        analysis::BranchStats st =
-            analysis::branchStats(w.ici(), w.profile(), bins);
+    for (const analysis::BranchStats &st : stats) {
         for (int k = 0; k < bins; ++k)
             hist[static_cast<std::size_t>(k)] +=
                 st.histogram[static_cast<std::size_t>(k)] *
@@ -45,5 +50,6 @@ main()
     }
     std::printf("\npaper shape: large deterministic mass near 0, "
                 "small data-dependent peak near 0.4\n");
+    reportDriverStats();
     return 0;
 }

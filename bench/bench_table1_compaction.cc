@@ -14,27 +14,45 @@
 using namespace symbol;
 using namespace symbol::bench;
 
+namespace
+{
+
+struct Row
+{
+    suite::VliwRun traces;
+    suite::VliwRun blocks;
+};
+
+} // namespace
+
 int
 main()
 {
     machine::MachineConfig mc =
         machine::MachineConfig::unboundedShared();
+    const std::vector<std::string> names = suiteNames();
+    prefetchSuite();
+
+    std::vector<Row> results =
+        parallelIndex(names.size(), [&](std::size_t i) {
+            const suite::Workload &w = workload(names[i]);
+            sched::CompactOptions tr, bb;
+            tr.traceMode = true;
+            bb.traceMode = false;
+            return Row{w.runVliw(mc, tr), w.runVliw(mc, bb)};
+        });
 
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"benchmark", "tr.speedup", "tr.len", "bb.speedup",
                     "bb.len", "gain%"});
     double su_t = 0, su_b = 0, len_t = 0, len_b = 0;
     int n = 0;
-    for (const auto &b : suite::aquarius()) {
-        const suite::Workload &w = workload(b.name);
-        sched::CompactOptions tr, bb;
-        tr.traceMode = true;
-        bb.traceMode = false;
-        suite::VliwRun rt = w.runVliw(mc, tr);
-        suite::VliwRun rb = w.runVliw(mc, bb);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const suite::VliwRun &rt = results[i].traces;
+        const suite::VliwRun &rb = results[i].blocks;
         double gain =
             100.0 * (rt.speedupVsSeq / rb.speedupVsSeq - 1.0);
-        rows.push_back({b.name, fmt(rt.speedupVsSeq),
+        rows.push_back({names[i], fmt(rt.speedupVsSeq),
                         fmt(rt.stats.avgDynamicLength, 1),
                         fmt(rb.speedupVsSeq),
                         fmt(rb.stats.avgDynamicLength, 1),
@@ -53,5 +71,6 @@ main()
                rows);
     std::printf("\npaper averages: traces 2.15 speedup / 11.6 ops, "
                 "basic blocks 1.65 / 6.5 (~30%% gain)\n");
+    reportDriverStats();
     return 0;
 }

@@ -14,15 +14,21 @@ using namespace symbol::bench;
 int
 main()
 {
+    const std::vector<std::string> names = suiteNames();
+
+    std::vector<analysis::BranchStats> stats =
+        parallelIndex(names.size(), [&](std::size_t i) {
+            const suite::Workload &w = workload(names[i]);
+            return analysis::branchStats(w.ici(), w.profile());
+        });
+
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"benchmark", "P_fp", "P_taken", "dyn.branches"});
     double weighted = 0;
     std::uint64_t total = 0;
-    for (const auto &b : suite::aquarius()) {
-        const suite::Workload &w = workload(b.name);
-        analysis::BranchStats st =
-            analysis::branchStats(w.ici(), w.profile());
-        rows.push_back({b.name, fmt(st.avgFaultyPrediction, 4),
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const analysis::BranchStats &st = stats[i];
+        rows.push_back({names[i], fmt(st.avgFaultyPrediction, 4),
                         fmt(st.avgTakenProbability, 3),
                         fmtU(st.branchExecutions)});
         weighted += st.avgFaultyPrediction *
@@ -37,5 +43,6 @@ main()
                rows);
     std::printf("\npaper average P_fp: 0.1475 (per-benchmark range "
                 "0.03-0.24)\n");
+    reportDriverStats();
     return 0;
 }

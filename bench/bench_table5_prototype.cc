@@ -13,22 +13,45 @@
 using namespace symbol;
 using namespace symbol::bench;
 
+namespace
+{
+
+struct Row
+{
+    suite::VliwRun run;
+    std::uint64_t seqSameDurations;
+};
+
+} // namespace
+
 int
 main()
 {
     machine::MachineConfig proto = machine::MachineConfig::prototype(3);
+    const std::vector<std::string> names = suiteNames();
+    prefetchSuite();
+
+    // seqCyclesFor(proto) re-emulates under the prototype's latency
+    // pair, so it belongs inside the fanned-out task as well.
+    std::vector<Row> results =
+        parallelIndex(names.size(), [&](std::size_t i) {
+            const suite::Workload &w = workload(names[i]);
+            return Row{w.runVliw(proto), w.seqCyclesFor(proto)};
+        });
+
     std::vector<std::vector<std::string>> rows;
     rows.push_back({"benchmark", "seq.cycles(same durations)", "SYMBOL-3.cycles",
                     "speedup", "BAM.speedup"});
     double su = 0, bam = 0;
     int n = 0;
-    for (const auto &b : suite::aquarius()) {
-        const suite::Workload &w = workload(b.name);
-        suite::VliwRun r = w.runVliw(proto);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const suite::Workload &w = workload(names[i]);
+        const suite::VliwRun &r = results[i].run;
         double bam_su = static_cast<double>(w.seqCycles()) /
                         static_cast<double>(w.bamCycles());
-        rows.push_back({b.name, fmtU(w.seqCyclesFor(proto)), fmtU(r.cycles),
-                        fmt(r.speedupVsSeq), fmt(bam_su)});
+        rows.push_back({names[i], fmtU(results[i].seqSameDurations),
+                        fmtU(r.cycles), fmt(r.speedupVsSeq),
+                        fmt(bam_su)});
         su += r.speedupVsSeq;
         bam += bam_su;
         ++n;
@@ -40,5 +63,6 @@ main()
     std::printf("\npaper: SYMBOL-3 ~1.9 vs BAM ~1.5 -- global "
                 "compaction recovers the prototype's format and "
                 "pipeline handicaps\n");
+    reportDriverStats();
     return 0;
 }

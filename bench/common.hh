@@ -4,42 +4,71 @@
  * bench binary regenerates one artifact of the paper's evaluation;
  * the printed rows mirror the paper's layout so the shapes can be
  * compared side by side (see EXPERIMENTS.md).
+ *
+ * All harnesses run through the process-wide suite::EvalDriver: the
+ * per-task measurements fan out across its thread pool (width from
+ * the SYMBOL_JOBS environment variable, default: hardware
+ * concurrency) while front-end artefacts are deduplicated by the
+ * content-keyed workload cache. Results come back in input order and
+ * every table is assembled sequentially afterwards, so stdout is
+ * byte-identical for any jobs setting; the driver's timing/cache
+ * summary goes to stderr.
  */
 
 #ifndef SYMBOL_BENCH_COMMON_HH
 #define SYMBOL_BENCH_COMMON_HH
 
 #include <cstdio>
-#include <map>
-#include <memory>
 #include <string>
+#include <vector>
 
 #include "analysis/stats.hh"
 #include "machine/config.hh"
-#include "suite/pipeline.hh"
+#include "suite/driver.hh"
 #include "support/text.hh"
 
 namespace symbol::bench
 {
 
-/** Lazily constructed, cached workloads (front end runs once). */
+/** The process-wide parallel evaluation driver. */
+inline suite::EvalDriver &
+driver()
+{
+    static suite::EvalDriver d;
+    return d;
+}
+
+/** Cached workload via the driver (front end runs once per key). */
 inline const suite::Workload &
 workload(const std::string &name,
          const suite::WorkloadOptions &opts = {})
 {
-    static std::map<std::string,
-                    std::unique_ptr<suite::Workload>> cache;
-    std::string key = name +
-                      (opts.translate.expandTagBranches ? "#x" : "") +
-                      (opts.compiler.indexing ? "" : "#n");
-    auto it = cache.find(key);
-    if (it == cache.end()) {
-        it = cache
-                 .emplace(key, std::make_unique<suite::Workload>(
-                                   suite::benchmark(name), opts))
-                 .first;
-    }
-    return *it->second;
+    return driver().workload(name, opts);
+}
+
+/** Suite benchmark names, in the paper's table order. */
+inline std::vector<std::string>
+suiteNames()
+{
+    std::vector<std::string> names;
+    for (const auto &b : suite::aquarius())
+        names.push_back(b.name);
+    return names;
+}
+
+/** Build every suite front end concurrently before a sweep. */
+inline void
+prefetchSuite(const suite::WorkloadOptions &opts = {})
+{
+    driver().prefetch(suiteNames(), opts);
+}
+
+/** Fan fn(i), i in [0, n), out across the driver; in-order results. */
+template <class F>
+auto
+parallelIndex(std::size_t n, F fn)
+{
+    return driver().map(n, fn);
 }
 
 /** Print a rendered table with a title block. */
@@ -49,6 +78,13 @@ printTable(const std::string &title,
 {
     std::printf("\n== %s ==\n%s", title.c_str(),
                 renderTable(rows).c_str());
+}
+
+/** Driver accounting to stderr (stdout stays deterministic). */
+inline void
+reportDriverStats()
+{
+    driver().reportStats();
 }
 
 inline std::string

@@ -1,0 +1,113 @@
+#include "suite/cache.hh"
+
+#include "support/text.hh"
+
+namespace symbol::suite
+{
+
+std::uint64_t
+WorkloadCache::contentHash(const std::string &text)
+{
+    std::uint64_t h = 14695981039346656037ull; // FNV offset basis
+    for (unsigned char c : text) {
+        h ^= c;
+        h *= 1099511628211ull; // FNV prime
+    }
+    return h;
+}
+
+std::string
+WorkloadCache::keyOf(const Benchmark &bench,
+                     const WorkloadOptions &opts)
+{
+    std::string fp = strprintf(
+        "ix%d:fh%d:xt%d:ms%llu:h%016llx:n%zu|",
+        opts.compiler.indexing ? 1 : 0,
+        opts.compiler.markFreshHeapStores ? 1 : 0,
+        opts.translate.expandTagBranches ? 1 : 0,
+        static_cast<unsigned long long>(opts.maxSteps),
+        static_cast<unsigned long long>(contentHash(bench.source)),
+        bench.source.size());
+    // The full source rides along so a hash collision can never
+    // alias two different programs.
+    return fp + bench.source;
+}
+
+const Workload &
+WorkloadCache::get(const Benchmark &bench, const WorkloadOptions &opts,
+                   bool *wasHit)
+{
+    std::string key = keyOf(bench, opts);
+    std::shared_ptr<Entry> entry;
+    bool builder = false;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        auto it = map_.find(key);
+        if (it == map_.end()) {
+            entry = std::make_shared<Entry>();
+            entry->bench = bench;
+            map_.emplace(std::move(key), entry);
+            builder = true;
+            ++stats_.misses;
+        } else {
+            entry = it->second;
+            ++stats_.hits;
+        }
+    }
+    if (wasHit)
+        *wasHit = !builder;
+
+    if (builder) {
+        std::unique_ptr<Workload> w;
+        std::exception_ptr err;
+        try {
+            w = std::make_unique<Workload>(entry->bench, opts);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        {
+            std::lock_guard<std::mutex> lk(entry->m);
+            entry->workload = std::move(w);
+            entry->error = err;
+            entry->ready = true;
+        }
+        entry->cv.notify_all();
+    } else {
+        std::unique_lock<std::mutex> lk(entry->m);
+        if (!entry->ready) {
+            {
+                std::lock_guard<std::mutex> slk(mu_);
+                ++stats_.inFlightWaits;
+            }
+            entry->cv.wait(lk, [&] { return entry->ready; });
+        }
+    }
+
+    if (entry->error)
+        std::rethrow_exception(entry->error);
+    return *entry->workload;
+}
+
+CacheStats
+WorkloadCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+std::size_t
+WorkloadCache::size() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return map_.size();
+}
+
+void
+WorkloadCache::clear()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    map_.clear();
+    stats_ = CacheStats{};
+}
+
+} // namespace symbol::suite

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Content-keyed artefact cache for the front half of the pipeline.
+ *
+ * Building a Workload is the expensive, repeated part of every
+ * evaluation sweep: parse + compile + translate, then the profiling
+ * emulation of the whole benchmark run. Its result depends only on
+ * the Prolog source text and the front-end options, so it is cached
+ * under a key derived from exactly those inputs:
+ *
+ *   key = front-end option fingerprint (indexing, fresh-heap-store
+ *         marking, tag-branch expansion, step budget)
+ *       + FNV-1a 64-bit hash of the source
+ *       + the source text itself
+ *
+ * The hash makes keys cheap to log and compare; the appended source
+ * makes the cache immune to hash collisions by construction. The
+ * benchmark is copied into the cache entry, so cached Workloads never
+ * dangle even if the caller's Benchmark was a temporary.
+ *
+ * The cache is thread-safe with per-entry build locking: the first
+ * requester of a key builds, concurrent requesters of the *same* key
+ * block until it is ready (counted as hits), and requesters of other
+ * keys proceed independently. A build failure is cached too, and
+ * rethrown to every requester — retrying a deterministic pipeline
+ * cannot succeed.
+ */
+
+#ifndef SYMBOL_SUITE_CACHE_HH
+#define SYMBOL_SUITE_CACHE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "suite/pipeline.hh"
+
+namespace symbol::suite
+{
+
+/** Hit/miss counters of one WorkloadCache. */
+struct CacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    /** Hits that had to wait for an in-flight build of the key. */
+    std::uint64_t inFlightWaits = 0;
+};
+
+class WorkloadCache
+{
+  public:
+    WorkloadCache() = default;
+    WorkloadCache(const WorkloadCache &) = delete;
+    WorkloadCache &operator=(const WorkloadCache &) = delete;
+
+    /**
+     * The Workload for (@p bench, @p opts), building it on first
+     * request. The reference stays valid for the cache's lifetime.
+     * Thread-safe; rethrows the original build error on every
+     * request for a key whose build failed. @p wasHit, when given,
+     * receives whether the artefact already existed.
+     */
+    const Workload &get(const Benchmark &bench,
+                        const WorkloadOptions &opts = {},
+                        bool *wasHit = nullptr);
+
+    /** The cache key of (@p bench, @p opts) — fingerprint + hash +
+     *  source; exposed for tests and reporting. */
+    static std::string keyOf(const Benchmark &bench,
+                             const WorkloadOptions &opts);
+
+    /** FNV-1a 64-bit content hash (the reportable part of the key). */
+    static std::uint64_t contentHash(const std::string &text);
+
+    CacheStats stats() const;
+    std::size_t size() const;
+    void clear();
+
+  private:
+    struct Entry
+    {
+        std::mutex m;
+        std::condition_variable cv;
+        bool ready = false;
+        std::exception_ptr error;
+        Benchmark bench; ///< owned copy the Workload points into
+        std::unique_ptr<Workload> workload;
+    };
+
+    mutable std::mutex mu_;
+    std::unordered_map<std::string, std::shared_ptr<Entry>> map_;
+    CacheStats stats_;
+};
+
+} // namespace symbol::suite
+
+#endif // SYMBOL_SUITE_CACHE_HH

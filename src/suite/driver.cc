@@ -1,0 +1,156 @@
+#include "suite/driver.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <set>
+
+#include "support/text.hh"
+
+namespace symbol::suite
+{
+
+namespace
+{
+
+double
+wallNow()
+{
+    using namespace std::chrono;
+    return duration<double>(steady_clock::now().time_since_epoch())
+        .count();
+}
+
+double
+cpuNow()
+{
+    // Process CPU time, summed across threads: wall < cpu is the
+    // signature of actual parallel execution.
+    return static_cast<double>(std::clock()) /
+           static_cast<double>(CLOCKS_PER_SEC);
+}
+
+} // namespace
+
+std::string
+DriverStats::str(unsigned jobs) const
+{
+    return strprintf(
+        "[driver] jobs=%u: %llu tasks, %llu workloads built, "
+        "%llu cache hits, wall %.2fs, cpu %.2fs",
+        jobs, static_cast<unsigned long long>(tasksRun),
+        static_cast<unsigned long long>(workloadsBuilt),
+        static_cast<unsigned long long>(cacheHits), wallSeconds,
+        cpuSeconds);
+}
+
+EvalDriver::Timer::Timer(EvalDriver &d, std::size_t tasks)
+    : d_(d), tasks_(tasks), wall0_(wallNow()), cpu0_(cpuNow())
+{
+}
+
+EvalDriver::Timer::~Timer()
+{
+    std::lock_guard<std::mutex> lk(d_.mu_);
+    d_.stats_.tasksRun += tasks_;
+    d_.stats_.wallSeconds += wallNow() - wall0_;
+    d_.stats_.cpuSeconds += cpuNow() - cpu0_;
+}
+
+EvalDriver::EvalDriver(const DriverOptions &opts)
+    : opts_(opts),
+      pool_(std::make_unique<support::ThreadPool>(opts.jobs))
+{
+}
+
+EvalDriver::~EvalDriver() = default;
+
+const Workload &
+EvalDriver::workload(const std::string &benchName,
+                     const WorkloadOptions &opts)
+{
+    return workload(benchmark(benchName), opts);
+}
+
+const Workload &
+EvalDriver::workload(const Benchmark &bench,
+                     const WorkloadOptions &opts)
+{
+    if (!opts_.useCache)
+        return fresh(bench, opts);
+    bool hit = false;
+    const Workload &w = cache_.get(bench, opts, &hit);
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        if (hit)
+            ++stats_.cacheHits;
+        else
+            ++stats_.workloadsBuilt;
+    }
+    return w;
+}
+
+const Workload &
+EvalDriver::fresh(const Benchmark &bench, const WorkloadOptions &opts)
+{
+    // Copy the benchmark first so the Workload's back-pointer stays
+    // valid for the driver's lifetime.
+    auto b = std::make_unique<Benchmark>(bench);
+    auto w = std::make_unique<Workload>(*b, opts);
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.workloadsBuilt;
+    freshBenches_.push_back(std::move(b));
+    freshWorkloads_.push_back(std::move(w));
+    return *freshWorkloads_.back();
+}
+
+void
+EvalDriver::prefetch(const std::vector<std::string> &benchNames,
+                     const WorkloadOptions &opts)
+{
+    map(benchNames.size(), [&](std::size_t i) {
+        workload(benchNames[i], opts);
+        return 0;
+    });
+}
+
+std::vector<VliwRun>
+EvalDriver::sweep(const std::vector<EvalTask> &tasks)
+{
+    // Phase 1: build the distinct front ends concurrently, so phase
+    // 2's tasks never serialise on an in-flight workload build.
+    if (opts_.useCache) {
+        std::set<std::string> seen;
+        std::vector<const EvalTask *> distinct;
+        for (const EvalTask &t : tasks)
+            if (seen
+                    .insert(WorkloadCache::keyOf(benchmark(t.bench),
+                                                 t.wopts))
+                    .second)
+                distinct.push_back(&t);
+        map(distinct.size(), [&](std::size_t i) {
+            workload(distinct[i]->bench, distinct[i]->wopts);
+            return 0;
+        });
+    }
+    // Phase 2: every (config × benchmark) compaction + simulation.
+    return map(tasks.size(), [&](std::size_t i) {
+        const EvalTask &t = tasks[i];
+        return workload(t.bench, t.wopts).runVliw(t.config, t.copts);
+    });
+}
+
+DriverStats
+EvalDriver::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+void
+EvalDriver::reportStats() const
+{
+    std::fprintf(stderr, "%s\n", stats().str(pool_->size()).c_str());
+}
+
+} // namespace symbol::suite

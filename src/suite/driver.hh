@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The parallel evaluation driver: fans benchmark front ends and
+ * (config × benchmark) compaction/simulation runs out across a
+ * support::ThreadPool, with the WorkloadCache deduplicating the
+ * expensive front half (compile + profiling emulation).
+ *
+ * Determinism guarantee: every fan-out API returns results in the
+ * order of its inputs, and each task computes a pure function of the
+ * (benchmark, options, config) triple — no task reads another task's
+ * result and no accumulation happens across tasks. Consequently a
+ * driver with jobs=1 and a driver with jobs=N produce bit-identical
+ * result vectors, and harnesses that format those vectors emit
+ * byte-identical tables (tests/test_driver_determinism.cc locks this
+ * down). Progress/timing reports go to stderr for exactly this
+ * reason: stdout carries only deterministic content.
+ */
+
+#ifndef SYMBOL_SUITE_DRIVER_HH
+#define SYMBOL_SUITE_DRIVER_HH
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "machine/config.hh"
+#include "suite/cache.hh"
+#include "suite/pipeline.hh"
+#include "support/threadpool.hh"
+
+namespace symbol::suite
+{
+
+/** Driver construction options. */
+struct DriverOptions
+{
+    /** Worker threads; 0 = SYMBOL_JOBS env or hardware concurrency. */
+    unsigned jobs = 0;
+    /** Reuse front-end artefacts across tasks (content-keyed). When
+     *  off, every workload request rebuilds and re-emulates. */
+    bool useCache = true;
+};
+
+/** Aggregate accounting across a driver's lifetime. */
+struct DriverStats
+{
+    std::uint64_t tasksRun = 0;
+    std::uint64_t workloadsBuilt = 0;
+    std::uint64_t cacheHits = 0;
+    double wallSeconds = 0.0;
+    double cpuSeconds = 0.0;
+
+    /** One-line human-readable summary. */
+    std::string str(unsigned jobs) const;
+};
+
+/** One point of an evaluation sweep. */
+struct EvalTask
+{
+    std::string bench; ///< suite benchmark name
+    WorkloadOptions wopts;
+    machine::MachineConfig config;
+    sched::CompactOptions copts;
+};
+
+class EvalDriver
+{
+  public:
+    explicit EvalDriver(const DriverOptions &opts = {});
+    ~EvalDriver();
+
+    unsigned jobs() const { return pool_->size(); }
+    support::ThreadPool &pool() { return *pool_; }
+
+    /**
+     * The workload of a suite benchmark (by name) or an arbitrary
+     * Benchmark, cached under its content key. Thread-safe; safe to
+     * call from inside driver tasks.
+     */
+    const Workload &workload(const std::string &benchName,
+                             const WorkloadOptions &opts = {});
+    const Workload &workload(const Benchmark &bench,
+                             const WorkloadOptions &opts = {});
+
+    /** Build the workloads of @p benchNames concurrently. */
+    void prefetch(const std::vector<std::string> &benchNames,
+                  const WorkloadOptions &opts = {});
+
+    /**
+     * Evaluate every task (compact + simulate, after a concurrent
+     * prefetch of the distinct front ends); results in input order.
+     */
+    std::vector<VliwRun> sweep(const std::vector<EvalTask> &tasks);
+
+    /**
+     * Fan fn(i), i in [0, n), out across the pool; results in index
+     * order. fn must be a pure function of i (plus workload()
+     * lookups); the first exception is rethrown after all tasks
+     * finished.
+     */
+    template <class F>
+    auto
+    map(std::size_t n, F fn)
+        -> std::vector<std::invoke_result_t<F, std::size_t>>
+    {
+        using R = std::invoke_result_t<F, std::size_t>;
+        Timer t(*this, n);
+        std::vector<support::ThreadPool::Future<R>> fs;
+        fs.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            fs.push_back(pool_->submit([fn, i] { return fn(i); }));
+        std::vector<R> out;
+        out.reserve(n);
+        std::exception_ptr first;
+        for (auto &f : fs) {
+            try {
+                out.push_back(f.get());
+            } catch (...) {
+                if (!first)
+                    first = std::current_exception();
+            }
+        }
+        if (first)
+            std::rethrow_exception(first);
+        return out;
+    }
+
+    /** Accounting snapshot (tasks, cache traffic, wall/cpu time). */
+    DriverStats stats() const;
+
+    /** stats().str() to stderr — never stdout, which must stay
+     *  byte-identical across jobs settings. */
+    void reportStats() const;
+
+  private:
+    /** Accumulates wall/cpu time and task counts of one fan-out. */
+    class Timer
+    {
+      public:
+        Timer(EvalDriver &d, std::size_t tasks);
+        ~Timer();
+
+      private:
+        EvalDriver &d_;
+        std::size_t tasks_;
+        double wall0_, cpu0_;
+    };
+
+    const Workload &fresh(const Benchmark &bench,
+                          const WorkloadOptions &opts);
+
+    DriverOptions opts_;
+    std::unique_ptr<support::ThreadPool> pool_;
+    WorkloadCache cache_;
+
+    mutable std::mutex mu_;
+    DriverStats stats_;
+    /** Keeps uncached workloads (useCache=false) alive. */
+    std::vector<std::unique_ptr<Benchmark>> freshBenches_;
+    std::vector<std::unique_ptr<Workload>> freshWorkloads_;
+};
+
+} // namespace symbol::suite
+
+#endif // SYMBOL_SUITE_DRIVER_HH

@@ -33,9 +33,14 @@ Workload::seqCyclesFor(const machine::MachineConfig &config) const
     std::pair<int, int> key{config.memLatency, config.branchPenalty};
     if (key == std::pair<int, int>{2, 1})
         return run_.seqCycles; // the default model
-    auto it = seqCache_.find(key);
-    if (it != seqCache_.end())
-        return it->second;
+    {
+        std::lock_guard<std::mutex> lk(seqMu_);
+        auto it = seqCache_.find(key);
+        if (it != seqCache_.end())
+            return it->second;
+    }
+    // Re-emulate outside the lock; concurrent misses on the same key
+    // duplicate deterministic work instead of serialising the pool.
     emul::Machine machine(*ici_);
     emul::RunOptions ro;
     ro.maxSteps = maxSteps_;
@@ -43,7 +48,8 @@ Workload::seqCyclesFor(const machine::MachineConfig &config) const
     ro.memLatency = config.memLatency;
     ro.takenPenalty = config.branchPenalty;
     std::uint64_t cycles = machine.run(ro).seqCycles;
-    seqCache_[key] = cycles;
+    std::lock_guard<std::mutex> lk(seqMu_);
+    seqCache_.emplace(key, cycles);
     return cycles;
 }
 

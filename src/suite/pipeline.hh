@@ -14,6 +14,7 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "bamc/compiler.hh"
@@ -94,6 +95,9 @@ class Workload
     emul::RunResult run_;
     std::string seqOutput_;
     std::uint64_t maxSteps_;
+    /** Guards seqCache_: one Workload is shared by many concurrent
+     *  runVliw() tasks under the parallel evaluation driver. */
+    mutable std::mutex seqMu_;
     mutable std::map<std::pair<int, int>, std::uint64_t> seqCache_;
 };
 

@@ -1,0 +1,131 @@
+#include "support/threadpool.hh"
+
+#include <chrono>
+#include <cstdlib>
+
+namespace symbol::support
+{
+
+namespace
+{
+
+/** The pool the current thread is a worker of, if any. */
+thread_local ThreadPool *tlsWorkerPool = nullptr;
+
+} // namespace
+
+unsigned
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("SYMBOL_JOBS")) {
+        long v = std::strtol(env, nullptr, 10);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+ThreadPool::ThreadPool(unsigned threads)
+{
+    if (threads == 0)
+        threads = defaultThreads();
+    workers_.reserve(threads);
+    for (unsigned k = 0; k < threads; ++k)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+void
+ThreadPool::enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        queue_.push_back(std::move(job));
+    }
+    cv_.notify_one();
+}
+
+bool
+ThreadPool::runOne()
+{
+    std::function<void()> job;
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        if (queue_.empty())
+            return false;
+        job = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    job();
+    return true;
+}
+
+void
+ThreadPool::waitHelp(detail::TaskStateBase &st)
+{
+    if (tlsWorkerPool != this) {
+        // External waiter: block passively. Keeping outside threads
+        // out of task execution preserves the size-1 guarantee that
+        // every task runs on the single worker, in FIFO order —
+        // observationally identical to direct sequential execution.
+        std::unique_lock<std::mutex> lk(st.m);
+        st.cv.wait(lk, [&] { return st.done; });
+        return;
+    }
+    // A worker waiting for a task of its own pool: make progress on
+    // the queue instead of blocking — the task we wait for may be
+    // queued behind us, or may have submitted sub-tasks only we can
+    // run. This is what makes nested submission deadlock-free.
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lk(st.m);
+            if (st.done)
+                return;
+        }
+        if (runOne())
+            continue;
+        std::unique_lock<std::mutex> lk(st.m);
+        // Bounded wait: newly queued work would not signal st.cv, so
+        // re-check the queue periodically rather than parking for
+        // good. Completion signals arrive immediately via st.cv.
+        st.cv.wait_for(lk, std::chrono::milliseconds(2),
+                       [&] { return st.done; });
+        if (st.done)
+            return;
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    tlsWorkerPool = this;
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lk(m_);
+            cv_.wait(lk,
+                     [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                if (stop_)
+                    return;
+                continue;
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        job();
+    }
+}
+
+} // namespace symbol::support

@@ -1,0 +1,196 @@
+/**
+ * @file
+ * A fixed-size thread pool with work-helping futures — the first
+ * concurrency primitive of the toolchain, built for the parallel
+ * evaluation driver (suite::EvalDriver).
+ *
+ * Design points:
+ *  - Tasks are arbitrary callables; submit() returns a typed Future
+ *    whose get() rethrows any exception the task raised.
+ *  - Future::get() *helps*: while its task is not done it pops and
+ *    executes other queued tasks. A task may therefore submit
+ *    sub-tasks and wait on them without deadlocking, even on a pool
+ *    of size 1 — nested submission degrades gracefully to direct
+ *    execution.
+ *  - A pool of size 1 executes tasks strictly in submission order,
+ *    so results are identical to direct sequential execution; this
+ *    is what makes jobs=1 the determinism reference of the driver.
+ *
+ * The pool deliberately has no task priorities, cancellation or
+ * work-stealing deques: evaluation tasks are coarse (whole pipeline
+ * stages), so a single FIFO queue under one mutex is both simple to
+ * reason about under TSAN and nowhere near contention-bound.
+ */
+
+#ifndef SYMBOL_SUPPORT_THREADPOOL_HH
+#define SYMBOL_SUPPORT_THREADPOOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace symbol::support
+{
+
+namespace detail
+{
+
+/** Shared completion state of one submitted task. */
+struct TaskStateBase
+{
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::exception_ptr error;
+};
+
+template <class T> struct TaskState : TaskStateBase
+{
+    std::optional<T> value;
+};
+
+template <> struct TaskState<void> : TaskStateBase
+{
+};
+
+} // namespace detail
+
+class ThreadPool
+{
+  public:
+    /** Handle to a submitted task's eventual result. */
+    template <class T> class Future
+    {
+      public:
+        Future() = default;
+
+        /** Whether this handle refers to a task. */
+        bool valid() const { return st_ != nullptr; }
+
+        /**
+         * Block until the task completed, executing other queued
+         * tasks of the pool while waiting (so nested waits make
+         * progress instead of deadlocking). Rethrows the task's
+         * exception, if any. May be called once.
+         */
+        T
+        get()
+        {
+            pool_->waitHelp(*st_);
+            if (st_->error)
+                std::rethrow_exception(st_->error);
+            if constexpr (!std::is_void_v<T>)
+                return std::move(*st_->value);
+        }
+
+      private:
+        friend class ThreadPool;
+        Future(std::shared_ptr<detail::TaskState<T>> st,
+               ThreadPool *pool)
+            : st_(std::move(st)), pool_(pool)
+        {
+        }
+
+        std::shared_ptr<detail::TaskState<T>> st_;
+        ThreadPool *pool_ = nullptr;
+    };
+
+    /** @p threads worker threads; 0 selects defaultThreads(). */
+    explicit ThreadPool(unsigned threads = 0);
+
+    /** Drains the queue, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /**
+     * Pool width used when none is requested: the SYMBOL_JOBS
+     * environment variable if set to a positive integer, else the
+     * hardware concurrency (at least 1).
+     */
+    static unsigned defaultThreads();
+
+    /** Enqueue @p fn; returns a Future for its result. */
+    template <class F>
+    auto
+    submit(F &&fn) -> Future<std::invoke_result_t<std::decay_t<F> &>>
+    {
+        using R = std::invoke_result_t<std::decay_t<F> &>;
+        auto st = std::make_shared<detail::TaskState<R>>();
+        enqueue([st, f = std::forward<F>(fn)]() mutable {
+            try {
+                if constexpr (std::is_void_v<R>)
+                    f();
+                else
+                    st->value.emplace(f());
+            } catch (...) {
+                st->error = std::current_exception();
+            }
+            {
+                std::lock_guard<std::mutex> lk(st->m);
+                st->done = true;
+            }
+            st->cv.notify_all();
+        });
+        return Future<R>(std::move(st), this);
+    }
+
+  private:
+    void enqueue(std::function<void()> job);
+    /** Run one queued task on the calling thread, if any. */
+    bool runOne();
+    /** Help run queued tasks until @p st completes. */
+    void waitHelp(detail::TaskStateBase &st);
+    void workerLoop();
+
+    std::mutex m_;
+    std::condition_variable cv_;
+    std::deque<std::function<void()>> queue_;
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Run fn(i) for every i in [0, n) across @p pool, blocking until all
+ * completed; the calling thread helps. The first exception (lowest
+ * index) is rethrown after every task finished.
+ */
+template <class F>
+void
+parallelFor(ThreadPool &pool, std::size_t n, F fn)
+{
+    std::vector<ThreadPool::Future<void>> fs;
+    fs.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        fs.push_back(pool.submit([fn, i] { fn(i); }));
+    std::exception_ptr first;
+    for (auto &f : fs) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace symbol::support
+
+#endif // SYMBOL_SUPPORT_THREADPOOL_HH

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Golden determinism tests of the parallel evaluation driver: the
+ * whole point of suite::EvalDriver is that fanning an evaluation
+ * sweep across N threads changes wall-clock time and *nothing else*.
+ * A jobs=1 driver (single worker, FIFO — observationally direct
+ * execution) is the reference; a wide driver and a cache-disabled
+ * driver must reproduce its VliwRun statistics bit for bit, and the
+ * tables formatted from those results must be byte-identical.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "machine/config.hh"
+#include "suite/driver.hh"
+#include "support/diagnostics.hh"
+#include "support/text.hh"
+
+using namespace symbol;
+using machine::MachineConfig;
+
+namespace
+{
+
+/** 3 benchmarks × 3 machine configurations, the golden grid. */
+std::vector<suite::EvalTask>
+goldenGrid()
+{
+    std::vector<suite::EvalTask> tasks;
+    for (const char *name : {"nreverse", "qsort", "serialise"}) {
+        for (int pt = 0; pt < 3; ++pt) {
+            suite::EvalTask t;
+            t.bench = name;
+            t.config = pt == 2 ? MachineConfig::prototype(3)
+                               : MachineConfig::idealShared(
+                                     pt == 0 ? 1 : 3);
+            tasks.push_back(t);
+        }
+    }
+    return tasks;
+}
+
+unsigned
+wideJobs()
+{
+    return std::max(4u, std::thread::hardware_concurrency());
+}
+
+/** Every statistic a harness could print, exact-compared. */
+void
+expectRunsEqual(const suite::VliwRun &a, const suite::VliwRun &b,
+                const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.wideExecuted, b.wideExecuted) << what;
+    EXPECT_EQ(a.opsExecuted, b.opsExecuted) << what;
+    EXPECT_EQ(a.latencyViolations, b.latencyViolations) << what;
+    EXPECT_EQ(a.speedupVsSeq, b.speedupVsSeq) << what; // bit-exact
+    EXPECT_EQ(a.output, b.output) << what;
+    EXPECT_EQ(a.stats.numRegions, b.stats.numRegions) << what;
+    EXPECT_EQ(a.stats.totalOps, b.stats.totalOps) << what;
+    EXPECT_EQ(a.stats.wideInstrs, b.stats.wideInstrs) << what;
+    EXPECT_EQ(a.stats.avgStaticLength, b.stats.avgStaticLength)
+        << what;
+    EXPECT_EQ(a.stats.avgDynamicLength, b.stats.avgDynamicLength)
+        << what;
+    EXPECT_EQ(a.stats.peakBankPressure, b.stats.peakBankPressure)
+        << what;
+}
+
+/** Format a sweep the way a bench harness would. */
+std::string
+renderSweep(const std::vector<suite::EvalTask> &tasks,
+            const std::vector<suite::VliwRun> &runs)
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"benchmark", "config", "cycles", "wide", "ops",
+                    "speedup", "regions"});
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        rows.push_back(
+            {tasks[i].bench, tasks[i].config.name,
+             strprintf("%llu", static_cast<unsigned long long>(
+                                   runs[i].cycles)),
+             strprintf("%llu", static_cast<unsigned long long>(
+                                   runs[i].wideExecuted)),
+             strprintf("%llu", static_cast<unsigned long long>(
+                                   runs[i].opsExecuted)),
+             strprintf("%.6f", runs[i].speedupVsSeq),
+             strprintf("%zu", runs[i].stats.numRegions)});
+    return renderTable(rows);
+}
+
+} // namespace
+
+TEST(DriverDeterminism, WidePoolMatchesSingleWorkerBitForBit)
+{
+    std::vector<suite::EvalTask> tasks = goldenGrid();
+
+    suite::DriverOptions seqOpts;
+    seqOpts.jobs = 1;
+    suite::EvalDriver seq(seqOpts);
+    std::vector<suite::VliwRun> ref = seq.sweep(tasks);
+
+    suite::DriverOptions parOpts;
+    parOpts.jobs = wideJobs();
+    suite::EvalDriver par(parOpts);
+    ASSERT_EQ(par.jobs(), wideJobs());
+    std::vector<suite::VliwRun> wide = par.sweep(tasks);
+
+    ASSERT_EQ(ref.size(), tasks.size());
+    ASSERT_EQ(wide.size(), tasks.size());
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        expectRunsEqual(ref[i], wide[i],
+                        tasks[i].bench + "/" + tasks[i].config.name +
+                            strprintf(" (jobs=%u)", par.jobs()));
+
+    // The harness-level guarantee: identical formatted tables.
+    EXPECT_EQ(renderSweep(tasks, ref), renderSweep(tasks, wide));
+}
+
+TEST(DriverDeterminism, CacheDoesNotChangeResults)
+{
+    std::vector<suite::EvalTask> tasks = goldenGrid();
+
+    suite::DriverOptions cachedOpts;
+    cachedOpts.jobs = wideJobs();
+    cachedOpts.useCache = true;
+    suite::EvalDriver cached(cachedOpts);
+    std::vector<suite::VliwRun> withCache = cached.sweep(tasks);
+
+    suite::DriverOptions freshOpts;
+    freshOpts.jobs = wideJobs();
+    freshOpts.useCache = false;
+    suite::EvalDriver fresh(freshOpts);
+    std::vector<suite::VliwRun> withoutCache = fresh.sweep(tasks);
+
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        expectRunsEqual(withCache[i], withoutCache[i],
+                        tasks[i].bench + "/" +
+                            tasks[i].config.name + " (cache on/off)");
+
+    // 3 distinct benchmarks: the cached driver builds each front end
+    // once; the uncached one rebuilds it for every grid point.
+    EXPECT_EQ(cached.stats().workloadsBuilt, 3u);
+    EXPECT_GT(cached.stats().cacheHits, 0u);
+    EXPECT_EQ(fresh.stats().workloadsBuilt, 9u);
+    EXPECT_EQ(fresh.stats().cacheHits, 0u);
+}
+
+TEST(DriverDeterminism, RepeatedSweepIsFullyCached)
+{
+    std::vector<suite::EvalTask> tasks = goldenGrid();
+    suite::EvalDriver d;
+    std::vector<suite::VliwRun> first = d.sweep(tasks);
+    std::uint64_t builtAfterFirst = d.stats().workloadsBuilt;
+    std::vector<suite::VliwRun> second = d.sweep(tasks);
+    // The second sweep re-simulates but never re-emulates: not a
+    // single additional front-end build.
+    EXPECT_EQ(d.stats().workloadsBuilt, builtAfterFirst);
+    for (std::size_t i = 0; i < tasks.size(); ++i)
+        expectRunsEqual(first[i], second[i],
+                        tasks[i].bench + " (sweep 1 vs 2)");
+}
+
+TEST(DriverDeterminism, MapPreservesInputOrderAndPropagates)
+{
+    suite::DriverOptions opts;
+    opts.jobs = wideJobs();
+    suite::EvalDriver d(opts);
+    std::vector<int> out =
+        d.map(64, [](std::size_t i) { return static_cast<int>(i); });
+    for (int i = 0; i < 64; ++i)
+        EXPECT_EQ(out[static_cast<std::size_t>(i)], i);
+    EXPECT_THROW(d.map(8,
+                       [](std::size_t i) {
+                           if (i == 3)
+                               throw RuntimeError("task failure");
+                           return 0;
+                       }),
+                 RuntimeError);
+    EXPECT_GE(d.stats().tasksRun, 72u);
+}

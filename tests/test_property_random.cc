@@ -12,6 +12,7 @@
 #include <random>
 
 #include "machine/config.hh"
+#include "suite/cache.hh"
 #include "suite/pipeline.hh"
 #include "support/text.hh"
 
@@ -147,6 +148,58 @@ TEST_P(RandomLists, VliwAgreesWithSequentialOnRandomInput)
             machine::MachineConfig::idealShared(units));
         EXPECT_EQ(r.latencyViolations, 0u);
     }
+}
+
+TEST_P(RandomLists, CachedProfileMatchesFreshRecomputation)
+{
+    // Seeded-random sweep of the artefact cache: for random programs
+    // under varying front-end options, a cache-served workload must
+    // carry exactly the emulation profile a fresh recomputation
+    // produces — the Expect/taken vectors drive compaction, so any
+    // drift here would silently skew every downstream figure.
+    suite::WorkloadCache cache;
+    for (int round = 0; round < 3; ++round) {
+        std::vector<int> xs = randomList(14, 30);
+        suite::Benchmark b;
+        b.name = strprintf("cached_profile_%d", round);
+        b.source = strprintf(R"(
+            app([], L, L).
+            app([X|A], B, [X|C]) :- app(A, B, C).
+            rev([], []).
+            rev([X|L], R) :- rev(L, T), app(T, [X], R).
+            len([], 0).
+            len([_|T], N) :- len(T, N1), N is N1 + 1.
+            main :- rev(%s, R), len(R, N), out(R), out(N).
+        )", listLiteral(xs).c_str());
+
+        suite::WorkloadOptions opts;
+        opts.compiler.indexing = (round % 2) == 0;
+
+        const suite::Workload &cached0 = cache.get(b, opts);
+        const suite::Workload &cached1 = cache.get(b, opts);
+        // Same key: the artefact itself is shared, not rebuilt.
+        EXPECT_EQ(&cached0, &cached1);
+
+        suite::Workload fresh(b, opts);
+        EXPECT_EQ(cached0.profile().expect, fresh.profile().expect);
+        EXPECT_EQ(cached0.profile().taken, fresh.profile().taken);
+        EXPECT_EQ(cached0.instructions(), fresh.instructions());
+        EXPECT_EQ(cached0.seqCycles(), fresh.seqCycles());
+        EXPECT_EQ(cached0.seqOutput(), fresh.seqOutput());
+
+        // Different front-end options must key differently: the
+        // profiles describe different programs.
+        suite::WorkloadOptions flipped = opts;
+        flipped.compiler.indexing = !opts.compiler.indexing;
+        EXPECT_NE(suite::WorkloadCache::keyOf(b, opts),
+                  suite::WorkloadCache::keyOf(b, flipped));
+        const suite::Workload &other = cache.get(b, flipped);
+        EXPECT_NE(&other, &cached0);
+        EXPECT_EQ(other.seqOutput(), fresh.seqOutput());
+    }
+    suite::CacheStats st = cache.stats();
+    EXPECT_EQ(st.misses, 6u); // 3 rounds x 2 option sets
+    EXPECT_EQ(st.hits, 3u);   // the repeated get per round
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomLists,

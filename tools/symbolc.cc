@@ -8,8 +8,15 @@
  * be dumped at every stage.
  *
  * Usage:
- *   symbolc [options] <file.pl | --bench NAME | --list>
+ *   symbolc [options] <file.pl | --bench NAME | --bench all | --list>
  *     --units N        number of VLIW units (default 3)
+ *     --jobs N         worker threads for the parallel evaluation
+ *                      driver (default: SYMBOL_JOBS env, else
+ *                      hardware concurrency); used by --bench all
+ *     --bench all      sweep the whole suite through the parallel
+ *                      driver and print one summary row per
+ *                      benchmark (deterministic order; driver
+ *                      timing/cache stats go to stderr)
  *     --mode M         trace | bb | seq       (default trace)
  *     --proto          SYMBOL prototype configuration (two formats,
  *                      3-cycle memory, 2-cycle delayed branches)
@@ -29,7 +36,9 @@
 
 #include "analysis/stats.hh"
 #include "machine/config.hh"
+#include "suite/driver.hh"
 #include "suite/pipeline.hh"
+#include "support/text.hh"
 
 using namespace symbol;
 
@@ -40,6 +49,7 @@ struct Options
 {
     std::string file;
     std::string bench;
+    int jobs = 0; // 0 = SYMBOL_JOBS env / hardware concurrency
     int units = 3;
     std::string mode = "trace";
     bool proto = false;
@@ -69,6 +79,8 @@ parseArgs(int argc, char **argv, Options &o)
         std::string a = argv[k];
         if (a == "--units" && k + 1 < argc) {
             o.units = std::atoi(argv[++k]);
+        } else if (a == "--jobs" && k + 1 < argc) {
+            o.jobs = std::atoi(argv[++k]);
         } else if (a == "--mode" && k + 1 < argc) {
             o.mode = argv[++k];
         } else if (a == "--bench" && k + 1 < argc) {
@@ -100,6 +112,73 @@ parseArgs(int argc, char **argv, Options &o)
     return o.list || !o.file.empty() || !o.bench.empty();
 }
 
+/**
+ * --bench all: fan the whole suite out across the evaluation driver
+ * and print one summary row per benchmark, in suite order.
+ */
+int
+sweepAll(const Options &o)
+{
+    machine::MachineConfig mc =
+        o.proto ? machine::MachineConfig::prototype(o.units)
+                : machine::MachineConfig::idealShared(o.units);
+    sched::CompactOptions co;
+    co.traceMode = o.mode == "trace";
+    co.freshAllocDisambiguation = o.disamb;
+    suite::WorkloadOptions wo;
+    wo.compiler.indexing = o.indexing;
+    wo.translate.expandTagBranches = o.expandTags;
+
+    suite::DriverOptions dopts;
+    dopts.jobs = o.jobs > 0 ? static_cast<unsigned>(o.jobs) : 0;
+    suite::EvalDriver driver(dopts);
+
+    std::vector<suite::EvalTask> tasks;
+    for (const auto &b : suite::aquarius())
+        tasks.push_back({b.name, wo, mc, co});
+    std::vector<suite::VliwRun> runs;
+    if (o.mode != "seq")
+        runs = driver.sweep(tasks);
+    else
+        driver.prefetch([&] {
+            std::vector<std::string> names;
+            for (const auto &t : tasks)
+                names.push_back(t.bench);
+            return names;
+        }(), wo);
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back(o.mode == "seq"
+                       ? std::vector<std::string>{"benchmark", "ICIs",
+                                                  "seq.cycles"}
+                       : std::vector<std::string>{
+                             "benchmark", "seq.cycles", mc.name,
+                             "speedup"});
+    for (std::size_t i = 0; i < tasks.size(); ++i) {
+        const suite::Workload &w =
+            driver.workload(tasks[i].bench, wo);
+        if (o.mode == "seq")
+            rows.push_back(
+                {tasks[i].bench,
+                 strprintf("%llu", static_cast<unsigned long long>(
+                                       w.instructions())),
+                 strprintf("%llu", static_cast<unsigned long long>(
+                                       w.seqCycles()))});
+        else
+            rows.push_back(
+                {tasks[i].bench,
+                 strprintf("%llu",
+                           static_cast<unsigned long long>(
+                               w.seqCyclesFor(mc))),
+                 strprintf("%llu", static_cast<unsigned long long>(
+                                       runs[i].cycles)),
+                 strprintf("%.2f", runs[i].speedupVsSeq)});
+    }
+    std::printf("%s", renderTable(rows).c_str());
+    driver.reportStats();
+    return 0;
+}
+
 } // namespace
 
 int
@@ -113,6 +192,15 @@ main(int argc, char **argv)
         for (const auto &b : suite::aquarius())
             std::printf("%s\n", b.name.c_str());
         return 0;
+    }
+
+    if (o.bench == "all") {
+        try {
+            return sweepAll(o);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "symbolc: %s\n", e.what());
+            return 1;
+        }
     }
 
     try {
