@@ -8,12 +8,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <stdlib.h>
+
+#include <chrono>
+#include <filesystem>
+
 #include "bamc/compiler.hh"
 #include "emul/machine.hh"
 #include "intcode/translate.hh"
 #include "machine/config.hh"
 #include "prolog/parser.hh"
 #include "sched/compact.hh"
+#include "suite/driver.hh"
 #include "suite/pipeline.hh"
 #include "vliw/sim.hh"
 
@@ -108,5 +114,65 @@ BM_VliwSimulation(benchmark::State &state)
     }
 }
 BENCHMARK(BM_VliwSimulation);
+
+static void
+BM_SuiteFrontHalfWarmStart(benchmark::State &state)
+{
+    // Cold-vs-warm start of the whole suite's front half through the
+    // persistent artefact store: one timed cold pass populates a
+    // fresh store (parse + compile + translate + profiling emulation
+    // for every benchmark), then each iteration restores everything
+    // from disk. The counters report the one-off cold seconds, the
+    // per-iteration warm seconds and their ratio; `rebuilds` must
+    // stay 0 or the store failed to serve a warm start.
+    namespace fs = std::filesystem;
+    using clock = std::chrono::steady_clock;
+    char tmpl[] = "/tmp/symbol-bench-store-XXXXXX";
+    if (::mkdtemp(tmpl) == nullptr) {
+        state.SkipWithError("mkdtemp failed");
+        return;
+    }
+    std::string dir = tmpl;
+    std::vector<std::string> names;
+    for (const auto &b : suite::aquarius())
+        names.push_back(b.name);
+
+    auto prefetchAll = [&] {
+        suite::DriverOptions o;
+        o.jobs = 1; // single-threaded: a clean cold/warm ratio
+        o.cacheDir = dir;
+        suite::EvalDriver d(o);
+        d.prefetch(names);
+        return d.stats().workloadsBuilt;
+    };
+
+    auto cold0 = clock::now();
+    prefetchAll();
+    double coldSeconds =
+        std::chrono::duration<double>(clock::now() - cold0).count();
+
+    std::uint64_t rebuilds = 0;
+    double warmSeconds = 0.0;
+    for (auto _ : state) {
+        auto t0 = clock::now();
+        rebuilds += prefetchAll();
+        warmSeconds +=
+            std::chrono::duration<double>(clock::now() - t0).count();
+    }
+    double warmPerIter =
+        warmSeconds / static_cast<double>(state.iterations());
+    state.counters["cold_s"] = coldSeconds;
+    state.counters["warm_s"] = warmPerIter;
+    state.counters["cold_over_warm"] =
+        warmPerIter > 0.0 ? coldSeconds / warmPerIter : 0.0;
+    state.counters["rebuilds"] = static_cast<double>(rebuilds);
+    state.SetItemsProcessed(
+        static_cast<std::int64_t>(state.iterations()) *
+        static_cast<std::int64_t>(names.size()));
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+}
+BENCHMARK(BM_SuiteFrontHalfWarmStart)->Unit(benchmark::kMillisecond);
 
 BENCHMARK_MAIN();

@@ -1,0 +1,145 @@
+#include "bam/serialize.hh"
+
+#include <algorithm>
+
+namespace symbol::bam
+{
+
+using serialize::DecodeError;
+using serialize::Reader;
+using serialize::Writer;
+
+namespace
+{
+
+void
+encodeOperand(Writer &w, const Operand &o)
+{
+    w.u8(static_cast<std::uint8_t>(o.kind));
+    switch (o.kind) {
+    case Operand::Kind::None:
+        break;
+    case Operand::Kind::Reg:
+        w.vi(o.reg);
+        break;
+    case Operand::Kind::Imm:
+        w.fixed64(o.imm);
+        break;
+    case Operand::Kind::Lab:
+        w.vi(o.label);
+        break;
+    }
+}
+
+Operand
+decodeOperand(Reader &r)
+{
+    std::uint8_t kind = r.u8();
+    Operand o;
+    switch (kind) {
+    case static_cast<std::uint8_t>(Operand::Kind::None):
+        break;
+    case static_cast<std::uint8_t>(Operand::Kind::Reg):
+        o.kind = Operand::Kind::Reg;
+        o.reg = static_cast<int>(r.vi());
+        break;
+    case static_cast<std::uint8_t>(Operand::Kind::Imm):
+        o.kind = Operand::Kind::Imm;
+        o.imm = r.fixed64();
+        break;
+    case static_cast<std::uint8_t>(Operand::Kind::Lab):
+        o.kind = Operand::Kind::Lab;
+        o.label = static_cast<int>(r.vi());
+        break;
+    default:
+        throw DecodeError("bad operand kind");
+    }
+    return o;
+}
+
+template <class E>
+E
+decodeEnum(Reader &r, std::uint8_t last, const char *what)
+{
+    std::uint8_t v = r.u8();
+    if (v > last)
+        throw DecodeError(std::string("bad ") + what);
+    return static_cast<E>(v);
+}
+
+} // namespace
+
+void
+encode(Writer &w, const Module &module)
+{
+    w.vu(module.code.size());
+    for (const Instr &i : module.code) {
+        w.u8(static_cast<std::uint8_t>(i.op));
+        w.u8(static_cast<std::uint8_t>(i.cond));
+        w.u8(static_cast<std::uint8_t>(i.alu));
+        w.u8(static_cast<std::uint8_t>(i.tag));
+        encodeOperand(w, i.a);
+        encodeOperand(w, i.b);
+        encodeOperand(w, i.c);
+        w.vi(i.off);
+        for (int lab : i.labs)
+            w.vi(lab);
+        w.b(i.fresh);
+        w.str(i.comment);
+    }
+    w.vi(module.numLabels);
+    w.vu(module.procEntry.size());
+    // Deterministic file bytes: emit the map in sorted order.
+    {
+        std::vector<std::pair<std::string, int>> entries(
+            module.procEntry.begin(), module.procEntry.end());
+        std::sort(entries.begin(), entries.end());
+        for (const auto &[name, label] : entries) {
+            w.str(name);
+            w.vi(label);
+        }
+    }
+    w.vi(module.entryLabel);
+    w.vi(module.failLabel);
+    w.vi(module.numRegs);
+}
+
+Module
+decodeModule(Reader &r, Interner &interner)
+{
+    Module m(interner);
+    std::size_t n = r.count(1);
+    m.code.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        Instr i;
+        i.op = decodeEnum<Op>(
+            r, static_cast<std::uint8_t>(Op::Nop), "bam opcode");
+        i.cond = decodeEnum<Cond>(
+            r, static_cast<std::uint8_t>(Cond::Ge), "condition");
+        i.alu = decodeEnum<AluOp>(
+            r, static_cast<std::uint8_t>(AluOp::Sra), "alu op");
+        i.tag = decodeEnum<Tag>(r, kNumTags - 1, "tag");
+        i.a = decodeOperand(r);
+        i.b = decodeOperand(r);
+        i.c = decodeOperand(r);
+        i.off = static_cast<int>(r.vi());
+        for (int &lab : i.labs)
+            lab = static_cast<int>(r.vi());
+        i.fresh = r.b();
+        i.comment = r.str();
+        m.code.push_back(std::move(i));
+    }
+    m.numLabels = static_cast<int>(r.vi());
+    std::size_t procs = r.count(2);
+    for (std::size_t k = 0; k < procs; ++k) {
+        std::string name = r.str();
+        int label = static_cast<int>(r.vi());
+        m.procEntry.emplace(std::move(name), label);
+    }
+    m.entryLabel = static_cast<int>(r.vi());
+    m.failLabel = static_cast<int>(r.vi());
+    m.numRegs = static_cast<int>(r.vi());
+    return m;
+}
+
+} // namespace symbol::bam

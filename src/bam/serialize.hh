@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Binary encode/decode of the BAM intermediate representation for the
+ * persistent artefact store (see serialize/container.hh for the file
+ * format and version policy).
+ */
+
+#ifndef SYMBOL_BAM_SERIALIZE_HH
+#define SYMBOL_BAM_SERIALIZE_HH
+
+#include "bam/instr.hh"
+#include "serialize/codec.hh"
+
+namespace symbol::bam
+{
+
+void encode(serialize::Writer &w, const Module &module);
+
+/**
+ * Decode a Module bound to @p interner (which must be the table the
+ * module was encoded with — the store round-trips them together).
+ * Throws serialize::DecodeError on malformed input.
+ */
+Module decodeModule(serialize::Reader &r, Interner &interner);
+
+} // namespace symbol::bam
+
+#endif // SYMBOL_BAM_SERIALIZE_HH

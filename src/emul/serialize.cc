@@ -1,0 +1,33 @@
+#include "emul/serialize.hh"
+
+namespace symbol::emul
+{
+
+using serialize::Reader;
+using serialize::Writer;
+
+void
+encode(Writer &w, const RunResult &run)
+{
+    w.b(run.halted);
+    w.vu(run.instructions);
+    w.vu(run.seqCycles);
+    w.vecWord(run.output);
+    w.vecU64(run.profile.expect);
+    w.vecU64(run.profile.taken);
+}
+
+RunResult
+decodeRunResult(Reader &r)
+{
+    RunResult run;
+    run.halted = r.b();
+    run.instructions = r.vu();
+    run.seqCycles = r.vu();
+    run.output = r.vecWord();
+    run.profile.expect = r.vecU64();
+    run.profile.taken = r.vecU64();
+    return run;
+}
+
+} // namespace symbol::emul

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Binary encode/decode of the emulation profile artefact: the
+ * RunResult of the sequential profiling run, carrying the per-ICI
+ * Expect vector, the per-branch taken vector (Probability is derived
+ * from the two), the answer transcript and the cycle totals.
+ */
+
+#ifndef SYMBOL_EMUL_SERIALIZE_HH
+#define SYMBOL_EMUL_SERIALIZE_HH
+
+#include "emul/machine.hh"
+#include "serialize/codec.hh"
+
+namespace symbol::emul
+{
+
+void encode(serialize::Writer &w, const RunResult &run);
+
+/** Throws serialize::DecodeError on malformed input. */
+RunResult decodeRunResult(serialize::Reader &r);
+
+} // namespace symbol::emul
+
+#endif // SYMBOL_EMUL_SERIALIZE_HH

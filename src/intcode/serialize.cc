@@ -1,0 +1,127 @@
+#include "intcode/serialize.hh"
+
+namespace symbol::intcode
+{
+
+using serialize::DecodeError;
+using serialize::Reader;
+using serialize::Writer;
+
+void
+encodeInstr(Writer &w, const IInstr &i)
+{
+    w.u8(static_cast<std::uint8_t>(i.op));
+    w.vi(i.rd);
+    w.vi(i.ra);
+    w.vi(i.rb);
+    w.b(i.useImm);
+    w.fixed64(i.imm);
+    w.vi(i.off);
+    w.vi(i.target);
+    w.u8(static_cast<std::uint8_t>(i.tag));
+    w.vi(i.bam);
+    w.b(i.fresh);
+}
+
+IInstr
+decodeInstr(Reader &r)
+{
+    IInstr i;
+    std::uint8_t op = r.u8();
+    if (op > static_cast<std::uint8_t>(IOp::Nop))
+        throw DecodeError("bad ici opcode");
+    i.op = static_cast<IOp>(op);
+    i.rd = static_cast<int>(r.vi());
+    i.ra = static_cast<int>(r.vi());
+    i.rb = static_cast<int>(r.vi());
+    i.useImm = r.b();
+    i.imm = r.fixed64();
+    i.off = static_cast<int>(r.vi());
+    i.target = static_cast<int>(r.vi());
+    std::uint8_t tag = r.u8();
+    if (tag >= bam::kNumTags)
+        throw DecodeError("bad ici tag");
+    i.tag = static_cast<bam::Tag>(tag);
+    i.bam = static_cast<int>(r.vi());
+    i.fresh = r.b();
+    return i;
+}
+
+void
+encode(Writer &w, const Program &prog)
+{
+    w.vu(prog.code.size());
+    for (const IInstr &i : prog.code)
+        encodeInstr(w, i);
+    w.vi(prog.entry);
+    w.vi(prog.numRegs);
+    w.vecBool(prog.addressTaken);
+    w.vecBool(prog.procEntry);
+    {
+        std::vector<std::uint8_t> ops;
+        ops.reserve(prog.bamOps.size());
+        for (bam::Op op : prog.bamOps)
+            ops.push_back(static_cast<std::uint8_t>(op));
+        w.vecU8(ops);
+    }
+}
+
+Program
+decodeProgram(Reader &r, const Interner *interner)
+{
+    Program p;
+    std::size_t n = r.count(1);
+    p.code.reserve(n);
+    for (std::size_t k = 0; k < n; ++k)
+        p.code.push_back(decodeInstr(r));
+    p.entry = static_cast<int>(r.vi());
+    p.numRegs = static_cast<int>(r.vi());
+    p.addressTaken = r.vecBool();
+    p.procEntry = r.vecBool();
+    for (std::uint8_t op : r.vecU8()) {
+        if (op > static_cast<std::uint8_t>(bam::Op::Nop))
+            throw DecodeError("bad bam provenance opcode");
+        p.bamOps.push_back(static_cast<bam::Op>(op));
+    }
+    p.interner = interner;
+    return p;
+}
+
+void
+encode(Writer &w, const Cfg &cfg)
+{
+    w.vu(cfg.blocks.size());
+    for (const Block &b : cfg.blocks) {
+        w.vi(b.first);
+        w.vi(b.last);
+        w.vecI32(b.succs);
+        w.vecI32(b.preds);
+        w.b(b.addressTaken);
+        w.b(b.procEntry);
+    }
+    w.vecI32(cfg.blockOf);
+    w.vi(cfg.entryBlock);
+}
+
+Cfg
+decodeCfg(Reader &r)
+{
+    Cfg cfg;
+    std::size_t n = r.count(1);
+    cfg.blocks.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        Block b;
+        b.first = static_cast<int>(r.vi());
+        b.last = static_cast<int>(r.vi());
+        b.succs = r.vecI32();
+        b.preds = r.vecI32();
+        b.addressTaken = r.b();
+        b.procEntry = r.b();
+        cfg.blocks.push_back(std::move(b));
+    }
+    cfg.blockOf = r.vecI32();
+    cfg.entryBlock = static_cast<int>(r.vi());
+    return cfg;
+}
+
+} // namespace symbol::intcode

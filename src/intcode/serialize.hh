@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Binary encode/decode of the ICI program and its control-flow graph,
+ * including the per-instruction BAM provenance links that drive the
+ * baseline cycle accounting.
+ */
+
+#ifndef SYMBOL_INTCODE_SERIALIZE_HH
+#define SYMBOL_INTCODE_SERIALIZE_HH
+
+#include "intcode/cfg.hh"
+#include "intcode/instr.hh"
+#include "serialize/codec.hh"
+
+namespace symbol::intcode
+{
+
+void encode(serialize::Writer &w, const Program &prog);
+
+/** One-instruction codec, shared with the VLIW code encoder. */
+void encodeInstr(serialize::Writer &w, const IInstr &i);
+IInstr decodeInstr(serialize::Reader &r);
+
+/**
+ * Decode a Program; its interner pointer is bound to @p interner
+ * (pass nullptr for listings-free use). Throws
+ * serialize::DecodeError on malformed input.
+ */
+Program decodeProgram(serialize::Reader &r, const Interner *interner);
+
+void encode(serialize::Writer &w, const Cfg &cfg);
+Cfg decodeCfg(serialize::Reader &r);
+
+} // namespace symbol::intcode
+
+#endif // SYMBOL_INTCODE_SERIALIZE_HH

@@ -5,6 +5,20 @@
 namespace symbol::machine
 {
 
+std::string
+MachineConfig::fingerprint() const
+{
+    // Every field except the display name and the reporting-only
+    // clock: those change no scheduling or simulation decision.
+    return strprintf(
+        "u%d:a%d:m%d:b%d:mem%d:mpt%d:ml%d:al%d:mvl%d:bp%d:tf%d:"
+        "cl%d:rb%d:bt%d:bl%d",
+        numUnits, aluPerUnit, movePerUnit, branchPerUnit, memPerUnit,
+        memPortsTotal, memLatency, aluLatency, moveLatency,
+        branchPenalty, twoFormats ? 1 : 0, clustered ? 1 : 0,
+        regsPerBank, busTransfersPerCycle, busLatency);
+}
+
 MachineConfig
 MachineConfig::idealShared(int units)
 {

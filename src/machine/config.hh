@@ -73,6 +73,14 @@ struct MachineConfig
     /** Nominal clock for absolute-time reporting (Table 4). */
     double clockMHz = 30.0;
 
+    /**
+     * Canonical text covering every field that influences compaction
+     * or simulation. Keys the per-config compacted-code artefacts of
+     * the persistent store: two configs with equal fingerprints
+     * schedule identically by construction.
+     */
+    std::string fingerprint() const;
+
     /** The shared-memory VLIW of §4.5 with @p units units. */
     static MachineConfig idealShared(int units);
 

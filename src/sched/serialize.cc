@@ -1,0 +1,51 @@
+#include "sched/serialize.hh"
+
+#include "support/text.hh"
+
+namespace symbol::sched
+{
+
+using serialize::Reader;
+using serialize::Writer;
+
+void
+encode(Writer &w, const CompactStats &stats)
+{
+    w.vu(stats.numRegions);
+    w.vu(stats.totalOps);
+    w.vu(stats.wideInstrs);
+    w.f64(stats.avgStaticLength);
+    w.f64(stats.avgDynamicLength);
+    w.f64(stats.avgBlocksPerRegion);
+    w.vi(stats.peakBankPressure);
+}
+
+CompactStats
+decodeCompactStats(Reader &r)
+{
+    CompactStats s;
+    s.numRegions = static_cast<std::size_t>(r.vu());
+    s.totalOps = static_cast<std::size_t>(r.vu());
+    s.wideInstrs = static_cast<std::size_t>(r.vu());
+    s.avgStaticLength = r.f64();
+    s.avgDynamicLength = r.f64();
+    s.avgBlocksPerRegion = r.f64();
+    s.peakBankPressure = static_cast<int>(r.vi());
+    return s;
+}
+
+std::string
+fingerprint(const CompactOptions &opts)
+{
+    // %a renders the exact bit pattern of the doubles, so any change
+    // to a tuning knob changes the key.
+    return strprintf(
+        "tm%d:fd%d:mb%d:mo%d:me%llu:db%a:ce%a",
+        opts.traceMode ? 1 : 0,
+        opts.freshAllocDisambiguation ? 1 : 0, opts.maxTraceBlocks,
+        opts.maxTraceOps,
+        static_cast<unsigned long long>(opts.minEdgeCount),
+        opts.dupBudgetFactor, opts.coldEdgeRatio);
+}
+
+} // namespace symbol::sched

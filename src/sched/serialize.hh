@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Binary encode/decode of compaction statistics, and the compaction
+ * option fingerprint used to key per-config compacted-code artefacts
+ * in the persistent store. Doubles round-trip as exact bit patterns,
+ * so warm-start bench tables render byte-identically.
+ */
+
+#ifndef SYMBOL_SCHED_SERIALIZE_HH
+#define SYMBOL_SCHED_SERIALIZE_HH
+
+#include <string>
+
+#include "sched/compact.hh"
+#include "serialize/codec.hh"
+
+namespace symbol::sched
+{
+
+void encode(serialize::Writer &w, const CompactStats &stats);
+
+/** Throws serialize::DecodeError on malformed input. */
+CompactStats decodeCompactStats(serialize::Reader &r);
+
+/** Canonical text covering every CompactOptions field; part of the
+ *  store key of compacted-code artefacts. */
+std::string fingerprint(const CompactOptions &opts);
+
+} // namespace symbol::sched
+
+#endif // SYMBOL_SCHED_SERIALIZE_HH

@@ -1,0 +1,273 @@
+#include "serialize/codec.hh"
+
+#include <cstring>
+
+namespace symbol::serialize
+{
+
+std::uint64_t
+fnv1a(const void *data, std::size_t n, std::uint64_t seed)
+{
+    const unsigned char *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+void
+Writer::fixed32(std::uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+Writer::fixed64(std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        u8(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void
+Writer::vu(std::uint64_t v)
+{
+    while (v >= 0x80) {
+        u8(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(v));
+}
+
+void
+Writer::vi(std::int64_t v)
+{
+    // Zigzag: small magnitudes of either sign stay one byte.
+    vu((static_cast<std::uint64_t>(v) << 1) ^
+       static_cast<std::uint64_t>(v >> 63));
+}
+
+void
+Writer::f64(double v)
+{
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    fixed64(bits);
+}
+
+void
+Writer::str(const std::string &s)
+{
+    vu(s.size());
+    buf_.append(s);
+}
+
+void
+Writer::vecU64(const std::vector<std::uint64_t> &v)
+{
+    vu(v.size());
+    for (std::uint64_t x : v)
+        vu(x);
+}
+
+void
+Writer::vecWord(const std::vector<std::uint64_t> &v)
+{
+    vu(v.size());
+    for (std::uint64_t x : v)
+        fixed64(x);
+}
+
+void
+Writer::vecI32(const std::vector<int> &v)
+{
+    vu(v.size());
+    for (int x : v)
+        vi(x);
+}
+
+void
+Writer::vecBool(const std::vector<bool> &v)
+{
+    vu(v.size());
+    for (bool x : v)
+        b(x);
+}
+
+void
+Writer::vecU8(const std::vector<std::uint8_t> &v)
+{
+    vu(v.size());
+    for (std::uint8_t x : v)
+        u8(x);
+}
+
+const char *
+Reader::need(std::size_t n)
+{
+    if (static_cast<std::size_t>(end_ - p_) < n)
+        throw DecodeError("unexpected end of payload");
+    const char *at = p_;
+    p_ += n;
+    return at;
+}
+
+std::uint8_t
+Reader::u8()
+{
+    return static_cast<std::uint8_t>(*need(1));
+}
+
+std::uint32_t
+Reader::fixed32()
+{
+    const char *p = need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+        v |= static_cast<std::uint32_t>(
+                 static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint64_t
+Reader::fixed64()
+{
+    const char *p = need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(
+                 static_cast<unsigned char>(p[i]))
+             << (8 * i);
+    return v;
+}
+
+std::uint64_t
+Reader::vu()
+{
+    std::uint64_t v = 0;
+    for (int shift = 0; shift < 64; shift += 7) {
+        std::uint8_t byte = u8();
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80)) {
+            // Reject non-canonical high bits past bit 63.
+            if (shift == 63 && (byte & 0x7e))
+                throw DecodeError("varint overflows 64 bits");
+            return v;
+        }
+    }
+    throw DecodeError("varint longer than 10 bytes");
+}
+
+std::int64_t
+Reader::vi()
+{
+    std::uint64_t z = vu();
+    return static_cast<std::int64_t>(z >> 1) ^
+           -static_cast<std::int64_t>(z & 1);
+}
+
+bool
+Reader::b()
+{
+    std::uint8_t v = u8();
+    if (v > 1)
+        throw DecodeError("boolean out of range");
+    return v != 0;
+}
+
+double
+Reader::f64()
+{
+    std::uint64_t bits = fixed64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+}
+
+std::string
+Reader::str()
+{
+    std::size_t n = count(1);
+    const char *p = need(n);
+    return std::string(p, n);
+}
+
+std::size_t
+Reader::count(std::size_t minElemBytes)
+{
+    std::uint64_t n = vu();
+    if (minElemBytes == 0)
+        minElemBytes = 1;
+    // Floor division keeps the comparison exact and overflow-free
+    // even for counts near 2^64.
+    if (n > remaining() / minElemBytes)
+        throw DecodeError("collection count exceeds payload");
+    return static_cast<std::size_t>(n);
+}
+
+std::vector<std::uint64_t>
+Reader::vecU64()
+{
+    std::size_t n = count(1);
+    std::vector<std::uint64_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = vu();
+    return v;
+}
+
+std::vector<std::uint64_t>
+Reader::vecWord()
+{
+    std::size_t n = count(8);
+    std::vector<std::uint64_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = fixed64();
+    return v;
+}
+
+std::vector<int>
+Reader::vecI32()
+{
+    std::size_t n = count(1);
+    std::vector<int> v(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::int64_t x = vi();
+        if (x < INT32_MIN || x > INT32_MAX)
+            throw DecodeError("int32 out of range");
+        v[i] = static_cast<int>(x);
+    }
+    return v;
+}
+
+std::vector<bool>
+Reader::vecBool()
+{
+    std::size_t n = count(1);
+    std::vector<bool> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = b();
+    return v;
+}
+
+std::vector<std::uint8_t>
+Reader::vecU8()
+{
+    std::size_t n = count(1);
+    std::vector<std::uint8_t> v(n);
+    for (std::size_t i = 0; i < n; ++i)
+        v[i] = u8();
+    return v;
+}
+
+void
+Reader::expectEnd() const
+{
+    if (p_ != end_)
+        throw DecodeError("trailing bytes after payload");
+}
+
+} // namespace symbol::serialize

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Reusable byte codec for the persistent artefact store.
+ *
+ * Writer appends primitive values to a growable byte buffer; Reader
+ * decodes them back with strict bounds checking. Integers use LEB128
+ * varints (zigzag for signed values) so the common small counts and
+ * register numbers cost one byte; doubles are stored as their exact
+ * IEEE-754 bit pattern so reload is bit-identical; header fields use
+ * fixed-width little-endian so offsets are predictable.
+ *
+ * Robustness contract: a Reader NEVER exhibits undefined behaviour on
+ * arbitrary input bytes. Every primitive read is bounds-checked and
+ * every collection count is validated against the remaining payload
+ * (each element costs at least one byte), so a hostile or corrupted
+ * buffer can only produce a DecodeError — never an overread, an
+ * overflow, or a multi-gigabyte allocation.
+ */
+
+#ifndef SYMBOL_SERIALIZE_CODEC_HH
+#define SYMBOL_SERIALIZE_CODEC_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace symbol::serialize
+{
+
+/** Thrown by Reader on any malformed input. The artefact store
+ *  converts it (and any other failure) into a cache miss. */
+class DecodeError : public std::runtime_error
+{
+  public:
+    explicit DecodeError(const std::string &what)
+        : std::runtime_error("decode: " + what)
+    {
+    }
+};
+
+/** FNV-1a 64-bit hash over @p n bytes, continuing from @p seed. */
+std::uint64_t fnv1a(const void *data, std::size_t n,
+                    std::uint64_t seed = 14695981039346656037ull);
+
+/** Append-only encoder. */
+class Writer
+{
+  public:
+    void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+    void fixed32(std::uint32_t v); ///< little-endian, 4 bytes
+    void fixed64(std::uint64_t v); ///< little-endian, 8 bytes
+    void vu(std::uint64_t v);      ///< LEB128 varint
+    void vi(std::int64_t v);       ///< zigzag varint
+    void b(bool v) { u8(v ? 1 : 0); }
+    void f64(double v); ///< IEEE-754 bit pattern, fixed64
+    void str(const std::string &s);
+
+    /** Varint vector (counts, register indices as zigzag below). */
+    void vecU64(const std::vector<std::uint64_t> &v);
+    /** Fixed64 vector (tagged machine words). */
+    void vecWord(const std::vector<std::uint64_t> &v);
+    void vecI32(const std::vector<int> &v);
+    void vecBool(const std::vector<bool> &v);
+    void vecU8(const std::vector<std::uint8_t> &v);
+
+    const std::string &bytes() const { return buf_; }
+    std::string take() { return std::move(buf_); }
+    std::size_t size() const { return buf_.size(); }
+
+  private:
+    std::string buf_;
+};
+
+/** Bounds-checked decoder over a borrowed byte range. */
+class Reader
+{
+  public:
+    Reader(const char *data, std::size_t n) : p_(data), end_(data + n)
+    {
+    }
+    explicit Reader(const std::string &bytes)
+        : Reader(bytes.data(), bytes.size())
+    {
+    }
+
+    std::uint8_t u8();
+    std::uint32_t fixed32();
+    std::uint64_t fixed64();
+    std::uint64_t vu();
+    std::int64_t vi();
+    bool b();
+    double f64();
+    std::string str();
+
+    std::vector<std::uint64_t> vecU64();
+    std::vector<std::uint64_t> vecWord();
+    std::vector<int> vecI32();
+    std::vector<bool> vecBool();
+    std::vector<std::uint8_t> vecU8();
+
+    std::size_t remaining() const
+    {
+        return static_cast<std::size_t>(end_ - p_);
+    }
+    bool atEnd() const { return p_ == end_; }
+    /** Throw unless the payload was consumed exactly. */
+    void expectEnd() const;
+
+    /**
+     * Validate a collection count read from the wire: each element
+     * occupies at least @p minElemBytes, so a count larger than the
+     * remaining payload proves corruption before any allocation.
+     */
+    std::size_t count(std::size_t minElemBytes = 1);
+
+  private:
+    const char *need(std::size_t n);
+    const char *p_;
+    const char *end_;
+};
+
+} // namespace symbol::serialize
+
+#endif // SYMBOL_SERIALIZE_CODEC_HH

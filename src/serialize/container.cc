@@ -1,0 +1,149 @@
+#include "serialize/container.hh"
+
+#include <cstring>
+
+namespace symbol::serialize
+{
+
+const char kMagic[4] = {'S', 'Y', 'A', 'F'};
+
+namespace
+{
+
+constexpr std::size_t kHeaderBytes = 4 + 4 + 4 + 8;
+constexpr std::size_t kTableEntryBytes = 4 + 8 + 8;
+
+} // namespace
+
+std::string
+packContainer(const std::vector<Section> &sections,
+              std::uint32_t version)
+{
+    Writer table;
+    for (const Section &s : sections) {
+        table.fixed32(s.id);
+        table.fixed64(s.payload.size());
+        table.fixed64(fnv1a(s.payload.data(), s.payload.size()));
+    }
+
+    std::string head;
+    head.append(kMagic, sizeof kMagic);
+    Writer h;
+    h.fixed32(version);
+    h.fixed32(static_cast<std::uint32_t>(sections.size()));
+    h.fixed64(fnv1a(table.bytes().data(), table.bytes().size()));
+    head += h.bytes();
+    head += table.bytes();
+    for (const Section &s : sections)
+        head += s.payload;
+    return head;
+}
+
+namespace
+{
+
+/** Shared parse used by both unpack and check. Throws DecodeError. */
+Container
+parse(const std::string &bytes, std::uint32_t expectVersion)
+{
+    if (bytes.size() < kHeaderBytes)
+        throw DecodeError("file shorter than header");
+    if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
+        throw DecodeError("bad magic");
+
+    Reader r(bytes.data() + sizeof kMagic,
+             bytes.size() - sizeof kMagic);
+    Container c;
+    c.version = r.fixed32();
+    if (expectVersion != 0 && c.version != expectVersion)
+        throw DecodeError(
+            "format version mismatch (file v" +
+            std::to_string(c.version) + ", expected v" +
+            std::to_string(expectVersion) + ")");
+    std::uint32_t count = r.fixed32();
+    std::uint64_t tableSum = r.fixed64();
+    if (static_cast<std::uint64_t>(count) * kTableEntryBytes >
+        r.remaining())
+        throw DecodeError("section table exceeds file size");
+
+    std::size_t tableBytes = count * kTableEntryBytes;
+    std::size_t tableOff = kHeaderBytes;
+    if (fnv1a(bytes.data() + tableOff, tableBytes) != tableSum)
+        throw DecodeError("section table checksum mismatch");
+
+    struct Row
+    {
+        std::uint32_t id;
+        std::uint64_t size;
+        std::uint64_t sum;
+    };
+    std::vector<Row> rows(count);
+    for (Row &row : rows) {
+        row.id = r.fixed32();
+        row.size = r.fixed64();
+        row.sum = r.fixed64();
+    }
+
+    std::size_t off = tableOff + tableBytes;
+    for (const Row &row : rows) {
+        if (row.size > bytes.size() - off)
+            throw DecodeError("section payload exceeds file size");
+        if (fnv1a(bytes.data() + off, row.size) != row.sum)
+            throw DecodeError("payload checksum mismatch (section " +
+                              std::to_string(row.id) + ")");
+        if (!c.sections
+                 .emplace(row.id, bytes.substr(off, row.size))
+                 .second)
+            throw DecodeError("duplicate section id " +
+                              std::to_string(row.id));
+        off += row.size;
+    }
+    if (off != bytes.size())
+        throw DecodeError("trailing bytes after last section");
+    return c;
+}
+
+} // namespace
+
+const std::string &
+Container::section(std::uint32_t id) const
+{
+    auto it = sections.find(id);
+    if (it == sections.end())
+        throw DecodeError("missing section " + std::to_string(id));
+    return it->second;
+}
+
+Container
+unpackContainer(const std::string &bytes, std::uint32_t expectVersion)
+{
+    return parse(bytes, expectVersion);
+}
+
+ContainerCheck
+checkContainer(const std::string &bytes, std::uint32_t expectVersion)
+{
+    ContainerCheck res;
+    res.bytes = bytes.size();
+    try {
+        Container c = parse(bytes, expectVersion);
+        res.ok = true;
+        res.version = c.version;
+        res.sections = c.sections.size();
+    } catch (const DecodeError &e) {
+        res.problem = e.what();
+        // Best effort: report the version even of a rejected file.
+        if (bytes.size() >= 8 &&
+            std::memcmp(bytes.data(), kMagic, sizeof kMagic) == 0) {
+            std::uint32_t v = 0;
+            for (int i = 0; i < 4; ++i)
+                v |= static_cast<std::uint32_t>(
+                         static_cast<unsigned char>(bytes[4 + i]))
+                     << (8 * i);
+            res.version = v;
+        }
+    }
+    return res;
+}
+
+} // namespace symbol::serialize

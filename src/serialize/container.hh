@@ -1,0 +1,93 @@
+/**
+ * @file
+ * The on-disk container of the persistent artefact store.
+ *
+ * Layout (all header fields little-endian fixed-width):
+ *
+ *   offset 0   magic "SYAF" (SYmbol Artefact File)
+ *          4   u32 format version (kFormatVersion)
+ *          8   u32 section count
+ *         12   u64 FNV-1a checksum of the section table
+ *         20   section table: per section
+ *                u32 id | u64 payload size | u64 FNV-1a of payload
+ *         ...  payloads, concatenated in table order
+ *
+ * Version policy: kFormatVersion covers EVERY artefact encoding in
+ * the toolchain — any change to any encoder bumps it, and any
+ * mismatch (older or newer) makes the whole file a cache miss. There
+ * is deliberately no migration path: artefacts are pure caches and
+ * rebuilding them is always correct.
+ *
+ * Robustness: unpack/check validate magic, version, table checksum,
+ * section bounds against the real file size, and every payload
+ * checksum — a truncated, bit-flipped or version-bumped file is
+ * reported as such and never reaches the artefact decoders.
+ */
+
+#ifndef SYMBOL_SERIALIZE_CONTAINER_HH
+#define SYMBOL_SERIALIZE_CONTAINER_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "serialize/codec.hh"
+
+namespace symbol::serialize
+{
+
+/** Bump on ANY change to ANY artefact encoding (see header). */
+constexpr std::uint32_t kFormatVersion = 1;
+
+/** The 4 magic bytes opening every store file. */
+extern const char kMagic[4];
+
+/** One section to be packed. */
+struct Section
+{
+    std::uint32_t id = 0;
+    std::string payload;
+};
+
+/** Serialize @p sections into one self-checking container. */
+std::string packContainer(const std::vector<Section> &sections,
+                          std::uint32_t version = kFormatVersion);
+
+/** A parsed container: section id -> payload bytes. */
+struct Container
+{
+    std::uint32_t version = 0;
+    std::map<std::uint32_t, std::string> sections;
+
+    /** The payload of @p id (throws DecodeError if absent). */
+    const std::string &section(std::uint32_t id) const;
+};
+
+/**
+ * Parse and fully validate @p bytes. Throws DecodeError on any
+ * corruption or if the version differs from @p expectVersion
+ * (pass 0 to accept any version — used by the verifier).
+ */
+Container unpackContainer(const std::string &bytes,
+                          std::uint32_t expectVersion = kFormatVersion);
+
+/** Non-throwing validation verdict for `symbolc --cache-verify`. */
+struct ContainerCheck
+{
+    bool ok = false;
+    std::uint32_t version = 0;
+    std::size_t sections = 0;
+    std::size_t bytes = 0;
+    /** Human-readable reason when !ok. */
+    std::string problem;
+};
+
+/** Validate @p bytes without decoding any artefact. */
+ContainerCheck checkContainer(
+    const std::string &bytes,
+    std::uint32_t expectVersion = kFormatVersion);
+
+} // namespace symbol::serialize
+
+#endif // SYMBOL_SERIALIZE_CONTAINER_HH

@@ -1,0 +1,32 @@
+#include "serialize/interner.hh"
+
+namespace symbol::serialize
+{
+
+void
+encode(Writer &w, const Interner &interner)
+{
+    w.vu(interner.size());
+    for (std::size_t id = 0; id < interner.size(); ++id)
+        w.str(interner.name(static_cast<AtomId>(id)));
+}
+
+Interner
+decodeInterner(Reader &r)
+{
+    std::size_t n = r.count(1);
+    Interner interner;
+    // The constructor pre-interns its service atoms; a valid encoded
+    // table starts with exactly those names, so re-interning the
+    // whole list in order must land every name on its own index.
+    if (n < interner.size())
+        throw DecodeError("interner table misses service atoms");
+    for (std::size_t id = 0; id < n; ++id) {
+        std::string name = r.str();
+        if (interner.intern(name) != static_cast<AtomId>(id))
+            throw DecodeError("interner table is not dense");
+    }
+    return interner;
+}
+
+} // namespace symbol::serialize

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Interned-symbol-table serialization.
+ *
+ * The Interner maps atoms to dense ids in first-intern order, so the
+ * table round-trips as the ordered list of names: re-interning them
+ * in sequence reproduces every id exactly, which keeps all Atm/Fun
+ * words in serialized artefacts valid against the reloaded table.
+ */
+
+#ifndef SYMBOL_SERIALIZE_INTERNER_HH
+#define SYMBOL_SERIALIZE_INTERNER_HH
+
+#include "serialize/codec.hh"
+#include "support/interner.hh"
+
+namespace symbol::serialize
+{
+
+void encode(Writer &w, const Interner &interner);
+
+/** Rebuild an Interner with identical ids. Throws DecodeError if the
+ *  stream is malformed or the names are not a valid dense table. */
+Interner decodeInterner(Reader &r);
+
+} // namespace symbol::serialize
+
+#endif // SYMBOL_SERIALIZE_INTERNER_HH

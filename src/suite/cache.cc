@@ -1,5 +1,6 @@
 #include "suite/cache.hh"
 
+#include "suite/store.hh"
 #include "support/text.hh"
 
 namespace symbol::suite
@@ -35,7 +36,7 @@ WorkloadCache::keyOf(const Benchmark &bench,
 
 const Workload &
 WorkloadCache::get(const Benchmark &bench, const WorkloadOptions &opts,
-                   bool *wasHit)
+                   WorkloadOrigin *origin)
 {
     std::string key = keyOf(bench, opts);
     std::shared_ptr<Entry> entry;
@@ -46,7 +47,7 @@ WorkloadCache::get(const Benchmark &bench, const WorkloadOptions &opts,
         if (it == map_.end()) {
             entry = std::make_shared<Entry>();
             entry->bench = bench;
-            map_.emplace(std::move(key), entry);
+            map_.emplace(key, entry);
             builder = true;
             ++stats_.misses;
         } else {
@@ -54,17 +55,41 @@ WorkloadCache::get(const Benchmark &bench, const WorkloadOptions &opts,
             ++stats_.hits;
         }
     }
-    if (wasHit)
-        *wasHit = !builder;
+    if (origin)
+        *origin = builder ? WorkloadOrigin::Built
+                          : WorkloadOrigin::Memory;
 
     if (builder) {
         std::unique_ptr<Workload> w;
         std::exception_ptr err;
-        try {
-            w = std::make_unique<Workload>(entry->bench, opts);
-        } catch (...) {
-            err = std::current_exception();
+        // Disk first: a valid store bundle replaces the whole front
+        // half. Any store problem degrades silently to a rebuild.
+        if (store_) {
+            WorkloadSnapshot snap;
+            if (store_->loadWorkload(key, snap)) {
+                try {
+                    w = std::make_unique<Workload>(
+                        entry->bench, opts, std::move(snap));
+                    if (origin)
+                        *origin = WorkloadOrigin::Disk;
+                    std::lock_guard<std::mutex> lk(mu_);
+                    ++stats_.diskLoads;
+                } catch (...) {
+                    w.reset();
+                }
+            }
         }
+        if (!w) {
+            try {
+                w = std::make_unique<Workload>(entry->bench, opts);
+                if (store_)
+                    store_->storeWorkload(key, *w);
+            } catch (...) {
+                err = std::current_exception();
+            }
+        }
+        if (w && store_)
+            w->attachStore(store_, key);
         {
             std::lock_guard<std::mutex> lk(entry->m);
             entry->workload = std::move(w);

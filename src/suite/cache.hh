@@ -41,6 +41,8 @@
 namespace symbol::suite
 {
 
+class ArtifactStore;
+
 /** Hit/miss counters of one WorkloadCache. */
 struct CacheStats
 {
@@ -48,6 +50,16 @@ struct CacheStats
     std::uint64_t misses = 0;
     /** Hits that had to wait for an in-flight build of the key. */
     std::uint64_t inFlightWaits = 0;
+    /** Memory misses served by the persistent store (no rebuild). */
+    std::uint64_t diskLoads = 0;
+};
+
+/** Where a requested Workload came from. */
+enum class WorkloadOrigin : std::uint8_t
+{
+    Built,  ///< full pipeline ran (memory and disk miss)
+    Disk,   ///< restored from the persistent artefact store
+    Memory, ///< already resident in this cache
 };
 
 class WorkloadCache
@@ -58,15 +70,22 @@ class WorkloadCache
     WorkloadCache &operator=(const WorkloadCache &) = delete;
 
     /**
+     * Attach a persistent store consulted before building and
+     * populated after. Must be called before the first get(); the
+     * store must outlive the cache.
+     */
+    void setStore(ArtifactStore *store) { store_ = store; }
+
+    /**
      * The Workload for (@p bench, @p opts), building it on first
      * request. The reference stays valid for the cache's lifetime.
      * Thread-safe; rethrows the original build error on every
-     * request for a key whose build failed. @p wasHit, when given,
-     * receives whether the artefact already existed.
+     * request for a key whose build failed. @p origin, when given,
+     * receives where the artefact came from.
      */
     const Workload &get(const Benchmark &bench,
                         const WorkloadOptions &opts = {},
-                        bool *wasHit = nullptr);
+                        WorkloadOrigin *origin = nullptr);
 
     /** The cache key of (@p bench, @p opts) — fingerprint + hash +
      *  source; exposed for tests and reporting. */
@@ -94,6 +113,7 @@ class WorkloadCache
     mutable std::mutex mu_;
     std::unordered_map<std::string, std::shared_ptr<Entry>> map_;
     CacheStats stats_;
+    ArtifactStore *store_ = nullptr;
 };
 
 } // namespace symbol::suite

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <set>
 
@@ -35,13 +36,17 @@ cpuNow()
 std::string
 DriverStats::str(unsigned jobs) const
 {
-    return strprintf(
+    std::string line = strprintf(
         "[driver] jobs=%u: %llu tasks, %llu workloads built, "
-        "%llu cache hits, wall %.2fs, cpu %.2fs",
+        "%llu cache hits, %llu disk hits, wall %.2fs, cpu %.2fs",
         jobs, static_cast<unsigned long long>(tasksRun),
         static_cast<unsigned long long>(workloadsBuilt),
-        static_cast<unsigned long long>(cacheHits), wallSeconds,
+        static_cast<unsigned long long>(cacheHits),
+        static_cast<unsigned long long>(diskHits), wallSeconds,
         cpuSeconds);
+    if (hasStore)
+        line += "\n" + store.str();
+    return line;
 }
 
 EvalDriver::Timer::Timer(EvalDriver &d, std::size_t tasks)
@@ -61,6 +66,22 @@ EvalDriver::EvalDriver(const DriverOptions &opts)
     : opts_(opts),
       pool_(std::make_unique<support::ThreadPool>(opts.jobs))
 {
+    std::string dir = opts.cacheDir;
+    if (dir.empty())
+        if (const char *env = std::getenv("SYMBOL_CACHE_DIR"))
+            dir = env;
+    if (!dir.empty() && opts_.useCache) {
+        try {
+            store_ = std::make_unique<ArtifactStore>(dir);
+            cache_.setStore(store_.get());
+        } catch (const std::exception &e) {
+            // An unusable store directory degrades to memory-only
+            // caching — never a failed run.
+            std::fprintf(stderr, "[driver] %s (running without "
+                                 "disk store)\n",
+                         e.what());
+        }
+    }
 }
 
 EvalDriver::~EvalDriver() = default;
@@ -78,14 +99,21 @@ EvalDriver::workload(const Benchmark &bench,
 {
     if (!opts_.useCache)
         return fresh(bench, opts);
-    bool hit = false;
-    const Workload &w = cache_.get(bench, opts, &hit);
+    WorkloadOrigin origin = WorkloadOrigin::Built;
+    const Workload &w = cache_.get(bench, opts, &origin);
     {
         std::lock_guard<std::mutex> lk(mu_);
-        if (hit)
+        switch (origin) {
+        case WorkloadOrigin::Memory:
             ++stats_.cacheHits;
-        else
+            break;
+        case WorkloadOrigin::Disk:
+            ++stats_.diskHits;
+            break;
+        case WorkloadOrigin::Built:
             ++stats_.workloadsBuilt;
+            break;
+        }
     }
     return w;
 }
@@ -143,8 +171,16 @@ EvalDriver::sweep(const std::vector<EvalTask> &tasks)
 DriverStats
 EvalDriver::stats() const
 {
-    std::lock_guard<std::mutex> lk(mu_);
-    return stats_;
+    DriverStats out;
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        out = stats_;
+    }
+    if (store_) {
+        out.hasStore = true;
+        out.store = store_->stats();
+    }
+    return out;
 }
 
 void

@@ -28,6 +28,7 @@
 #include "machine/config.hh"
 #include "suite/cache.hh"
 #include "suite/pipeline.hh"
+#include "suite/store.hh"
 #include "support/threadpool.hh"
 
 namespace symbol::suite
@@ -41,18 +42,31 @@ struct DriverOptions
     /** Reuse front-end artefacts across tasks (content-keyed). When
      *  off, every workload request rebuilds and re-emulates. */
     bool useCache = true;
+    /**
+     * Directory of the persistent artefact store shared across
+     * processes; empty = the SYMBOL_CACHE_DIR environment variable,
+     * and when that is unset too, no disk store. Requires useCache.
+     */
+    std::string cacheDir;
 };
 
 /** Aggregate accounting across a driver's lifetime. */
 struct DriverStats
 {
     std::uint64_t tasksRun = 0;
+    /** Workloads built by running the full front half. */
     std::uint64_t workloadsBuilt = 0;
+    /** In-memory cache hits. */
     std::uint64_t cacheHits = 0;
+    /** Memory misses restored from the persistent store. */
+    std::uint64_t diskHits = 0;
     double wallSeconds = 0.0;
     double cpuSeconds = 0.0;
+    /** Disk-store traffic; zeros when no store is attached. */
+    bool hasStore = false;
+    StoreStats store;
 
-    /** One-line human-readable summary. */
+    /** Human-readable summary (a second line covers the store). */
     std::string str(unsigned jobs) const;
 };
 
@@ -73,6 +87,8 @@ class EvalDriver
 
     unsigned jobs() const { return pool_->size(); }
     support::ThreadPool &pool() { return *pool_; }
+    /** The persistent store, or nullptr when none is configured. */
+    ArtifactStore *store() { return store_.get(); }
 
     /**
      * The workload of a suite benchmark (by name) or an arbitrary
@@ -153,6 +169,8 @@ class EvalDriver
 
     DriverOptions opts_;
     std::unique_ptr<support::ThreadPool> pool_;
+    /** Declared before cache_: the cache holds a raw pointer. */
+    std::unique_ptr<ArtifactStore> store_;
     WorkloadCache cache_;
 
     mutable std::mutex mu_;

@@ -1,6 +1,8 @@
 #include "suite/pipeline.hh"
 
 #include "analysis/stats.hh"
+#include "sched/serialize.hh"
+#include "suite/store.hh"
 #include "support/diagnostics.hh"
 
 namespace symbol::suite
@@ -16,6 +18,7 @@ Workload::Workload(const Benchmark &bench, const WorkloadOptions &opts)
         bamc::compile(*prog_, opts.compiler));
     ici_ = std::make_unique<intcode::Program>(
         intcode::translate(*module_, opts.translate));
+    cfg_ = std::make_unique<intcode::Cfg>(intcode::Cfg::build(*ici_));
 
     emul::Machine machine(*ici_);
     emul::RunOptions ro;
@@ -25,6 +28,57 @@ Workload::Workload(const Benchmark &bench, const WorkloadOptions &opts)
         throw RuntimeError(bench.name +
                            ": sequential run did not halt");
     seqOutput_ = machine.decodeOutput();
+}
+
+Workload::Workload(const Benchmark &bench, const WorkloadOptions &opts,
+                   WorkloadSnapshot &&snap)
+    : bench_(&bench), maxSteps_(opts.maxSteps)
+{
+    interner_ = std::move(snap.interner);
+    module_ = std::move(snap.module);
+    ici_ = std::move(snap.ici);
+    cfg_ = std::move(snap.cfg);
+    run_ = std::move(snap.run);
+    seqOutput_ = std::move(snap.seqOutput);
+    // Rebind the listing interner pointers onto the restored table
+    // (the decoders already did; this survives future refactors).
+    module_->interner = interner_.get();
+    ici_->interner = interner_.get();
+    for (const auto &[lat, pen, cycles] : snap.seqCycles)
+        seqCache_.emplace(
+            std::pair<int, int>{static_cast<int>(lat),
+                                static_cast<int>(pen)},
+            static_cast<std::uint64_t>(cycles));
+}
+
+void
+Workload::attachStore(ArtifactStore *store, std::string workloadKey)
+{
+    store_ = store;
+    storeKey_ = std::move(workloadKey);
+}
+
+std::vector<std::array<std::int64_t, 3>>
+Workload::seqCycleSnapshot() const
+{
+    std::lock_guard<std::mutex> lk(seqMu_);
+    std::vector<std::array<std::int64_t, 3>> out;
+    out.reserve(seqCache_.size());
+    for (const auto &[key, cycles] : seqCache_)
+        out.push_back({key.first, key.second,
+                       static_cast<std::int64_t>(cycles)});
+    return out;
+}
+
+void
+Workload::noteSeqCycles(const machine::MachineConfig &config,
+                        std::uint64_t cycles) const
+{
+    std::pair<int, int> key{config.memLatency, config.branchPenalty};
+    if (key == std::pair<int, int>{2, 1})
+        return; // the default model reads run_.seqCycles directly
+    std::lock_guard<std::mutex> lk(seqMu_);
+    seqCache_.emplace(key, cycles);
 }
 
 std::uint64_t
@@ -67,12 +121,11 @@ Workload::answerMatches() const
 }
 
 VliwRun
-Workload::runVliw(const machine::MachineConfig &config,
-                  const sched::CompactOptions &copts) const
+Workload::simulate(const vliw::Code &code,
+                   const sched::CompactStats &stats,
+                   const machine::MachineConfig &config) const
 {
-    sched::CompactResult cr =
-        sched::compact(*ici_, run_.profile, config, copts);
-    vliw::Machine vm(cr.code, config);
+    vliw::Machine vm(code, config);
     vliw::SimOptions so;
     so.maxCycles = maxSteps_ * 4;
     vliw::SimResult sr = vm.run(so);
@@ -83,7 +136,7 @@ Workload::runVliw(const machine::MachineConfig &config,
     out.opsExecuted = sr.opsExecuted;
     out.latencyViolations = sr.latencyViolations;
     out.output = vm.decodeOutput();
-    out.stats = cr.stats;
+    out.stats = stats;
     out.speedupVsSeq =
         sr.cycles ? static_cast<double>(seqCyclesFor(config)) /
                         static_cast<double>(sr.cycles)
@@ -96,6 +149,35 @@ Workload::runVliw(const machine::MachineConfig &config,
         throw RuntimeError(bench_->name + " (" + config.name +
                            "): schedule violates latencies");
     return out;
+}
+
+VliwRun
+Workload::runVliw(const machine::MachineConfig &config,
+                  const sched::CompactOptions &copts) const
+{
+    if (store_) {
+        std::string key = storeKey_ + "|cfg=" + config.fingerprint() +
+                          "|sch=" + sched::fingerprint(copts);
+        vliw::Code code;
+        sched::CompactStats stats;
+        std::uint64_t seqCycles = 0;
+        if (store_->loadVliw(key, interner_.get(), code, stats,
+                             seqCycles)) {
+            // The persisted per-config sequential cycle count saves
+            // the speedup baseline re-emulation on warm starts.
+            noteSeqCycles(config, seqCycles);
+            return simulate(code, stats, config);
+        }
+        sched::CompactResult cr =
+            sched::compact(*ici_, run_.profile, config, copts);
+        VliwRun out = simulate(cr.code, cr.stats, config);
+        store_->storeVliw(key, cr.code, cr.stats,
+                          seqCyclesFor(config));
+        return out;
+    }
+    sched::CompactResult cr =
+        sched::compact(*ici_, run_.profile, config, copts);
+    return simulate(cr.code, cr.stats, config);
 }
 
 } // namespace symbol::suite

@@ -12,13 +12,16 @@
 #ifndef SYMBOL_SUITE_PIPELINE_HH
 #define SYMBOL_SUITE_PIPELINE_HH
 
+#include <array>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "bamc/compiler.hh"
 #include "emul/machine.hh"
+#include "intcode/cfg.hh"
 #include "intcode/translate.hh"
 #include "prolog/parser.hh"
 #include "sched/compact.hh"
@@ -27,6 +30,8 @@
 
 namespace symbol::suite
 {
+
+class ArtifactStore;
 
 /** Front-end configuration for a Workload. */
 struct WorkloadOptions
@@ -48,6 +53,25 @@ struct VliwRun
     sched::CompactStats stats;
 };
 
+/**
+ * Everything the persistent artefact store needs to resurrect a
+ * Workload without parsing, compiling or emulating: the four
+ * expensive pipeline artefacts plus the interner they share. Moved
+ * into the restoring Workload wholesale.
+ */
+struct WorkloadSnapshot
+{
+    std::unique_ptr<Interner> interner;
+    std::unique_ptr<bam::Module> module;
+    std::unique_ptr<intcode::Program> ici;
+    std::unique_ptr<intcode::Cfg> cfg;
+    emul::RunResult run;
+    std::string seqOutput;
+    /** Persisted seqCyclesFor cache: {memLatency, branchPenalty,
+     *  cycles} triples. */
+    std::vector<std::array<std::int64_t, 3>> seqCycles;
+};
+
 /** A benchmark carried through the front half of the pipeline. */
 class Workload
 {
@@ -55,9 +79,33 @@ class Workload
     explicit Workload(const Benchmark &bench,
                       const WorkloadOptions &opts = {});
 
+    /**
+     * Restore from a store snapshot: no parse, no compile, no
+     * emulation. The result is indistinguishable from a fresh build
+     * of the same (bench, opts) — the round-trip tests assert
+     * bit-identical profiles and outputs.
+     */
+    Workload(const Benchmark &bench, const WorkloadOptions &opts,
+             WorkloadSnapshot &&snap);
+
     const Benchmark &bench() const { return *bench_; }
+    const Interner &interner() const { return *interner_; }
+    const bam::Module &bamModule() const { return *module_; }
     const intcode::Program &ici() const { return *ici_; }
+    /** Basic-block CFG of ici(), prebuilt and persisted. */
+    const intcode::Cfg &cfg() const { return *cfg_; }
     const emul::Profile &profile() const { return run_.profile; }
+    /** Full profiling-run result (for the artefact store). */
+    const emul::RunResult &runResult() const { return run_; }
+    /** Snapshot of the per-latency sequential-cycle cache. */
+    std::vector<std::array<std::int64_t, 3>> seqCycleSnapshot() const;
+
+    /**
+     * Attach the persistent store: runVliw() will look up compacted
+     * code under @p workloadKey + the config/options fingerprints
+     * before scheduling, and persist what it compacts.
+     */
+    void attachStore(ArtifactStore *store, std::string workloadKey);
 
     /** Executed ICIs on the sequential emulator. */
     std::uint64_t instructions() const { return run_.instructions; }
@@ -87,14 +135,27 @@ class Workload
                     const sched::CompactOptions &copts = {}) const;
 
   private:
+    /** Compact + simulate @p code; shared by the cold and the
+     *  store-hit paths of runVliw(). */
+    VliwRun simulate(const vliw::Code &code,
+                     const sched::CompactStats &stats,
+                     const machine::MachineConfig &config) const;
+    /** Record a persisted per-latency sequential cycle count. */
+    void noteSeqCycles(const machine::MachineConfig &config,
+                       std::uint64_t cycles) const;
+
     const Benchmark *bench_;
     std::unique_ptr<Interner> interner_;
-    std::unique_ptr<prolog::Program> prog_;
+    std::unique_ptr<prolog::Program> prog_; ///< null when restored
     std::unique_ptr<bam::Module> module_;
     std::unique_ptr<intcode::Program> ici_;
+    std::unique_ptr<intcode::Cfg> cfg_;
     emul::RunResult run_;
     std::string seqOutput_;
     std::uint64_t maxSteps_;
+    /** Optional persistent store for compacted-code artefacts. */
+    ArtifactStore *store_ = nullptr;
+    std::string storeKey_;
     /** Guards seqCache_: one Workload is shared by many concurrent
      *  runVliw() tasks under the parallel evaluation driver. */
     mutable std::mutex seqMu_;

@@ -1,0 +1,478 @@
+#include "suite/store.hh"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bam/serialize.hh"
+#include "emul/serialize.hh"
+#include "intcode/serialize.hh"
+#include "sched/serialize.hh"
+#include "serialize/container.hh"
+#include "serialize/interner.hh"
+#include "support/diagnostics.hh"
+#include "support/text.hh"
+#include "vliw/serialize.hh"
+
+namespace symbol::suite
+{
+
+namespace fs = std::filesystem;
+using serialize::Container;
+using serialize::DecodeError;
+using serialize::Reader;
+using serialize::Writer;
+
+namespace
+{
+
+/** Section ids of the workload bundle. */
+constexpr std::uint32_t kSecKey = 1;
+constexpr std::uint32_t kSecInterner = 2;
+constexpr std::uint32_t kSecBam = 3;
+constexpr std::uint32_t kSecIci = 4;
+constexpr std::uint32_t kSecCfg = 5;
+constexpr std::uint32_t kSecRun = 6;
+constexpr std::uint32_t kSecSeqOutput = 7;
+constexpr std::uint32_t kSecSeqCycles = 8;
+/** Section ids of the compacted-code bundle. */
+constexpr std::uint32_t kSecVliwCode = 16;
+constexpr std::uint32_t kSecCompactStats = 17;
+constexpr std::uint32_t kSecSeqBaseline = 18;
+
+double
+now()
+{
+    using namespace std::chrono;
+    return duration<double>(steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Advisory per-key exclusive lock; best-effort (a store must keep
+ *  working on filesystems without flock support). */
+class FileLock
+{
+  public:
+    explicit FileLock(const std::string &path)
+        : fd_(::open(path.c_str(), O_CREAT | O_RDWR, 0666))
+    {
+        if (fd_ >= 0 && ::flock(fd_, LOCK_EX) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    ~FileLock()
+    {
+        if (fd_ >= 0) {
+            ::flock(fd_, LOCK_UN);
+            ::close(fd_);
+        }
+    }
+
+  private:
+    int fd_;
+};
+
+bool
+readAll(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return in.good() || in.eof();
+}
+
+/** Cheap version peek so stats can tell "stale format" from
+ *  "corrupted bytes" without a full parse. */
+bool
+versionOf(const std::string &bytes, std::uint32_t &version)
+{
+    if (bytes.size() < 8 ||
+        std::memcmp(bytes.data(), serialize::kMagic, 4) != 0)
+        return false;
+    version = 0;
+    for (int i = 0; i < 4; ++i)
+        version |= static_cast<std::uint32_t>(
+                       static_cast<unsigned char>(bytes[4 + i]))
+                   << (8 * i);
+    return true;
+}
+
+} // namespace
+
+std::string
+StoreStats::str() const
+{
+    return strprintf(
+        "[store] %llu disk hits, %llu misses, %llu writes, "
+        "%llu corrupt, %llu stale-version, %llu io errors; "
+        "%.1f KiB read, %.1f KiB written; "
+        "deserialize %.3fs, serialize %.3fs",
+        static_cast<unsigned long long>(diskHits),
+        static_cast<unsigned long long>(diskMisses),
+        static_cast<unsigned long long>(diskWrites),
+        static_cast<unsigned long long>(corruptRejected +
+                                        keyMismatches),
+        static_cast<unsigned long long>(versionRejected),
+        static_cast<unsigned long long>(ioErrors),
+        static_cast<double>(bytesRead) / 1024.0,
+        static_cast<double>(bytesWritten) / 1024.0,
+        deserializeSeconds, serializeSeconds);
+}
+
+ArtifactStore::ArtifactStore(const std::string &dir) : dir_(dir)
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_))
+        throw RuntimeError("artifact store: cannot create directory " +
+                           dir_);
+}
+
+std::string
+ArtifactStore::fileNameFor(const std::string &kind,
+                           const std::string &key)
+{
+    return strprintf(
+        "%s-%016llx-%zu-v%u.syaf", kind.c_str(),
+        static_cast<unsigned long long>(
+            serialize::fnv1a(key.data(), key.size())),
+        key.size(), serialize::kFormatVersion);
+}
+
+bool
+ArtifactStore::loadFile(const std::string &kind,
+                        const std::string &key, std::string &outBytes)
+{
+    std::string path = dir_ + "/" + fileNameFor(kind, key);
+    if (!readAll(path, outBytes)) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.diskMisses;
+        return false;
+    }
+    std::uint32_t version = 0;
+    if (versionOf(outBytes, version) &&
+        version != serialize::kFormatVersion) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.versionRejected;
+        return false;
+    }
+    return true;
+}
+
+void
+ArtifactStore::writeFile(const std::string &kind,
+                         const std::string &key,
+                         const std::string &bytes)
+{
+    static std::atomic<std::uint64_t> seq{0};
+    std::string name = fileNameFor(kind, key);
+    std::string path = dir_ + "/" + name;
+    FileLock lock(path + ".lock");
+    std::string tmp = strprintf(
+        "%s.tmp.%d.%llu", path.c_str(), static_cast<int>(::getpid()),
+        static_cast<unsigned long long>(
+            seq.fetch_add(1, std::memory_order_relaxed)));
+    bool ok = false;
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        ok = out.good();
+    }
+    if (ok)
+        ok = std::rename(tmp.c_str(), path.c_str()) == 0;
+    std::lock_guard<std::mutex> lk(mu_);
+    if (ok) {
+        ++stats_.diskWrites;
+        stats_.bytesWritten += bytes.size();
+    } else {
+        std::remove(tmp.c_str());
+        ++stats_.ioErrors;
+    }
+}
+
+bool
+ArtifactStore::loadWorkload(const std::string &key,
+                            WorkloadSnapshot &out)
+{
+    double t0 = now();
+    std::string bytes;
+    if (!loadFile("wl", key, bytes))
+        return false;
+    try {
+        Container c = serialize::unpackContainer(bytes);
+        if (c.section(kSecKey) != key) {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.keyMismatches;
+            return false;
+        }
+        {
+            Reader r(c.section(kSecInterner));
+            out.interner = std::make_unique<Interner>(
+                serialize::decodeInterner(r));
+            r.expectEnd();
+        }
+        {
+            Reader r(c.section(kSecBam));
+            out.module = std::make_unique<bam::Module>(
+                bam::decodeModule(r, *out.interner));
+            r.expectEnd();
+        }
+        {
+            Reader r(c.section(kSecIci));
+            out.ici = std::make_unique<intcode::Program>(
+                intcode::decodeProgram(r, out.interner.get()));
+            r.expectEnd();
+        }
+        {
+            Reader r(c.section(kSecCfg));
+            out.cfg = std::make_unique<intcode::Cfg>(
+                intcode::decodeCfg(r));
+            r.expectEnd();
+        }
+        {
+            Reader r(c.section(kSecRun));
+            out.run = emul::decodeRunResult(r);
+            r.expectEnd();
+        }
+        out.seqOutput = c.section(kSecSeqOutput);
+        {
+            Reader r(c.section(kSecSeqCycles));
+            std::size_t n = r.count(3);
+            out.seqCycles.clear();
+            out.seqCycles.reserve(n);
+            for (std::size_t i = 0; i < n; ++i) {
+                std::int64_t lat = r.vi();
+                std::int64_t pen = r.vi();
+                std::int64_t cyc =
+                    static_cast<std::int64_t>(r.vu());
+                out.seqCycles.push_back({lat, pen, cyc});
+            }
+            r.expectEnd();
+        }
+        // Cross-artefact structure: the profile and CFG must cover
+        // the program exactly, or downstream indexing would be UB.
+        std::size_t icis = out.ici->code.size();
+        if (out.run.profile.expect.size() != icis ||
+            out.run.profile.taken.size() != icis ||
+            out.cfg->blockOf.size() != icis ||
+            out.ici->addressTaken.size() != icis ||
+            out.ici->procEntry.size() != icis ||
+            out.ici->bamOps.size() != out.module->code.size() ||
+            !out.run.halted)
+            throw DecodeError("artefact sizes are inconsistent");
+    } catch (const DecodeError &) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.corruptRejected;
+        return false;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.diskHits;
+    stats_.bytesRead += bytes.size();
+    stats_.deserializeSeconds += now() - t0;
+    return true;
+}
+
+void
+ArtifactStore::storeWorkload(const std::string &key,
+                             const Workload &w)
+{
+    try {
+        double t0 = now();
+        std::vector<serialize::Section> sections;
+        sections.push_back({kSecKey, key});
+        {
+            Writer wr;
+            serialize::encode(wr, w.interner());
+            sections.push_back({kSecInterner, wr.take()});
+        }
+        {
+            Writer wr;
+            bam::encode(wr, w.bamModule());
+            sections.push_back({kSecBam, wr.take()});
+        }
+        {
+            Writer wr;
+            intcode::encode(wr, w.ici());
+            sections.push_back({kSecIci, wr.take()});
+        }
+        {
+            Writer wr;
+            intcode::encode(wr, w.cfg());
+            sections.push_back({kSecCfg, wr.take()});
+        }
+        {
+            Writer wr;
+            emul::encode(wr, w.runResult());
+            sections.push_back({kSecRun, wr.take()});
+        }
+        sections.push_back({kSecSeqOutput, w.seqOutput()});
+        {
+            Writer wr;
+            auto cycles = w.seqCycleSnapshot();
+            wr.vu(cycles.size());
+            for (const auto &[lat, pen, cyc] : cycles) {
+                wr.vi(lat);
+                wr.vi(pen);
+                wr.vu(static_cast<std::uint64_t>(cyc));
+            }
+            sections.push_back({kSecSeqCycles, wr.take()});
+        }
+        std::string bytes = serialize::packContainer(sections);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stats_.serializeSeconds += now() - t0;
+        }
+        writeFile("wl", key, bytes);
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.ioErrors;
+    }
+}
+
+bool
+ArtifactStore::loadVliw(const std::string &key,
+                        const Interner *interner, vliw::Code &code,
+                        sched::CompactStats &stats,
+                        std::uint64_t &seqCycles)
+{
+    double t0 = now();
+    std::string bytes;
+    if (!loadFile("vc", key, bytes))
+        return false;
+    try {
+        Container c = serialize::unpackContainer(bytes);
+        if (c.section(kSecKey) != key) {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.keyMismatches;
+            return false;
+        }
+        {
+            Reader r(c.section(kSecVliwCode));
+            code = vliw::decodeCode(r, interner);
+            r.expectEnd();
+        }
+        {
+            Reader r(c.section(kSecCompactStats));
+            stats = sched::decodeCompactStats(r);
+            r.expectEnd();
+        }
+        {
+            Reader r(c.section(kSecSeqBaseline));
+            seqCycles = r.vu();
+            r.expectEnd();
+        }
+    } catch (const DecodeError &) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.corruptRejected;
+        return false;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.diskHits;
+    stats_.bytesRead += bytes.size();
+    stats_.deserializeSeconds += now() - t0;
+    return true;
+}
+
+void
+ArtifactStore::storeVliw(const std::string &key,
+                         const vliw::Code &code,
+                         const sched::CompactStats &stats,
+                         std::uint64_t seqCycles)
+{
+    try {
+        double t0 = now();
+        std::vector<serialize::Section> sections;
+        sections.push_back({kSecKey, key});
+        {
+            Writer wr;
+            vliw::encode(wr, code);
+            sections.push_back({kSecVliwCode, wr.take()});
+        }
+        {
+            Writer wr;
+            sched::encode(wr, stats);
+            sections.push_back({kSecCompactStats, wr.take()});
+        }
+        {
+            Writer wr;
+            wr.vu(seqCycles);
+            sections.push_back({kSecSeqBaseline, wr.take()});
+        }
+        std::string bytes = serialize::packContainer(sections);
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stats_.serializeSeconds += now() - t0;
+        }
+        writeFile("vc", key, bytes);
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.ioErrors;
+    }
+}
+
+StoreStats
+ArtifactStore::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    return stats_;
+}
+
+std::vector<ArtifactStore::FileReport>
+ArtifactStore::verifyDir(const std::string &dir)
+{
+    std::vector<FileReport> reports;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        std::string name = entry.path().filename().string();
+        if (name.size() < 5 ||
+            name.substr(name.size() - 5) != ".syaf")
+            continue;
+        FileReport rep;
+        rep.name = name;
+        std::string bytes;
+        if (!readAll(entry.path().string(), bytes)) {
+            rep.problem = "unreadable";
+            reports.push_back(std::move(rep));
+            continue;
+        }
+        rep.bytes = bytes.size();
+        serialize::ContainerCheck check =
+            serialize::checkContainer(bytes, 0);
+        rep.version = check.version;
+        rep.sections = check.sections;
+        if (!check.ok) {
+            rep.problem = check.problem;
+        } else if (check.version != serialize::kFormatVersion) {
+            rep.problem = strprintf(
+                "stale format version %u (current %u)", check.version,
+                serialize::kFormatVersion);
+        } else {
+            rep.ok = true;
+        }
+        reports.push_back(std::move(rep));
+    }
+    std::sort(reports.begin(), reports.end(),
+              [](const FileReport &a, const FileReport &b) {
+                  return a.name < b.name;
+              });
+    return reports;
+}
+
+} // namespace symbol::suite

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Persistent, content-addressed artefact store backing the
+ * WorkloadCache across processes.
+ *
+ * Each entry is one container file (see serialize/container.hh)
+ * named after the FNV-1a hash of its full cache key and the current
+ * format version:
+ *
+ *   wl-<keyhash>-<keylen>-v<N>.syaf   workload bundle: interner, BAM
+ *                                     module, ICI program + CFG +
+ *                                     provenance, profiling RunResult
+ *                                     (Expect / taken / transcript),
+ *                                     decoded answer, per-latency
+ *                                     sequential cycle counts
+ *   vc-<keyhash>-<keylen>-v<N>.syaf   compacted VLIW code + stats +
+ *                                     sequential baseline cycles for
+ *                                     one machine-config fingerprint
+ *
+ * The full key rides inside every file (section 1) and is compared
+ * on load, so a hash collision degrades to a rebuild, never an
+ * aliased artefact.
+ *
+ * Concurrency: files are written to a unique temp name and published
+ * with an atomic rename under a per-key advisory flock, so readers
+ * — in other threads or other processes under `--jobs N` — only
+ * ever observe complete files. Robust degradation: a missing,
+ * truncated, bit-flipped, checksum-mismatched or version-bumped file
+ * is a recorded miss and the artefact is rebuilt; no store failure
+ * ever crashes the pipeline or changes an answer.
+ */
+
+#ifndef SYMBOL_SUITE_STORE_HH
+#define SYMBOL_SUITE_STORE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sched/compact.hh"
+#include "suite/pipeline.hh"
+#include "vliw/code.hh"
+
+namespace symbol::suite
+{
+
+/** Traffic and degradation counters of one ArtifactStore. */
+struct StoreStats
+{
+    std::uint64_t diskHits = 0;
+    std::uint64_t diskMisses = 0; ///< absent files (cold keys)
+    std::uint64_t diskWrites = 0;
+    /** Files rejected by checksum/structure validation. */
+    std::uint64_t corruptRejected = 0;
+    /** Files rejected by the format-version check. */
+    std::uint64_t versionRejected = 0;
+    /** Hash-collision guard: stored key differed from the request. */
+    std::uint64_t keyMismatches = 0;
+    /** Write-side I/O failures (store kept degrading gracefully). */
+    std::uint64_t ioErrors = 0;
+    std::uint64_t bytesRead = 0;
+    std::uint64_t bytesWritten = 0;
+    double deserializeSeconds = 0.0;
+    double serializeSeconds = 0.0;
+
+    /** One-line human-readable summary. */
+    std::string str() const;
+};
+
+class ArtifactStore
+{
+  public:
+    /** Open (creating if needed) the store at @p dir. Throws
+     *  RuntimeError if the directory cannot be created. */
+    explicit ArtifactStore(const std::string &dir);
+    ArtifactStore(const ArtifactStore &) = delete;
+    ArtifactStore &operator=(const ArtifactStore &) = delete;
+
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Load the workload bundle of @p key into @p out. False on any
+     * miss — absent, corrupt, truncated, version-bumped or
+     * key-colliding file — with the reason counted in stats().
+     */
+    bool loadWorkload(const std::string &key, WorkloadSnapshot &out);
+
+    /** Persist the bundle of @p w under @p key. Atomic and
+     *  best-effort: failures are counted, never thrown. */
+    void storeWorkload(const std::string &key, const Workload &w);
+
+    /** Load compacted code + stats + the per-config sequential
+     *  baseline cycles. Same miss semantics as loadWorkload. */
+    bool loadVliw(const std::string &key, const Interner *interner,
+                  vliw::Code &code, sched::CompactStats &stats,
+                  std::uint64_t &seqCycles);
+
+    void storeVliw(const std::string &key, const vliw::Code &code,
+                   const sched::CompactStats &stats,
+                   std::uint64_t seqCycles);
+
+    StoreStats stats() const;
+
+    /** The store file name of @p key (exposed for tests and the
+     *  verifier). @p kind is "wl" or "vc". */
+    static std::string fileNameFor(const std::string &kind,
+                                   const std::string &key);
+
+    /** One file's verdict from verifyDir. */
+    struct FileReport
+    {
+        std::string name;
+        std::size_t bytes = 0;
+        bool ok = false;
+        std::uint32_t version = 0;
+        std::size_t sections = 0;
+        std::string problem; ///< non-empty when !ok
+    };
+
+    /** Validate every store file in @p dir (checksums, structure,
+     *  version), sorted by name. Backs `symbolc --cache-verify`. */
+    static std::vector<FileReport> verifyDir(const std::string &dir);
+
+  private:
+    bool loadFile(const std::string &kind, const std::string &key,
+                  std::string &outBytes);
+    void writeFile(const std::string &kind, const std::string &key,
+                   const std::string &bytes);
+
+    std::string dir_;
+    mutable std::mutex mu_;
+    StoreStats stats_;
+};
+
+} // namespace symbol::suite
+
+#endif // SYMBOL_SUITE_STORE_HH

@@ -1,0 +1,50 @@
+#include "vliw/serialize.hh"
+
+#include "intcode/serialize.hh"
+
+namespace symbol::vliw
+{
+
+using serialize::Reader;
+using serialize::Writer;
+
+void
+encode(Writer &w, const Code &code)
+{
+    w.vu(code.code.size());
+    for (const WideInstr &wi : code.code) {
+        w.vu(wi.ops.size());
+        for (const MicroOp &op : wi.ops) {
+            intcode::encodeInstr(w, op.instr);
+            w.vi(op.unit);
+        }
+    }
+    w.vi(code.entry);
+    w.vi(code.numRegs);
+}
+
+Code
+decodeCode(Reader &r, const Interner *interner)
+{
+    Code code;
+    std::size_t n = r.count(1);
+    code.code.reserve(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        WideInstr wi;
+        std::size_t ops = r.count(2);
+        wi.ops.reserve(ops);
+        for (std::size_t j = 0; j < ops; ++j) {
+            MicroOp op;
+            op.instr = intcode::decodeInstr(r);
+            op.unit = static_cast<int>(r.vi());
+            wi.ops.push_back(op);
+        }
+        code.code.push_back(std::move(wi));
+    }
+    code.entry = static_cast<int>(r.vi());
+    code.numRegs = static_cast<int>(r.vi());
+    code.interner = interner;
+    return code;
+}
+
+} // namespace symbol::vliw

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Binary encode/decode of compacted VLIW code. Stored per
+ * machine-config fingerprint by the artefact store, so a warm run
+ * skips global compaction while still simulating (the end-to-end
+ * answer check stays in force).
+ */
+
+#ifndef SYMBOL_VLIW_SERIALIZE_HH
+#define SYMBOL_VLIW_SERIALIZE_HH
+
+#include "serialize/codec.hh"
+#include "vliw/code.hh"
+
+namespace symbol::vliw
+{
+
+void encode(serialize::Writer &w, const Code &code);
+
+/** Decode a Code bound to @p interner (may be nullptr). Throws
+ *  serialize::DecodeError on malformed input. */
+Code decodeCode(serialize::Reader &r, const Interner *interner);
+
+} // namespace symbol::vliw
+
+#endif // SYMBOL_VLIW_SERIALIZE_HH

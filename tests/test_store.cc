@@ -1,0 +1,374 @@
+/**
+ * @file
+ * Persistent artefact store tests: cold build → disk hit, warm starts
+ * that run zero parses/compiles/emulations, and the robustness
+ * contract — bit-flipped, truncated, version-bumped or key-colliding
+ * store files degrade to a rebuild with the right counter bumped,
+ * never a crash or a wrong answer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "machine/config.hh"
+#include "suite/cache.hh"
+#include "suite/driver.hh"
+#include "suite/store.hh"
+#include "support/diagnostics.hh"
+#include "support/text.hh"
+
+using namespace symbol;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+suite::Benchmark
+tinyBench(const std::string &name, const std::string &list)
+{
+    suite::Benchmark b;
+    b.name = name;
+    b.source = strprintf(R"(
+        app([], L, L).
+        app([X|A], B, [X|C]) :- app(A, B, C).
+        rev([], []).
+        rev([X|L], R) :- rev(L, T), app(T, [X], R).
+        main :- rev(%s, R), out(R).
+    )", list.c_str());
+    return b;
+}
+
+} // namespace
+
+class ArtifactStoreTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        char tmpl[] = "/tmp/symbol-store-XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        dir_ = tmpl;
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    /** All .syaf files in the store, sorted. */
+    std::vector<std::string>
+    storeFiles() const
+    {
+        std::vector<std::string> out;
+        for (const auto &e : fs::directory_iterator(dir_)) {
+            std::string n = e.path().filename().string();
+            if (n.size() > 5 && n.substr(n.size() - 5) == ".syaf")
+                out.push_back(e.path().string());
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+
+    static std::string
+    slurp(const std::string &path)
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+    }
+
+    static void
+    spit(const std::string &path, const std::string &bytes)
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+
+    /** An EvalDriver holds a mutex and cannot move, so tests
+     *  construct one in place from these options. */
+    suite::DriverOptions
+    driverOpts(unsigned jobs = 1) const
+    {
+        suite::DriverOptions o;
+        o.jobs = jobs;
+        o.cacheDir = dir_;
+        return o;
+    }
+
+    std::string dir_;
+};
+
+TEST_F(ArtifactStoreTest, ColdBuildThenWarmDiskHit)
+{
+    suite::Benchmark b = tinyBench("store_roundtrip", "[1,2,3,4,5]");
+    machine::MachineConfig mc = machine::MachineConfig::idealShared(3);
+
+    suite::EvalDriver cold(driverOpts());
+    ASSERT_NE(cold.store(), nullptr);
+    const suite::Workload &w1 = cold.workload(b);
+    suite::VliwRun r1 = w1.runVliw(mc);
+    suite::DriverStats s1 = cold.stats();
+    EXPECT_EQ(s1.workloadsBuilt, 1u);
+    EXPECT_EQ(s1.diskHits, 0u);
+    // One workload bundle + one compacted-code bundle on disk.
+    EXPECT_EQ(s1.store.diskWrites, 2u);
+    EXPECT_EQ(storeFiles().size(), 2u);
+
+    // A brand-new driver on the same directory serves everything
+    // from disk: zero parses, compiles or emulations.
+    suite::EvalDriver warm(driverOpts());
+    const suite::Workload &w2 = warm.workload(b);
+    suite::VliwRun r2 = w2.runVliw(mc);
+    suite::DriverStats s2 = warm.stats();
+    EXPECT_EQ(s2.workloadsBuilt, 0u);
+    EXPECT_EQ(s2.diskHits, 1u);
+    EXPECT_EQ(s2.store.diskHits, 2u);
+    EXPECT_EQ(s2.store.diskMisses, 0u);
+    EXPECT_EQ(s2.store.diskWrites, 0u);
+    EXPECT_GT(s2.store.bytesRead, 0u);
+
+    // The reloaded artefacts are indistinguishable from the built
+    // ones: profile, answer and the whole VLIW evaluation agree.
+    EXPECT_EQ(w2.seqOutput(), w1.seqOutput());
+    EXPECT_EQ(w2.instructions(), w1.instructions());
+    EXPECT_EQ(w2.seqCycles(), w1.seqCycles());
+    EXPECT_EQ(w2.bamCycles(), w1.bamCycles());
+    EXPECT_EQ(w2.profile().expect, w1.profile().expect);
+    EXPECT_EQ(w2.profile().taken, w1.profile().taken);
+    EXPECT_EQ(w2.ici().str(), w1.ici().str());
+    EXPECT_EQ(r2.cycles, r1.cycles);
+    EXPECT_EQ(r2.wideExecuted, r1.wideExecuted);
+    EXPECT_EQ(r2.opsExecuted, r1.opsExecuted);
+    EXPECT_EQ(r2.speedupVsSeq, r1.speedupVsSeq);
+    EXPECT_EQ(r2.output, r1.output);
+}
+
+TEST_F(ArtifactStoreTest, RenderedTableIdenticalColdVsWarmAnyJobs)
+{
+    std::vector<suite::Benchmark> benches = {
+        tinyBench("table_a", "[1,2,3,4,5,6]"),
+        tinyBench("table_b", "[9,8,7]"),
+    };
+    std::vector<machine::MachineConfig> configs = {
+        machine::MachineConfig::idealShared(1),
+        machine::MachineConfig::idealShared(3),
+    };
+
+    auto render = [&](suite::EvalDriver &d) {
+        std::vector<std::vector<std::string>> rows;
+        rows.push_back({"benchmark", "config", "cycles", "speedup"});
+        for (const auto &b : benches)
+            for (const auto &mc : configs) {
+                suite::VliwRun r = d.workload(b).runVliw(mc);
+                rows.push_back(
+                    {b.name, mc.name,
+                     strprintf("%llu", static_cast<unsigned long long>(
+                                           r.cycles)),
+                     strprintf("%.4f", r.speedupVsSeq)});
+            }
+        return renderTable(rows);
+    };
+
+    suite::EvalDriver cold(driverOpts(1));
+    std::string table1 = render(cold);
+    EXPECT_EQ(cold.stats().workloadsBuilt, 2u);
+
+    suite::EvalDriver warm(driverOpts(4));
+    std::string table2 = render(warm);
+    EXPECT_EQ(table2, table1);
+    suite::DriverStats s = warm.stats();
+    EXPECT_EQ(s.workloadsBuilt, 0u);
+    EXPECT_EQ(s.store.diskMisses, 0u);
+}
+
+TEST_F(ArtifactStoreTest, BitFlipDegradesToRebuild)
+{
+    suite::Benchmark b = tinyBench("store_bitflip", "[4,5,6,7]");
+    machine::MachineConfig mc = machine::MachineConfig::idealShared(3);
+
+    suite::VliwRun fresh;
+    {
+        suite::EvalDriver cold(driverOpts());
+        fresh = cold.workload(b).runVliw(mc);
+    }
+    std::vector<std::string> files = storeFiles();
+    ASSERT_EQ(files.size(), 2u);
+    for (const std::string &path : files) {
+        std::string bytes = slurp(path);
+        bytes[bytes.size() / 2] ^= 0x10;
+        spit(path, bytes);
+    }
+
+    // Both corrupted files are rejected and rebuilt; the answer and
+    // the evaluation figures never change.
+    suite::EvalDriver again(driverOpts());
+    suite::VliwRun r = again.workload(b).runVliw(mc);
+    suite::DriverStats s = again.stats();
+    EXPECT_EQ(s.workloadsBuilt, 1u);
+    EXPECT_EQ(s.diskHits, 0u);
+    EXPECT_EQ(s.store.corruptRejected, 2u);
+    EXPECT_EQ(s.store.diskWrites, 2u); // both rewritten
+    EXPECT_EQ(r.cycles, fresh.cycles);
+    EXPECT_EQ(r.output, fresh.output);
+
+    // The rewritten files serve the next start from disk again.
+    suite::EvalDriver warm(driverOpts());
+    suite::VliwRun r2 = warm.workload(b).runVliw(mc);
+    EXPECT_EQ(warm.stats().workloadsBuilt, 0u);
+    EXPECT_EQ(r2.cycles, fresh.cycles);
+}
+
+TEST_F(ArtifactStoreTest, TruncationDegradesToRebuild)
+{
+    suite::Benchmark b = tinyBench("store_trunc", "[2,4,6,8,10]");
+    machine::MachineConfig mc = machine::MachineConfig::idealShared(3);
+
+    suite::VliwRun fresh;
+    {
+        suite::EvalDriver cold(driverOpts());
+        fresh = cold.workload(b).runVliw(mc);
+    }
+    std::vector<std::string> files = storeFiles();
+    ASSERT_EQ(files.size(), 2u);
+    // Cut one file mid-payload and the other to a 3-byte stub that
+    // does not even hold a full header.
+    fs::resize_file(files[0], fs::file_size(files[0]) / 2);
+    fs::resize_file(files[1], 3);
+
+    suite::EvalDriver again(driverOpts());
+    suite::VliwRun r = again.workload(b).runVliw(mc);
+    suite::DriverStats s = again.stats();
+    EXPECT_EQ(s.workloadsBuilt, 1u);
+    EXPECT_EQ(s.store.corruptRejected, 2u);
+    EXPECT_EQ(r.cycles, fresh.cycles);
+    EXPECT_EQ(r.output, fresh.output);
+}
+
+TEST_F(ArtifactStoreTest, VersionBumpIsStaleNotCorrupt)
+{
+    suite::Benchmark b = tinyBench("store_version", "[3,1,4,1,5]");
+    {
+        suite::EvalDriver cold(driverOpts());
+        cold.workload(b);
+    }
+    std::vector<std::string> files = storeFiles();
+    ASSERT_EQ(files.size(), 1u);
+    // Patch the format-version field (offset 4, little-endian).
+    std::string bytes = slurp(files[0]);
+    bytes[4] = static_cast<char>(bytes[4] + 1);
+    spit(files[0], bytes);
+
+    // The verifier calls it stale, not corrupt.
+    auto reports = suite::ArtifactStore::verifyDir(dir_);
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_FALSE(reports[0].ok);
+    EXPECT_NE(reports[0].problem.find("stale format version"),
+              std::string::npos);
+
+    // The store counts it as version-rejected and rebuilds.
+    suite::EvalDriver again(driverOpts());
+    again.workload(b);
+    suite::DriverStats s = again.stats();
+    EXPECT_EQ(s.workloadsBuilt, 1u);
+    EXPECT_EQ(s.store.versionRejected, 1u);
+    EXPECT_EQ(s.store.corruptRejected, 0u);
+
+    // And the rebuild healed the store.
+    reports = suite::ArtifactStore::verifyDir(dir_);
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_TRUE(reports[0].ok);
+}
+
+TEST_F(ArtifactStoreTest, KeyCollisionDegradesToRebuild)
+{
+    // Two sources of identical length whose (simulated) key hashes
+    // collide: copy A's bundle over B's file name. The full key
+    // stored inside the file exposes the lie.
+    suite::Benchmark a = tinyBench("collision", "[1,1,1]");
+    suite::Benchmark b = tinyBench("collision", "[2,2,2]");
+    suite::WorkloadOptions opts;
+    ASSERT_EQ(a.source.size(), b.source.size());
+
+    {
+        suite::EvalDriver cold(driverOpts());
+        cold.workload(a);
+    }
+    std::string keyA = suite::WorkloadCache::keyOf(a, opts);
+    std::string keyB = suite::WorkloadCache::keyOf(b, opts);
+    std::string nameA = suite::ArtifactStore::fileNameFor("wl", keyA);
+    std::string nameB = suite::ArtifactStore::fileNameFor("wl", keyB);
+    ASSERT_NE(nameA, nameB);
+    fs::copy_file(dir_ + "/" + nameA, dir_ + "/" + nameB);
+
+    suite::EvalDriver again(driverOpts());
+    const suite::Workload &w = again.workload(b);
+    suite::DriverStats s = again.stats();
+    EXPECT_EQ(s.workloadsBuilt, 1u);
+    EXPECT_EQ(s.store.keyMismatches, 1u);
+    // The rebuilt answer belongs to B, not to the aliased file.
+    EXPECT_NE(w.seqOutput().find("[2,2,2]"), std::string::npos);
+}
+
+TEST_F(ArtifactStoreTest, VerifyDirFlagsEveryProblem)
+{
+    suite::Benchmark b = tinyBench("store_verify", "[5,6]");
+    {
+        suite::EvalDriver cold(driverOpts());
+        cold.workload(b);
+    }
+    // Add a garbage .syaf, a truncation victim and a non-store file.
+    spit(dir_ + "/zz-garbage-v1.syaf", "this is not a container");
+    spit(dir_ + "/notes.txt", "ignored");
+    std::vector<std::string> files = storeFiles();
+
+    auto reports = suite::ArtifactStore::verifyDir(dir_);
+    ASSERT_EQ(reports.size(), 2u); // .txt skipped
+    // Sorted by name: the real bundle first, then the garbage.
+    EXPECT_TRUE(reports[0].ok);
+    EXPECT_GT(reports[0].sections, 0u);
+    EXPECT_FALSE(reports[1].ok);
+    EXPECT_EQ(reports[1].name, "zz-garbage-v1.syaf");
+    EXPECT_FALSE(reports[1].problem.empty());
+}
+
+TEST_F(ArtifactStoreTest, UnusableDirectoryDegradesToMemoryOnly)
+{
+    // A path that collides with a regular file cannot become a store
+    // directory; the driver must keep working without one.
+    std::string path = dir_ + "/occupied";
+    spit(path, "file, not a directory");
+    EXPECT_THROW(suite::ArtifactStore store(path), RuntimeError);
+
+    suite::DriverOptions o;
+    o.jobs = 1;
+    o.cacheDir = path;
+    suite::EvalDriver d(o);
+    EXPECT_EQ(d.store(), nullptr);
+    const suite::Workload &w =
+        d.workload(tinyBench("nostore", "[7,7]"));
+    EXPECT_NE(w.seqOutput().find("[7,7]"), std::string::npos);
+    suite::DriverStats s = d.stats();
+    EXPECT_EQ(s.workloadsBuilt, 1u);
+    EXPECT_FALSE(s.hasStore);
+}
+
+TEST_F(ArtifactStoreTest, StatsLineMentionsTraffic)
+{
+    suite::EvalDriver d(driverOpts());
+    d.workload(tinyBench("statline", "[1]"));
+    std::string line = d.stats().str(d.jobs());
+    EXPECT_NE(line.find("[driver]"), std::string::npos);
+    EXPECT_NE(line.find("[store]"), std::string::npos);
+    EXPECT_NE(line.find("disk hits"), std::string::npos);
+}

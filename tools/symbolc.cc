@@ -17,6 +17,18 @@
  *                      driver and print one summary row per
  *                      benchmark (deterministic order; driver
  *                      timing/cache stats go to stderr)
+ *     --cache-dir DIR  persistent artefact store: compiled/profiled
+ *                      workloads and compacted code are reloaded
+ *                      from DIR instead of rebuilt, and written
+ *                      back after a build (default: the
+ *                      SYMBOL_CACHE_DIR environment variable;
+ *                      neither set = no disk store)
+ *     --store-stats    print the disk-store counters (hits, writes,
+ *                      bytes, deserialize time) to stderr
+ *     --cache-verify DIR  scan a store directory, validate every
+ *                      file's checksums and format version, print a
+ *                      per-file report and exit (1 if any file is
+ *                      bad)
  *     --mode M         trace | bb | seq       (default trace)
  *     --proto          SYMBOL prototype configuration (two formats,
  *                      3-cycle memory, 2-cycle delayed branches)
@@ -52,6 +64,9 @@ struct Options
     int jobs = 0; // 0 = SYMBOL_JOBS env / hardware concurrency
     int units = 3;
     std::string mode = "trace";
+    std::string cacheDir;   // "" = SYMBOL_CACHE_DIR env / none
+    std::string verifyDir;  // --cache-verify subcommand
+    bool storeStats = false;
     bool proto = false;
     bool indexing = true;
     bool expandTags = false;
@@ -85,6 +100,12 @@ parseArgs(int argc, char **argv, Options &o)
             o.mode = argv[++k];
         } else if (a == "--bench" && k + 1 < argc) {
             o.bench = argv[++k];
+        } else if (a == "--cache-dir" && k + 1 < argc) {
+            o.cacheDir = argv[++k];
+        } else if (a == "--cache-verify" && k + 1 < argc) {
+            o.verifyDir = argv[++k];
+        } else if (a == "--store-stats") {
+            o.storeStats = true;
         } else if (a == "--proto") {
             o.proto = true;
         } else if (a == "--no-indexing") {
@@ -109,7 +130,33 @@ parseArgs(int argc, char **argv, Options &o)
             return false;
         }
     }
-    return o.list || !o.file.empty() || !o.bench.empty();
+    return o.list || !o.file.empty() || !o.bench.empty() ||
+           !o.verifyDir.empty();
+}
+
+/**
+ * --cache-verify: validate every store file and print a per-file
+ * report. Exit 0 when the whole store is healthy.
+ */
+int
+cacheVerify(const std::string &dir)
+{
+    std::vector<suite::ArtifactStore::FileReport> reports =
+        suite::ArtifactStore::verifyDir(dir);
+    std::size_t bad = 0;
+    for (const auto &r : reports) {
+        if (r.ok)
+            std::printf("%s: ok (v%u, %zu sections, %zu bytes)\n",
+                        r.name.c_str(), r.version, r.sections,
+                        r.bytes);
+        else {
+            std::printf("%s: BAD — %s (%zu bytes)\n", r.name.c_str(),
+                        r.problem.c_str(), r.bytes);
+            ++bad;
+        }
+    }
+    std::printf("%zu file(s), %zu bad\n", reports.size(), bad);
+    return bad ? 1 : 0;
 }
 
 /**
@@ -131,6 +178,7 @@ sweepAll(const Options &o)
 
     suite::DriverOptions dopts;
     dopts.jobs = o.jobs > 0 ? static_cast<unsigned>(o.jobs) : 0;
+    dopts.cacheDir = o.cacheDir;
     suite::EvalDriver driver(dopts);
 
     std::vector<suite::EvalTask> tasks;
@@ -188,6 +236,15 @@ main(int argc, char **argv)
     if (!parseArgs(argc, argv, o))
         return usage();
 
+    if (!o.verifyDir.empty()) {
+        try {
+            return cacheVerify(o.verifyDir);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "symbolc: %s\n", e.what());
+            return 1;
+        }
+    }
+
     if (o.list) {
         for (const auto &b : suite::aquarius())
             std::printf("%s\n", b.name.c_str());
@@ -223,7 +280,13 @@ main(int argc, char **argv)
         suite::WorkloadOptions wo;
         wo.compiler.indexing = o.indexing;
         wo.translate.expandTagBranches = o.expandTags;
-        suite::Workload w(bench, wo);
+        // A single-benchmark run still goes through the evaluation
+        // driver so the persistent store serves it too.
+        suite::DriverOptions dopts;
+        dopts.jobs = 1;
+        dopts.cacheDir = o.cacheDir;
+        suite::EvalDriver driver(dopts);
+        const suite::Workload &w = driver.workload(bench, wo);
 
         if (o.dumpIci)
             std::printf("%s\n", w.ici().str().c_str());
@@ -288,6 +351,8 @@ main(int argc, char **argv)
                         bs.avgFaultyPrediction,
                         bs.avgTakenProbability);
         }
+        if (o.storeStats)
+            driver.reportStats();
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "symbolc: %s\n", e.what());
