@@ -20,6 +20,8 @@
 #include <cstdint>
 #include <string>
 
+#include "support/diagnostics.hh"
+
 namespace symbol::bam
 {
 
@@ -63,12 +65,26 @@ wordVal(Word w)
         static_cast<std::int32_t>(w & 0xffffffffull));
 }
 
-/** Pack a functor header (atom id + arity) into a Fun word value. */
+/** Widest arity the 8-bit field of a Fun word value can hold. */
+constexpr int kMaxFunctorArity = 255;
+
+/**
+ * Pack a functor header (atom id + arity) into a Fun word value.
+ * The arity field is 8 bits wide; an arity outside [0, 255] used to
+ * be silently masked — aliasing e.g. f/256 with f/0 — so the encoder
+ * rejects it instead.
+ */
 constexpr std::int64_t
 functorValue(std::int32_t atom, int arity)
 {
-    return (static_cast<std::int64_t>(atom) << 8) |
-           (static_cast<std::int64_t>(arity) & 0xff);
+    return (arity < 0 || arity > kMaxFunctorArity)
+               ? throw CompileError(
+                     "functor arity " + std::to_string(arity) +
+                     " does not fit the 8-bit arity field "
+                     "(max " + std::to_string(kMaxFunctorArity) +
+                     ")")
+               : (static_cast<std::int64_t>(atom) << 8) |
+                     static_cast<std::int64_t>(arity);
 }
 
 constexpr std::int32_t

@@ -98,6 +98,7 @@ struct TOp
 {
     IInstr instr;
     int origIdx = -1;  ///< original program index (priority order)
+    bool synthetic = false; ///< inserted trace-exit jump, no original
     bool isSplit = false; ///< in-trace conditional branch
     int offTraceBlock = -1; ///< CFG block of the split's exit edge
     AddrVal addr;      ///< for memory ops: symbolic address
@@ -198,6 +199,7 @@ class Compactor
 
         CompactResult res;
         res.code.code = std::move(wide_);
+        res.code.regionStart = std::move(regionStart_);
         res.code.entry =
             headWide_.at(cfg_.entryBlock);
         res.code.numRegs = prog_.numRegs;
@@ -218,6 +220,7 @@ class Compactor
     /** Flow stolen from each block by tail-duplicated copies. */
     std::vector<std::uint64_t> copiedFlow_;
     std::vector<vliw::WideInstr> wide_;
+    std::vector<int> regionStart_;
     std::map<int, int> headWide_; ///< head block -> wide index
     CompactStats stats_;
     double dynLenNum_ = 0, dynLenDen_ = 0, dynBlkNum_ = 0;
@@ -444,6 +447,7 @@ class Compactor
                                 cfg_.blockOf[static_cast<std::size_t>(
                                     fall)])].first;
             j.origIdx = lastb.last; // synthetic: shares priority slot
+            j.synthetic = true;
             ops.push_back(j);
         }
         return ops;
@@ -963,6 +967,7 @@ class Compactor
                 .push_back(i);
 
         headWide_[blocks.front()] = static_cast<int>(wide_.size());
+        regionStart_.push_back(static_cast<int>(wide_.size()));
         for (auto &cyc : byCycle) {
             // byCycle preserves ascending trace position, which IS
             // the branch-priority order (original program indices are
@@ -975,6 +980,10 @@ class Compactor
                 vliw::MicroOp m;
                 m.instr = ops[static_cast<std::size_t>(i)].instr;
                 m.unit = unitOf[static_cast<std::size_t>(i)];
+                m.orig = ops[static_cast<std::size_t>(i)].synthetic
+                             ? -1
+                             : ops[static_cast<std::size_t>(i)].origIdx;
+                m.seq = i;
                 w.ops.push_back(std::move(m));
             }
             wide_.push_back(std::move(w));

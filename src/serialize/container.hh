@@ -38,7 +38,7 @@ namespace symbol::serialize
 {
 
 /** Bump on ANY change to ANY artefact encoding (see header). */
-constexpr std::uint32_t kFormatVersion = 1;
+constexpr std::uint32_t kFormatVersion = 2;
 
 /** The 4 magic bytes opening every store file. */
 extern const char kMagic[4];

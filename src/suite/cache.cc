@@ -90,6 +90,8 @@ WorkloadCache::get(const Benchmark &bench, const WorkloadOptions &opts,
         }
         if (w && store_)
             w->attachStore(store_, key);
+        if (w)
+            w->setVerifySchedules(verify_);
         {
             std::lock_guard<std::mutex> lk(entry->m);
             entry->workload = std::move(w);

@@ -76,6 +76,11 @@ class WorkloadCache
      */
     void setStore(ArtifactStore *store) { store_ = store; }
 
+    /** Enable schedule verification on every Workload this cache
+     *  builds or restores (see Workload::setVerifySchedules). Call
+     *  before the first get(). */
+    void setVerify(bool on) { verify_ = on; }
+
     /**
      * The Workload for (@p bench, @p opts), building it on first
      * request. The reference stays valid for the cache's lifetime.
@@ -114,6 +119,7 @@ class WorkloadCache
     std::unordered_map<std::string, std::shared_ptr<Entry>> map_;
     CacheStats stats_;
     ArtifactStore *store_ = nullptr;
+    bool verify_ = false;
 };
 
 } // namespace symbol::suite

@@ -66,6 +66,11 @@ EvalDriver::EvalDriver(const DriverOptions &opts)
     : opts_(opts),
       pool_(std::make_unique<support::ThreadPool>(opts.jobs))
 {
+    if (!opts_.verifySchedules)
+        if (const char *env = std::getenv("SYMBOL_VERIFY"))
+            opts_.verifySchedules = *env != '\0' &&
+                                    std::string(env) != "0";
+    cache_.setVerify(opts_.verifySchedules);
     std::string dir = opts.cacheDir;
     if (dir.empty())
         if (const char *env = std::getenv("SYMBOL_CACHE_DIR"))
@@ -125,6 +130,7 @@ EvalDriver::fresh(const Benchmark &bench, const WorkloadOptions &opts)
     // valid for the driver's lifetime.
     auto b = std::make_unique<Benchmark>(bench);
     auto w = std::make_unique<Workload>(*b, opts);
+    w->setVerifySchedules(opts_.verifySchedules);
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.workloadsBuilt;
     freshBenches_.push_back(std::move(b));

@@ -48,6 +48,14 @@ struct DriverOptions
      * and when that is unset too, no disk store. Requires useCache.
      */
     std::string cacheDir;
+    /**
+     * Debug flag: statically verify every schedule (freshly compacted
+     * or deserialized from the store) with verify::checkSchedule
+     * before simulating; a violation fails the run with the full
+     * report. Also enabled by a non-empty, non-"0" SYMBOL_VERIFY
+     * environment variable.
+     */
+    bool verifySchedules = false;
 };
 
 /** Aggregate accounting across a driver's lifetime. */

@@ -4,6 +4,7 @@
 #include "sched/serialize.hh"
 #include "suite/store.hh"
 #include "support/diagnostics.hh"
+#include "verify/verify.hh"
 
 namespace symbol::suite
 {
@@ -148,7 +149,24 @@ Workload::simulate(const vliw::Code &code,
     if (out.latencyViolations != 0)
         throw RuntimeError(bench_->name + " (" + config.name +
                            "): schedule violates latencies");
+    if (sr.badUnitOps != 0)
+        throw RuntimeError(bench_->name + " (" + config.name +
+                           "): executed micro-ops with out-of-range "
+                           "unit ids — corrupt code");
     return out;
+}
+
+void
+Workload::verifyCode(const vliw::Code &code,
+                     const machine::MachineConfig &config,
+                     const char *origin) const
+{
+    verify::Report rep = verify::checkSchedule(code, *ici_, config);
+    if (!rep.ok())
+        throw RuntimeError(bench_->name + " (" + config.name + ", " +
+                           origin +
+                           "): schedule fails verification\n" +
+                           rep.str());
 }
 
 VliwRun
@@ -163,6 +181,11 @@ Workload::runVliw(const machine::MachineConfig &config,
         std::uint64_t seqCycles = 0;
         if (store_->loadVliw(key, interner_.get(), code, stats,
                              seqCycles)) {
+            // Deserialized artefacts get re-verified too: a stale or
+            // corrupted store entry must not sneak an illegal
+            // schedule past the debug sweep.
+            if (verifySchedules_)
+                verifyCode(code, config, "store");
             // The persisted per-config sequential cycle count saves
             // the speedup baseline re-emulation on warm starts.
             noteSeqCycles(config, seqCycles);
@@ -170,6 +193,8 @@ Workload::runVliw(const machine::MachineConfig &config,
         }
         sched::CompactResult cr =
             sched::compact(*ici_, run_.profile, config, copts);
+        if (verifySchedules_)
+            verifyCode(cr.code, config, "compacted");
         VliwRun out = simulate(cr.code, cr.stats, config);
         store_->storeVliw(key, cr.code, cr.stats,
                           seqCyclesFor(config));
@@ -177,6 +202,8 @@ Workload::runVliw(const machine::MachineConfig &config,
     }
     sched::CompactResult cr =
         sched::compact(*ici_, run_.profile, config, copts);
+    if (verifySchedules_)
+        verifyCode(cr.code, config, "compacted");
     return simulate(cr.code, cr.stats, config);
 }
 

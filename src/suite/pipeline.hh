@@ -127,6 +127,16 @@ class Workload
     bool answerMatches() const;
 
     /**
+     * Debug mode: run the independent schedule verifier
+     * (verify::checkSchedule) over every schedule runVliw() is about
+     * to simulate — both freshly compacted code and code deserialized
+     * from the artefact store — and throw RuntimeError with the full
+     * violation report if any check fails.
+     */
+    void setVerifySchedules(bool on) { verifySchedules_ = on; }
+    bool verifySchedules() const { return verifySchedules_; }
+
+    /**
      * Compact for @p config and simulate. Throws RuntimeError if the
      * VLIW execution diverges from the sequential answer — the
      * end-to-end correctness check of the back end.
@@ -143,6 +153,12 @@ class Workload
     /** Record a persisted per-latency sequential cycle count. */
     void noteSeqCycles(const machine::MachineConfig &config,
                        std::uint64_t cycles) const;
+    /** Run the independent verifier over @p code; throws
+     *  RuntimeError with the report when it fails. @p origin labels
+     *  the code path ("compacted" or "store") in the message. */
+    void verifyCode(const vliw::Code &code,
+                    const machine::MachineConfig &config,
+                    const char *origin) const;
 
     const Benchmark *bench_;
     std::unique_ptr<Interner> interner_;
@@ -156,6 +172,8 @@ class Workload
     /** Optional persistent store for compacted-code artefacts. */
     ArtifactStore *store_ = nullptr;
     std::string storeKey_;
+    /** Statically verify every schedule before simulating it. */
+    bool verifySchedules_ = false;
     /** Guards seqCache_: one Workload is shared by many concurrent
      *  runVliw() tasks under the parallel evaluation driver. */
     mutable std::mutex seqMu_;

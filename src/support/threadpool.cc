@@ -1,6 +1,8 @@
 #include "support/threadpool.hh"
 
+#include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 
 namespace symbol::support
@@ -12,18 +14,39 @@ namespace
 /** The pool the current thread is a worker of, if any. */
 thread_local ThreadPool *tlsWorkerPool = nullptr;
 
+/** Largest worker count SYMBOL_JOBS may request. */
+constexpr long kMaxJobs = 1024;
+
 } // namespace
 
 unsigned
 ThreadPool::defaultThreads()
 {
-    if (const char *env = std::getenv("SYMBOL_JOBS")) {
-        long v = std::strtol(env, nullptr, 10);
-        if (v > 0)
-            return static_cast<unsigned>(v);
-    }
     unsigned hw = std::thread::hardware_concurrency();
-    return hw ? hw : 1;
+    unsigned fallback = hw ? hw : 1;
+    const char *env = std::getenv("SYMBOL_JOBS");
+    if (!env || *env == '\0')
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    // Reject rather than guess: trailing garbage ("4x"), overflow,
+    // and non-positive counts all fall back to the hardware default
+    // with a warning, instead of silently becoming 0 or huge.
+    if (end == env || *end != '\0' || errno == ERANGE || v <= 0) {
+        std::fprintf(stderr,
+                     "[threadpool] ignoring invalid SYMBOL_JOBS=%s "
+                     "(expected an integer in [1, %ld]); using %u\n",
+                     env, kMaxJobs, fallback);
+        return fallback;
+    }
+    if (v > kMaxJobs) {
+        std::fprintf(stderr,
+                     "[threadpool] clamping SYMBOL_JOBS=%s to %ld\n",
+                     env, kMaxJobs);
+        return static_cast<unsigned>(kMaxJobs);
+    }
+    return static_cast<unsigned>(v);
 }
 
 ThreadPool::ThreadPool(unsigned threads)

@@ -1,0 +1,1420 @@
+#include "verify/verify.hh"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+
+#include "bam/word.hh"
+#include "support/text.hh"
+
+namespace symbol::verify
+{
+
+using bam::Tag;
+using bam::Word;
+using intcode::IInstr;
+using intcode::IOp;
+using intcode::OpClass;
+using machine::MachineConfig;
+
+namespace
+{
+
+using R = bam::Regs;
+using L = bam::Layout;
+
+// === The machine model, re-derived ======================================
+//
+// These tables deliberately duplicate the scheduler's understanding of
+// the datapath (operation latencies, issue slots, speculation safety,
+// memory areas) instead of importing it from src/sched: a bug there
+// must not be able to hide from the checks here. Everything below is
+// derived from machine::MachineConfig and the §3/§4 machine
+// description only.
+
+int
+opLatency(const IInstr &i, const MachineConfig &mc)
+{
+    switch (intcode::opClass(i.op)) {
+      case OpClass::Memory:
+        return i.op == IOp::Ld ? mc.memLatency : 1;
+      case OpClass::Alu:
+        return mc.aluLatency;
+      case OpClass::Move:
+        return mc.moveLatency;
+      default:
+        return 1;
+    }
+}
+
+/** May the op execute on a path where it originally would not have?
+ *  Stores and output are observable; Div/Mod may fault. */
+bool
+harmlessIfSpeculated(const IInstr &i)
+{
+    if (intcode::isControl(i.op))
+        return false;
+    switch (i.op) {
+      case IOp::St:
+      case IOp::Out:
+      case IOp::Div:
+      case IOp::Mod:
+        return false;
+      default:
+        return true;
+    }
+}
+
+enum class SlotClass : std::uint8_t { Mem, Alu, Move, Branch, None };
+
+SlotClass
+slotClassOf(IOp op)
+{
+    switch (intcode::opClass(op)) {
+      case OpClass::Memory: return SlotClass::Mem;
+      case OpClass::Alu: return SlotClass::Alu;
+      case OpClass::Move: return SlotClass::Move;
+      case OpClass::Control: return SlotClass::Branch;
+      case OpClass::Other:
+        // Out travels through a move port to the output buffer.
+        return op == IOp::Out ? SlotClass::Move : SlotClass::None;
+    }
+    return SlotClass::None;
+}
+
+const char *
+slotClassName(SlotClass s)
+{
+    switch (s) {
+      case SlotClass::Mem: return "memory";
+      case SlotClass::Alu: return "alu";
+      case SlotClass::Move: return "move";
+      case SlotClass::Branch: return "control";
+      default: return "none";
+    }
+}
+
+int
+slotLimitOf(SlotClass s, const MachineConfig &mc)
+{
+    switch (s) {
+      case SlotClass::Mem: return mc.memPerUnit;
+      case SlotClass::Alu: return mc.aluPerUnit;
+      case SlotClass::Move: return mc.movePerUnit;
+      case SlotClass::Branch: return mc.branchPerUnit;
+      default: return 1;
+    }
+}
+
+// === Independent memory disambiguation ==================================
+//
+// A fresh implementation of the §4.1 address reasoning: pointers are
+// tracked as base-register + constant offset through the address
+// arithmetic of one claimed source sequence, memory areas (heap,
+// stack, trail, PDL) are disjoint, and a store into a freshly carved
+// heap cell aliases nothing older. The rules are intentionally the
+// most permissive ones any scheduler configuration may assume, so a
+// legal schedule is never rejected; a schedule relying on anything
+// stronger is flagged.
+
+enum class Area : std::uint8_t { Heap, Stack, Trail, Pdl, Any };
+
+bool
+areasDisjoint(Area a, Area b)
+{
+    if (a == Area::Any)
+        return b == Area::Trail || b == Area::Pdl;
+    if (b == Area::Any)
+        return a == Area::Trail || a == Area::Pdl;
+    return a != b;
+}
+
+Area
+areaOfReg(int reg)
+{
+    switch (reg) {
+      case R::kH:
+      case R::kHb:
+        return Area::Heap;
+      case R::kE:
+      case R::kB:
+        return Area::Stack;
+      case R::kTr:
+        return Area::Trail;
+      case R::kPdl:
+        return Area::Pdl;
+      default:
+        return Area::Any;
+    }
+}
+
+Area
+areaOfAddr(std::int64_t a)
+{
+    if (a >= L::kHeapBase && a < L::kHeapEnd)
+        return Area::Heap;
+    if (a >= L::kStackBase && a < L::kStackEnd)
+        return Area::Stack;
+    if (a >= L::kTrailBase && a < L::kTrailEnd)
+        return Area::Trail;
+    if (a >= L::kPdlBase && a < L::kPdlEnd)
+        return Area::Pdl;
+    return Area::Any;
+}
+
+struct SymAddr
+{
+    enum class Kind : std::uint8_t { Top, Rel, Abs };
+    Kind kind = Kind::Top;
+    int base = -1; ///< Rel: base register
+    int gen = 0;   ///< Rel: generation of the base value
+    std::int64_t off = 0;
+    Area area = Area::Any;
+};
+
+/** One memory access with its resolved symbolic address. */
+struct MemRef
+{
+    bool isMem = false;
+    bool isStore = false;
+    bool fresh = false;
+    SymAddr addr;
+};
+
+/** Forward symbolic evaluation of the address arithmetic along one
+ *  claimed source sequence. */
+class AddrTracker
+{
+  public:
+    AddrTracker()
+    {
+        for (int r : {R::kH, R::kE, R::kB, R::kTr, R::kPdl, R::kHb})
+            val_[r] = baseVal(r, 0);
+    }
+
+    /** Resolve the memory address of @p i (if any), then apply its
+     *  register transfer. */
+    MemRef
+    access(const IInstr &i)
+    {
+        MemRef m;
+        if (i.op == IOp::Ld || i.op == IOp::St) {
+            m.isMem = true;
+            m.isStore = i.op == IOp::St;
+            m.fresh = i.fresh;
+            m.addr = of(i.ra);
+            if (m.addr.kind != SymAddr::Kind::Top)
+                m.addr.off += i.off;
+            else if (m.addr.area == Area::Any)
+                m.addr.area = areaOfReg(i.ra);
+        }
+        step(i);
+        return m;
+    }
+
+  private:
+    std::map<int, SymAddr> val_;
+    std::map<int, int> gen_;
+
+    static SymAddr
+    baseVal(int reg, int gen)
+    {
+        SymAddr v;
+        v.kind = SymAddr::Kind::Rel;
+        v.base = reg;
+        v.gen = gen;
+        v.off = 0;
+        v.area = areaOfReg(reg);
+        return v;
+    }
+
+    SymAddr
+    of(int reg) const
+    {
+        auto it = val_.find(reg);
+        return it == val_.end() ? SymAddr{} : it->second;
+    }
+
+    /** An architectural base register clobbered by an untracked value
+     *  starts a new generation (it still points into its own area,
+     *  but at an unknown place). */
+    void
+    clobberBase(int reg)
+    {
+        val_[reg] = baseVal(reg, ++gen_[reg]);
+    }
+
+    void
+    step(const IInstr &i)
+    {
+        int d = intcode::defReg(i);
+        if (d < 0)
+            return;
+        bool pinned = areaOfReg(d) != Area::Any;
+        switch (i.op) {
+          case IOp::Mov: {
+            SymAddr v = of(i.ra);
+            if (pinned && v.kind == SymAddr::Kind::Top)
+                clobberBase(d);
+            else
+                val_[d] = v;
+            break;
+          }
+          case IOp::Movi:
+            if (bam::wordTag(i.imm) == Tag::Int) {
+                SymAddr v;
+                v.kind = SymAddr::Kind::Abs;
+                v.off = bam::wordVal(i.imm);
+                v.area = areaOfAddr(v.off);
+                val_[d] = v;
+            } else if (pinned) {
+                clobberBase(d);
+            } else {
+                val_[d] = SymAddr{};
+            }
+            break;
+          case IOp::Add:
+          case IOp::Sub: {
+            SymAddr v = of(i.ra);
+            if (i.useImm && v.kind != SymAddr::Kind::Top) {
+                std::int64_t delta = bam::wordVal(i.imm);
+                v.off += i.op == IOp::Add ? delta : -delta;
+                val_[d] = v;
+            } else {
+                // reg+reg: only the area survives.
+                SymAddr v2;
+                Area a2 = i.useImm ? Area::Any : of(i.rb).area;
+                v2.area = v.area != Area::Any ? v.area : a2;
+                if (pinned && v2.area == Area::Any)
+                    clobberBase(d);
+                else
+                    val_[d] = v2;
+            }
+            break;
+          }
+          case IOp::MkTag:
+            val_[d] = of(i.ra); // value field preserved
+            break;
+          default:
+            if (pinned)
+                clobberBase(d);
+            else
+                val_[d] = SymAddr{};
+            break;
+        }
+    }
+};
+
+/** May accesses @p a (earlier) and @p b (later) touch the same word? */
+bool
+mayConflict(const MemRef &a, const MemRef &b)
+{
+    const SymAddr &x = a.addr;
+    const SymAddr &y = b.addr;
+    if (x.kind == SymAddr::Kind::Rel && y.kind == SymAddr::Kind::Rel &&
+        x.base == y.base && x.gen == y.gen)
+        return x.off == y.off;
+    if (x.kind == SymAddr::Kind::Abs && y.kind == SymAddr::Kind::Abs)
+        return x.off == y.off;
+    if (areasDisjoint(x.area, y.area))
+        return false;
+    // Fresh heap cell: nothing older can point at it.
+    if (b.isStore && b.fresh)
+        return false;
+    return true;
+}
+
+// === Independent instruction-level liveness =============================
+//
+// Backward may-be-read analysis over the original program, computed
+// directly on instructions (no shared CFG or liveness code): used to
+// prove that a speculatively hoisted definition cannot clobber a
+// value the off-trace path still needs.
+
+class InstrLiveness
+{
+  public:
+    void
+    compute(const intcode::Program &prog, int numRegs)
+    {
+        n_ = static_cast<int>(prog.code.size());
+        words_ = static_cast<std::size_t>((numRegs + 63) / 64);
+        bits_.assign(static_cast<std::size_t>(n_) * words_, 0);
+        if (n_ == 0 || words_ == 0)
+            return;
+
+        std::vector<int> addrTargets;
+        for (int k = 0; k < n_; ++k)
+            if ((k < static_cast<int>(prog.addressTaken.size()) &&
+                 prog.addressTaken[static_cast<std::size_t>(k)]) ||
+                (k < static_cast<int>(prog.procEntry.size()) &&
+                 prog.procEntry[static_cast<std::size_t>(k)]))
+                addrTargets.push_back(k);
+
+        std::vector<std::uint64_t> addrLive(words_, 0);
+        std::vector<std::uint64_t> tmp(words_, 0);
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            std::fill(addrLive.begin(), addrLive.end(), 0);
+            for (int t : addrTargets)
+                for (std::size_t w = 0; w < words_; ++w)
+                    addrLive[w] |= row(t)[w];
+            for (int k = n_ - 1; k >= 0; --k) {
+                const IInstr &i =
+                    prog.code[static_cast<std::size_t>(k)];
+                std::fill(tmp.begin(), tmp.end(), 0);
+                auto orIn = [&](int s) {
+                    if (s >= 0 && s < n_)
+                        for (std::size_t w = 0; w < words_; ++w)
+                            tmp[w] |= row(s)[w];
+                };
+                if (i.op == IOp::Halt) {
+                    // no successors
+                } else if (i.op == IOp::Jmp) {
+                    orIn(i.target);
+                } else if (i.op == IOp::Jmpi) {
+                    for (std::size_t w = 0; w < words_; ++w)
+                        tmp[w] |= addrLive[w];
+                } else if (intcode::isCondBranch(i.op)) {
+                    orIn(k + 1);
+                    orIn(i.target);
+                } else {
+                    orIn(k + 1);
+                }
+                int d = intcode::defReg(i);
+                if (d >= 0 && d < numRegs)
+                    tmp[static_cast<std::size_t>(d) / 64] &=
+                        ~(1ull << (static_cast<std::size_t>(d) % 64));
+                int uses[2];
+                int nu = 0;
+                intcode::useRegs(i, uses, nu);
+                for (int u = 0; u < nu; ++u)
+                    if (uses[u] < numRegs)
+                        tmp[static_cast<std::size_t>(uses[u]) / 64] |=
+                            1ull
+                            << (static_cast<std::size_t>(uses[u]) %
+                                64);
+                std::uint64_t *r = row(k);
+                for (std::size_t w = 0; w < words_; ++w) {
+                    if (tmp[w] != r[w]) {
+                        r[w] = tmp[w];
+                        changed = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /** May @p reg be read before written starting at @p instr? */
+    bool
+    live(int instr, int reg) const
+    {
+        if (instr < 0 || instr >= n_ || reg < 0 ||
+            static_cast<std::size_t>(reg) >= words_ * 64)
+            return false;
+        return (bits_[static_cast<std::size_t>(instr) * words_ +
+                      static_cast<std::size_t>(reg) / 64] >>
+                (static_cast<std::size_t>(reg) % 64)) &
+               1;
+    }
+
+  private:
+    int n_ = 0;
+    std::size_t words_ = 0;
+    std::vector<std::uint64_t> bits_;
+
+    std::uint64_t *
+    row(int k)
+    {
+        return bits_.data() + static_cast<std::size_t>(k) * words_;
+    }
+};
+
+// === The checker ========================================================
+
+class Checker
+{
+  public:
+    Checker(const vliw::Code &code, const intcode::Program &prog,
+            const MachineConfig &mc)
+        : code_(code), prog_(prog), mc_(mc)
+    {
+    }
+
+    Report
+    run()
+    {
+        rep_.wideInstrs = code_.code.size();
+        rep_.microOps = code_.numOps();
+        rep_.regions = code_.regionStart.size();
+
+        bool structure = checkStructure();
+        checkResources(); // also collects Cod targets
+        if (structure) {
+            computeHeadOrigs();
+            checkEntryCorrespondence();
+            live_.compute(prog_, prog_.numRegs);
+            for (std::size_t r = 0; r < starts_.size(); ++r)
+                checkRegion(static_cast<int>(r));
+            if (entryOk_)
+                checkLatencies();
+        }
+        return std::move(rep_);
+    }
+
+  private:
+    struct SOp
+    {
+        int wide = 0;
+        int pos = 0;
+        int cycle = 0; ///< wide index relative to the region start
+        const vliw::MicroOp *m = nullptr;
+    };
+
+    const vliw::Code &code_;
+    const intcode::Program &prog_;
+    const MachineConfig &mc_;
+    Report rep_;
+    std::vector<int> starts_;    ///< validated region table
+    std::vector<int> headOrigs_; ///< first source op per region
+    std::set<int> codTargets_;   ///< valid Cod immediates (wide)
+    bool entryOk_ = true;
+    InstrLiveness live_;
+
+    int
+    size() const
+    {
+        return static_cast<int>(code_.code.size());
+    }
+
+    void
+    add(Kind k, int wide, int op, std::string detail)
+    {
+        ++rep_.total;
+        ++rep_.byKind[static_cast<std::size_t>(k)];
+        if (rep_.violations.size() < Report::kMaxRecorded)
+            rep_.violations.push_back(
+                {k, wide, op, std::move(detail)});
+    }
+
+    bool
+    isStart(int w) const
+    {
+        return std::binary_search(starts_.begin(), starts_.end(), w);
+    }
+
+    int
+    regionIndexOf(int w) const
+    {
+        auto it = std::upper_bound(starts_.begin(), starts_.end(), w);
+        return static_cast<int>(it - starts_.begin()) - 1;
+    }
+
+    // --- Structure ----------------------------------------------------
+
+    bool
+    checkStructure()
+    {
+        const auto &rs = code_.regionStart;
+        const int n = size();
+        if (n == 0) {
+            if (!rs.empty())
+                add(Kind::Malformed, -1, -1,
+                    "empty code with a non-empty region table");
+            entryOk_ = false;
+            return false;
+        }
+        bool ok = true;
+        if (rs.empty() || rs.front() != 0) {
+            add(Kind::Malformed, -1, -1,
+                "region table missing or not starting at wide 0");
+            ok = false;
+        }
+        for (std::size_t k = 1; k < rs.size() && ok; ++k) {
+            if (rs[k] <= rs[k - 1] || rs[k] >= n) {
+                add(Kind::Malformed, -1, -1,
+                    strprintf("region table entry %zu (%d) is not "
+                              "ascending and in range",
+                              k, rs[k]));
+                ok = false;
+            }
+        }
+        if (ok)
+            starts_ = rs;
+        if (code_.numRegs < prog_.numRegs)
+            add(Kind::Malformed, -1, -1,
+                strprintf("register file (%d) smaller than the "
+                          "source program's (%d)",
+                          code_.numRegs, prog_.numRegs));
+        if (code_.entry < 0 || code_.entry >= n ||
+            (ok && !isStart(code_.entry))) {
+            add(Kind::BadTarget, -1, -1,
+                strprintf("entry %d is not a region head",
+                          code_.entry));
+            entryOk_ = false;
+        }
+        return ok;
+    }
+
+    // --- (a) resource legality + per-op sanity -------------------------
+
+    void
+    checkResources()
+    {
+        const int n = size();
+        for (int w = 0; w < n; ++w) {
+            const auto &ops =
+                code_.code[static_cast<std::size_t>(w)].ops;
+            struct UnitUse
+            {
+                std::array<int, 4> slots{};
+                bool ctl = false;
+                bool data = false;
+            };
+            std::map<int, UnitUse> use;
+            int memOps = 0;
+            bool exitSeen = false;
+            for (std::size_t p = 0; p < ops.size(); ++p) {
+                int pos = static_cast<int>(p);
+                const vliw::MicroOp &m = ops[p];
+                const IInstr &i = m.instr;
+                bool unitOk = m.unit >= 0 && m.unit < mc_.numUnits;
+                if (!unitOk)
+                    add(Kind::BadUnit, w, pos,
+                        strprintf("unit %d outside [0, %d)", m.unit,
+                                  mc_.numUnits));
+                checkRegisters(w, pos, i);
+                if (intcode::isCondBranch(i.op) || i.op == IOp::Jmp) {
+                    if (i.target < 0 || i.target >= n)
+                        add(Kind::BadTarget, w, pos,
+                            strprintf("branch target %d out of range",
+                                      i.target));
+                    else if (!starts_.empty() && !isStart(i.target))
+                        add(Kind::BadTarget, w, pos,
+                            strprintf("branch target %d is not a "
+                                      "region head",
+                                      i.target));
+                }
+                if (i.useImm && bam::wordTag(i.imm) == Tag::Cod) {
+                    int t = static_cast<int>(bam::wordVal(i.imm));
+                    if (t < 0 || t >= n ||
+                        (!starts_.empty() && !isStart(t)))
+                        add(Kind::BadTarget, w, pos,
+                            strprintf("code-address immediate %d is "
+                                      "not a region head",
+                                      t));
+                    else
+                        codTargets_.insert(t);
+                }
+                if (intcode::isControl(i.op)) {
+                    if (exitSeen)
+                        add(Kind::BranchOrder, w, pos,
+                            "control op after an unconditional exit "
+                            "in the same instruction");
+                    if (i.op == IOp::Jmp || i.op == IOp::Jmpi ||
+                        i.op == IOp::Halt)
+                        exitSeen = true;
+                }
+                SlotClass s = slotClassOf(i.op);
+                if (s == SlotClass::None)
+                    continue;
+                if (s == SlotClass::Mem)
+                    ++memOps;
+                if (unitOk) {
+                    UnitUse &u = use[m.unit];
+                    ++u.slots[static_cast<std::size_t>(s)];
+                    if (s == SlotClass::Branch)
+                        u.ctl = true;
+                    if (s == SlotClass::Alu || s == SlotClass::Move)
+                        u.data = true;
+                }
+            }
+            for (const auto &[u, uu] : use) {
+                for (int c = 0; c < 4; ++c) {
+                    SlotClass s = static_cast<SlotClass>(c);
+                    int limit = slotLimitOf(s, mc_);
+                    if (uu.slots[static_cast<std::size_t>(c)] > limit)
+                        add(Kind::SlotLimit, w, -1,
+                            strprintf(
+                                "unit %d issues %d %s ops (limit %d)",
+                                u,
+                                uu.slots[static_cast<std::size_t>(c)],
+                                slotClassName(s), limit));
+                }
+                if (mc_.twoFormats && uu.ctl && uu.data)
+                    add(Kind::Format, w, -1,
+                        strprintf("unit %d mixes control and data "
+                                  "formats",
+                                  u));
+            }
+            if (memOps > mc_.memPortsTotal)
+                add(Kind::MemPorts, w, -1,
+                    strprintf("%d memory ops issued (%d ports)",
+                              memOps, mc_.memPortsTotal));
+        }
+    }
+
+    void
+    checkRegisters(int w, int pos, const IInstr &i)
+    {
+        int d = intcode::defReg(i);
+        bool needsDef = intcode::opClass(i.op) == OpClass::Alu ||
+                        intcode::opClass(i.op) == OpClass::Move ||
+                        i.op == IOp::Ld;
+        if (needsDef && (d < 0 || d >= code_.numRegs))
+            add(Kind::BadRegister, w, pos,
+                strprintf("destination register %d out of range", d));
+        int uses[2];
+        int nu = 0;
+        intcode::useRegs(i, uses, nu);
+        for (int u = 0; u < nu; ++u)
+            if (uses[u] >= code_.numRegs)
+                add(Kind::BadRegister, w, pos,
+                    strprintf("source register %d out of range",
+                              uses[u]));
+    }
+
+    // --- Provenance ----------------------------------------------------
+
+    /**
+     * Can control reach instruction @p to from @p from in the
+     * original program executing nothing (only falling through Nops
+     * and following direct jumps, neither of which the compactor
+     * emits)?
+     */
+    bool
+    chases(int from, int to) const
+    {
+        int cur = from;
+        int steps = static_cast<int>(prog_.code.size()) + 1;
+        while (steps-- > 0) {
+            if (cur < 0 ||
+                cur >= static_cast<int>(prog_.code.size()))
+                return false;
+            if (cur == to)
+                return true;
+            const IInstr &i =
+                prog_.code[static_cast<std::size_t>(cur)];
+            if (i.op == IOp::Nop)
+                cur = cur + 1;
+            else if (i.op == IOp::Jmp)
+                cur = i.target;
+            else
+                return false;
+        }
+        return false;
+    }
+
+    /** Does wide index @p wideIdx denote the code the original
+     *  program reaches at instruction @p srcIdx? */
+    bool
+    corresponds(int srcIdx, int wideIdx) const
+    {
+        if (wideIdx < 0 || wideIdx >= size() || !isStart(wideIdx))
+            return false;
+        int ho = headOrigs_[static_cast<std::size_t>(
+            regionIndexOf(wideIdx))];
+        if (ho < 0)
+            return true; // region has no source ops to refute it
+        return chases(srcIdx, ho);
+    }
+
+    void
+    computeHeadOrigs()
+    {
+        headOrigs_.assign(starts_.size(), -1);
+        for (std::size_t r = 0; r < starts_.size(); ++r) {
+            int start = starts_[r];
+            int end = r + 1 < starts_.size()
+                          ? starts_[r + 1]
+                          : size();
+            int bestSeq = -1;
+            for (int w = start; w < end; ++w)
+                for (const vliw::MicroOp &m :
+                     code_.code[static_cast<std::size_t>(w)].ops)
+                    if (m.orig >= 0 && m.seq >= 0 &&
+                        (bestSeq < 0 || m.seq < bestSeq)) {
+                        bestSeq = m.seq;
+                        headOrigs_[r] = m.orig;
+                    }
+        }
+    }
+
+    void
+    checkEntryCorrespondence()
+    {
+        if (!entryOk_)
+            return;
+        int ho = headOrigs_[static_cast<std::size_t>(
+            regionIndexOf(code_.entry))];
+        if (ho >= 0 && !chases(prog_.entry, ho))
+            add(Kind::BadTarget, code_.entry, -1,
+                strprintf("entry region does not correspond to "
+                          "program entry %d",
+                          prog_.entry));
+    }
+
+    /** The source instruction an op claims to implement (itself for
+     *  the synthetic trace-exit jump). */
+    const IInstr &
+    srcOf(const SOp &s) const
+    {
+        if (s.m->orig >= 0 &&
+            s.m->orig < static_cast<int>(prog_.code.size()))
+            return prog_.code[static_cast<std::size_t>(s.m->orig)];
+        return s.m->instr;
+    }
+
+    /** Validate one op against its claimed source instruction.
+     *  Returns false when the claim is broken. */
+    bool
+    checkOpProvenance(const SOp &s, std::size_t k, std::size_t nS)
+    {
+        const IInstr &i = s.m->instr;
+        int o = s.m->orig;
+        if (o < 0) {
+            if (i.op != IOp::Jmp) {
+                add(Kind::Mismatch, s.wide, s.pos,
+                    "synthetic op is not a trace-exit jump");
+                return false;
+            }
+            if (k + 1 != nS) {
+                add(Kind::NotAPath, s.wide, s.pos,
+                    "ops follow the synthetic trace-exit jump");
+                return false;
+            }
+            return true;
+        }
+        if (o >= static_cast<int>(prog_.code.size())) {
+            add(Kind::Malformed, s.wide, s.pos,
+                strprintf("source index %d out of range", o));
+            return false;
+        }
+        const IInstr &src =
+            prog_.code[static_cast<std::size_t>(o)];
+        bool fields = i.rd == src.rd && i.ra == src.ra &&
+                      i.rb == src.rb && i.useImm == src.useImm &&
+                      i.off == src.off && i.tag == src.tag &&
+                      i.fresh == src.fresh;
+        if (fields && i.useImm) {
+            if (bam::wordTag(src.imm) == Tag::Cod) {
+                // Rewritten by the compactor: validate the mapping.
+                if (bam::wordTag(i.imm) != Tag::Cod ||
+                    !corresponds(
+                        static_cast<int>(bam::wordVal(src.imm)),
+                        static_cast<int>(bam::wordVal(i.imm)))) {
+                    add(Kind::Mismatch, s.wide, s.pos,
+                        strprintf("code-address immediate does not "
+                                  "correspond to source %d",
+                                  o));
+                    return false;
+                }
+            } else if (i.imm != src.imm) {
+                fields = false;
+            }
+        }
+        if (!fields) {
+            add(Kind::Mismatch, s.wide, s.pos,
+                strprintf("operands differ from source "
+                          "instruction %d",
+                          o));
+            return false;
+        }
+        if (i.op == src.op) {
+            if ((intcode::isCondBranch(i.op) || i.op == IOp::Jmp) &&
+                !corresponds(src.target, i.target)) {
+                add(Kind::Mismatch, s.wide, s.pos,
+                    strprintf("branch target does not correspond to "
+                              "source target %d",
+                              src.target));
+                return false;
+            }
+            return true;
+        }
+        if (intcode::isCondBranch(src.op) &&
+            i.op == intcode::invertBranch(src.op)) {
+            // Inverted split: the wide target is the source
+            // fallthrough.
+            if (!corresponds(o + 1, i.target)) {
+                add(Kind::Mismatch, s.wide, s.pos,
+                    strprintf("inverted branch target does not "
+                              "correspond to fallthrough %d",
+                              o + 1));
+                return false;
+            }
+            return true;
+        }
+        add(Kind::Mismatch, s.wide, s.pos,
+            strprintf("opcode differs from source instruction %d",
+                      o));
+        return false;
+    }
+
+    /** b directly follows a in the claimed sequence: is that a step
+     *  the original program can take? */
+    void
+    checkFollows(const SOp &a, const SOp &b)
+    {
+        if (b.m->orig < 0)
+            return; // synthetic exit, target checked elsewhere
+        const IInstr &src = srcOf(a);
+        if (src.op == IOp::Jmpi || src.op == IOp::Halt) {
+            add(Kind::NotAPath, b.wide, b.pos,
+                strprintf("source %d follows an unconditional exit",
+                          b.m->orig));
+            return;
+        }
+        int startI;
+        if (intcode::isCondBranch(src.op))
+            // Same opcode: the trace fell through. Inverted: the
+            // trace followed the taken edge.
+            startI = a.m->instr.op == src.op ? a.m->orig + 1
+                                             : src.target;
+        else if (src.op == IOp::Jmp)
+            startI = src.target;
+        else
+            startI = a.m->orig + 1;
+        if (!chases(startI, b.m->orig))
+            add(Kind::NotAPath, b.wide, b.pos,
+                strprintf("source %d does not follow source %d on "
+                          "any program path",
+                          b.m->orig, a.m->orig));
+    }
+
+    // --- (c) per-region dependence preservation ------------------------
+
+    void
+    checkRegion(int r)
+    {
+        int start = starts_[static_cast<std::size_t>(r)];
+        int end = static_cast<std::size_t>(r) + 1 < starts_.size()
+                      ? starts_[static_cast<std::size_t>(r) + 1]
+                      : size();
+        std::vector<SOp> s;
+        for (int w = start; w < end; ++w) {
+            const auto &ops =
+                code_.code[static_cast<std::size_t>(w)].ops;
+            for (std::size_t p = 0; p < ops.size(); ++p)
+                s.push_back({w, static_cast<int>(p), w - start,
+                             &ops[p]});
+        }
+        if (s.empty())
+            return;
+        std::stable_sort(s.begin(), s.end(),
+                         [](const SOp &a, const SOp &b) {
+                             return a.m->seq < b.m->seq;
+                         });
+        for (const SOp &op : s) {
+            if (op.m->seq < 0) {
+                add(Kind::Malformed, op.wide, op.pos,
+                    "micro-op without provenance (seq unset)");
+                return;
+            }
+        }
+        for (std::size_t k = 1; k < s.size(); ++k) {
+            if (s[k].m->seq == s[k - 1].m->seq) {
+                add(Kind::Malformed, s[k].wide, s[k].pos,
+                    strprintf("duplicate sequence position %d",
+                              s[k].m->seq));
+                return;
+            }
+        }
+
+        bool provOk = true;
+        for (std::size_t k = 0; k < s.size(); ++k)
+            provOk &= checkOpProvenance(s[k], k, s.size());
+        if (provOk)
+            for (std::size_t k = 1; k < s.size(); ++k)
+                checkFollows(s[k - 1], s[k]);
+
+        checkDeps(s);
+        checkBus(start, end);
+    }
+
+    void
+    checkDeps(const std::vector<SOp> &s)
+    {
+        AddrTracker addr;
+        std::map<int, int> lastDef;  ///< reg -> S index
+        std::map<int, std::vector<int>> readers;
+        std::vector<int> memIdx;
+        std::vector<MemRef> memRef(s.size());
+        std::vector<int> branches;
+        int lastOut = -1, lastBranch = -1;
+        int maxDataCycle = -1, maxDataIdx = -1;
+
+        auto cyc = [&](int k) {
+            return s[static_cast<std::size_t>(k)].cycle;
+        };
+        auto pos = [&](int k) {
+            return s[static_cast<std::size_t>(k)].pos;
+        };
+        // (cycle, position) priority order: strictly before.
+        auto before = [&](int i, int j) {
+            return cyc(i) < cyc(j) ||
+                   (cyc(i) == cyc(j) && pos(i) < pos(j));
+        };
+
+        for (int k = 0; k < static_cast<int>(s.size()); ++k) {
+            const SOp &sk = s[static_cast<std::size_t>(k)];
+            const IInstr &ins = srcOf(sk);
+
+            // True dependences: a consumer reads pre-cycle state, so
+            // it must issue at or after the producer's commit.
+            int uses[2];
+            int nu = 0;
+            intcode::useRegs(ins, uses, nu);
+            for (int u = 0; u < nu; ++u) {
+                auto it = lastDef.find(uses[u]);
+                if (it != lastDef.end()) {
+                    ++rep_.depEdges;
+                    int d = it->second;
+                    int need =
+                        cyc(d) +
+                        opLatency(srcOf(s[static_cast<std::size_t>(
+                                      d)]),
+                                  mc_);
+                    if (cyc(k) < need)
+                        add(Kind::DepOrder, sk.wide, sk.pos,
+                            strprintf(
+                                "consumes r%d at region cycle %d; "
+                                "its producer (source %d) commits "
+                                "at %d",
+                                uses[u], cyc(k),
+                                s[static_cast<std::size_t>(d)]
+                                    .m->orig,
+                                need));
+                }
+                readers[uses[u]].push_back(k);
+            }
+
+            int d = intcode::defReg(ins);
+            if (d >= 0) {
+                auto it = lastDef.find(d);
+                if (it != lastDef.end()) {
+                    ++rep_.depEdges;
+                    int p = it->second;
+                    int ci =
+                        cyc(p) +
+                        opLatency(srcOf(s[static_cast<std::size_t>(
+                                      p)]),
+                                  mc_);
+                    int cj = cyc(k) + opLatency(ins, mc_);
+                    if (cj <= ci)
+                        add(Kind::DepOrder, sk.wide, sk.pos,
+                            strprintf(
+                                "output dependence on r%d not "
+                                "preserved (source %d must commit "
+                                "after source %d)",
+                                d, sk.m->orig,
+                                s[static_cast<std::size_t>(p)]
+                                    .m->orig));
+                }
+                for (int rk : readers[d]) {
+                    if (rk == k)
+                        continue;
+                    ++rep_.depEdges;
+                    if (cyc(k) < cyc(rk))
+                        add(Kind::DepOrder, sk.wide, sk.pos,
+                            strprintf(
+                                "anti dependence on r%d: write at "
+                                "cycle %d precedes its reader at %d",
+                                d, cyc(k), cyc(rk)));
+                }
+                readers[d].clear();
+                lastDef[d] = k;
+            }
+
+            // Memory ordering, with independent disambiguation.
+            MemRef mr = addr.access(ins);
+            memRef[static_cast<std::size_t>(k)] = mr;
+            if (mr.isMem) {
+                for (int i : memIdx) {
+                    const MemRef &a =
+                        memRef[static_cast<std::size_t>(i)];
+                    if (!a.isStore && !mr.isStore)
+                        continue; // load-load never conflicts
+                    if (!mayConflict(a, mr))
+                        continue;
+                    ++rep_.depEdges;
+                    bool ok;
+                    if (a.isStore && mr.isStore)
+                        // Same-cycle stores commit in op order.
+                        ok = before(i, k);
+                    else if (a.isStore)
+                        // A load reads pre-cycle memory: it must
+                        // issue strictly after the store's cycle.
+                        ok = cyc(k) > cyc(i);
+                    else
+                        // Store after load: same cycle is fine.
+                        ok = cyc(k) >= cyc(i);
+                    if (!ok)
+                        add(Kind::DepOrder, sk.wide, sk.pos,
+                            strprintf(
+                                "memory dependence reordered "
+                                "(source %d vs %d)",
+                                sk.m->orig,
+                                s[static_cast<std::size_t>(i)]
+                                    .m->orig));
+                }
+                memIdx.push_back(k);
+            }
+
+            // Observable output order.
+            if (ins.op == IOp::Out) {
+                if (lastOut >= 0) {
+                    ++rep_.depEdges;
+                    if (!before(lastOut, k))
+                        add(Kind::DepOrder, sk.wide, sk.pos,
+                            "output operations reordered");
+                }
+                lastOut = k;
+            }
+
+            if (intcode::isControl(ins.op)) {
+                // Branch priority must follow source order.
+                if (lastBranch >= 0 && !before(lastBranch, k))
+                    add(Kind::BranchOrder, sk.wide, sk.pos,
+                        "branch issued before or at the priority "
+                        "slot of an earlier branch");
+                // Nothing that preceded a branch may sink below it.
+                if (maxDataCycle > cyc(k))
+                    add(Kind::DepOrder, sk.wide, sk.pos,
+                        strprintf("op (source %d) sinks below the "
+                                  "branch",
+                                  s[static_cast<std::size_t>(
+                                       maxDataIdx)]
+                                      .m->orig));
+                lastBranch = k;
+                branches.push_back(k);
+            } else {
+                if (cyc(k) > maxDataCycle) {
+                    maxDataCycle = cyc(k);
+                    maxDataIdx = k;
+                }
+                for (int b : branches) {
+                    if (cyc(k) > cyc(b))
+                        continue; // not hoisted above this split
+                    if (!harmlessIfSpeculated(ins)) {
+                        add(Kind::Speculation, sk.wide, sk.pos,
+                            strprintf("side-effecting op (source "
+                                      "%d) hoisted above a split",
+                                      sk.m->orig));
+                        continue;
+                    }
+                    if (d < 0)
+                        continue;
+                    int off = offPathStartOf(
+                        s[static_cast<std::size_t>(b)]);
+                    if (off >= 0 && live_.live(off, d))
+                        add(Kind::Speculation, sk.wide, sk.pos,
+                            strprintf(
+                                "hoisted def of r%d is live on the "
+                                "off-trace path (source %d)",
+                                d, off));
+                }
+            }
+        }
+    }
+
+    /** First original instruction of a split's off-trace path. */
+    int
+    offPathStartOf(const SOp &b) const
+    {
+        int o = b.m->orig;
+        if (o < 0 ||
+            o >= static_cast<int>(prog_.code.size()))
+            return -1;
+        const IInstr &src =
+            prog_.code[static_cast<std::size_t>(o)];
+        if (!intcode::isCondBranch(src.op))
+            return -1;
+        if (b.m->instr.op == src.op)
+            return src.target;
+        if (b.m->instr.op == intcode::invertBranch(src.op))
+            return o + 1;
+        return -1;
+    }
+
+    // --- (a) inter-unit bus limits (clustered machines) -----------------
+
+    void
+    checkBus(int start, int end)
+    {
+        if (!mc_.clustered)
+            return;
+        struct Def
+        {
+            int cycle;
+            int unit;
+            int lat;
+        };
+        std::map<int, Def> lastDef;
+        for (int w = start; w < end; ++w) {
+            int cycle = w - start;
+            const auto &ops =
+                code_.code[static_cast<std::size_t>(w)].ops;
+            int crossings = 0;
+            for (std::size_t p = 0; p < ops.size(); ++p) {
+                const vliw::MicroOp &m = ops[p];
+                int uses[2];
+                int nu = 0;
+                intcode::useRegs(m.instr, uses, nu);
+                for (int u = 0; u < nu; ++u) {
+                    auto it = lastDef.find(uses[u]);
+                    // Only region-local producers ride the bus: a
+                    // live-in value sits in every bank by the time
+                    // the region starts.
+                    if (it == lastDef.end() ||
+                        it->second.cycle >= cycle)
+                        continue;
+                    if (it->second.unit == m.unit)
+                        continue;
+                    ++crossings;
+                    if (cycle < it->second.cycle + it->second.lat +
+                                    mc_.busLatency)
+                        add(Kind::BusLatency, w,
+                            static_cast<int>(p),
+                            strprintf(
+                                "r%d consumed on unit %d before it "
+                                "crossed the bus (producer on unit "
+                                "%d commits at %d, bus latency %d)",
+                                uses[u], m.unit, it->second.unit,
+                                it->second.cycle + it->second.lat,
+                                mc_.busLatency));
+                }
+            }
+            // Defs become visible to later cycles only.
+            for (const vliw::MicroOp &m : ops) {
+                int d = intcode::defReg(m.instr);
+                if (d >= 0)
+                    lastDef[d] = {cycle, m.unit,
+                                  opLatency(m.instr, mc_)};
+            }
+            if (crossings > mc_.busTransfersPerCycle)
+                add(Kind::BusLimit, w, -1,
+                    strprintf("%d bus transfers in one cycle "
+                              "(limit %d)",
+                              crossings, mc_.busTransfersPerCycle));
+        }
+    }
+
+    // --- (b) latency feasibility over the wide-code CFG -----------------
+
+    /** Static successors of wide instr @p w with the cycles that
+     *  elapse along each edge. */
+    std::vector<std::pair<int, int>>
+    successorsOf(int w, bool *fallsOff) const
+    {
+        std::vector<std::pair<int, int>> out;
+        const auto &ops =
+            code_.code[static_cast<std::size_t>(w)].ops;
+        int taken = 1 + mc_.branchPenalty;
+        // Halt always ends the cycle, whatever else is issued.
+        for (const vliw::MicroOp &m : ops)
+            if (m.instr.op == IOp::Halt)
+                return out;
+        bool uncond = false;
+        for (const vliw::MicroOp &m : ops) {
+            const IInstr &i = m.instr;
+            if (intcode::isCondBranch(i.op)) {
+                if (i.target >= 0 && i.target < size())
+                    out.push_back({i.target, taken});
+            } else if (i.op == IOp::Jmp) {
+                if (i.target >= 0 && i.target < size())
+                    out.push_back({i.target, taken});
+                uncond = true;
+                break;
+            } else if (i.op == IOp::Jmpi) {
+                for (int t : codTargets_)
+                    out.push_back({t, taken});
+                uncond = true;
+                break;
+            }
+        }
+        if (!uncond) {
+            if (w + 1 < size())
+                out.push_back({w + 1, 1});
+            else if (fallsOff)
+                *fallsOff = true;
+        }
+        return out;
+    }
+
+    void
+    checkLatencies()
+    {
+        const int n = size();
+        // in[w]: per register, worst-case cycles until an in-flight
+        // write commits, measured at the start of w's cycle.
+        std::vector<std::map<int, int>> in(
+            static_cast<std::size_t>(n));
+        std::vector<char> reached(static_cast<std::size_t>(n), 0);
+        std::deque<int> wl;
+        reached[static_cast<std::size_t>(code_.entry)] = 1;
+        wl.push_back(code_.entry);
+
+        auto outState = [&](int w) {
+            std::map<int, int> out =
+                in[static_cast<std::size_t>(w)];
+            for (const vliw::MicroOp &m :
+                 code_.code[static_cast<std::size_t>(w)].ops) {
+                int d = intcode::defReg(m.instr);
+                if (d >= 0)
+                    out[d] = opLatency(m.instr, mc_);
+            }
+            return out;
+        };
+
+        while (!wl.empty()) {
+            int w = wl.front();
+            wl.pop_front();
+            std::map<int, int> out = outState(w);
+            for (auto [t, elapsed] : successorsOf(w, nullptr)) {
+                std::size_t st = static_cast<std::size_t>(t);
+                bool changed = false;
+                if (!reached[st]) {
+                    reached[st] = 1;
+                    changed = true;
+                }
+                for (auto [reg, c] : out) {
+                    int nc = c - elapsed;
+                    if (nc <= 0)
+                        continue;
+                    auto it = in[st].find(reg);
+                    if (it == in[st].end()) {
+                        in[st][reg] = nc;
+                        changed = true;
+                    } else if (it->second < nc) {
+                        it->second = nc;
+                        changed = true;
+                    }
+                }
+                if (changed)
+                    wl.push_back(t);
+            }
+        }
+
+        // Report against the converged states.
+        for (int w = 0; w < n; ++w) {
+            if (!reached[static_cast<std::size_t>(w)])
+                continue;
+            ++rep_.reachableWide;
+            const std::map<int, int> &st =
+                in[static_cast<std::size_t>(w)];
+            auto pending = [&](int reg) {
+                auto it = st.find(reg);
+                return it == st.end() ? 0 : it->second;
+            };
+            const auto &ops =
+                code_.code[static_cast<std::size_t>(w)].ops;
+            for (std::size_t p = 0; p < ops.size(); ++p) {
+                int uses[2];
+                int nu = 0;
+                intcode::useRegs(ops[p].instr, uses, nu);
+                for (int u = 0; u < nu; ++u)
+                    if (pending(uses[u]) > 0)
+                        add(Kind::Latency, w, static_cast<int>(p),
+                            strprintf(
+                                "reads r%d %d cycle(s) before its "
+                                "producer commits on some static "
+                                "path",
+                                uses[u], pending(uses[u])));
+            }
+            std::map<int, int> written; // reg -> latency this cycle
+            for (std::size_t p = 0; p < ops.size(); ++p) {
+                int d = intcode::defReg(ops[p].instr);
+                if (d < 0)
+                    continue;
+                int lat = opLatency(ops[p].instr, mc_);
+                auto it = written.find(d);
+                // A new write must commit strictly after any write
+                // still in flight (the file has one write port per
+                // register; the sim models a single pending slot).
+                if (pending(d) >= lat || it != written.end())
+                    add(Kind::WriteOverlap, w, static_cast<int>(p),
+                        strprintf("write of r%d while an earlier "
+                                  "write is still in flight",
+                                  d));
+                written[d] = lat;
+            }
+            bool fallsOff = false;
+            successorsOf(w, &fallsOff);
+            if (fallsOff)
+                add(Kind::BadTarget, w, -1,
+                    "control can fall off the end of the code");
+        }
+    }
+};
+
+} // namespace
+
+const char *
+kindName(Kind k)
+{
+    switch (k) {
+      case Kind::Malformed: return "Malformed";
+      case Kind::Mismatch: return "Mismatch";
+      case Kind::NotAPath: return "NotAPath";
+      case Kind::BadUnit: return "BadUnit";
+      case Kind::SlotLimit: return "SlotLimit";
+      case Kind::MemPorts: return "MemPorts";
+      case Kind::Format: return "Format";
+      case Kind::BusLimit: return "BusLimit";
+      case Kind::BusLatency: return "BusLatency";
+      case Kind::BadRegister: return "BadRegister";
+      case Kind::BadTarget: return "BadTarget";
+      case Kind::Latency: return "Latency";
+      case Kind::WriteOverlap: return "WriteOverlap";
+      case Kind::DepOrder: return "DepOrder";
+      case Kind::BranchOrder: return "BranchOrder";
+      case Kind::Speculation: return "Speculation";
+    }
+    return "?";
+}
+
+std::string
+Violation::str() const
+{
+    return strprintf("[%s] wide %d op %d: %s", kindName(kind), wide,
+                     op, detail.c_str());
+}
+
+std::string
+Report::str() const
+{
+    std::string out = strprintf(
+        "schedule verification: %s — %zu wide instrs (%zu "
+        "reachable), %zu micro-ops, %zu regions, %zu dependence "
+        "edges checked\n",
+        ok() ? "OK" : "FAILED", wideInstrs, reachableWide, microOps,
+        regions, depEdges);
+    if (ok())
+        return out;
+    out += strprintf("%llu violation(s):\n",
+                     static_cast<unsigned long long>(total));
+    for (int k = 0; k < kNumKinds; ++k)
+        if (byKind[static_cast<std::size_t>(k)])
+            out += strprintf(
+                "  %-12s %llu\n", kindName(static_cast<Kind>(k)),
+                static_cast<unsigned long long>(
+                    byKind[static_cast<std::size_t>(k)]));
+    for (const Violation &v : violations)
+        out += "  " + v.str() + "\n";
+    if (total > violations.size())
+        out += strprintf("  ... and %llu more\n",
+                         static_cast<unsigned long long>(
+                             total - violations.size()));
+    return out;
+}
+
+Report
+checkSchedule(const vliw::Code &code, const intcode::Program &prog,
+              const machine::MachineConfig &config)
+{
+    return Checker(code, prog, config).run();
+}
+
+} // namespace symbol::verify

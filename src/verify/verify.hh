@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Independent static verifier for compacted VLIW schedules.
+ *
+ * The global compactor (§3.2, §4.3) claims that its output preserves
+ * sequential Prolog semantics while packing ICIs into wide
+ * instructions. The differential simulator checks that claim only on
+ * the paths a benchmark happens to execute; this pass re-derives the
+ * legality of *every* wide instruction and *every* static path,
+ * independently of the scheduler's own dependence graph, resource
+ * tables and latency bookkeeping:
+ *
+ *  (a) resource legality — per-unit memory/ALU/move/control issue
+ *      slots, the shared memory-port budget, the two-format
+ *      instruction restriction of §5.1 and the inter-unit bus limits
+ *      of the clustered machines, all re-counted from MachineConfig;
+ *  (b) latency feasibility — a fixpoint dataflow over the wide-code
+ *      control-flow graph proving that on no static path is a
+ *      register read before its producing write has committed (or
+ *      overwritten while still in flight), the invariant
+ *      vliw::SimResult::latencyViolations can only observe
+ *      dynamically;
+ *  (c) dependence preservation — per scheduled region, the original
+ *      operation sequence is reconstructed from the compactor's
+ *      provenance (MicroOp::orig / MicroOp::seq), validated to be a
+ *      real path of the original IntCode program (so the provenance
+ *      itself cannot lie), and the true / anti / output / memory /
+ *      observable-output dependences are rebuilt from scratch — with
+ *      an independent symbolic memory disambiguation and an
+ *      independent instruction-level liveness analysis — and checked
+ *      against the emitted cycle/priority order, including across
+ *      tail-duplicated compensation copies;
+ *  (d) control-flow sanity — entry, branch targets and code-address
+ *      immediates land on region heads that correspond to the
+ *      original branch destinations, and branch priority within a
+ *      wide instruction is consistent with operation position.
+ *
+ * The only scheduler output the verifier trusts is the provenance
+ * *mapping* — and only after proving it consistent with the original
+ * program; every dependence, resource count and latency is recomputed
+ * here from the IntCode program and the machine description alone.
+ */
+
+#ifndef SYMBOL_VERIFY_VERIFY_HH
+#define SYMBOL_VERIFY_VERIFY_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "intcode/instr.hh"
+#include "machine/config.hh"
+#include "vliw/code.hh"
+
+namespace symbol::verify
+{
+
+/** Violation classes reported by checkSchedule. */
+enum class Kind : std::uint8_t
+{
+    Malformed,    ///< region table / provenance structurally broken
+    Mismatch,     ///< micro-op differs from its claimed source ICI
+    NotAPath,     ///< region sequence is not a path of the program
+    BadUnit,      ///< unit id outside [0, numUnits)
+    SlotLimit,    ///< per-unit issue slot class oversubscribed
+    MemPorts,     ///< shared memory ports oversubscribed in a cycle
+    Format,       ///< §5.1 two-format restriction violated
+    BusLimit,     ///< inter-unit bus transfers oversubscribed
+    BusLatency,   ///< cross-unit operand consumed before it crossed
+    BadRegister,  ///< register index outside [0, numRegs)
+    BadTarget,    ///< entry/branch/Cod target invalid or mid-region
+    Latency,      ///< static path reads an uncommitted result
+    WriteOverlap, ///< write issued while an earlier one is in flight
+    DepOrder,     ///< true/WAR/WAW/memory/output dependence reordered
+    BranchOrder,  ///< branch order or priority inconsistent
+    Speculation,  ///< illegal hoist above a split (side effect or
+                  ///< off-live destination)
+};
+
+constexpr int kNumKinds = 16;
+
+/** Printable name of a violation class. */
+const char *kindName(Kind k);
+
+/** One verifier finding, anchored to a wide instruction. */
+struct Violation
+{
+    Kind kind;
+    /** Wide-instruction index (-1 when not attributable). */
+    int wide = -1;
+    /** Operation position inside the wide instruction, or -1. */
+    int op = -1;
+    std::string detail;
+
+    std::string str() const;
+};
+
+/** Outcome of one verification pass. */
+struct Report
+{
+    /** First findings, in discovery order (capped at kMaxRecorded so
+     *  a corrupt program cannot explode the report). */
+    std::vector<Violation> violations;
+    /** Total violations counted, including unrecorded ones. */
+    std::uint64_t total = 0;
+    /** Violation count per Kind (indexed by its enum value). */
+    std::array<std::uint64_t, kNumKinds> byKind{};
+
+    /** @name Coverage statistics */
+    /** @{ */
+    std::size_t wideInstrs = 0;
+    std::size_t microOps = 0;
+    std::size_t regions = 0;
+    /** Wide instructions reachable on some static path. */
+    std::size_t reachableWide = 0;
+    /** Dependence edges rebuilt and checked. */
+    std::size_t depEdges = 0;
+    /** @} */
+
+    static constexpr std::size_t kMaxRecorded = 64;
+
+    bool ok() const { return total == 0; }
+
+    /** Multi-line human-readable summary. */
+    std::string str() const;
+};
+
+/**
+ * Statically verify that @p code is a legal schedule of @p prog for
+ * machine @p config. Never throws on bad input code: every problem
+ * becomes a Violation in the returned Report.
+ */
+Report checkSchedule(const vliw::Code &code,
+                     const intcode::Program &prog,
+                     const machine::MachineConfig &config);
+
+} // namespace symbol::verify
+
+#endif // SYMBOL_VERIFY_VERIFY_HH

@@ -28,6 +28,21 @@ struct MicroOp
     intcode::IInstr instr;
     /** Unit the op is bound to. */
     int unit = 0;
+    /**
+     * Provenance: index of the source instruction in the original
+     * IntCode program (-1 for synthetic operations such as trace
+     * exit jumps). Tail-duplicated compensation copies share the
+     * orig of the instruction they duplicate.
+     */
+    int orig = -1;
+    /**
+     * Provenance: position of the op in its region's linearised
+     * source sequence. Together with region boundaries this lets an
+     * independent checker reconstruct the program order the
+     * scheduler claims to have preserved (see verify::checkSchedule)
+     * without trusting any scheduling decision.
+     */
+    int seq = -1;
 };
 
 /** One wide instruction (everything issues in the same cycle). */
@@ -43,6 +58,13 @@ struct Code
     std::vector<WideInstr> code;
     int entry = 0;
     int numRegs = 0;
+    /**
+     * First wide-instruction index of every scheduled region (trace
+     * or basic block), in ascending order. A region spans from its
+     * start to the next region's start (or the end of code). All
+     * branch targets land on region starts.
+     */
+    std::vector<int> regionStart;
     const Interner *interner = nullptr;
 
     /** Total micro-operations. */

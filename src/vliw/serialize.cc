@@ -17,10 +17,15 @@ encode(Writer &w, const Code &code)
         for (const MicroOp &op : wi.ops) {
             intcode::encodeInstr(w, op.instr);
             w.vi(op.unit);
+            w.vi(op.orig);
+            w.vi(op.seq);
         }
     }
     w.vi(code.entry);
     w.vi(code.numRegs);
+    w.vu(code.regionStart.size());
+    for (int s : code.regionStart)
+        w.vi(s);
 }
 
 Code
@@ -37,12 +42,18 @@ decodeCode(Reader &r, const Interner *interner)
             MicroOp op;
             op.instr = intcode::decodeInstr(r);
             op.unit = static_cast<int>(r.vi());
+            op.orig = static_cast<int>(r.vi());
+            op.seq = static_cast<int>(r.vi());
             wi.ops.push_back(op);
         }
         code.code.push_back(std::move(wi));
     }
     code.entry = static_cast<int>(r.vi());
     code.numRegs = static_cast<int>(r.vi());
+    std::size_t nr = r.count(1);
+    code.regionStart.reserve(nr);
+    for (std::size_t k = 0; k < nr; ++k)
+        code.regionStart.push_back(static_cast<int>(r.vi()));
     code.interner = interner;
     return code;
 }

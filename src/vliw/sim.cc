@@ -124,6 +124,8 @@ Machine::run(const SimOptions &opts)
             if (m.unit >= 0 &&
                 m.unit < static_cast<int>(res.unitOps.size()))
                 ++res.unitOps[static_cast<std::size_t>(m.unit)];
+            else
+                ++res.badUnitOps;
             Word a = i.ra >= 0 ? readReg(i.ra) : 0;
             Word b = i.useImm
                          ? i.imm

@@ -47,6 +47,11 @@ struct SimResult
     std::uint64_t latencyViolations = 0;
     /** Cycles in which at least one memory access issued. */
     std::uint64_t memBusyCycles = 0;
+    /** Executed micro-ops whose unit id fell outside
+     *  [0, numUnits) — any nonzero value means corrupt code (such
+     *  ops are counted here instead of being silently dropped from
+     *  unitOps). */
+    std::uint64_t badUnitOps = 0;
     /** Executed-operation count per unit (resource utilisation). */
     std::vector<std::uint64_t> unitOps;
     std::vector<Word> output;

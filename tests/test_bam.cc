@@ -43,6 +43,18 @@ TEST(Word, FunctorPacking)
     EXPECT_EQ(functorArity(f), 3);
 }
 
+TEST(Word, FunctorArityBoundsEnforced)
+{
+    // The arity field is 8 bits; out-of-range arities used to be
+    // silently masked, aliasing f/256 with f/0.
+    std::int64_t top = functorValue(7, kMaxFunctorArity);
+    EXPECT_EQ(functorArity(top), kMaxFunctorArity);
+    EXPECT_EQ(functorAtom(top), 7);
+    EXPECT_THROW(functorValue(7, kMaxFunctorArity + 1), CompileError);
+    EXPECT_THROW(functorValue(7, 1000), CompileError);
+    EXPECT_THROW(functorValue(7, -1), CompileError);
+}
+
 TEST(Word, LayoutAreasAreDisjointAndOrdered)
 {
     EXPECT_LT(Layout::kHeapBase, Layout::kHeapEnd);

@@ -22,6 +22,7 @@
 #include "serialize/interner.hh"
 #include "suite/pipeline.hh"
 #include "support/text.hh"
+#include "vliw/serialize.hh"
 
 using namespace symbol;
 using serialize::Container;
@@ -91,6 +92,49 @@ TEST(Serialize, CodecPrimitivesRoundTrip)
     EXPECT_EQ(r.vecU8(), (std::vector<std::uint8_t>{9, 8, 7}));
     EXPECT_TRUE(r.atEnd());
     EXPECT_NO_THROW(r.expectEnd());
+}
+
+TEST(Serialize, VliwCodeProvenanceRoundTrips)
+{
+    // The schedule verifier re-derives dependences from
+    // MicroOp::orig / MicroOp::seq and Code::regionStart, so the
+    // store must round-trip them exactly — otherwise artefacts
+    // reloaded from disk could not be re-verified.
+    vliw::Code c;
+    vliw::WideInstr w0, w1;
+    vliw::MicroOp m0;
+    m0.instr.op = intcode::IOp::Movi;
+    m0.instr.rd = 4;
+    m0.instr.useImm = true;
+    m0.instr.imm = bam::makeWord(bam::Tag::Int, 7);
+    m0.unit = 1;
+    m0.orig = 12;
+    m0.seq = 0;
+    vliw::MicroOp m1;
+    m1.instr.op = intcode::IOp::Halt;
+    m1.unit = 0;
+    m1.orig = 13;
+    m1.seq = 1;
+    w0.ops = {m0};
+    w1.ops = {m1};
+    c.code = {w0, w1};
+    c.entry = 0;
+    c.numRegs = 5;
+    c.regionStart = {0, 1};
+
+    Writer w;
+    vliw::encode(w, c);
+    Reader r(w.bytes());
+    vliw::Code d = vliw::decodeCode(r, nullptr);
+    ASSERT_EQ(d.code.size(), 2u);
+    ASSERT_EQ(d.code[0].ops.size(), 1u);
+    EXPECT_EQ(d.code[0].ops[0].unit, 1);
+    EXPECT_EQ(d.code[0].ops[0].orig, 12);
+    EXPECT_EQ(d.code[0].ops[0].seq, 0);
+    EXPECT_EQ(d.code[1].ops[0].orig, 13);
+    EXPECT_EQ(d.code[1].ops[0].seq, 1);
+    EXPECT_EQ(d.numRegs, 5);
+    EXPECT_EQ(d.regionStart, (std::vector<int>{0, 1}));
 }
 
 TEST(Serialize, CodecRejectsMalformedInput)

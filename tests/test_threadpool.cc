@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <numeric>
 #include <set>
 #include <string>
@@ -200,4 +201,34 @@ TEST(ThreadPool, DefaultThreadsIsPositive)
     EXPECT_GE(pool.size(), 1u);
     auto f = pool.submit([] { return 7; });
     EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPool, DefaultThreadsValidatesJobsEnv)
+{
+    // Save and restore whatever the harness environment set.
+    const char *saved = std::getenv("SYMBOL_JOBS");
+    std::string savedVal = saved ? saved : "";
+
+    setenv("SYMBOL_JOBS", "3", 1);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 3u);
+
+    // Invalid values fall back to the hardware default instead of
+    // silently becoming 0 threads or a runaway worker count.
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned fallback = hw ? hw : 1;
+    for (const char *bad : {"0", "-4", "4x", "", "jobs",
+                            "99999999999999999999"}) {
+        setenv("SYMBOL_JOBS", bad, 1);
+        EXPECT_EQ(ThreadPool::defaultThreads(), fallback)
+            << "SYMBOL_JOBS=" << bad;
+    }
+
+    // Huge-but-parseable counts clamp to the sane maximum.
+    setenv("SYMBOL_JOBS", "500000", 1);
+    EXPECT_EQ(ThreadPool::defaultThreads(), 1024u);
+
+    if (saved)
+        setenv("SYMBOL_JOBS", savedVal.c_str(), 1);
+    else
+        unsetenv("SYMBOL_JOBS");
 }

@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Tests for the independent schedule verifier (src/verify).
+ *
+ * Two halves: hand-built schedules with valid provenance where each
+ * class of illegality (oversubscribed slot, latency-violating read,
+ * reordered memory dependence, dangling branch target, bad unit id,
+ * overlapping writes) must be reported with the intended violation
+ * kind — and a benchmark sweep asserting the verifier accepts every
+ * schedule the compactor actually emits.
+ */
+
+#include <gtest/gtest.h>
+
+#include "machine/config.hh"
+#include "sched/compact.hh"
+#include "suite/driver.hh"
+#include "verify/verify.hh"
+
+using namespace symbol;
+using intcode::IInstr;
+using intcode::IOp;
+using verify::Kind;
+
+namespace
+{
+
+IInstr
+movi(int rd, std::int64_t value)
+{
+    IInstr i;
+    i.op = IOp::Movi;
+    i.rd = rd;
+    i.useImm = true;
+    i.imm = bam::makeWord(bam::Tag::Int, value);
+    return i;
+}
+
+IInstr
+addr(int rd, int ra, int rb)
+{
+    IInstr i;
+    i.op = IOp::Add;
+    i.rd = rd;
+    i.ra = ra;
+    i.rb = rb;
+    return i;
+}
+
+IInstr
+ld(int rd, int ra, int off)
+{
+    IInstr i;
+    i.op = IOp::Ld;
+    i.rd = rd;
+    i.ra = ra;
+    i.off = off;
+    return i;
+}
+
+IInstr
+st(int ra, int off, int rb)
+{
+    IInstr i;
+    i.op = IOp::St;
+    i.ra = ra;
+    i.rb = rb;
+    i.off = off;
+    return i;
+}
+
+IInstr
+jmp(int target)
+{
+    IInstr i;
+    i.op = IOp::Jmp;
+    i.target = target;
+    return i;
+}
+
+IInstr
+halt()
+{
+    IInstr i;
+    i.op = IOp::Halt;
+    return i;
+}
+
+intcode::Program
+progOf(std::vector<IInstr> code, int numRegs)
+{
+    intcode::Program p;
+    p.code = std::move(code);
+    p.entry = 0;
+    p.numRegs = numRegs;
+    return p;
+}
+
+vliw::MicroOp
+op(IInstr i, int unit, int orig, int seq)
+{
+    vliw::MicroOp m;
+    m.instr = i;
+    m.unit = unit;
+    m.orig = orig;
+    m.seq = seq;
+    return m;
+}
+
+vliw::Code
+codeOf(std::vector<vliw::WideInstr> wides, int numRegs,
+       std::vector<int> regions = {0})
+{
+    vliw::Code c;
+    c.code = std::move(wides);
+    c.entry = 0;
+    c.numRegs = numRegs;
+    c.regionStart = std::move(regions);
+    return c;
+}
+
+/** A permissive unclustered machine so the hand-built tests isolate
+ *  exactly one illegality at a time. */
+machine::MachineConfig
+flatConfig(int units)
+{
+    machine::MachineConfig mc = machine::MachineConfig::idealShared(units);
+    mc.clustered = false;
+    mc.memPortsTotal = units;
+    return mc;
+}
+
+/** movi r0; movi r1 ‖ add r2 ‖ halt — legal on two units. */
+struct StraightLine
+{
+    intcode::Program prog = progOf(
+        {movi(0, 1), movi(1, 2), addr(2, 0, 1), halt()}, 3);
+
+    vliw::Code
+    schedule(int unit0, int unit1) const
+    {
+        vliw::WideInstr w0, w1, w2;
+        w0.ops = {op(prog.code[0], unit0, 0, 0),
+                  op(prog.code[1], unit1, 1, 1)};
+        w1.ops = {op(prog.code[2], 0, 2, 2)};
+        w2.ops = {op(prog.code[3], 0, 3, 3)};
+        return codeOf({w0, w1, w2}, 3);
+    }
+};
+
+} // namespace
+
+TEST(Verify, LegalStraightLineVerifiesClean)
+{
+    StraightLine s;
+    verify::Report rep = verify::checkSchedule(s.schedule(0, 1),
+                                               s.prog, flatConfig(2));
+    EXPECT_TRUE(rep.ok()) << rep.str();
+    EXPECT_EQ(rep.regions, 1u);
+    EXPECT_EQ(rep.wideInstrs, 3u);
+    EXPECT_EQ(rep.microOps, 4u);
+    EXPECT_EQ(rep.reachableWide, 3u);
+    EXPECT_GE(rep.depEdges, 2u);
+}
+
+TEST(Verify, OversubscribedMoveSlotReported)
+{
+    StraightLine s;
+    // Both immediate moves on unit 0 in the same cycle: two move
+    // slots against movePerUnit == 1.
+    verify::Report rep = verify::checkSchedule(s.schedule(0, 0),
+                                               s.prog, flatConfig(2));
+    EXPECT_FALSE(rep.ok());
+    EXPECT_GE(rep.byKind[static_cast<int>(Kind::SlotLimit)], 1u);
+    EXPECT_EQ(rep.byKind[static_cast<int>(Kind::DepOrder)], 0u);
+}
+
+TEST(Verify, BadUnitIdReported)
+{
+    StraightLine s;
+    verify::Report rep = verify::checkSchedule(s.schedule(0, 7),
+                                               s.prog, flatConfig(2));
+    EXPECT_FALSE(rep.ok());
+    EXPECT_GE(rep.byKind[static_cast<int>(Kind::BadUnit)], 1u);
+}
+
+TEST(Verify, LatencyViolatingReadReported)
+{
+    StraightLine s;
+    machine::MachineConfig mc = flatConfig(2);
+    // With two-cycle moves the add one cycle below its operands'
+    // writes reads them before they commit — on every static path.
+    mc.moveLatency = 2;
+    verify::Report rep =
+        verify::checkSchedule(s.schedule(0, 1), s.prog, mc);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_GE(rep.byKind[static_cast<int>(Kind::Latency)], 1u);
+}
+
+TEST(Verify, ReorderedMemoryDependenceReported)
+{
+    // Source order: store to [r0], then load from [r0]. The
+    // schedule issues the load a cycle before the store, so the load
+    // reads the pre-store memory.
+    intcode::Program prog = progOf(
+        {movi(0, 0x1000), st(0, 0, 1), ld(2, 0, 0), halt()}, 3);
+    vliw::WideInstr w0, w1, w2, w3;
+    w0.ops = {op(prog.code[0], 0, 0, 0)};
+    w1.ops = {op(prog.code[2], 0, 2, 2)};
+    w2.ops = {op(prog.code[1], 1, 1, 1)};
+    w3.ops = {op(prog.code[3], 0, 3, 3)};
+    verify::Report rep = verify::checkSchedule(
+        codeOf({w0, w1, w2, w3}, 3), prog, flatConfig(2));
+    EXPECT_FALSE(rep.ok());
+    EXPECT_GE(rep.byKind[static_cast<int>(Kind::DepOrder)], 1u);
+}
+
+TEST(Verify, OrderedMemoryAccessesVerifyClean)
+{
+    // Same program, source-ordered schedule: store strictly before
+    // the load.
+    intcode::Program prog = progOf(
+        {movi(0, 0x1000), st(0, 0, 1), ld(2, 0, 0), halt()}, 3);
+    vliw::WideInstr w0, w1, w2, w3;
+    w0.ops = {op(prog.code[0], 0, 0, 0)};
+    w1.ops = {op(prog.code[1], 0, 1, 1)};
+    w2.ops = {op(prog.code[2], 1, 2, 2)};
+    w3.ops = {op(prog.code[3], 0, 3, 3)};
+    verify::Report rep = verify::checkSchedule(
+        codeOf({w0, w1, w2, w3}, 3), prog, flatConfig(2));
+    EXPECT_TRUE(rep.ok()) << rep.str();
+}
+
+TEST(Verify, DanglingBranchTargetReported)
+{
+    intcode::Program prog = progOf(
+        {movi(0, 1), jmp(3), movi(0, 2), halt()}, 1);
+    vliw::WideInstr w0, w1, w2;
+    w0.ops = {op(prog.code[0], 0, 0, 0)};
+    IInstr j = prog.code[1];
+    j.target = 99; // dangling: far past the end of the wide code
+    w1.ops = {op(j, 0, 1, 1)};
+    w2.ops = {op(prog.code[3], 0, 3, 0)};
+    verify::Report rep = verify::checkSchedule(
+        codeOf({w0, w1, w2}, 1, {0, 2}), prog, flatConfig(2));
+    EXPECT_FALSE(rep.ok());
+    EXPECT_GE(rep.byKind[static_cast<int>(Kind::BadTarget)], 1u);
+}
+
+TEST(Verify, RetargetedJumpToRegionHeadVerifiesClean)
+{
+    // The legal version of the same schedule: the jump lands on the
+    // region head that corresponds to its source target.
+    intcode::Program prog = progOf(
+        {movi(0, 1), jmp(3), movi(0, 2), halt()}, 1);
+    vliw::WideInstr w0, w1, w2;
+    w0.ops = {op(prog.code[0], 0, 0, 0)};
+    IInstr j = prog.code[1];
+    j.target = 2;
+    w1.ops = {op(j, 0, 1, 1)};
+    w2.ops = {op(prog.code[3], 0, 3, 0)};
+    verify::Report rep = verify::checkSchedule(
+        codeOf({w0, w1, w2}, 1, {0, 2}), prog, flatConfig(2));
+    EXPECT_TRUE(rep.ok()) << rep.str();
+}
+
+TEST(Verify, OverlappingWritesReported)
+{
+    intcode::Program prog =
+        progOf({movi(0, 1), movi(0, 2), halt()}, 1);
+    vliw::WideInstr w0, w1;
+    w0.ops = {op(prog.code[0], 0, 0, 0),
+              op(prog.code[1], 1, 1, 1)};
+    w1.ops = {op(prog.code[2], 0, 2, 2)};
+    verify::Report rep = verify::checkSchedule(
+        codeOf({w0, w1}, 1), prog, flatConfig(2));
+    EXPECT_FALSE(rep.ok());
+    EXPECT_GE(rep.byKind[static_cast<int>(Kind::WriteOverlap)], 1u);
+}
+
+TEST(Verify, ForgedProvenanceReported)
+{
+    // The micro-op claims to implement source 0 but computes
+    // something else: the provenance validation must refuse it
+    // rather than verify the forged sequence.
+    StraightLine s;
+    vliw::Code code = s.schedule(0, 1);
+    code.code[0].ops[0].instr = movi(0, 42);
+    verify::Report rep =
+        verify::checkSchedule(code, s.prog, flatConfig(2));
+    EXPECT_FALSE(rep.ok());
+    EXPECT_GE(rep.byKind[static_cast<int>(Kind::Mismatch)], 1u);
+}
+
+TEST(Verify, NonPathSequenceReported)
+{
+    // Claimed region sequence skips over instruction 1, which no
+    // program path allows (1 is not a Nop or a jump).
+    StraightLine s;
+    vliw::WideInstr w0, w1, w2;
+    w0.ops = {op(s.prog.code[0], 0, 0, 0)};
+    w1.ops = {op(s.prog.code[2], 0, 2, 1)};
+    w2.ops = {op(s.prog.code[3], 0, 3, 2)};
+    verify::Report rep = verify::checkSchedule(
+        codeOf({w0, w1, w2}, 3), s.prog, flatConfig(2));
+    EXPECT_FALSE(rep.ok());
+    EXPECT_GE(rep.byKind[static_cast<int>(Kind::NotAPath)], 1u);
+}
+
+TEST(Verify, SharedMemPortOversubscriptionReported)
+{
+    // Two independent loads in one cycle against memPortsTotal == 1.
+    intcode::Program prog = progOf(
+        {movi(0, 0x1000), ld(1, 0, 0), ld(2, 0, 1), halt()}, 3);
+    vliw::WideInstr w0, w1, w2;
+    w0.ops = {op(prog.code[0], 0, 0, 0)};
+    w1.ops = {op(prog.code[1], 0, 1, 1),
+              op(prog.code[2], 1, 2, 2)};
+    w2.ops = {op(prog.code[3], 0, 3, 3)};
+    machine::MachineConfig mc = flatConfig(2);
+    mc.memPortsTotal = 1;
+    verify::Report rep = verify::checkSchedule(
+        codeOf({w0, w1, w2}, 3), prog, mc);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_GE(rep.byKind[static_cast<int>(Kind::MemPorts)], 1u);
+}
+
+TEST(Verify, MalformedRegionTableReported)
+{
+    StraightLine s;
+    vliw::Code code = s.schedule(0, 1);
+    code.regionStart = {1}; // must start at wide 0
+    verify::Report rep =
+        verify::checkSchedule(code, s.prog, flatConfig(2));
+    EXPECT_FALSE(rep.ok());
+    EXPECT_GE(rep.byKind[static_cast<int>(Kind::Malformed)], 1u);
+}
+
+// --- The sweep: every schedule the compactor emits must verify ------
+
+TEST(VerifySweep, CompactorSchedulesVerifyClean)
+{
+    suite::EvalDriver driver;
+    struct Point
+    {
+        machine::MachineConfig mc;
+        sched::CompactOptions co;
+    };
+    std::vector<Point> points;
+    points.push_back({machine::MachineConfig::idealShared(3), {}});
+    points.push_back({machine::MachineConfig::prototype(3), {}});
+    {
+        sched::CompactOptions co;
+        co.traceMode = false;
+        points.push_back(
+            {machine::MachineConfig::idealShared(3), co});
+    }
+    std::vector<std::string> benches;
+    for (const auto &b : suite::aquarius())
+        benches.push_back(b.name);
+
+    std::vector<verify::Report> reps = driver.map(
+        points.size() * benches.size(), [&](std::size_t i) {
+            const Point &pt = points[i / benches.size()];
+            const suite::Workload &w =
+                driver.workload(benches[i % benches.size()]);
+            sched::CompactResult cr = sched::compact(
+                w.ici(), w.profile(), pt.mc, pt.co);
+            return verify::checkSchedule(cr.code, w.ici(), pt.mc);
+        });
+    for (std::size_t i = 0; i < reps.size(); ++i)
+        EXPECT_TRUE(reps[i].ok())
+            << benches[i % benches.size()] << ": " << reps[i].str();
+}
+
+TEST(VerifySweep, DriverDebugFlagVerifiesEndToEnd)
+{
+    // The EvalDriver debug flag routes every runVliw through the
+    // verifier (a violation would throw out of sweep()).
+    suite::DriverOptions dopts;
+    dopts.verifySchedules = true;
+    suite::EvalDriver driver(dopts);
+    suite::EvalTask t;
+    t.bench = "nreverse";
+    t.config = machine::MachineConfig::idealShared(3);
+    std::vector<suite::VliwRun> runs = driver.sweep({t});
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_GT(runs[0].cycles, 0u);
+}

@@ -29,6 +29,14 @@
  *                      file's checksums and format version, print a
  *                      per-file report and exit (1 if any file is
  *                      bad)
+ *     --verify-schedule  run the independent schedule verifier
+ *                      (src/verify): with a file or --bench NAME it
+ *                      verifies that run's schedule before
+ *                      simulating; alone it sweeps every suite
+ *                      benchmark across the default machine, the
+ *                      Table 3 unit sweep, the prototype and the
+ *                      ablation configurations, prints a summary
+ *                      table and exits 1 on any violation
  *     --mode M         trace | bb | seq       (default trace)
  *     --proto          SYMBOL prototype configuration (two formats,
  *                      3-cycle memory, 2-cycle delayed branches)
@@ -41,7 +49,9 @@
  *     --stats          print instruction mix and branch statistics
  */
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -51,6 +61,7 @@
 #include "suite/driver.hh"
 #include "suite/pipeline.hh"
 #include "support/text.hh"
+#include "verify/verify.hh"
 
 using namespace symbol;
 
@@ -66,6 +77,7 @@ struct Options
     std::string mode = "trace";
     std::string cacheDir;   // "" = SYMBOL_CACHE_DIR env / none
     std::string verifyDir;  // --cache-verify subcommand
+    bool verifySchedule = false;
     bool storeStats = false;
     bool proto = false;
     bool indexing = true;
@@ -87,23 +99,80 @@ usage()
     return 2;
 }
 
+/**
+ * Parse the numeric operand of flag @p name from argv[++k]. A
+ * missing operand, trailing garbage, overflow or a value outside
+ * [@p lo, @p hi] is diagnosed on stderr and fails the parse — the
+ * old std::atoi calls read past argc and silently turned garbage
+ * into 0.
+ */
+bool
+numFlag(int argc, char **argv, int &k, const char *name, long lo,
+        long hi, int &out)
+{
+    if (k + 1 >= argc) {
+        std::fprintf(stderr,
+                     "symbolc: %s requires a numeric operand\n",
+                     name);
+        return false;
+    }
+    const char *s = argv[++k];
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(s, &end, 10);
+    if (end == s || *end != '\0' || errno == ERANGE || v < lo ||
+        v > hi) {
+        std::fprintf(stderr,
+                     "symbolc: %s: invalid operand '%s' (expected "
+                     "an integer in [%ld, %ld])\n",
+                     name, s, lo, hi);
+        return false;
+    }
+    out = static_cast<int>(v);
+    return true;
+}
+
+/** Parse the string operand of flag @p name, diagnosing a missing
+ *  operand instead of falling through to the generic usage error. */
+bool
+strFlag(int argc, char **argv, int &k, const char *name,
+        std::string &out)
+{
+    if (k + 1 >= argc) {
+        std::fprintf(stderr, "symbolc: %s requires an operand\n",
+                     name);
+        return false;
+    }
+    out = argv[++k];
+    return true;
+}
+
 bool
 parseArgs(int argc, char **argv, Options &o)
 {
     for (int k = 1; k < argc; ++k) {
         std::string a = argv[k];
-        if (a == "--units" && k + 1 < argc) {
-            o.units = std::atoi(argv[++k]);
-        } else if (a == "--jobs" && k + 1 < argc) {
-            o.jobs = std::atoi(argv[++k]);
-        } else if (a == "--mode" && k + 1 < argc) {
-            o.mode = argv[++k];
-        } else if (a == "--bench" && k + 1 < argc) {
-            o.bench = argv[++k];
-        } else if (a == "--cache-dir" && k + 1 < argc) {
-            o.cacheDir = argv[++k];
-        } else if (a == "--cache-verify" && k + 1 < argc) {
-            o.verifyDir = argv[++k];
+        if (a == "--units") {
+            if (!numFlag(argc, argv, k, "--units", 1, 64, o.units))
+                return false;
+        } else if (a == "--jobs") {
+            if (!numFlag(argc, argv, k, "--jobs", 1, 1024, o.jobs))
+                return false;
+        } else if (a == "--mode") {
+            if (!strFlag(argc, argv, k, "--mode", o.mode))
+                return false;
+        } else if (a == "--bench") {
+            if (!strFlag(argc, argv, k, "--bench", o.bench))
+                return false;
+        } else if (a == "--cache-dir") {
+            if (!strFlag(argc, argv, k, "--cache-dir", o.cacheDir))
+                return false;
+        } else if (a == "--cache-verify") {
+            if (!strFlag(argc, argv, k, "--cache-verify",
+                         o.verifyDir))
+                return false;
+        } else if (a == "--verify-schedule") {
+            o.verifySchedule = true;
         } else if (a == "--store-stats") {
             o.storeStats = true;
         } else if (a == "--proto") {
@@ -127,11 +196,13 @@ parseArgs(int argc, char **argv, Options &o)
         } else if (!a.empty() && a[0] != '-') {
             o.file = a;
         } else {
+            std::fprintf(stderr, "symbolc: unknown option '%s'\n",
+                         a.c_str());
             return false;
         }
     }
     return o.list || !o.file.empty() || !o.bench.empty() ||
-           !o.verifyDir.empty();
+           !o.verifyDir.empty() || o.verifySchedule;
 }
 
 /**
@@ -160,6 +231,132 @@ cacheVerify(const std::string &dir)
 }
 
 /**
+ * --verify-schedule (standalone): compact every suite benchmark for
+ * the default machine, the Table 3 unit sweep, the prototype and the
+ * ablation configurations, run the independent verifier over each
+ * schedule and print one summary row per configuration. Exit 1 on
+ * any violation (details go to stderr).
+ */
+int
+verifySweep(const Options &o)
+{
+    struct Point
+    {
+        std::string label;
+        machine::MachineConfig mc;
+        sched::CompactOptions co;
+        suite::WorkloadOptions wo;
+    };
+    std::vector<Point> points;
+    auto add = [&](std::string label, machine::MachineConfig mc,
+                   sched::CompactOptions co = {},
+                   suite::WorkloadOptions wo = {}) {
+        mc.name = std::move(label);
+        points.push_back({mc.name, mc, co, wo});
+    };
+    // The paper's default model, the Table 3 unit sweep, the §5
+    // prototype, and one ablation per scheduling dimension.
+    add("ideal-3", machine::MachineConfig::idealShared(3));
+    for (int units : {1, 2, 4})
+        add(strprintf("ideal-%d", units),
+            machine::MachineConfig::idealShared(units));
+    add("proto-3", machine::MachineConfig::prototype(3));
+    {
+        machine::MachineConfig mc =
+            machine::MachineConfig::idealShared(3);
+        mc.memPortsTotal = 2;
+        add("memports-2", mc);
+    }
+    {
+        sched::CompactOptions co;
+        co.traceMode = false;
+        add("bb-mode", machine::MachineConfig::idealShared(3), co);
+    }
+    {
+        sched::CompactOptions co;
+        co.freshAllocDisambiguation = false;
+        add("no-disamb", machine::MachineConfig::idealShared(3), co);
+    }
+    {
+        suite::WorkloadOptions wo;
+        wo.translate.expandTagBranches = true;
+        add("expand-tags", machine::MachineConfig::idealShared(3), {},
+            wo);
+    }
+
+    suite::DriverOptions dopts;
+    dopts.jobs = o.jobs > 0 ? static_cast<unsigned>(o.jobs) : 0;
+    dopts.cacheDir = o.cacheDir;
+    suite::EvalDriver driver(dopts);
+
+    std::vector<std::string> benches;
+    for (const auto &b : suite::aquarius())
+        benches.push_back(b.name);
+
+    // One verification task per (config × benchmark), fanned out
+    // across the pool; results stay in input order so the report is
+    // deterministic.
+    struct Cell
+    {
+        verify::Report rep;
+        std::string bench;
+        std::size_t point = 0;
+    };
+    std::vector<Cell> cells = driver.map(
+        points.size() * benches.size(), [&](std::size_t i) {
+            const Point &p = points[i / benches.size()];
+            const std::string &bench = benches[i % benches.size()];
+            const suite::Workload &w = driver.workload(bench, p.wo);
+            sched::CompactResult cr = sched::compact(
+                w.ici(), w.profile(), p.mc, p.co);
+            Cell c;
+            c.rep = verify::checkSchedule(cr.code, w.ici(), p.mc);
+            c.bench = bench;
+            c.point = i / benches.size();
+            return c;
+        });
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"config", "benchmarks", "wide", "ops",
+                    "dep.edges", "violations"});
+    std::uint64_t totalViolations = 0;
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        std::uint64_t wide = 0, ops = 0, edges = 0, bad = 0;
+        std::size_t n = 0;
+        for (const Cell &c : cells) {
+            if (c.point != p)
+                continue;
+            ++n;
+            wide += c.rep.wideInstrs;
+            ops += c.rep.microOps;
+            edges += c.rep.depEdges;
+            bad += c.rep.total;
+            if (!c.rep.ok())
+                std::fprintf(stderr, "%s (%s):\n%s\n",
+                             c.bench.c_str(),
+                             points[p].label.c_str(),
+                             c.rep.str().c_str());
+        }
+        totalViolations += bad;
+        rows.push_back(
+            {points[p].label, strprintf("%zu", n),
+             strprintf("%llu", static_cast<unsigned long long>(wide)),
+             strprintf("%llu", static_cast<unsigned long long>(ops)),
+             strprintf("%llu",
+                       static_cast<unsigned long long>(edges)),
+             strprintf("%llu",
+                       static_cast<unsigned long long>(bad))});
+    }
+    std::printf("%s", renderTable(rows).c_str());
+    std::printf("%llu violation(s) across %zu schedule(s)\n",
+                static_cast<unsigned long long>(totalViolations),
+                cells.size());
+    if (o.storeStats)
+        driver.reportStats();
+    return totalViolations ? 1 : 0;
+}
+
+/**
  * --bench all: fan the whole suite out across the evaluation driver
  * and print one summary row per benchmark, in suite order.
  */
@@ -179,6 +376,7 @@ sweepAll(const Options &o)
     suite::DriverOptions dopts;
     dopts.jobs = o.jobs > 0 ? static_cast<unsigned>(o.jobs) : 0;
     dopts.cacheDir = o.cacheDir;
+    dopts.verifySchedules = o.verifySchedule;
     suite::EvalDriver driver(dopts);
 
     std::vector<suite::EvalTask> tasks;
@@ -245,6 +443,15 @@ main(int argc, char **argv)
         }
     }
 
+    if (o.verifySchedule && o.file.empty() && o.bench.empty()) {
+        try {
+            return verifySweep(o);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "symbolc: %s\n", e.what());
+            return 1;
+        }
+    }
+
     if (o.list) {
         for (const auto &b : suite::aquarius())
             std::printf("%s\n", b.name.c_str());
@@ -285,6 +492,7 @@ main(int argc, char **argv)
         suite::DriverOptions dopts;
         dopts.jobs = 1;
         dopts.cacheDir = o.cacheDir;
+        dopts.verifySchedules = o.verifySchedule;
         suite::EvalDriver driver(dopts);
         const suite::Workload &w = driver.workload(bench, wo);
 
@@ -332,6 +540,15 @@ main(int argc, char **argv)
                 sched::CompactResult cr = sched::compact(
                     w.ici(), w.profile(), mc, co);
                 std::printf("%s\n", cr.code.str().c_str());
+            }
+            if (o.verifySchedule) {
+                // runVliw already verified (and would have thrown);
+                // re-derive the report here for the summary line.
+                sched::CompactResult cr = sched::compact(
+                    w.ici(), w.profile(), mc, co);
+                verify::Report rep =
+                    verify::checkSchedule(cr.code, w.ici(), mc);
+                std::printf("%s", rep.str().c_str());
             }
         }
 
