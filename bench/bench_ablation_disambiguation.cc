@@ -39,26 +39,20 @@ main()
             return Row{w.runVliw(mc, on), w.runVliw(mc, off)};
         });
 
-    std::vector<std::vector<std::string>> rows;
-    rows.push_back({"benchmark", "disamb.cyc", "no-disamb.cyc",
-                    "penalty%"});
-    double pen = 0;
-    int n = 0;
+    Table table({"benchmark", "disamb.cyc", "no-disamb.cyc",
+                 "penalty%"});
+    Avg pen;
     for (std::size_t i = 0; i < names.size(); ++i) {
         const suite::VliwRun &r_on = results[i].on;
         const suite::VliwRun &r_off = results[i].off;
-        double p = 100.0 * (static_cast<double>(r_off.cycles) /
-                                static_cast<double>(r_on.cycles) -
-                            1.0);
-        rows.push_back({names[i], fmtU(r_on.cycles),
-                        fmtU(r_off.cycles), fmt(p, 1)});
-        pen += p;
-        ++n;
+        double p = pctOver(r_off.cycles, r_on.cycles);
+        table.row({names[i], fmtU(r_on.cycles), fmtU(r_off.cycles),
+                   fmt(p, 1)});
+        pen.add(p);
     }
-    rows.push_back({"Average", "", "", fmt(pen / n, 1)});
-    printTable("Ablation - fresh-allocation memory disambiguation "
-               "(3-unit VLIW, trace mode)",
-               rows);
+    table.row({"Average", "", "", pen.str(1)});
+    table.print("Ablation - fresh-allocation memory disambiguation "
+                "(3-unit VLIW, trace mode)");
     reportDriverStats();
     return 0;
 }

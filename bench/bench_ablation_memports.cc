@@ -29,25 +29,21 @@ main()
             return workload(names[i / kNumPorts]).runVliw(mc);
         });
 
-    std::vector<std::vector<std::string>> rows;
-    rows.push_back({"benchmark", "1 port", "2 ports", "4 ports"});
-    std::vector<double> sums(kNumPorts, 0.0);
-    int n = 0;
+    Table table({"benchmark", "1 port", "2 ports", "4 ports"});
+    std::vector<Avg> sums(kNumPorts);
     for (std::size_t b = 0; b < names.size(); ++b) {
         std::vector<std::string> row = {names[b]};
         for (std::size_t c = 0; c < kNumPorts; ++c) {
             double su = runs[b * kNumPorts + c].speedupVsSeq;
             row.push_back(fmt(su));
-            sums[c] += su;
+            sums[c].add(su);
         }
-        rows.push_back(row);
-        ++n;
+        table.row(row);
     }
-    rows.push_back({"Average", fmt(sums[0] / n), fmt(sums[1] / n),
-                    fmt(sums[2] / n)});
-    printTable("Extension - shared-memory port sweep (4 units): "
-               "beyond the paper's single-port model",
-               rows);
+    table.row({"Average", sums[0].str(), sums[1].str(),
+               sums[2].str()});
+    table.print("Extension - shared-memory port sweep (4 units): "
+                "beyond the paper's single-port model");
     std::printf("\n§6: \"we can't overcome Amdahl's limit of speedup "
                 "(about 3) with a shared memory model\" — additional "
                 "ports are the escape hatch the conclusion "

@@ -43,31 +43,22 @@ main()
                        wx.seqCycles()};
         });
 
-    std::vector<std::vector<std::string>> rows;
-    rows.push_back({"benchmark", "tag-branch.cyc", "expanded.cyc",
-                    "overhead%", "seq.overhead%"});
-    double ov = 0, sov = 0;
-    int n = 0;
+    Table table({"benchmark", "tag-branch.cyc", "expanded.cyc",
+                 "overhead%", "seq.overhead%"});
+    Avg ov, sov;
     for (std::size_t i = 0; i < names.size(); ++i) {
         const Row &res = results[i];
-        double o = 100.0 * (static_cast<double>(res.expanded.cycles) /
-                                static_cast<double>(res.tagged.cycles) -
-                            1.0);
-        double so = 100.0 * (static_cast<double>(res.seqExpanded) /
-                                 static_cast<double>(res.seqTagged) -
-                             1.0);
-        rows.push_back({names[i], fmtU(res.tagged.cycles),
-                        fmtU(res.expanded.cycles), fmt(o, 1),
-                        fmt(so, 1)});
-        ov += o;
-        sov += so;
-        ++n;
+        double o = pctOver(res.expanded.cycles, res.tagged.cycles);
+        double so = pctOver(res.seqExpanded, res.seqTagged);
+        table.row({names[i], fmtU(res.tagged.cycles),
+                   fmtU(res.expanded.cycles), fmt(o, 1),
+                   fmt(so, 1)});
+        ov.add(o);
+        sov.add(so);
     }
-    rows.push_back({"Average", "", "", fmt(ov / n, 1),
-                    fmt(sov / n, 1)});
-    printTable("Ablation - branch-on-tag hardware vs gettag+compare "
-               "expansion (3-unit VLIW)",
-               rows);
+    table.row({"Average", "", "", ov.str(1), sov.str(1)});
+    table.print("Ablation - branch-on-tag hardware vs gettag+compare "
+                "expansion (3-unit VLIW)");
     std::printf("\nthe datapath tag support pays for itself on every "
                 "dispatch and dereference step\n");
     reportDriverStats();

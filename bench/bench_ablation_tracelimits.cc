@@ -30,27 +30,23 @@ main()
             return workload(names[i % names.size()]).runVliw(mc, co);
         });
 
-    std::vector<std::vector<std::string>> rows;
-    rows.push_back({"dup.budget", "avg.speedup", "avg.trace.len",
-                    "code.growth"});
+    Table table({"dup.budget", "avg.speedup", "avg.trace.len",
+                 "code.growth"});
     for (std::size_t bi = 0; bi < budgets.size(); ++bi) {
-        double su = 0, len = 0, growth = 0;
-        int n = 0;
+        Avg su, len, growth;
         for (std::size_t k = 0; k < names.size(); ++k) {
             const suite::VliwRun &r = runs[bi * names.size() + k];
             const suite::Workload &w = workload(names[k]);
-            su += r.speedupVsSeq;
-            len += r.stats.avgDynamicLength;
-            growth += static_cast<double>(r.stats.totalOps) /
-                      static_cast<double>(w.ici().code.size());
-            ++n;
+            su.add(r.speedupVsSeq);
+            len.add(r.stats.avgDynamicLength);
+            growth.add(static_cast<double>(r.stats.totalOps) /
+                       static_cast<double>(w.ici().code.size()));
         }
-        rows.push_back({fmt(budgets[bi], 1), fmt(su / n),
-                        fmt(len / n, 1), fmt(growth / n)});
+        table.row({fmt(budgets[bi], 1), su.str(), len.str(1),
+                   growth.str()});
     }
-    printTable("Ablation - tail-duplication budget sweep (3-unit "
-               "VLIW)",
-               rows);
+    table.print("Ablation - tail-duplication budget sweep (3-unit "
+                "VLIW)");
     std::printf("\n\"disadvantages of a larger code size ... are "
                 "overcome by the advantage of a faster execution of "
                 "the most frequently executed parts\" (§4.4)\n");

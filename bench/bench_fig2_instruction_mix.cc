@@ -22,26 +22,23 @@ main()
             return analysis::instructionMix(w.ici(), w.profile());
         });
 
-    std::vector<std::vector<std::string>> rows;
-    rows.push_back({"benchmark", "memory", "alu", "move", "control",
-                    "other"});
+    Table table({"benchmark", "memory", "alu", "move", "control",
+                 "other"});
 
     analysis::InstructionMix all;
     for (std::size_t i = 0; i < names.size(); ++i) {
         const analysis::InstructionMix &mix = mixes[i];
         all += mix;
-        rows.push_back({names[i], fmt(mix.memory * 100, 1),
-                        fmt(mix.alu * 100, 1), fmt(mix.move * 100, 1),
-                        fmt(mix.control * 100, 1),
-                        fmt(mix.other * 100, 1)});
+        table.row({names[i], fmt(mix.memory * 100, 1),
+                   fmt(mix.alu * 100, 1), fmt(mix.move * 100, 1),
+                   fmt(mix.control * 100, 1),
+                   fmt(mix.other * 100, 1)});
     }
-    rows.push_back({"Average", fmt(all.memory * 100, 1),
-                    fmt(all.alu * 100, 1), fmt(all.move * 100, 1),
-                    fmt(all.control * 100, 1),
-                    fmt(all.other * 100, 1)});
-    printTable("Figure 2 - instruction frequency (percent of "
-               "executed ICIs)",
-               rows);
+    table.row({"Average", fmt(all.memory * 100, 1),
+               fmt(all.alu * 100, 1), fmt(all.move * 100, 1),
+               fmt(all.control * 100, 1), fmt(all.other * 100, 1)});
+    table.print("Figure 2 - instruction frequency (percent of "
+                "executed ICIs)");
 
     std::printf("\n");
     std::printf("%s\n",

@@ -37,17 +37,16 @@ main()
                 "~3.0)\n",
                 1.0 / mem);
 
-    std::vector<std::vector<std::string>> rows;
-    rows.push_back({"enhancement", "separate(dotted)",
-                    "overlapped(solid)"});
+    Table table({"enhancement", "separate(dotted)",
+                 "overlapped(solid)"});
     for (double f : {1.0, 1.5, 2.0, 2.5, 3.0, 4.0, 5.0, 6.0, 8.0,
                      12.0, 16.0}) {
-        rows.push_back({fmt(f, 1),
-                        fmt(analysis::amdahlSpeedup(mem, f, false)),
-                        fmt(analysis::amdahlSpeedup(mem, f, true))});
+        table.row({fmt(f, 1),
+                   fmt(analysis::amdahlSpeedup(mem, f, false)),
+                   fmt(analysis::amdahlSpeedup(mem, f, true))});
     }
-    printTable("Figure 3 - ideal speedup vs. non-memory enhancement",
-               rows);
+    table.print("Figure 3 - ideal speedup vs. non-memory "
+                "enhancement");
 
     // ASCII rendition of the two curves.
     std::printf("\n");

@@ -42,33 +42,27 @@ main()
             return Row{w.runVliw(mc, tr), w.runVliw(mc, bb)};
         });
 
-    std::vector<std::vector<std::string>> rows;
-    rows.push_back({"benchmark", "tr.speedup", "tr.len", "bb.speedup",
-                    "bb.len", "gain%"});
-    double su_t = 0, su_b = 0, len_t = 0, len_b = 0;
-    int n = 0;
+    Table table({"benchmark", "tr.speedup", "tr.len", "bb.speedup",
+                 "bb.len", "gain%"});
+    Avg su_t, su_b, len_t, len_b;
     for (std::size_t i = 0; i < names.size(); ++i) {
         const suite::VliwRun &rt = results[i].traces;
         const suite::VliwRun &rb = results[i].blocks;
-        double gain =
-            100.0 * (rt.speedupVsSeq / rb.speedupVsSeq - 1.0);
-        rows.push_back({names[i], fmt(rt.speedupVsSeq),
-                        fmt(rt.stats.avgDynamicLength, 1),
-                        fmt(rb.speedupVsSeq),
-                        fmt(rb.stats.avgDynamicLength, 1),
-                        fmt(gain, 1)});
-        su_t += rt.speedupVsSeq;
-        su_b += rb.speedupVsSeq;
-        len_t += rt.stats.avgDynamicLength;
-        len_b += rb.stats.avgDynamicLength;
-        ++n;
+        double gain = pctOver(rt.speedupVsSeq, rb.speedupVsSeq);
+        table.row({names[i], fmt(rt.speedupVsSeq),
+                   fmt(rt.stats.avgDynamicLength, 1),
+                   fmt(rb.speedupVsSeq),
+                   fmt(rb.stats.avgDynamicLength, 1), fmt(gain, 1)});
+        su_t.add(rt.speedupVsSeq);
+        su_b.add(rb.speedupVsSeq);
+        len_t.add(rt.stats.avgDynamicLength);
+        len_b.add(rb.stats.avgDynamicLength);
     }
-    rows.push_back({"Average", fmt(su_t / n), fmt(len_t / n, 1),
-                    fmt(su_b / n), fmt(len_b / n, 1),
-                    fmt(100.0 * (su_t / su_b - 1.0), 1)});
-    printTable("Table 1 - trace scheduling vs basic-block compaction "
-               "(unbounded units, 1 memory port)",
-               rows);
+    table.row({"Average", su_t.str(), len_t.str(1), su_b.str(),
+               len_b.str(1),
+               fmt(pctOver(su_t.sum(), su_b.sum()), 1)});
+    table.print("Table 1 - trace scheduling vs basic-block "
+                "compaction (unbounded units, 1 memory port)");
     std::printf("\npaper averages: traces 2.15 speedup / 11.6 ops, "
                 "basic blocks 1.65 / 6.5 (~30%% gain)\n");
     reportDriverStats();

@@ -22,25 +22,23 @@ main()
             return analysis::branchStats(w.ici(), w.profile());
         });
 
-    std::vector<std::vector<std::string>> rows;
-    rows.push_back({"benchmark", "P_fp", "P_taken", "dyn.branches"});
+    Table table({"benchmark", "P_fp", "P_taken", "dyn.branches"});
     double weighted = 0;
     std::uint64_t total = 0;
     for (std::size_t i = 0; i < names.size(); ++i) {
         const analysis::BranchStats &st = stats[i];
-        rows.push_back({names[i], fmt(st.avgFaultyPrediction, 4),
-                        fmt(st.avgTakenProbability, 3),
-                        fmtU(st.branchExecutions)});
+        table.row({names[i], fmt(st.avgFaultyPrediction, 4),
+                   fmt(st.avgTakenProbability, 3),
+                   fmtU(st.branchExecutions)});
         weighted += st.avgFaultyPrediction *
                     static_cast<double>(st.branchExecutions);
         total += st.branchExecutions;
     }
-    rows.push_back({"Average",
-                    fmt(weighted / static_cast<double>(total), 4),
-                    "", fmtU(total)});
-    printTable("Table 2 - probability of faulty prediction of branch "
-               "direction",
-               rows);
+    table.row({"Average",
+               fmt(weighted / static_cast<double>(total), 4), "",
+               fmtU(total)});
+    table.print("Table 2 - probability of faulty prediction of "
+                "branch direction");
     std::printf("\npaper average P_fp: 0.1475 (per-benchmark range "
                 "0.03-0.24)\n");
     reportDriverStats();

@@ -33,19 +33,16 @@ main()
                 machine::MachineConfig::idealShared(units));
         });
 
-    std::vector<std::vector<std::string>> rows;
     std::vector<std::string> hdr = {"benchmark", "seq", "BAM",
                                     "BAM.su"};
     for (int u = 1; u <= max_units; ++u) {
         hdr.push_back(strprintf("%du.cyc", u));
         hdr.push_back(strprintf("%du.su", u));
     }
-    rows.push_back(hdr);
+    Table table(hdr);
 
-    std::vector<double> su_sum(static_cast<std::size_t>(max_units) +
-                               1, 0.0);
-    double bam_sum = 0;
-    int n = 0;
+    std::vector<Avg> su_sum(static_cast<std::size_t>(max_units) + 1);
+    Avg bam_sum;
     for (std::size_t b = 0; b < names.size(); ++b) {
         const suite::Workload &w = workload(names[b]);
         std::vector<std::string> row = {names[b],
@@ -54,34 +51,32 @@ main()
                         static_cast<double>(w.bamCycles());
         row.push_back(fmtU(w.bamCycles()));
         row.push_back(fmt(bam_su));
-        bam_sum += bam_su;
+        bam_sum.add(bam_su);
         for (int u = 1; u <= max_units; ++u) {
             const suite::VliwRun &r =
                 runs[b * max_units +
                      static_cast<std::size_t>(u - 1)];
             row.push_back(fmtU(r.cycles));
             row.push_back(fmt(r.speedupVsSeq));
-            su_sum[static_cast<std::size_t>(u)] += r.speedupVsSeq;
+            su_sum[static_cast<std::size_t>(u)].add(r.speedupVsSeq);
         }
-        rows.push_back(row);
-        ++n;
+        table.row(row);
     }
     std::vector<std::string> avg = {"Average", "", "",
-                                    fmt(bam_sum / n)};
+                                    bam_sum.str()};
     for (int u = 1; u <= max_units; ++u) {
         avg.push_back("");
-        avg.push_back(fmt(su_sum[static_cast<std::size_t>(u)] / n));
+        avg.push_back(su_sum[static_cast<std::size_t>(u)].str());
     }
-    rows.push_back(avg);
-    printTable("Table 3 - cycles and speedup vs the sequential "
-               "machine (1..5 units, shared memory)",
-               rows);
+    table.row(avg);
+    table.print("Table 3 - cycles and speedup vs the sequential "
+                "machine (1..5 units, shared memory)");
 
     std::printf("\n== Figure 6 - speedup vs number of units ==\n");
-    std::printf("%s\n", barLine("BAM", bam_sum / n / 3.0, 40,
-                                fmt(bam_sum / n)).c_str());
+    std::printf("%s\n", barLine("BAM", bam_sum.mean() / 3.0, 40,
+                                bam_sum.str()).c_str());
     for (int u = 1; u <= max_units; ++u) {
-        double s = su_sum[static_cast<std::size_t>(u)] / n;
+        double s = su_sum[static_cast<std::size_t>(u)].mean();
         std::printf("%s\n", barLine(strprintf("%d unit%s", u,
                                               u > 1 ? "s" : ""),
                                     s / 3.0, 40, fmt(s)).c_str());

@@ -39,27 +39,23 @@ main()
             return Row{w.runVliw(proto), w.seqCyclesFor(proto)};
         });
 
-    std::vector<std::vector<std::string>> rows;
-    rows.push_back({"benchmark", "seq.cycles(same durations)", "SYMBOL-3.cycles",
-                    "speedup", "BAM.speedup"});
-    double su = 0, bam = 0;
-    int n = 0;
+    Table table({"benchmark", "seq.cycles(same durations)",
+                 "SYMBOL-3.cycles", "speedup", "BAM.speedup"});
+    Avg su, bam;
     for (std::size_t i = 0; i < names.size(); ++i) {
         const suite::Workload &w = workload(names[i]);
         const suite::VliwRun &r = results[i].run;
         double bam_su = static_cast<double>(w.seqCycles()) /
                         static_cast<double>(w.bamCycles());
-        rows.push_back({names[i], fmtU(results[i].seqSameDurations),
-                        fmtU(r.cycles), fmt(r.speedupVsSeq),
-                        fmt(bam_su)});
-        su += r.speedupVsSeq;
-        bam += bam_su;
-        ++n;
+        table.row({names[i], fmtU(results[i].seqSameDurations),
+                   fmtU(r.cycles), fmt(r.speedupVsSeq),
+                   fmt(bam_su)});
+        su.add(r.speedupVsSeq);
+        bam.add(bam_su);
     }
-    rows.push_back({"Average", "", "", fmt(su / n), fmt(bam / n)});
-    printTable("Table 5 - SYMBOL-3 prototype speedup vs sequential "
-               "(same operation durations)",
-               rows);
+    table.row({"Average", "", "", su.str(), bam.str()});
+    table.print("Table 5 - SYMBOL-3 prototype speedup vs sequential "
+                "(same operation durations)");
     std::printf("\npaper: SYMBOL-3 ~1.9 vs BAM ~1.5 -- global "
                 "compaction recovers the prototype's format and "
                 "pipeline handicaps\n");

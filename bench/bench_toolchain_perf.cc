@@ -17,6 +17,7 @@
 #include "emul/machine.hh"
 #include "intcode/translate.hh"
 #include "machine/config.hh"
+#include "pass/instrument.hh"
 #include "prolog/parser.hh"
 #include "sched/compact.hh"
 #include "suite/driver.hh"
@@ -114,6 +115,31 @@ BM_VliwSimulation(benchmark::State &state)
     }
 }
 BENCHMARK(BM_VliwSimulation);
+
+static void
+BM_PipelinePasses(benchmark::State &state)
+{
+    // The whole pipeline, front and back half, through the pass
+    // framework with a local instrumentation sink. Each pass's
+    // accumulated wall time surfaces as a per-iteration counter, so
+    // a regression in any single stage is visible directly in the
+    // benchmark output instead of hiding inside an end-to-end time.
+    auto mc = machine::MachineConfig::idealShared(3);
+    pass::PassInstrumentation instr;
+    for (auto _ : state) {
+        suite::WorkloadOptions wo;
+        wo.passInstr = &instr;
+        suite::Workload w(nrev(), wo);
+        benchmark::DoNotOptimize(w.runVliw(mc));
+    }
+    for (const pass::PassStats &p : instr.snapshot()) {
+        if (p.invocations == 0)
+            continue;
+        state.counters[p.name + "_s"] =
+            p.wallSeconds / static_cast<double>(state.iterations());
+    }
+}
+BENCHMARK(BM_PipelinePasses)->Unit(benchmark::kMillisecond);
 
 static void
 BM_SuiteFrontHalfWarmStart(benchmark::State &state)

@@ -18,7 +18,9 @@
 #ifndef SYMBOL_BENCH_COMMON_HH
 #define SYMBOL_BENCH_COMMON_HH
 
+#include <cmath>
 #include <cstdio>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -98,6 +100,92 @@ fmtU(std::uint64_t v)
 {
     return strprintf("%llu", static_cast<unsigned long long>(v));
 }
+
+/** Percentage of @p num over @p den: 100 * (num/den - 1). */
+inline double
+pctOver(double num, double den)
+{
+    return 100.0 * (num / den - 1.0);
+}
+
+inline double
+pctOver(std::uint64_t num, std::uint64_t den)
+{
+    return pctOver(static_cast<double>(num),
+                   static_cast<double>(den));
+}
+
+/**
+ * Streaming arithmetic mean, accumulated sum-then-divide in input
+ * order — exactly the accumulation the harness tables have always
+ * used, so "Average" rows keep their bytes.
+ */
+class Avg
+{
+  public:
+    void
+    add(double v)
+    {
+        sum_ += v;
+        ++n_;
+    }
+    double sum() const { return sum_; }
+    int count() const { return n_; }
+    double mean() const { return sum_ / n_; }
+    std::string str(int prec = 2) const { return fmt(mean(), prec); }
+
+  private:
+    double sum_ = 0;
+    int n_ = 0;
+};
+
+/** Streaming geometric mean (log-sum; zero/negative inputs throw). */
+class Geomean
+{
+  public:
+    void
+    add(double v)
+    {
+        if (v <= 0.0)
+            throw std::invalid_argument(
+                "Geomean::add: non-positive value");
+        logSum_ += std::log(v);
+        ++n_;
+    }
+    int count() const { return n_; }
+    double mean() const { return std::exp(logSum_ / n_); }
+    std::string str(int prec = 2) const { return fmt(mean(), prec); }
+
+  private:
+    double logSum_ = 0;
+    int n_ = 0;
+};
+
+/**
+ * A header row, data rows, then one printTable call — the shape
+ * every harness table shares.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header)
+    {
+        rows_.push_back(std::move(header));
+    }
+    void
+    row(std::vector<std::string> cells)
+    {
+        rows_.push_back(std::move(cells));
+    }
+    void
+    print(const std::string &title) const
+    {
+        printTable(title, rows_);
+    }
+
+  private:
+    std::vector<std::vector<std::string>> rows_;
+};
 
 } // namespace symbol::bench
 

@@ -52,8 +52,14 @@ class Compiler : public Emit
   public:
     Compiler(prolog::Program &prog, bam::Module &m,
              const CompilerOptions &opts)
+        : Compiler(prog, m, opts, normalize(prog))
+    {
+    }
+
+    Compiler(prolog::Program &prog, bam::Module &m,
+             const CompilerOptions &opts, FlatProgram &&flat)
         : Emit(m), pool_(prog.pool), in_(prog.pool.interner()),
-          opts_(opts), flat_(normalize(prog))
+          opts_(opts), flat_(std::move(flat))
     {
     }
 
@@ -858,8 +864,15 @@ class Compiler : public Emit
 bam::Module
 compile(prolog::Program &prog, const CompilerOptions &opts)
 {
+    return compile(prog, normalize(prog), opts);
+}
+
+bam::Module
+compile(prolog::Program &prog, FlatProgram &&flat,
+        const CompilerOptions &opts)
+{
     bam::Module m(prog.pool.interner());
-    Compiler c(prog, m, opts);
+    Compiler c(prog, m, opts, std::move(flat));
     c.run();
     return m;
 }

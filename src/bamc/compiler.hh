@@ -54,6 +54,14 @@ struct CompilerOptions
 bam::Module compile(prolog::Program &prog,
                     const CompilerOptions &opts = {});
 
+/**
+ * Compile from an already-normalised program (the pass pipeline runs
+ * normalize() as its own stage). @p flat must have been produced by
+ * normalize(@p prog); it is consumed.
+ */
+bam::Module compile(prolog::Program &prog, FlatProgram &&flat,
+                    const CompilerOptions &opts = {});
+
 } // namespace symbol::bamc
 
 #endif // SYMBOL_BAMC_COMPILER_HH

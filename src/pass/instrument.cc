@@ -1,0 +1,162 @@
+#include "pass/instrument.hh"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "support/text.hh"
+
+namespace symbol::pass
+{
+
+namespace
+{
+
+std::atomic<bool> g_timePasses{false};
+std::atomic<bool> g_timePassesInit{false};
+
+} // namespace
+
+const std::vector<std::string> &
+PassInstrumentation::pipelineOrder()
+{
+    // Fig. 1, top to bottom: the front half runs once per workload,
+    // the back half once per (workload × machine config) evaluation.
+    // "seq-latency" is the §5.3 same-duration sequential re-emulation
+    // triggered by non-default latency configs.
+    static const std::vector<std::string> kOrder = {
+        "parse",          "normalize", "bam-compile", "intcode",
+        "cfg",            "profile",   "seq-latency", "sched.traces",
+        "sched.ddg",      "sched.schedule", "sched.emit",
+        "verify",         "simulate",
+    };
+    return kOrder;
+}
+
+PassInstrumentation::PassInstrumentation()
+{
+    for (const std::string &name : pipelineOrder())
+        slotOf(name);
+}
+
+std::size_t
+PassInstrumentation::slotOf(const std::string &name)
+{
+    auto it = index_.find(name);
+    if (it != index_.end())
+        return it->second;
+    std::size_t slot = stats_.size();
+    PassStats s;
+    s.name = name;
+    stats_.push_back(std::move(s));
+    index_.emplace(name, slot);
+    return slot;
+}
+
+void
+PassInstrumentation::record(const std::string &name,
+                            double wallSeconds, std::uint64_t irIn,
+                            std::uint64_t irOut)
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    PassStats &s = stats_[slotOf(name)];
+    s.invocations += 1;
+    s.wallSeconds += wallSeconds;
+    s.irIn += irIn;
+    s.irOut += irOut;
+}
+
+std::vector<PassStats>
+PassInstrumentation::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    std::vector<PassStats> out;
+    out.reserve(stats_.size());
+    for (const PassStats &s : stats_)
+        if (s.invocations > 0)
+            out.push_back(s);
+    return out;
+}
+
+void
+PassInstrumentation::reset()
+{
+    std::lock_guard<std::mutex> lk(mu_);
+    for (PassStats &s : stats_) {
+        s.invocations = 0;
+        s.wallSeconds = 0.0;
+        s.irIn = 0;
+        s.irOut = 0;
+    }
+}
+
+PassInstrumentation &
+PassInstrumentation::global()
+{
+    static PassInstrumentation g;
+    return g;
+}
+
+bool
+timePassesEnabled()
+{
+    if (!g_timePassesInit.load(std::memory_order_acquire)) {
+        bool on = false;
+        if (const char *env = std::getenv("SYMBOL_TIME_PASSES"))
+            on = *env != '\0' && std::string(env) != "0";
+        g_timePasses.store(on, std::memory_order_relaxed);
+        g_timePassesInit.store(true, std::memory_order_release);
+    }
+    return g_timePasses.load(std::memory_order_relaxed);
+}
+
+void
+setTimePasses(bool on)
+{
+    g_timePasses.store(on, std::memory_order_relaxed);
+    g_timePassesInit.store(true, std::memory_order_release);
+}
+
+std::string
+timingReport(const std::vector<PassStats> &passes)
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back({"pass", "calls", "wall(s)", "ir.in", "ir.out"});
+    double total = 0.0;
+    for (const PassStats &p : passes) {
+        rows.push_back(
+            {p.name,
+             strprintf("%llu",
+                       static_cast<unsigned long long>(p.invocations)),
+             strprintf("%.4f", p.wallSeconds),
+             strprintf("%llu",
+                       static_cast<unsigned long long>(p.irIn)),
+             strprintf("%llu",
+                       static_cast<unsigned long long>(p.irOut))});
+        total += p.wallSeconds;
+    }
+    rows.push_back({"total", "", strprintf("%.4f", total), "", ""});
+    return renderTable(rows);
+}
+
+std::string
+toJson(const std::vector<PassStats> &passes)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < passes.size(); ++i) {
+        const PassStats &p = passes[i];
+        if (i)
+            out += ",";
+        out += strprintf(
+            "{\"name\":\"%s\",\"invocations\":%llu,"
+            "\"wallSeconds\":%.9f,\"irIn\":%llu,\"irOut\":%llu}",
+            p.name.c_str(),
+            static_cast<unsigned long long>(p.invocations),
+            p.wallSeconds,
+            static_cast<unsigned long long>(p.irIn),
+            static_cast<unsigned long long>(p.irOut));
+    }
+    out += "]";
+    return out;
+}
+
+} // namespace symbol::pass

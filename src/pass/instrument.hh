@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Pass instrumentation: thread-safe aggregation of per-pass wall
+ * time, IR sizes in/out and invocation counts across the whole
+ * toolchain (see DESIGN.md §10).
+ *
+ * Every stage of the Fig. 1 pipeline — front half (parse, normalize,
+ * BAM compile, IntCode translation, CFG build, profiling emulation)
+ * and back half (the compactor's sub-passes, verification, VLIW
+ * simulation) — records one entry per invocation into a
+ * PassInstrumentation sink. The sink aggregates under the pass name;
+ * snapshot() returns the canonical pipeline order first, so reports
+ * read top-to-bottom like the pipeline runs, regardless of which
+ * thread recorded first.
+ *
+ * Determinism contract: `invocations`, `irIn` and `irOut` are exact
+ * counts of deterministic work, so for a fixed task set they are
+ * identical for any SYMBOL_JOBS (tests/test_pass.cc locks this
+ * down). `wallSeconds` is measured time and carries no such
+ * guarantee.
+ */
+
+#ifndef SYMBOL_PASS_INSTRUMENT_HH
+#define SYMBOL_PASS_INSTRUMENT_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace symbol::pass
+{
+
+/** Aggregated statistics of one pass across all invocations. */
+struct PassStats
+{
+    std::string name;
+    std::uint64_t invocations = 0;
+    double wallSeconds = 0.0;
+    /** Total IR units consumed (pass-specific unit, e.g. clauses,
+     *  instructions, blocks; see the pass's irIn contract). */
+    std::uint64_t irIn = 0;
+    /** Total IR units produced. */
+    std::uint64_t irOut = 0;
+};
+
+/**
+ * Thread-safe aggregation sink for pass records.
+ *
+ * The canonical pipeline passes are pre-registered at construction,
+ * so snapshot() order is deterministic (pipeline order, then
+ * first-registration order for ad-hoc names). Aggregation is a
+ * mutex-protected accumulate: cheap relative to any pass body.
+ */
+class PassInstrumentation
+{
+  public:
+    PassInstrumentation();
+    PassInstrumentation(const PassInstrumentation &) = delete;
+    PassInstrumentation &operator=(const PassInstrumentation &) =
+        delete;
+
+    /** Add one invocation of @p name to the aggregate. */
+    void record(const std::string &name, double wallSeconds,
+                std::uint64_t irIn, std::uint64_t irOut);
+
+    /**
+     * Aggregates of every pass that recorded at least once, in
+     * canonical pipeline order (ad-hoc passes follow, in the order
+     * they first recorded).
+     */
+    std::vector<PassStats> snapshot() const;
+
+    /** Drop all aggregates (pre-registered order survives). */
+    void reset();
+
+    /** The process-wide default sink. */
+    static PassInstrumentation &global();
+
+    /** Canonical pipeline pass names, in pipeline order. */
+    static const std::vector<std::string> &pipelineOrder();
+
+  private:
+    /** Slot of @p name, appending a fresh one if unseen. Caller
+     *  holds mu_. */
+    std::size_t slotOf(const std::string &name);
+
+    mutable std::mutex mu_;
+    std::vector<PassStats> stats_; ///< stable registration order
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+/**
+ * Whether per-pass timing reports were requested (the --time-passes
+ * flag or a non-empty, non-"0" SYMBOL_TIME_PASSES environment
+ * variable). Collection is always on — this only gates reporting.
+ */
+bool timePassesEnabled();
+
+/** Turn timing reports on/off programmatically (--time-passes). */
+void setTimePasses(bool on);
+
+/** Render a snapshot as an aligned report table (one line per
+ *  pass), e.g. for --time-passes output on stderr. */
+std::string timingReport(const std::vector<PassStats> &passes);
+
+/** Render a snapshot as a JSON array (see DESIGN.md §10 for the
+ *  schema); parseable by support/json.hh. */
+std::string toJson(const std::vector<PassStats> &passes);
+
+} // namespace symbol::pass
+
+#endif // SYMBOL_PASS_INSTRUMENT_HH

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * The pass framework: every stage of the evaluation toolchain is an
+ * explicit, named, instrumented unit of work (DESIGN.md §10).
+ *
+ * A Pass<Ctx> transforms a pipeline context in place and declares
+ * its IR sizes; a PassManager<Ctx> runs a fixed sequence of passes
+ * over one context, timing each and recording (wall time, IR
+ * in/out, invocation count) into a PassInstrumentation sink. The
+ * manager is cheap enough to build per pipeline run — all shared
+ * state lives in the sink, which aggregates thread-safely across the
+ * EvalDriver's pool.
+ *
+ * Passes with internal structure (the compactor) may opt out of the
+ * manager's timer via selfInstrumented() and record their own
+ * sub-passes instead, so no work is ever counted twice.
+ *
+ * The independent schedule checker (src/verify) is deliberately
+ * *outside* this framework when used as a standalone sweep: its
+ * value is that it shares no infrastructure with the passes it
+ * checks. Inside runVliw() it is wrapped as an ordinary pass purely
+ * for timing.
+ */
+
+#ifndef SYMBOL_PASS_PASS_HH
+#define SYMBOL_PASS_PASS_HH
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "pass/instrument.hh"
+
+namespace symbol::pass
+{
+
+/** One named stage of a pipeline over context @p Ctx. */
+template <class Ctx>
+class Pass
+{
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable pass name (the instrumentation/report key). */
+    virtual const char *name() const = 0;
+
+    /** Transform @p ctx in place. */
+    virtual void run(Ctx &ctx) = 0;
+
+    /** IR units about to be consumed (evaluated before run()). */
+    virtual std::uint64_t
+    irIn(const Ctx &) const
+    {
+        return 0;
+    }
+
+    /** IR units produced (evaluated after run()). */
+    virtual std::uint64_t
+    irOut(const Ctx &) const
+    {
+        return 0;
+    }
+
+    /**
+     * A self-instrumented pass records its own (finer-grained)
+     * entries from inside run(); the manager then skips its own
+     * record so the work is never double-counted.
+     */
+    virtual bool
+    selfInstrumented() const
+    {
+        return false;
+    }
+};
+
+/**
+ * A pass defined by callables — for pipeline stages assembled inside
+ * a member function, where the pass body needs access the enclosing
+ * object grants via lambda capture.
+ */
+template <class Ctx>
+class FunctionPass : public Pass<Ctx>
+{
+  public:
+    using RunFn = std::function<void(Ctx &)>;
+    using SizeFn = std::function<std::uint64_t(const Ctx &)>;
+
+    FunctionPass(const char *name, RunFn run, SizeFn irIn = {},
+                 SizeFn irOut = {}, bool selfInstrumented = false)
+        : name_(name), run_(std::move(run)), irIn_(std::move(irIn)),
+          irOut_(std::move(irOut)), self_(selfInstrumented)
+    {
+    }
+
+    const char *
+    name() const override
+    {
+        return name_;
+    }
+    void
+    run(Ctx &ctx) override
+    {
+        run_(ctx);
+    }
+    std::uint64_t
+    irIn(const Ctx &ctx) const override
+    {
+        return irIn_ ? irIn_(ctx) : 0;
+    }
+    std::uint64_t
+    irOut(const Ctx &ctx) const override
+    {
+        return irOut_ ? irOut_(ctx) : 0;
+    }
+    bool
+    selfInstrumented() const override
+    {
+        return self_;
+    }
+
+  private:
+    const char *name_;
+    RunFn run_;
+    SizeFn irIn_, irOut_;
+    bool self_;
+};
+
+/**
+ * Runs a sequence of passes over one context, recording each into
+ * the sink (null = the process-wide default).
+ */
+template <class Ctx>
+class PassManager
+{
+  public:
+    explicit PassManager(PassInstrumentation *instr = nullptr)
+        : instr_(instr ? instr : &PassInstrumentation::global())
+    {
+    }
+
+    /** The sink this manager records into. */
+    PassInstrumentation &
+    instrumentation() const
+    {
+        return *instr_;
+    }
+
+    /** Append a pass; passes run in add order. */
+    void
+    add(std::unique_ptr<Pass<Ctx>> p)
+    {
+        passes_.push_back(std::move(p));
+    }
+
+    /** Run every pass over @p ctx, in order. */
+    void
+    run(Ctx &ctx) const
+    {
+        for (const auto &p : passes_)
+            runOne(*p, ctx);
+    }
+
+    /** Run a single pass over @p ctx with instrumentation. */
+    void
+    runOne(Pass<Ctx> &p, Ctx &ctx) const
+    {
+        if (p.selfInstrumented()) {
+            p.run(ctx);
+            return;
+        }
+        using clock = std::chrono::steady_clock;
+        std::uint64_t in = p.irIn(ctx);
+        auto t0 = clock::now();
+        p.run(ctx);
+        double secs =
+            std::chrono::duration<double>(clock::now() - t0).count();
+        instr_->record(p.name(), secs, in, p.irOut(ctx));
+    }
+
+  private:
+    PassInstrumentation *instr_;
+    std::vector<std::unique_ptr<Pass<Ctx>>> passes_;
+};
+
+/**
+ * Helper for self-instrumented passes: accumulates the wall time of
+ * many scoped sections under one name and records a single entry.
+ */
+class SubPassTimer
+{
+  public:
+    SubPassTimer(const char *name, PassInstrumentation *instr)
+        : name_(name),
+          instr_(instr ? instr : &PassInstrumentation::global())
+    {
+    }
+
+    /** Record the accumulated time once, with the given IR sizes. */
+    void
+    finish(std::uint64_t irIn, std::uint64_t irOut)
+    {
+        instr_->record(name_, seconds_, irIn, irOut);
+    }
+
+    /** Times one section into the owning SubPassTimer. */
+    class Scope
+    {
+      public:
+        explicit Scope(SubPassTimer &t)
+            : t_(t), t0_(std::chrono::steady_clock::now())
+        {
+        }
+        ~Scope()
+        {
+            t_.seconds_ += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0_)
+                               .count();
+        }
+        Scope(const Scope &) = delete;
+        Scope &operator=(const Scope &) = delete;
+
+      private:
+        SubPassTimer &t_;
+        std::chrono::steady_clock::time_point t0_;
+    };
+
+  private:
+    const char *name_;
+    PassInstrumentation *instr_;
+    double seconds_ = 0.0;
+};
+
+} // namespace symbol::pass
+
+#endif // SYMBOL_PASS_PASS_HH

@@ -1,1116 +1,127 @@
+/**
+ * @file
+ * The compaction orchestrator: wires the four sub-passes of global
+ * compaction — region formation (sched/trace), dependence-graph
+ * construction (sched/ddg), list scheduling (sched/schedule) and
+ * wide-instruction emission (sched/emit) — into one run over a
+ * profiled IntCode program, timing each under its canonical pass
+ * name (sched.traces / sched.ddg / sched.schedule / sched.emit).
+ *
+ * Ablation toggles select or parameterize sub-passes here instead of
+ * threading flags through them: traceMode picks the formation pass,
+ * freshAllocDisambiguation parameterizes the MemDisambiguator.
+ */
+
 #include "sched/compact.hh"
 
-#include <algorithm>
-#include <array>
 #include <map>
 
+#include "pass/pass.hh"
+#include "sched/ddg.hh"
+#include "sched/disambig.hh"
+#include "sched/emit.hh"
 #include "sched/liveness.hh"
-#include "support/diagnostics.hh"
-#include "support/text.hh"
+#include "sched/schedule.hh"
+#include "sched/trace.hh"
 
 namespace symbol::sched
 {
 
-using bam::Tag;
-using intcode::Block;
 using intcode::Cfg;
-using intcode::IInstr;
-using intcode::IOp;
-using intcode::OpClass;
 using intcode::Program;
 using machine::MachineConfig;
-using R = bam::Regs;
-using L = bam::Layout;
-
-namespace
-{
-
-// --- Symbolic memory addresses ------------------------------------------
-
-/** Memory area a pointer may fall in. */
-enum class Region : std::uint8_t
-{
-    Heap, Stack, Trail, Pdl,
-    Any, ///< unknown pointer: may be heap or stack, never trail/pdl
-};
-
-/** Do two regions certainly not overlap? */
-bool
-regionsDisjoint(Region a, Region b)
-{
-    if (a == Region::Any)
-        return b == Region::Trail || b == Region::Pdl;
-    if (b == Region::Any)
-        return a == Region::Trail || a == Region::Pdl;
-    return a != b;
-}
-
-/** Symbolic value of a register: base+offset when trackable. */
-struct AddrVal
-{
-    enum class Kind : std::uint8_t { Unknown, BaseOff, Absolute };
-    Kind kind = Kind::Unknown;
-    int baseReg = -1;
-    int version = 0;
-    std::int64_t off = 0;
-    Region region = Region::Any;
-};
-
-Region
-regionOfBase(int reg)
-{
-    switch (reg) {
-      case R::kH:
-      case R::kHb:
-        return Region::Heap;
-      case R::kE:
-      case R::kB:
-        // Environment and choice-point frames interleave on one
-        // local stack: they share a region and never disambiguate
-        // against each other (§4.1: "most memory accesses are in the
-        // stack ... and cannot be disambiguated").
-        return Region::Stack;
-      case R::kTr:
-        return Region::Trail;
-      case R::kPdl:
-        return Region::Pdl;
-      default:
-        return Region::Any;
-    }
-}
-
-Region
-regionOfAbsolute(std::int64_t addr)
-{
-    if (addr >= L::kHeapBase && addr < L::kHeapEnd)
-        return Region::Heap;
-    if (addr >= L::kStackBase && addr < L::kStackEnd)
-        return Region::Stack;
-    if (addr >= L::kTrailBase && addr < L::kTrailEnd)
-        return Region::Trail;
-    if (addr >= L::kPdlBase && addr < L::kPdlEnd)
-        return Region::Pdl;
-    return Region::Any;
-}
-
-/** One operation of a trace, with scheduling metadata. */
-struct TOp
-{
-    IInstr instr;
-    int origIdx = -1;  ///< original program index (priority order)
-    bool synthetic = false; ///< inserted trace-exit jump, no original
-    bool isSplit = false; ///< in-trace conditional branch
-    int offTraceBlock = -1; ///< CFG block of the split's exit edge
-    AddrVal addr;      ///< for memory ops: symbolic address
-    bool isMem = false;
-    bool isStore = false;
-};
-
-/** Operation latency under a machine configuration. */
-int
-latencyOf(const IInstr &i, const MachineConfig &cfg)
-{
-    switch (intcode::opClass(i.op)) {
-      case OpClass::Memory:
-        return i.op == IOp::Ld ? cfg.memLatency : 1;
-      case OpClass::Alu:
-        return cfg.aluLatency;
-      case OpClass::Move:
-        return cfg.moveLatency;
-      default:
-        return 1;
-    }
-}
-
-/** May an operation be hoisted above a branch it followed? Stores,
- *  output and faulting operations may not (side effects). */
-bool
-speculable(const IInstr &i)
-{
-    switch (i.op) {
-      case IOp::St:
-      case IOp::Out:
-      case IOp::Div:
-      case IOp::Mod:
-        return false;
-      default:
-        return !intcode::isControl(i.op);
-    }
-}
-
-/** Issue-slot class used for resource accounting. */
-enum class Slot : std::uint8_t { Mem, Alu, Move, Branch, None };
-
-Slot
-slotOf(const IInstr &i)
-{
-    switch (intcode::opClass(i.op)) {
-      case OpClass::Memory: return Slot::Mem;
-      case OpClass::Alu: return Slot::Alu;
-      case OpClass::Move: return Slot::Move;
-      case OpClass::Control: return Slot::Branch;
-      case OpClass::Other:
-        return i.op == IOp::Out ? Slot::Move : Slot::None;
-    }
-    return Slot::None;
-}
-
-// --- The compactor --------------------------------------------------------
-
-class Compactor
-{
-  public:
-    Compactor(const Program &prog, const emul::Profile &prof,
-              const MachineConfig &mc, const CompactOptions &opts)
-        : prog_(prog), prof_(prof), mc_(mc), opts_(opts),
-          cfg_(Cfg::build(prog)), live_(Liveness::compute(prog, cfg_))
-    {
-    }
-
-    CompactResult
-    run()
-    {
-        pickTraces();
-
-        // Emit traces chained along their exit edges so that the
-        // trailing jump of one trace can often be elided into a
-        // fallthrough (taken branches cost a pipeline bubble).
-        std::map<int, std::size_t> traceOfHead;
-        for (std::size_t t = 0; t < traces_.size(); ++t)
-            traceOfHead[traces_[t].front()] = t;
-        std::vector<bool> emitted(traces_.size(), false);
-        for (std::size_t t = 0; t < traces_.size(); ++t) {
-            std::size_t cur = t;
-            while (!emitted[cur]) {
-                emitted[cur] = true;
-                scheduleTrace(traces_[cur]);
-                int exit = exitBlockOf(traces_[cur]);
-                if (exit < 0)
-                    break;
-                auto it = traceOfHead.find(exit);
-                if (it == traceOfHead.end() || emitted[it->second])
-                    break;
-                cur = it->second;
-            }
-        }
-
-        fixup();
-        finishStats();
-
-        CompactResult res;
-        res.code.code = std::move(wide_);
-        res.code.regionStart = std::move(regionStart_);
-        res.code.entry =
-            headWide_.at(cfg_.entryBlock);
-        res.code.numRegs = prog_.numRegs;
-        res.code.interner = prog_.interner;
-        res.stats = stats_;
-        return res;
-    }
-
-  private:
-    const Program &prog_;
-    const emul::Profile &prof_;
-    MachineConfig mc_;
-    CompactOptions opts_;
-    Cfg cfg_;
-    Liveness live_;
-
-    std::vector<std::vector<int>> traces_;
-    /** Flow stolen from each block by tail-duplicated copies. */
-    std::vector<std::uint64_t> copiedFlow_;
-    std::vector<vliw::WideInstr> wide_;
-    std::vector<int> regionStart_;
-    std::map<int, int> headWide_; ///< head block -> wide index
-    CompactStats stats_;
-    double dynLenNum_ = 0, dynLenDen_ = 0, dynBlkNum_ = 0;
-
-    std::uint64_t
-    expectOf(int block) const
-    {
-        return prof_.expect[static_cast<std::size_t>(
-            cfg_.blocks[static_cast<std::size_t>(block)].first)];
-    }
-
-    /** Successor edge counts of @p block, aligned with succs. */
-    std::vector<std::uint64_t>
-    edgeCounts(int block) const
-    {
-        const Block &b =
-            cfg_.blocks[static_cast<std::size_t>(block)];
-        std::size_t last = static_cast<std::size_t>(b.last);
-        const IInstr &term = prog_.code[last];
-        std::vector<std::uint64_t> out;
-        if (intcode::isCondBranch(term.op)) {
-            std::uint64_t taken = prof_.taken[last];
-            out.push_back(taken);
-            if (b.succs.size() > 1)
-                out.push_back(prof_.expect[last] - taken);
-        } else {
-            for (std::size_t s = 0; s < b.succs.size(); ++s)
-                out.push_back(prof_.expect[last]);
-        }
-        return out;
-    }
-
-    /**
-     * Superblock formation: every block heads exactly one trace
-     * (keeping it addressable from anywhere); the hot traces then
-     * grow forward along the most probable edges, duplicating each
-     * followed block into the trace. Originals that end up shadowed
-     * by copies simply become cold code.
-     */
-    void
-    pickTraces()
-    {
-        const std::size_t nb = cfg_.blocks.size();
-
-        // Seeds in descending Expect order.
-        std::vector<int> seeds(nb);
-        for (std::size_t i = 0; i < nb; ++i)
-            seeds[i] = static_cast<int>(i);
-        std::stable_sort(seeds.begin(), seeds.end(),
-                         [&](int a, int b) {
-                             return expectOf(a) > expectOf(b);
-                         });
-
-        std::size_t prog_ops = prog_.code.size();
-        std::size_t dup_budget = static_cast<std::size_t>(
-            opts_.dupBudgetFactor * static_cast<double>(prog_ops));
-        copiedFlow_.assign(nb, 0);
-
-        for (int seed : seeds) {
-            std::vector<int> tr{seed};
-            if (opts_.traceMode)
-                growForward(tr, dup_budget);
-            traces_.push_back(std::move(tr));
-        }
-    }
-
-    void
-    growForward(std::vector<int> &tr, std::size_t &dup_budget)
-    {
-        std::uint64_t head_expect = expectOf(tr.front());
-        if (head_expect == 0)
-            return;
-        int total_ops =
-            cfg_.blocks[static_cast<std::size_t>(tr.front())].size();
-        while (static_cast<int>(tr.size()) < opts_.maxTraceBlocks &&
-               total_ops < opts_.maxTraceOps) {
-            int cur = tr.back();
-            const Block &b =
-                cfg_.blocks[static_cast<std::size_t>(cur)];
-            auto counts = edgeCounts(cur);
-            int best = -1;
-            std::uint64_t best_count = 0;
-            for (std::size_t s = 0; s < b.succs.size(); ++s) {
-                int t = b.succs[s];
-                if (counts[s] < std::max<std::uint64_t>(
-                                    opts_.minEdgeCount, 1) ||
-                    counts[s] <= best_count)
-                    continue;
-                if (std::find(tr.begin(), tr.end(), t) != tr.end())
-                    continue; // no loop unrolling
-                best = t;
-                best_count = counts[s];
-            }
-            if (best < 0)
-                break;
-            // Stop on edges much colder than the trace head.
-            if (static_cast<double>(best_count) <
-                opts_.coldEdgeRatio *
-                    static_cast<double>(head_expect))
-                break;
-            std::size_t sz = static_cast<std::size_t>(
-                cfg_.blocks[static_cast<std::size_t>(best)].size());
-            if (sz > dup_budget)
-                break;
-            dup_budget -= sz;
-            total_ops += static_cast<int>(sz);
-            copiedFlow_[static_cast<std::size_t>(best)] +=
-                best_count;
-            tr.push_back(best);
-        }
-    }
-
-    /**
-     * Block the trace's final unconditional transfer targets, or -1.
-     * Used to chain trace emission into fallthroughs.
-     */
-    int
-    exitBlockOf(const std::vector<int> &blocks) const
-    {
-        const Block &last = cfg_.blocks[static_cast<std::size_t>(
-            blocks.back())];
-        const IInstr &term =
-            prog_.code[static_cast<std::size_t>(last.last)];
-        if (term.op == IOp::Jmp)
-            return cfg_.blockOf[static_cast<std::size_t>(
-                term.target)];
-        if (intcode::isCondBranch(term.op) ||
-            !intcode::isControl(term.op)) {
-            // The synthetic exit jump goes to the fallthrough block.
-            if (last.last + 1 < static_cast<int>(prog_.code.size()))
-                return cfg_.blockOf[static_cast<std::size_t>(
-                    last.last + 1)];
-        }
-        return -1;
-    }
-
-    // --- Trace preparation ------------------------------------------
-
-    /**
-     * Concatenate the blocks of a trace into a straight-line op list:
-     * in-trace jumps disappear, in-trace conditional branches become
-     * splits (inverted when the trace follows the taken edge), and a
-     * synthetic jump leaves the trace at the end if needed.
-     */
-    std::vector<TOp>
-    linearize(const std::vector<int> &blocks)
-    {
-        std::vector<TOp> ops;
-        for (std::size_t k = 0; k < blocks.size(); ++k) {
-            const Block &b = cfg_.blocks[static_cast<std::size_t>(
-                blocks[k])];
-            bool last_block = k + 1 == blocks.size();
-            int next_block = last_block ? -1 : blocks[k + 1];
-            for (int i = b.first; i <= b.last; ++i) {
-                TOp op;
-                op.instr =
-                    prog_.code[static_cast<std::size_t>(i)];
-                op.origIdx = i;
-                const IInstr &ins = op.instr;
-                bool is_term = i == b.last;
-
-                if (is_term && !last_block) {
-                    int fall_block =
-                        b.last + 1 <
-                                static_cast<int>(prog_.code.size())
-                            ? cfg_.blockOf[static_cast<std::size_t>(
-                                  b.last + 1)]
-                            : -1;
-                    if (ins.op == IOp::Jmp) {
-                        int tgt = cfg_.blockOf
-                            [static_cast<std::size_t>(ins.target)];
-                        panicIf(tgt != next_block,
-                                "trace does not follow jmp edge");
-                        continue; // implicit fallthrough
-                    }
-                    if (intcode::isCondBranch(ins.op)) {
-                        int tgt = cfg_.blockOf
-                            [static_cast<std::size_t>(ins.target)];
-                        op.isSplit = true;
-                        if (tgt == next_block) {
-                            // Trace follows the taken edge: invert.
-                            panicIf(fall_block < 0,
-                                    "no fallthrough block");
-                            op.instr.op =
-                                intcode::invertBranch(ins.op);
-                            op.instr.target = cfg_.blocks
-                                [static_cast<std::size_t>(
-                                     fall_block)].first;
-                            op.offTraceBlock = fall_block;
-                        } else {
-                            panicIf(fall_block != next_block,
-                                    "trace does not follow an edge");
-                            op.offTraceBlock = tgt;
-                        }
-                        ops.push_back(op);
-                        continue;
-                    }
-                    // Plain fallthrough terminator.
-                    panicIf(fall_block != next_block,
-                            "trace breaks fallthrough");
-                    if (intcode::isControl(ins.op))
-                        panic("unexpected control terminator");
-                    ops.push_back(op);
-                    continue;
-                }
-                ops.push_back(op);
-            }
-        }
-
-        // Make sure control leaves the trace explicitly at the end.
-        const Block &lastb = cfg_.blocks[static_cast<std::size_t>(
-            blocks.back())];
-        const IInstr &term =
-            prog_.code[static_cast<std::size_t>(lastb.last)];
-        if (intcode::isCondBranch(term.op) ||
-            !intcode::isControl(term.op)) {
-            int fall = lastb.last + 1;
-            panicIf(fall >= static_cast<int>(prog_.code.size()),
-                    "trace falls off the end of the program");
-            TOp j;
-            j.instr.op = IOp::Jmp;
-            j.instr.target =
-                cfg_.blocks[static_cast<std::size_t>(
-                                cfg_.blockOf[static_cast<std::size_t>(
-                                    fall)])].first;
-            j.origIdx = lastb.last; // synthetic: shares priority slot
-            j.synthetic = true;
-            ops.push_back(j);
-        }
-        return ops;
-    }
-
-    /** Symbolic address computation over the linearised trace. */
-    void
-    computeAddresses(std::vector<TOp> &ops)
-    {
-        std::map<int, AddrVal> state;
-        std::map<int, int> versions;
-        auto baseInit = [&](int reg) {
-            AddrVal v;
-            v.kind = AddrVal::Kind::BaseOff;
-            v.baseReg = reg;
-            v.version = 0;
-            v.off = 0;
-            v.region = regionOfBase(reg);
-            return v;
-        };
-        for (int r :
-             {R::kH, R::kE, R::kB, R::kTr, R::kPdl, R::kHb})
-            state[r] = baseInit(r);
-
-        auto redefineBase = [&](int reg) {
-            AddrVal v;
-            v.kind = AddrVal::Kind::BaseOff;
-            v.baseReg = reg;
-            v.version = ++versions[reg];
-            v.off = 0;
-            v.region = regionOfBase(reg);
-            state[reg] = v;
-        };
-        auto get = [&](int reg) {
-            auto it = state.find(reg);
-            if (it != state.end())
-                return it->second;
-            AddrVal v;
-            v.region = Region::Any;
-            return v;
-        };
-
-        for (TOp &op : ops) {
-            IInstr &i = op.instr;
-            if (i.op == IOp::Ld || i.op == IOp::St) {
-                op.isMem = true;
-                op.isStore = i.op == IOp::St;
-                op.addr = get(i.ra);
-                if (op.addr.kind != AddrVal::Kind::Unknown)
-                    op.addr.off += i.off;
-                else if (op.addr.region == Region::Any &&
-                         regionOfBase(i.ra) != Region::Any)
-                    op.addr.region = regionOfBase(i.ra);
-            }
-            // Transfer function for the destination register.
-            int d = intcode::defReg(i);
-            if (d < 0)
-                continue;
-            bool canonical = regionOfBase(d) != Region::Any;
-            switch (i.op) {
-              case IOp::Mov: {
-                AddrVal v = get(i.ra);
-                if (canonical && v.kind == AddrVal::Kind::Unknown)
-                    redefineBase(d);
-                else
-                    state[d] = v;
-                break;
-              }
-              case IOp::Movi:
-                if (bam::wordTag(i.imm) == Tag::Int) {
-                    AddrVal v;
-                    v.kind = AddrVal::Kind::Absolute;
-                    v.off = bam::wordVal(i.imm);
-                    v.region = regionOfAbsolute(v.off);
-                    state[d] = v;
-                } else if (canonical) {
-                    redefineBase(d);
-                } else {
-                    state[d] = AddrVal{};
-                }
-                break;
-              case IOp::Add:
-              case IOp::Sub: {
-                AddrVal v = get(i.ra);
-                if (i.useImm &&
-                    v.kind != AddrVal::Kind::Unknown) {
-                    std::int64_t delta = bam::wordVal(i.imm);
-                    v.off += i.op == IOp::Add ? delta : -delta;
-                    state[d] = v;
-                } else {
-                    // reg+reg: keep only the region knowledge.
-                    AddrVal r1 = get(i.ra);
-                    AddrVal r2 = i.useImm ? AddrVal{} : get(i.rb);
-                    AddrVal v2;
-                    v2.region = r1.region != Region::Any
-                                    ? r1.region
-                                    : r2.region;
-                    if (canonical &&
-                        v2.region == Region::Any)
-                        redefineBase(d);
-                    else
-                        state[d] = v2;
-                }
-                break;
-              }
-              case IOp::MkTag: {
-                AddrVal v = get(i.ra);
-                state[d] = v; // value field preserved
-                break;
-              }
-              default:
-                if (canonical)
-                    redefineBase(d);
-                else
-                    state[d] = AddrVal{};
-                break;
-            }
-        }
-    }
-
-    /** Do two trace memory ops certainly access different words? */
-    bool
-    independentMem(const TOp &a, const TOp &b) const
-    {
-        const AddrVal &x = a.addr;
-        const AddrVal &y = b.addr;
-        if (x.kind == AddrVal::Kind::BaseOff &&
-            y.kind == AddrVal::Kind::BaseOff &&
-            x.baseReg == y.baseReg && x.version == y.version)
-            return x.off != y.off;
-        if (x.kind == AddrVal::Kind::Absolute &&
-            y.kind == AddrVal::Kind::Absolute)
-            return x.off != y.off;
-        if (regionsDisjoint(x.region, y.region))
-            return true;
-        // Fresh heap allocation: nothing older can alias a cell that
-        // is only just being carved off the top of the heap, so an
-        // earlier access is independent of a later fresh store.
-        if (opts_.freshAllocDisambiguation && b.isStore &&
-            b.instr.fresh)
-            return true;
-        return false;
-    }
-
-    // --- Dependence graph -------------------------------------------
-
-    struct Edge
-    {
-        int to;
-        int delay;
-    };
-
-    struct Ddg
-    {
-        std::vector<std::vector<Edge>> succs;
-        std::vector<int> npreds;
-        /** Producing trace op of (ra, rb), or -1 if live-in. */
-        std::vector<std::array<int, 2>> defOf;
-        std::vector<int> height;
-    };
-
-    Ddg
-    buildDdg(std::vector<TOp> &ops)
-    {
-        const int n = static_cast<int>(ops.size());
-        Ddg g;
-        g.succs.assign(static_cast<std::size_t>(n), {});
-        g.npreds.assign(static_cast<std::size_t>(n), 0);
-        g.defOf.assign(static_cast<std::size_t>(n),
-                       std::array<int, 2>{-1, -1});
-        auto addEdge = [&](int from, int to, int delay) {
-            g.succs[static_cast<std::size_t>(from)].push_back(
-                {to, delay});
-            ++g.npreds[static_cast<std::size_t>(to)];
-        };
-
-        std::map<int, int> lastDef;
-        std::map<int, std::vector<int>> usesSinceDef;
-        int lastBranch = -1;
-        std::vector<int> branchesSoFar;
-        int lastOut = -1;
-
-        for (int j = 0; j < n; ++j) {
-            const IInstr &ij = ops[static_cast<std::size_t>(j)].instr;
-            int uses[2];
-            int nu = 0;
-            intcode::useRegs(ij, uses, nu);
-            for (int u = 0; u < nu; ++u) {
-                auto it = lastDef.find(uses[u]);
-                int def = it == lastDef.end() ? -1 : it->second;
-                // Record the producer for cluster binding; slot 0 is
-                // ra, slot 1 is rb.
-                int slot = (u == 0 && ij.ra == uses[u]) ? 0 : 1;
-                g.defOf[static_cast<std::size_t>(j)]
-                       [static_cast<std::size_t>(slot)] = def;
-                if (def >= 0)
-                    addEdge(def, j,
-                            latencyOf(ops[static_cast<std::size_t>(
-                                              def)].instr,
-                                      mc_));
-                usesSinceDef[uses[u]].push_back(j);
-            }
-            int d = intcode::defReg(ij);
-            if (d >= 0) {
-                auto it = lastDef.find(d);
-                if (it != lastDef.end()) {
-                    // Output dependence: preserve the final value.
-                    const IInstr &prev =
-                        ops[static_cast<std::size_t>(it->second)]
-                            .instr;
-                    int delay = latencyOf(prev, mc_) -
-                                latencyOf(ij, mc_) + 1;
-                    addEdge(it->second, j, std::max(delay, 0));
-                }
-                // Anti dependences: writers wait for readers' issue.
-                for (int r : usesSinceDef[d]) {
-                    if (r != j)
-                        addEdge(r, j, 0);
-                }
-                usesSinceDef[d].clear();
-                lastDef[d] = j;
-            }
-
-            // Memory ordering.
-            if (ops[static_cast<std::size_t>(j)].isMem) {
-                for (int i = j - 1; i >= 0; --i) {
-                    const TOp &oi = ops[static_cast<std::size_t>(i)];
-                    if (!oi.isMem)
-                        continue;
-                    if (!oi.isStore &&
-                        !ops[static_cast<std::size_t>(j)].isStore)
-                        continue; // load-load never conflicts
-                    if (!independentMem(
-                            oi, ops[static_cast<std::size_t>(j)]))
-                        addEdge(i, j, 1);
-                }
-            }
-
-            // Observable-output ordering.
-            if (ij.op == IOp::Out) {
-                if (lastOut >= 0)
-                    addEdge(lastOut, j, 1);
-                lastOut = j;
-            }
-
-            // Control constraints.
-            if (intcode::isControl(ij.op)) {
-                // Branch order is fixed; same-cycle multiway issue is
-                // allowed (priority = position).
-                if (lastBranch >= 0)
-                    addEdge(lastBranch, j, 0);
-                // Nothing that preceded the branch may sink below
-                // it; in addition, a result the off-trace path may
-                // consume must have committed by the time that path
-                // resumes (one taken-branch penalty later).
-                for (int i = (lastBranch >= 0 ? lastBranch + 1 : 0);
-                     i < j; ++i) {
-                    const IInstr &prev =
-                        ops[static_cast<std::size_t>(i)].instr;
-                    if (intcode::isControl(prev.op))
-                        continue;
-                    int slack = 0;
-                    if (intcode::defReg(prev) >= 0)
-                        slack = latencyOf(prev, mc_) - 1 -
-                                mc_.branchPenalty;
-                    addEdge(i, j, std::max(0, slack));
-                }
-                lastBranch = j;
-                branchesSoFar.push_back(j);
-            } else {
-                // Hoisting above earlier splits: forbidden for
-                // side-effecting ops and for off-live destinations.
-                // A hoisted result must also have committed by the
-                // time the off-trace path resumes (one penalty after
-                // the split), or its in-flight write could collide
-                // with a fresh off-trace definition of the register.
-                bool spec = speculable(ij) &&
-                            latencyOf(ij, mc_) - 1 <=
-                                mc_.branchPenalty;
-                for (int bidx : branchesSoFar) {
-                    const TOp &br =
-                        ops[static_cast<std::size_t>(bidx)];
-                    bool blocked = !spec;
-                    if (!blocked && d >= 0 &&
-                        br.offTraceBlock >= 0 &&
-                        live_.isLiveIn(br.offTraceBlock, d))
-                        blocked = true; // off-live dependence
-                    if (!blocked && br.offTraceBlock < 0)
-                        blocked = true; // unknown exit: be safe
-                    if (blocked)
-                        addEdge(bidx, j, 1);
-                }
-            }
-        }
-
-        // Heights (critical path to the end, in cycles).
-        g.height.assign(static_cast<std::size_t>(n), 0);
-        for (int i = n - 1; i >= 0; --i) {
-            int h = latencyOf(ops[static_cast<std::size_t>(i)].instr,
-                              mc_);
-            for (const Edge &e :
-                 g.succs[static_cast<std::size_t>(i)]) {
-                h = std::max(
-                    h, e.delay +
-                           g.height[static_cast<std::size_t>(e.to)]);
-            }
-            g.height[static_cast<std::size_t>(i)] = h;
-        }
-        return g;
-    }
-
-    // --- List scheduling with BUG unit binding ------------------------
-
-    void
-    scheduleTrace(const std::vector<int> &blocks)
-    {
-        std::vector<TOp> ops = linearize(blocks);
-        computeAddresses(ops);
-        Ddg g = buildDdg(ops);
-        const int n = static_cast<int>(ops.size());
-        const int units = mc_.numUnits;
-
-        std::vector<int> cycleOf(static_cast<std::size_t>(n), -1);
-        std::vector<int> unitOf(static_cast<std::size_t>(n), 0);
-        std::vector<int> earliest(static_cast<std::size_t>(n), 0);
-        std::vector<int> preds_left = g.npreds;
-
-        // Resource state per cycle (grown on demand).
-        struct CycleRes
-        {
-            std::vector<std::uint8_t> slotUse; // unit x 4 slots
-            std::vector<std::uint8_t> fmtCtl;  // unit used control
-            std::vector<std::uint8_t> fmtData; // unit used alu/move
-            int memUsed = 0;
-            int busUsed = 0;
-        };
-        std::vector<CycleRes> res;
-        auto resAt = [&](int c) -> CycleRes & {
-            while (static_cast<int>(res.size()) <= c) {
-                CycleRes r;
-                r.slotUse.assign(
-                    static_cast<std::size_t>(units) * 4, 0);
-                r.fmtCtl.assign(static_cast<std::size_t>(units), 0);
-                r.fmtData.assign(static_cast<std::size_t>(units), 0);
-                res.push_back(std::move(r));
-            }
-            return res[static_cast<std::size_t>(c)];
-        };
-
-        auto slotLimit = [&](Slot s) {
-            switch (s) {
-              case Slot::Mem: return mc_.memPerUnit;
-              case Slot::Alu: return mc_.aluPerUnit;
-              case Slot::Move: return mc_.movePerUnit;
-              case Slot::Branch: return mc_.branchPerUnit;
-              default: return 1;
-            }
-        };
-
-        int scheduled = 0;
-        int cycle = 0;
-        std::vector<int> order(static_cast<std::size_t>(n));
-        for (int i = 0; i < n; ++i)
-            order[static_cast<std::size_t>(i)] = i;
-        std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
-            return g.height[static_cast<std::size_t>(a)] >
-                   g.height[static_cast<std::size_t>(b)];
-        });
-
-        while (scheduled < n) {
-            bool placed_any = false;
-            for (int oi : order) {
-                std::size_t o = static_cast<std::size_t>(oi);
-                if (cycleOf[o] >= 0 || preds_left[o] > 0 ||
-                    earliest[o] > cycle)
-                    continue;
-                const TOp &op = ops[o];
-                Slot slot = slotOf(op.instr);
-                if (slot == Slot::None) {
-                    // Nop-like: schedule without resources.
-                    cycleOf[o] = cycle;
-                    placed_any = true;
-                    ++scheduled;
-                    for (const Edge &e : g.succs[o]) {
-                        std::size_t t =
-                            static_cast<std::size_t>(e.to);
-                        earliest[t] = std::max(earliest[t],
-                                               cycle + e.delay);
-                        --preds_left[t];
-                    }
-                    continue;
-                }
-                CycleRes &cr = resAt(cycle);
-                if (slot == Slot::Mem &&
-                    cr.memUsed >= mc_.memPortsTotal)
-                    continue;
-
-                // Pick a unit (Bottom-Up-Greedy): feasibility, then
-                // fewest bus crossings, then load balance.
-                int best_unit = -1;
-                int best_cost = 1 << 30;
-                for (int u = 0; u < units; ++u) {
-                    std::size_t su = static_cast<std::size_t>(u);
-                    if (cr.slotUse[su * 4 +
-                                   static_cast<std::size_t>(slot)] >=
-                        slotLimit(slot))
-                        continue;
-                    if (mc_.twoFormats) {
-                        if (slot == Slot::Branch && cr.fmtData[su])
-                            continue;
-                        if ((slot == Slot::Alu ||
-                             slot == Slot::Move) &&
-                            cr.fmtCtl[su])
-                            continue;
-                    }
-                    // Operand availability on this unit.
-                    int cross = 0;
-                    bool ok = true;
-                    if (mc_.clustered) {
-                        for (int s = 0; s < 2 && ok; ++s) {
-                            int dop = g.defOf[o]
-                                [static_cast<std::size_t>(s)];
-                            if (dop < 0)
-                                continue;
-                            std::size_t sd =
-                                static_cast<std::size_t>(dop);
-                            int avail =
-                                cycleOf[sd] +
-                                latencyOf(ops[sd].instr, mc_);
-                            if (unitOf[sd] != u) {
-                                avail += mc_.busLatency;
-                                ++cross;
-                            }
-                            if (avail > cycle)
-                                ok = false;
-                        }
-                        if (cross &&
-                            cr.busUsed + cross >
-                                mc_.busTransfersPerCycle)
-                            ok = false;
-                    }
-                    if (!ok)
-                        continue;
-                    int load = 0;
-                    for (int k = 0; k < 4; ++k)
-                        load += cr.slotUse[su * 4 +
-                                           static_cast<std::size_t>(
-                                               k)];
-                    int cost = cross * 8 + load;
-                    if (cost < best_cost) {
-                        best_cost = cost;
-                        best_unit = u;
-                        // Remember crossings via cost decode below.
-                    }
-                }
-                if (best_unit < 0)
-                    continue;
-
-                std::size_t su = static_cast<std::size_t>(best_unit);
-                cr.slotUse[su * 4 + static_cast<std::size_t>(slot)]++;
-                if (slot == Slot::Mem)
-                    ++cr.memUsed;
-                cr.busUsed += best_cost / 8;
-                if (mc_.twoFormats) {
-                    if (slot == Slot::Branch)
-                        cr.fmtCtl[su] = 1;
-                    if (slot == Slot::Alu || slot == Slot::Move)
-                        cr.fmtData[su] = 1;
-                }
-                cycleOf[o] = cycle;
-                unitOf[o] = best_unit;
-                placed_any = true;
-                ++scheduled;
-                for (const Edge &e : g.succs[o]) {
-                    std::size_t t = static_cast<std::size_t>(e.to);
-                    earliest[t] =
-                        std::max(earliest[t], cycle + e.delay);
-                    --preds_left[t];
-                }
-            }
-            if (!placed_any || scheduled < n)
-                ++cycle;
-            if (placed_any)
-                continue;
-            // Safety: if nothing became ready, jump to the next
-            // earliest time.
-            bool progress = false;
-            for (int i = 0; i < n; ++i) {
-                std::size_t o = static_cast<std::size_t>(i);
-                if (cycleOf[o] < 0 && preds_left[o] == 0) {
-                    progress = true;
-                    break;
-                }
-            }
-            panicIf(!progress && scheduled < n,
-                    "scheduler deadlock (cyclic dependence?)");
-        }
-
-        // Emit wide instructions, preserving original order within a
-        // cycle (multiway-branch priority). The trace is padded so
-        // that every result commits before control can leave it: a
-        // successor trace may begin in the very next cycle when the
-        // exit jump is elided into a fallthrough.
-        int len = 0;
-        for (int i = 0; i < n; ++i) {
-            std::size_t o = static_cast<std::size_t>(i);
-            int done = cycleOf[o];
-            if (intcode::defReg(ops[o].instr) >= 0)
-                done += latencyOf(ops[o].instr, mc_) - 1;
-            len = std::max(len, done);
-        }
-        std::vector<std::vector<int>> byCycle(
-            static_cast<std::size_t>(len) + 1);
-        for (int i = 0; i < n; ++i)
-            byCycle[static_cast<std::size_t>(
-                        cycleOf[static_cast<std::size_t>(i)])]
-                .push_back(i);
-
-        headWide_[blocks.front()] = static_cast<int>(wide_.size());
-        regionStart_.push_back(static_cast<int>(wide_.size()));
-        for (auto &cyc : byCycle) {
-            // byCycle preserves ascending trace position, which IS
-            // the branch-priority order (original program indices are
-            // meaningless here: duplicated blocks come from anywhere).
-            vliw::WideInstr w;
-            for (int i : cyc) {
-                if (ops[static_cast<std::size_t>(i)].instr.op ==
-                    IOp::Nop)
-                    continue;
-                vliw::MicroOp m;
-                m.instr = ops[static_cast<std::size_t>(i)].instr;
-                m.unit = unitOf[static_cast<std::size_t>(i)];
-                m.orig = ops[static_cast<std::size_t>(i)].synthetic
-                             ? -1
-                             : ops[static_cast<std::size_t>(i)].origIdx;
-                m.seq = i;
-                w.ops.push_back(std::move(m));
-            }
-            wide_.push_back(std::move(w));
-        }
-
-        // Register-bank pressure: peak count of values produced on a
-        // unit that are still awaiting an in-trace consumer (§5.2's
-        // banks hold 16 registers).
-        {
-            std::vector<int> last_use(static_cast<std::size_t>(n),
-                                      -1);
-            for (int j = 0; j < n; ++j) {
-                for (int s = 0; s < 2; ++s) {
-                    int d = g.defOf[static_cast<std::size_t>(j)]
-                                   [static_cast<std::size_t>(s)];
-                    if (d >= 0)
-                        last_use[static_cast<std::size_t>(d)] =
-                            std::max(
-                                last_use[static_cast<std::size_t>(
-                                    d)],
-                                cycleOf[static_cast<std::size_t>(
-                                    j)]);
-                }
-            }
-            std::map<std::pair<int, int>, int> delta;
-            for (int i = 0; i < n; ++i) {
-                std::size_t si = static_cast<std::size_t>(i);
-                if (intcode::defReg(ops[si].instr) < 0 ||
-                    last_use[si] < 0)
-                    continue;
-                delta[{unitOf[si], cycleOf[si]}] += 1;
-                delta[{unitOf[si], last_use[si] + 1}] -= 1;
-            }
-            int cur_unit = -1, live = 0;
-            for (const auto &[key, d] : delta) {
-                if (key.first != cur_unit) {
-                    cur_unit = key.first;
-                    live = 0;
-                }
-                live += d;
-                stats_.peakBankPressure =
-                    std::max(stats_.peakBankPressure, live);
-            }
-        }
-
-        // Statistics.
-        stats_.numRegions += 1;
-        stats_.totalOps += static_cast<std::size_t>(n);
-        // Weight by the flow that still enters this trace at its head
-        // (copies elsewhere have absorbed part of the original flow).
-        std::uint64_t e = expectOf(blocks.front());
-        std::uint64_t stolen =
-            copiedFlow_[static_cast<std::size_t>(blocks.front())];
-        e = e > stolen ? e - stolen : 0;
-        if (e > 0) {
-            dynLenNum_ += static_cast<double>(e) * n;
-            dynBlkNum_ +=
-                static_cast<double>(e) * blocks.size();
-            dynLenDen_ += static_cast<double>(e);
-        }
-    }
-
-    void
-    fixup()
-    {
-        auto resolve = [&](int instr_idx) {
-            int b = cfg_.blockOf[static_cast<std::size_t>(instr_idx)];
-            auto it = headWide_.find(b);
-            panicIf(it == headWide_.end() ||
-                        cfg_.blocks[static_cast<std::size_t>(b)]
-                                .first != instr_idx,
-                    "branch into the middle of a trace");
-            return it->second;
-        };
-        for (vliw::WideInstr &w : wide_) {
-            for (vliw::MicroOp &m : w.ops) {
-                if (m.instr.target >= 0)
-                    m.instr.target = resolve(m.instr.target);
-                if (m.instr.useImm &&
-                    bam::wordTag(m.instr.imm) == Tag::Cod) {
-                    int addr = static_cast<int>(
-                        bam::wordVal(m.instr.imm));
-                    m.instr.imm = bam::makeWord(
-                        Tag::Cod, resolve(addr));
-                }
-            }
-        }
-
-        // Elide jumps to the immediately following wide instruction:
-        // chained trace emission makes many trace exits plain
-        // fallthroughs, saving the taken-branch bubble. A jump is
-        // always the lowest-priority op of its cycle, so removing it
-        // cannot unmask another branch.
-        for (std::size_t k = 0; k < wide_.size(); ++k) {
-            auto &ops = wide_[k].ops;
-            if (!ops.empty() && ops.back().instr.op == IOp::Jmp &&
-                ops.back().instr.target ==
-                    static_cast<int>(k) + 1) {
-                ops.pop_back();
-            }
-        }
-    }
-
-    void
-    finishStats()
-    {
-        stats_.wideInstrs = wide_.size();
-        stats_.avgStaticLength =
-            stats_.numRegions
-                ? static_cast<double>(stats_.totalOps) /
-                      static_cast<double>(stats_.numRegions)
-                : 0.0;
-        stats_.avgDynamicLength =
-            dynLenDen_ > 0 ? dynLenNum_ / dynLenDen_ : 0.0;
-        stats_.avgBlocksPerRegion =
-            dynLenDen_ > 0 ? dynBlkNum_ / dynLenDen_ : 0.0;
-    }
-};
-
-} // namespace
 
 CompactResult
 compact(const Program &prog, const emul::Profile &profile,
-        const MachineConfig &config, const CompactOptions &opts)
+        const MachineConfig &config, const CompactOptions &opts,
+        pass::PassInstrumentation *instr)
 {
-    Compactor c(prog, profile, config, opts);
-    return c.run();
+    pass::SubPassTimer tTraces("sched.traces", instr);
+    pass::SubPassTimer tDdg("sched.ddg", instr);
+    pass::SubPassTimer tSched("sched.schedule", instr);
+    pass::SubPassTimer tEmit("sched.emit", instr);
+    using Scope = pass::SubPassTimer::Scope;
+    auto timed = [](pass::SubPassTimer &t, auto &&fn) {
+        Scope s(t);
+        return fn();
+    };
+
+    Cfg cfg = timed(tTraces, [&] { return Cfg::build(prog); });
+    Liveness live = timed(
+        tTraces, [&] { return Liveness::compute(prog, cfg); });
+    TraceSet ts = timed(tTraces, [&] {
+        return opts.traceMode
+                   ? formSuperblockTraces(prog, cfg, profile, opts)
+                   : formBasicBlockRegions(prog, cfg, profile,
+                                           opts);
+    });
+
+    MemDisambiguator dis(opts.freshAllocDisambiguation);
+    Emitter emitter(prog, cfg, config);
+    std::uint64_t totalOps = 0;
+    std::uint64_t depEdges = 0;
+
+    auto expectOf = [&](int block) {
+        return profile.expect[static_cast<std::size_t>(
+            cfg.blocks[static_cast<std::size_t>(block)].first)];
+    };
+
+    auto scheduleTrace = [&](const std::vector<int> &blocks) {
+        std::vector<TOp> ops = timed(tTraces, [&] {
+            return linearizeTrace(prog, cfg, blocks);
+        });
+        Ddg g = timed(tDdg, [&] {
+            dis.annotate(ops);
+            return buildDdg(ops, live, config, dis);
+        });
+        totalOps += ops.size();
+        depEdges += g.numEdges();
+        ListSchedule ls = timed(
+            tSched, [&] { return listSchedule(ops, g, config); });
+
+        // Weight the emitter's dynamic stats by the flow that still
+        // enters this trace at its head (tail-duplicated copies
+        // elsewhere have absorbed part of the original flow).
+        std::uint64_t e = expectOf(blocks.front());
+        std::uint64_t stolen =
+            ts.copiedFlow[static_cast<std::size_t>(blocks.front())];
+        e = e > stolen ? e - stolen : 0;
+        Scope s(tEmit);
+        emitter.emitTrace(blocks, e, ops, g, ls);
+    };
+
+    // Emit traces chained along their exit edges so that the
+    // trailing jump of one trace can often be elided into a
+    // fallthrough (taken branches cost a pipeline bubble).
+    std::map<int, std::size_t> traceOfHead;
+    for (std::size_t t = 0; t < ts.traces.size(); ++t)
+        traceOfHead[ts.traces[t].front()] = t;
+    std::vector<bool> emitted(ts.traces.size(), false);
+    for (std::size_t t = 0; t < ts.traces.size(); ++t) {
+        std::size_t cur = t;
+        while (!emitted[cur]) {
+            emitted[cur] = true;
+            scheduleTrace(ts.traces[cur]);
+            int exit = traceExitBlock(prog, cfg, ts.traces[cur]);
+            if (exit < 0)
+                break;
+            auto it = traceOfHead.find(exit);
+            if (it == traceOfHead.end() || emitted[it->second])
+                break;
+            cur = it->second;
+        }
+    }
+
+    CompactResult res = timed(tEmit, [&] {
+        emitter.fixup();
+        return emitter.finish();
+    });
+
+    tTraces.finish(cfg.blocks.size(), ts.traces.size());
+    tDdg.finish(totalOps, depEdges);
+    tSched.finish(totalOps, totalOps);
+    tEmit.finish(totalOps, res.stats.wideInstrs);
+    return res;
 }
 
 } // namespace symbol::sched

@@ -31,6 +31,11 @@
 #include "machine/config.hh"
 #include "vliw/code.hh"
 
+namespace symbol::pass
+{
+class PassInstrumentation;
+}
+
 namespace symbol::sched
 {
 
@@ -88,11 +93,17 @@ struct CompactResult
 /**
  * Compact @p prog for @p config, guided by the Expect/Probability
  * information in @p profile (from a sequential profiling run).
+ *
+ * The compactor is self-instrumented: its four sub-passes record
+ * their wall time and IR sizes under the canonical names
+ * sched.traces / sched.ddg / sched.schedule / sched.emit into
+ * @p instr (null = the process-wide default sink).
  */
 CompactResult compact(const intcode::Program &prog,
                       const emul::Profile &profile,
                       const machine::MachineConfig &config,
-                      const CompactOptions &opts = {});
+                      const CompactOptions &opts = {},
+                      pass::PassInstrumentation *instr = nullptr);
 
 } // namespace symbol::sched
 

@@ -1,0 +1,203 @@
+#include "sched/ddg.hh"
+
+#include <algorithm>
+#include <map>
+
+namespace symbol::sched
+{
+
+using intcode::IInstr;
+using intcode::IOp;
+using intcode::OpClass;
+using machine::MachineConfig;
+
+int
+latencyOf(const IInstr &i, const MachineConfig &cfg)
+{
+    switch (intcode::opClass(i.op)) {
+      case OpClass::Memory:
+        return i.op == IOp::Ld ? cfg.memLatency : 1;
+      case OpClass::Alu:
+        return cfg.aluLatency;
+      case OpClass::Move:
+        return cfg.moveLatency;
+      default:
+        return 1;
+    }
+}
+
+bool
+speculable(const IInstr &i)
+{
+    switch (i.op) {
+      case IOp::St:
+      case IOp::Out:
+      case IOp::Div:
+      case IOp::Mod:
+        return false;
+      default:
+        return !intcode::isControl(i.op);
+    }
+}
+
+Slot
+slotOf(const IInstr &i)
+{
+    switch (intcode::opClass(i.op)) {
+      case OpClass::Memory: return Slot::Mem;
+      case OpClass::Alu: return Slot::Alu;
+      case OpClass::Move: return Slot::Move;
+      case OpClass::Control: return Slot::Branch;
+      case OpClass::Other:
+        return i.op == IOp::Out ? Slot::Move : Slot::None;
+    }
+    return Slot::None;
+}
+
+Ddg
+buildDdg(const std::vector<TOp> &ops, const Liveness &live,
+         const MachineConfig &mc, const MemDisambiguator &dis)
+{
+    const int n = static_cast<int>(ops.size());
+    Ddg g;
+    g.succs.assign(static_cast<std::size_t>(n), {});
+    g.npreds.assign(static_cast<std::size_t>(n), 0);
+    g.defOf.assign(static_cast<std::size_t>(n),
+                   std::array<int, 2>{-1, -1});
+    auto addEdge = [&](int from, int to, int delay) {
+        g.succs[static_cast<std::size_t>(from)].push_back(
+            {to, delay});
+        ++g.npreds[static_cast<std::size_t>(to)];
+    };
+
+    std::map<int, int> lastDef;
+    std::map<int, std::vector<int>> usesSinceDef;
+    int lastBranch = -1;
+    std::vector<int> branchesSoFar;
+    int lastOut = -1;
+
+    for (int j = 0; j < n; ++j) {
+        const IInstr &ij = ops[static_cast<std::size_t>(j)].instr;
+        int uses[2];
+        int nu = 0;
+        intcode::useRegs(ij, uses, nu);
+        for (int u = 0; u < nu; ++u) {
+            auto it = lastDef.find(uses[u]);
+            int def = it == lastDef.end() ? -1 : it->second;
+            // Record the producer for cluster binding; slot 0 is
+            // ra, slot 1 is rb.
+            int slot = (u == 0 && ij.ra == uses[u]) ? 0 : 1;
+            g.defOf[static_cast<std::size_t>(j)]
+                   [static_cast<std::size_t>(slot)] = def;
+            if (def >= 0)
+                addEdge(def, j,
+                        latencyOf(ops[static_cast<std::size_t>(
+                                          def)].instr,
+                                  mc));
+            usesSinceDef[uses[u]].push_back(j);
+        }
+        int d = intcode::defReg(ij);
+        if (d >= 0) {
+            auto it = lastDef.find(d);
+            if (it != lastDef.end()) {
+                // Output dependence: preserve the final value.
+                const IInstr &prev =
+                    ops[static_cast<std::size_t>(it->second)].instr;
+                int delay =
+                    latencyOf(prev, mc) - latencyOf(ij, mc) + 1;
+                addEdge(it->second, j, std::max(delay, 0));
+            }
+            // Anti dependences: writers wait for readers' issue.
+            for (int r : usesSinceDef[d]) {
+                if (r != j)
+                    addEdge(r, j, 0);
+            }
+            usesSinceDef[d].clear();
+            lastDef[d] = j;
+        }
+
+        // Memory ordering.
+        if (ops[static_cast<std::size_t>(j)].isMem) {
+            for (int i = j - 1; i >= 0; --i) {
+                const TOp &oi = ops[static_cast<std::size_t>(i)];
+                if (!oi.isMem)
+                    continue;
+                if (!oi.isStore &&
+                    !ops[static_cast<std::size_t>(j)].isStore)
+                    continue; // load-load never conflicts
+                if (!dis.independent(
+                        oi, ops[static_cast<std::size_t>(j)]))
+                    addEdge(i, j, 1);
+            }
+        }
+
+        // Observable-output ordering.
+        if (ij.op == IOp::Out) {
+            if (lastOut >= 0)
+                addEdge(lastOut, j, 1);
+            lastOut = j;
+        }
+
+        // Control constraints.
+        if (intcode::isControl(ij.op)) {
+            // Branch order is fixed; same-cycle multiway issue is
+            // allowed (priority = position).
+            if (lastBranch >= 0)
+                addEdge(lastBranch, j, 0);
+            // Nothing that preceded the branch may sink below
+            // it; in addition, a result the off-trace path may
+            // consume must have committed by the time that path
+            // resumes (one taken-branch penalty later).
+            for (int i = (lastBranch >= 0 ? lastBranch + 1 : 0);
+                 i < j; ++i) {
+                const IInstr &prev =
+                    ops[static_cast<std::size_t>(i)].instr;
+                if (intcode::isControl(prev.op))
+                    continue;
+                int slack = 0;
+                if (intcode::defReg(prev) >= 0)
+                    slack = latencyOf(prev, mc) - 1 -
+                            mc.branchPenalty;
+                addEdge(i, j, std::max(0, slack));
+            }
+            lastBranch = j;
+            branchesSoFar.push_back(j);
+        } else {
+            // Hoisting above earlier splits: forbidden for
+            // side-effecting ops and for off-live destinations.
+            // A hoisted result must also have committed by the
+            // time the off-trace path resumes (one penalty after
+            // the split), or its in-flight write could collide
+            // with a fresh off-trace definition of the register.
+            bool spec = speculable(ij) &&
+                        latencyOf(ij, mc) - 1 <= mc.branchPenalty;
+            for (int bidx : branchesSoFar) {
+                const TOp &br = ops[static_cast<std::size_t>(bidx)];
+                bool blocked = !spec;
+                if (!blocked && d >= 0 && br.offTraceBlock >= 0 &&
+                    live.isLiveIn(br.offTraceBlock, d))
+                    blocked = true; // off-live dependence
+                if (!blocked && br.offTraceBlock < 0)
+                    blocked = true; // unknown exit: be safe
+                if (blocked)
+                    addEdge(bidx, j, 1);
+            }
+        }
+    }
+
+    // Heights (critical path to the end, in cycles).
+    g.height.assign(static_cast<std::size_t>(n), 0);
+    for (int i = n - 1; i >= 0; --i) {
+        int h =
+            latencyOf(ops[static_cast<std::size_t>(i)].instr, mc);
+        for (const Edge &e : g.succs[static_cast<std::size_t>(i)]) {
+            h = std::max(
+                h, e.delay +
+                       g.height[static_cast<std::size_t>(e.to)]);
+        }
+        g.height[static_cast<std::size_t>(i)] = h;
+    }
+    return g;
+}
+
+} // namespace symbol::sched

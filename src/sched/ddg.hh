@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Dependence-graph construction over a linearised trace (§4.3), the
+ * second sub-pass of global compaction.
+ *
+ * Dependence kinds implemented: true (source-destination),
+ * write-after-read, write-after-write, memory (via the
+ * MemDisambiguator oracle), observable-output order, and the control
+ * constraints — branches never reorder, nothing sinks below a branch
+ * it preceded, and an op hoists above a split only when side-effect
+ * free, committed within the branch-penalty window, and not off-live
+ * on the split's off-trace edge.
+ *
+ * Also home to the latency/slot model shared by the list scheduler:
+ * latencyOf, speculable, Slot/slotOf.
+ */
+
+#ifndef SYMBOL_SCHED_DDG_HH
+#define SYMBOL_SCHED_DDG_HH
+
+#include <array>
+#include <vector>
+
+#include "machine/config.hh"
+#include "sched/liveness.hh"
+#include "sched/trace.hh"
+
+namespace symbol::sched
+{
+
+/** Operation latency under a machine configuration. */
+int latencyOf(const intcode::IInstr &i,
+              const machine::MachineConfig &cfg);
+
+/** May an operation be hoisted above a branch it followed? Stores,
+ *  output and faulting operations may not (side effects). */
+bool speculable(const intcode::IInstr &i);
+
+/** Issue-slot class used for resource accounting. */
+enum class Slot : std::uint8_t { Mem, Alu, Move, Branch, None };
+
+Slot slotOf(const intcode::IInstr &i);
+
+/** One dependence edge: @p to must start @p delay cycles later. */
+struct Edge
+{
+    int to;
+    int delay;
+};
+
+/** The trace dependence graph. */
+struct Ddg
+{
+    std::vector<std::vector<Edge>> succs;
+    std::vector<int> npreds;
+    /** Producing trace op of (ra, rb), or -1 if live-in. */
+    std::vector<std::array<int, 2>> defOf;
+    /** Critical path to the end of the trace, in cycles. */
+    std::vector<int> height;
+
+    /** Total edge count (the pass's irOut unit). */
+    std::uint64_t
+    numEdges() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &s : succs)
+            n += s.size();
+        return n;
+    }
+};
+
+/**
+ * Build the dependence graph of @p ops. The ops must already carry
+ * their symbolic addresses (MemDisambiguator::annotate).
+ */
+Ddg buildDdg(const std::vector<TOp> &ops, const Liveness &live,
+             const machine::MachineConfig &mc,
+             const MemDisambiguator &dis);
+
+} // namespace symbol::sched
+
+#endif // SYMBOL_SCHED_DDG_HH

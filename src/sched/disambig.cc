@@ -1,0 +1,200 @@
+#include "sched/disambig.hh"
+
+#include <map>
+
+#include "bam/word.hh"
+#include "sched/trace.hh"
+
+namespace symbol::sched
+{
+
+using bam::Tag;
+using intcode::IInstr;
+using intcode::IOp;
+using R = bam::Regs;
+using L = bam::Layout;
+
+bool
+regionsDisjoint(Region a, Region b)
+{
+    if (a == Region::Any)
+        return b == Region::Trail || b == Region::Pdl;
+    if (b == Region::Any)
+        return a == Region::Trail || a == Region::Pdl;
+    return a != b;
+}
+
+Region
+regionOfBase(int reg)
+{
+    switch (reg) {
+      case R::kH:
+      case R::kHb:
+        return Region::Heap;
+      case R::kE:
+      case R::kB:
+        // Environment and choice-point frames interleave on one
+        // local stack: they share a region and never disambiguate
+        // against each other (§4.1: "most memory accesses are in the
+        // stack ... and cannot be disambiguated").
+        return Region::Stack;
+      case R::kTr:
+        return Region::Trail;
+      case R::kPdl:
+        return Region::Pdl;
+      default:
+        return Region::Any;
+    }
+}
+
+Region
+regionOfAbsolute(std::int64_t addr)
+{
+    if (addr >= L::kHeapBase && addr < L::kHeapEnd)
+        return Region::Heap;
+    if (addr >= L::kStackBase && addr < L::kStackEnd)
+        return Region::Stack;
+    if (addr >= L::kTrailBase && addr < L::kTrailEnd)
+        return Region::Trail;
+    if (addr >= L::kPdlBase && addr < L::kPdlEnd)
+        return Region::Pdl;
+    return Region::Any;
+}
+
+void
+MemDisambiguator::annotate(std::vector<TOp> &ops) const
+{
+    std::map<int, AddrVal> state;
+    std::map<int, int> versions;
+    auto baseInit = [&](int reg) {
+        AddrVal v;
+        v.kind = AddrVal::Kind::BaseOff;
+        v.baseReg = reg;
+        v.version = 0;
+        v.off = 0;
+        v.region = regionOfBase(reg);
+        return v;
+    };
+    for (int r :
+         {R::kH, R::kE, R::kB, R::kTr, R::kPdl, R::kHb})
+        state[r] = baseInit(r);
+
+    auto redefineBase = [&](int reg) {
+        AddrVal v;
+        v.kind = AddrVal::Kind::BaseOff;
+        v.baseReg = reg;
+        v.version = ++versions[reg];
+        v.off = 0;
+        v.region = regionOfBase(reg);
+        state[reg] = v;
+    };
+    auto get = [&](int reg) {
+        auto it = state.find(reg);
+        if (it != state.end())
+            return it->second;
+        AddrVal v;
+        v.region = Region::Any;
+        return v;
+    };
+
+    for (TOp &op : ops) {
+        IInstr &i = op.instr;
+        if (i.op == IOp::Ld || i.op == IOp::St) {
+            op.isMem = true;
+            op.isStore = i.op == IOp::St;
+            op.addr = get(i.ra);
+            if (op.addr.kind != AddrVal::Kind::Unknown)
+                op.addr.off += i.off;
+            else if (op.addr.region == Region::Any &&
+                     regionOfBase(i.ra) != Region::Any)
+                op.addr.region = regionOfBase(i.ra);
+        }
+        // Transfer function for the destination register.
+        int d = intcode::defReg(i);
+        if (d < 0)
+            continue;
+        bool canonical = regionOfBase(d) != Region::Any;
+        switch (i.op) {
+          case IOp::Mov: {
+            AddrVal v = get(i.ra);
+            if (canonical && v.kind == AddrVal::Kind::Unknown)
+                redefineBase(d);
+            else
+                state[d] = v;
+            break;
+          }
+          case IOp::Movi:
+            if (bam::wordTag(i.imm) == Tag::Int) {
+                AddrVal v;
+                v.kind = AddrVal::Kind::Absolute;
+                v.off = bam::wordVal(i.imm);
+                v.region = regionOfAbsolute(v.off);
+                state[d] = v;
+            } else if (canonical) {
+                redefineBase(d);
+            } else {
+                state[d] = AddrVal{};
+            }
+            break;
+          case IOp::Add:
+          case IOp::Sub: {
+            AddrVal v = get(i.ra);
+            if (i.useImm &&
+                v.kind != AddrVal::Kind::Unknown) {
+                std::int64_t delta = bam::wordVal(i.imm);
+                v.off += i.op == IOp::Add ? delta : -delta;
+                state[d] = v;
+            } else {
+                // reg+reg: keep only the region knowledge.
+                AddrVal r1 = get(i.ra);
+                AddrVal r2 = i.useImm ? AddrVal{} : get(i.rb);
+                AddrVal v2;
+                v2.region = r1.region != Region::Any
+                                ? r1.region
+                                : r2.region;
+                if (canonical &&
+                    v2.region == Region::Any)
+                    redefineBase(d);
+                else
+                    state[d] = v2;
+            }
+            break;
+          }
+          case IOp::MkTag: {
+            AddrVal v = get(i.ra);
+            state[d] = v; // value field preserved
+            break;
+          }
+          default:
+            if (canonical)
+                redefineBase(d);
+            else
+                state[d] = AddrVal{};
+            break;
+        }
+    }
+}
+
+bool
+MemDisambiguator::independent(const TOp &a, const TOp &b) const
+{
+    const AddrVal &x = a.addr;
+    const AddrVal &y = b.addr;
+    if (x.kind == AddrVal::Kind::BaseOff &&
+        y.kind == AddrVal::Kind::BaseOff &&
+        x.baseReg == y.baseReg && x.version == y.version)
+        return x.off != y.off;
+    if (x.kind == AddrVal::Kind::Absolute &&
+        y.kind == AddrVal::Kind::Absolute)
+        return x.off != y.off;
+    if (regionsDisjoint(x.region, y.region))
+        return true;
+    // Fresh heap allocation: nothing older can alias a cell that
+    // is only just being carved off the top of the heap, so an
+    // earlier access is independent of a later fresh store.
+    if (freshAlloc_ && b.isStore && b.instr.fresh)
+        return true;
+    return false;
+}
+
+} // namespace symbol::sched

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Symbolic memory disambiguation for the compactor (§4.1, §4.3).
+ *
+ * Tracks register values as base+offset expressions over the abstract
+ * machine's allocation registers (H/E/B/TR/PDL), classifies addresses
+ * into the disjoint memory areas of the BAM layout, and answers the
+ * one question the dependence-graph pass asks: do two trace memory
+ * operations certainly access different words?
+ *
+ * The fresh-heap-cell rule (stores into cells just carved off the top
+ * of the heap cannot alias anything older) is the ablation toggle of
+ * bench_ablation_disambiguation: the MemDisambiguator is
+ * *parameterized* with it at construction, so no flag threads through
+ * the scheduling passes themselves.
+ */
+
+#ifndef SYMBOL_SCHED_DISAMBIG_HH
+#define SYMBOL_SCHED_DISAMBIG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace symbol::sched
+{
+
+struct TOp; // sched/trace.hh
+
+/** Memory area a pointer may fall in. */
+enum class Region : std::uint8_t
+{
+    Heap, Stack, Trail, Pdl,
+    Any, ///< unknown pointer: may be heap or stack, never trail/pdl
+};
+
+/** Do two regions certainly not overlap? */
+bool regionsDisjoint(Region a, Region b);
+
+/** Symbolic value of a register: base+offset when trackable. */
+struct AddrVal
+{
+    enum class Kind : std::uint8_t { Unknown, BaseOff, Absolute };
+    Kind kind = Kind::Unknown;
+    int baseReg = -1;
+    int version = 0;
+    std::int64_t off = 0;
+    Region region = Region::Any;
+};
+
+/** The memory area an allocation register points into. */
+Region regionOfBase(int reg);
+
+/** The memory area a constant address falls in. */
+Region regionOfAbsolute(std::int64_t addr);
+
+/**
+ * The disambiguation oracle handed to the dependence-graph pass.
+ * Constructed once per compaction from the ablation options.
+ */
+class MemDisambiguator
+{
+  public:
+    explicit MemDisambiguator(bool freshAllocRule)
+        : freshAlloc_(freshAllocRule)
+    {
+    }
+
+    /**
+     * Symbolic address computation over a linearised trace: fills
+     * every TOp's isMem/isStore/addr fields by abstract
+     * interpretation of the trace in program order.
+     */
+    void annotate(std::vector<TOp> &ops) const;
+
+    /** Do @p a and @p b certainly access different words? */
+    bool independent(const TOp &a, const TOp &b) const;
+
+    /** Whether the fresh-heap-cell rule is active. */
+    bool freshAllocRule() const { return freshAlloc_; }
+
+  private:
+    bool freshAlloc_;
+};
+
+} // namespace symbol::sched
+
+#endif // SYMBOL_SCHED_DISAMBIG_HH

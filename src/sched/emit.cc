@@ -1,0 +1,181 @@
+#include "sched/emit.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/diagnostics.hh"
+
+namespace symbol::sched
+{
+
+using bam::Tag;
+using intcode::IOp;
+
+void
+Emitter::emitTrace(const std::vector<int> &blocks,
+                   std::uint64_t enteringFlow,
+                   const std::vector<TOp> &ops, const Ddg &g,
+                   const ListSchedule &ls)
+{
+    const int n = static_cast<int>(ops.size());
+    const std::vector<int> &cycleOf = ls.cycleOf;
+    const std::vector<int> &unitOf = ls.unitOf;
+
+    // Emit wide instructions, preserving original order within a
+    // cycle (multiway-branch priority). The trace is padded so
+    // that every result commits before control can leave it: a
+    // successor trace may begin in the very next cycle when the
+    // exit jump is elided into a fallthrough.
+    int len = 0;
+    for (int i = 0; i < n; ++i) {
+        std::size_t o = static_cast<std::size_t>(i);
+        int done = cycleOf[o];
+        if (intcode::defReg(ops[o].instr) >= 0)
+            done += latencyOf(ops[o].instr, mc_) - 1;
+        len = std::max(len, done);
+    }
+    std::vector<std::vector<int>> byCycle(
+        static_cast<std::size_t>(len) + 1);
+    for (int i = 0; i < n; ++i)
+        byCycle[static_cast<std::size_t>(
+                    cycleOf[static_cast<std::size_t>(i)])]
+            .push_back(i);
+
+    headWide_[blocks.front()] = static_cast<int>(wide_.size());
+    regionStart_.push_back(static_cast<int>(wide_.size()));
+    for (auto &cyc : byCycle) {
+        // byCycle preserves ascending trace position, which IS
+        // the branch-priority order (original program indices are
+        // meaningless here: duplicated blocks come from anywhere).
+        vliw::WideInstr w;
+        for (int i : cyc) {
+            if (ops[static_cast<std::size_t>(i)].instr.op ==
+                IOp::Nop)
+                continue;
+            vliw::MicroOp m;
+            m.instr = ops[static_cast<std::size_t>(i)].instr;
+            m.unit = unitOf[static_cast<std::size_t>(i)];
+            m.orig = ops[static_cast<std::size_t>(i)].synthetic
+                         ? -1
+                         : ops[static_cast<std::size_t>(i)].origIdx;
+            m.seq = i;
+            w.ops.push_back(std::move(m));
+        }
+        wide_.push_back(std::move(w));
+    }
+
+    // Register-bank pressure: peak count of values produced on a
+    // unit that are still awaiting an in-trace consumer (§5.2's
+    // banks hold 16 registers).
+    {
+        std::vector<int> last_use(static_cast<std::size_t>(n), -1);
+        for (int j = 0; j < n; ++j) {
+            for (int s = 0; s < 2; ++s) {
+                int d = g.defOf[static_cast<std::size_t>(j)]
+                               [static_cast<std::size_t>(s)];
+                if (d >= 0)
+                    last_use[static_cast<std::size_t>(d)] =
+                        std::max(
+                            last_use[static_cast<std::size_t>(d)],
+                            cycleOf[static_cast<std::size_t>(j)]);
+            }
+        }
+        std::map<std::pair<int, int>, int> delta;
+        for (int i = 0; i < n; ++i) {
+            std::size_t si = static_cast<std::size_t>(i);
+            if (intcode::defReg(ops[si].instr) < 0 ||
+                last_use[si] < 0)
+                continue;
+            delta[{unitOf[si], cycleOf[si]}] += 1;
+            delta[{unitOf[si], last_use[si] + 1}] -= 1;
+        }
+        int cur_unit = -1, live = 0;
+        for (const auto &[key, d] : delta) {
+            if (key.first != cur_unit) {
+                cur_unit = key.first;
+                live = 0;
+            }
+            live += d;
+            stats_.peakBankPressure =
+                std::max(stats_.peakBankPressure, live);
+        }
+    }
+
+    // Statistics.
+    stats_.numRegions += 1;
+    stats_.totalOps += static_cast<std::size_t>(n);
+    // Weight by the flow that still enters this trace at its head
+    // (copies elsewhere have absorbed part of the original flow).
+    std::uint64_t e = enteringFlow;
+    if (e > 0) {
+        dynLenNum_ += static_cast<double>(e) * n;
+        dynBlkNum_ += static_cast<double>(e) * blocks.size();
+        dynLenDen_ += static_cast<double>(e);
+    }
+}
+
+void
+Emitter::fixup()
+{
+    auto resolve = [&](int instr_idx) {
+        int b = cfg_.blockOf[static_cast<std::size_t>(instr_idx)];
+        auto it = headWide_.find(b);
+        panicIf(it == headWide_.end() ||
+                    cfg_.blocks[static_cast<std::size_t>(b)].first !=
+                        instr_idx,
+                "branch into the middle of a trace");
+        return it->second;
+    };
+    for (vliw::WideInstr &w : wide_) {
+        for (vliw::MicroOp &m : w.ops) {
+            if (m.instr.target >= 0)
+                m.instr.target = resolve(m.instr.target);
+            if (m.instr.useImm &&
+                bam::wordTag(m.instr.imm) == Tag::Cod) {
+                int addr =
+                    static_cast<int>(bam::wordVal(m.instr.imm));
+                m.instr.imm =
+                    bam::makeWord(Tag::Cod, resolve(addr));
+            }
+        }
+    }
+
+    // Elide jumps to the immediately following wide instruction:
+    // chained trace emission makes many trace exits plain
+    // fallthroughs, saving the taken-branch bubble. A jump is
+    // always the lowest-priority op of its cycle, so removing it
+    // cannot unmask another branch.
+    for (std::size_t k = 0; k < wide_.size(); ++k) {
+        auto &ops = wide_[k].ops;
+        if (!ops.empty() && ops.back().instr.op == IOp::Jmp &&
+            ops.back().instr.target == static_cast<int>(k) + 1) {
+            ops.pop_back();
+        }
+    }
+}
+
+CompactResult
+Emitter::finish()
+{
+    stats_.wideInstrs = wide_.size();
+    stats_.avgStaticLength =
+        stats_.numRegions
+            ? static_cast<double>(stats_.totalOps) /
+                  static_cast<double>(stats_.numRegions)
+            : 0.0;
+    stats_.avgDynamicLength =
+        dynLenDen_ > 0 ? dynLenNum_ / dynLenDen_ : 0.0;
+    stats_.avgBlocksPerRegion =
+        dynLenDen_ > 0 ? dynBlkNum_ / dynLenDen_ : 0.0;
+
+    CompactResult res;
+    res.code.code = std::move(wide_);
+    res.code.regionStart = std::move(regionStart_);
+    res.code.entry = headWide_.at(cfg_.entryBlock);
+    res.code.numRegs = prog_.numRegs;
+    res.code.interner = prog_.interner;
+    res.stats = stats_;
+    return res;
+}
+
+} // namespace symbol::sched

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Wide-instruction emission, the final sub-pass of global
+ * compaction.
+ *
+ * The Emitter accumulates scheduled traces into one VLIW program:
+ * each trace's ops are packed into wide instructions by issue cycle
+ * (preserving trace position within a cycle — the multiway-branch
+ * priority order), the trace is padded so every result commits
+ * before control can leave it, and bank-pressure/region statistics
+ * are folded in as traces arrive. fixup() then resolves branch
+ * targets to wide-instruction indices and elides jumps that became
+ * fallthroughs under the orchestrator's chained emission order;
+ * finish() seals the statistics and hands back the CompactResult.
+ */
+
+#ifndef SYMBOL_SCHED_EMIT_HH
+#define SYMBOL_SCHED_EMIT_HH
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sched/compact.hh"
+#include "sched/schedule.hh"
+
+namespace symbol::sched
+{
+
+/** Accumulates scheduled traces into a vliw::Code program. */
+class Emitter
+{
+  public:
+    Emitter(const intcode::Program &prog, const intcode::Cfg &cfg,
+            const machine::MachineConfig &mc)
+        : prog_(prog), cfg_(cfg), mc_(mc)
+    {
+    }
+
+    /**
+     * Pack one scheduled trace. @p enteringFlow is the Expect still
+     * arriving at the trace head after tail-duplicated copies
+     * elsewhere absorbed their share (weights the dynamic stats).
+     */
+    void emitTrace(const std::vector<int> &blocks,
+                   std::uint64_t enteringFlow,
+                   const std::vector<TOp> &ops, const Ddg &g,
+                   const ListSchedule &ls);
+
+    /** Resolve branch targets; elide jumps to the next wide instr. */
+    void fixup();
+
+    /** Seal the statistics and surrender the result. */
+    CompactResult finish();
+
+    /** Wide instructions emitted so far. */
+    std::size_t
+    wideCount() const
+    {
+        return wide_.size();
+    }
+
+  private:
+    const intcode::Program &prog_;
+    const intcode::Cfg &cfg_;
+    const machine::MachineConfig &mc_;
+
+    std::vector<vliw::WideInstr> wide_;
+    std::vector<int> regionStart_;
+    std::map<int, int> headWide_; ///< head block -> wide index
+    CompactStats stats_;
+    double dynLenNum_ = 0, dynLenDen_ = 0, dynBlkNum_ = 0;
+};
+
+} // namespace symbol::sched
+
+#endif // SYMBOL_SCHED_EMIT_HH

@@ -1,0 +1,193 @@
+#include "sched/schedule.hh"
+
+#include <algorithm>
+
+#include "support/diagnostics.hh"
+
+namespace symbol::sched
+{
+
+using machine::MachineConfig;
+
+ListSchedule
+listSchedule(const std::vector<TOp> &ops, const Ddg &g,
+             const MachineConfig &mc)
+{
+    const int n = static_cast<int>(ops.size());
+    const int units = mc.numUnits;
+
+    std::vector<int> cycleOf(static_cast<std::size_t>(n), -1);
+    std::vector<int> unitOf(static_cast<std::size_t>(n), 0);
+    std::vector<int> earliest(static_cast<std::size_t>(n), 0);
+    std::vector<int> preds_left = g.npreds;
+
+    // Resource state per cycle (grown on demand).
+    struct CycleRes
+    {
+        std::vector<std::uint8_t> slotUse; // unit x 4 slots
+        std::vector<std::uint8_t> fmtCtl;  // unit used control
+        std::vector<std::uint8_t> fmtData; // unit used alu/move
+        int memUsed = 0;
+        int busUsed = 0;
+    };
+    std::vector<CycleRes> res;
+    auto resAt = [&](int c) -> CycleRes & {
+        while (static_cast<int>(res.size()) <= c) {
+            CycleRes r;
+            r.slotUse.assign(static_cast<std::size_t>(units) * 4, 0);
+            r.fmtCtl.assign(static_cast<std::size_t>(units), 0);
+            r.fmtData.assign(static_cast<std::size_t>(units), 0);
+            res.push_back(std::move(r));
+        }
+        return res[static_cast<std::size_t>(c)];
+    };
+
+    auto slotLimit = [&](Slot s) {
+        switch (s) {
+          case Slot::Mem: return mc.memPerUnit;
+          case Slot::Alu: return mc.aluPerUnit;
+          case Slot::Move: return mc.movePerUnit;
+          case Slot::Branch: return mc.branchPerUnit;
+          default: return 1;
+        }
+    };
+
+    int scheduled = 0;
+    int cycle = 0;
+    std::vector<int> order(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        order[static_cast<std::size_t>(i)] = i;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return g.height[static_cast<std::size_t>(a)] >
+               g.height[static_cast<std::size_t>(b)];
+    });
+
+    while (scheduled < n) {
+        bool placed_any = false;
+        for (int oi : order) {
+            std::size_t o = static_cast<std::size_t>(oi);
+            if (cycleOf[o] >= 0 || preds_left[o] > 0 ||
+                earliest[o] > cycle)
+                continue;
+            const TOp &op = ops[o];
+            Slot slot = slotOf(op.instr);
+            if (slot == Slot::None) {
+                // Nop-like: schedule without resources.
+                cycleOf[o] = cycle;
+                placed_any = true;
+                ++scheduled;
+                for (const Edge &e : g.succs[o]) {
+                    std::size_t t = static_cast<std::size_t>(e.to);
+                    earliest[t] =
+                        std::max(earliest[t], cycle + e.delay);
+                    --preds_left[t];
+                }
+                continue;
+            }
+            CycleRes &cr = resAt(cycle);
+            if (slot == Slot::Mem && cr.memUsed >= mc.memPortsTotal)
+                continue;
+
+            // Pick a unit (Bottom-Up-Greedy): feasibility, then
+            // fewest bus crossings, then load balance.
+            int best_unit = -1;
+            int best_cost = 1 << 30;
+            for (int u = 0; u < units; ++u) {
+                std::size_t su = static_cast<std::size_t>(u);
+                if (cr.slotUse[su * 4 +
+                               static_cast<std::size_t>(slot)] >=
+                    slotLimit(slot))
+                    continue;
+                if (mc.twoFormats) {
+                    if (slot == Slot::Branch && cr.fmtData[su])
+                        continue;
+                    if ((slot == Slot::Alu || slot == Slot::Move) &&
+                        cr.fmtCtl[su])
+                        continue;
+                }
+                // Operand availability on this unit.
+                int cross = 0;
+                bool ok = true;
+                if (mc.clustered) {
+                    for (int s = 0; s < 2 && ok; ++s) {
+                        int dop =
+                            g.defOf[o][static_cast<std::size_t>(s)];
+                        if (dop < 0)
+                            continue;
+                        std::size_t sd =
+                            static_cast<std::size_t>(dop);
+                        int avail = cycleOf[sd] +
+                                    latencyOf(ops[sd].instr, mc);
+                        if (unitOf[sd] != u) {
+                            avail += mc.busLatency;
+                            ++cross;
+                        }
+                        if (avail > cycle)
+                            ok = false;
+                    }
+                    if (cross && cr.busUsed + cross >
+                                     mc.busTransfersPerCycle)
+                        ok = false;
+                }
+                if (!ok)
+                    continue;
+                int load = 0;
+                for (int k = 0; k < 4; ++k)
+                    load += cr.slotUse[su * 4 +
+                                       static_cast<std::size_t>(k)];
+                int cost = cross * 8 + load;
+                if (cost < best_cost) {
+                    best_cost = cost;
+                    best_unit = u;
+                    // Remember crossings via cost decode below.
+                }
+            }
+            if (best_unit < 0)
+                continue;
+
+            std::size_t su = static_cast<std::size_t>(best_unit);
+            cr.slotUse[su * 4 + static_cast<std::size_t>(slot)]++;
+            if (slot == Slot::Mem)
+                ++cr.memUsed;
+            cr.busUsed += best_cost / 8;
+            if (mc.twoFormats) {
+                if (slot == Slot::Branch)
+                    cr.fmtCtl[su] = 1;
+                if (slot == Slot::Alu || slot == Slot::Move)
+                    cr.fmtData[su] = 1;
+            }
+            cycleOf[o] = cycle;
+            unitOf[o] = best_unit;
+            placed_any = true;
+            ++scheduled;
+            for (const Edge &e : g.succs[o]) {
+                std::size_t t = static_cast<std::size_t>(e.to);
+                earliest[t] = std::max(earliest[t], cycle + e.delay);
+                --preds_left[t];
+            }
+        }
+        if (!placed_any || scheduled < n)
+            ++cycle;
+        if (placed_any)
+            continue;
+        // Safety: if nothing became ready, jump to the next
+        // earliest time.
+        bool progress = false;
+        for (int i = 0; i < n; ++i) {
+            std::size_t o = static_cast<std::size_t>(i);
+            if (cycleOf[o] < 0 && preds_left[o] == 0) {
+                progress = true;
+                break;
+            }
+        }
+        panicIf(!progress && scheduled < n,
+                "scheduler deadlock (cyclic dependence?)");
+    }
+
+    ListSchedule ls;
+    ls.cycleOf = std::move(cycleOf);
+    ls.unitOf = std::move(unitOf);
+    return ls;
+}
+
+} // namespace symbol::sched

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * List scheduling with Bottom-Up-Greedy unit binding (Ellis 85), the
+ * third sub-pass of global compaction.
+ *
+ * Greedy cycle-by-cycle placement in descending critical-path-height
+ * order under the machine's resource model: per-unit issue slots,
+ * total memory ports, the two-instruction-format constraint, and —
+ * on clustered configurations — operand bus transfers with their
+ * extra latency. Unit choice minimises bus crossings first, then
+ * load balance.
+ */
+
+#ifndef SYMBOL_SCHED_SCHEDULE_HH
+#define SYMBOL_SCHED_SCHEDULE_HH
+
+#include <vector>
+
+#include "sched/ddg.hh"
+
+namespace symbol::sched
+{
+
+/** A finished trace schedule: issue cycle and unit per op. */
+struct ListSchedule
+{
+    std::vector<int> cycleOf;
+    std::vector<int> unitOf;
+};
+
+/** Schedule @p ops under @p mc, honouring the edges of @p g. */
+ListSchedule listSchedule(const std::vector<TOp> &ops, const Ddg &g,
+                          const machine::MachineConfig &mc);
+
+} // namespace symbol::sched
+
+#endif // SYMBOL_SCHED_SCHEDULE_HH

@@ -1,0 +1,248 @@
+#include "sched/trace.hh"
+
+#include <algorithm>
+
+#include "support/diagnostics.hh"
+
+namespace symbol::sched
+{
+
+using intcode::Block;
+using intcode::Cfg;
+using intcode::IInstr;
+using intcode::IOp;
+using intcode::Program;
+
+namespace
+{
+
+std::uint64_t
+expectOf(const Cfg &cfg, const emul::Profile &prof, int block)
+{
+    return prof.expect[static_cast<std::size_t>(
+        cfg.blocks[static_cast<std::size_t>(block)].first)];
+}
+
+/** Successor edge counts of @p block, aligned with succs. */
+std::vector<std::uint64_t>
+edgeCounts(const Program &prog, const Cfg &cfg,
+           const emul::Profile &prof, int block)
+{
+    const Block &b = cfg.blocks[static_cast<std::size_t>(block)];
+    std::size_t last = static_cast<std::size_t>(b.last);
+    const IInstr &term = prog.code[last];
+    std::vector<std::uint64_t> out;
+    if (intcode::isCondBranch(term.op)) {
+        std::uint64_t taken = prof.taken[last];
+        out.push_back(taken);
+        if (b.succs.size() > 1)
+            out.push_back(prof.expect[last] - taken);
+    } else {
+        for (std::size_t s = 0; s < b.succs.size(); ++s)
+            out.push_back(prof.expect[last]);
+    }
+    return out;
+}
+
+void
+growForward(const Program &prog, const Cfg &cfg,
+            const emul::Profile &prof, const CompactOptions &opts,
+            std::vector<std::uint64_t> &copiedFlow,
+            std::vector<int> &tr, std::size_t &dup_budget)
+{
+    std::uint64_t head_expect = expectOf(cfg, prof, tr.front());
+    if (head_expect == 0)
+        return;
+    int total_ops =
+        cfg.blocks[static_cast<std::size_t>(tr.front())].size();
+    while (static_cast<int>(tr.size()) < opts.maxTraceBlocks &&
+           total_ops < opts.maxTraceOps) {
+        int cur = tr.back();
+        const Block &b = cfg.blocks[static_cast<std::size_t>(cur)];
+        auto counts = edgeCounts(prog, cfg, prof, cur);
+        int best = -1;
+        std::uint64_t best_count = 0;
+        for (std::size_t s = 0; s < b.succs.size(); ++s) {
+            int t = b.succs[s];
+            if (counts[s] < std::max<std::uint64_t>(
+                                opts.minEdgeCount, 1) ||
+                counts[s] <= best_count)
+                continue;
+            if (std::find(tr.begin(), tr.end(), t) != tr.end())
+                continue; // no loop unrolling
+            best = t;
+            best_count = counts[s];
+        }
+        if (best < 0)
+            break;
+        // Stop on edges much colder than the trace head.
+        if (static_cast<double>(best_count) <
+            opts.coldEdgeRatio * static_cast<double>(head_expect))
+            break;
+        std::size_t sz = static_cast<std::size_t>(
+            cfg.blocks[static_cast<std::size_t>(best)].size());
+        if (sz > dup_budget)
+            break;
+        dup_budget -= sz;
+        total_ops += static_cast<int>(sz);
+        copiedFlow[static_cast<std::size_t>(best)] += best_count;
+        tr.push_back(best);
+    }
+}
+
+TraceSet
+formTraces(const Program &prog, const Cfg &cfg,
+           const emul::Profile &prof, const CompactOptions &opts,
+           bool grow)
+{
+    const std::size_t nb = cfg.blocks.size();
+
+    // Seeds in descending Expect order.
+    std::vector<int> seeds(nb);
+    for (std::size_t i = 0; i < nb; ++i)
+        seeds[i] = static_cast<int>(i);
+    std::stable_sort(seeds.begin(), seeds.end(), [&](int a, int b) {
+        return expectOf(cfg, prof, a) > expectOf(cfg, prof, b);
+    });
+
+    std::size_t prog_ops = prog.code.size();
+    std::size_t dup_budget = static_cast<std::size_t>(
+        opts.dupBudgetFactor * static_cast<double>(prog_ops));
+
+    TraceSet ts;
+    ts.copiedFlow.assign(nb, 0);
+    for (int seed : seeds) {
+        std::vector<int> tr{seed};
+        if (grow)
+            growForward(prog, cfg, prof, opts, ts.copiedFlow, tr,
+                        dup_budget);
+        ts.traces.push_back(std::move(tr));
+    }
+    return ts;
+}
+
+} // namespace
+
+TraceSet
+formSuperblockTraces(const Program &prog, const Cfg &cfg,
+                     const emul::Profile &profile,
+                     const CompactOptions &opts)
+{
+    return formTraces(prog, cfg, profile, opts, true);
+}
+
+TraceSet
+formBasicBlockRegions(const Program &prog, const Cfg &cfg,
+                      const emul::Profile &profile,
+                      const CompactOptions &opts)
+{
+    return formTraces(prog, cfg, profile, opts, false);
+}
+
+std::vector<TOp>
+linearizeTrace(const Program &prog, const Cfg &cfg,
+               const std::vector<int> &blocks)
+{
+    std::vector<TOp> ops;
+    for (std::size_t k = 0; k < blocks.size(); ++k) {
+        const Block &b =
+            cfg.blocks[static_cast<std::size_t>(blocks[k])];
+        bool last_block = k + 1 == blocks.size();
+        int next_block = last_block ? -1 : blocks[k + 1];
+        for (int i = b.first; i <= b.last; ++i) {
+            TOp op;
+            op.instr = prog.code[static_cast<std::size_t>(i)];
+            op.origIdx = i;
+            const IInstr &ins = op.instr;
+            bool is_term = i == b.last;
+
+            if (is_term && !last_block) {
+                int fall_block =
+                    b.last + 1 < static_cast<int>(prog.code.size())
+                        ? cfg.blockOf[static_cast<std::size_t>(
+                              b.last + 1)]
+                        : -1;
+                if (ins.op == IOp::Jmp) {
+                    int tgt = cfg.blockOf[static_cast<std::size_t>(
+                        ins.target)];
+                    panicIf(tgt != next_block,
+                            "trace does not follow jmp edge");
+                    continue; // implicit fallthrough
+                }
+                if (intcode::isCondBranch(ins.op)) {
+                    int tgt = cfg.blockOf[static_cast<std::size_t>(
+                        ins.target)];
+                    op.isSplit = true;
+                    if (tgt == next_block) {
+                        // Trace follows the taken edge: invert.
+                        panicIf(fall_block < 0,
+                                "no fallthrough block");
+                        op.instr.op = intcode::invertBranch(ins.op);
+                        op.instr.target =
+                            cfg.blocks[static_cast<std::size_t>(
+                                           fall_block)].first;
+                        op.offTraceBlock = fall_block;
+                    } else {
+                        panicIf(fall_block != next_block,
+                                "trace does not follow an edge");
+                        op.offTraceBlock = tgt;
+                    }
+                    ops.push_back(op);
+                    continue;
+                }
+                // Plain fallthrough terminator.
+                panicIf(fall_block != next_block,
+                        "trace breaks fallthrough");
+                if (intcode::isControl(ins.op))
+                    panic("unexpected control terminator");
+                ops.push_back(op);
+                continue;
+            }
+            ops.push_back(op);
+        }
+    }
+
+    // Make sure control leaves the trace explicitly at the end.
+    const Block &lastb =
+        cfg.blocks[static_cast<std::size_t>(blocks.back())];
+    const IInstr &term =
+        prog.code[static_cast<std::size_t>(lastb.last)];
+    if (intcode::isCondBranch(term.op) ||
+        !intcode::isControl(term.op)) {
+        int fall = lastb.last + 1;
+        panicIf(fall >= static_cast<int>(prog.code.size()),
+                "trace falls off the end of the program");
+        TOp j;
+        j.instr.op = IOp::Jmp;
+        j.instr.target =
+            cfg.blocks[static_cast<std::size_t>(
+                           cfg.blockOf[static_cast<std::size_t>(
+                               fall)])].first;
+        j.origIdx = lastb.last; // synthetic: shares priority slot
+        j.synthetic = true;
+        ops.push_back(j);
+    }
+    return ops;
+}
+
+int
+traceExitBlock(const Program &prog, const Cfg &cfg,
+               const std::vector<int> &blocks)
+{
+    const Block &last =
+        cfg.blocks[static_cast<std::size_t>(blocks.back())];
+    const IInstr &term =
+        prog.code[static_cast<std::size_t>(last.last)];
+    if (term.op == IOp::Jmp)
+        return cfg.blockOf[static_cast<std::size_t>(term.target)];
+    if (intcode::isCondBranch(term.op) ||
+        !intcode::isControl(term.op)) {
+        // The synthetic exit jump goes to the fallthrough block.
+        if (last.last + 1 < static_cast<int>(prog.code.size()))
+            return cfg.blockOf[static_cast<std::size_t>(
+                last.last + 1)];
+    }
+    return -1;
+}
+
+} // namespace symbol::sched

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Region formation for the compactor: the first sub-pass of global
+ * compaction (§4.4).
+ *
+ * Two interchangeable formation passes exist, and the orchestrator
+ * in sched/compact.cc *selects* one instead of threading a mode flag
+ * through the scheduler:
+ *
+ *  - formSuperblockTraces: every block heads exactly one trace
+ *    (keeping it addressable from anywhere); hot traces then grow
+ *    forward along the most probable edges by tail duplication,
+ *    bounded by the compensation-copy budget.
+ *  - formBasicBlockRegions: the Table 1 baseline — every region is a
+ *    single basic block.
+ *
+ * linearizeTrace turns a formed region into the straight-line TOp
+ * list the downstream passes (disambiguation, dependence graph, list
+ * scheduling, emission) consume: in-trace jumps disappear, in-trace
+ * conditional branches become *splits* (inverted when the trace
+ * follows the taken edge), and a synthetic jump leaves the trace at
+ * the end when control would otherwise fall through.
+ */
+
+#ifndef SYMBOL_SCHED_TRACE_HH
+#define SYMBOL_SCHED_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "emul/machine.hh"
+#include "intcode/cfg.hh"
+#include "sched/compact.hh"
+#include "sched/disambig.hh"
+
+namespace symbol::sched
+{
+
+/** One operation of a trace, with scheduling metadata. */
+struct TOp
+{
+    intcode::IInstr instr;
+    int origIdx = -1;  ///< original program index (priority order)
+    bool synthetic = false; ///< inserted trace-exit jump, no original
+    bool isSplit = false; ///< in-trace conditional branch
+    int offTraceBlock = -1; ///< CFG block of the split's exit edge
+    AddrVal addr;      ///< for memory ops: symbolic address
+    bool isMem = false;
+    bool isStore = false;
+};
+
+/** Output of a region-formation pass. */
+struct TraceSet
+{
+    /** Block lists, head first, in descending head-Expect order. */
+    std::vector<std::vector<int>> traces;
+    /** Flow stolen from each block by tail-duplicated copies. */
+    std::vector<std::uint64_t> copiedFlow;
+};
+
+/** Superblock formation: grow hot traces along probable edges. */
+TraceSet formSuperblockTraces(const intcode::Program &prog,
+                              const intcode::Cfg &cfg,
+                              const emul::Profile &profile,
+                              const CompactOptions &opts);
+
+/** Baseline formation: one region per basic block (Table 1). */
+TraceSet formBasicBlockRegions(const intcode::Program &prog,
+                               const intcode::Cfg &cfg,
+                               const emul::Profile &profile,
+                               const CompactOptions &opts);
+
+/** Concatenate the blocks of a trace into a straight-line op list. */
+std::vector<TOp> linearizeTrace(const intcode::Program &prog,
+                                const intcode::Cfg &cfg,
+                                const std::vector<int> &blocks);
+
+/**
+ * Block the trace's final unconditional transfer targets, or -1.
+ * Used by the orchestrator to chain trace emission into
+ * fallthroughs (a taken branch costs a pipeline bubble).
+ */
+int traceExitBlock(const intcode::Program &prog,
+                   const intcode::Cfg &cfg,
+                   const std::vector<int> &blocks);
+
+} // namespace symbol::sched
+
+#endif // SYMBOL_SCHED_TRACE_HH

@@ -6,6 +6,7 @@
 #include <ctime>
 #include <set>
 
+#include "pass/instrument.hh"
 #include "support/text.hh"
 
 namespace symbol::suite
@@ -70,6 +71,9 @@ EvalDriver::EvalDriver(const DriverOptions &opts)
         if (const char *env = std::getenv("SYMBOL_VERIFY"))
             opts_.verifySchedules = *env != '\0' &&
                                     std::string(env) != "0";
+    if (!opts_.quiet)
+        if (const char *env = std::getenv("SYMBOL_QUIET"))
+            opts_.quiet = *env != '\0' && std::string(env) != "0";
     cache_.setVerify(opts_.verifySchedules);
     std::string dir = opts.cacheDir;
     if (dir.empty())
@@ -102,10 +106,13 @@ const Workload &
 EvalDriver::workload(const Benchmark &bench,
                      const WorkloadOptions &opts)
 {
+    WorkloadOptions wopts = opts;
+    if (!wopts.passInstr)
+        wopts.passInstr = opts_.passInstr;
     if (!opts_.useCache)
-        return fresh(bench, opts);
+        return fresh(bench, wopts);
     WorkloadOrigin origin = WorkloadOrigin::Built;
-    const Workload &w = cache_.get(bench, opts, &origin);
+    const Workload &w = cache_.get(bench, wopts, &origin);
     {
         std::lock_guard<std::mutex> lk(mu_);
         switch (origin) {
@@ -192,7 +199,18 @@ EvalDriver::stats() const
 void
 EvalDriver::reportStats() const
 {
-    std::fprintf(stderr, "%s\n", stats().str(pool_->size()).c_str());
+    if (!opts_.quiet)
+        std::fprintf(stderr, "%s\n",
+                     stats().str(pool_->size()).c_str());
+    // An explicit --time-passes request prints even under --quiet:
+    // the user asked for exactly this report.
+    if (pass::timePassesEnabled()) {
+        pass::PassInstrumentation &pi =
+            opts_.passInstr ? *opts_.passInstr
+                            : pass::PassInstrumentation::global();
+        std::fprintf(stderr, "%s",
+                     pass::timingReport(pi.snapshot()).c_str());
+    }
 }
 
 } // namespace symbol::suite

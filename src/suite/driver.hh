@@ -56,6 +56,18 @@ struct DriverOptions
      * environment variable.
      */
     bool verifySchedules = false;
+    /**
+     * Suppress the "[driver] ..." stderr summary (reportStats()
+     * becomes a no-op except for an explicit --time-passes report).
+     * Also enabled by a non-empty, non-"0" SYMBOL_QUIET environment
+     * variable — e.g. for golden-output tests that diff stderr too.
+     */
+    bool quiet = false;
+    /**
+     * Pass-instrumentation sink threaded into every Workload this
+     * driver builds (null = the process-wide default sink).
+     */
+    pass::PassInstrumentation *passInstr = nullptr;
 };
 
 /** Aggregate accounting across a driver's lifetime. */

@@ -1,6 +1,7 @@
 #include "suite/pipeline.hh"
 
 #include "analysis/stats.hh"
+#include "pass/pass.hh"
 #include "sched/serialize.hh"
 #include "suite/store.hh"
 #include "support/diagnostics.hh"
@@ -9,31 +10,199 @@
 namespace symbol::suite
 {
 
-Workload::Workload(const Benchmark &bench, const WorkloadOptions &opts)
-    : bench_(&bench), maxSteps_(opts.maxSteps)
+namespace
 {
-    interner_ = std::make_unique<Interner>();
-    prog_ = std::make_unique<prolog::Program>(
-        prolog::parseProgram(bench.source, *interner_));
-    module_ = std::make_unique<bam::Module>(
-        bamc::compile(*prog_, opts.compiler));
-    ici_ = std::make_unique<intcode::Program>(
-        intcode::translate(*module_, opts.translate));
-    cfg_ = std::make_unique<intcode::Cfg>(intcode::Cfg::build(*ici_));
 
-    emul::Machine machine(*ici_);
-    emul::RunOptions ro;
-    ro.maxSteps = maxSteps_;
-    run_ = machine.run(ro);
-    if (!run_.halted)
-        throw RuntimeError(bench.name +
-                           ": sequential run did not halt");
-    seqOutput_ = machine.decodeOutput();
+/**
+ * Context the front-half pass pipeline builds up; the Workload ctor
+ * moves the finished artefacts out wholesale. Owning the artefacts
+ * here keeps the pass classes free of Workload internals.
+ */
+struct FrontCtx
+{
+    const Benchmark *bench = nullptr;
+    const WorkloadOptions *opts = nullptr;
+    std::unique_ptr<Interner> interner;
+    std::unique_ptr<prolog::Program> prog;
+    bamc::FlatProgram flat;
+    std::unique_ptr<bam::Module> module;
+    std::unique_ptr<intcode::Program> ici;
+    std::unique_ptr<intcode::Cfg> cfg;
+    emul::RunResult run;
+    std::string seqOutput;
+};
+
+std::uint64_t
+flatClauses(const bamc::FlatProgram &flat)
+{
+    std::uint64_t n = 0;
+    for (const auto &p : flat.preds)
+        n += p.clauses.size();
+    return n;
+}
+
+struct ParsePass final : pass::Pass<FrontCtx>
+{
+    const char *name() const override { return "parse"; }
+    std::uint64_t
+    irIn(const FrontCtx &c) const override
+    {
+        return c.bench->source.size();
+    }
+    std::uint64_t
+    irOut(const FrontCtx &c) const override
+    {
+        return c.prog->clauses.size();
+    }
+    void
+    run(FrontCtx &c) override
+    {
+        c.interner = std::make_unique<Interner>();
+        c.prog = std::make_unique<prolog::Program>(
+            prolog::parseProgram(c.bench->source, *c.interner));
+    }
+};
+
+struct NormalizePass final : pass::Pass<FrontCtx>
+{
+    const char *name() const override { return "normalize"; }
+    std::uint64_t
+    irIn(const FrontCtx &c) const override
+    {
+        return c.prog->clauses.size();
+    }
+    std::uint64_t
+    irOut(const FrontCtx &c) const override
+    {
+        return flatClauses(c.flat);
+    }
+    void
+    run(FrontCtx &c) override
+    {
+        c.flat = bamc::normalize(*c.prog);
+    }
+};
+
+struct BamCompilePass final : pass::Pass<FrontCtx>
+{
+    const char *name() const override { return "bam-compile"; }
+    std::uint64_t
+    irIn(const FrontCtx &c) const override
+    {
+        return flatClauses(c.flat);
+    }
+    std::uint64_t
+    irOut(const FrontCtx &c) const override
+    {
+        return c.module->code.size();
+    }
+    void
+    run(FrontCtx &c) override
+    {
+        c.module = std::make_unique<bam::Module>(bamc::compile(
+            *c.prog, std::move(c.flat), c.opts->compiler));
+    }
+};
+
+struct IntcodePass final : pass::Pass<FrontCtx>
+{
+    const char *name() const override { return "intcode"; }
+    std::uint64_t
+    irIn(const FrontCtx &c) const override
+    {
+        return c.module->code.size();
+    }
+    std::uint64_t
+    irOut(const FrontCtx &c) const override
+    {
+        return c.ici->code.size();
+    }
+    void
+    run(FrontCtx &c) override
+    {
+        c.ici = std::make_unique<intcode::Program>(
+            intcode::translate(*c.module, c.opts->translate));
+    }
+};
+
+struct CfgPass final : pass::Pass<FrontCtx>
+{
+    const char *name() const override { return "cfg"; }
+    std::uint64_t
+    irIn(const FrontCtx &c) const override
+    {
+        return c.ici->code.size();
+    }
+    std::uint64_t
+    irOut(const FrontCtx &c) const override
+    {
+        return c.cfg->blocks.size();
+    }
+    void
+    run(FrontCtx &c) override
+    {
+        c.cfg = std::make_unique<intcode::Cfg>(
+            intcode::Cfg::build(*c.ici));
+    }
+};
+
+struct ProfilePass final : pass::Pass<FrontCtx>
+{
+    const char *name() const override { return "profile"; }
+    std::uint64_t
+    irIn(const FrontCtx &c) const override
+    {
+        return c.ici->code.size();
+    }
+    std::uint64_t
+    irOut(const FrontCtx &c) const override
+    {
+        return c.run.instructions;
+    }
+    void
+    run(FrontCtx &c) override
+    {
+        emul::Machine machine(*c.ici);
+        emul::RunOptions ro;
+        ro.maxSteps = c.opts->maxSteps;
+        c.run = machine.run(ro);
+        if (!c.run.halted)
+            throw RuntimeError(c.bench->name +
+                               ": sequential run did not halt");
+        c.seqOutput = machine.decodeOutput();
+    }
+};
+
+} // namespace
+
+Workload::Workload(const Benchmark &bench, const WorkloadOptions &opts)
+    : bench_(&bench), instr_(opts.passInstr), maxSteps_(opts.maxSteps)
+{
+    FrontCtx ctx;
+    ctx.bench = &bench;
+    ctx.opts = &opts;
+
+    pass::PassManager<FrontCtx> pm(instr_);
+    pm.add(std::make_unique<ParsePass>());
+    pm.add(std::make_unique<NormalizePass>());
+    pm.add(std::make_unique<BamCompilePass>());
+    pm.add(std::make_unique<IntcodePass>());
+    pm.add(std::make_unique<CfgPass>());
+    pm.add(std::make_unique<ProfilePass>());
+    pm.run(ctx);
+
+    interner_ = std::move(ctx.interner);
+    prog_ = std::move(ctx.prog);
+    module_ = std::move(ctx.module);
+    ici_ = std::move(ctx.ici);
+    cfg_ = std::move(ctx.cfg);
+    run_ = std::move(ctx.run);
+    seqOutput_ = std::move(ctx.seqOutput);
 }
 
 Workload::Workload(const Benchmark &bench, const WorkloadOptions &opts,
                    WorkloadSnapshot &&snap)
-    : bench_(&bench), maxSteps_(opts.maxSteps)
+    : bench_(&bench), instr_(opts.passInstr), maxSteps_(opts.maxSteps)
 {
     interner_ = std::move(snap.interner);
     module_ = std::move(snap.module);
@@ -95,14 +264,22 @@ Workload::seqCyclesFor(const machine::MachineConfig &config) const
             return it->second;
     }
     // Re-emulate outside the lock; concurrent misses on the same key
-    // duplicate deterministic work instead of serialising the pool.
-    emul::Machine machine(*ici_);
-    emul::RunOptions ro;
-    ro.maxSteps = maxSteps_;
-    ro.collectProfile = false;
-    ro.memLatency = config.memLatency;
-    ro.takenPenalty = config.branchPenalty;
-    std::uint64_t cycles = machine.run(ro).seqCycles;
+    // duplicate deterministic work instead of serialising the pool —
+    // which is why seq-latency invocation counts, unlike every other
+    // pass, are not jobs-invariant.
+    pass::SubPassTimer t("seq-latency", instr_);
+    std::uint64_t cycles;
+    {
+        pass::SubPassTimer::Scope s(t);
+        emul::Machine machine(*ici_);
+        emul::RunOptions ro;
+        ro.maxSteps = maxSteps_;
+        ro.collectProfile = false;
+        ro.memLatency = config.memLatency;
+        ro.takenPenalty = config.branchPenalty;
+        cycles = machine.run(ro).seqCycles;
+    }
+    t.finish(ici_->code.size(), cycles);
     std::lock_guard<std::mutex> lk(seqMu_);
     seqCache_.emplace(key, cycles);
     return cycles;
@@ -173,38 +350,85 @@ VliwRun
 Workload::runVliw(const machine::MachineConfig &config,
                   const sched::CompactOptions &copts) const
 {
-    if (store_) {
-        std::string key = storeKey_ + "|cfg=" + config.fingerprint() +
-                          "|sch=" + sched::fingerprint(copts);
+    // The back half as an instrumented pass pipeline: compaction
+    // (skipped when the persistent store already holds the code),
+    // optional verification, VLIW simulation.
+    struct BackCtx
+    {
         vliw::Code code;
         sched::CompactStats stats;
+        const char *origin = "compacted";
+        VliwRun out;
+    };
+    using BackPass = pass::FunctionPass<BackCtx>;
+    BackCtx ctx;
+
+    bool haveCode = false;
+    std::string key;
+    if (store_) {
+        key = storeKey_ + "|cfg=" + config.fingerprint() +
+              "|sch=" + sched::fingerprint(copts);
         std::uint64_t seqCycles = 0;
-        if (store_->loadVliw(key, interner_.get(), code, stats,
-                             seqCycles)) {
-            // Deserialized artefacts get re-verified too: a stale or
-            // corrupted store entry must not sneak an illegal
-            // schedule past the debug sweep.
-            if (verifySchedules_)
-                verifyCode(code, config, "store");
+        if (store_->loadVliw(key, interner_.get(), ctx.code,
+                             ctx.stats, seqCycles)) {
+            ctx.origin = "store";
+            haveCode = true;
             // The persisted per-config sequential cycle count saves
             // the speedup baseline re-emulation on warm starts.
             noteSeqCycles(config, seqCycles);
-            return simulate(code, stats, config);
         }
-        sched::CompactResult cr =
-            sched::compact(*ici_, run_.profile, config, copts);
-        if (verifySchedules_)
-            verifyCode(cr.code, config, "compacted");
-        VliwRun out = simulate(cr.code, cr.stats, config);
-        store_->storeVliw(key, cr.code, cr.stats,
-                          seqCyclesFor(config));
-        return out;
     }
-    sched::CompactResult cr =
-        sched::compact(*ici_, run_.profile, config, copts);
-    if (verifySchedules_)
-        verifyCode(cr.code, config, "compacted");
-    return simulate(cr.code, cr.stats, config);
+
+    auto wideCount = [](const BackCtx &c) -> std::uint64_t {
+        return c.code.code.size();
+    };
+
+    pass::PassManager<BackCtx> pm(instr_);
+    if (!haveCode) {
+        // Self-instrumented: the compactor records its own
+        // sched.traces/ddg/schedule/emit sub-passes.
+        pm.add(std::make_unique<BackPass>(
+            "compact",
+            [&](BackCtx &c) {
+                sched::CompactResult cr = sched::compact(
+                    *ici_, run_.profile, config, copts, instr_);
+                c.code = std::move(cr.code);
+                c.stats = cr.stats;
+            },
+            nullptr, nullptr, /*selfInstrumented=*/true));
+    }
+    if (verifySchedules_) {
+        // Deserialized artefacts get re-verified too: a stale or
+        // corrupted store entry must not sneak an illegal schedule
+        // past the debug sweep.
+        pm.add(std::make_unique<BackPass>(
+            "verify",
+            [&](BackCtx &c) {
+                verifyCode(c.code, config, c.origin);
+            },
+            wideCount, wideCount));
+    }
+    pm.add(std::make_unique<BackPass>(
+        "simulate",
+        [&](BackCtx &c) {
+            // Warm the speedup baseline first so a seq-latency
+            // re-emulation is never counted as simulation time.
+            seqCyclesFor(config);
+            pass::SubPassTimer t("simulate", instr_);
+            std::uint64_t in = c.code.code.size();
+            {
+                pass::SubPassTimer::Scope s(t);
+                c.out = simulate(c.code, c.stats, config);
+            }
+            t.finish(in, c.out.opsExecuted);
+        },
+        nullptr, nullptr, /*selfInstrumented=*/true));
+    pm.run(ctx);
+
+    if (store_ && !haveCode)
+        store_->storeVliw(key, ctx.code, ctx.stats,
+                          seqCyclesFor(config));
+    return ctx.out;
 }
 
 } // namespace symbol::suite

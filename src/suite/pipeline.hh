@@ -28,6 +28,11 @@
 #include "suite/benchmarks.hh"
 #include "vliw/sim.hh"
 
+namespace symbol::pass
+{
+class PassInstrumentation;
+}
+
 namespace symbol::suite
 {
 
@@ -39,6 +44,12 @@ struct WorkloadOptions
     bamc::CompilerOptions compiler;
     intcode::TranslateOptions translate;
     std::uint64_t maxSteps = 600'000'000;
+    /**
+     * Instrumentation sink the Workload's pass pipelines record into
+     * (null = the process-wide default). Not part of the workload
+     * cache key: instrumentation never changes what is computed.
+     */
+    pass::PassInstrumentation *passInstr = nullptr;
 };
 
 /** Outcome of one compacted-machine evaluation. */
@@ -161,6 +172,8 @@ class Workload
                     const char *origin) const;
 
     const Benchmark *bench_;
+    /** Pass-instrumentation sink (null = the global default). */
+    pass::PassInstrumentation *instr_ = nullptr;
     std::unique_ptr<Interner> interner_;
     std::unique_ptr<prolog::Program> prog_; ///< null when restored
     std::unique_ptr<bam::Module> module_;

@@ -1,0 +1,62 @@
+#include "suite/statsjson.hh"
+
+namespace symbol::suite
+{
+
+json::Value
+statsDocument(const DriverStats &stats, unsigned jobs,
+              const std::vector<pass::PassStats> &passes)
+{
+    json::Object driver;
+    driver["jobs"] = std::uint64_t{jobs};
+    driver["tasksRun"] = stats.tasksRun;
+    driver["workloadsBuilt"] = stats.workloadsBuilt;
+    driver["cacheHits"] = stats.cacheHits;
+    driver["diskHits"] = stats.diskHits;
+    driver["wallSeconds"] = stats.wallSeconds;
+    driver["cpuSeconds"] = stats.cpuSeconds;
+
+    json::Array parr;
+    for (const pass::PassStats &p : passes) {
+        json::Object o;
+        o["name"] = p.name;
+        o["invocations"] = p.invocations;
+        o["wallSeconds"] = p.wallSeconds;
+        o["irIn"] = p.irIn;
+        o["irOut"] = p.irOut;
+        parr.push_back(json::Value(std::move(o)));
+    }
+
+    json::Object doc;
+    doc["driver"] = json::Value(std::move(driver));
+    if (stats.hasStore) {
+        json::Object store;
+        store["diskHits"] = stats.store.diskHits;
+        store["diskMisses"] = stats.store.diskMisses;
+        store["diskWrites"] = stats.store.diskWrites;
+        store["corruptRejected"] = stats.store.corruptRejected;
+        store["versionRejected"] = stats.store.versionRejected;
+        store["keyMismatches"] = stats.store.keyMismatches;
+        store["ioErrors"] = stats.store.ioErrors;
+        store["bytesRead"] = stats.store.bytesRead;
+        store["bytesWritten"] = stats.store.bytesWritten;
+        store["deserializeSeconds"] =
+            stats.store.deserializeSeconds;
+        store["serializeSeconds"] = stats.store.serializeSeconds;
+        doc["store"] = json::Value(std::move(store));
+    }
+    doc["passes"] = json::Value(std::move(parr));
+    return json::Value(std::move(doc));
+}
+
+std::string
+statsJson(const EvalDriver &driver,
+          const pass::PassInstrumentation &instr)
+{
+    return statsDocument(driver.stats(), driver.jobs(),
+                         instr.snapshot())
+               .dump() +
+           "\n";
+}
+
+} // namespace symbol::suite

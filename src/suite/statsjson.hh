@@ -1,0 +1,45 @@
+/**
+ * @file
+ * The machine-readable statistics document behind `symbolc
+ * --stats-json`: driver accounting plus the per-pass
+ * instrumentation snapshot, as one JSON object.
+ *
+ * Assembled here (not in the tool) so tests can build and parse the
+ * document in-process and reconcile the per-pass totals against
+ * CompactStats/SimResult without exec'ing the binary.
+ *
+ * Schema (see DESIGN.md §10):
+ *   {
+ *     "driver": { "jobs", "tasksRun", "workloadsBuilt",
+ *                 "cacheHits", "diskHits", "wallSeconds",
+ *                 "cpuSeconds" },
+ *     "store":  { ... }            — only when a disk store is on,
+ *     "passes": [ { "name", "invocations", "wallSeconds",
+ *                   "irIn", "irOut" }, ... ]   — pipeline order
+ *   }
+ */
+
+#ifndef SYMBOL_SUITE_STATSJSON_HH
+#define SYMBOL_SUITE_STATSJSON_HH
+
+#include <string>
+#include <vector>
+
+#include "pass/instrument.hh"
+#include "suite/driver.hh"
+#include "support/json.hh"
+
+namespace symbol::suite
+{
+
+/** The document as a JSON value. */
+json::Value statsDocument(const DriverStats &stats, unsigned jobs,
+                          const std::vector<pass::PassStats> &passes);
+
+/** Convenience: snapshot @p driver and @p instr and serialize. */
+std::string statsJson(const EvalDriver &driver,
+                      const pass::PassInstrumentation &instr);
+
+} // namespace symbol::suite
+
+#endif // SYMBOL_SUITE_STATSJSON_HH

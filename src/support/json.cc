@@ -1,0 +1,406 @@
+#include "support/json.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/diagnostics.hh"
+#include "support/text.hh"
+
+namespace symbol::json
+{
+
+Value::Value(Array a)
+    : kind_(Kind::Array), arr_(std::make_shared<Array>(std::move(a)))
+{
+}
+
+Value::Value(Object o)
+    : kind_(Kind::Object),
+      obj_(std::make_shared<Object>(std::move(o)))
+{
+}
+
+namespace
+{
+
+[[noreturn]] void
+kindError(const char *want, Value::Kind got)
+{
+    static const char *kNames[] = {"null",   "bool",  "number",
+                                   "string", "array", "object"};
+    throw RuntimeError(strprintf("json: expected %s, got %s", want,
+                                 kNames[static_cast<int>(got)]));
+}
+
+} // namespace
+
+bool
+Value::asBool() const
+{
+    if (kind_ != Kind::Bool)
+        kindError("bool", kind_);
+    return bool_;
+}
+
+double
+Value::asDouble() const
+{
+    if (kind_ != Kind::Number)
+        kindError("number", kind_);
+    return num_;
+}
+
+std::int64_t
+Value::asInt() const
+{
+    if (kind_ != Kind::Number)
+        kindError("number", kind_);
+    if (isInt_)
+        return int_;
+    double r = std::floor(num_);
+    if (r != num_)
+        throw RuntimeError("json: number is not integral");
+    return static_cast<std::int64_t>(r);
+}
+
+const std::string &
+Value::asString() const
+{
+    if (kind_ != Kind::String)
+        kindError("string", kind_);
+    return str_;
+}
+
+const Array &
+Value::asArray() const
+{
+    if (kind_ != Kind::Array)
+        kindError("array", kind_);
+    return *arr_;
+}
+
+const Object &
+Value::asObject() const
+{
+    if (kind_ != Kind::Object)
+        kindError("object", kind_);
+    return *obj_;
+}
+
+const Value &
+Value::at(const std::string &key) const
+{
+    const Object &o = asObject();
+    auto it = o.find(key);
+    if (it == o.end())
+        throw RuntimeError("json: missing member '" + key + "'");
+    return it->second;
+}
+
+bool
+Value::has(const std::string &key) const
+{
+    return kind_ == Kind::Object &&
+           obj_->find(key) != obj_->end();
+}
+
+std::string
+escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (c < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+std::string
+Value::dump() const
+{
+    switch (kind_) {
+      case Kind::Null:
+        return "null";
+      case Kind::Bool:
+        return bool_ ? "true" : "false";
+      case Kind::Number:
+        if (isInt_)
+            return strprintf("%lld",
+                             static_cast<long long>(int_));
+        return strprintf("%.17g", num_);
+      case Kind::String:
+        return "\"" + escape(str_) + "\"";
+      case Kind::Array: {
+        std::string out = "[";
+        for (std::size_t i = 0; i < arr_->size(); ++i) {
+            if (i)
+                out += ",";
+            out += (*arr_)[i].dump();
+        }
+        return out + "]";
+      }
+      case Kind::Object: {
+        std::string out = "{";
+        bool first = true;
+        for (const auto &[k, v] : *obj_) {
+            if (!first)
+                out += ",";
+            first = false;
+            out += "\"" + escape(k) + "\":" + v.dump();
+        }
+        return out + "}";
+      }
+    }
+    return "null";
+}
+
+// --- Parser ---------------------------------------------------------
+
+namespace
+{
+
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : s_(text) {}
+
+    Value
+    parseDocument()
+    {
+        Value v = parseValue();
+        skipWs();
+        if (pos_ != s_.size())
+            fail("trailing garbage");
+        return v;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &why) const
+    {
+        throw RuntimeError(strprintf("json: %s at offset %zu",
+                                     why.c_str(), pos_));
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                s_[pos_] == '\n' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    char
+    peek()
+    {
+        if (pos_ >= s_.size())
+            fail("unexpected end of input");
+        return s_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(strprintf("expected '%c'", c));
+        ++pos_;
+    }
+
+    bool
+    consumeWord(const char *w)
+    {
+        std::size_t n = std::string(w).size();
+        if (s_.compare(pos_, n, w) == 0) {
+            pos_ += n;
+            return true;
+        }
+        return false;
+    }
+
+    Value
+    parseValue()
+    {
+        skipWs();
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return Value(parseString());
+          case 't':
+            if (consumeWord("true"))
+                return Value(true);
+            fail("bad literal");
+          case 'f':
+            if (consumeWord("false"))
+                return Value(false);
+            fail("bad literal");
+          case 'n':
+            if (consumeWord("null"))
+                return Value();
+            fail("bad literal");
+          default:
+            return parseNumber();
+        }
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        while (true) {
+            if (pos_ >= s_.size())
+                fail("unterminated string");
+            char c = s_[pos_++];
+            if (c == '"')
+                return out;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                fail("unterminated escape");
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size())
+                    fail("short \\u escape");
+                unsigned code = 0;
+                for (int k = 0; k < 4; ++k) {
+                    char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        fail("bad \\u escape");
+                }
+                if (code > 0x7f)
+                    fail("non-ASCII \\u escape unsupported");
+                out += static_cast<char>(code);
+                break;
+              }
+              default:
+                fail("bad escape");
+            }
+        }
+    }
+
+    Value
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' ||
+                s_[pos_] == 'E' || s_[pos_] == '+' ||
+                s_[pos_] == '-'))
+            ++pos_;
+        std::string tok = s_.substr(start, pos_ - start);
+        if (tok.empty() || tok == "-")
+            fail("bad number");
+        errno = 0;
+        char *end = nullptr;
+        if (tok.find('.') == std::string::npos &&
+            tok.find('e') == std::string::npos &&
+            tok.find('E') == std::string::npos) {
+            long long v = std::strtoll(tok.c_str(), &end, 10);
+            if (*end == '\0' && errno != ERANGE)
+                return Value(static_cast<std::int64_t>(v));
+        }
+        errno = 0;
+        double d = std::strtod(tok.c_str(), &end);
+        if (*end != '\0' || errno == ERANGE)
+            fail("bad number");
+        return Value(d);
+    }
+
+    Value
+    parseArray()
+    {
+        expect('[');
+        Array a;
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return Value(std::move(a));
+        }
+        while (true) {
+            a.push_back(parseValue());
+            skipWs();
+            char c = peek();
+            ++pos_;
+            if (c == ']')
+                return Value(std::move(a));
+            if (c != ',')
+                fail("expected ',' or ']'");
+        }
+    }
+
+    Value
+    parseObject()
+    {
+        expect('{');
+        Object o;
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return Value(std::move(o));
+        }
+        while (true) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            o.emplace(std::move(key), parseValue());
+            skipWs();
+            char c = peek();
+            ++pos_;
+            if (c == '}')
+                return Value(std::move(o));
+            if (c != ',')
+                fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+Value
+parse(const std::string &text)
+{
+    return Parser(text).parseDocument();
+}
+
+} // namespace symbol::json

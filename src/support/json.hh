@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Minimal JSON reader/writer for the toolchain's machine-readable
+ * reports (symbolc --stats-json) and their tests. Supports the full
+ * JSON value model minus \uXXXX escapes; numbers are held as double
+ * plus the exact integer when representable.
+ */
+
+#ifndef SYMBOL_SUPPORT_JSON_HH
+#define SYMBOL_SUPPORT_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace symbol::json
+{
+
+class Value;
+
+using Array = std::vector<Value>;
+/** std::map: deterministic member order in dumps. */
+using Object = std::map<std::string, Value>;
+
+/** One JSON value (tagged union). */
+class Value
+{
+  public:
+    enum class Kind : std::uint8_t
+    {
+        Null, Bool, Number, String, Array, Object,
+    };
+
+    Value() : kind_(Kind::Null) {}
+    Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+    Value(double n) : kind_(Kind::Number), num_(n) {}
+    Value(std::int64_t n)
+        : kind_(Kind::Number), num_(static_cast<double>(n)),
+          int_(n), isInt_(true)
+    {
+    }
+    Value(std::uint64_t n)
+        : Value(static_cast<std::int64_t>(n))
+    {
+    }
+    Value(const char *s) : kind_(Kind::String), str_(s) {}
+    Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+    Value(Array a);
+    Value(Object o);
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+
+    /** Typed accessors; throw RuntimeError on kind mismatch. */
+    bool asBool() const;
+    double asDouble() const;
+    /** The integer value; throws if not exactly integral. */
+    std::int64_t asInt() const;
+    const std::string &asString() const;
+    const Array &asArray() const;
+    const Object &asObject() const;
+
+    /** Object member (throws if absent or not an object). */
+    const Value &at(const std::string &key) const;
+    /** Does this object contain @p key? */
+    bool has(const std::string &key) const;
+
+    /** Serialize (no insignificant whitespace). */
+    std::string dump() const;
+
+  private:
+    Kind kind_;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::int64_t int_ = 0;
+    bool isInt_ = false;
+    std::string str_;
+    std::shared_ptr<Array> arr_;
+    std::shared_ptr<Object> obj_;
+};
+
+/** Parse @p text; throws RuntimeError with position on any error
+ *  (trailing garbage included). */
+Value parse(const std::string &text);
+
+/** JSON string escaping (quotes not included). */
+std::string escape(const std::string &s);
+
+} // namespace symbol::json
+
+#endif // SYMBOL_SUPPORT_JSON_HH

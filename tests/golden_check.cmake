@@ -1,0 +1,25 @@
+# Golden-stdout check for a harness binary: run BIN, capture stdout
+# to OUT, and require it byte-identical to the committed GOLDEN file.
+# stderr (driver/pass timing) is intentionally not captured — the
+# determinism contract covers stdout only. SYMBOL_JOBS is left as the
+# ambient value precisely because the bytes must not depend on it.
+#
+# Usage:
+#   cmake -DBIN=<binary> -DGOLDEN=<ref file> -DOUT=<scratch file>
+#         -P golden_check.cmake
+
+set(ENV{SYMBOL_QUIET} 1)
+execute_process(COMMAND ${BIN}
+                OUTPUT_FILE ${OUT}
+                RESULT_VARIABLE run_rc)
+if(NOT run_rc EQUAL 0)
+    message(FATAL_ERROR "${BIN} exited with ${run_rc}")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files
+                        ${OUT} ${GOLDEN}
+                RESULT_VARIABLE diff_rc)
+if(NOT diff_rc EQUAL 0)
+    message(FATAL_ERROR
+        "stdout of ${BIN} differs from ${GOLDEN}; if the change is "
+        "intentional, regenerate the golden file from the new build")
+endif()

@@ -8,6 +8,7 @@
 
 #include "support/diagnostics.hh"
 #include "support/interner.hh"
+#include "support/json.hh"
 #include "support/text.hh"
 
 using namespace symbol;
@@ -115,4 +116,65 @@ TEST(Diagnostics, RuntimeErrorMessage)
 {
     RuntimeError e("boom");
     EXPECT_EQ(std::string(e.what()), "boom");
+}
+
+TEST(Json, ParseRoundTripsScalars)
+{
+    EXPECT_TRUE(json::parse("null").isNull());
+    EXPECT_TRUE(json::parse("true").asBool());
+    EXPECT_FALSE(json::parse("false").asBool());
+    EXPECT_EQ(json::parse("42").asInt(), 42);
+    EXPECT_EQ(json::parse("-7").asInt(), -7);
+    EXPECT_DOUBLE_EQ(json::parse("2.5").asDouble(), 2.5);
+    EXPECT_EQ(json::parse("\"hi\\n\"").asString(), "hi\n");
+}
+
+TEST(Json, LargeIntegersSurviveExactly)
+{
+    std::int64_t big = 9007199254740995; // > 2^53: not a double
+    json::Value v(big);
+    EXPECT_EQ(json::parse(v.dump()).asInt(), big);
+}
+
+TEST(Json, NonIntegralNumberRefusesAsInt)
+{
+    EXPECT_THROW(json::parse("2.5").asInt(), RuntimeError);
+    EXPECT_NO_THROW(json::parse("3.0").asInt());
+}
+
+TEST(Json, ObjectDumpIsKeySorted)
+{
+    json::Object o;
+    o["zeta"] = std::uint64_t{1};
+    o["alpha"] = std::uint64_t{2};
+    o["mid"] = "x";
+    EXPECT_EQ(json::Value(o).dump(),
+              "{\"alpha\":2,\"mid\":\"x\",\"zeta\":1}");
+}
+
+TEST(Json, NestedStructuresRoundTrip)
+{
+    std::string text =
+        "{\"a\":[1,2,{\"b\":true}],\"c\":{\"d\":[]},\"e\":null}";
+    json::Value v = json::parse(text);
+    EXPECT_EQ(v.at("a").asArray().size(), 3u);
+    EXPECT_TRUE(v.at("a").asArray()[2].at("b").asBool());
+    EXPECT_TRUE(v.at("c").at("d").asArray().empty());
+    EXPECT_TRUE(v.at("e").isNull());
+    EXPECT_FALSE(v.has("zzz"));
+    EXPECT_EQ(v.dump(), text);
+}
+
+TEST(Json, ParseErrorsCarryPosition)
+{
+    EXPECT_THROW(json::parse("{\"a\":}"), RuntimeError);
+    EXPECT_THROW(json::parse("[1,2"), RuntimeError);
+    EXPECT_THROW(json::parse("42 garbage"), RuntimeError);
+    EXPECT_THROW(json::parse(""), RuntimeError);
+}
+
+TEST(Json, EscapeControlCharacters)
+{
+    EXPECT_EQ(json::escape("a\"b\\c\n\t\x01"),
+              "a\\\"b\\\\c\\n\\t\\u0001");
 }

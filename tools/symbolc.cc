@@ -5,48 +5,13 @@
  * Compiles a Prolog program (a file, or a built-in benchmark) down
  * the full pipeline and runs it on a chosen machine, printing the
  * answer and the cycle accounting. Intermediate representations can
- * be dumped at every stage.
+ * be printed after any pipeline stage, per-pass timing is available
+ * with --time-passes, and --stats-json emits the machine-readable
+ * driver/pass accounting document.
  *
- * Usage:
- *   symbolc [options] <file.pl | --bench NAME | --bench all | --list>
- *     --units N        number of VLIW units (default 3)
- *     --jobs N         worker threads for the parallel evaluation
- *                      driver (default: SYMBOL_JOBS env, else
- *                      hardware concurrency); used by --bench all
- *     --bench all      sweep the whole suite through the parallel
- *                      driver and print one summary row per
- *                      benchmark (deterministic order; driver
- *                      timing/cache stats go to stderr)
- *     --cache-dir DIR  persistent artefact store: compiled/profiled
- *                      workloads and compacted code are reloaded
- *                      from DIR instead of rebuilt, and written
- *                      back after a build (default: the
- *                      SYMBOL_CACHE_DIR environment variable;
- *                      neither set = no disk store)
- *     --store-stats    print the disk-store counters (hits, writes,
- *                      bytes, deserialize time) to stderr
- *     --cache-verify DIR  scan a store directory, validate every
- *                      file's checksums and format version, print a
- *                      per-file report and exit (1 if any file is
- *                      bad)
- *     --verify-schedule  run the independent schedule verifier
- *                      (src/verify): with a file or --bench NAME it
- *                      verifies that run's schedule before
- *                      simulating; alone it sweeps every suite
- *                      benchmark across the default machine, the
- *                      Table 3 unit sweep, the prototype and the
- *                      ablation configurations, prints a summary
- *                      table and exits 1 on any violation
- *     --mode M         trace | bb | seq       (default trace)
- *     --proto          SYMBOL prototype configuration (two formats,
- *                      3-cycle memory, 2-cycle delayed branches)
- *     --no-indexing    disable first-argument indexing
- *     --expand-tags    expand tag branches (plain-RISC ablation)
- *     --no-disamb      disable fresh-allocation disambiguation
- *     --dump-bam       print the BAM code
- *     --dump-ici       print the IntCode
- *     --dump-wide      print the compacted wide code
- *     --stats          print instruction mix and branch statistics
+ * Run `symbolc --help` for the full flag reference: the help text is
+ * generated from the same flag table the parser walks, so it cannot
+ * drift from the implementation.
  */
 
 #include <cerrno>
@@ -58,8 +23,10 @@
 
 #include "analysis/stats.hh"
 #include "machine/config.hh"
+#include "pass/instrument.hh"
 #include "suite/driver.hh"
 #include "suite/pipeline.hh"
+#include "suite/statsjson.hh"
 #include "support/text.hh"
 #include "verify/verify.hh"
 
@@ -77,8 +44,12 @@ struct Options
     std::string mode = "trace";
     std::string cacheDir;   // "" = SYMBOL_CACHE_DIR env / none
     std::string verifyDir;  // --cache-verify subcommand
+    std::string printAfter; // comma-separable pass names
+    std::string statsJson;  // output path; "-" = stdout
     bool verifySchedule = false;
     bool storeStats = false;
+    bool timePasses = false;
+    bool quiet = false;
     bool proto = false;
     bool indexing = true;
     bool expandTags = false;
@@ -88,121 +59,320 @@ struct Options
     bool dumpWide = false;
     bool stats = false;
     bool list = false;
+    bool help = false;
 };
 
-int
-usage()
+/**
+ * One command-line flag: the single source of truth both the parser
+ * and the --help text are generated from. Exactly one of b / i / s
+ * is the binding target.
+ */
+struct Flag
 {
-    std::fprintf(stderr,
-                 "usage: symbolc [options] <file.pl|--bench NAME|"
-                 "--list>\n(see the header of tools/symbolc.cc)\n");
+    const char *name;    ///< "--units"
+    const char *operand; ///< operand placeholder, nullptr for bools
+    const char *help;    ///< one-line description
+    bool *b = nullptr;   ///< bool target, set to bval when present
+    bool bval = true;
+    int *i = nullptr;    ///< int target, operand in [lo, hi]
+    long lo = 0, hi = 0;
+    std::string *s = nullptr; ///< string target
+};
+
+std::vector<Flag>
+flagTable(Options &o)
+{
+    return {
+        {.name = "--bench", .operand = "NAME",
+         .help = "run a built-in benchmark; NAME 'all' sweeps the "
+                 "whole suite through the parallel driver (one "
+                 "summary row per benchmark, deterministic order)",
+         .s = &o.bench},
+        {.name = "--list", .operand = nullptr,
+         .help = "list the built-in benchmarks and exit",
+         .b = &o.list},
+        {.name = "--units", .operand = "N",
+         .help = "number of VLIW units (default 3)", .i = &o.units,
+         .lo = 1, .hi = 64},
+        {.name = "--jobs", .operand = "N",
+         .help = "worker threads for the parallel evaluation driver "
+                 "(default: SYMBOL_JOBS env, else hardware "
+                 "concurrency)",
+         .i = &o.jobs, .lo = 1, .hi = 1024},
+        {.name = "--mode", .operand = "M",
+         .help = "compaction mode: trace | bb | seq (default trace)",
+         .s = &o.mode},
+        {.name = "--proto", .operand = nullptr,
+         .help = "SYMBOL prototype configuration (two formats, "
+                 "3-cycle memory, 2-cycle delayed branches)",
+         .b = &o.proto},
+        {.name = "--cache-dir", .operand = "DIR",
+         .help = "persistent artefact store: workloads and compacted "
+                 "code are reloaded from DIR instead of rebuilt "
+                 "(default: SYMBOL_CACHE_DIR env; neither set = no "
+                 "disk store)",
+         .s = &o.cacheDir},
+        {.name = "--cache-verify", .operand = "DIR",
+         .help = "scan a store directory, validate every file's "
+                 "checksums and format version, print a per-file "
+                 "report and exit (1 if any file is bad)",
+         .s = &o.verifyDir},
+        {.name = "--store-stats", .operand = nullptr,
+         .help = "print the driver/disk-store counters to stderr",
+         .b = &o.storeStats},
+        {.name = "--verify-schedule", .operand = nullptr,
+         .help = "run the independent schedule verifier: with a file "
+                 "or --bench NAME it checks that run's schedule; "
+                 "alone it sweeps every suite benchmark across the "
+                 "standard configurations and exits 1 on any "
+                 "violation",
+         .b = &o.verifySchedule},
+        {.name = "--no-indexing", .operand = nullptr,
+         .help = "disable first-argument indexing",
+         .b = &o.indexing, .bval = false},
+        {.name = "--expand-tags", .operand = nullptr,
+         .help = "expand tag branches (plain-RISC ablation)",
+         .b = &o.expandTags},
+        {.name = "--no-disamb", .operand = nullptr,
+         .help = "disable fresh-allocation memory disambiguation",
+         .b = &o.disamb, .bval = false},
+        {.name = "--print-after", .operand = "PASS",
+         .help = "print the IR after a pass: bam-compile (BAM "
+                 "code), intcode (IntCode), compact (wide code); "
+                 "repeatable, also as --print-after=PASS",
+         .s = &o.printAfter},
+        {.name = "--dump-bam", .operand = nullptr,
+         .help = "alias for --print-after=bam-compile",
+         .b = &o.dumpBam},
+        {.name = "--dump-ici", .operand = nullptr,
+         .help = "alias for --print-after=intcode", .b = &o.dumpIci},
+        {.name = "--dump-wide", .operand = nullptr,
+         .help = "alias for --print-after=compact",
+         .b = &o.dumpWide},
+        {.name = "--stats", .operand = nullptr,
+         .help = "print instruction mix and branch statistics",
+         .b = &o.stats},
+        {.name = "--time-passes", .operand = nullptr,
+         .help = "report per-pass wall time, IR sizes and invocation "
+                 "counts on stderr (also: SYMBOL_TIME_PASSES env)",
+         .b = &o.timePasses},
+        {.name = "--stats-json", .operand = "FILE",
+         .help = "write the machine-readable driver/pass statistics "
+                 "document (JSON) to FILE ('-' = stdout)",
+         .s = &o.statsJson},
+        {.name = "--quiet", .operand = nullptr,
+         .help = "suppress the [driver] stderr summary (also: "
+                 "SYMBOL_QUIET env)",
+         .b = &o.quiet},
+        {.name = "--help", .operand = nullptr,
+         .help = "print this help and exit", .b = &o.help},
+    };
+}
+
+std::vector<std::string>
+splitWords(const std::string &text)
+{
+    std::vector<std::string> words;
+    std::istringstream ss(text);
+    std::string w;
+    while (ss >> w)
+        words.push_back(w);
+    return words;
+}
+
+/** Render one help line per table entry, wrapped at 78 columns. */
+std::string
+helpText(std::vector<Flag> flags)
+{
+    std::string out =
+        "usage: symbolc [options] <file.pl | --bench NAME | "
+        "--bench all | --list>\n";
+    std::size_t width = 0;
+    for (const Flag &f : flags) {
+        std::size_t w = std::strlen(f.name) +
+                        (f.operand ? 1 + std::strlen(f.operand) : 0);
+        width = std::max(width, w);
+    }
+    for (const Flag &f : flags) {
+        std::string head = "  " + std::string(f.name);
+        if (f.operand)
+            head += " " + std::string(f.operand);
+        head.resize(std::max(head.size(), width + 4), ' ');
+        std::string line = head;
+        for (const std::string &word : splitWords(f.help)) {
+            if (line.size() + 1 + word.size() > 78) {
+                out += line + "\n";
+                line = std::string(width + 4, ' ');
+                line += word;
+            } else {
+                line += (line.back() == ' ' ? "" : " ") + word;
+            }
+        }
+        out += line + "\n";
+    }
+    return out;
+}
+
+int
+usage(Options &o)
+{
+    std::fputs(helpText(flagTable(o)).c_str(), stderr);
     return 2;
 }
 
-/**
- * Parse the numeric operand of flag @p name from argv[++k]. A
- * missing operand, trailing garbage, overflow or a value outside
- * [@p lo, @p hi] is diagnosed on stderr and fails the parse — the
- * old std::atoi calls read past argc and silently turned garbage
- * into 0.
- */
+/** Parse a validated integer operand of @p name into @p out. */
 bool
-numFlag(int argc, char **argv, int &k, const char *name, long lo,
-        long hi, int &out)
+intOperand(const char *name, const std::string &s, long lo, long hi,
+           int &out)
 {
-    if (k + 1 >= argc) {
-        std::fprintf(stderr,
-                     "symbolc: %s requires a numeric operand\n",
-                     name);
-        return false;
-    }
-    const char *s = argv[++k];
     errno = 0;
     char *end = nullptr;
-    long v = std::strtol(s, &end, 10);
-    if (end == s || *end != '\0' || errno == ERANGE || v < lo ||
-        v > hi) {
+    long v = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE ||
+        v < lo || v > hi) {
         std::fprintf(stderr,
                      "symbolc: %s: invalid operand '%s' (expected "
                      "an integer in [%ld, %ld])\n",
-                     name, s, lo, hi);
+                     name, s.c_str(), lo, hi);
         return false;
     }
     out = static_cast<int>(v);
     return true;
 }
 
-/** Parse the string operand of flag @p name, diagnosing a missing
- *  operand instead of falling through to the generic usage error. */
-bool
-strFlag(int argc, char **argv, int &k, const char *name,
-        std::string &out)
-{
-    if (k + 1 >= argc) {
-        std::fprintf(stderr, "symbolc: %s requires an operand\n",
-                     name);
-        return false;
-    }
-    out = argv[++k];
-    return true;
-}
-
 bool
 parseArgs(int argc, char **argv, Options &o)
 {
+    std::vector<Flag> flags = flagTable(o);
     for (int k = 1; k < argc; ++k) {
         std::string a = argv[k];
-        if (a == "--units") {
-            if (!numFlag(argc, argv, k, "--units", 1, 64, o.units))
-                return false;
-        } else if (a == "--jobs") {
-            if (!numFlag(argc, argv, k, "--jobs", 1, 1024, o.jobs))
-                return false;
-        } else if (a == "--mode") {
-            if (!strFlag(argc, argv, k, "--mode", o.mode))
-                return false;
-        } else if (a == "--bench") {
-            if (!strFlag(argc, argv, k, "--bench", o.bench))
-                return false;
-        } else if (a == "--cache-dir") {
-            if (!strFlag(argc, argv, k, "--cache-dir", o.cacheDir))
-                return false;
-        } else if (a == "--cache-verify") {
-            if (!strFlag(argc, argv, k, "--cache-verify",
-                         o.verifyDir))
-                return false;
-        } else if (a == "--verify-schedule") {
-            o.verifySchedule = true;
-        } else if (a == "--store-stats") {
-            o.storeStats = true;
-        } else if (a == "--proto") {
-            o.proto = true;
-        } else if (a == "--no-indexing") {
-            o.indexing = false;
-        } else if (a == "--expand-tags") {
-            o.expandTags = true;
-        } else if (a == "--no-disamb") {
-            o.disamb = false;
-        } else if (a == "--dump-bam") {
-            o.dumpBam = true;
-        } else if (a == "--dump-ici") {
-            o.dumpIci = true;
-        } else if (a == "--dump-wide") {
-            o.dumpWide = true;
-        } else if (a == "--stats") {
-            o.stats = true;
-        } else if (a == "--list") {
-            o.list = true;
-        } else if (!a.empty() && a[0] != '-') {
-            o.file = a;
-        } else {
+        // --name=VALUE is equivalent to --name VALUE.
+        std::string inlineVal;
+        bool hasInline = false;
+        if (a.rfind("--", 0) == 0) {
+            std::size_t eq = a.find('=');
+            if (eq != std::string::npos) {
+                inlineVal = a.substr(eq + 1);
+                a.resize(eq);
+                hasInline = true;
+            }
+        }
+        const Flag *f = nullptr;
+        for (const Flag &g : flags)
+            if (a == g.name) {
+                f = &g;
+                break;
+            }
+        if (!f) {
+            if (!a.empty() && a[0] != '-') {
+                o.file = argv[k];
+                continue;
+            }
             std::fprintf(stderr, "symbolc: unknown option '%s'\n",
                          a.c_str());
+            return false;
+        }
+        if (f->b) {
+            if (hasInline) {
+                std::fprintf(stderr,
+                             "symbolc: %s takes no operand\n",
+                             f->name);
+                return false;
+            }
+            *f->b = f->bval;
+            continue;
+        }
+        std::string operand;
+        if (hasInline) {
+            operand = inlineVal;
+        } else if (k + 1 < argc) {
+            operand = argv[++k];
+        } else {
+            std::fprintf(stderr, "symbolc: %s requires a%s operand\n",
+                         f->name, f->i ? " numeric" : "n");
+            return false;
+        }
+        if (f->i) {
+            if (!intOperand(f->name, operand, f->lo, f->hi, *f->i))
+                return false;
+        } else if (f->s == &o.printAfter) {
+            // Repeatable: accumulate comma-separated.
+            if (!o.printAfter.empty())
+                o.printAfter += ",";
+            o.printAfter += operand;
+        } else {
+            *f->s = operand;
+        }
+    }
+    if (o.help)
+        return true;
+
+    // Resolve --print-after names onto the dump switches.
+    for (const std::string &p : split(o.printAfter, ',')) {
+        if (p == "bam-compile")
+            o.dumpBam = true;
+        else if (p == "intcode")
+            o.dumpIci = true;
+        else if (p == "compact")
+            o.dumpWide = true;
+        else if (!p.empty()) {
+            std::fprintf(stderr,
+                         "symbolc: --print-after: unknown pass '%s' "
+                         "(valid: bam-compile, intcode, compact)\n",
+                         p.c_str());
             return false;
         }
     }
     return o.list || !o.file.empty() || !o.bench.empty() ||
            !o.verifyDir.empty() || o.verifySchedule;
+}
+
+/** Emit the --stats-json document, if requested. */
+bool
+writeStatsJson(const Options &o, const suite::EvalDriver &driver)
+{
+    if (o.statsJson.empty())
+        return true;
+    std::string doc = suite::statsJson(
+        driver, pass::PassInstrumentation::global());
+    if (o.statsJson == "-") {
+        std::fputs(doc.c_str(), stdout);
+        return true;
+    }
+    std::ofstream out(o.statsJson,
+                      std::ios::binary | std::ios::trunc);
+    out << doc;
+    if (!out) {
+        std::fprintf(stderr, "symbolc: cannot write %s\n",
+                     o.statsJson.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Timing report for paths that skip driver.reportStats(). */
+void
+reportTimings(const Options &o, const suite::EvalDriver &driver)
+{
+    if (o.storeStats)
+        driver.reportStats();
+    else if (pass::timePassesEnabled())
+        std::fprintf(
+            stderr, "%s",
+            pass::timingReport(
+                pass::PassInstrumentation::global().snapshot())
+                .c_str());
+}
+
+suite::DriverOptions
+driverOptions(const Options &o)
+{
+    suite::DriverOptions dopts;
+    dopts.jobs = o.jobs > 0 ? static_cast<unsigned>(o.jobs) : 0;
+    dopts.cacheDir = o.cacheDir;
+    dopts.verifySchedules = o.verifySchedule;
+    dopts.quiet = o.quiet;
+    return dopts;
 }
 
 /**
@@ -284,9 +454,8 @@ verifySweep(const Options &o)
             wo);
     }
 
-    suite::DriverOptions dopts;
-    dopts.jobs = o.jobs > 0 ? static_cast<unsigned>(o.jobs) : 0;
-    dopts.cacheDir = o.cacheDir;
+    suite::DriverOptions dopts = driverOptions(o);
+    dopts.verifySchedules = false; // this sweep IS the verification
     suite::EvalDriver driver(dopts);
 
     std::vector<std::string> benches;
@@ -351,8 +520,9 @@ verifySweep(const Options &o)
     std::printf("%llu violation(s) across %zu schedule(s)\n",
                 static_cast<unsigned long long>(totalViolations),
                 cells.size());
-    if (o.storeStats)
-        driver.reportStats();
+    reportTimings(o, driver);
+    if (!writeStatsJson(o, driver))
+        return 1;
     return totalViolations ? 1 : 0;
 }
 
@@ -373,11 +543,7 @@ sweepAll(const Options &o)
     wo.compiler.indexing = o.indexing;
     wo.translate.expandTagBranches = o.expandTags;
 
-    suite::DriverOptions dopts;
-    dopts.jobs = o.jobs > 0 ? static_cast<unsigned>(o.jobs) : 0;
-    dopts.cacheDir = o.cacheDir;
-    dopts.verifySchedules = o.verifySchedule;
-    suite::EvalDriver driver(dopts);
+    suite::EvalDriver driver(driverOptions(o));
 
     std::vector<suite::EvalTask> tasks;
     for (const auto &b : suite::aquarius())
@@ -422,6 +588,8 @@ sweepAll(const Options &o)
     }
     std::printf("%s", renderTable(rows).c_str());
     driver.reportStats();
+    if (!writeStatsJson(o, driver))
+        return 1;
     return 0;
 }
 
@@ -432,7 +600,13 @@ main(int argc, char **argv)
 {
     Options o;
     if (!parseArgs(argc, argv, o))
-        return usage();
+        return usage(o);
+    if (o.help) {
+        std::fputs(helpText(flagTable(o)).c_str(), stdout);
+        return 0;
+    }
+    if (o.timePasses)
+        pass::setTimePasses(true);
 
     if (!o.verifyDir.empty()) {
         try {
@@ -489,26 +663,15 @@ main(int argc, char **argv)
         wo.translate.expandTagBranches = o.expandTags;
         // A single-benchmark run still goes through the evaluation
         // driver so the persistent store serves it too.
-        suite::DriverOptions dopts;
+        suite::DriverOptions dopts = driverOptions(o);
         dopts.jobs = 1;
-        dopts.cacheDir = o.cacheDir;
-        dopts.verifySchedules = o.verifySchedule;
         suite::EvalDriver driver(dopts);
         const suite::Workload &w = driver.workload(bench, wo);
 
         if (o.dumpIci)
             std::printf("%s\n", w.ici().str().c_str());
-        if (o.dumpBam) {
-            // Re-run the front half for the listing (the workload
-            // does not retain the BAM module).
-            Interner in;
-            prolog::Program p =
-                prolog::parseProgram(bench.source, in);
-            bamc::CompilerOptions co;
-            co.indexing = o.indexing;
-            bam::Module m = bamc::compile(p, co);
-            std::printf("%s\n", bam::print(m).c_str());
-        }
+        if (o.dumpBam)
+            std::printf("%s\n", bam::print(w.bamModule()).c_str());
 
         std::printf("answer:\n%s", w.seqOutput().c_str());
         std::printf("\nsequential: %llu ICIs, %llu cycles; BAM "
@@ -568,8 +731,9 @@ main(int argc, char **argv)
                         bs.avgFaultyPrediction,
                         bs.avgTakenProbability);
         }
-        if (o.storeStats)
-            driver.reportStats();
+        reportTimings(o, driver);
+        if (!writeStatsJson(o, driver))
+            return 1;
         return 0;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "symbolc: %s\n", e.what());
