@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Internal plumbing shared by the analyzer passes — not part of the
+ * public src/check interface (use check/check.hh).
+ */
+
+#ifndef SYMBOL_CHECK_ANALYSES_HH
+#define SYMBOL_CHECK_ANALYSES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "bam/instr.hh"
+#include "check/dataflow.hh"
+#include "check/diag.hh"
+#include "intcode/cfg.hh"
+
+namespace symbol::check
+{
+
+/** The pipeline context the analyzer passes share. */
+struct CheckCtx
+{
+    const bam::Module *module = nullptr;
+    const intcode::Program *prog = nullptr;
+    DiagnosticEngine *diag = nullptr;
+    /** Set by the structural pass; dataflow passes gate on them. */
+    bool bamOk = false;
+    bool icOk = false;
+    /** Built by the structural pass once the IntCode validates. */
+    intcode::Cfg cfg;
+    FlowGraph fg;
+};
+
+/**
+ * Structural validation. With @p report false the pass stays silent
+ * (used when the user deselected 'structural' but a dependent
+ * dataflow pass still needs the ok-flags and the flow graph).
+ */
+void runStructural(CheckCtx &ctx, bool report);
+
+void runDefInit(CheckCtx &ctx);
+void runTags(CheckCtx &ctx);
+void runBalance(CheckCtx &ctx);
+void runDeadCode(CheckCtx &ctx);
+
+/** A fixed-width bitset over virtual registers. */
+class RegSet
+{
+  public:
+    RegSet() = default;
+    explicit RegSet(int numRegs, bool full = false)
+        : n_(numRegs),
+          bits_(static_cast<std::size_t>((numRegs + 63) / 64),
+                full ? ~0ull : 0ull)
+    {
+        trim();
+    }
+
+    bool
+    test(int r) const
+    {
+        return (bits_[static_cast<std::size_t>(r) / 64] >> (r % 64)) &
+               1ull;
+    }
+    void
+    set(int r)
+    {
+        bits_[static_cast<std::size_t>(r) / 64] |= 1ull << (r % 64);
+    }
+    void
+    clear(int r)
+    {
+        bits_[static_cast<std::size_t>(r) / 64] &=
+            ~(1ull << (r % 64));
+    }
+
+    /** this |= o; true when this changed. */
+    bool
+    unite(const RegSet &o)
+    {
+        bool changed = false;
+        for (std::size_t k = 0; k < bits_.size(); ++k) {
+            std::uint64_t v = bits_[k] | o.bits_[k];
+            if (v != bits_[k]) {
+                bits_[k] = v;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+    /** this &= o; true when this changed. */
+    bool
+    intersect(const RegSet &o)
+    {
+        bool changed = false;
+        for (std::size_t k = 0; k < bits_.size(); ++k) {
+            std::uint64_t v = bits_[k] & o.bits_[k];
+            if (v != bits_[k]) {
+                bits_[k] = v;
+                changed = true;
+            }
+        }
+        return changed;
+    }
+
+    bool
+    operator==(const RegSet &o) const
+    {
+        return bits_ == o.bits_;
+    }
+
+  private:
+    void
+    trim()
+    {
+        if (n_ % 64 && !bits_.empty())
+            bits_.back() &= (1ull << (n_ % 64)) - 1;
+    }
+
+    int n_ = 0;
+    std::vector<std::uint64_t> bits_;
+};
+
+} // namespace symbol::check
+
+#endif // SYMBOL_CHECK_ANALYSES_HH

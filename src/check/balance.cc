@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Choice-point / environment balance checking at the BAM level.
+ *
+ * A forward problem over a node-per-instruction flow graph of the
+ * BAM module tracks two depths: environment frames pushed by
+ * Allocate and choice points pushed by Try. Each is an element of
+ * {Bottom, Known(n), Unknown}: procedure entries, retry targets and
+ * the fail routine start at Unknown (they are entered from callers
+ * and the backtracker, which the intraprocedural graph cannot see);
+ * only $start starts at Known(0, 0). A Call preserves the
+ * environment depth but clobbers the choice-point depth (the callee
+ * may legitimately leave choice points behind).
+ *
+ * Findings fire only at Known(0) — provable on every path — so the
+ * analysis is noise-free on compiler output while still catching
+ * hand-built unbalanced code:
+ *  - bam-env-underflow (error): deallocate with no live environment.
+ *  - bam-choice-underflow (error): retry/trust with no live choice
+ *    point.
+ *  - bam-cut-dead (error): cut where provably no choice point lives.
+ *  - bam-unbalanced-join (warning): two paths merge at an ordinary
+ *    label with different Known depths.
+ *
+ * Reuses the generic solver: FlowGraph is just graph shape, nothing
+ * in solve() is IntCode-specific.
+ */
+
+#include "check/analyses.hh"
+
+#include "support/text.hh"
+
+namespace symbol::check
+{
+
+namespace
+{
+
+using bam::Op;
+
+constexpr int kBot = -1; ///< unreached
+constexpr int kUnk = -2; ///< any depth
+/** Depths above this collapse to Unknown (bounds the lattice). */
+constexpr int kMaxDepth = 64;
+
+/** Environment / choice-point depth pair. */
+struct Bal
+{
+    int env = kBot;
+    int cp = kBot;
+
+    bool
+    operator==(const Bal &o) const
+    {
+        return env == o.env && cp == o.cp;
+    }
+};
+
+int
+joinDepth(int a, int b)
+{
+    if (a == kBot)
+        return b;
+    if (b == kBot)
+        return a;
+    return a == b ? a : kUnk;
+}
+
+int
+bump(int d)
+{
+    return d < 0 || d >= kMaxDepth ? kUnk : d + 1;
+}
+
+int
+drop(int d)
+{
+    // Known(0) stays 0: the underflow is reported, not propagated.
+    return d > 0 ? d - 1 : d;
+}
+
+/** Apply one instruction's effect on the depths. */
+void
+applyBal(const bam::Instr &i, Bal &v)
+{
+    switch (i.op) {
+      case Op::Allocate:
+        v.env = bump(v.env);
+        break;
+      case Op::Deallocate:
+        v.env = drop(v.env);
+        break;
+      case Op::Try:
+        v.cp = bump(v.cp);
+        break;
+      case Op::Trust:
+        v.cp = drop(v.cp);
+        break;
+      case Op::Call:
+        // The callee may leave choice points behind on success.
+        v.cp = kUnk;
+        break;
+      case Op::Cut:
+        // Cut discards an unknown number of choice points.
+        v.cp = kUnk;
+        break;
+      default:
+        break;
+    }
+}
+
+struct BalLattice
+{
+    using Value = Bal;
+
+    const bam::Module *module;
+    const std::vector<bool> *seeds;
+
+    Value init() const { return {}; }
+    Value boundary() const { return {0, 0}; }
+
+    bool
+    join(Value &into, const Value &from) const
+    {
+        Bal v{joinDepth(into.env, from.env),
+              joinDepth(into.cp, from.cp)};
+        bool c = !(v == into);
+        into = v;
+        return c;
+    }
+
+    Value
+    transfer(int node, const Value &in) const
+    {
+        Bal v = (*seeds)[static_cast<std::size_t>(node)]
+                    ? Bal{kUnk, kUnk}
+                    : in;
+        if (v.env == kBot && v.cp == kBot)
+            return v;
+        applyBal(module->code[static_cast<std::size_t>(node)], v);
+        return v;
+    }
+
+    void refineEdge(int, int, Value &) const {}
+};
+
+std::string
+depthStr(int d)
+{
+    if (d == kUnk)
+        return "?";
+    return std::to_string(d);
+}
+
+} // namespace
+
+void
+runBalance(CheckCtx &ctx)
+{
+    if (!ctx.bamOk)
+        return;
+    const bam::Module &m = *ctx.module;
+    const int n = static_cast<int>(m.code.size());
+    if (n == 0)
+        return;
+
+    // Label -> defining instruction (bamOk guarantees uniqueness).
+    std::vector<int> labAt(static_cast<std::size_t>(m.numLabels), -1);
+    for (int k = 0; k < n; ++k) {
+        const bam::Instr &i = m.code[static_cast<std::size_t>(k)];
+        if (i.op == Op::Label || i.op == Op::Procedure)
+            labAt[static_cast<std::size_t>(i.labs[0])] = k;
+    }
+
+    // Node-per-instruction flow graph.
+    FlowGraph g;
+    g.succs.assign(static_cast<std::size_t>(n), {});
+    g.preds.assign(static_cast<std::size_t>(n), {});
+    g.entry = labAt[static_cast<std::size_t>(m.entryLabel)];
+    auto edge = [&](int from, int to) {
+        if (to < 0 || to >= n)
+            return;
+        g.succs[static_cast<std::size_t>(from)].push_back(to);
+        g.preds[static_cast<std::size_t>(to)].push_back(from);
+    };
+    for (int k = 0; k < n; ++k) {
+        const bam::Instr &i = m.code[static_cast<std::size_t>(k)];
+        auto lab = [&](int w) {
+            return labAt[static_cast<std::size_t>(i.labs[w])];
+        };
+        switch (i.op) {
+          case Op::Jump:
+            edge(k, lab(0));
+            break;
+          case Op::SwitchTag:
+            for (int w = 0; w < bam::kSwitchWays; ++w)
+                edge(k, lab(w));
+            break;
+          case Op::TestTag:
+          case Op::CmpBranch:
+          case Op::EqualBranch:
+            edge(k, lab(0));
+            edge(k, k + 1);
+            break;
+          case Op::Return:
+          case Op::JumpInd:
+          case Op::Halt:
+          case Op::Fail:
+            // Exits of the intraprocedural graph.
+            break;
+          default:
+            // Including Call (returns to the next instruction),
+            // Try/Retry (the retry target is entered only via the
+            // backtracker and seeded Unknown below).
+            edge(k, k + 1);
+            break;
+        }
+    }
+
+    // Unknown-entry seeds: procedure entries, retry targets, $fail.
+    std::vector<bool> seeds(static_cast<std::size_t>(n), false);
+    for (int k = 0; k < n; ++k) {
+        const bam::Instr &i = m.code[static_cast<std::size_t>(k)];
+        if (i.op == Op::Procedure)
+            seeds[static_cast<std::size_t>(k)] = true;
+        if (i.op == Op::Try || i.op == Op::Retry) {
+            int t = labAt[static_cast<std::size_t>(i.labs[0])];
+            if (t >= 0)
+                seeds[static_cast<std::size_t>(t)] = true;
+        }
+    }
+    if (m.failLabel >= 0) {
+        int t = labAt[static_cast<std::size_t>(m.failLabel)];
+        if (t >= 0)
+            seeds[static_cast<std::size_t>(t)] = true;
+    }
+    // $start itself is entered only at machine start, at depth 0.
+    seeds[static_cast<std::size_t>(g.entry)] = false;
+
+    BalLattice lat{&m, &seeds};
+    auto r = solve(g, lat, /*forward=*/true);
+
+    for (int k = 0; k < n; ++k) {
+        const bam::Instr &i = m.code[static_cast<std::size_t>(k)];
+        Bal v = seeds[static_cast<std::size_t>(k)]
+                    ? Bal{kUnk, kUnk}
+                    : r.in[static_cast<std::size_t>(k)];
+        if (v.env == kBot && v.cp == kBot)
+            continue; // unreachable
+        switch (i.op) {
+          case Op::Deallocate:
+            if (v.env == 0)
+                ctx.diag->report(
+                    DiagId::BamEnvUnderflow, k, true, -1,
+                    "deallocate with no live environment frame");
+            break;
+          case Op::Retry:
+            if (v.cp == 0)
+                ctx.diag->report(
+                    DiagId::BamChoiceUnderflow, k, true, -1,
+                    "retry with no live choice point");
+            break;
+          case Op::Trust:
+            if (v.cp == 0)
+                ctx.diag->report(
+                    DiagId::BamChoiceUnderflow, k, true, -1,
+                    "trust with no live choice point");
+            break;
+          case Op::Cut:
+            if (v.cp == 0)
+                ctx.diag->report(
+                    DiagId::BamCutDead, k, true, -1,
+                    "cut where provably no choice point lives");
+            break;
+          case Op::Label:
+            // Join sanity at ordinary merge labels.
+            if (!seeds[static_cast<std::size_t>(k)] &&
+                g.preds[static_cast<std::size_t>(k)].size() > 1) {
+                Bal merged{kBot, kBot};
+                bool conflict = false;
+                for (int p : g.preds[static_cast<std::size_t>(k)]) {
+                    const Bal &o =
+                        r.out[static_cast<std::size_t>(p)];
+                    if (o.env == kBot && o.cp == kBot)
+                        continue;
+                    if ((merged.env >= 0 && o.env >= 0 &&
+                         merged.env != o.env) ||
+                        (merged.cp >= 0 && o.cp >= 0 &&
+                         merged.cp != o.cp))
+                        conflict = true;
+                    merged.env = joinDepth(merged.env, o.env);
+                    merged.cp = joinDepth(merged.cp, o.cp);
+                }
+                if (conflict)
+                    ctx.diag->report(
+                        DiagId::BamUnbalancedJoin, k, true, -1,
+                        strprintf("env/choice depth differs across "
+                                  "merging paths (env %s, cp %s "
+                                  "after join)",
+                                  depthStr(merged.env).c_str(),
+                                  depthStr(merged.cp).c_str()));
+            }
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+} // namespace symbol::check

@@ -1,0 +1,119 @@
+#include "check/check.hh"
+
+#include <memory>
+
+#include "check/analyses.hh"
+#include "pass/pass.hh"
+#include "support/diagnostics.hh"
+#include "support/text.hh"
+
+namespace symbol::check
+{
+
+const char *
+checkPassName(CheckPass p)
+{
+    switch (p) {
+      case CheckPass::Structural: return "structural";
+      case CheckPass::DefInit: return "definit";
+      case CheckPass::Tags: return "tags";
+      case CheckPass::Balance: return "balance";
+      case CheckPass::DeadCode: return "deadcode";
+    }
+    return "?";
+}
+
+const char *
+checkPassPipelineName(CheckPass p)
+{
+    switch (p) {
+      case CheckPass::Structural: return "check-structural";
+      case CheckPass::DefInit: return "check-definit";
+      case CheckPass::Tags: return "check-tags";
+      case CheckPass::Balance: return "check-balance";
+      case CheckPass::DeadCode: return "check-deadcode";
+    }
+    return "?";
+}
+
+unsigned
+parsePassList(const std::string &list)
+{
+    unsigned mask = 0;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos)
+            comma = list.size();
+        std::string name = list.substr(pos, comma - pos);
+        pos = comma + 1;
+        if (name.empty())
+            continue;
+        bool found = false;
+        for (int k = 0; k < kNumCheckPasses; ++k) {
+            CheckPass p = static_cast<CheckPass>(k);
+            if (name == checkPassName(p)) {
+                mask |= checkPassBit(p);
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            throw CompileError(strprintf(
+                "unknown analyzer pass '%s' (available: structural, "
+                "definit, tags, balance, deadcode)",
+                name.c_str()));
+    }
+    if (!mask)
+        throw CompileError("empty analyzer pass list");
+    return mask;
+}
+
+DiagnosticEngine
+analyze(const bam::Module &module, const intcode::Program &prog,
+        const AnalyzeOptions &opts, pass::PassInstrumentation *instr)
+{
+    DiagnosticEngine diag;
+    diag.promoteWarnings(opts.werror);
+
+    CheckCtx ctx;
+    ctx.module = &module;
+    ctx.prog = &prog;
+    ctx.diag = &diag;
+
+    auto selected = [&](CheckPass p) {
+        return (opts.passes & checkPassBit(p)) != 0;
+    };
+
+    pass::PassManager<CheckCtx> pm(instr);
+    auto add = [&](CheckPass p, std::function<void(CheckCtx &)> fn) {
+        if (!selected(p))
+            return;
+        pm.add(std::make_unique<pass::FunctionPass<CheckCtx>>(
+            checkPassPipelineName(p), std::move(fn),
+            [](const CheckCtx &c) {
+                return static_cast<std::uint64_t>(
+                    c.prog->code.size() + c.module->code.size());
+            },
+            [](const CheckCtx &c) {
+                return c.diag->total();
+            }));
+    };
+
+    add(CheckPass::Structural,
+        [](CheckCtx &c) { runStructural(c, /*report=*/true); });
+    add(CheckPass::DefInit, [](CheckCtx &c) { runDefInit(c); });
+    add(CheckPass::Tags, [](CheckCtx &c) { runTags(c); });
+    add(CheckPass::Balance, [](CheckCtx &c) { runBalance(c); });
+    add(CheckPass::DeadCode, [](CheckCtx &c) { runDeadCode(c); });
+
+    // The dataflow passes need the ok-flags and the flow graph even
+    // when the user deselected 'structural': run it silently first.
+    if (!selected(CheckPass::Structural))
+        runStructural(ctx, /*report=*/false);
+
+    pm.run(ctx);
+    return diag;
+}
+
+} // namespace symbol::check

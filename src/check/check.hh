@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Public entry point of the static IR analyzer (DESIGN.md §11).
+ *
+ * analyze() runs a configurable set of lint/verification passes over
+ * one compiled workload (the BAM module and the IntCode program it
+ * was expanded into) and returns the aggregated DiagnosticEngine.
+ * Each analysis runs as a named FunctionPass inside a PassManager, so
+ * --time-passes and --stats-json cover the analyzer like any other
+ * stage of the toolchain.
+ *
+ * The five passes, in fixed order:
+ *
+ *   structural  CFG / side-table well-formedness of both IRs. Runs
+ *               (silently if deselected) before any dataflow pass —
+ *               the others assume resolvable labels and in-range
+ *               targets and are skipped on structurally broken IR.
+ *   definit     def-before-use via reaching definitions (may + must).
+ *   tags        tag-domain abstract interpretation over the ICI tag
+ *               lattice; flags primitives whose tag preconditions
+ *               cannot be met and statically decided tag branches.
+ *   balance     choice-point / environment balance at the BAM level.
+ *   deadcode    liveness-based dead-code and redundant-move report.
+ *
+ * Everything is a deterministic fixed-order walk: for a given input
+ * and option set the report is byte-identical, independent of
+ * SYMBOL_JOBS or host.
+ */
+
+#ifndef SYMBOL_CHECK_CHECK_HH
+#define SYMBOL_CHECK_CHECK_HH
+
+#include <string>
+
+#include "bam/instr.hh"
+#include "check/diag.hh"
+#include "intcode/instr.hh"
+#include "pass/instrument.hh"
+
+namespace symbol::check
+{
+
+/** The analyzer's passes, in execution order. */
+enum class CheckPass : std::uint8_t
+{
+    Structural,
+    DefInit,
+    Tags,
+    Balance,
+    DeadCode,
+};
+
+constexpr int kNumCheckPasses = 5;
+
+/** Short selection name ("structural", "definit", ...). */
+const char *checkPassName(CheckPass p);
+
+/** Instrumentation key ("check-structural", "check-definit", ...). */
+const char *checkPassPipelineName(CheckPass p);
+
+/** Bitmask with every pass selected. */
+constexpr unsigned kAllCheckPasses = (1u << kNumCheckPasses) - 1;
+
+constexpr unsigned
+checkPassBit(CheckPass p)
+{
+    return 1u << static_cast<unsigned>(p);
+}
+
+/**
+ * Parse a comma-separated pass list ("structural,balance") into a
+ * selection mask. Throws CompileError on an unknown pass name.
+ */
+unsigned parsePassList(const std::string &list);
+
+/** Analyzer configuration. */
+struct AnalyzeOptions
+{
+    /** Selected passes (bit per CheckPass). */
+    unsigned passes = kAllCheckPasses;
+    /** Promote warnings to errors (--Werror). */
+    bool werror = false;
+};
+
+/**
+ * Run the selected analyses over @p module / @p prog, recording each
+ * pass into @p instr (null = the process-wide default sink), and
+ * return the aggregated diagnostics.
+ */
+DiagnosticEngine analyze(const bam::Module &module,
+                         const intcode::Program &prog,
+                         const AnalyzeOptions &opts = {},
+                         pass::PassInstrumentation *instr = nullptr);
+
+} // namespace symbol::check
+
+#endif // SYMBOL_CHECK_CHECK_HH

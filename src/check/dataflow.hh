@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The reusable dataflow-analysis framework of the static IR analyzer
+ * (DESIGN.md §11).
+ *
+ * Two pieces:
+ *
+ *  - FlowGraph: the analyzable view of an intcode::Cfg. The raw CFG
+ *    leaves Jmpi successors empty (they are statically unknowable);
+ *    a sound dataflow must instead treat every address-taken block
+ *    as a possible Jmpi destination. FlowGraph adds exactly those
+ *    edges, and computes reachability from the program entry over
+ *    the augmented graph.
+ *
+ *  - solve(): a deterministic round-robin worklist solver, generic
+ *    over a lattice `A` and the direction. The lattice supplies:
+ *
+ *        using Value = ...;
+ *        Value boundary() const;         // entry/exit block input
+ *        Value init() const;             // optimistic start value
+ *        bool join(Value &into, const Value &from) const;
+ *                                        // true if `into` changed
+ *        Value transfer(int block, const Value &in) const;
+ *        void refineEdge(int from, int to, Value &v) const;
+ *                                        // optional edge filtering
+ *
+ *    Blocks are swept in index order (reverse order for backward
+ *    problems) until a fixpoint; the sweep order is fixed, so the
+ *    result — and every diagnostic derived from it — is bit-identical
+ *    across runs and SYMBOL_JOBS settings.
+ */
+
+#ifndef SYMBOL_CHECK_DATAFLOW_HH
+#define SYMBOL_CHECK_DATAFLOW_HH
+
+#include <vector>
+
+#include "intcode/cfg.hh"
+
+namespace symbol::check
+{
+
+/** Augmented, analysis-ready view of an intcode CFG. */
+struct FlowGraph
+{
+    /** Per-block successor / predecessor lists, including the
+     *  Jmpi → every-address-taken-block augmentation. */
+    std::vector<std::vector<int>> succs;
+    std::vector<std::vector<int>> preds;
+    /** Block containing the program entry. */
+    int entry = 0;
+    /** Reachable from the entry over the augmented graph. */
+    std::vector<bool> reachable;
+
+    std::size_t size() const { return succs.size(); }
+
+    static FlowGraph of(const intcode::Program &prog,
+                        const intcode::Cfg &cfg);
+};
+
+/** Per-block fixpoint of one dataflow problem. */
+template <class Value>
+struct DataflowResult
+{
+    /** Value at block entry (forward) / block exit (backward). */
+    std::vector<Value> in;
+    /** Value at block exit (forward) / block entry (backward). */
+    std::vector<Value> out;
+};
+
+/**
+ * Solve a forward or backward dataflow problem over @p g with
+ * lattice @p a. Unreachable blocks keep init() as their input —
+ * consumers skip them via g.reachable.
+ */
+template <class A>
+DataflowResult<typename A::Value>
+solve(const FlowGraph &g, const A &a, bool forward)
+{
+    const std::size_t n = g.size();
+    DataflowResult<typename A::Value> r;
+    r.in.assign(n, a.init());
+    r.out.assign(n, a.init());
+
+    const auto &inEdges = forward ? g.preds : g.succs;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t step = 0; step < n; ++step) {
+            // Index order forward, reverse order backward: roughly
+            // topological for the common fallthrough-heavy CFGs, so
+            // the fixpoint converges in few sweeps.
+            std::size_t b = forward ? step : n - 1 - step;
+            typename A::Value in = a.init();
+            bool boundary =
+                forward ? static_cast<int>(b) == g.entry
+                        : g.succs[b].empty();
+            if (boundary)
+                a.join(in, a.boundary());
+            for (int p : inEdges[b]) {
+                typename A::Value v =
+                    r.out[static_cast<std::size_t>(p)];
+                if (forward)
+                    a.refineEdge(p, static_cast<int>(b), v);
+                else
+                    a.refineEdge(static_cast<int>(b), p, v);
+                a.join(in, v);
+            }
+            typename A::Value out =
+                a.transfer(static_cast<int>(b), in);
+            r.in[b] = std::move(in);
+            if (a.join(r.out[b], out))
+                changed = true;
+        }
+    }
+    return r;
+}
+
+} // namespace symbol::check
+
+#endif // SYMBOL_CHECK_DATAFLOW_HH

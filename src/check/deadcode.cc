@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Liveness-based cleanliness report (report-only: every finding is a
+ * note).
+ *
+ *  - ic-dead-code: a side-effect-free instruction whose result is
+ *    dead — never read before being overwritten on every path.
+ *    Backward liveness over the augmented flow graph; blocks with no
+ *    successors use an all-live boundary, so the report errs on the
+ *    quiet side.
+ *  - ic-redundant-move: a mov that re-establishes a copy relation
+ *    that already holds. Detected by block-local value numbering —
+ *    deliberately local, so every report is certain.
+ */
+
+#include "check/analyses.hh"
+
+#include <numeric>
+
+#include "support/text.hh"
+
+namespace symbol::check
+{
+
+namespace
+{
+
+using intcode::IInstr;
+using intcode::IOp;
+
+/** Instruction with a result and no other effect. */
+bool
+isPure(IOp op)
+{
+    switch (op) {
+      case IOp::Ld:
+      case IOp::Add: case IOp::Sub: case IOp::Mul: case IOp::Div:
+      case IOp::Mod: case IOp::And: case IOp::Or: case IOp::Xor:
+      case IOp::Sll: case IOp::Sra:
+      case IOp::Mov:
+      case IOp::Movi:
+      case IOp::MkTag:
+      case IOp::GetTag:
+        return true;
+      default:
+        return false;
+    }
+}
+
+struct LiveLattice
+{
+    using Value = RegSet;
+
+    const intcode::Program *prog;
+    const intcode::Cfg *cfg;
+
+    Value init() const { return RegSet(prog->numRegs, false); }
+    /** Exit blocks: assume everything observable. */
+    Value boundary() const { return RegSet(prog->numRegs, true); }
+
+    bool
+    join(Value &into, const Value &from) const
+    {
+        return into.unite(from);
+    }
+
+    Value
+    transfer(int block, const Value &liveOut) const
+    {
+        Value v = liveOut;
+        const intcode::Block &b =
+            cfg->blocks[static_cast<std::size_t>(block)];
+        for (int k = b.last; k >= b.first; --k) {
+            const IInstr &i =
+                prog->code[static_cast<std::size_t>(k)];
+            int d = intcode::defReg(i);
+            if (d >= 0)
+                v.clear(d);
+            int uses[2];
+            int nu = 0;
+            intcode::useRegs(i, uses, nu);
+            for (int u = 0; u < nu; ++u)
+                v.set(uses[u]);
+        }
+        return v;
+    }
+
+    void refineEdge(int, int, Value &) const {}
+};
+
+} // namespace
+
+void
+runDeadCode(CheckCtx &ctx)
+{
+    if (!ctx.icOk)
+        return;
+    const intcode::Program &p = *ctx.prog;
+    LiveLattice lat{&p, &ctx.cfg};
+    auto r = solve(ctx.fg, lat, /*forward=*/false);
+
+    // Value-numbering scratch for the redundant-move scan.
+    std::vector<int> vn(static_cast<std::size_t>(p.numRegs));
+    int nextVn = 0;
+
+    for (std::size_t b = 0; b < ctx.fg.size(); ++b) {
+        if (!ctx.fg.reachable[b])
+            continue;
+        const intcode::Block &blk = ctx.cfg.blocks[b];
+
+        // Dead results: replay liveness backwards from the block's
+        // live-out set (r.in of a backward problem).
+        RegSet live = r.in[b];
+        for (int k = blk.last; k >= blk.first; --k) {
+            const IInstr &i = p.code[static_cast<std::size_t>(k)];
+            int d = intcode::defReg(i);
+            if (d >= 0 && !live.test(d) && isPure(i.op))
+                ctx.diag->report(
+                    DiagId::IcDeadCode, k, false, i.bam,
+                    strprintf("result r%d is never used", d));
+            if (d >= 0)
+                live.clear(d);
+            int uses[2];
+            int nu = 0;
+            intcode::useRegs(i, uses, nu);
+            for (int u = 0; u < nu; ++u)
+                live.set(uses[u]);
+        }
+
+        // Redundant moves: block-local value numbering. Every
+        // register starts in its own class at block entry.
+        std::iota(vn.begin(), vn.end(), 0);
+        nextVn = p.numRegs;
+        for (int k = blk.first; k <= blk.last; ++k) {
+            const IInstr &i = p.code[static_cast<std::size_t>(k)];
+            if (i.op == IOp::Mov) {
+                if (vn[static_cast<std::size_t>(i.rd)] ==
+                    vn[static_cast<std::size_t>(i.ra)])
+                    ctx.diag->report(
+                        DiagId::IcRedundantMove, k, false, i.bam,
+                        strprintf("r%d already holds the value of "
+                                  "r%d",
+                                  i.rd, i.ra));
+                vn[static_cast<std::size_t>(i.rd)] =
+                    vn[static_cast<std::size_t>(i.ra)];
+            } else {
+                int d = intcode::defReg(i);
+                if (d >= 0)
+                    vn[static_cast<std::size_t>(d)] = nextVn++;
+            }
+        }
+    }
+}
+
+} // namespace symbol::check

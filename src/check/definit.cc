@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Def-before-use checking via reaching definitions.
+ *
+ * A single forward problem tracks two register sets per program
+ * point: may-defined (union join) and must-defined (intersection
+ * join). A read of a register that is not even may-defined has no
+ * reaching definition on *any* path — a definite translator bug
+ * (ic-uninit-read, error). A read that is may- but not must-defined
+ * is only initialized on some paths (ic-maybe-uninit, warning).
+ *
+ * Both findings are restricted to per-procedure temporaries
+ * (r >= Regs::kT0): the machine-state and argument registers are
+ * live across procedure boundaries the intraprocedural flow graph
+ * cannot see, and the emulator zero-initializes the register file,
+ * so flagging them would be noise. Each register is reported at its
+ * first offending use only.
+ */
+
+#include "check/analyses.hh"
+
+#include "bam/word.hh"
+#include "support/text.hh"
+
+namespace symbol::check
+{
+
+namespace
+{
+
+/** may/must defined register sets at one program point. */
+struct DefVal
+{
+    RegSet may;
+    RegSet must;
+};
+
+struct DefInitLattice
+{
+    using Value = DefVal;
+
+    const intcode::Program *prog;
+    const intcode::Cfg *cfg;
+
+    Value
+    init() const
+    {
+        // Optimistic: nothing may-defined, everything must-defined
+        // (top of the intersection lattice).
+        return {RegSet(prog->numRegs, false),
+                RegSet(prog->numRegs, true)};
+    }
+
+    Value
+    boundary() const
+    {
+        // The machine-state, runtime and argument registers are set
+        // up by the environment / callers; only temporaries start
+        // undefined.
+        Value v{RegSet(prog->numRegs, false),
+                RegSet(prog->numRegs, false)};
+        for (int r = 0; r < prog->numRegs && r < bam::Regs::kT0; ++r) {
+            v.may.set(r);
+            v.must.set(r);
+        }
+        return v;
+    }
+
+    bool
+    join(Value &into, const Value &from) const
+    {
+        bool c = into.may.unite(from.may);
+        if (into.must.intersect(from.must))
+            c = true;
+        return c;
+    }
+
+    Value
+    transfer(int block, const Value &in) const
+    {
+        Value v = in;
+        const intcode::Block &b =
+            cfg->blocks[static_cast<std::size_t>(block)];
+        for (int k = b.first; k <= b.last; ++k) {
+            int d = intcode::defReg(
+                prog->code[static_cast<std::size_t>(k)]);
+            if (d >= 0) {
+                v.may.set(d);
+                v.must.set(d);
+            }
+        }
+        return v;
+    }
+
+    void refineEdge(int, int, Value &) const {}
+};
+
+} // namespace
+
+void
+runDefInit(CheckCtx &ctx)
+{
+    if (!ctx.icOk)
+        return;
+    const intcode::Program &p = *ctx.prog;
+    DefInitLattice lat{&p, &ctx.cfg};
+    auto r = solve(ctx.fg, lat, /*forward=*/true);
+
+    std::vector<bool> flagged(static_cast<std::size_t>(p.numRegs),
+                              false);
+    for (std::size_t b = 0; b < ctx.fg.size(); ++b) {
+        if (!ctx.fg.reachable[b])
+            continue;
+        DefVal cur = r.in[b];
+        const intcode::Block &blk = ctx.cfg.blocks[b];
+        for (int k = blk.first; k <= blk.last; ++k) {
+            const intcode::IInstr &i =
+                p.code[static_cast<std::size_t>(k)];
+            int uses[2];
+            int nu = 0;
+            intcode::useRegs(i, uses, nu);
+            for (int u = 0; u < nu; ++u) {
+                int reg = uses[u];
+                if (reg < bam::Regs::kT0 ||
+                    flagged[static_cast<std::size_t>(reg)])
+                    continue;
+                if (!cur.may.test(reg)) {
+                    flagged[static_cast<std::size_t>(reg)] = true;
+                    ctx.diag->report(
+                        DiagId::IcUninitRead, k, false, i.bam,
+                        strprintf("r%d read with no reaching "
+                                  "definition on any path",
+                                  reg));
+                } else if (!cur.must.test(reg)) {
+                    flagged[static_cast<std::size_t>(reg)] = true;
+                    ctx.diag->report(
+                        DiagId::IcMaybeUninit, k, false, i.bam,
+                        strprintf("r%d not defined on every path to "
+                                  "this read",
+                                  reg));
+                }
+            }
+            int d = intcode::defReg(i);
+            if (d >= 0) {
+                cur.may.set(d);
+                cur.must.set(d);
+            }
+        }
+    }
+}
+
+} // namespace symbol::check

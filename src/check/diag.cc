@@ -1,0 +1,152 @@
+#include "check/diag.hh"
+
+#include "support/text.hh"
+
+namespace symbol::check
+{
+
+const char *
+severityName(Severity s)
+{
+    switch (s) {
+      case Severity::Note: return "note";
+      case Severity::Warning: return "warning";
+      case Severity::Error: return "error";
+    }
+    return "?";
+}
+
+const char *
+diagIdName(DiagId id)
+{
+    switch (id) {
+      case DiagId::IcMalformed: return "ic-malformed";
+      case DiagId::IcBadTarget: return "ic-bad-target";
+      case DiagId::IcBadRegister: return "ic-bad-register";
+      case DiagId::IcFallsOffEnd: return "ic-falls-off-end";
+      case DiagId::IcUnreachable: return "ic-unreachable";
+      case DiagId::BamBadLabel: return "bam-bad-label";
+      case DiagId::BamDupLabel: return "bam-dup-label";
+      case DiagId::BamBadOperand: return "bam-bad-operand";
+      case DiagId::BamBadRegister: return "bam-bad-register";
+      case DiagId::BamNoEntry: return "bam-no-entry";
+      case DiagId::IcUninitRead: return "ic-uninit-read";
+      case DiagId::IcMaybeUninit: return "ic-maybe-uninit";
+      case DiagId::TagBadJump: return "tag-bad-jump";
+      case DiagId::TagBadMemBase: return "tag-bad-mem-base";
+      case DiagId::TagDeadBranch: return "tag-dead-branch";
+      case DiagId::BamEnvUnderflow: return "bam-env-underflow";
+      case DiagId::BamChoiceUnderflow: return "bam-choice-underflow";
+      case DiagId::BamCutDead: return "bam-cut-dead";
+      case DiagId::BamUnbalancedJoin: return "bam-unbalanced-join";
+      case DiagId::IcDeadCode: return "ic-dead-code";
+      case DiagId::IcRedundantMove: return "ic-redundant-move";
+    }
+    return "?";
+}
+
+Severity
+diagIdSeverity(DiagId id)
+{
+    switch (id) {
+      case DiagId::IcMalformed:
+      case DiagId::IcBadTarget:
+      case DiagId::IcBadRegister:
+      case DiagId::IcFallsOffEnd:
+      case DiagId::BamBadLabel:
+      case DiagId::BamDupLabel:
+      case DiagId::BamBadOperand:
+      case DiagId::BamBadRegister:
+      case DiagId::BamNoEntry:
+      case DiagId::IcUninitRead:
+      case DiagId::TagBadJump:
+      case DiagId::BamEnvUnderflow:
+      case DiagId::BamChoiceUnderflow:
+      case DiagId::BamCutDead:
+        return Severity::Error;
+      case DiagId::IcUnreachable:
+      case DiagId::IcMaybeUninit:
+      case DiagId::TagBadMemBase:
+      case DiagId::BamUnbalancedJoin:
+        return Severity::Warning;
+      case DiagId::TagDeadBranch:
+      case DiagId::IcDeadCode:
+      case DiagId::IcRedundantMove:
+        return Severity::Note;
+    }
+    return Severity::Error;
+}
+
+std::string
+Diagnostic::str() const
+{
+    std::string where;
+    if (loc >= 0)
+        where = strprintf("%s@%d", bamLevel ? "bam" : "ici", loc);
+    else
+        where = bamLevel ? "bam" : "ici";
+    std::string prov;
+    if (!bamLevel && bam >= 0)
+        prov = strprintf(" (bam %d)", bam);
+    return strprintf("%s[%s] %s%s: %s", severityName(severity),
+                     diagIdName(id), where.c_str(), prov.c_str(),
+                     message.c_str());
+}
+
+void
+DiagnosticEngine::report(DiagId id, int loc, bool bamLevel, int bam,
+                         std::string message)
+{
+    Severity sev = diagIdSeverity(id);
+    if (werror_ && sev == Severity::Warning)
+        sev = Severity::Error;
+    switch (sev) {
+      case Severity::Error: ++errors_; break;
+      case Severity::Warning: ++warnings_; break;
+      case Severity::Note: ++notes_; break;
+    }
+    ++byId_[static_cast<std::size_t>(id)];
+    if (diags_.size() >= kMaxRecorded)
+        return;
+    Diagnostic d;
+    d.id = id;
+    d.severity = sev;
+    d.loc = loc;
+    d.bamLevel = bamLevel;
+    d.bam = bam;
+    d.message = std::move(message);
+    diags_.push_back(std::move(d));
+}
+
+std::string
+DiagnosticEngine::summary() const
+{
+    return strprintf(
+        "analyze: %llu error(s), %llu warning(s), %llu note(s)",
+        static_cast<unsigned long long>(errors_),
+        static_cast<unsigned long long>(warnings_),
+        static_cast<unsigned long long>(notes_));
+}
+
+std::string
+DiagnosticEngine::str() const
+{
+    std::string out;
+    for (const Diagnostic &d : diags_)
+        out += d.str() + "\n";
+    if (total() > diags_.size())
+        out += strprintf(
+            "... %llu further finding(s) not recorded\n",
+            static_cast<unsigned long long>(total() - diags_.size()));
+    for (int k = 0; k < kNumDiagIds; ++k) {
+        DiagId id = static_cast<DiagId>(k);
+        if (count(id))
+            out += strprintf(
+                "  %-20s %llu\n", diagIdName(id),
+                static_cast<unsigned long long>(count(id)));
+    }
+    out += summary() + "\n";
+    return out;
+}
+
+} // namespace symbol::check

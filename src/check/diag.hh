@@ -1,0 +1,155 @@
+/**
+ * @file
+ * The diagnostics engine of the static IR analyzer (DESIGN.md §11).
+ *
+ * Every finding of every analysis is a Diagnostic: a stable id, a
+ * severity, the IR location (a BAM or an IntCode instruction index)
+ * and — for IntCode findings — the provenance back-link to the BAM
+ * instruction the offending ICI was expanded from. Ids are stable
+ * strings ("ic-uninit-read", "bam-env-underflow", ...) so golden
+ * outputs, grep-ability and the --analyze=LIST selection survive
+ * refactors of the enum order.
+ *
+ * The engine records the first kMaxRecorded findings verbatim and
+ * counts everything, so a pathological input cannot explode a report
+ * while the per-id totals stay exact (they are what the EXPERIMENTS
+ * sweep pins).
+ */
+
+#ifndef SYMBOL_CHECK_DIAG_HH
+#define SYMBOL_CHECK_DIAG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace symbol::check
+{
+
+/** Severity of a finding. */
+enum class Severity : std::uint8_t
+{
+    Note,    ///< report-only observation (dead code, redundant move)
+    Warning, ///< suspicious but not provably wrong
+    Error,   ///< the IR is ill-formed or provably miscompiled
+};
+
+/** Printable severity name ("note" / "warning" / "error"). */
+const char *severityName(Severity s);
+
+/** Stable diagnostic identifiers, one per distinct finding class. */
+enum class DiagId : std::uint8_t
+{
+    // Structural well-formedness, IntCode level.
+    IcMalformed,     ///< side tables inconsistent with the code
+    IcBadTarget,     ///< branch/jump target outside the program
+    IcBadRegister,   ///< register operand outside [0, numRegs)
+    IcFallsOffEnd,   ///< execution can fall off the end of the code
+    IcUnreachable,   ///< block unreachable from any entry point
+    // Structural well-formedness, BAM level.
+    BamBadLabel,     ///< label used but never defined / allocated
+    BamDupLabel,     ///< label defined more than once
+    BamBadOperand,   ///< operand kind does not fit the opcode
+    BamBadRegister,  ///< register operand outside [0, numRegs)
+    BamNoEntry,      ///< entry/fail label missing or undefined
+    // Def-before-use (reaching definitions).
+    IcUninitRead,    ///< read with no reaching definition on any path
+    IcMaybeUninit,   ///< temporary not defined on every path
+    // Tag-domain abstract interpretation.
+    TagBadJump,      ///< jmpi through a register that is never Cod
+    TagBadMemBase,   ///< ld/st base that can only hold a Fun word
+    TagDeadBranch,   ///< tag branch statically always or never taken
+    // Choice-point / environment balance (BAM level).
+    BamEnvUnderflow,    ///< deallocate with no live environment
+    BamChoiceUnderflow, ///< retry/trust with no live choice point
+    BamCutDead,         ///< cut where provably no choice point lives
+    BamUnbalancedJoin,  ///< env/cp depth differs across merging paths
+    // Liveness-based cleanliness (report-only).
+    IcDeadCode,      ///< side-effect-free result never used
+    IcRedundantMove, ///< move that re-establishes an existing copy
+};
+
+constexpr int kNumDiagIds = 21;
+
+/** Stable string id of @p id (e.g. "ic-uninit-read"). */
+const char *diagIdName(DiagId id);
+
+/** Default severity of @p id. */
+Severity diagIdSeverity(DiagId id);
+
+/** One finding, anchored to an IR location. */
+struct Diagnostic
+{
+    DiagId id = DiagId::IcMalformed;
+    Severity severity = Severity::Error;
+    /** Instruction index in the IR the analysis ran over (-1 when
+     *  the finding is about the whole module/program). */
+    int loc = -1;
+    /** True when loc indexes the BAM module, false for IntCode. */
+    bool bamLevel = false;
+    /** Provenance: originating BAM instruction of an IntCode
+     *  finding (-1 when unknown / not applicable). */
+    int bam = -1;
+    std::string message;
+
+    /** Render as "severity[id] ici@LOC (bam N): message". */
+    std::string str() const;
+};
+
+/** Aggregate result of one analyzer run over one workload. */
+class DiagnosticEngine
+{
+  public:
+    /** Findings recorded verbatim (discovery order, capped). */
+    static constexpr std::size_t kMaxRecorded = 200;
+
+    /** Record a finding with the id's default severity. */
+    void report(DiagId id, int loc, bool bamLevel, int bam,
+                std::string message);
+
+    /** Promote warnings to errors at report time (--Werror). */
+    void promoteWarnings(bool on) { werror_ = on; }
+
+    /** @name Totals (exact, never capped) */
+    /** @{ */
+    std::uint64_t errors() const { return errors_; }
+    std::uint64_t warnings() const { return warnings_; }
+    std::uint64_t notes() const { return notes_; }
+    std::uint64_t total() const
+    {
+        return errors_ + warnings_ + notes_;
+    }
+    /** Findings of one id. */
+    std::uint64_t count(DiagId id) const
+    {
+        return byId_[static_cast<std::size_t>(id)];
+    }
+    /** @} */
+
+    const std::vector<Diagnostic> &recorded() const { return diags_; }
+
+    bool ok() const { return errors_ == 0; }
+
+    /**
+     * Multi-line report: every recorded finding, then the per-id
+     * totals of ids that fired, then a one-line summary. Byte-stable
+     * for a fixed input — it is what the golden tests pin.
+     */
+    std::string str() const;
+
+    /** The one-line summary alone. */
+    std::string summary() const;
+
+  private:
+    std::vector<Diagnostic> diags_;
+    bool werror_ = false;
+    std::uint64_t errors_ = 0;
+    std::uint64_t warnings_ = 0;
+    std::uint64_t notes_ = 0;
+    std::array<std::uint64_t, kNumDiagIds> byId_{};
+};
+
+} // namespace symbol::check
+
+#endif // SYMBOL_CHECK_DIAG_HH

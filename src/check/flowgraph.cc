@@ -1,0 +1,68 @@
+#include "check/dataflow.hh"
+
+#include <algorithm>
+
+namespace symbol::check
+{
+
+FlowGraph
+FlowGraph::of(const intcode::Program &prog, const intcode::Cfg &cfg)
+{
+    FlowGraph g;
+    const std::size_t n = cfg.blocks.size();
+    g.succs.assign(n, {});
+    g.preds.assign(n, {});
+    g.entry = cfg.entryBlock;
+
+    // Every address-taken block is a potential Jmpi destination.
+    std::vector<int> taken;
+    for (std::size_t b = 0; b < n; ++b)
+        if (cfg.blocks[b].addressTaken)
+            taken.push_back(static_cast<int>(b));
+
+    for (std::size_t b = 0; b < n; ++b) {
+        const intcode::Block &blk = cfg.blocks[b];
+        g.succs[b] = blk.succs;
+        if (blk.last >= 0 &&
+            blk.last < static_cast<int>(prog.code.size()) &&
+            prog.code[static_cast<std::size_t>(blk.last)].op ==
+                intcode::IOp::Jmpi) {
+            for (int t : taken)
+                g.succs[b].push_back(t);
+        }
+        std::sort(g.succs[b].begin(), g.succs[b].end());
+        g.succs[b].erase(
+            std::unique(g.succs[b].begin(), g.succs[b].end()),
+            g.succs[b].end());
+    }
+    for (std::size_t b = 0; b < n; ++b)
+        for (int s : g.succs[b])
+            g.preds[static_cast<std::size_t>(s)].push_back(
+                static_cast<int>(b));
+
+    // Reachability from the real roots: the entry, plus every
+    // address-taken block (reachable via Jmpi from anywhere) and
+    // procedure entry (reachable via the dispatch tables).
+    g.reachable.assign(n, false);
+    std::vector<int> work;
+    auto root = [&](int b) {
+        if (b >= 0 && b < static_cast<int>(n) &&
+            !g.reachable[static_cast<std::size_t>(b)]) {
+            g.reachable[static_cast<std::size_t>(b)] = true;
+            work.push_back(b);
+        }
+    };
+    root(g.entry);
+    for (std::size_t b = 0; b < n; ++b)
+        if (cfg.blocks[b].addressTaken || cfg.blocks[b].procEntry)
+            root(static_cast<int>(b));
+    while (!work.empty()) {
+        int b = work.back();
+        work.pop_back();
+        for (int s : g.succs[static_cast<std::size_t>(b)])
+            root(s);
+    }
+    return g;
+}
+
+} // namespace symbol::check

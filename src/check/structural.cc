@@ -1,0 +1,271 @@
+/**
+ * @file
+ * Structural well-formedness checks over both IR levels, plus
+ * construction of the analyzable flow graph the dataflow passes run
+ * on. This pass runs first (silently when deselected): the dataflow
+ * passes assume resolvable labels, in-range branch targets and
+ * consistent side tables, and are skipped on broken IR.
+ */
+
+#include "check/analyses.hh"
+
+#include "support/text.hh"
+
+namespace symbol::check
+{
+
+namespace
+{
+
+using bam::Op;
+using bam::Operand;
+using intcode::IInstr;
+using intcode::IOp;
+
+/** Reporter that stays silent when the pass is deselected, while
+ *  still tracking whether an error-class finding occurred. */
+struct Sink
+{
+    DiagnosticEngine *diag;
+    bool report;
+    bool sawError = false;
+
+    void
+    emit(DiagId id, int loc, bool bamLevel, int bam, std::string msg)
+    {
+        if (diagIdSeverity(id) == Severity::Error)
+            sawError = true;
+        if (report && diag)
+            diag->report(id, loc, bamLevel, bam, std::move(msg));
+    }
+};
+
+void
+validateBam(const bam::Module &m, Sink &s)
+{
+    auto bad = [&](DiagId id, int loc, std::string msg) {
+        s.emit(id, loc, true, -1, std::move(msg));
+    };
+
+    // Label definition census.
+    std::vector<int> defs(static_cast<std::size_t>(
+                              m.numLabels > 0 ? m.numLabels : 0),
+                          0);
+    for (std::size_t k = 0; k < m.code.size(); ++k) {
+        const bam::Instr &i = m.code[k];
+        if (i.op != Op::Label && i.op != Op::Procedure)
+            continue;
+        int lab = i.labs[0];
+        if (lab < 0 || lab >= m.numLabels) {
+            bad(DiagId::BamBadLabel, static_cast<int>(k),
+                strprintf("label definition L%d never allocated",
+                          lab));
+            continue;
+        }
+        if (++defs[static_cast<std::size_t>(lab)] > 1)
+            bad(DiagId::BamDupLabel, static_cast<int>(k),
+                strprintf("label L%d defined more than once", lab));
+    }
+
+    auto checkUse = [&](int idx, int lab) {
+        if (lab < 0 || lab >= m.numLabels)
+            bad(DiagId::BamBadLabel, idx,
+                strprintf("label L%d never allocated", lab));
+        else if (defs[static_cast<std::size_t>(lab)] == 0)
+            bad(DiagId::BamBadLabel, idx,
+                strprintf("label L%d used but never defined", lab));
+    };
+    auto checkReg = [&](int idx, const Operand &o) {
+        if (o.isReg() && (o.reg < 0 || o.reg >= m.numRegs))
+            bad(DiagId::BamBadRegister, idx,
+                strprintf("register r%d outside [0, %d)", o.reg,
+                          m.numRegs));
+    };
+    auto needReg = [&](int idx, const Operand &o, const char *role) {
+        if (!o.isReg())
+            bad(DiagId::BamBadOperand, idx,
+                strprintf("%s operand must be a register", role));
+    };
+    auto needVal = [&](int idx, const Operand &o, const char *role) {
+        if (!o.isReg() && !o.isImm())
+            bad(DiagId::BamBadOperand, idx,
+                strprintf("%s operand must be a register or "
+                          "immediate",
+                          role));
+    };
+
+    for (std::size_t k = 0; k < m.code.size(); ++k) {
+        const bam::Instr &i = m.code[k];
+        int idx = static_cast<int>(k);
+        checkReg(idx, i.a);
+        checkReg(idx, i.b);
+        checkReg(idx, i.c);
+        switch (i.op) {
+          case Op::Jump:
+          case Op::Call:
+          case Op::Try:
+          case Op::Retry:
+            checkUse(idx, i.labs[0]);
+            break;
+          case Op::TestTag:
+          case Op::CmpBranch:
+          case Op::EqualBranch:
+            checkUse(idx, i.labs[0]);
+            needVal(idx, i.a, "compared");
+            break;
+          case Op::SwitchTag:
+            for (int w = 0; w < bam::kSwitchWays; ++w)
+                checkUse(idx, i.labs[w]);
+            needReg(idx, i.a, "scrutinee");
+            break;
+          case Op::JumpInd:
+          case Op::Cut:
+          case Op::Trail:
+            needReg(idx, i.a, "source");
+            break;
+          case Op::Ld:
+            needReg(idx, i.a, "base");
+            needReg(idx, i.b, "destination");
+            break;
+          case Op::St:
+            needReg(idx, i.a, "base");
+            needVal(idx, i.b, "source");
+            break;
+          case Op::Bind:
+            needReg(idx, i.a, "cell");
+            needVal(idx, i.b, "value");
+            break;
+          case Op::Move:
+          case Op::Deref:
+          case Op::MkTag:
+          case Op::GetTag:
+            needVal(idx, i.a, "source");
+            needReg(idx, i.b, "destination");
+            break;
+          case Op::Arith:
+            needVal(idx, i.a, "first");
+            needVal(idx, i.b, "second");
+            needReg(idx, i.c, "destination");
+            break;
+          case Op::Out:
+            needVal(idx, i.a, "source");
+            break;
+          default:
+            break;
+        }
+    }
+
+    // The module-level entry points.
+    auto checkEntry = [&](int lab, const char *what) {
+        if (lab < 0 || lab >= m.numLabels ||
+            defs[static_cast<std::size_t>(lab)] == 0)
+            bad(DiagId::BamNoEntry, -1,
+                strprintf("%s label missing or undefined", what));
+    };
+    checkEntry(m.entryLabel, "entry ($start)");
+    checkEntry(m.failLabel, "fail ($fail)");
+}
+
+void
+validateIc(const intcode::Program &p, Sink &s)
+{
+    auto bad = [&](DiagId id, int loc, std::string msg) {
+        s.emit(id, loc, false,
+               loc >= 0 &&
+                       loc < static_cast<int>(p.code.size())
+                   ? p.code[static_cast<std::size_t>(loc)].bam
+                   : -1,
+               std::move(msg));
+    };
+
+    const int n = static_cast<int>(p.code.size());
+    if (n == 0) {
+        bad(DiagId::IcMalformed, -1, "empty program");
+        return;
+    }
+    if (p.addressTaken.size() != p.code.size() ||
+        p.procEntry.size() != p.code.size()) {
+        bad(DiagId::IcMalformed, -1,
+            strprintf("side tables sized %d/%d for %d instructions",
+                      static_cast<int>(p.addressTaken.size()),
+                      static_cast<int>(p.procEntry.size()), n));
+        return;
+    }
+    if (p.entry < 0 || p.entry >= n)
+        bad(DiagId::IcMalformed, -1,
+            strprintf("entry %d outside [0, %d)", p.entry, n));
+
+    for (int k = 0; k < n; ++k) {
+        const IInstr &i = p.code[static_cast<std::size_t>(k)];
+        // Branch / jump targets.
+        if ((intcode::isCondBranch(i.op) || i.op == IOp::Jmp) &&
+            (i.target < 0 || i.target >= n))
+            bad(DiagId::IcBadTarget, k,
+                strprintf("target %d outside [0, %d)", i.target, n));
+        // Register operands actually read / written.
+        int d = intcode::defReg(i);
+        if (d >= 0 && d >= p.numRegs)
+            bad(DiagId::IcBadRegister, k,
+                strprintf("destination r%d outside [0, %d)", d,
+                          p.numRegs));
+        int uses[2];
+        int nu = 0;
+        intcode::useRegs(i, uses, nu);
+        for (int u = 0; u < nu; ++u)
+            if (uses[u] >= p.numRegs)
+                bad(DiagId::IcBadRegister, k,
+                    strprintf("source r%d outside [0, %d)", uses[u],
+                              p.numRegs));
+        // Provenance must stay inside the BAM opcode table.
+        if (i.bam >= static_cast<int>(p.bamOps.size()))
+            bad(DiagId::IcMalformed, k,
+                strprintf("provenance bam %d outside the %d-entry "
+                          "opcode table",
+                          i.bam, static_cast<int>(p.bamOps.size())));
+    }
+
+    // Execution must not run off the end: the final instruction has
+    // to be an unconditional transfer (a conditional branch can fall
+    // through past it).
+    IOp lastOp = p.code[static_cast<std::size_t>(n - 1)].op;
+    if (lastOp != IOp::Jmp && lastOp != IOp::Jmpi &&
+        lastOp != IOp::Halt)
+        bad(DiagId::IcFallsOffEnd, n - 1,
+            "execution can fall off the end of the code");
+}
+
+} // namespace
+
+void
+runStructural(CheckCtx &ctx, bool report)
+{
+    Sink bamSink{ctx.diag, report};
+    validateBam(*ctx.module, bamSink);
+    ctx.bamOk = !bamSink.sawError;
+
+    Sink icSink{ctx.diag, report};
+    validateIc(*ctx.prog, icSink);
+    ctx.icOk = !icSink.sawError;
+
+    if (!ctx.icOk)
+        return;
+    // The IR is sound enough to build the analyzable graph the
+    // dataflow passes share.
+    ctx.cfg = intcode::Cfg::build(*ctx.prog);
+    ctx.fg = FlowGraph::of(*ctx.prog, ctx.cfg);
+    if (!report || !ctx.diag)
+        return;
+    for (std::size_t b = 0; b < ctx.fg.size(); ++b) {
+        if (ctx.fg.reachable[b])
+            continue;
+        int first = ctx.cfg.blocks[b].first;
+        ctx.diag->report(
+            DiagId::IcUnreachable, first, false,
+            ctx.prog->code[static_cast<std::size_t>(first)].bam,
+            strprintf("block of %d instruction(s) unreachable from "
+                      "any entry point",
+                      ctx.cfg.blocks[b].size()));
+    }
+}
+
+} // namespace symbol::check

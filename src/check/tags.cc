@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tag-domain abstract interpretation over the ICI programs.
+ *
+ * Abstract value: one bit per Tag (7 bits) per virtual register —
+ * the set of tags the register can carry at that point. Joins are
+ * bitwise union; tag branches refine the value along their outgoing
+ * edges (after `btageq r, Lst -> L` the register is known to be Lst
+ * on the taken edge and known not-Lst on the fallthrough), which is
+ * what gives the analysis its precision on the paper's tag-dispatch
+ * code.
+ *
+ * Findings:
+ *  - tag-bad-jump (error): jmpi through a register whose tag set
+ *    excludes Cod — the jump can never target code.
+ *  - tag-bad-mem-base (warning): ld/st base register that can only
+ *    hold a Fun word; functor headers are never addresses.
+ *  - tag-dead-branch (note): a tag branch statically always or never
+ *    taken. Legitimate in compiled dispatch chains, so report-only.
+ */
+
+#include "check/analyses.hh"
+
+#include "support/text.hh"
+
+namespace symbol::check
+{
+
+namespace
+{
+
+using intcode::IInstr;
+using intcode::IOp;
+
+/** All seven architectural tags. */
+constexpr unsigned kAnyTag = (1u << bam::kNumTags) - 1;
+
+constexpr unsigned
+tagBit(bam::Tag t)
+{
+    return 1u << static_cast<unsigned>(t);
+}
+
+/** Apply one instruction's effect on the per-register tag sets. */
+void
+applyTags(const IInstr &i, std::vector<std::uint8_t> &v)
+{
+    switch (i.op) {
+      case IOp::Ld:
+        // Memory contents are unknown.
+        v[static_cast<std::size_t>(i.rd)] = kAnyTag;
+        break;
+      case IOp::Add: case IOp::Sub: case IOp::Mul: case IOp::Div:
+      case IOp::Mod: case IOp::And: case IOp::Or: case IOp::Xor:
+      case IOp::Sll: case IOp::Sra:
+      case IOp::GetTag:
+        v[static_cast<std::size_t>(i.rd)] = tagBit(bam::Tag::Int);
+        break;
+      case IOp::Mov:
+        v[static_cast<std::size_t>(i.rd)] =
+            v[static_cast<std::size_t>(i.ra)];
+        break;
+      case IOp::Movi:
+        v[static_cast<std::size_t>(i.rd)] =
+            static_cast<std::uint8_t>(
+                1u << static_cast<unsigned>(bam::wordTag(i.imm)));
+        break;
+      case IOp::MkTag:
+        v[static_cast<std::size_t>(i.rd)] =
+            static_cast<std::uint8_t>(tagBit(i.tag));
+        break;
+      default:
+        break;
+    }
+}
+
+struct TagLattice
+{
+    using Value = std::vector<std::uint8_t>;
+
+    const intcode::Program *prog;
+    const intcode::Cfg *cfg;
+
+    Value
+    init() const
+    {
+        return Value(static_cast<std::size_t>(prog->numRegs), 0);
+    }
+
+    Value
+    boundary() const
+    {
+        // The machine zero-initializes the register file: word 0 is
+        // <Ref, 0>.
+        return Value(static_cast<std::size_t>(prog->numRegs),
+                     tagBit(bam::Tag::Ref));
+    }
+
+    bool
+    join(Value &into, const Value &from) const
+    {
+        bool c = false;
+        for (std::size_t k = 0; k < into.size(); ++k) {
+            std::uint8_t v = into[k] | from[k];
+            if (v != into[k]) {
+                into[k] = v;
+                c = true;
+            }
+        }
+        return c;
+    }
+
+    Value
+    transfer(int block, const Value &in) const
+    {
+        Value v = in;
+        const intcode::Block &b =
+            cfg->blocks[static_cast<std::size_t>(block)];
+        for (int k = b.first; k <= b.last; ++k)
+            applyTags(prog->code[static_cast<std::size_t>(k)], v);
+        return v;
+    }
+
+    void
+    refineEdge(int from, int to, Value &v) const
+    {
+        const intcode::Block &b =
+            cfg->blocks[static_cast<std::size_t>(from)];
+        const IInstr &t =
+            prog->code[static_cast<std::size_t>(b.last)];
+        if (t.op != IOp::BtagEq && t.op != IOp::BtagNe)
+            return;
+        int takenBlock =
+            cfg->blockOf[static_cast<std::size_t>(t.target)];
+        int fallBlock =
+            b.last + 1 < static_cast<int>(prog->code.size())
+                ? cfg->blockOf[static_cast<std::size_t>(b.last + 1)]
+                : -1;
+        if (takenBlock == fallBlock)
+            return;
+        // On the edge where tag(ra) == t.tag holds, narrow to that
+        // tag; on the other, remove it.
+        bool eqEdge = t.op == IOp::BtagEq ? to == takenBlock
+                                          : to == fallBlock;
+        std::uint8_t mask = static_cast<std::uint8_t>(
+            eqEdge ? tagBit(t.tag) : kAnyTag & ~tagBit(t.tag));
+        v[static_cast<std::size_t>(t.ra)] &= mask;
+    }
+};
+
+} // namespace
+
+void
+runTags(CheckCtx &ctx)
+{
+    if (!ctx.icOk)
+        return;
+    const intcode::Program &p = *ctx.prog;
+    TagLattice lat{&p, &ctx.cfg};
+    auto r = solve(ctx.fg, lat, /*forward=*/true);
+
+    for (std::size_t b = 0; b < ctx.fg.size(); ++b) {
+        if (!ctx.fg.reachable[b])
+            continue;
+        std::vector<std::uint8_t> cur = r.in[b];
+        const intcode::Block &blk = ctx.cfg.blocks[b];
+        for (int k = blk.first; k <= blk.last; ++k) {
+            const IInstr &i = p.code[static_cast<std::size_t>(k)];
+            auto tags = [&](int reg) {
+                return cur[static_cast<std::size_t>(reg)];
+            };
+            switch (i.op) {
+              case IOp::Jmpi:
+                if (tags(i.ra) &&
+                    !(tags(i.ra) & tagBit(bam::Tag::Cod)))
+                    ctx.diag->report(
+                        DiagId::TagBadJump, k, false, i.bam,
+                        strprintf("jmpi through r%d, which can "
+                                  "never hold a Cod word",
+                                  i.ra));
+                break;
+              case IOp::Ld:
+              case IOp::St:
+                if (tags(i.ra) == tagBit(bam::Tag::Fun))
+                    ctx.diag->report(
+                        DiagId::TagBadMemBase, k, false, i.bam,
+                        strprintf("memory base r%d can only hold a "
+                                  "Fun word, never an address",
+                                  i.ra));
+                break;
+              case IOp::BtagEq:
+              case IOp::BtagNe:
+                if (tags(i.ra)) {
+                    bool never = !(tags(i.ra) & tagBit(i.tag));
+                    bool always = tags(i.ra) == tagBit(i.tag);
+                    if (i.op == IOp::BtagNe)
+                        std::swap(never, always);
+                    if (never || always)
+                        ctx.diag->report(
+                            DiagId::TagDeadBranch, k, false, i.bam,
+                            strprintf("tag branch on r%d statically "
+                                      "%s taken",
+                                      i.ra, never ? "never"
+                                                  : "always"));
+                }
+                break;
+              default:
+                break;
+            }
+            applyTags(i, cur);
+        }
+    }
+}
+
+} // namespace symbol::check

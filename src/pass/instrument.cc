@@ -23,9 +23,14 @@ PassInstrumentation::pipelineOrder()
     // the back half once per (workload × machine config) evaluation.
     // "seq-latency" is the §5.3 same-duration sequential re-emulation
     // triggered by non-default latency configs.
+    // The check-* passes are the static IR analyzer (src/check,
+    // DESIGN.md §11); they run right after the front half produced
+    // both IR levels, when --analyze / SYMBOL_ANALYZE requests them.
     static const std::vector<std::string> kOrder = {
         "parse",          "normalize", "bam-compile", "intcode",
-        "cfg",            "profile",   "seq-latency", "sched.traces",
+        "cfg",            "profile",   "check-structural",
+        "check-definit",  "check-tags", "check-balance",
+        "check-deadcode", "seq-latency", "sched.traces",
         "sched.ddg",      "sched.schedule", "sched.emit",
         "verify",         "simulate",
     };

@@ -5,18 +5,6 @@
 namespace symbol::serialize
 {
 
-std::uint64_t
-fnv1a(const void *data, std::size_t n, std::uint64_t seed)
-{
-    const unsigned char *p = static_cast<const unsigned char *>(data);
-    std::uint64_t h = seed;
-    for (std::size_t i = 0; i < n; ++i) {
-        h ^= p[i];
-        h *= 1099511628211ull;
-    }
-    return h;
-}
-
 void
 Writer::fixed32(std::uint32_t v)
 {

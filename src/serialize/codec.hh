@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "support/fnv.hh"
+
 namespace symbol::serialize
 {
 
@@ -39,9 +41,9 @@ class DecodeError : public std::runtime_error
     }
 };
 
-/** FNV-1a 64-bit hash over @p n bytes, continuing from @p seed. */
-std::uint64_t fnv1a(const void *data, std::size_t n,
-                    std::uint64_t seed = 14695981039346656037ull);
+/** The serializer's checksum function is the shared support helper
+ *  (one FNV-1a implementation for the whole toolchain). */
+using support::fnv1a;
 
 /** Append-only encoder. */
 class Writer

@@ -1,6 +1,8 @@
 #include "suite/cache.hh"
 
 #include "suite/store.hh"
+#include "support/diagnostics.hh"
+#include "support/fnv.hh"
 #include "support/text.hh"
 
 namespace symbol::suite
@@ -9,12 +11,7 @@ namespace symbol::suite
 std::uint64_t
 WorkloadCache::contentHash(const std::string &text)
 {
-    std::uint64_t h = 14695981039346656037ull; // FNV offset basis
-    for (unsigned char c : text) {
-        h ^= c;
-        h *= 1099511628211ull; // FNV prime
-    }
-    return h;
+    return support::fnv1a(text);
 }
 
 std::string
@@ -70,18 +67,28 @@ WorkloadCache::get(const Benchmark &bench, const WorkloadOptions &opts,
                 try {
                     w = std::make_unique<Workload>(
                         entry->bench, opts, std::move(snap));
+                    if (analyze_)
+                        w->runAnalyses(analyzeOpts_);
                     if (origin)
                         *origin = WorkloadOrigin::Disk;
                     std::lock_guard<std::mutex> lk(mu_);
                     ++stats_.diskLoads;
+                } catch (const ViolationError &) {
+                    // A checksum-valid bundle that fails analysis is
+                    // semantically corrupt: surface the violation
+                    // instead of papering over it with a rebuild.
+                    w.reset();
+                    err = std::current_exception();
                 } catch (...) {
                     w.reset();
                 }
             }
         }
-        if (!w) {
+        if (!w && !err) {
             try {
                 w = std::make_unique<Workload>(entry->bench, opts);
+                if (analyze_)
+                    w->runAnalyses(analyzeOpts_);
                 if (store_)
                     store_->storeWorkload(key, *w);
             } catch (...) {

@@ -82,6 +82,21 @@ class WorkloadCache
     void setVerify(bool on) { verify_ = on; }
 
     /**
+     * Run the static IR analyzer over every Workload this cache
+     * builds or restores (see Workload::runAnalyses). A
+     * store-deserialized bundle that fails analysis raises the
+     * ViolationError instead of silently degrading to a rebuild —
+     * SYMBOL_ANALYZE is a debug sweep, like SYMBOL_VERIFY for
+     * schedules. Call before the first get().
+     */
+    void
+    setAnalyze(bool on, const check::AnalyzeOptions &aopts = {})
+    {
+        analyze_ = on;
+        analyzeOpts_ = aopts;
+    }
+
+    /**
      * The Workload for (@p bench, @p opts), building it on first
      * request. The reference stays valid for the cache's lifetime.
      * Thread-safe; rethrows the original build error on every
@@ -120,6 +135,8 @@ class WorkloadCache
     CacheStats stats_;
     ArtifactStore *store_ = nullptr;
     bool verify_ = false;
+    bool analyze_ = false;
+    check::AnalyzeOptions analyzeOpts_;
 };
 
 } // namespace symbol::suite

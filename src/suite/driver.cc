@@ -71,10 +71,14 @@ EvalDriver::EvalDriver(const DriverOptions &opts)
         if (const char *env = std::getenv("SYMBOL_VERIFY"))
             opts_.verifySchedules = *env != '\0' &&
                                     std::string(env) != "0";
+    if (!opts_.analyze)
+        if (const char *env = std::getenv("SYMBOL_ANALYZE"))
+            opts_.analyze = *env != '\0' && std::string(env) != "0";
     if (!opts_.quiet)
         if (const char *env = std::getenv("SYMBOL_QUIET"))
             opts_.quiet = *env != '\0' && std::string(env) != "0";
     cache_.setVerify(opts_.verifySchedules);
+    cache_.setAnalyze(opts_.analyze, opts_.analyzeOpts);
     std::string dir = opts.cacheDir;
     if (dir.empty())
         if (const char *env = std::getenv("SYMBOL_CACHE_DIR"))
@@ -138,6 +142,8 @@ EvalDriver::fresh(const Benchmark &bench, const WorkloadOptions &opts)
     auto b = std::make_unique<Benchmark>(bench);
     auto w = std::make_unique<Workload>(*b, opts);
     w->setVerifySchedules(opts_.verifySchedules);
+    if (opts_.analyze)
+        w->runAnalyses(opts_.analyzeOpts);
     std::lock_guard<std::mutex> lk(mu_);
     ++stats_.workloadsBuilt;
     freshBenches_.push_back(std::move(b));

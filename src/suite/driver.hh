@@ -57,6 +57,16 @@ struct DriverOptions
      */
     bool verifySchedules = false;
     /**
+     * Debug flag: run the static IR analyzer (src/check) over every
+     * workload this driver builds or restores from the store; any
+     * error-severity diagnostic fails the run with the full report
+     * (a ViolationError). Also enabled by a non-empty, non-"0"
+     * SYMBOL_ANALYZE environment variable.
+     */
+    bool analyze = false;
+    /** Analyzer configuration (pass selection, --Werror). */
+    check::AnalyzeOptions analyzeOpts;
+    /**
      * Suppress the "[driver] ..." stderr summary (reportStats()
      * becomes a no-op except for an explicit --time-passes report).
      * Also enabled by a non-empty, non-"0" SYMBOL_QUIET environment

@@ -285,6 +285,19 @@ Workload::seqCyclesFor(const machine::MachineConfig &config) const
     return cycles;
 }
 
+const check::DiagnosticEngine &
+Workload::runAnalyses(const check::AnalyzeOptions &aopts)
+{
+    analysis_ = std::make_unique<check::DiagnosticEngine>(
+        check::analyze(*module_, *ici_, aopts, instr_));
+    if (!analysis_->ok())
+        throw ViolationError(
+            bench_->name + ": static analysis found " +
+            std::to_string(analysis_->errors()) +
+            " error(s)\n" + analysis_->str());
+    return *analysis_;
+}
+
 std::uint64_t
 Workload::bamCycles() const
 {
@@ -340,7 +353,7 @@ Workload::verifyCode(const vliw::Code &code,
 {
     verify::Report rep = verify::checkSchedule(code, *ici_, config);
     if (!rep.ok())
-        throw RuntimeError(bench_->name + " (" + config.name + ", " +
+        throw ViolationError(bench_->name + " (" + config.name + ", " +
                            origin +
                            "): schedule fails verification\n" +
                            rep.str());

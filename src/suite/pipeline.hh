@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "bamc/compiler.hh"
+#include "check/check.hh"
 #include "emul/machine.hh"
 #include "intcode/cfg.hh"
 #include "intcode/translate.hh"
@@ -141,11 +142,29 @@ class Workload
      * Debug mode: run the independent schedule verifier
      * (verify::checkSchedule) over every schedule runVliw() is about
      * to simulate — both freshly compacted code and code deserialized
-     * from the artefact store — and throw RuntimeError with the full
-     * violation report if any check fails.
+     * from the artefact store — and throw ViolationError with the
+     * full violation report if any check fails.
      */
     void setVerifySchedules(bool on) { verifySchedules_ = on; }
     bool verifySchedules() const { return verifySchedules_; }
+
+    /**
+     * Run the static IR analyzer (check::analyze, DESIGN.md §11)
+     * over the BAM module and the IntCode program — they may be
+     * freshly built or restored from the artefact store; a restored
+     * bundle is re-checked exactly like a fresh one. Records under
+     * the check-* pass names, keeps the result for analysis(), and
+     * throws ViolationError with the full report when any
+     * error-severity diagnostic fires.
+     */
+    const check::DiagnosticEngine &
+    runAnalyses(const check::AnalyzeOptions &aopts = {});
+
+    /** Result of the last runAnalyses() (null before the first). */
+    const check::DiagnosticEngine *analysis() const
+    {
+        return analysis_.get();
+    }
 
     /**
      * Compact for @p config and simulate. Throws RuntimeError if the
@@ -187,6 +206,8 @@ class Workload
     std::string storeKey_;
     /** Statically verify every schedule before simulating it. */
     bool verifySchedules_ = false;
+    /** Result of the last runAnalyses() call. */
+    std::unique_ptr<check::DiagnosticEngine> analysis_;
     /** Guards seqCache_: one Workload is shared by many concurrent
      *  runVliw() tasks under the parallel evaluation driver. */
     mutable std::mutex seqMu_;

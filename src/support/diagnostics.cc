@@ -30,6 +30,11 @@ RuntimeError::RuntimeError(const std::string &msg)
 {
 }
 
+ViolationError::ViolationError(const std::string &msg)
+    : RuntimeError(msg)
+{
+}
+
 void
 panic(const std::string &msg)
 {

@@ -45,6 +45,19 @@ class RuntimeError : public std::runtime_error
 };
 
 /**
+ * Raised when a checking tool (the static IR analyzer of src/check,
+ * the independent schedule verifier of src/verify) finds violations
+ * in otherwise-processable input. Drivers distinguish it from plain
+ * input/runtime failures: symbolc exits 2 for violations, 1 for
+ * everything else that goes wrong.
+ */
+class ViolationError : public RuntimeError
+{
+  public:
+    explicit ViolationError(const std::string &msg);
+};
+
+/**
  * Abort with a message; used for violated internal invariants only.
  * Never returns.
  */

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The toolchain's one FNV-1a implementation.
+ *
+ * FNV-1a 64-bit is used for every content hash in the toolchain: the
+ * workload-cache content keys, the artefact-store file names and the
+ * container section checksums. It used to be implemented three times
+ * (suite/cache.cc, serialize/codec.cc and inline in the store); this
+ * header is now the single definition everyone shares, with the
+ * constants exposed so tests can pin the exact function.
+ */
+
+#ifndef SYMBOL_SUPPORT_FNV_HH
+#define SYMBOL_SUPPORT_FNV_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace symbol::support
+{
+
+/** FNV-1a 64-bit offset basis (the hash of the empty string). */
+constexpr std::uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+
+/** FNV-1a 64-bit prime. */
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+/**
+ * FNV-1a 64-bit hash over @p n bytes, continuing from @p seed.
+ * Chaining property: fnv1a(b, fnv1a(a)) == fnv1a(a + b).
+ */
+inline std::uint64_t
+fnv1a(const void *data, std::size_t n,
+      std::uint64_t seed = kFnvOffsetBasis)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t k = 0; k < n; ++k) {
+        h ^= p[k];
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+/** FNV-1a 64-bit hash of a string. */
+inline std::uint64_t
+fnv1a(std::string_view s, std::uint64_t seed = kFnvOffsetBasis)
+{
+    return fnv1a(s.data(), s.size(), seed);
+}
+
+} // namespace symbol::support
+
+#endif // SYMBOL_SUPPORT_FNV_HH

@@ -6,10 +6,13 @@
 #
 # Usage:
 #   cmake -DBIN=<binary> -DGOLDEN=<ref file> -DOUT=<scratch file>
-#         -P golden_check.cmake
+#         [-DARGS="--flag1;--flag2"] -P golden_check.cmake
 
 set(ENV{SYMBOL_QUIET} 1)
-execute_process(COMMAND ${BIN}
+if(DEFINED ARGS)
+    separate_arguments(ARGS)
+endif()
+execute_process(COMMAND ${BIN} ${ARGS}
                 OUTPUT_FILE ${OUT}
                 RESULT_VARIABLE run_rc)
 if(NOT run_rc EQUAL 0)

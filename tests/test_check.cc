@@ -1,0 +1,789 @@
+/**
+ * @file
+ * Static IR analyzer tests: every diagnostic id fires at least once
+ * on a hand-built ill-formed module, clean compiler output stays
+ * error-free, pass selection and --Werror behave, reports are
+ * byte-identical across driver job counts, and a bit-flipped (but
+ * checksum-valid) store bundle is caught by the analyzer on restore.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "bam/instr.hh"
+#include "bam/word.hh"
+#include "check/check.hh"
+#include "intcode/serialize.hh"
+#include "intcode/translate.hh"
+#include "serialize/container.hh"
+#include "suite/driver.hh"
+#include "support/diagnostics.hh"
+#include "support/text.hh"
+
+using namespace symbol;
+using bam::Op;
+using bam::Operand;
+using bam::Tag;
+using check::DiagId;
+using intcode::IInstr;
+using intcode::IOp;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Well-formed skeleton: $start procedure, later a halt + $fail. */
+struct Mod
+{
+    Interner in;
+    bam::Module m{in};
+    int entry;
+    int fail;
+
+    Mod()
+    {
+        entry = m.newLabel();
+        fail = m.newLabel();
+        m.entryLabel = entry;
+        m.failLabel = fail;
+        bam::Instr p;
+        p.op = Op::Procedure;
+        p.labs[0] = entry;
+        m.emit(p);
+    }
+
+    void
+    push(bam::Instr i)
+    {
+        m.emit(i);
+    }
+
+    void
+    finish()
+    {
+        bam::Instr h;
+        h.op = Op::Halt;
+        m.emit(h);
+        bam::Instr lf;
+        lf.op = Op::Label;
+        lf.labs[0] = fail;
+        m.emit(lf);
+        bam::Instr h2;
+        h2.op = Op::Halt;
+        m.emit(h2);
+    }
+};
+
+/** A hand-built ICI program with consistent side tables. */
+intcode::Program
+icProgram(std::vector<IInstr> code, int numRegs)
+{
+    intcode::Program p;
+    p.code = std::move(code);
+    p.entry = 0;
+    p.numRegs = numRegs;
+    p.addressTaken.assign(p.code.size(), false);
+    p.procEntry.assign(p.code.size(), false);
+    return p;
+}
+
+IInstr
+ic(IOp op)
+{
+    IInstr i;
+    i.op = op;
+    return i;
+}
+
+IInstr
+icHalt()
+{
+    return ic(IOp::Halt);
+}
+
+IInstr
+icMov(int rd, int ra)
+{
+    IInstr i = ic(IOp::Mov);
+    i.rd = rd;
+    i.ra = ra;
+    return i;
+}
+
+IInstr
+icMovi(int rd, Tag t, std::int64_t v)
+{
+    IInstr i = ic(IOp::Movi);
+    i.rd = rd;
+    i.useImm = true;
+    i.imm = bam::makeWord(t, v);
+    return i;
+}
+
+IInstr
+icJmp(int target)
+{
+    IInstr i = ic(IOp::Jmp);
+    i.target = target;
+    return i;
+}
+
+IInstr
+icJmpi(int ra)
+{
+    IInstr i = ic(IOp::Jmpi);
+    i.ra = ra;
+    return i;
+}
+
+IInstr
+icBtagEq(int ra, Tag t, int target)
+{
+    IInstr i = ic(IOp::BtagEq);
+    i.ra = ra;
+    i.tag = t;
+    i.target = target;
+    return i;
+}
+
+IInstr
+icLd(int rd, int ra)
+{
+    IInstr i = ic(IOp::Ld);
+    i.rd = rd;
+    i.ra = ra;
+    return i;
+}
+
+IInstr
+icOut(int rb)
+{
+    IInstr i = ic(IOp::Out);
+    i.rb = rb;
+    return i;
+}
+
+/** A trivially valid counterpart for single-IR-level tests. */
+intcode::Program
+trivialIc()
+{
+    return icProgram({icHalt()}, 1);
+}
+
+bam::Module &
+trivialBam()
+{
+    static Mod b = [] {
+        Mod x;
+        x.finish();
+        return x;
+    }();
+    return b.m;
+}
+
+/** First temporary register (the def-init pass only flags temps). */
+const int kT = bam::Regs::kT0;
+
+} // namespace
+
+// ---------------------------------------------------------------
+// Structural diagnostics, IntCode level.
+
+TEST(CheckStructural, EmptyProgramIsMalformed)
+{
+    auto d = check::analyze(trivialBam(), icProgram({}, 0));
+    EXPECT_GE(d.count(DiagId::IcMalformed), 1u);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(CheckStructural, InconsistentSideTablesAreMalformed)
+{
+    intcode::Program p = trivialIc();
+    p.addressTaken.clear();
+    auto d = check::analyze(trivialBam(), p);
+    EXPECT_GE(d.count(DiagId::IcMalformed), 1u);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(CheckStructural, EntryOutOfRangeIsMalformed)
+{
+    intcode::Program p = trivialIc();
+    p.entry = 5;
+    auto d = check::analyze(trivialBam(), p);
+    EXPECT_GE(d.count(DiagId::IcMalformed), 1u);
+}
+
+TEST(CheckStructural, BranchTargetOutsideProgram)
+{
+    auto d = check::analyze(trivialBam(), icProgram({icJmp(9)}, 1));
+    EXPECT_EQ(d.count(DiagId::IcBadTarget), 1u);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(CheckStructural, RegisterOutsideRegisterFile)
+{
+    auto d = check::analyze(trivialBam(),
+                            icProgram({icMov(5, 3), icHalt()}, 2));
+    // Both the destination and the source are out of range.
+    EXPECT_EQ(d.count(DiagId::IcBadRegister), 2u);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(CheckStructural, FallsOffEndWithoutTerminator)
+{
+    auto d =
+        check::analyze(trivialBam(), icProgram({icMov(1, 0)}, 2));
+    EXPECT_EQ(d.count(DiagId::IcFallsOffEnd), 1u);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(CheckStructural, UnreachableBlockIsAWarning)
+{
+    auto d = check::analyze(
+        trivialBam(),
+        icProgram({icJmp(2), icHalt(), icHalt()}, 1));
+    EXPECT_EQ(d.count(DiagId::IcUnreachable), 1u);
+    EXPECT_TRUE(d.ok()); // warning only
+    EXPECT_EQ(d.warnings(), 1u);
+}
+
+// ---------------------------------------------------------------
+// Structural diagnostics, BAM level.
+
+TEST(CheckStructural, BamLabelUsedButNeverDefined)
+{
+    Mod b;
+    bam::Instr j;
+    j.op = Op::Jump;
+    j.labs[0] = b.m.newLabel(); // allocated, never defined
+    b.push(j);
+    b.finish();
+    auto d = check::analyze(b.m, trivialIc());
+    EXPECT_EQ(d.count(DiagId::BamBadLabel), 1u);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(CheckStructural, BamLabelNeverAllocated)
+{
+    Mod b;
+    bam::Instr j;
+    j.op = Op::Jump;
+    j.labs[0] = 99;
+    b.push(j);
+    b.finish();
+    auto d = check::analyze(b.m, trivialIc());
+    EXPECT_GE(d.count(DiagId::BamBadLabel), 1u);
+}
+
+TEST(CheckStructural, BamDuplicateLabelDefinition)
+{
+    Mod b;
+    int l = b.m.newLabel();
+    for (int k = 0; k < 2; ++k) {
+        bam::Instr lab;
+        lab.op = Op::Label;
+        lab.labs[0] = l;
+        b.push(lab);
+    }
+    b.finish();
+    auto d = check::analyze(b.m, trivialIc());
+    EXPECT_EQ(d.count(DiagId::BamDupLabel), 1u);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(CheckStructural, BamOperandKindMismatch)
+{
+    Mod b;
+    bam::Instr mv;
+    mv.op = Op::Move;
+    mv.a = Operand::mkImm(Tag::Int, 1);
+    // Destination left as None: Move needs a register there.
+    b.push(mv);
+    b.finish();
+    auto d = check::analyze(b.m, trivialIc());
+    EXPECT_EQ(d.count(DiagId::BamBadOperand), 1u);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(CheckStructural, BamRegisterOutsideModuleRange)
+{
+    Mod b;
+    bam::Instr mv;
+    mv.op = Op::Move;
+    mv.a = Operand::mkReg(3);
+    mv.b = Operand::mkReg(4);
+    b.push(mv);
+    b.finish();
+    b.m.numRegs = 2; // shrink below the registers referenced
+    auto d = check::analyze(b.m, trivialIc());
+    EXPECT_GE(d.count(DiagId::BamBadRegister), 1u);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(CheckStructural, BamMissingEntryPoints)
+{
+    Interner in;
+    bam::Module m{in};
+    m.entryLabel = m.newLabel(); // allocated, never defined
+    m.failLabel = m.newLabel();
+    bam::Instr h;
+    h.op = Op::Halt;
+    m.emit(h);
+    auto d = check::analyze(m, trivialIc());
+    EXPECT_EQ(d.count(DiagId::BamNoEntry), 2u); // entry and fail
+    EXPECT_FALSE(d.ok());
+}
+
+// ---------------------------------------------------------------
+// Def-before-use.
+
+TEST(CheckDefInit, UninitializedTemporaryReadIsAnError)
+{
+    auto d = check::analyze(
+        trivialBam(), icProgram({icMov(1, kT), icHalt()}, kT + 1));
+    EXPECT_EQ(d.count(DiagId::IcUninitRead), 1u);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(CheckDefInit, PartiallyInitializedTemporaryIsAWarning)
+{
+    // The branch skips the definition of the temporary.
+    auto d = check::analyze(
+        trivialBam(),
+        icProgram({icBtagEq(0, Tag::Ref, 2),
+                   icMovi(kT, Tag::Int, 5), icMov(1, kT), icHalt()},
+                  kT + 1));
+    EXPECT_EQ(d.count(DiagId::IcMaybeUninit), 1u);
+    EXPECT_EQ(d.count(DiagId::IcUninitRead), 0u);
+    EXPECT_TRUE(d.ok());
+}
+
+TEST(CheckDefInit, MachineRegistersAreNeverFlagged)
+{
+    // r0 is machine state: reads of it are environment-defined.
+    auto d = check::analyze(
+        trivialBam(), icProgram({icMov(1, 0), icHalt()}, 2));
+    EXPECT_EQ(d.count(DiagId::IcUninitRead), 0u);
+    EXPECT_EQ(d.count(DiagId::IcMaybeUninit), 0u);
+}
+
+// ---------------------------------------------------------------
+// Tag-domain abstract interpretation.
+
+TEST(CheckTags, JmpiThroughNonCodRegister)
+{
+    auto d = check::analyze(
+        trivialBam(),
+        icProgram({icMovi(kT, Tag::Int, 7), icJmpi(kT)}, kT + 1));
+    EXPECT_EQ(d.count(DiagId::TagBadJump), 1u);
+    EXPECT_FALSE(d.ok());
+}
+
+TEST(CheckTags, LoadThroughFunOnlyBase)
+{
+    auto d = check::analyze(
+        trivialBam(),
+        icProgram({icMovi(kT, Tag::Fun, 3), icLd(1, kT), icHalt()},
+                  kT + 1));
+    EXPECT_EQ(d.count(DiagId::TagBadMemBase), 1u);
+    EXPECT_TRUE(d.ok()); // warning only
+}
+
+TEST(CheckTags, StaticallyDecidedTagBranchIsANote)
+{
+    auto d = check::analyze(
+        trivialBam(),
+        icProgram({icMovi(kT, Tag::Atm, 1),
+                   icBtagEq(kT, Tag::Lst, 3), icHalt(), icHalt()},
+                  kT + 1));
+    EXPECT_EQ(d.count(DiagId::TagDeadBranch), 1u);
+    EXPECT_TRUE(d.ok()); // note only
+}
+
+TEST(CheckTags, BranchRefinementSilencesDominatedTest)
+{
+    // After btageq r,Lst the taken path knows tag(r) == Lst; a jmpi
+    // there must flag (Lst is not Cod), while the untested path
+    // joins to an unknown-enough set and stays quiet.
+    auto d = check::analyze(
+        trivialBam(),
+        icProgram({icLd(kT, 0), icBtagEq(kT, Tag::Lst, 3), icHalt(),
+                   icJmpi(kT)},
+                  kT + 1));
+    EXPECT_EQ(d.count(DiagId::TagBadJump), 1u);
+}
+
+// ---------------------------------------------------------------
+// Choice-point / environment balance.
+
+TEST(CheckBalance, DeallocateWithNoEnvironment)
+{
+    Mod b;
+    bam::Instr d;
+    d.op = Op::Deallocate;
+    b.push(d);
+    b.finish();
+    auto diag = check::analyze(b.m, trivialIc());
+    EXPECT_EQ(diag.count(DiagId::BamEnvUnderflow), 1u);
+    EXPECT_FALSE(diag.ok());
+}
+
+TEST(CheckBalance, BalancedAllocateDeallocateIsClean)
+{
+    Mod b;
+    bam::Instr a;
+    a.op = Op::Allocate;
+    a.off = 2;
+    b.push(a);
+    bam::Instr d;
+    d.op = Op::Deallocate;
+    b.push(d);
+    b.finish();
+    auto diag = check::analyze(b.m, trivialIc());
+    EXPECT_EQ(diag.count(DiagId::BamEnvUnderflow), 0u);
+}
+
+TEST(CheckBalance, TrustWithNoChoicePoint)
+{
+    Mod b;
+    bam::Instr t;
+    t.op = Op::Trust;
+    b.push(t);
+    b.finish();
+    auto diag = check::analyze(b.m, trivialIc());
+    EXPECT_EQ(diag.count(DiagId::BamChoiceUnderflow), 1u);
+    EXPECT_FALSE(diag.ok());
+}
+
+TEST(CheckBalance, RetryWithNoChoicePoint)
+{
+    Mod b;
+    int r = b.m.newLabel();
+    bam::Instr t;
+    t.op = Op::Retry;
+    t.labs[0] = r;
+    b.push(t);
+    b.finish();
+    bam::Instr lab;
+    lab.op = Op::Label;
+    lab.labs[0] = r;
+    b.push(lab);
+    bam::Instr h;
+    h.op = Op::Halt;
+    b.push(h);
+    auto diag = check::analyze(b.m, trivialIc());
+    EXPECT_EQ(diag.count(DiagId::BamChoiceUnderflow), 1u);
+}
+
+TEST(CheckBalance, CutWithProvablyNoChoicePoint)
+{
+    Mod b;
+    bam::Instr c;
+    c.op = Op::Cut;
+    c.a = Operand::mkReg(3);
+    b.push(c);
+    b.finish();
+    auto diag = check::analyze(b.m, trivialIc());
+    EXPECT_EQ(diag.count(DiagId::BamCutDead), 1u);
+    EXPECT_FALSE(diag.ok());
+}
+
+TEST(CheckBalance, UnbalancedJoinIsAWarning)
+{
+    // One path allocates an environment, the other does not; both
+    // merge at an ordinary label.
+    Mod b;
+    int l = b.m.newLabel();
+    bam::Instr t;
+    t.op = Op::TestTag;
+    t.cond = bam::Cond::Eq;
+    t.tag = Tag::Ref;
+    t.a = Operand::mkReg(3);
+    t.labs[0] = l;
+    b.push(t);
+    bam::Instr a;
+    a.op = Op::Allocate;
+    a.off = 1;
+    b.push(a);
+    bam::Instr lab;
+    lab.op = Op::Label;
+    lab.labs[0] = l;
+    b.push(lab);
+    b.finish();
+    auto diag = check::analyze(b.m, trivialIc());
+    EXPECT_EQ(diag.count(DiagId::BamUnbalancedJoin), 1u);
+    EXPECT_TRUE(diag.ok()); // warning only
+
+    // ... which --Werror promotes to a hard failure.
+    check::AnalyzeOptions w;
+    w.werror = true;
+    auto strict = check::analyze(b.m, trivialIc(), w);
+    EXPECT_FALSE(strict.ok());
+    EXPECT_GE(strict.errors(), 1u);
+}
+
+TEST(CheckBalance, ProcedureEntriesAreNotFlagged)
+{
+    // A procedure body deallocating an environment its caller set up
+    // must stay quiet: entry depth is Unknown, not 0.
+    Mod b;
+    int proc = b.m.newLabel();
+    b.finish();
+    bam::Instr p;
+    p.op = Op::Procedure;
+    p.labs[0] = proc;
+    b.push(p);
+    bam::Instr d;
+    d.op = Op::Deallocate;
+    b.push(d);
+    bam::Instr r;
+    r.op = Op::Return;
+    b.push(r);
+    auto diag = check::analyze(b.m, trivialIc());
+    EXPECT_EQ(diag.count(DiagId::BamEnvUnderflow), 0u);
+}
+
+// ---------------------------------------------------------------
+// Dead code / redundant moves (report-only).
+
+TEST(CheckDeadCode, OverwrittenPureResultIsDead)
+{
+    auto d = check::analyze(
+        trivialBam(),
+        icProgram({icMovi(kT, Tag::Int, 1), icMovi(kT, Tag::Int, 2),
+                   icOut(kT), icHalt()},
+                  kT + 1));
+    EXPECT_EQ(d.count(DiagId::IcDeadCode), 1u);
+    EXPECT_TRUE(d.ok()); // note only
+    EXPECT_EQ(d.errors(), 0u);
+}
+
+TEST(CheckDeadCode, RedundantCopyIsReported)
+{
+    auto d = check::analyze(
+        trivialBam(),
+        icProgram({icMov(1, 2), icMov(1, 2), icHalt()}, 3));
+    EXPECT_EQ(d.count(DiagId::IcRedundantMove), 1u);
+    EXPECT_TRUE(d.ok());
+}
+
+// ---------------------------------------------------------------
+// Framework behaviour.
+
+TEST(CheckAnalyze, CleanTranslationHasNoErrors)
+{
+    Mod b;
+    bam::Instr mv;
+    mv.op = Op::Move;
+    mv.a = Operand::mkImm(Tag::Int, 1);
+    mv.b = Operand::mkReg(3);
+    b.push(mv);
+    bam::Instr o;
+    o.op = Op::Out;
+    o.a = Operand::mkReg(3);
+    b.push(o);
+    b.finish();
+    auto p = intcode::translate(b.m);
+    auto d = check::analyze(b.m, p);
+    EXPECT_TRUE(d.ok()) << d.str();
+}
+
+TEST(CheckAnalyze, StructuralErrorsGateDataflowPasses)
+{
+    // A broken program must not reach the dataflow passes (which
+    // would build a CFG over it): only structural findings appear.
+    auto d = check::analyze(trivialBam(), icProgram({icJmp(9)}, 1));
+    EXPECT_FALSE(d.ok());
+    EXPECT_EQ(d.count(DiagId::IcUninitRead), 0u);
+    EXPECT_EQ(d.count(DiagId::IcDeadCode), 0u);
+}
+
+TEST(CheckAnalyze, PassSelectionSkipsDeselectedAnalyses)
+{
+    intcode::Program p =
+        icProgram({icBtagEq(0, Tag::Ref, 2), icMovi(kT, Tag::Int, 5),
+                   icMov(1, kT), icHalt()},
+                  kT + 1);
+    check::AnalyzeOptions only;
+    only.passes = check::checkPassBit(check::CheckPass::DeadCode);
+    auto d = check::analyze(trivialBam(), p, only);
+    EXPECT_EQ(d.count(DiagId::IcMaybeUninit), 0u);
+
+    check::AnalyzeOptions all;
+    auto full = check::analyze(trivialBam(), p, all);
+    EXPECT_EQ(full.count(DiagId::IcMaybeUninit), 1u);
+}
+
+TEST(CheckAnalyze, ParsePassList)
+{
+    EXPECT_EQ(check::parsePassList("structural,deadcode"),
+              check::checkPassBit(check::CheckPass::Structural) |
+                  check::checkPassBit(check::CheckPass::DeadCode));
+    EXPECT_EQ(check::parsePassList("balance"),
+              check::checkPassBit(check::CheckPass::Balance));
+    EXPECT_THROW(check::parsePassList("frobnicate"), CompileError);
+}
+
+TEST(CheckAnalyze, ReportIsDeterministic)
+{
+    intcode::Program p =
+        icProgram({icMovi(kT, Tag::Int, 1), icMovi(kT, Tag::Int, 2),
+                   icOut(kT), icHalt()},
+                  kT + 1);
+    auto a = check::analyze(trivialBam(), p);
+    auto b = check::analyze(trivialBam(), p);
+    EXPECT_EQ(a.str(), b.str());
+}
+
+// ---------------------------------------------------------------
+// Driver integration.
+
+TEST(CheckDriver, ReportIdenticalAcrossJobCounts)
+{
+    std::string r1, r4;
+    {
+        suite::DriverOptions o;
+        o.jobs = 1;
+        o.analyze = true;
+        o.quiet = true;
+        suite::EvalDriver d(o);
+        r1 = d.workload("tak").analysis()->str();
+    }
+    {
+        suite::DriverOptions o;
+        o.jobs = 4;
+        o.analyze = true;
+        o.quiet = true;
+        suite::EvalDriver d(o);
+        r4 = d.workload("tak").analysis()->str();
+    }
+    EXPECT_FALSE(r1.empty());
+    EXPECT_EQ(r1, r4);
+}
+
+TEST(CheckDriver, SeedWorkloadsAnalyzeClean)
+{
+    suite::DriverOptions o;
+    o.jobs = 2;
+    o.analyze = true;
+    o.quiet = true;
+    suite::EvalDriver d(o);
+    // Throws ViolationError if any error-severity finding appears.
+    EXPECT_NO_THROW(d.workload("nreverse"));
+    EXPECT_NO_THROW(d.workload("qsort"));
+}
+
+// ---------------------------------------------------------------
+// Store integration: a bit-flipped (re-checksummed) bundle passes
+// the container validation but is caught by the analyzer.
+
+namespace
+{
+
+/** Mirrors the (file-local) ICI section id in suite/store.cc. */
+constexpr std::uint32_t kSecIci = 4;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+void
+spit(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(bytes.size()));
+}
+
+suite::Benchmark
+tinyBench()
+{
+    suite::Benchmark b;
+    b.name = "check_bitflip";
+    b.source = R"(
+        app([], L, L).
+        app([X|A], B, [X|C]) :- app(A, B, C).
+        main :- app([1,2], [3], R), out(R).
+    )";
+    return b;
+}
+
+} // namespace
+
+TEST(CheckStore, BitFlippedBundleCaughtOnRestore)
+{
+    char tmpl[] = "/tmp/symbol-check-XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    std::string dir = tmpl;
+
+    suite::Benchmark bench = tinyBench();
+    {
+        suite::DriverOptions o;
+        o.jobs = 1;
+        o.quiet = true;
+        o.cacheDir = dir;
+        suite::EvalDriver d(o);
+        ASSERT_NE(d.store(), nullptr);
+        d.workload(bench); // cold build populates the store
+    }
+
+    // Corrupt one ICI register semantically: out-of-range source on
+    // the first mov, then re-encode and re-checksum the container so
+    // every integrity check still passes.
+    std::string path;
+    for (const auto &e : fs::directory_iterator(dir))
+        if (e.path().extension() == ".syaf")
+            path = e.path().string();
+    ASSERT_FALSE(path.empty());
+    serialize::Container c = serialize::unpackContainer(slurp(path));
+    serialize::Reader r(c.section(kSecIci));
+    intcode::Program prog = intcode::decodeProgram(r, nullptr);
+    bool mutated = false;
+    for (auto &i : prog.code)
+        if (!mutated && i.op == IOp::Mov) {
+            i.ra = prog.numRegs + 7;
+            mutated = true;
+        }
+    ASSERT_TRUE(mutated);
+    serialize::Writer w;
+    intcode::encode(w, prog);
+    std::vector<serialize::Section> secs;
+    for (const auto &[id, payload] : c.sections)
+        secs.push_back({id, id == kSecIci ? w.take() : payload});
+    spit(path, serialize::packContainer(secs));
+
+    {
+        // Without the analyzer the tampered bundle restores quietly:
+        // checksums are valid, nothing inspects the semantics.
+        suite::DriverOptions o;
+        o.jobs = 1;
+        o.quiet = true;
+        o.cacheDir = dir;
+        suite::EvalDriver d(o);
+        EXPECT_NO_THROW(d.workload(bench));
+    }
+    {
+        // Under SYMBOL_ANALYZE the restore is re-analyzed and the
+        // violation surfaces instead of degrading to a rebuild.
+        suite::DriverOptions o;
+        o.jobs = 1;
+        o.quiet = true;
+        o.cacheDir = dir;
+        o.analyze = true;
+        suite::EvalDriver d(o);
+        EXPECT_THROW(d.workload(bench), ViolationError);
+    }
+
+    std::error_code ec;
+    fs::remove_all(dir, ec);
+}

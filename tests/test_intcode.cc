@@ -306,3 +306,127 @@ TEST(Cfg, BlocksEndAtControlAndLabels)
     EXPECT_EQ(cfg.blockOf[static_cast<std::size_t>(p.entry)],
               cfg.entryBlock);
 }
+
+namespace
+{
+
+/** A hand-built ICI program with consistent side tables. */
+intcode::Program
+rawProgram(std::vector<intcode::IInstr> code, int numRegs)
+{
+    intcode::Program p;
+    p.code = std::move(code);
+    p.entry = 0;
+    p.numRegs = numRegs;
+    p.addressTaken.assign(p.code.size(), false);
+    p.procEntry.assign(p.code.size(), false);
+    return p;
+}
+
+intcode::IInstr
+rawOp(IOp op, int target = -1)
+{
+    intcode::IInstr i;
+    i.op = op;
+    i.target = target;
+    return i;
+}
+
+} // namespace
+
+TEST(Cfg, SelfLoopBlock)
+{
+    auto p = rawProgram({rawOp(IOp::Jmp, 0)}, 1);
+    auto cfg = intcode::Cfg::build(p);
+    ASSERT_EQ(cfg.blocks.size(), 1u);
+    ASSERT_EQ(cfg.blocks[0].succs.size(), 1u);
+    EXPECT_EQ(cfg.blocks[0].succs[0], 0);
+    ASSERT_EQ(cfg.blocks[0].preds.size(), 1u);
+    EXPECT_EQ(cfg.blocks[0].preds[0], 0);
+}
+
+TEST(Cfg, BranchTargetBlockWithNoPredecessors)
+{
+    // The middle block is skipped over: a "label" nothing jumps to
+    // and nothing falls into.
+    auto p = rawProgram({rawOp(IOp::Jmp, 2), rawOp(IOp::Halt),
+                         rawOp(IOp::Halt)},
+                        1);
+    auto cfg = intcode::Cfg::build(p);
+    ASSERT_EQ(cfg.blocks.size(), 3u);
+    int orphan = cfg.blockOf[1];
+    EXPECT_TRUE(cfg.blocks[static_cast<std::size_t>(orphan)]
+                    .preds.empty());
+    int target = cfg.blockOf[2];
+    ASSERT_EQ(cfg.blocks[static_cast<std::size_t>(target)]
+                  .preds.size(),
+              1u);
+    EXPECT_EQ(cfg.blocks[static_cast<std::size_t>(target)].preds[0],
+              cfg.blockOf[0]);
+}
+
+TEST(Cfg, BlockEndingInNonTerminatorFallsThrough)
+{
+    // Instruction 1 ends its block only because instruction 2 is a
+    // branch target; the block must fall through to it.
+    intcode::IInstr br;
+    br.op = IOp::BtagEq;
+    br.ra = 0;
+    br.tag = Tag::Lst;
+    br.target = 2;
+    intcode::IInstr mv;
+    mv.op = IOp::Mov;
+    mv.rd = 1;
+    mv.ra = 0;
+    auto p = rawProgram({br, mv, rawOp(IOp::Halt)}, 2);
+    auto cfg = intcode::Cfg::build(p);
+    ASSERT_EQ(cfg.blocks.size(), 3u);
+    int mid = cfg.blockOf[1];
+    const intcode::Block &b =
+        cfg.blocks[static_cast<std::size_t>(mid)];
+    EXPECT_FALSE(intcode::isControl(p.code[1].op));
+    EXPECT_EQ(b.last, 1);
+    ASSERT_EQ(b.succs.size(), 1u);
+    EXPECT_EQ(b.succs[0], cfg.blockOf[2]);
+}
+
+TEST(Cfg, BlocksPartitionTheProgram)
+{
+    // No empty blocks, no gaps, no overlap, consistent blockOf.
+    auto p = rawProgram({rawOp(IOp::Jmp, 3), rawOp(IOp::Nop),
+                         rawOp(IOp::Halt), rawOp(IOp::Jmp, 1),
+                         rawOp(IOp::Halt)},
+                        1);
+    auto cfg = intcode::Cfg::build(p);
+    int covered = 0;
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const intcode::Block &blk = cfg.blocks[b];
+        ASSERT_GE(blk.size(), 1);
+        covered += blk.size();
+        for (int k = blk.first; k <= blk.last; ++k)
+            EXPECT_EQ(cfg.blockOf[static_cast<std::size_t>(k)],
+                      static_cast<int>(b));
+    }
+    EXPECT_EQ(covered, static_cast<int>(p.code.size()));
+}
+
+TEST(Cfg, JmpiAndHaltHaveNoStaticSuccessors)
+{
+    intcode::IInstr ji;
+    ji.op = IOp::Jmpi;
+    ji.ra = 0;
+    auto p = rawProgram({rawOp(IOp::Jmp, 1), ji, rawOp(IOp::Halt)},
+                        1);
+    p.addressTaken[1] = true; // pretend a Cod immediate points here
+    auto cfg = intcode::Cfg::build(p);
+    EXPECT_TRUE(cfg.blocks[static_cast<std::size_t>(cfg.blockOf[1])]
+                    .addressTaken);
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const intcode::Block &blk = cfg.blocks[b];
+        if (p.code[static_cast<std::size_t>(blk.last)].op ==
+                IOp::Jmpi ||
+            p.code[static_cast<std::size_t>(blk.last)].op ==
+                IOp::Halt)
+            EXPECT_TRUE(blk.succs.empty());
+    }
+}

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "support/diagnostics.hh"
+#include "support/fnv.hh"
 #include "support/interner.hh"
 #include "support/json.hh"
 #include "support/text.hh"
@@ -177,4 +178,30 @@ TEST(Json, EscapeControlCharacters)
 {
     EXPECT_EQ(json::escape("a\"b\\c\n\t\x01"),
               "a\\\"b\\\\c\\n\\t\\u0001");
+}
+
+TEST(Fnv, KnownVectors)
+{
+    // Published FNV-1a 64-bit test vectors.
+    EXPECT_EQ(support::fnv1a(""), 0xcbf29ce484222325ull);
+    EXPECT_EQ(support::fnv1a(""), support::kFnvOffsetBasis);
+    EXPECT_EQ(support::fnv1a("a"), 0xaf63dc4c8601ec8cull);
+    EXPECT_EQ(support::fnv1a("foobar"), 0x85944171f73967e8ull);
+}
+
+TEST(Fnv, SeedChainingMatchesConcatenation)
+{
+    // A bare string literal with a seed would bind to the raw-bytes
+    // overload (seed read as a length); pass string_views.
+    using std::string_view;
+    std::uint64_t whole = support::fnv1a("hello, world");
+    std::uint64_t chained = support::fnv1a(
+        string_view(", world"), support::fnv1a(string_view("hello")));
+    EXPECT_EQ(whole, chained);
+}
+
+TEST(Fnv, RawBytesOverloadAgrees)
+{
+    const char buf[] = {'a', 'b', 'c'};
+    EXPECT_EQ(support::fnv1a(buf, 3), support::fnv1a("abc"));
 }

@@ -22,11 +22,13 @@
 #include <sstream>
 
 #include "analysis/stats.hh"
+#include "check/check.hh"
 #include "machine/config.hh"
 #include "pass/instrument.hh"
 #include "suite/driver.hh"
 #include "suite/pipeline.hh"
 #include "suite/statsjson.hh"
+#include "support/diagnostics.hh"
 #include "support/text.hh"
 #include "verify/verify.hh"
 
@@ -46,6 +48,9 @@ struct Options
     std::string verifyDir;  // --cache-verify subcommand
     std::string printAfter; // comma-separable pass names
     std::string statsJson;  // output path; "-" = stdout
+    std::string analyzePasses; // --analyze=LIST selection
+    bool analyze = false;
+    bool werror = false;
     bool verifySchedule = false;
     bool storeStats = false;
     bool timePasses = false;
@@ -65,7 +70,9 @@ struct Options
 /**
  * One command-line flag: the single source of truth both the parser
  * and the --help text are generated from. Exactly one of b / i / s
- * is the binding target.
+ * is the binding target — except when b and s are both set, which
+ * declares an optional inline operand (--flag or --flag=VALUE): b
+ * records the flag's presence, s the value when one was given.
  */
 struct Flag
 {
@@ -115,7 +122,7 @@ flagTable(Options &o)
         {.name = "--cache-verify", .operand = "DIR",
          .help = "scan a store directory, validate every file's "
                  "checksums and format version, print a per-file "
-                 "report and exit (1 if any file is bad)",
+                 "report and exit (2 if any file is bad)",
          .s = &o.verifyDir},
         {.name = "--store-stats", .operand = nullptr,
          .help = "print the driver/disk-store counters to stderr",
@@ -124,9 +131,21 @@ flagTable(Options &o)
          .help = "run the independent schedule verifier: with a file "
                  "or --bench NAME it checks that run's schedule; "
                  "alone it sweeps every suite benchmark across the "
-                 "standard configurations and exits 1 on any "
+                 "standard configurations and exits 2 on any "
                  "violation",
          .b = &o.verifySchedule},
+        {.name = "--analyze", .operand = "[=LIST]",
+         .help = "run the static IR analyzer (passes: structural, "
+                 "definit, tags, balance, deadcode; default all): "
+                 "with a file or --bench NAME it reports on that "
+                 "run; alone it sweeps every suite benchmark across "
+                 "the standard configurations; exits 2 on any "
+                 "error-severity finding (also: SYMBOL_ANALYZE env)",
+         .b = &o.analyze, .s = &o.analyzePasses},
+        {.name = "--Werror", .operand = nullptr,
+         .help = "promote analyzer warnings to errors (with "
+                 "--analyze)",
+         .b = &o.werror},
         {.name = "--no-indexing", .operand = nullptr,
          .help = "disable first-argument indexing",
          .b = &o.indexing, .bval = false},
@@ -190,13 +209,16 @@ helpText(std::vector<Flag> flags)
     std::size_t width = 0;
     for (const Flag &f : flags) {
         std::size_t w = std::strlen(f.name) +
-                        (f.operand ? 1 + std::strlen(f.operand) : 0);
+                        (f.operand ? (f.operand[0] == '[' ? 0 : 1) +
+                                         std::strlen(f.operand)
+                                   : 0);
         width = std::max(width, w);
     }
     for (const Flag &f : flags) {
         std::string head = "  " + std::string(f.name);
         if (f.operand)
-            head += " " + std::string(f.operand);
+            head += std::string(f.operand[0] == '[' ? "" : " ") +
+                    f.operand;
         head.resize(std::max(head.size(), width + 4), ' ');
         std::string line = head;
         for (const std::string &word : splitWords(f.help)) {
@@ -210,6 +232,13 @@ helpText(std::vector<Flag> flags)
         }
         out += line + "\n";
     }
+    out += "\nexit codes:\n"
+           "  0  success, no violations\n"
+           "  1  usage error, bad input, or an internal failure\n"
+           "  2  analyzer or verifier violations (--analyze, "
+           "--Werror,\n"
+           "     --verify-schedule, --cache-verify, SYMBOL_ANALYZE, "
+           "SYMBOL_VERIFY)\n";
     return out;
 }
 
@@ -217,7 +246,7 @@ int
 usage(Options &o)
 {
     std::fputs(helpText(flagTable(o)).c_str(), stderr);
-    return 2;
+    return 1;
 }
 
 /** Parse a validated integer operand of @p name into @p out. */
@@ -272,6 +301,15 @@ parseArgs(int argc, char **argv, Options &o)
                          a.c_str());
             return false;
         }
+        if (f->b && f->s) {
+            // Optional inline operand: --flag or --flag=VALUE (a
+            // separate word is never consumed, so `--analyze foo.pl`
+            // keeps meaning "analyze the file foo.pl").
+            *f->b = f->bval;
+            if (hasInline)
+                *f->s = inlineVal;
+            continue;
+        }
         if (f->b) {
             if (hasInline) {
                 std::fprintf(stderr,
@@ -323,8 +361,28 @@ parseArgs(int argc, char **argv, Options &o)
             return false;
         }
     }
+    if (!o.analyzePasses.empty()) {
+        try {
+            check::parsePassList(o.analyzePasses);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "symbolc: --analyze: %s\n",
+                         e.what());
+            return false;
+        }
+    }
     return o.list || !o.file.empty() || !o.bench.empty() ||
-           !o.verifyDir.empty() || o.verifySchedule;
+           !o.verifyDir.empty() || o.verifySchedule || o.analyze;
+}
+
+/** The analyzer configuration the parsed flags describe. */
+check::AnalyzeOptions
+analyzeOptions(const Options &o)
+{
+    check::AnalyzeOptions aopts;
+    if (!o.analyzePasses.empty())
+        aopts.passes = check::parsePassList(o.analyzePasses);
+    aopts.werror = o.werror;
+    return aopts;
 }
 
 /** Emit the --stats-json document, if requested. */
@@ -371,6 +429,8 @@ driverOptions(const Options &o)
     dopts.jobs = o.jobs > 0 ? static_cast<unsigned>(o.jobs) : 0;
     dopts.cacheDir = o.cacheDir;
     dopts.verifySchedules = o.verifySchedule;
+    dopts.analyze = o.analyze;
+    dopts.analyzeOpts = analyzeOptions(o);
     dopts.quiet = o.quiet;
     return dopts;
 }
@@ -397,14 +457,14 @@ cacheVerify(const std::string &dir)
         }
     }
     std::printf("%zu file(s), %zu bad\n", reports.size(), bad);
-    return bad ? 1 : 0;
+    return bad ? 2 : 0;
 }
 
 /**
  * --verify-schedule (standalone): compact every suite benchmark for
  * the default machine, the Table 3 unit sweep, the prototype and the
  * ablation configurations, run the independent verifier over each
- * schedule and print one summary row per configuration. Exit 1 on
+ * schedule and print one summary row per configuration. Exit 2 on
  * any violation (details go to stderr).
  */
 int
@@ -523,7 +583,119 @@ verifySweep(const Options &o)
     reportTimings(o, driver);
     if (!writeStatsJson(o, driver))
         return 1;
-    return totalViolations ? 1 : 0;
+    return totalViolations ? 2 : 0;
+}
+
+/**
+ * --analyze (standalone): build every suite benchmark's front end
+ * under each front-end configuration and run the static analyzer
+ * over it, printing one summary row per configuration plus the
+ * per-id finding totals (the counts EXPERIMENTS.md pins). The
+ * machine-config points of the verifier sweep — the Table 3 unit
+ * counts, the prototype — all share one front end, because the
+ * analyzer's input does not depend on the machine model; the
+ * "default" row therefore covers them all, and the ablation rows
+ * cover the front ends they actually change. Exit 2 on any
+ * error-severity finding (full reports go to stderr).
+ */
+int
+analyzeSweep(const Options &o)
+{
+    struct Point
+    {
+        std::string label;
+        suite::WorkloadOptions wo;
+    };
+    std::vector<Point> points;
+    points.push_back({"default", {}});
+    {
+        suite::WorkloadOptions wo;
+        wo.translate.expandTagBranches = true;
+        points.push_back({"expand-tags", wo});
+    }
+    {
+        suite::WorkloadOptions wo;
+        wo.compiler.indexing = false;
+        points.push_back({"no-indexing", wo});
+    }
+
+    check::AnalyzeOptions aopts = analyzeOptions(o);
+    suite::DriverOptions dopts = driverOptions(o);
+    dopts.analyze = false; // this sweep IS the analysis
+    suite::EvalDriver driver(dopts);
+
+    std::vector<std::string> benches;
+    for (const auto &b : suite::aquarius())
+        benches.push_back(b.name);
+
+    // One analysis per (config × benchmark), fanned out across the
+    // pool; results stay in input order so the report is
+    // deterministic for any --jobs setting.
+    struct Cell
+    {
+        check::DiagnosticEngine diag;
+        std::string bench;
+        std::size_t point = 0;
+    };
+    std::vector<Cell> cells = driver.map(
+        points.size() * benches.size(), [&](std::size_t i) {
+            const Point &p = points[i / benches.size()];
+            const std::string &bench = benches[i % benches.size()];
+            const suite::Workload &w = driver.workload(bench, p.wo);
+            Cell c;
+            c.diag = check::analyze(w.bamModule(), w.ici(), aopts);
+            c.bench = bench;
+            c.point = i / benches.size();
+            return c;
+        });
+
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back(
+        {"config", "benchmarks", "errors", "warnings", "notes"});
+    std::uint64_t totalErrors = 0;
+    std::array<std::uint64_t, check::kNumDiagIds> byId{};
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        std::uint64_t err = 0, warn = 0, note = 0;
+        std::size_t n = 0;
+        for (const Cell &c : cells) {
+            if (c.point != p)
+                continue;
+            ++n;
+            err += c.diag.errors();
+            warn += c.diag.warnings();
+            note += c.diag.notes();
+            for (int k = 0; k < check::kNumDiagIds; ++k)
+                byId[k] +=
+                    c.diag.count(static_cast<check::DiagId>(k));
+            if (!c.diag.ok())
+                std::fprintf(stderr, "%s (%s):\n%s\n",
+                             c.bench.c_str(),
+                             points[p].label.c_str(),
+                             c.diag.str().c_str());
+        }
+        totalErrors += err;
+        rows.push_back(
+            {points[p].label, strprintf("%zu", n),
+             strprintf("%llu", static_cast<unsigned long long>(err)),
+             strprintf("%llu",
+                       static_cast<unsigned long long>(warn)),
+             strprintf("%llu",
+                       static_cast<unsigned long long>(note))});
+    }
+    std::printf("%s", renderTable(rows).c_str());
+    for (int k = 0; k < check::kNumDiagIds; ++k)
+        if (byId[k])
+            std::printf(
+                "  %-20s %llu\n",
+                check::diagIdName(static_cast<check::DiagId>(k)),
+                static_cast<unsigned long long>(byId[k]));
+    std::printf("%llu error(s) across %zu analysis run(s)\n",
+                static_cast<unsigned long long>(totalErrors),
+                cells.size());
+    reportTimings(o, driver);
+    if (!writeStatsJson(o, driver))
+        return 1;
+    return totalErrors ? 2 : 0;
 }
 
 /**
@@ -620,6 +792,21 @@ main(int argc, char **argv)
     if (o.verifySchedule && o.file.empty() && o.bench.empty()) {
         try {
             return verifySweep(o);
+        } catch (const ViolationError &e) {
+            std::fprintf(stderr, "symbolc: %s\n", e.what());
+            return 2;
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "symbolc: %s\n", e.what());
+            return 1;
+        }
+    }
+
+    if (o.analyze && o.file.empty() && o.bench.empty()) {
+        try {
+            return analyzeSweep(o);
+        } catch (const ViolationError &e) {
+            std::fprintf(stderr, "symbolc: %s\n", e.what());
+            return 2;
         } catch (const std::exception &e) {
             std::fprintf(stderr, "symbolc: %s\n", e.what());
             return 1;
@@ -635,6 +822,9 @@ main(int argc, char **argv)
     if (o.bench == "all") {
         try {
             return sweepAll(o);
+        } catch (const ViolationError &e) {
+            std::fprintf(stderr, "symbolc: %s\n", e.what());
+            return 2;
         } catch (const std::exception &e) {
             std::fprintf(stderr, "symbolc: %s\n", e.what());
             return 1;
@@ -672,6 +862,8 @@ main(int argc, char **argv)
             std::printf("%s\n", w.ici().str().c_str());
         if (o.dumpBam)
             std::printf("%s\n", bam::print(w.bamModule()).c_str());
+        if (o.analyze && w.analysis())
+            std::printf("%s", w.analysis()->str().c_str());
 
         std::printf("answer:\n%s", w.seqOutput().c_str());
         std::printf("\nsequential: %llu ICIs, %llu cycles; BAM "
@@ -735,6 +927,9 @@ main(int argc, char **argv)
         if (!writeStatsJson(o, driver))
             return 1;
         return 0;
+    } catch (const ViolationError &e) {
+        std::fprintf(stderr, "symbolc: %s\n", e.what());
+        return 2;
     } catch (const std::exception &e) {
         std::fprintf(stderr, "symbolc: %s\n", e.what());
         return 1;
