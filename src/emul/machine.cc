@@ -40,16 +40,17 @@ Machine::operandB(const IInstr &i) const
     return i.useImm ? i.imm : regs_[static_cast<std::size_t>(i.rb)];
 }
 
-std::int64_t
-Machine::memAddr(const IInstr &i) const
+const char *
+runStatusName(RunStatus s)
 {
-    std::int64_t addr =
-        bam::wordVal(regs_[static_cast<std::size_t>(i.ra)]) + i.off;
-    if (addr < 0 || addr >= L::kMemWords)
-        throw RuntimeError(strprintf(
-            "memory access out of range: %lld",
-            static_cast<long long>(addr)));
-    return addr;
+    switch (s) {
+      case RunStatus::Ok: return "ok";
+      case RunStatus::MemFault: return "mem-fault";
+      case RunStatus::DivByZero: return "div-by-zero";
+      case RunStatus::BadPc: return "bad-pc";
+      case RunStatus::StepLimit: return "step-limit";
+    }
+    return "?";
 }
 
 RunResult
@@ -70,6 +71,24 @@ Machine::run(const RunOptions &opts)
     std::int64_t pc = prog_.entry;
     std::uint64_t steps = 0;
 
+    // Fault raised by the current instruction; with trapErrors set it
+    // ends the run via res.status, otherwise the check site throws.
+    RunStatus fault = RunStatus::Ok;
+    auto memAddr = [&](const IInstr &i, std::int64_t &out) {
+        std::int64_t addr =
+            bam::wordVal(regs_[static_cast<std::size_t>(i.ra)]) + i.off;
+        if (addr < 0 || addr >= L::kMemWords) {
+            if (!opts.trapErrors)
+                throw RuntimeError(strprintf(
+                    "memory access out of range: %lld",
+                    static_cast<long long>(addr)));
+            fault = RunStatus::MemFault;
+            return false;
+        }
+        out = addr;
+        return true;
+    };
+
     auto rdy = [&](int r) {
         if (r >= 0)
             now = std::max(now, ready[static_cast<std::size_t>(r)]);
@@ -80,11 +99,21 @@ Machine::run(const RunOptions &opts)
     };
 
     while (true) {
-        if (pc < 0 || static_cast<std::size_t>(pc) >= n)
-            throw RuntimeError(strprintf(
-                "PC out of range: %lld", static_cast<long long>(pc)));
-        if (++steps > opts.maxSteps)
-            throw RuntimeError("step budget exhausted");
+        if (pc < 0 || static_cast<std::size_t>(pc) >= n) {
+            if (!opts.trapErrors)
+                throw RuntimeError(strprintf(
+                    "PC out of range: %lld",
+                    static_cast<long long>(pc)));
+            res.status = RunStatus::BadPc;
+            break;
+        }
+        if (++steps > opts.maxSteps) {
+            if (!opts.trapErrors)
+                throw RuntimeError("step budget exhausted");
+            --steps;
+            res.status = RunStatus::StepLimit;
+            break;
+        }
         const IInstr &i = prog_.code[static_cast<std::size_t>(pc)];
         if (opts.collectProfile)
             ++res.profile.expect[static_cast<std::size_t>(pc)];
@@ -100,16 +129,22 @@ Machine::run(const RunOptions &opts)
         bool taken = false;
         switch (i.op) {
           case IOp::Ld: {
+            std::int64_t addr = 0;
+            if (!memAddr(i, addr))
+                break;
             regs_[static_cast<std::size_t>(i.rd)] =
-                memory_[static_cast<std::size_t>(memAddr(i))];
+                memory_[static_cast<std::size_t>(addr)];
             setReady(i.rd, now + static_cast<std::uint64_t>(
                                      opts.memLatency));
             break;
           }
-          case IOp::St:
-            memory_[static_cast<std::size_t>(memAddr(i))] =
-                operandB(i);
+          case IOp::St: {
+            std::int64_t addr = 0;
+            if (!memAddr(i, addr))
+                break;
+            memory_[static_cast<std::size_t>(addr)] = operandB(i);
             break;
+          }
           case IOp::Add: case IOp::Sub: case IOp::Mul: case IOp::Div:
           case IOp::Mod: case IOp::And: case IOp::Or: case IOp::Xor:
           case IOp::Sll: case IOp::Sra: {
@@ -122,13 +157,21 @@ Machine::run(const RunOptions &opts)
               case IOp::Sub: v = a - b; break;
               case IOp::Mul: v = a * b; break;
               case IOp::Div:
-                if (b == 0)
-                    throw RuntimeError("division by zero");
+                if (b == 0) {
+                    if (!opts.trapErrors)
+                        throw RuntimeError("division by zero");
+                    fault = RunStatus::DivByZero;
+                    break;
+                }
                 v = a / b;
                 break;
               case IOp::Mod:
-                if (b == 0)
-                    throw RuntimeError("modulo by zero");
+                if (b == 0) {
+                    if (!opts.trapErrors)
+                        throw RuntimeError("modulo by zero");
+                    fault = RunStatus::DivByZero;
+                    break;
+                }
                 v = a % b;
                 break;
               case IOp::And: v = a & b; break;
@@ -138,6 +181,8 @@ Machine::run(const RunOptions &opts)
               case IOp::Sra: v = a >> (b & 31); break;
               default: break;
             }
+            if (fault != RunStatus::Ok)
+                break;
             regs_[static_cast<std::size_t>(i.rd)] =
                 bam::makeWord(Tag::Int, v);
             setReady(i.rd, now + 1);
@@ -214,6 +259,11 @@ Machine::run(const RunOptions &opts)
             res.halted = true;
             break;
           case IOp::Nop:
+            break;
+        }
+
+        if (fault != RunStatus::Ok) {
+            res.status = fault;
             break;
         }
 

@@ -49,6 +49,25 @@ struct Profile
     }
 };
 
+/**
+ * How a run ended. Every abnormal ending is deterministic (a pure
+ * function of the program), so a differential oracle can compare
+ * trap outcomes across machine configurations, not just outputs.
+ */
+enum class RunStatus : std::uint8_t
+{
+    Ok,        ///< reached Halt
+    MemFault,  ///< data access outside [0, kMemWords) — includes
+               ///< heap/stack/trail growth past the end of memory
+    DivByZero, ///< Div or Mod with a zero divisor
+    BadPc,     ///< control transfer outside the code
+    StepLimit, ///< step budget exhausted (still deterministic: the
+               ///< budget counts instructions, not wall time)
+};
+
+/** Stable lower-case mnemonic of a RunStatus ("ok", "mem-fault"...). */
+const char *runStatusName(RunStatus s);
+
 /** Execution limits and switches. */
 struct RunOptions
 {
@@ -58,12 +77,24 @@ struct RunOptions
     int memLatency = 2;
     /** Bubbles lost on a taken branch (§4.3 control pipeline: 1). */
     int takenPenalty = 1;
+    /**
+     * Report runtime faults as RunResult::status instead of throwing
+     * RuntimeError. The partial result (instruction count, output
+     * produced so far, profile) is returned; the faulting instruction
+     * is counted but its effects are not applied. Off by default so
+     * existing callers keep their throwing contract.
+     */
+    bool trapErrors = false;
 };
 
 /** Result of a completed run. */
 struct RunResult
 {
     bool halted = false;
+    /** Why the run ended; only meaningful trap values appear when
+     *  RunOptions::trapErrors is set (otherwise faults throw). Not
+     *  persisted by the artefact store: profiling runs never trap. */
+    RunStatus status = RunStatus::Ok;
     std::uint64_t instructions = 0;
     /** Cycles on the pure sequential pipelined reference machine. */
     std::uint64_t seqCycles = 0;
@@ -78,7 +109,8 @@ class Machine
     explicit Machine(const Program &prog);
 
     /** Execute from the program entry until Halt. Throws
-     *  RuntimeError on illegal accesses or exhausted step budget. */
+     *  RuntimeError on illegal accesses or exhausted step budget
+     *  unless RunOptions::trapErrors asks for a status instead. */
     RunResult run(const RunOptions &opts = {});
 
     /** @name Post-run state inspection */
@@ -107,7 +139,6 @@ class Machine
     std::vector<Word> output_;
 
     Word operandB(const IInstr &i) const;
-    std::int64_t memAddr(const IInstr &i) const;
 };
 
 /**

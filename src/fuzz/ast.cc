@@ -1,0 +1,281 @@
+#include "fuzz/ast.hh"
+
+#include <cstdlib>
+
+#include "prolog/parser.hh"
+#include "support/text.hh"
+
+namespace symbol::fuzz
+{
+
+FTerm
+FTerm::mkInt(std::int64_t v)
+{
+    FTerm t;
+    t.kind = FKind::Int;
+    t.num = v;
+    return t;
+}
+
+FTerm
+FTerm::mkAtom(std::string name)
+{
+    FTerm t;
+    t.kind = FKind::Atom;
+    t.name = std::move(name);
+    return t;
+}
+
+FTerm
+FTerm::mkVar(std::string name)
+{
+    FTerm t;
+    t.kind = FKind::Var;
+    t.name = std::move(name);
+    return t;
+}
+
+FTerm
+FTerm::mkStruct(std::string functor, std::vector<FTerm> args)
+{
+    FTerm t;
+    t.kind = FKind::Struct;
+    t.name = std::move(functor);
+    t.args = std::move(args);
+    return t;
+}
+
+FTerm
+FTerm::mkList(std::vector<FTerm> elems)
+{
+    FTerm t;
+    t.kind = FKind::List;
+    t.args = std::move(elems);
+    return t;
+}
+
+FTerm
+FTerm::mkListTail(std::vector<FTerm> elems, FTerm tail)
+{
+    FTerm t;
+    t.kind = FKind::List;
+    t.args = std::move(elems);
+    t.args.push_back(std::move(tail));
+    t.hasTail = true;
+    return t;
+}
+
+bool
+FTerm::operator==(const FTerm &o) const
+{
+    return kind == o.kind && num == o.num && name == o.name &&
+           hasTail == o.hasTail && args == o.args;
+}
+
+namespace
+{
+
+/** Functors rendered infix (all binary). Rendering always fully
+ *  parenthesises, so precedence never matters on the way back in. */
+bool
+isInfixName(const std::string &n)
+{
+    static const char *const ops[] = {
+        "+",  "-",  "*",  "//",  "mod", "rem", "is",  "<",
+        "=<", ">",  ">=", "=:=", "=\\=", "=",  "==",  "\\==",
+        "->", ";",  ",",
+    };
+    for (const char *o : ops)
+        if (n == o)
+            return true;
+    return false;
+}
+
+void
+renderInto(const FTerm &t, std::string &out)
+{
+    switch (t.kind) {
+      case FKind::Int:
+        out += strprintf("%lld", static_cast<long long>(t.num));
+        return;
+      case FKind::Atom:
+      case FKind::Var:
+        out += t.name;
+        return;
+      case FKind::List: {
+        out += '[';
+        std::size_t n = t.args.size();
+        std::size_t elems = t.hasTail ? n - 1 : n;
+        for (std::size_t i = 0; i < elems; ++i) {
+            if (i)
+                out += ',';
+            renderInto(t.args[i], out);
+        }
+        if (t.hasTail) {
+            out += '|';
+            renderInto(t.args[n - 1], out);
+        }
+        out += ']';
+        return;
+      }
+      case FKind::Struct: {
+        if (t.args.size() == 2 && isInfixName(t.name)) {
+            out += '(';
+            renderInto(t.args[0], out);
+            out += ' ';
+            out += t.name;
+            out += ' ';
+            renderInto(t.args[1], out);
+            out += ')';
+            return;
+        }
+        if (t.args.size() == 1 && t.name == "\\+") {
+            out += "\\+ (";
+            renderInto(t.args[0], out);
+            out += ')';
+            return;
+        }
+        out += t.name;
+        out += '(';
+        for (std::size_t i = 0; i < t.args.size(); ++i) {
+            if (i)
+                out += ',';
+            renderInto(t.args[i], out);
+        }
+        out += ')';
+        return;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+renderTerm(const FTerm &t)
+{
+    std::string out;
+    renderInto(t, out);
+    return out;
+}
+
+std::string
+renderClause(const FClause &c)
+{
+    std::string out = renderTerm(c.head);
+    if (!c.goals.empty()) {
+        out += " :- ";
+        for (std::size_t i = 0; i < c.goals.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += renderTerm(c.goals[i]);
+        }
+    }
+    out += ".";
+    return out;
+}
+
+std::string
+renderProgram(const FProgram &p)
+{
+    std::string out;
+    if (p.seed != 0)
+        out += strprintf("%% symbolfuzz seed=%llu\n",
+                         static_cast<unsigned long long>(p.seed));
+    for (const FClause &c : p.clauses) {
+        out += renderClause(c);
+        out += '\n';
+    }
+    return out;
+}
+
+std::uint64_t
+seedFromSource(const std::string &source)
+{
+    static const std::string tag = "% symbolfuzz seed=";
+    std::size_t pos = source.find(tag);
+    if (pos == std::string::npos)
+        return 0;
+    return std::strtoull(source.c_str() + pos + tag.size(), nullptr,
+                         10);
+}
+
+namespace
+{
+
+FTerm
+fromPool(const prolog::TermPool &pool, prolog::TermId id)
+{
+    using prolog::TermKind;
+    const prolog::Term &t = pool.at(id);
+    const Interner &in = pool.interner();
+    switch (t.kind) {
+      case TermKind::Int:
+        return FTerm::mkInt(t.value);
+      case TermKind::Atom:
+        return FTerm::mkAtom(in.name(t.functor));
+      case TermKind::Var:
+        // Identity is by name: same-named variables in one clause
+        // re-share on re-parse, and every "_" stays fresh.
+        return FTerm::mkVar(in.name(t.functor));
+      case TermKind::Struct: {
+        if (pool.isCons(id)) {
+            // Collapse the cons chain into the List shape.
+            std::vector<FTerm> elems;
+            prolog::TermId cur = id;
+            while (pool.isCons(cur)) {
+                elems.push_back(
+                    fromPool(pool, pool.at(cur).args[0]));
+                cur = pool.at(cur).args[1];
+            }
+            if (pool.isAtom(cur, in.nilAtom()))
+                return FTerm::mkList(std::move(elems));
+            return FTerm::mkListTail(std::move(elems),
+                                     fromPool(pool, cur));
+        }
+        std::vector<FTerm> args;
+        args.reserve(t.args.size());
+        for (prolog::TermId a : t.args)
+            args.push_back(fromPool(pool, a));
+        return FTerm::mkStruct(in.name(t.functor), std::move(args));
+      }
+    }
+    return FTerm::mkAtom("?");
+}
+
+/** Flatten a right-nested ','/2 conjunction into goal terms. */
+void
+flattenConj(const prolog::TermPool &pool, prolog::TermId id,
+            AtomId comma, std::vector<FTerm> &out)
+{
+    if (pool.isStruct(id, comma, 2)) {
+        flattenConj(pool, pool.at(id).args[0], comma, out);
+        flattenConj(pool, pool.at(id).args[1], comma, out);
+        return;
+    }
+    out.push_back(fromPool(pool, id));
+}
+
+} // namespace
+
+FProgram
+importProgram(const std::string &source)
+{
+    Interner in;
+    prolog::Program prog = prolog::parseProgram(source, in);
+    if (!prog.directives.empty())
+        throw CompileError(
+            "fuzz import: directives are not representable");
+    FProgram out;
+    out.seed = seedFromSource(source);
+    AtomId comma = in.intern(",");
+    for (const prolog::Clause &c : prog.clauses) {
+        FClause fc;
+        fc.head = fromPool(prog.pool, c.head);
+        if (c.body != prolog::kNoTerm)
+            flattenConj(prog.pool, c.body, comma, fc.goals);
+        out.clauses.push_back(std::move(fc));
+    }
+    return out;
+}
+
+} // namespace symbol::fuzz

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The fuzzer's own program representation (DESIGN.md §12).
+ *
+ * A deliberately small mirror of source-level Prolog — just enough
+ * structure for the generator to build programs and for the shrinker
+ * to delete clauses, delete goals and simplify subterms while keeping
+ * the program parsable. Rendering produces ordinary Prolog text the
+ * toolchain's real parser reads back; importProgram() inverts it so
+ * a replayed artifact file can be shrunk too. Round-tripping through
+ * render/import is covered by unit tests.
+ */
+
+#ifndef SYMBOL_FUZZ_AST_HH
+#define SYMBOL_FUZZ_AST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace symbol::fuzz
+{
+
+/** Source-level term shapes the fuzzer manipulates. */
+enum class FKind : std::uint8_t
+{
+    Int,    ///< integer constant
+    Atom,   ///< atomic constant
+    Var,    ///< logic variable (name carries identity)
+    Struct, ///< functor(args...) — also every operator goal
+    List,   ///< [elems...] or [elems...|Tail] (Tail = last arg)
+};
+
+/** One term; owns its arguments by value. */
+struct FTerm
+{
+    FKind kind = FKind::Atom;
+    std::int64_t num = 0;   ///< Int payload
+    std::string name;       ///< Atom/Struct functor or Var name
+    std::vector<FTerm> args;
+    /** List only: true when the last element of args is a tail term
+     *  ([a,b|T]) rather than a final element ([a,b]). */
+    bool hasTail = false;
+
+    static FTerm mkInt(std::int64_t v);
+    static FTerm mkAtom(std::string name);
+    static FTerm mkVar(std::string name);
+    static FTerm mkStruct(std::string functor, std::vector<FTerm> args);
+    static FTerm mkList(std::vector<FTerm> elems);
+    static FTerm mkListTail(std::vector<FTerm> elems, FTerm tail);
+
+    bool operator==(const FTerm &o) const;
+    bool operator!=(const FTerm &o) const { return !(*this == o); }
+};
+
+/** One clause: Head :- G1, ..., Gn (facts have no goals). */
+struct FClause
+{
+    FTerm head;
+    std::vector<FTerm> goals;
+};
+
+/** A whole program plus its provenance. */
+struct FProgram
+{
+    /** Seed the generator was run with (0 = imported, unknown). */
+    std::uint64_t seed = 0;
+    std::vector<FClause> clauses;
+};
+
+/**
+ * Render one term as parsable Prolog text. Arithmetic, comparison
+ * and control functors print infix/prefix with full parenthesisation
+ * (never relying on precedence), everything else functionally.
+ */
+std::string renderTerm(const FTerm &t);
+
+/** Render one clause including the terminating ". ". */
+std::string renderClause(const FClause &c);
+
+/**
+ * Render the whole program: a `% symbolfuzz seed=<S>` header comment
+ * (making every artifact self-describing and replayable) followed by
+ * one clause per line.
+ */
+std::string renderProgram(const FProgram &p);
+
+/**
+ * Parse @p source (as produced by renderProgram, or any program the
+ * toolchain's parser accepts) back into an FProgram. The seed is
+ * recovered from the header comment when present. Directives are not
+ * representable and raise CompileError.
+ */
+FProgram importProgram(const std::string &source);
+
+/** Extract the seed from a `% symbolfuzz seed=<S>` header (0=none). */
+std::uint64_t seedFromSource(const std::string &source);
+
+} // namespace symbol::fuzz
+
+#endif // SYMBOL_FUZZ_AST_HH

@@ -1,0 +1,119 @@
+#include "fuzz/campaign.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "fuzz/rng.hh"
+#include "support/text.hh"
+#include "support/threadpool.hh"
+
+namespace symbol::fuzz
+{
+
+std::uint64_t
+caseSeed(std::uint64_t campaignSeed, int index)
+{
+    // A bijective mix of (campaign, index): cases never collide
+    // within a campaign, and neighbouring campaigns do not overlap
+    // in practice. Seed 0 is reserved for "unknown", so avoid it.
+    std::uint64_t s = mix64(campaignSeed ^
+                            mix64(static_cast<std::uint64_t>(index)));
+    return s == 0 ? 1 : s;
+}
+
+namespace
+{
+
+/** Everything one case produces (kept small: sources are only
+ *  rendered for failures). */
+struct CaseOutcome
+{
+    Verdict verdict;
+    std::string source; ///< non-empty only on failure
+};
+
+CaseOutcome
+runCase(std::uint64_t seed, const CampaignOptions &opts)
+{
+    CaseOutcome out;
+    FProgram prog = generate(seed, opts.gen);
+    std::string source = renderProgram(prog);
+    out.verdict = runOracle(source, opts.oracle);
+    if (!out.verdict.pass())
+        out.source = std::move(source);
+    return out;
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignOptions &opts,
+            const std::function<void(const std::string &)> &progress)
+{
+    CampaignResult res;
+    support::ThreadPool pool(opts.jobs);
+    auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<
+            std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(opts.timeBudgetSec));
+    auto budgetLeft = [&] {
+        return opts.timeBudgetSec <= 0 ||
+               std::chrono::steady_clock::now() < deadline;
+    };
+
+    // Submit in waves: parallel within a wave, strictly in-order
+    // collection, budget checked only at wave boundaries — so the
+    // set of executed cases is a prefix of the seed window and every
+    // executed case's verdict is budget-independent.
+    const int wave = static_cast<int>(pool.size()) * 4;
+    int next = 0;
+    while (next < opts.count && budgetLeft()) {
+        int end = std::min(opts.count, next + wave);
+        std::vector<support::ThreadPool::Future<CaseOutcome>> futs;
+        for (int i = next; i < end; ++i) {
+            std::uint64_t seed = caseSeed(opts.seed, i);
+            futs.push_back(pool.submit(
+                [seed, &opts] { return runCase(seed, opts); }));
+        }
+        for (int i = next; i < end; ++i) {
+            CaseOutcome out =
+                futs[static_cast<std::size_t>(i - next)].get();
+            ++res.executed;
+            if (out.verdict.pass()) {
+                ++res.passed;
+                continue;
+            }
+            Failure f;
+            f.caseSeed = caseSeed(opts.seed, i);
+            f.verdict = std::move(out.verdict);
+            f.source = std::move(out.source);
+            if (progress)
+                progress(strprintf(
+                    "case %d seed %llu: %s", i,
+                    static_cast<unsigned long long>(f.caseSeed),
+                    f.verdict.str().c_str()));
+            res.failures.push_back(std::move(f));
+        }
+        next = end;
+    }
+
+    if (opts.shrinkFailures) {
+        for (Failure &f : res.failures) {
+            FProgram prog = importProgram(f.source);
+            ShrinkResult sr =
+                shrink(prog, opts.oracle, opts.shrinkOpts);
+            f.shrunkSource = renderProgram(sr.program);
+            f.shrunkClauses = sr.program.clauses.size();
+            if (progress)
+                progress(strprintf(
+                    "shrunk seed %llu to %zu clauses (%d probes%s)",
+                    static_cast<unsigned long long>(f.caseSeed),
+                    f.shrunkClauses, sr.probes,
+                    sr.minimal ? ", 1-minimal" : ""));
+        }
+    }
+    return res;
+}
+
+} // namespace symbol::fuzz

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Campaign driver: fan a window of seeds over the oracle on a thread
+ * pool, deterministically.
+ *
+ * Every case is a pure function of its case seed (derived from the
+ * campaign seed and the case index by a bijective mixer), and results
+ * are collected strictly in index order, so a campaign's outcome is
+ * byte-identical for any --jobs value. The wall-clock time budget
+ * only decides how many cases are *launched* (checked between
+ * submission waves); it never changes the verdict of a case that ran.
+ */
+
+#ifndef SYMBOL_FUZZ_CAMPAIGN_HH
+#define SYMBOL_FUZZ_CAMPAIGN_HH
+
+#include "fuzz/gen.hh"
+#include "fuzz/oracle.hh"
+#include "fuzz/shrink.hh"
+
+namespace symbol::fuzz
+{
+
+/** Campaign configuration. */
+struct CampaignOptions
+{
+    std::uint64_t seed = 1;
+    int count = 100;
+    /** Worker threads (0 = ThreadPool default). */
+    unsigned jobs = 0;
+    /** Seconds; 0 = no budget (run all count cases). */
+    double timeBudgetSec = 0;
+    /** Shrink every failure after the sweep (serially, in order). */
+    bool shrinkFailures = false;
+    GenOptions gen;
+    OracleOptions oracle;
+    ShrinkOptions shrinkOpts;
+};
+
+/** One failing case with everything needed to reproduce it. */
+struct Failure
+{
+    std::uint64_t caseSeed = 0;
+    Verdict verdict;
+    /** Rendered program (with its seed header). */
+    std::string source;
+    /** Shrunk rendering (empty when shrinking was off). */
+    std::string shrunkSource;
+    /** Shrunk clause count (0 when shrinking was off). */
+    std::size_t shrunkClauses = 0;
+};
+
+/** Campaign outcome. */
+struct CampaignResult
+{
+    /** Cases actually run (== count unless the budget hit). */
+    int executed = 0;
+    int passed = 0;
+    std::vector<Failure> failures;
+};
+
+/** The seed of case @p index in a campaign (stable contract: the
+ *  same value --replay'd alone regenerates the same program). */
+std::uint64_t caseSeed(std::uint64_t campaignSeed, int index);
+
+/**
+ * Run the campaign. @p progress, when non-null, receives one line
+ * per failing case as it is collected (for CLI feedback).
+ */
+CampaignResult
+runCampaign(const CampaignOptions &opts,
+            const std::function<void(const std::string &)> &progress =
+                nullptr);
+
+} // namespace symbol::fuzz
+
+#endif // SYMBOL_FUZZ_CAMPAIGN_HH

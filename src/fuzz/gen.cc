@@ -1,0 +1,565 @@
+#include "fuzz/gen.hh"
+
+#include "fuzz/rng.hh"
+#include "support/text.hh"
+
+namespace symbol::fuzz
+{
+
+namespace
+{
+
+FTerm
+I(std::int64_t v)
+{
+    return FTerm::mkInt(v);
+}
+
+FTerm
+A(const char *name)
+{
+    return FTerm::mkAtom(name);
+}
+
+FTerm
+V(const std::string &name)
+{
+    return FTerm::mkVar(name);
+}
+
+FTerm
+S(const char *f, std::vector<FTerm> args)
+{
+    return FTerm::mkStruct(f, std::move(args));
+}
+
+/** goal `L is R`. */
+FTerm
+is(FTerm l, FTerm r)
+{
+    return S("is", {std::move(l), std::move(r)});
+}
+
+FTerm
+bin(const char *op, FTerm l, FTerm r)
+{
+    return S(op, {std::move(l), std::move(r)});
+}
+
+FTerm
+out(FTerm t)
+{
+    return S("out", {std::move(t)});
+}
+
+/** `(Cond -> Then ; Else)` as one goal term. */
+FTerm
+ite(FTerm c, FTerm t, FTerm e)
+{
+    return bin(";", bin("->", std::move(c), std::move(t)),
+               std::move(e));
+}
+
+/** What one generated predicate looks like to its callers. */
+struct PredInfo
+{
+    enum Kind { Data, Arith, Counter, Builder, Walker } kind;
+    std::string name;
+    /** Data preds: a first-argument key that is present... */
+    FTerm hitKey;
+    /** ...and one that is guaranteed absent. */
+    FTerm missKey;
+};
+
+/** The generator state: one Rng, the options, the predicates built
+ *  so far (a predicate may only call earlier entries — the
+ *  termination ordering), and the output program. */
+struct Gen
+{
+    Rng rng;
+    const GenOptions &opt;
+    FProgram prog;
+    std::vector<PredInfo> data;
+    std::vector<PredInfo> arith;
+    std::vector<PredInfo> counters;
+    std::vector<PredInfo> builders;
+    std::vector<PredInfo> walkers;
+
+    Gen(std::uint64_t seed, const GenOptions &o) : rng(seed), opt(o)
+    {
+        prog.seed = seed;
+    }
+
+    // --- small term / expression grammars ---------------------------
+
+    /** Atoms used in fact arguments. "zz" is reserved as the
+     *  guaranteed-absent key, never generated here. */
+    FTerm
+    smallAtom()
+    {
+        static const char *const pool[] = {"a", "b", "c", "k", "t"};
+        return A(pool[rng.below(5)]);
+    }
+
+    /** Ground data term of bounded depth. */
+    FTerm
+    groundTerm(int depth)
+    {
+        std::uint64_t pick = rng.below(depth > 0 ? 5 : 2);
+        switch (pick) {
+          case 0:
+            return I(rng.range(-9, 9));
+          case 1:
+            return smallAtom();
+          case 2: {
+            std::vector<FTerm> args;
+            int n = 1 + static_cast<int>(rng.below(2));
+            for (int i = 0; i < n; ++i)
+                args.push_back(groundTerm(depth - 1));
+            return S("s", std::move(args));
+          }
+          case 3:
+            return S("g", {groundTerm(depth - 1)});
+          default: {
+            std::vector<FTerm> elems;
+            int n = static_cast<int>(rng.below(4));
+            for (int i = 0; i < n; ++i)
+                elems.push_back(groundTerm(depth - 1));
+            return FTerm::mkList(std::move(elems));
+          }
+        }
+    }
+
+    /**
+     * Arithmetic expression over the variables in @p vars. Bounded
+     * magnitude by construction: multiplication takes a literal
+     * factor in [2,3], division and modulo a literal divisor in
+     * [2,7] — never zero, never a variable.
+     */
+    FTerm
+    expr(const std::vector<FTerm> &vars, int depth)
+    {
+        if (depth <= 0 || rng.chance(1, 3)) {
+            if (!vars.empty() && rng.chance(2, 3))
+                return vars[rng.below(vars.size())];
+            return I(rng.range(1, 5));
+        }
+        switch (rng.below(5)) {
+          case 0:
+            return bin("+", expr(vars, depth - 1),
+                       expr(vars, depth - 1));
+          case 1:
+            return bin("-", expr(vars, depth - 1),
+                       expr(vars, depth - 1));
+          case 2:
+            return bin("*", expr(vars, depth - 1),
+                       I(rng.range(2, 3)));
+          case 3:
+            return bin("//", expr(vars, depth - 1),
+                       I(rng.range(2, 7)));
+          default:
+            return bin("mod", expr(vars, depth - 1),
+                       I(rng.range(2, 7)));
+        }
+    }
+
+    // --- predicate layers -------------------------------------------
+
+    /**
+     * Data predicate d<i>/2: facts with indexing-hostile first
+     * arguments — a repeated collider constant, mixed tags, and
+     * sometimes a variable head argument (which defeats first-level
+     * indexing entirely).
+     */
+    void
+    dataPred(int idx)
+    {
+        PredInfo info;
+        info.kind = PredInfo::Data;
+        info.name = strprintf("d%d", idx);
+        FTerm collider =
+            rng.chance(1, 2) ? I(rng.range(0, 4)) : smallAtom();
+        info.hitKey = collider;
+        info.missKey = rng.chance(1, 2) ? A("zz") : I(77);
+        int facts = 2 + static_cast<int>(rng.below(
+                            static_cast<std::uint64_t>(
+                                opt.maxFactsPerPred - 1)));
+        int val = 0;
+        for (int i = 0; i < facts; ++i) {
+            FTerm key;
+            switch (rng.below(6)) {
+              case 0:
+              case 1:
+                key = collider; // repeat: many clauses per hash slot
+                break;
+              case 2:
+                key = I(rng.range(-3, 6));
+                break;
+              case 3:
+                key = S("s", {groundTerm(opt.maxTermDepth - 1)});
+                break;
+              case 4:
+                key = groundTerm(1).kind == FKind::List
+                          ? groundTerm(1)
+                          : FTerm::mkList({I(rng.range(0, 3))});
+                break;
+              default:
+                key = V(strprintf("Any%d", i)); // var head argument
+                break;
+            }
+            FClause c;
+            c.head = S("dummy", {});
+            c.head.name = info.name;
+            c.head.args = {std::move(key), I(val + rng.range(0, 2))};
+            val += 3;
+            prog.clauses.push_back(std::move(c));
+        }
+        data.push_back(std::move(info));
+    }
+
+    /** Arithmetic predicate f<i>(X, Y): Y is a function of X, via
+     *  one unconditional clause or a guarded pair (with or without
+     *  cut — both orders of committed choice). */
+    void
+    arithPred(int idx)
+    {
+        PredInfo info;
+        info.kind = PredInfo::Arith;
+        info.name = strprintf("f%d", idx);
+        std::vector<FTerm> xs = {V("X")};
+        auto head = [&] {
+            FClause c;
+            c.head = S("dummy", {});
+            c.head.name = info.name;
+            c.head.args = {V("X"), V("Y")};
+            return c;
+        };
+        switch (rng.below(3)) {
+          case 0: {
+            FClause c = head();
+            c.goals = {is(V("Y"), expr(xs, opt.maxExprDepth))};
+            prog.clauses.push_back(std::move(c));
+            break;
+          }
+          case 1: {
+            // Guarded pair committed by cut.
+            std::int64_t cut = rng.range(0, 6);
+            FClause c1 = head();
+            c1.goals = {bin(">", V("X"), I(cut)), A("!"),
+                        is(V("Y"), expr(xs, opt.maxExprDepth))};
+            FClause c2 = head();
+            c2.goals = {is(V("Y"), expr(xs, opt.maxExprDepth))};
+            prog.clauses.push_back(std::move(c1));
+            prog.clauses.push_back(std::move(c2));
+            break;
+          }
+          default: {
+            // Disjoint guards, no cut: the second clause is retried
+            // on backtracking and its guard re-tested.
+            std::int64_t split = rng.range(0, 6);
+            FClause c1 = head();
+            c1.goals = {bin(">", V("X"), I(split)),
+                        is(V("Y"), expr(xs, opt.maxExprDepth))};
+            FClause c2 = head();
+            c2.goals = {bin("=<", V("X"), I(split)),
+                        is(V("Y"), expr(xs, opt.maxExprDepth))};
+            prog.clauses.push_back(std::move(c1));
+            prog.clauses.push_back(std::move(c2));
+            break;
+          }
+        }
+        arith.push_back(std::move(info));
+    }
+
+    /** Counter recursion c<i>(N, Acc, Out): N counts down to 0. */
+    void
+    counterPred(int idx)
+    {
+        PredInfo info;
+        info.kind = PredInfo::Counter;
+        info.name = strprintf("c%d", idx);
+
+        FClause base;
+        base.head = S("dummy", {});
+        base.head.name = info.name;
+        base.head.args = {I(0), V("Acc"), V("Acc")};
+
+        FClause step;
+        step.head = S("dummy", {});
+        step.head.name = info.name;
+        step.head.args = {V("N"), V("Acc"), V("Out")};
+        step.goals.push_back(bin(">", V("N"), I(0)));
+        step.goals.push_back(is(V("N1"), bin("-", V("N"), I(1))));
+        if (!arith.empty() && rng.chance(1, 2)) {
+            // Route the accumulator through an arithmetic predicate.
+            const PredInfo &f = arith[rng.below(arith.size())];
+            FTerm call = S("dummy", {});
+            call.name = f.name;
+            call.args = {V("Acc"), V("Acc1")};
+            step.goals.push_back(std::move(call));
+        } else {
+            std::vector<FTerm> vars = {V("Acc"), V("N")};
+            step.goals.push_back(
+                is(V("Acc1"), expr(vars, opt.maxExprDepth)));
+        }
+        FTerm rec = S("dummy", {});
+        rec.name = info.name;
+        rec.args = {V("N1"), V("Acc1"), V("Out")};
+        step.goals.push_back(std::move(rec));
+
+        // Clause order is part of the fuzz surface: step-first puts
+        // the variable-headed clause in front of the 0 base case.
+        if (rng.chance(1, 2)) {
+            prog.clauses.push_back(std::move(base));
+            prog.clauses.push_back(std::move(step));
+        } else {
+            prog.clauses.push_back(std::move(step));
+            prog.clauses.push_back(std::move(base));
+        }
+        counters.push_back(std::move(info));
+    }
+
+    /** List builder b<i>(N, L): L has N elements computed from N. */
+    void
+    builderPred(int idx)
+    {
+        PredInfo info;
+        info.kind = PredInfo::Builder;
+        info.name = strprintf("b%d", idx);
+
+        FClause base;
+        base.head = S("dummy", {});
+        base.head.name = info.name;
+        base.head.args = {I(0), FTerm::mkList({})};
+
+        FClause step;
+        step.head = S("dummy", {});
+        step.head.name = info.name;
+        step.head.args = {V("N"),
+                          FTerm::mkListTail({V("H")}, V("T"))};
+        std::vector<FTerm> vars = {V("N")};
+        step.goals.push_back(bin(">", V("N"), I(0)));
+        step.goals.push_back(
+            is(V("H"), expr(vars, opt.maxExprDepth - 1)));
+        step.goals.push_back(is(V("N1"), bin("-", V("N"), I(1))));
+        FTerm rec = S("dummy", {});
+        rec.name = info.name;
+        rec.args = {V("N1"), V("T")};
+        step.goals.push_back(std::move(rec));
+
+        prog.clauses.push_back(std::move(base));
+        prog.clauses.push_back(std::move(step));
+        builders.push_back(std::move(info));
+    }
+
+    /** List walker w<i>(L, Acc, Out): structural descent on L. */
+    void
+    walkerPred(int idx)
+    {
+        PredInfo info;
+        info.kind = PredInfo::Walker;
+        info.name = strprintf("w%d", idx);
+
+        FClause base;
+        base.head = S("dummy", {});
+        base.head.name = info.name;
+        base.head.args = {FTerm::mkList({}), V("Acc"), V("Acc")};
+
+        auto stepHead = [&] {
+            FClause c;
+            c.head = S("dummy", {});
+            c.head.name = info.name;
+            c.head.args = {FTerm::mkListTail({V("H")}, V("T")),
+                           V("Acc"), V("Out")};
+            return c;
+        };
+        FTerm rec = S("dummy", {});
+        rec.name = info.name;
+        rec.args = {V("T"), V("Acc1"), V("Out")};
+
+        prog.clauses.push_back(std::move(base));
+        if (rng.chance(1, 2)) {
+            FClause step = stepHead();
+            std::vector<FTerm> vars = {V("Acc"), V("H")};
+            step.goals.push_back(
+                is(V("Acc1"), expr(vars, opt.maxExprDepth)));
+            step.goals.push_back(rec);
+            prog.clauses.push_back(std::move(step));
+        } else {
+            // Guarded pair on the element: count/skip split.
+            std::int64_t split = rng.range(0, 3);
+            FClause hot = stepHead();
+            hot.goals.push_back(bin(">", V("H"), I(split)));
+            hot.goals.push_back(
+                is(V("Acc1"), bin("+", V("Acc"), V("H"))));
+            hot.goals.push_back(rec);
+            FClause cold = stepHead();
+            cold.goals.push_back(bin("=<", V("H"), I(split)));
+            cold.goals.push_back(is(V("Acc1"), V("Acc")));
+            cold.goals.push_back(rec);
+            prog.clauses.push_back(std::move(hot));
+            prog.clauses.push_back(std::move(cold));
+        }
+        walkers.push_back(std::move(info));
+    }
+
+    // --- main/0 -----------------------------------------------------
+
+    FTerm
+    call(const PredInfo &p, std::vector<FTerm> args)
+    {
+        FTerm t = S("dummy", {});
+        t.name = p.name;
+        t.args = std::move(args);
+        return t;
+    }
+
+    /** One fail-driven enumeration clause:
+     *  `main :- d<i>(K, X), out(X), fail.` — backtracks through
+     *  every fact, emitting each solution. */
+    FClause
+    enumClause()
+    {
+        const PredInfo &d = data[rng.below(data.size())];
+        FClause c;
+        c.head = A("main");
+        if (rng.chance(1, 2)) {
+            // Unbound key: enumerate everything.
+            c.goals.push_back(call(d, {V("K"), V("X")}));
+        } else {
+            // Bound collider key: enumerate the hostile hash slot.
+            c.goals.push_back(call(d, {d.hitKey, V("X")}));
+        }
+        if (rng.chance(1, 3))
+            c.goals.push_back(bin(">", V("X"), I(rng.range(0, 4))));
+        c.goals.push_back(out(V("X")));
+        c.goals.push_back(A("fail"));
+        return c;
+    }
+
+    /** Deterministic out-producing goal group for the final clause. */
+    void
+    detGroup(std::vector<FTerm> &goals, int serial)
+    {
+        std::string rv = strprintf("R%d", serial);
+        std::string lv = strprintf("L%d", serial);
+        std::string sv = strprintf("S%d", serial);
+        switch (rng.below(5)) {
+          case 0: {
+            if (counters.empty())
+                return detGroupArith(goals, rv);
+            const PredInfo &p =
+                counters[rng.below(counters.size())];
+            goals.push_back(
+                call(p, {I(rng.range(1, opt.maxRecDepth)),
+                         I(rng.range(0, 5)), V(rv)}));
+            goals.push_back(out(V(rv)));
+            return;
+          }
+          case 1: {
+            if (builders.empty() || walkers.empty())
+                return detGroupArith(goals, rv);
+            const PredInfo &b =
+                builders[rng.below(builders.size())];
+            const PredInfo &w = walkers[rng.below(walkers.size())];
+            goals.push_back(
+                call(b, {I(rng.range(1, opt.maxRecDepth)), V(lv)}));
+            goals.push_back(call(w, {V(lv), I(0), V(sv)}));
+            goals.push_back(out(V(sv)));
+            return;
+          }
+          case 2: {
+            // Lookup guarded by if-then-else: hit or miss key.
+            const PredInfo &d = data[rng.below(data.size())];
+            bool hit = rng.chance(2, 3);
+            FTerm key = hit ? d.hitKey : d.missKey;
+            goals.push_back(ite(call(d, {key, V(rv)}),
+                                out(V(rv)), out(I(-1))));
+            return;
+          }
+          case 3: {
+            // Negation as failure on a guaranteed-absent key.
+            const PredInfo &d = data[rng.below(data.size())];
+            FTerm naf = FTerm::mkStruct(
+                "\\+", {call(d, {d.missKey, V("U" + rv)})});
+            goals.push_back(ite(std::move(naf), out(I(1)),
+                                out(I(0))));
+            return;
+          }
+          default:
+            return detGroupArith(goals, rv);
+        }
+    }
+
+    void
+    detGroupArith(std::vector<FTerm> &goals, const std::string &rv)
+    {
+        if (!arith.empty() && rng.chance(2, 3)) {
+            const PredInfo &f = arith[rng.below(arith.size())];
+            goals.push_back(call(f, {I(rng.range(0, 9)), V(rv)}));
+        } else {
+            std::vector<FTerm> none;
+            goals.push_back(is(V(rv), expr(none, opt.maxExprDepth)));
+        }
+        goals.push_back(out(V(rv)));
+    }
+
+    void
+    mainPred()
+    {
+        int drivers = 1 + static_cast<int>(rng.below(3));
+        for (int i = 0; i < drivers; ++i)
+            prog.clauses.push_back(enumClause());
+        FClause last;
+        last.head = A("main");
+        int groups = 2 + static_cast<int>(rng.below(3));
+        for (int i = 0; i < groups; ++i)
+            detGroup(last.goals, i);
+        if (last.goals.empty())
+            last.goals.push_back(out(I(0)));
+        prog.clauses.push_back(std::move(last));
+    }
+
+    FProgram
+    run()
+    {
+        int nData = 1 + static_cast<int>(rng.below(
+                            static_cast<std::uint64_t>(
+                                opt.maxDataPreds)));
+        for (int i = 0; i < nData; ++i)
+            dataPred(i);
+        int nArith = static_cast<int>(
+            rng.below(static_cast<std::uint64_t>(
+                          opt.maxArithPreds) + 1));
+        for (int i = 0; i < nArith; ++i)
+            arithPred(i);
+        int nRec = 1 + static_cast<int>(rng.below(
+                           static_cast<std::uint64_t>(
+                               opt.maxRecPreds)));
+        for (int i = 0; i < nRec; ++i) {
+            switch (rng.below(3)) {
+              case 0: counterPred(i); break;
+              case 1: builderPred(i); break;
+              default: walkerPred(i); break;
+            }
+        }
+        // A walker with no builder (or vice versa) is fine — main
+        // only pairs them when both exist — but make sure at least
+        // one deterministic recursion source exists.
+        if (counters.empty() && (builders.empty() || walkers.empty()))
+            counterPred(nRec);
+        mainPred();
+        return std::move(prog);
+    }
+};
+
+} // namespace
+
+FProgram
+generate(std::uint64_t seed, const GenOptions &opts)
+{
+    Gen g(seed, opts);
+    return g.run();
+}
+
+} // namespace symbol::fuzz

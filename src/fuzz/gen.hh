@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Grammar-level random Prolog program generator (DESIGN.md §12).
+ *
+ * Every generated program is a pure function of its 64-bit seed,
+ * defines main/0, reports through out/1, and terminates by
+ * construction:
+ *
+ *  - recursion always decreases a measure — an integer counter
+ *    guarded by `N > 0` with `N1 is N - 1` stepping toward a `0`
+ *    base case, or structural descent down a list built by such a
+ *    counter — and predicates only ever call predicates of strictly
+ *    smaller index, so there is no mutual recursion;
+ *  - division and modulo only ever appear with nonzero integer
+ *    literal divisors (the sequential emulator traps on a zero
+ *    divisor while the exposed VLIW datapath yields 0 — §"division
+ *    never traps" — so a runtime zero divisor would be a semantics
+ *    difference by design, not a bug);
+ *  - multiplication always has a small literal factor on one side,
+ *    keeping every intermediate far from 64-bit overflow (signed
+ *    overflow would be UB in the emulator, not a defined result).
+ *
+ * Data predicates are deliberately indexing-hostile: first arguments
+ * repeat the same constant across clauses, mix tags (integer, atom,
+ * structure, list) and may include a variable, exercising the
+ * compiler's switch_tag / dispatch-chain machinery and its ablation
+ * (compiler.indexing = false) on the worst cases. main/0 combines
+ * fail-driven enumeration clauses (backtracking through out/1 side
+ * effects) with a deterministic final clause using if-then-else,
+ * negation-as-failure and cut.
+ */
+
+#ifndef SYMBOL_FUZZ_GEN_HH
+#define SYMBOL_FUZZ_GEN_HH
+
+#include "fuzz/ast.hh"
+
+namespace symbol::fuzz
+{
+
+/** Generation knobs (sizes, not probabilities — all distributions
+ *  are fixed in gen.cc so seeds stay stable). */
+struct GenOptions
+{
+    /** Maximum extra data predicates beyond the first. */
+    int maxDataPreds = 3;
+    /** Maximum arithmetic (functional) predicates. */
+    int maxArithPreds = 3;
+    /** Maximum extra recursive predicates beyond the first. */
+    int maxRecPreds = 3;
+    /** Maximum fact clauses per data predicate. */
+    int maxFactsPerPred = 6;
+    /** Upper bound for every recursion counter (the decreasing
+     *  measure starts at most here; guarantees termination). */
+    int maxRecDepth = 8;
+    /** Maximum depth of ground data terms in fact arguments. */
+    int maxTermDepth = 3;
+    /** Maximum arithmetic-expression tree depth. */
+    int maxExprDepth = 3;
+};
+
+/** Generate the program for @p seed. Deterministic across hosts. */
+FProgram generate(std::uint64_t seed, const GenOptions &opts = {});
+
+} // namespace symbol::fuzz
+
+#endif // SYMBOL_FUZZ_GEN_HH

@@ -1,0 +1,422 @@
+#include "fuzz/inject.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "intcode/instr.hh"
+
+namespace symbol::fuzz
+{
+
+namespace
+{
+
+using intcode::IInstr;
+using intcode::IOp;
+using intcode::OpClass;
+using vliw::Code;
+using vliw::MicroOp;
+
+/** Region index of wide @p w (regionStart is ascending from 0). */
+int
+regionOf(const Code &c, int w)
+{
+    int r = 0;
+    for (std::size_t k = 0; k < c.regionStart.size(); ++k)
+        if (c.regionStart[k] <= w)
+            r = static_cast<int>(k);
+    return r;
+}
+
+int
+regionEndWide(const Code &c, int r)
+{
+    return static_cast<std::size_t>(r) + 1 < c.regionStart.size()
+               ? c.regionStart[static_cast<std::size_t>(r) + 1]
+               : static_cast<int>(c.code.size());
+}
+
+/** First op satisfying @p pred, as (wide, pos); found = true. */
+template <class Pred>
+bool
+findOp(Code &c, Pred pred, int &ow, int &op)
+{
+    for (std::size_t w = 0; w < c.code.size(); ++w)
+        for (std::size_t p = 0; p < c.code[w].ops.size(); ++p)
+            if (pred(c.code[w].ops[p])) {
+                ow = static_cast<int>(w);
+                op = static_cast<int>(p);
+                return true;
+            }
+    return false;
+}
+
+/** Detach op @p p of wide @p w and append it to wide @p dst. The
+ *  op keeps its seq/orig provenance, so only placement-sensitive
+ *  checks (resources, latency, dependence order) can object. */
+void
+moveOp(Code &c, int w, int p, int dst)
+{
+    MicroOp m = c.code[static_cast<std::size_t>(w)]
+                    .ops[static_cast<std::size_t>(p)];
+    auto &from = c.code[static_cast<std::size_t>(w)].ops;
+    from.erase(from.begin() + p);
+    c.code[static_cast<std::size_t>(dst)].ops.push_back(m);
+}
+
+bool
+writesReg(const IInstr &i)
+{
+    OpClass k = intcode::opClass(i.op);
+    return (k == OpClass::Alu || k == OpClass::Move ||
+            i.op == IOp::Ld) &&
+           intcode::defReg(i) >= 0;
+}
+
+bool
+usesReg(const IInstr &i, int d)
+{
+    int uses[2];
+    int nu = 0;
+    intcode::useRegs(i, uses, nu);
+    for (int u = 0; u < nu; ++u)
+        if (uses[u] == d)
+            return true;
+    return false;
+}
+
+// --- The injectors, one per injectable verify::Kind ----------------
+
+/** Malformed: append an out-of-range region-table entry. */
+bool
+injMalformed(Code &c)
+{
+    c.regionStart.push_back(static_cast<int>(c.code.size()) + 3);
+    return true;
+}
+
+/** Mismatch: forge one op's operand field so it no longer matches
+ *  the source instruction its provenance claims. */
+bool
+injMismatch(Code &c)
+{
+    int w, p;
+    if (!findOp(c, [](const MicroOp &m) { return m.orig >= 0; }, w,
+                p))
+        return false;
+    c.code[static_cast<std::size_t>(w)]
+        .ops[static_cast<std::size_t>(p)]
+        .instr.off += 3;
+    return true;
+}
+
+/** NotAPath: swap the claimed sequence positions of two adjacent
+ *  non-control ops, so the claimed source order is no longer a path
+ *  of the program. */
+bool
+injNotAPath(Code &c)
+{
+    for (std::size_t r = 0; r < c.regionStart.size(); ++r) {
+        std::vector<MicroOp *> s;
+        for (int w = c.regionStart[r];
+             w < regionEndWide(c, static_cast<int>(r)); ++w)
+            for (MicroOp &m :
+                 c.code[static_cast<std::size_t>(w)].ops)
+                s.push_back(&m);
+        std::sort(s.begin(), s.end(),
+                  [](const MicroOp *a, const MicroOp *b) {
+                      return a->seq < b->seq;
+                  });
+        for (std::size_t k = 1; k < s.size(); ++k) {
+            MicroOp *a = s[k - 1], *b = s[k];
+            if (a->orig >= 0 && b->orig >= 0 &&
+                a->orig != b->orig &&
+                !intcode::isControl(a->instr.op) &&
+                !intcode::isControl(b->instr.op)) {
+                std::swap(a->seq, b->seq);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+/** BadUnit: bind one op to a unit the machine does not have. */
+bool
+injBadUnit(Code &c)
+{
+    int w, p;
+    if (!findOp(c, [](const MicroOp &) { return true; }, w, p))
+        return false;
+    c.code[static_cast<std::size_t>(w)]
+        .ops[static_cast<std::size_t>(p)]
+        .unit = 99;
+    return true;
+}
+
+/** SlotLimit: collapse two same-class ops of one cycle onto one
+ *  unit, oversubscribing its single issue slot of that class. */
+bool
+injSlotLimit(Code &c)
+{
+    for (vliw::WideInstr &w : c.code)
+        for (std::size_t i = 0; i < w.ops.size(); ++i)
+            for (std::size_t j = i + 1; j < w.ops.size(); ++j) {
+                OpClass ki = intcode::opClass(w.ops[i].instr.op);
+                OpClass kj = intcode::opClass(w.ops[j].instr.op);
+                if (ki == kj && ki != OpClass::Other &&
+                    w.ops[i].unit != w.ops[j].unit) {
+                    w.ops[j].unit = w.ops[i].unit;
+                    return true;
+                }
+            }
+    return false;
+}
+
+/** MemPorts: move a later memory op into a cycle that already
+ *  issues one — two accesses, one shared port. */
+bool
+injMemPorts(Code &c)
+{
+    for (std::size_t r = 0; r < c.regionStart.size(); ++r) {
+        int first = -1;
+        for (int w = c.regionStart[r];
+             w < regionEndWide(c, static_cast<int>(r)); ++w)
+            for (std::size_t p = 0;
+                 p < c.code[static_cast<std::size_t>(w)].ops.size();
+                 ++p) {
+                const MicroOp &m =
+                    c.code[static_cast<std::size_t>(w)]
+                        .ops[static_cast<std::size_t>(p)];
+                if (intcode::opClass(m.instr.op) != OpClass::Memory)
+                    continue;
+                if (first < 0) {
+                    first = w;
+                } else if (w != first) {
+                    moveOp(c, w, static_cast<int>(p), first);
+                    return true;
+                }
+            }
+    }
+    return false;
+}
+
+/** BadRegister: point one op's destination outside the register
+ *  file. */
+bool
+injBadRegister(Code &c)
+{
+    int w, p;
+    if (!findOp(c,
+                [](const MicroOp &m) { return writesReg(m.instr); },
+                w, p))
+        return false;
+    c.code[static_cast<std::size_t>(w)]
+        .ops[static_cast<std::size_t>(p)]
+        .instr.rd = c.numRegs + 5;
+    return true;
+}
+
+/** BadTarget: retarget one branch past the end of the code. */
+bool
+injBadTarget(Code &c)
+{
+    int w, p;
+    if (!findOp(c,
+                [](const MicroOp &m) {
+                    return intcode::isCondBranch(m.instr.op) ||
+                           m.instr.op == IOp::Jmp;
+                },
+                w, p))
+        return false;
+    c.code[static_cast<std::size_t>(w)]
+        .ops[static_cast<std::size_t>(p)]
+        .instr.target = static_cast<int>(c.code.size()) + 7;
+    return true;
+}
+
+/** Latency: move a consumer into the very cycle that produces its
+ *  operand, so the static path reads an uncommitted result. */
+bool
+injLatency(Code &c)
+{
+    for (std::size_t r = 0; r < c.regionStart.size(); ++r) {
+        int start = c.regionStart[r];
+        int end = regionEndWide(c, static_cast<int>(r));
+        for (int w = start; w < end; ++w)
+            for (const MicroOp &x :
+                 c.code[static_cast<std::size_t>(w)].ops) {
+                if (!writesReg(x.instr))
+                    continue;
+                int d = intcode::defReg(x.instr);
+                // Nearest later consumer with no redefinition of d
+                // in between (so x really is its producer).
+                for (int w2 = w + 1; w2 < end; ++w2) {
+                    auto &ops =
+                        c.code[static_cast<std::size_t>(w2)].ops;
+                    for (std::size_t p = 0; p < ops.size(); ++p)
+                        if (usesReg(ops[p].instr, d)) {
+                            moveOp(c, w2, static_cast<int>(p), w);
+                            return true;
+                        }
+                    bool redef = false;
+                    for (const MicroOp &y : ops)
+                        redef |= writesReg(y.instr) &&
+                                 intcode::defReg(y.instr) == d;
+                    if (redef)
+                        break;
+                }
+            }
+    }
+    return false;
+}
+
+/** WriteOverlap: retarget a next-cycle write onto a load's
+ *  destination while the (multi-cycle) load is still in flight. */
+bool
+injWriteOverlap(Code &c)
+{
+    for (std::size_t w = 0; w + 1 < c.code.size(); ++w) {
+        if (regionOf(c, static_cast<int>(w)) !=
+            regionOf(c, static_cast<int>(w) + 1))
+            continue;
+        for (const MicroOp &x : c.code[w].ops) {
+            if (x.instr.op != IOp::Ld)
+                continue;
+            for (MicroOp &y : c.code[w + 1].ops)
+                if (writesReg(y.instr)) {
+                    y.instr.rd = x.instr.rd;
+                    return true;
+                }
+        }
+    }
+    return false;
+}
+
+/** DepOrder: hoist a consumer of an in-region result above its
+ *  producer's cycle, reordering a true dependence. */
+bool
+injDepOrder(Code &c)
+{
+    for (std::size_t r = 0; r < c.regionStart.size(); ++r) {
+        int start = c.regionStart[r];
+        int end = regionEndWide(c, static_cast<int>(r));
+        for (int w = start + 1; w < end; ++w) {
+            auto &ops = c.code[static_cast<std::size_t>(w)].ops;
+            for (std::size_t p = 0; p < ops.size(); ++p) {
+                if (intcode::isControl(ops[p].instr.op))
+                    continue;
+                int uses[2];
+                int nu = 0;
+                intcode::useRegs(ops[p].instr, uses, nu);
+                for (int u = 0; u < nu; ++u) {
+                    // Defined earlier in this region?
+                    for (int wd = start; wd < w; ++wd)
+                        for (const MicroOp &x :
+                             c.code[static_cast<std::size_t>(wd)]
+                                 .ops)
+                            if (writesReg(x.instr) &&
+                                intcode::defReg(x.instr) ==
+                                    uses[u] &&
+                                wd > start) {
+                                moveOp(c, w, static_cast<int>(p),
+                                       start);
+                                return true;
+                            }
+                }
+            }
+        }
+    }
+    return false;
+}
+
+/** BranchOrder: move a conditional branch after an unconditional
+ *  exit inside the same wide instruction. */
+bool
+injBranchOrder(Code &c)
+{
+    for (std::size_t w = 0; w < c.code.size(); ++w) {
+        bool exitHere = false;
+        for (const MicroOp &m : c.code[w].ops)
+            exitHere |= m.instr.op == IOp::Jmp ||
+                        m.instr.op == IOp::Jmpi ||
+                        m.instr.op == IOp::Halt;
+        if (!exitHere)
+            continue;
+        int rw = regionOf(c, static_cast<int>(w));
+        for (int w2 = c.regionStart[static_cast<std::size_t>(rw)];
+             w2 < regionEndWide(c, rw); ++w2) {
+            if (w2 == static_cast<int>(w))
+                continue;
+            auto &ops = c.code[static_cast<std::size_t>(w2)].ops;
+            for (std::size_t p = 0; p < ops.size(); ++p)
+                if (intcode::isCondBranch(ops[p].instr.op)) {
+                    moveOp(c, w2, static_cast<int>(p),
+                           static_cast<int>(w));
+                    return true;
+                }
+        }
+    }
+    return false;
+}
+
+/** Speculation: hoist a store above a conditional split of its
+ *  region (a side effect must never move above a split). */
+bool
+injSpeculation(Code &c)
+{
+    for (std::size_t r = 0; r < c.regionStart.size(); ++r) {
+        int start = c.regionStart[r];
+        int end = regionEndWide(c, static_cast<int>(r));
+        int split = -1;
+        for (int w = start; w < end; ++w) {
+            auto &ops = c.code[static_cast<std::size_t>(w)].ops;
+            for (std::size_t p = 0; p < ops.size(); ++p) {
+                if (intcode::isCondBranch(ops[p].instr.op) &&
+                    split < 0 && w > start)
+                    split = w;
+                if (split >= 0 && w > split &&
+                    ops[p].instr.op == IOp::St) {
+                    moveOp(c, w, static_cast<int>(p), start);
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace
+
+const std::vector<FaultInjector> &
+faultInjectors()
+{
+    static const std::vector<FaultInjector> table = {
+        {"malformed-regions", verify::Kind::Malformed, injMalformed},
+        {"forged-provenance", verify::Kind::Mismatch, injMismatch},
+        {"not-a-path", verify::Kind::NotAPath, injNotAPath},
+        {"bad-unit", verify::Kind::BadUnit, injBadUnit},
+        {"slot-limit", verify::Kind::SlotLimit, injSlotLimit},
+        {"mem-ports", verify::Kind::MemPorts, injMemPorts},
+        {"bad-register", verify::Kind::BadRegister, injBadRegister},
+        {"bad-target", verify::Kind::BadTarget, injBadTarget},
+        {"latency", verify::Kind::Latency, injLatency},
+        {"write-overlap", verify::Kind::WriteOverlap,
+         injWriteOverlap},
+        {"dep-order", verify::Kind::DepOrder, injDepOrder},
+        {"branch-order", verify::Kind::BranchOrder, injBranchOrder},
+        {"speculation", verify::Kind::Speculation, injSpeculation},
+    };
+    return table;
+}
+
+const FaultInjector *
+findInjector(const char *name)
+{
+    for (const FaultInjector &f : faultInjectors())
+        if (std::strcmp(f.name, name) == 0)
+            return &f;
+    return nullptr;
+}
+
+} // namespace symbol::fuzz

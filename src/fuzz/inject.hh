@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deliberate schedule-fault injectors (DESIGN.md §12).
+ *
+ * Each injector mutates real compacted code to provoke one of the
+ * verifier's illegal-schedule classes (verify::Kind), so tests can
+ * prove the differential oracle catches — and the shrinker minimises
+ * — every class of scheduler bug end to end, on programs the fuzzer
+ * generated rather than schedules built by hand (those live in
+ * tests/test_verify.cc).
+ *
+ * 13 of the 16 verify::Kind classes are injectable on the oracle's
+ * default machine (MachineConfig::idealShared): Format needs the
+ * prototype's two-format restriction and BusLimit/BusLatency need
+ * specific cluster pressure, so those three stay covered by the
+ * hand-built schedules in test_verify.cc only.
+ *
+ * An injector returns false when the code lacks the shape it needs
+ * (e.g. no two memory ops to collide); callers probe seeds until one
+ * applies. Mutations are deterministic functions of the code, so a
+ * shrink re-running the oracle reproduces the same fault as long as
+ * the shrunken program still has the required shape — which is
+ * exactly the shrinker's preserved-class criterion.
+ */
+
+#ifndef SYMBOL_FUZZ_INJECT_HH
+#define SYMBOL_FUZZ_INJECT_HH
+
+#include <vector>
+
+#include "verify/verify.hh"
+#include "vliw/code.hh"
+
+namespace symbol::fuzz
+{
+
+/** One named fault injector. */
+struct FaultInjector
+{
+    /** Stable kebab-case name ("bad-unit", "mem-ports", ...). */
+    const char *name;
+    /** The violation class the mutation is designed to provoke (the
+     *  verifier may legitimately report additional classes). */
+    verify::Kind kind;
+    /** Mutate @p code; false = code lacks the shape this fault
+     *  needs (nothing was changed). */
+    bool (*apply)(vliw::Code &code);
+};
+
+/** The 13 injectable illegal-schedule classes, in verify::Kind
+ *  order. */
+const std::vector<FaultInjector> &faultInjectors();
+
+/** Look up one injector by name (nullptr if unknown). */
+const FaultInjector *findInjector(const char *name);
+
+} // namespace symbol::fuzz
+
+#endif // SYMBOL_FUZZ_INJECT_HH

@@ -1,0 +1,232 @@
+#include "fuzz/oracle.hh"
+
+#include <numeric>
+
+#include "check/check.hh"
+#include "prolog/parser.hh"
+#include "sched/compact.hh"
+#include "support/text.hh"
+#include "verify/verify.hh"
+
+namespace symbol::fuzz
+{
+
+const std::vector<FrontConfig> &
+defaultConfigs()
+{
+    static const std::vector<FrontConfig> configs = [] {
+        std::vector<FrontConfig> c(3);
+        c[0].name = "default";
+        c[1].name = "expand-tags";
+        c[1].translate.expandTagBranches = true;
+        c[2].name = "no-indexing";
+        c[2].compiler.indexing = false;
+        return c;
+    }();
+    return configs;
+}
+
+const char *
+verdictClassName(VerdictClass c)
+{
+    switch (c) {
+      case VerdictClass::Pass: return "pass";
+      case VerdictClass::CompileReject: return "compile-reject";
+      case VerdictClass::CrossConfigMismatch:
+        return "cross-config-mismatch";
+      case VerdictClass::OutputMismatch: return "output-mismatch";
+      case VerdictClass::StatusMismatch: return "status-mismatch";
+      case VerdictClass::VerifyViolation: return "verify-violation";
+      case VerdictClass::InvariantViolation:
+        return "invariant-violation";
+      case VerdictClass::Crash: return "crash";
+    }
+    return "?";
+}
+
+std::string
+Verdict::str() const
+{
+    std::string out = verdictClassName(cls);
+    if (!config.empty())
+        out += " [" + config + "]";
+    if (!detail.empty())
+        out += ": " + detail;
+    return out;
+}
+
+namespace
+{
+
+/** First line of a multi-line report, for one-line verdict details. */
+std::string
+firstLine(const std::string &s)
+{
+    std::size_t nl = s.find('\n');
+    return nl == std::string::npos ? s : s.substr(0, nl);
+}
+
+} // namespace
+
+Verdict
+runOracle(const std::string &source, const OracleOptions &opts)
+{
+    const std::vector<FrontConfig> &configs =
+        opts.configs.empty() ? defaultConfigs() : opts.configs;
+    Verdict v;
+
+    auto fail = [&](VerdictClass cls, const std::string &config,
+                    std::string detail) {
+        v.cls = cls;
+        v.config = config;
+        v.detail = std::move(detail);
+        return v;
+    };
+
+    for (const FrontConfig &fc : configs) {
+        ConfigReport rep;
+        rep.config = fc.name;
+        try {
+            Interner interner;
+            prolog::Program pp =
+                prolog::parseProgram(source, interner);
+            bam::Module mod = bamc::compile(pp, fc.compiler);
+            intcode::Program ici =
+                intcode::translate(mod, fc.translate);
+
+            if (opts.runAnalyzer) {
+                check::DiagnosticEngine diag =
+                    check::analyze(mod, ici);
+                if (!diag.ok())
+                    return fail(VerdictClass::InvariantViolation,
+                                fc.name,
+                                "analyzer: " + diag.summary());
+            }
+
+            emul::Machine seq(ici);
+            emul::RunOptions ro;
+            ro.trapErrors = true;
+            ro.maxSteps = opts.maxSteps;
+            emul::RunResult sr = seq.run(ro);
+            rep.seqStatus = sr.status;
+            rep.instructions = sr.instructions;
+            rep.seqCycles = sr.seqCycles;
+            rep.seqText = emul::decodeOutputStream(sr.output,
+                                                   &interner);
+
+            std::uint64_t expectSum = std::accumulate(
+                sr.profile.expect.begin(), sr.profile.expect.end(),
+                std::uint64_t{0});
+            if (expectSum != sr.instructions)
+                return fail(
+                    VerdictClass::InvariantViolation, fc.name,
+                    strprintf("profile sum(Expect)=%llu != "
+                              "instructions=%llu",
+                              static_cast<unsigned long long>(
+                                  expectSum),
+                              static_cast<unsigned long long>(
+                                  sr.instructions)));
+            if (sr.seqCycles < sr.instructions)
+                return fail(
+                    VerdictClass::InvariantViolation, fc.name,
+                    strprintf("seqCycles=%llu < instructions=%llu",
+                              static_cast<unsigned long long>(
+                                  sr.seqCycles),
+                              static_cast<unsigned long long>(
+                                  sr.instructions)));
+
+            sched::CompactResult cr =
+                sched::compact(ici, sr.profile, opts.machine);
+            if (opts.injectFault)
+                opts.injectFault(cr.code, fc);
+
+            if (opts.runVerifier) {
+                verify::Report vr = verify::checkSchedule(
+                    cr.code, ici, opts.machine);
+                if (!vr.ok())
+                    return fail(
+                        VerdictClass::VerifyViolation, fc.name,
+                        vr.violations.empty()
+                            ? strprintf(
+                                  "%llu violations",
+                                  static_cast<unsigned long long>(
+                                      vr.total))
+                            : vr.violations.front().str());
+            }
+
+            if (sr.status != emul::RunStatus::Ok) {
+                // The ground truth trapped; traps are deterministic
+                // and config-dependent (allocation layout differs),
+                // so there is nothing to line the VLIW run up
+                // against — record and move on.
+                v.reports.push_back(std::move(rep));
+                continue;
+            }
+
+            vliw::Machine vm(cr.code, opts.machine);
+            vliw::SimOptions so;
+            so.trapErrors = true;
+            so.maxCycles = opts.maxCycles;
+            vliw::SimResult mr = vm.run(so);
+            rep.vliwStatus = mr.status;
+            rep.vliwCycles = mr.cycles;
+            rep.vliwText = emul::decodeOutputStream(mr.output,
+                                                    &interner);
+
+            if (mr.latencyViolations != 0 || mr.badUnitOps != 0)
+                return fail(
+                    VerdictClass::InvariantViolation, fc.name,
+                    strprintf("latencyViolations=%llu "
+                              "badUnitOps=%llu",
+                              static_cast<unsigned long long>(
+                                  mr.latencyViolations),
+                              static_cast<unsigned long long>(
+                                  mr.badUnitOps)));
+            if (mr.status != vliw::SimStatus::Ok) {
+                v.reports.push_back(rep);
+                return fail(
+                    VerdictClass::StatusMismatch, fc.name,
+                    strprintf("seq ok but VLIW ended %s",
+                              vliw::simStatusName(mr.status)));
+            }
+            if (mr.output != sr.output) {
+                std::string detail = strprintf(
+                    "seq |%s| vliw |%s|",
+                    firstLine(rep.seqText).c_str(),
+                    firstLine(rep.vliwText).c_str());
+                v.reports.push_back(rep);
+                return fail(VerdictClass::OutputMismatch, fc.name,
+                            detail);
+            }
+        } catch (const CompileError &e) {
+            return fail(VerdictClass::CompileReject, fc.name,
+                        e.what());
+        } catch (const std::exception &e) {
+            return fail(VerdictClass::Crash, fc.name, e.what());
+        }
+        v.reports.push_back(std::move(rep));
+    }
+
+    // Cross-config agreement on the decoded sequential answer, only
+    // meaningful when every configuration halted cleanly.
+    bool allOk = v.reports.size() == configs.size();
+    for (const ConfigReport &r : v.reports)
+        allOk = allOk && r.seqStatus == emul::RunStatus::Ok;
+    if (allOk) {
+        for (std::size_t i = 1; i < v.reports.size(); ++i) {
+            if (v.reports[i].seqText != v.reports[0].seqText)
+                return fail(
+                    VerdictClass::CrossConfigMismatch,
+                    v.reports[i].config,
+                    strprintf("|%s| vs %s |%s|",
+                              firstLine(v.reports[i].seqText)
+                                  .c_str(),
+                              v.reports[0].config.c_str(),
+                              firstLine(v.reports[0].seqText)
+                                  .c_str()));
+        }
+    }
+    return v;
+}
+
+} // namespace symbol::fuzz

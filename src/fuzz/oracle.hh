@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Differential oracle (DESIGN.md §12): run one Prolog program through
+ * every front-end configuration, using the sequential IntCode
+ * emulator as ground truth against the VLIW simulator.
+ *
+ * Per configuration the oracle checks, in order:
+ *  - the program compiles (a reject is its own verdict class — the
+ *    generator is supposed to emit only compilable programs, so a
+ *    reject flags a generator or front-end bug);
+ *  - the static IR analyzer (check::analyze) reports no errors;
+ *  - profile invariants: sum(Expect) equals the executed instruction
+ *    count, and the sequential machine never takes fewer cycles than
+ *    instructions;
+ *  - the independent schedule verifier (verify::checkSchedule)
+ *    accepts the compacted code;
+ *  - the VLIW run reports no latency violations or bad-unit ops;
+ *  - seq and VLIW agree on ending status and on the out/1 stream.
+ * Across configurations, all decoded sequential outputs must agree
+ * when every configuration halted cleanly.
+ *
+ * A fault-injection hook mutates the compacted code before
+ * verification/simulation so tests can prove the oracle catches every
+ * illegal-schedule class end to end.
+ */
+
+#ifndef SYMBOL_FUZZ_ORACLE_HH
+#define SYMBOL_FUZZ_ORACLE_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bamc/compiler.hh"
+#include "emul/machine.hh"
+#include "intcode/translate.hh"
+#include "machine/config.hh"
+#include "vliw/sim.hh"
+
+namespace symbol::fuzz
+{
+
+/** One front-end configuration to differentiate against. */
+struct FrontConfig
+{
+    std::string name;
+    bamc::CompilerOptions compiler;
+    intcode::TranslateOptions translate;
+};
+
+/** The three standard configurations: default, expand-tags (RISC
+ *  without branch-on-tag), no-indexing (plain try/retry chains). */
+const std::vector<FrontConfig> &defaultConfigs();
+
+/** Verdict classes, ordered roughly by how alarming they are. */
+enum class VerdictClass : std::uint8_t
+{
+    Pass,
+    CompileReject,       ///< front end rejected the program
+    CrossConfigMismatch, ///< configs disagree on the seq answer
+    OutputMismatch,      ///< VLIW out/1 stream differs from seq
+    StatusMismatch,      ///< VLIW ending status differs from seq
+    VerifyViolation,     ///< independent verifier rejected a schedule
+    InvariantViolation,  ///< analyzer error / profile or sim counter
+    Crash,               ///< unexpected exception in the pipeline
+};
+
+/** Stable name ("pass", "compile-reject", ...). */
+const char *verdictClassName(VerdictClass c);
+
+/** What one configuration did (for reports and shrinking). */
+struct ConfigReport
+{
+    std::string config;
+    emul::RunStatus seqStatus = emul::RunStatus::Ok;
+    vliw::SimStatus vliwStatus = vliw::SimStatus::Ok;
+    std::string seqText;  ///< decoded sequential out/1 stream
+    std::string vliwText; ///< decoded VLIW out/1 stream
+    std::uint64_t instructions = 0;
+    std::uint64_t seqCycles = 0;
+    std::uint64_t vliwCycles = 0;
+};
+
+/** The oracle's overall judgement of one program. */
+struct Verdict
+{
+    VerdictClass cls = VerdictClass::Pass;
+    /** Config where the first failure was observed ("" if n/a). */
+    std::string config;
+    std::string detail;
+    std::vector<ConfigReport> reports;
+
+    bool pass() const { return cls == VerdictClass::Pass; }
+    /** One-line "class [config]: detail" summary. */
+    std::string str() const;
+};
+
+/** Oracle knobs. */
+struct OracleOptions
+{
+    /** Configurations to differentiate (empty = defaultConfigs()). */
+    std::vector<FrontConfig> configs;
+    machine::MachineConfig machine =
+        machine::MachineConfig::idealShared(3);
+    /** Emulator step budget; hitting it is a StepLimit status, not a
+     *  hang — generated programs terminate far below this. */
+    std::uint64_t maxSteps = 50'000'000;
+    std::uint64_t maxCycles = 100'000'000;
+    bool runVerifier = true;
+    bool runAnalyzer = true;
+    /**
+     * Test hook: mutate the compacted code of the named config
+     * before it is verified and simulated (fault injection — the
+     * oracle must then report the program as failing).
+     */
+    std::function<void(vliw::Code &, const FrontConfig &)>
+        injectFault;
+};
+
+/** Judge @p source (a complete program defining main/0). */
+Verdict runOracle(const std::string &source,
+                  const OracleOptions &opts = {});
+
+} // namespace symbol::fuzz
+
+#endif // SYMBOL_FUZZ_ORACLE_HH

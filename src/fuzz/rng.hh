@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Deterministic pseudo-random source for the fuzzer.
+ *
+ * SplitMix64 (Steele/Lea/Flood, JPDC 2014) — tiny, fast, and with a
+ * fixed, platform-independent output sequence, unlike the standard
+ * library distributions whose mapping from engine output to values is
+ * implementation-defined. Every generated program must be a pure
+ * function of its 64-bit seed on any host, or --replay and the golden
+ * dump test break.
+ */
+
+#ifndef SYMBOL_FUZZ_RNG_HH
+#define SYMBOL_FUZZ_RNG_HH
+
+#include <cstdint>
+
+namespace symbol::fuzz
+{
+
+/** The SplitMix64 finalizer: a bijective 64-bit mixer. */
+constexpr std::uint64_t
+mix64(std::uint64_t z)
+{
+    z += 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/** Seeded deterministic generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        state_ += 0x9E3779B97F4A7C15ull;
+        std::uint64_t z = state_;
+        z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+        z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+        return z ^ (z >> 31);
+    }
+
+    /** Uniform value in [0, n); n must be positive. Uses the
+     *  (slightly biased, but deterministic and branch-free) modulo
+     *  reduction — fine for test-case generation. */
+    std::uint64_t
+    below(std::uint64_t n)
+    {
+        return next() % n;
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /** True with probability @p num / @p den. */
+    bool
+    chance(std::uint64_t num, std::uint64_t den)
+    {
+        return below(den) < num;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace symbol::fuzz
+
+#endif // SYMBOL_FUZZ_RNG_HH

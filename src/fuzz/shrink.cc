@@ -1,0 +1,295 @@
+#include "fuzz/shrink.hh"
+
+#include "support/diagnostics.hh"
+
+namespace symbol::fuzz
+{
+
+namespace
+{
+
+/** Path to a subterm: arg indices from a goal's root. */
+using Path = std::vector<int>;
+
+FTerm *
+atPath(FTerm &root, const Path &path)
+{
+    FTerm *t = &root;
+    for (int i : path)
+        t = &t->args[static_cast<std::size_t>(i)];
+    return t;
+}
+
+/** Collect the paths of all proper subterm positions (pre-order). */
+void
+collectPaths(const FTerm &t, Path &cur, std::vector<Path> &out)
+{
+    for (std::size_t i = 0; i < t.args.size(); ++i) {
+        cur.push_back(static_cast<int>(i));
+        out.push_back(cur);
+        collectPaths(t.args[i], cur, out);
+        cur.pop_back();
+    }
+}
+
+struct Shrinker
+{
+    const OracleOptions &oopts;
+    const ShrinkOptions &sopts;
+    VerdictClass target;
+    /** CompileReject only: the reject reason must be preserved too,
+     *  or the shrinker would collapse everything to the empty
+     *  program (which trivially rejects — no main/0). */
+    std::string targetDetail;
+    Verdict lastGood;
+    int probes = 0;
+
+    bool budgetLeft() const { return probes < sopts.maxProbes; }
+
+    /** Oracle probe: does @p cand still fail with the target class? */
+    bool
+    reproduces(const FProgram &cand)
+    {
+        if (!budgetLeft())
+            return false;
+        ++probes;
+        Verdict v = runOracle(renderProgram(cand), oopts);
+        if (v.cls != target)
+            return false;
+        if (target == VerdictClass::CompileReject &&
+            v.detail != targetDetail)
+            return false;
+        lastGood = std::move(v);
+        return true;
+    }
+
+    /** Try removing clauses [start, start+len); accept on repro. */
+    bool
+    tryRemoveClauses(FProgram &p, std::size_t start, std::size_t len)
+    {
+        FProgram cand;
+        cand.seed = p.seed;
+        for (std::size_t i = 0; i < p.clauses.size(); ++i)
+            if (i < start || i >= start + len)
+                cand.clauses.push_back(p.clauses[i]);
+        if (!reproduces(cand))
+            return false;
+        p = std::move(cand);
+        return true;
+    }
+
+    /** Try removing goals [start, start+len) of clause @p ci. */
+    bool
+    tryRemoveGoals(FProgram &p, std::size_t ci, std::size_t start,
+                   std::size_t len)
+    {
+        FProgram cand = p;
+        auto &goals = cand.clauses[ci].goals;
+        goals.erase(goals.begin() + static_cast<std::ptrdiff_t>(start),
+                    goals.begin() +
+                        static_cast<std::ptrdiff_t>(start + len));
+        if (!reproduces(cand))
+            return false;
+        p = std::move(cand);
+        return true;
+    }
+
+    /**
+     * One ddmin sweep over whole clauses: windows of halving size,
+     * restarting from the largest window after every acceptance.
+     * Returns true if anything was removed.
+     */
+    bool
+    ddminClauses(FProgram &p)
+    {
+        bool any = false;
+        bool changed = true;
+        while (changed && budgetLeft()) {
+            changed = false;
+            for (std::size_t len = p.clauses.size() / 2; len >= 1;
+                 len /= 2) {
+                for (std::size_t start = 0;
+                     start + len <= p.clauses.size();
+                     /* advance below */) {
+                    if (tryRemoveClauses(p, start, len)) {
+                        any = changed = true;
+                        // Window removed; same start now names the
+                        // next candidates.
+                    } else {
+                        start += len;
+                    }
+                    if (!budgetLeft())
+                        return any;
+                }
+                if (len == 1)
+                    break;
+            }
+        }
+        return any;
+    }
+
+    /** ddmin sweep over the goals of every clause. */
+    bool
+    ddminGoals(FProgram &p)
+    {
+        bool any = false;
+        for (std::size_t ci = 0; ci < p.clauses.size(); ++ci) {
+            bool changed = true;
+            while (changed && budgetLeft()) {
+                changed = false;
+                std::size_t n = p.clauses[ci].goals.size();
+                for (std::size_t len = n == 0 ? 0 : (n + 1) / 2;
+                     len >= 1; len /= 2) {
+                    for (std::size_t start = 0;
+                         start + len <= p.clauses[ci].goals.size();) {
+                        if (tryRemoveGoals(p, ci, start, len)) {
+                            any = changed = true;
+                        } else {
+                            start += len;
+                        }
+                        if (!budgetLeft())
+                            return any;
+                    }
+                    if (len == 1)
+                        break;
+                }
+            }
+        }
+        return any;
+    }
+
+    /** Candidate simpler replacements for one subterm. */
+    std::vector<FTerm>
+    replacements(const FTerm &t)
+    {
+        std::vector<FTerm> out;
+        switch (t.kind) {
+          case FKind::Int:
+            if (t.num != 0)
+                out.push_back(FTerm::mkInt(0));
+            break;
+          case FKind::Atom:
+          case FKind::Var:
+            break;
+          case FKind::List:
+            if (!t.args.empty())
+                out.push_back(FTerm::mkList({}));
+            break;
+          case FKind::Struct:
+            out.push_back(FTerm::mkInt(0));
+            // Promote each argument over the whole structure.
+            for (const FTerm &a : t.args)
+                out.push_back(a);
+            break;
+        }
+        return out;
+    }
+
+    /** Greedy term-level simplification of body goals, to fixpoint. */
+    bool
+    simplifyTerms(FProgram &p)
+    {
+        bool any = false;
+        bool changed = true;
+        while (changed && budgetLeft()) {
+            changed = false;
+            for (std::size_t ci = 0;
+                 ci < p.clauses.size() && !changed; ++ci) {
+                auto &goals = p.clauses[ci].goals;
+                for (std::size_t gi = 0;
+                     gi < goals.size() && !changed; ++gi) {
+                    std::vector<Path> paths;
+                    Path cur;
+                    collectPaths(goals[gi], cur, paths);
+                    for (const Path &path : paths) {
+                        const FTerm &sub =
+                            *atPath(goals[gi], path);
+                        for (FTerm &r : replacements(sub)) {
+                            FProgram cand = p;
+                            *atPath(cand.clauses[ci].goals[gi],
+                                    path) = r;
+                            if (reproduces(cand)) {
+                                p = std::move(cand);
+                                any = changed = true;
+                                break;
+                            }
+                            if (!budgetLeft())
+                                return any;
+                        }
+                        if (changed)
+                            break;
+                    }
+                }
+            }
+        }
+        return any;
+    }
+
+    /**
+     * Prove 1-minimality at clause/goal granularity: no single
+     * clause and no single goal can be removed while keeping the
+     * verdict class. Returns false when the budget ran out first.
+     */
+    bool
+    proveMinimal(FProgram &p)
+    {
+        for (std::size_t i = 0; i < p.clauses.size(); ++i) {
+            if (!budgetLeft())
+                return false;
+            // On success p is updated in place — the removal is
+            // kept, and the program was evidently not yet minimal.
+            if (tryRemoveClauses(p, i, 1))
+                return false;
+        }
+        for (std::size_t ci = 0; ci < p.clauses.size(); ++ci)
+            for (std::size_t gi = 0;
+                 gi < p.clauses[ci].goals.size(); ++gi) {
+                if (!budgetLeft())
+                    return false;
+                if (tryRemoveGoals(p, ci, gi, 1))
+                    return false;
+            }
+        return true;
+    }
+};
+
+} // namespace
+
+ShrinkResult
+shrink(const FProgram &prog, const OracleOptions &oopts,
+       const ShrinkOptions &sopts)
+{
+    Shrinker s{oopts, sopts, VerdictClass::Pass, {}, {}, 0};
+    Verdict first = runOracle(renderProgram(prog), oopts);
+    if (first.pass())
+        throw RuntimeError(
+            "shrink: program does not fail the oracle");
+    s.target = first.cls;
+    s.targetDetail = first.detail;
+    s.lastGood = first;
+
+    ShrinkResult res;
+    res.program = prog;
+    bool changed = true;
+    while (changed && s.budgetLeft()) {
+        changed = false;
+        changed |= s.ddminClauses(res.program);
+        changed |= s.ddminGoals(res.program);
+        changed |= s.simplifyTerms(res.program);
+    }
+    // The fixpoint loop already failed to remove any single clause
+    // or goal, but re-prove it explicitly so the flag is a direct
+    // witness rather than an artefact of loop ordering. A sweep that
+    // does find a removal keeps it and is simply run again.
+    while (s.budgetLeft()) {
+        if (s.proveMinimal(res.program)) {
+            res.minimal = true;
+            break;
+        }
+    }
+    res.verdict = s.lastGood;
+    res.probes = s.probes;
+    return res;
+}
+
+} // namespace symbol::fuzz

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Delta-debugging shrinker (DESIGN.md §12).
+ *
+ * Given a failing program, greedily minimise it while preserving the
+ * verdict *class*, so the reduced artifact still demonstrates the
+ * same kind of bug (the failing configuration may legitimately shift
+ * while shrinking and is not pinned):
+ *
+ *  1. clause level — ddmin over whole clauses;
+ *  2. goal level — ddmin over each remaining clause's body goals;
+ *  3. term level — greedy rewrites replacing subterms with simpler
+ *     ones (a small integer, an empty list, a bare argument);
+ *  4. a final 1-minimality sweep proving no single clause or goal
+ *     can still be removed.
+ *
+ * Reductions that break compilation are rejected naturally: the
+ * candidate's verdict class becomes CompileReject, which differs
+ * from the target class (unless the target *is* CompileReject, in
+ * which case a smaller program with the same reject is exactly what
+ * we want). Every probe re-runs the full oracle, so the probe budget
+ * bounds shrink cost.
+ */
+
+#ifndef SYMBOL_FUZZ_SHRINK_HH
+#define SYMBOL_FUZZ_SHRINK_HH
+
+#include "fuzz/ast.hh"
+#include "fuzz/oracle.hh"
+
+namespace symbol::fuzz
+{
+
+/** Shrink knobs. */
+struct ShrinkOptions
+{
+    /** Hard cap on oracle probes (each probe = one full oracle
+     *  run over all configs). */
+    int maxProbes = 600;
+};
+
+/** Outcome of a shrink. */
+struct ShrinkResult
+{
+    FProgram program;
+    /** Verdict of the shrunk program (same class as the input). */
+    Verdict verdict;
+    int probes = 0;
+    /** True when the final sweep proved 1-minimality at clause and
+     *  goal granularity (false when the probe budget ran out). */
+    bool minimal = false;
+};
+
+/**
+ * Shrink @p prog, whose oracle verdict must be a failure (throws
+ * RuntimeError if it passes). @p oopts must be the options the
+ * failure was found with (including any fault-injection hook).
+ */
+ShrinkResult shrink(const FProgram &prog, const OracleOptions &oopts,
+                    const ShrinkOptions &sopts = {});
+
+} // namespace symbol::fuzz
+
+#endif // SYMBOL_FUZZ_SHRINK_HH

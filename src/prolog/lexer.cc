@@ -104,7 +104,15 @@ Lexer::lexNumber()
     }
     std::int64_t v = 0;
     while (!atEnd() && std::isdigit(static_cast<unsigned char>(peek()))) {
-        v = v * 10 + (advance() - '0');
+        int d = advance() - '0';
+        // Overflow check: the accumulation used to wrap (signed
+        // overflow, undefined behaviour), silently turning literals
+        // like 99999999999999999999 into garbage values — found by
+        // the symbolfuzz pre-audit.
+        if (v > (INT64_MAX - d) / 10)
+            throw CompileError(tok.pos,
+                               "integer literal out of range");
+        v = v * 10 + d;
         tok.text.push_back(src_[pos_ - 1]);
     }
     tok.value = v;

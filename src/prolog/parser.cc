@@ -50,6 +50,19 @@ OpTable::prefix(const std::string &name) const
 namespace
 {
 
+/**
+ * Maximum term-nesting depth the recursive-descent reader accepts.
+ * Every nesting construct (parentheses, functor arguments, list
+ * elements, braces, prefix-operator operands, infix right operands)
+ * costs one native stack frame, so without a bound a few hundred
+ * thousand opening tokens overflow the host stack and crash the
+ * process — found by the symbolfuzz pre-audit (`f(f(f(...`,
+ * `((((...`, `[[[[...`, `- - - - ...`). 4096 is far beyond any real
+ * program while keeping worst-case native stack use well under a
+ * megabyte.
+ */
+constexpr int kMaxTermDepth = 4096;
+
 /** Recursive-descent precedence-climbing term reader. */
 class Parser
 {
@@ -84,6 +97,20 @@ class Parser
     OpTable ops_;
     std::unordered_map<std::string, TermId> varIds_;
     int nextVar_ = 0;
+    int depth_ = 0;
+
+    /** RAII nesting-depth guard for parse(). */
+    struct DepthGuard
+    {
+        explicit DepthGuard(Parser &p) : p_(p)
+        {
+            if (++p_.depth_ > kMaxTermDepth)
+                p_.fail("term nesting exceeds the depth limit (" +
+                        std::to_string(kMaxTermDepth) + ")");
+        }
+        ~DepthGuard() { --p_.depth_; }
+        Parser &p_;
+    };
 
     void bump() { cur_ = lexer_.next(); }
 
@@ -265,6 +292,7 @@ class Parser
     TermId
     parse(int max_prec)
     {
+        DepthGuard depth(*this);
         int left_prec = 0;
         TermId left = parsePrimary(max_prec, left_prec);
         while (true) {

@@ -1,6 +1,7 @@
 #include "suite/benchmarks.hh"
 
 #include "support/diagnostics.hh"
+#include "support/text.hh"
 
 namespace symbol::suite
 {
@@ -380,6 +381,16 @@ benchmark(const std::string &name)
             return b;
     }
     throw CompileError("unknown benchmark: " + name);
+}
+
+Benchmark
+fuzzCase(std::uint64_t seed, const std::string &source)
+{
+    Benchmark b;
+    b.name = strprintf("fuzz-seed-%llu",
+                       static_cast<unsigned long long>(seed));
+    b.source = source;
+    return b;
 }
 
 } // namespace symbol::suite

@@ -16,6 +16,7 @@
 #ifndef SYMBOL_SUITE_BENCHMARKS_HH
 #define SYMBOL_SUITE_BENCHMARKS_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,15 @@ const std::vector<Benchmark> &aquarius();
 
 /** Look up one benchmark by name (throws CompileError if missing). */
 const Benchmark &benchmark(const std::string &name);
+
+/**
+ * Wrap one generated fuzz program (see src/fuzz) as a Benchmark so
+ * it can ride the regular Workload / EvalDriver machinery. The name
+ * is "fuzz-seed-<seed>" — the seed alone reproduces the program —
+ * and the expected answer is left empty (the differential oracle,
+ * not a pinned string, judges fuzz outputs).
+ */
+Benchmark fuzzCase(std::uint64_t seed, const std::string &source);
 
 } // namespace symbol::suite
 

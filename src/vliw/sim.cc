@@ -41,6 +41,18 @@ valOf(Word w)
 
 } // namespace
 
+const char *
+simStatusName(SimStatus s)
+{
+    switch (s) {
+      case SimStatus::Ok: return "ok";
+      case SimStatus::MemFault: return "mem-fault";
+      case SimStatus::BadPc: return "bad-pc";
+      case SimStatus::CycleLimit: return "cycle-limit";
+    }
+    return "?";
+}
+
 SimResult
 Machine::run(const SimOptions &opts)
 {
@@ -93,12 +105,20 @@ Machine::run(const SimOptions &opts)
 
     while (true) {
         if (pc < 0 ||
-            static_cast<std::size_t>(pc) >= code_.code.size())
-            throw RuntimeError(strprintf(
-                "VLIW PC out of range: %lld",
-                static_cast<long long>(pc)));
-        if (res.cycles > opts.maxCycles)
-            throw RuntimeError("VLIW cycle budget exhausted");
+            static_cast<std::size_t>(pc) >= code_.code.size()) {
+            if (!opts.trapErrors)
+                throw RuntimeError(strprintf(
+                    "VLIW PC out of range: %lld",
+                    static_cast<long long>(pc)));
+            res.status = SimStatus::BadPc;
+            break;
+        }
+        if (res.cycles > opts.maxCycles) {
+            if (!opts.trapErrors)
+                throw RuntimeError("VLIW cycle budget exhausted");
+            res.status = SimStatus::CycleLimit;
+            break;
+        }
 
         commitDue();
         const WideInstr &w =
@@ -117,8 +137,11 @@ Machine::run(const SimOptions &opts)
         bool branched = false;
         bool halted = false;
         bool mem_busy = false;
+        SimStatus fault = SimStatus::Ok;
 
         for (const MicroOp &m : w.ops) {
+            if (fault != SimStatus::Ok)
+                break;
             const IInstr &i = m.instr;
             ++res.opsExecuted;
             if (m.unit >= 0 &&
@@ -147,10 +170,14 @@ Machine::run(const SimOptions &opts)
               case IOp::St: {
                 mem_busy = true;
                 std::int64_t addr = valOf(a) + i.off;
-                if (addr < 0 || addr >= L::kMemWords)
-                    throw RuntimeError(strprintf(
-                        "VLIW store out of range: %lld",
-                        static_cast<long long>(addr)));
+                if (addr < 0 || addr >= L::kMemWords) {
+                    if (!opts.trapErrors)
+                        throw RuntimeError(strprintf(
+                            "VLIW store out of range: %lld",
+                            static_cast<long long>(addr)));
+                    fault = SimStatus::MemFault;
+                    break;
+                }
                 stores.push_back({addr, b});
                 break;
               }
@@ -239,6 +266,13 @@ Machine::run(const SimOptions &opts)
                 break;
               }
             }
+        }
+
+        // A faulting wide instruction ends the run before any of its
+        // stores commit.
+        if (fault != SimStatus::Ok) {
+            res.status = fault;
+            break;
         }
 
         // Phase 2: commit stores (after all loads read pre-state).

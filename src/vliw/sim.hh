@@ -28,16 +28,42 @@ namespace symbol::vliw
 
 using bam::Word;
 
+/**
+ * How a VLIW run ended. Mirrors emul::RunStatus where the semantics
+ * overlap so a differential oracle can line the two machines up;
+ * there is no DivByZero here because the exposed datapath never traps
+ * on division (it yields 0), and no distinct step/cycle notion —
+ * CycleLimit plays emul's StepLimit role.
+ */
+enum class SimStatus : std::uint8_t
+{
+    Ok,         ///< reached Halt
+    MemFault,   ///< a (non-speculative) store outside [0, kMemWords)
+    BadPc,      ///< control transfer outside the code
+    CycleLimit, ///< cycle budget exhausted
+};
+
+/** Stable lower-case mnemonic of a SimStatus ("ok", "mem-fault"...). */
+const char *simStatusName(SimStatus s);
+
 /** Simulation limits. */
 struct SimOptions
 {
     std::uint64_t maxCycles = 1ull << 34;
+    /** Report runtime faults as SimResult::status instead of throwing
+     *  RuntimeError (same contract as emul::RunOptions::trapErrors):
+     *  the partial result is returned, the faulting wide instruction
+     *  is counted, its register/memory effects are not applied. */
+    bool trapErrors = false;
 };
 
 /** Result of a VLIW run. */
 struct SimResult
 {
     bool halted = false;
+    /** Why the run ended; trap values only appear when
+     *  SimOptions::trapErrors is set (otherwise faults throw). */
+    SimStatus status = SimStatus::Ok;
     /** Total machine cycles (wide issues + taken-branch penalties). */
     std::uint64_t cycles = 0;
     std::uint64_t wideExecuted = 0;

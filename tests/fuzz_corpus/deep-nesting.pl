@@ -1,0 +1,5 @@
+% deep nesting regression: the parser once overflowed its stack on
+% deeply nested terms (fixed with an explicit depth guard); this stays
+% comfortably under the 4096-level limit and must parse and run.
+d(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(s(0)))))))))))))))))))))))))))))))))))))))))))))))))))))))))))),1).
+main :- d(X,N), out(N).

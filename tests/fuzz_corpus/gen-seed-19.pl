@@ -1,0 +1,28 @@
+% symbolfuzz seed=12074312247986595070
+d0(Any0,0).
+d0(s([]),5).
+d1([1],0).
+d1(1,4).
+d1([1],8).
+d1(1,9).
+d1(Any4,12).
+d2([0],2).
+d2(Any1,5).
+d2(b,6).
+d2([-3,k],9).
+f0(X,Y) :- (X > 0), !, (Y is (X mod 4)).
+f0(X,Y) :- (Y is (((X * 2) + 3) + 5)).
+f1(X,Y) :- (X > 6), !, (Y is (((X mod 2) - (4 + X)) // 6)).
+f1(X,Y) :- (Y is (1 + ((2 // 2) - (X - X)))).
+f2(X,Y) :- (X > 5), (Y is X).
+f2(X,Y) :- (X =< 5), (Y is (((X * 2) mod 5) - ((X mod 3) - (X - X)))).
+w0([],Acc,Acc).
+w0([H|T],Acc,Out) :- (Acc1 is H), w0(T,Acc1,Out).
+c1(N,Acc,Out) :- (N > 0), (N1 is (N - 1)), f2(Acc,Acc1), c1(N1,Acc1,Out).
+c1(0,Acc,Acc).
+c2(N,Acc,Out) :- (N > 0), (N1 is (N - 1)), f1(Acc,Acc1), c2(N1,Acc1,Out).
+c2(0,Acc,Acc).
+main :- d0(k,X), (X > 2), out(X), fail.
+main :- d2(K,X), (X > 2), out(X), fail.
+main :- d1(1,X), (X > 0), out(X), fail.
+main :- c1(1,4,R0), out(R0), c1(6,4,R1), out(R1).

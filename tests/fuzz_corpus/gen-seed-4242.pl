@@ -1,0 +1,16 @@
+% symbolfuzz seed=9215056093986799147
+d0(s(g(c)),1).
+d0(Any1,5).
+d0(2,6).
+d0(1,10).
+d0([2],13).
+d0(Any5,16).
+f0(X,Y) :- (X > 4), (Y is (((3 + 2) + (1 * 3)) - X)).
+f0(X,Y) :- (X =< 4), (Y is (((1 mod 2) * 2) mod 4)).
+c0(0,Acc,Acc).
+c0(N,Acc,Out) :- (N > 0), (N1 is (N - 1)), (Acc1 is (((N - Acc) mod 5) // 6)), c0(N1,Acc1,Out).
+w1([],Acc,Acc).
+w1([H|T],Acc,Out) :- (Acc1 is (((Acc - Acc) mod 4) mod 4)), w1(T,Acc1,Out).
+main :- d0(1,X), out(X), fail.
+main :- d0(K,X), out(X), fail.
+main :- ((\+ (d0(77,UR0)) -> out(1)) ; out(0)), ((\+ (d0(77,UR1)) -> out(1)) ; out(0)), (R2 is 4), out(R2), f0(5,R3), out(R3).

@@ -1,0 +1,11 @@
+% symbolfuzz seed=7259628554680249319
+d0(4,0).
+d0(a,3).
+b0(0,[]).
+b0(N,[H|T]) :- (N > 0), (H is N), (N1 is (N - 1)), b0(N1,T).
+c1(0,Acc,Acc).
+c1(N,Acc,Out) :- (N > 0), (N1 is (N - 1)), (Acc1 is ((2 + N) + ((N - N) - (2 - 1)))), c1(N1,Acc1,Out).
+main :- d0(a,X), out(X), fail.
+main :- d0(K,X), (X > 0), out(X), fail.
+main :- d0(K,X), out(X), fail.
+main :- (R0 is (((2 * 3) // 7) mod 6)), out(R0), ((\+ (d0(77,UR1)) -> out(1)) ; out(0)).

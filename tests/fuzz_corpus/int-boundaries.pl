@@ -1,0 +1,7 @@
+% integer-literal boundaries: the lexer once silently overflowed on
+% large literals (fixed with a pre-multiplication range check); these
+% stay within the tagged-word value range and must round-trip.
+big(134217727).
+big(-134217728).
+main :- big(X), out(X), fail.
+main.

@@ -243,6 +243,108 @@ TEST(Emul, StepBudgetEnforced)
     EXPECT_THROW(m.run(o), RuntimeError);
 }
 
+// --- Trap statuses (RunOptions::trapErrors, used by the fuzz oracle) ---
+
+TEST(Emul, TrapDivisionByZero)
+{
+    auto p = prog({movi(1, 7), outr(1), alu(IOp::Div, 2, 1, 0),
+                   halt()});
+    emul::Machine m(p);
+    emul::RunOptions o;
+    o.trapErrors = true;
+    auto r = m.run(o);
+    EXPECT_FALSE(r.halted);
+    EXPECT_EQ(r.status, emul::RunStatus::DivByZero);
+    // The partial result survives: output produced before the fault,
+    // and the faulting instruction is counted.
+    ASSERT_EQ(r.output.size(), 1u);
+    EXPECT_EQ(bam::wordVal(r.output[0]), 7);
+    EXPECT_EQ(r.instructions, 3u);
+    // The destination register keeps its pre-fault value.
+    EXPECT_EQ(bam::wordVal(m.reg(2)), 0);
+}
+
+TEST(Emul, TrapModuloByZero)
+{
+    auto p = prog({movi(1, 7), alu(IOp::Mod, 2, 1, 0), halt()});
+    emul::Machine m(p);
+    emul::RunOptions o;
+    o.trapErrors = true;
+    EXPECT_EQ(m.run(o).status, emul::RunStatus::DivByZero);
+}
+
+TEST(Emul, TrapMemFaultOnLoadAndStore)
+{
+    IInstr ld;
+    ld.op = IOp::Ld;
+    ld.rd = 4;
+    ld.ra = 1;
+    auto pl = prog({movi(1, -3), ld, halt()});
+    emul::Machine ml(pl);
+    emul::RunOptions o;
+    o.trapErrors = true;
+    EXPECT_EQ(ml.run(o).status, emul::RunStatus::MemFault);
+
+    IInstr st;
+    st.op = IOp::St;
+    st.ra = 1;
+    st.rb = 2;
+    auto ps = prog({movi(1, bam::Layout::kMemWords), st, halt()});
+    emul::Machine ms(ps);
+    EXPECT_EQ(ms.run(o).status, emul::RunStatus::MemFault);
+}
+
+TEST(Emul, TrapBadPc)
+{
+    IInstr j;
+    j.op = IOp::Jmp;
+    j.target = 99;
+    auto p = prog({j, halt()});
+    emul::Machine m(p);
+    emul::RunOptions o;
+    o.trapErrors = true;
+    EXPECT_EQ(m.run(o).status, emul::RunStatus::BadPc);
+}
+
+TEST(Emul, TrapStepLimit)
+{
+    IInstr j;
+    j.op = IOp::Jmp;
+    j.target = 0;
+    auto p = prog({j});
+    emul::Machine m(p);
+    emul::RunOptions o;
+    o.trapErrors = true;
+    o.maxSteps = 100;
+    auto r = m.run(o);
+    EXPECT_EQ(r.status, emul::RunStatus::StepLimit);
+    EXPECT_EQ(r.instructions, 100u);
+}
+
+TEST(Emul, TrapStatusOkOnCleanRun)
+{
+    auto p = prog({movi(1, 1), halt()});
+    emul::Machine m(p);
+    emul::RunOptions o;
+    o.trapErrors = true;
+    auto r = m.run(o);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.status, emul::RunStatus::Ok);
+}
+
+TEST(Emul, RunStatusNamesAreStable)
+{
+    EXPECT_STREQ(emul::runStatusName(emul::RunStatus::Ok), "ok");
+    EXPECT_STREQ(emul::runStatusName(emul::RunStatus::MemFault),
+                 "mem-fault");
+    EXPECT_STREQ(emul::runStatusName(emul::RunStatus::DivByZero),
+                 "div-by-zero");
+    EXPECT_STREQ(emul::runStatusName(emul::RunStatus::BadPc),
+                 "bad-pc");
+    EXPECT_STREQ(emul::runStatusName(emul::RunStatus::StepLimit),
+                 "step-limit");
+}
+
 TEST(Emul, DecodeOutputStream)
 {
     Interner in;

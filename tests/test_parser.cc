@@ -170,3 +170,75 @@ TEST(Parser, DeepRightNesting)
         src += ", a";
     EXPECT_NO_THROW(roundtrip(src));
 }
+
+// --- symbolfuzz pre-audit regressions (see DESIGN.md §12) -----------
+//
+// Each construct below used to overflow the native stack (a hard
+// crash, not an exception) or silently corrupt a value. The reader
+// must reject them with a CompileError instead.
+
+TEST(Parser, DeeplyNestedStructsRejectedNotCrash)
+{
+    std::string src;
+    for (int i = 0; i < 2'000'000; ++i)
+        src += "f(";
+    src += "a";
+    src.append(2'000'000, ')');
+    src += ".";
+    Interner in;
+    EXPECT_THROW(parseProgram(src, in), CompileError);
+}
+
+TEST(Parser, DeeplyNestedParensRejectedNotCrash)
+{
+    std::string src(2'000'000, '(');
+    src += "a";
+    src.append(2'000'000, ')');
+    src += ".";
+    Interner in;
+    EXPECT_THROW(parseProgram(src, in), CompileError);
+}
+
+TEST(Parser, DeeplyNestedListsRejectedNotCrash)
+{
+    std::string src(2'000'000, '[');
+    src += "a";
+    src.append(2'000'000, ']');
+    src += ".";
+    Interner in;
+    EXPECT_THROW(parseProgram(src, in), CompileError);
+}
+
+TEST(Parser, DeepPrefixOperatorChainRejectedNotCrash)
+{
+    std::string src;
+    for (int i = 0; i < 2'000'000; ++i)
+        src += "- ";
+    src += "1 .";
+    Interner in;
+    EXPECT_THROW(parseProgram(src, in), CompileError);
+}
+
+TEST(Parser, ModerateNestingStillAccepted)
+{
+    // The depth limit must not reject real programs: 1000 levels is
+    // far beyond anything the suite or the fuzzer produces.
+    std::string src;
+    for (int i = 0; i < 1000; ++i)
+        src += "f(";
+    src += "a";
+    src.append(1000, ')');
+    EXPECT_NO_THROW(roundtrip(src));
+}
+
+TEST(Parser, IntegerLiteralOverflowRejected)
+{
+    // Used to wrap via signed overflow (UB) into a garbage value.
+    Interner in;
+    EXPECT_THROW(
+        parseProgram("main :- out(99999999999999999999999999).", in),
+        CompileError);
+    // The largest representable literal still parses exactly.
+    EXPECT_EQ(roundtrip("9223372036854775807"),
+              "9223372036854775807");
+}

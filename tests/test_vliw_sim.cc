@@ -290,3 +290,61 @@ TEST(VliwSim, MkTagAndGetTag)
     EXPECT_EQ(bam::wordVal(r.output[1]),
               static_cast<std::int64_t>(Tag::Lst));
 }
+
+// --- Trap statuses (SimOptions::trapErrors, used by the fuzz oracle) ---
+
+TEST(VliwSim, TrapOutOfRangeStore)
+{
+    IInstr st;
+    st.op = IOp::St;
+    st.ra = 1;
+    st.rb = 1;
+    Code c = program({wide({movi(1, -5)}), wide({}), wide({st}),
+                      wide({halt()})});
+    Machine m(c, machine::MachineConfig::idealShared(4));
+    SimOptions o;
+    o.trapErrors = true;
+    SimResult r = m.run(o);
+    EXPECT_FALSE(r.halted);
+    EXPECT_EQ(r.status, SimStatus::MemFault);
+    // The faulting wide instruction is counted.
+    EXPECT_EQ(r.wideExecuted, 3u);
+}
+
+TEST(VliwSim, TrapBadPc)
+{
+    Code c = program({wide({jmp(42)})});
+    Machine m(c, machine::MachineConfig::idealShared(1));
+    SimOptions o;
+    o.trapErrors = true;
+    EXPECT_EQ(m.run(o).status, SimStatus::BadPc);
+}
+
+TEST(VliwSim, TrapCycleLimit)
+{
+    Code c = program({wide({jmp(0)})});
+    Machine m(c, machine::MachineConfig::idealShared(1));
+    SimOptions o;
+    o.trapErrors = true;
+    o.maxCycles = 1000;
+    EXPECT_EQ(m.run(o).status, SimStatus::CycleLimit);
+}
+
+TEST(VliwSim, TrapStatusOkOnCleanRun)
+{
+    Code c = program({wide({movi(1, 1)}), wide({halt()})});
+    Machine m(c, machine::MachineConfig::idealShared(1));
+    SimOptions o;
+    o.trapErrors = true;
+    SimResult r = m.run(o);
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.status, SimStatus::Ok);
+}
+
+TEST(VliwSim, SimStatusNamesAreStable)
+{
+    EXPECT_STREQ(simStatusName(SimStatus::Ok), "ok");
+    EXPECT_STREQ(simStatusName(SimStatus::MemFault), "mem-fault");
+    EXPECT_STREQ(simStatusName(SimStatus::BadPc), "bad-pc");
+    EXPECT_STREQ(simStatusName(SimStatus::CycleLimit), "cycle-limit");
+}

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * symbolfuzz — grammar-level Prolog fuzzer with a differential
+ * oracle (DESIGN.md §12).
+ *
+ * Default mode runs a campaign: a window of seeds is expanded into
+ * random (but guaranteed-terminating) Prolog programs, each judged by
+ * running it through every front-end configuration on both the
+ * sequential emulator and the VLIW simulator. Failures are written as
+ * self-contained replayable .pl artifacts; --shrink additionally
+ * delta-debugs each failure to a minimal reproducer.
+ *
+ * The whole tool is deterministic: the same --seed/--count always
+ * produces the same programs and verdicts, for any --jobs value, and
+ * --time-budget only truncates the seed window (it never changes the
+ * verdict of a case that ran).
+ *
+ * Run `symbolfuzz --help` for the flag reference; like symbolc, the
+ * help text is generated from the same flag table the parser walks.
+ */
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "fuzz/campaign.hh"
+#include "support/diagnostics.hh"
+#include "support/text.hh"
+
+using namespace symbol;
+
+namespace
+{
+
+struct Options
+{
+    std::string seedStr; // parsed separately (full uint64 range)
+    int count = 100;
+    int jobs = 0;       // 0 = ThreadPool default
+    int timeBudget = 0; // seconds; 0 = none
+    std::string replayFile;
+    std::string outDir = ".";
+    bool shrink = false;
+    bool dump = false;
+    bool help = false;
+};
+
+/** One command-line flag (same single-source-of-truth scheme as
+ *  symbolc: parser and --help are generated from this table). */
+struct Flag
+{
+    const char *name;    ///< "--seed"
+    const char *operand; ///< operand placeholder, nullptr for bools
+    const char *help;    ///< one-line description
+    bool *b = nullptr;   ///< bool target, set to true when present
+    int *i = nullptr;    ///< int target, operand in [lo, hi]
+    long lo = 0, hi = 0;
+    std::string *s = nullptr; ///< string target
+};
+
+std::vector<Flag>
+flagTable(Options &o)
+{
+    return {
+        {.name = "--seed", .operand = "N",
+         .help = "campaign seed (default 1); every case's own seed "
+                 "is derived from it and printed on failure, so a "
+                 "single failing case replays from its case seed "
+                 "alone",
+         .s = &o.seedStr},
+        {.name = "--count", .operand = "N",
+         .help = "number of cases to run (default 100)",
+         .i = &o.count, .lo = 1, .hi = 10'000'000},
+        {.name = "--jobs", .operand = "N",
+         .help = "worker threads (default: SYMBOL_JOBS env, else "
+                 "hardware concurrency); never affects results",
+         .i = &o.jobs, .lo = 1, .hi = 1024},
+        {.name = "--time-budget", .operand = "SEC",
+         .help = "stop launching new cases after SEC seconds; only "
+                 "truncates the seed window, never changes a "
+                 "verdict (default: none)",
+         .i = &o.timeBudget, .lo = 1, .hi = 86'400},
+        {.name = "--replay", .operand = "FILE",
+         .help = "replay one .pl artifact through the oracle "
+                 "instead of running a campaign; with --shrink a "
+                 "failing replay is also minimised",
+         .s = &o.replayFile},
+        {.name = "--shrink", .operand = nullptr,
+         .help = "delta-debug every failure to a minimal program "
+                 "with the same verdict class (writes a .shrunk.pl "
+                 "next to the full artifact)",
+         .b = &o.shrink},
+        {.name = "--dump", .operand = nullptr,
+         .help = "print every generated program and its verdict to "
+                 "stdout instead of writing artifacts (used by the "
+                 "golden determinism test)",
+         .b = &o.dump},
+        {.name = "--out-dir", .operand = "DIR",
+         .help = "directory for failure artifacts "
+                 "fuzz-seed-<S>.pl / fuzz-seed-<S>.shrunk.pl "
+                 "(default: current directory)",
+         .s = &o.outDir},
+        {.name = "--help", .operand = nullptr,
+         .help = "print this help and exit", .b = &o.help},
+    };
+}
+
+std::vector<std::string>
+splitWords(const std::string &text)
+{
+    std::vector<std::string> words;
+    std::istringstream ss(text);
+    std::string w;
+    while (ss >> w)
+        words.push_back(w);
+    return words;
+}
+
+/** Render one help line per table entry, wrapped at 78 columns. */
+std::string
+helpText(std::vector<Flag> flags)
+{
+    std::string out =
+        "usage: symbolfuzz [options]\n"
+        "       symbolfuzz --replay FILE [--shrink]\n";
+    std::size_t width = 0;
+    for (const Flag &f : flags) {
+        std::size_t w =
+            std::strlen(f.name) +
+            (f.operand ? 1 + std::strlen(f.operand) : 0);
+        width = std::max(width, w);
+    }
+    for (const Flag &f : flags) {
+        std::string head = "  " + std::string(f.name);
+        if (f.operand)
+            head += std::string(" ") + f.operand;
+        head.resize(std::max(head.size(), width + 4), ' ');
+        std::string line = head;
+        for (const std::string &word : splitWords(f.help)) {
+            if (line.size() + 1 + word.size() > 78) {
+                out += line + "\n";
+                line = std::string(width + 4, ' ');
+                line += word;
+            } else {
+                line += (line.back() == ' ' ? "" : " ") + word;
+            }
+        }
+        out += line + "\n";
+    }
+    out += "\nexit codes:\n"
+           "  0  every case passed the differential oracle\n"
+           "  1  at least one case failed (artifacts written)\n"
+           "  2  usage error, unreadable input, or an internal "
+           "failure\n";
+    return out;
+}
+
+int
+usage(Options &o)
+{
+    std::fputs(helpText(flagTable(o)).c_str(), stderr);
+    return 2;
+}
+
+bool
+intOperand(const char *name, const std::string &s, long lo, long hi,
+           int &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE ||
+        v < lo || v > hi) {
+        std::fprintf(stderr,
+                     "symbolfuzz: %s: invalid operand '%s' "
+                     "(expected an integer in [%ld, %ld])\n",
+                     name, s.c_str(), lo, hi);
+        return false;
+    }
+    out = static_cast<int>(v);
+    return true;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &o)
+{
+    std::vector<Flag> flags = flagTable(o);
+    for (int k = 1; k < argc; ++k) {
+        std::string a = argv[k];
+        // --name=VALUE is equivalent to --name VALUE.
+        std::string inlineVal;
+        bool hasInline = false;
+        if (a.rfind("--", 0) == 0) {
+            std::size_t eq = a.find('=');
+            if (eq != std::string::npos) {
+                inlineVal = a.substr(eq + 1);
+                a.resize(eq);
+                hasInline = true;
+            }
+        }
+        const Flag *f = nullptr;
+        for (const Flag &g : flags)
+            if (a == g.name) {
+                f = &g;
+                break;
+            }
+        if (!f) {
+            std::fprintf(stderr,
+                         "symbolfuzz: unknown option '%s'\n",
+                         a.c_str());
+            return false;
+        }
+        if (f->b) {
+            if (hasInline) {
+                std::fprintf(stderr,
+                             "symbolfuzz: %s takes no operand\n",
+                             f->name);
+                return false;
+            }
+            *f->b = true;
+            continue;
+        }
+        std::string operand;
+        if (hasInline) {
+            operand = inlineVal;
+        } else if (k + 1 < argc) {
+            operand = argv[++k];
+        } else {
+            std::fprintf(stderr,
+                         "symbolfuzz: %s requires a%s operand\n",
+                         f->name, f->i ? " numeric" : "n");
+            return false;
+        }
+        if (f->i) {
+            if (!intOperand(f->name, operand, f->lo, f->hi, *f->i))
+                return false;
+        } else {
+            *f->s = operand;
+        }
+    }
+    return true;
+}
+
+/** Parse --seed's operand over the full uint64 range (the case-seed
+ *  mixer hands out arbitrary 64-bit values, so replaying one as a
+ *  campaign seed must round-trip). */
+bool
+seedOperand(const std::string &s, std::uint64_t &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (s.empty() || s[0] == '-' || end == s.c_str() ||
+        *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr,
+                     "symbolfuzz: --seed: invalid operand '%s' "
+                     "(expected an unsigned 64-bit integer)\n",
+                     s.c_str());
+        return false;
+    }
+    out = v;
+    return true;
+}
+
+bool
+writeFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    out.close();
+    if (!out) {
+        std::fprintf(stderr, "symbolfuzz: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    return true;
+}
+
+std::string
+artifactPath(const std::string &dir, std::uint64_t seed,
+             const char *ext)
+{
+    return strprintf("%s/fuzz-seed-%llu%s", dir.c_str(),
+                     static_cast<unsigned long long>(seed), ext);
+}
+
+/** --replay: judge one artifact file, optionally shrinking it. */
+int
+replay(const Options &o, std::uint64_t seed)
+{
+    std::ifstream in(o.replayFile, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "symbolfuzz: cannot read %s\n",
+                     o.replayFile.c_str());
+        return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string source = buf.str();
+
+    fuzz::OracleOptions oopts;
+    fuzz::Verdict v = fuzz::runOracle(source, oopts);
+    std::uint64_t artifactSeed = fuzz::seedFromSource(source);
+    if (artifactSeed == 0)
+        artifactSeed = seed;
+    std::printf("%s: %s\n", o.replayFile.c_str(), v.str().c_str());
+    if (v.pass())
+        return 0;
+
+    if (o.shrink) {
+        fuzz::FProgram prog = fuzz::importProgram(source);
+        fuzz::ShrinkResult sr = fuzz::shrink(prog, oopts);
+        std::string path =
+            artifactPath(o.outDir, artifactSeed, ".shrunk.pl");
+        if (!writeFile(path, fuzz::renderProgram(sr.program)))
+            return 2;
+        std::printf("shrunk to %zu clauses (%d probes%s): %s\n",
+                    sr.program.clauses.size(), sr.probes,
+                    sr.minimal ? ", 1-minimal" : "", path.c_str());
+    }
+    return 1;
+}
+
+/** --dump: print every generated program and its verdict (the
+ *  golden determinism test pins this byte-for-byte). */
+int
+dump(const Options &o, std::uint64_t seed)
+{
+    fuzz::OracleOptions oopts;
+    for (int i = 0; i < o.count; ++i) {
+        std::uint64_t cs = fuzz::caseSeed(seed, i);
+        fuzz::FProgram prog = fuzz::generate(cs);
+        std::string source = fuzz::renderProgram(prog);
+        fuzz::Verdict v = fuzz::runOracle(source, oopts);
+        std::printf("%% case %d\n%s%% verdict: %s\n\n", i,
+                    source.c_str(), v.str().c_str());
+    }
+    return 0;
+}
+
+int
+campaign(const Options &o, std::uint64_t seed)
+{
+    fuzz::CampaignOptions copts;
+    copts.seed = seed;
+    copts.count = o.count;
+    copts.jobs = o.jobs > 0 ? static_cast<unsigned>(o.jobs) : 0;
+    copts.timeBudgetSec = o.timeBudget;
+    copts.shrinkFailures = o.shrink;
+
+    fuzz::CampaignResult res =
+        fuzz::runCampaign(copts, [](const std::string &line) {
+            std::fprintf(stderr, "symbolfuzz: %s\n", line.c_str());
+        });
+
+    bool writeOk = true;
+    for (const fuzz::Failure &f : res.failures) {
+        std::string path =
+            artifactPath(o.outDir, f.caseSeed, ".pl");
+        writeOk &= writeFile(path, f.source);
+        std::printf("FAIL seed %llu (%s) -> %s\n",
+                    static_cast<unsigned long long>(f.caseSeed),
+                    f.verdict.str().c_str(), path.c_str());
+        if (!f.shrunkSource.empty()) {
+            std::string spath =
+                artifactPath(o.outDir, f.caseSeed, ".shrunk.pl");
+            writeOk &= writeFile(spath, f.shrunkSource);
+            std::printf("     shrunk to %zu clauses -> %s\n",
+                        f.shrunkClauses, spath.c_str());
+        }
+    }
+    std::printf("symbolfuzz: %d cases, %d passed, %zu failed "
+                "(seed %llu)\n",
+                res.executed, res.passed, res.failures.size(),
+                static_cast<unsigned long long>(seed));
+    if (!writeOk)
+        return 2;
+    return res.failures.empty() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parseArgs(argc, argv, o))
+        return usage(o);
+    if (o.help) {
+        std::fputs(helpText(flagTable(o)).c_str(), stdout);
+        return 0;
+    }
+    std::uint64_t seed = 1;
+    if (!o.seedStr.empty() && !seedOperand(o.seedStr, seed))
+        return 2;
+    if (!o.replayFile.empty() && o.dump) {
+        std::fprintf(stderr,
+                     "symbolfuzz: --replay and --dump are "
+                     "mutually exclusive\n");
+        return 2;
+    }
+
+    try {
+        if (!o.replayFile.empty())
+            return replay(o, seed);
+        if (o.dump)
+            return dump(o, seed);
+        return campaign(o, seed);
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "symbolfuzz: internal error: %s\n",
+                     e.what());
+        return 2;
+    }
+}
