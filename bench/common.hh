@@ -18,6 +18,7 @@
 #ifndef SYMBOL_BENCH_COMMON_HH
 #define SYMBOL_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <stdexcept>
@@ -159,6 +160,47 @@ class Geomean
   private:
     double logSum_ = 0;
     int n_ = 0;
+};
+
+/**
+ * The p-th percentile of @p xs by linear interpolation between
+ * closest ranks (the NIST/numpy "linear" definition): rank
+ * r = p/100 * (n-1), result = xs[floor(r)] interpolated toward
+ * xs[ceil(r)]. Sorts a copy — callers keep their sample order.
+ * Throws on an empty sample or p outside [0, 100]. Used by the
+ * symbold load generator for its p50/p90/p99 latency columns
+ * (tests: tests/test_support.cc).
+ */
+inline double
+percentile(std::vector<double> xs, double p)
+{
+    if (xs.empty())
+        throw std::invalid_argument("percentile: empty sample");
+    if (!(p >= 0.0 && p <= 100.0))
+        throw std::invalid_argument("percentile: p outside [0,100]");
+    std::sort(xs.begin(), xs.end());
+    double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+    std::size_t lo = static_cast<std::size_t>(rank);
+    std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return xs[lo] + (xs[hi] - xs[lo]) * frac;
+}
+
+/** Completed-requests-per-second throughput of one load run. */
+struct ReqPerSec
+{
+    std::uint64_t requests = 0;
+    double seconds = 0.0;
+
+    double
+    rate() const
+    {
+        if (seconds <= 0.0)
+            throw std::invalid_argument(
+                "ReqPerSec: non-positive duration");
+        return static_cast<double>(requests) / seconds;
+    }
+    std::string str(int prec = 1) const { return fmt(rate(), prec); }
 };
 
 /**

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "pass/instrument.hh"
+#include "support/deadline.hh"
 
 namespace symbol::pass
 {
@@ -161,10 +162,15 @@ class PassManager
             runOne(*p, ctx);
     }
 
-    /** Run a single pass over @p ctx with instrumentation. */
+    /** Run a single pass over @p ctx with instrumentation. Pass
+     *  boundaries are the toolchain's cooperative deadline
+     *  checkpoints: a request whose budget ran out stops *before*
+     *  the next pass starts, never mid-pass, so every artefact that
+     *  exists when DeadlineExceeded unwinds is complete. */
     void
     runOne(Pass<Ctx> &p, Ctx &ctx) const
     {
+        support::checkDeadline(p.name());
         if (p.selfInstrumented()) {
             p.run(ctx);
             return;

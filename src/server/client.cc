@@ -1,0 +1,123 @@
+#include "server/client.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "support/text.hh"
+
+namespace symbol::server
+{
+
+Client::Client(const std::string &socketPath)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof addr.sun_path)
+        throw RuntimeError("client: socket path too long");
+    std::memcpy(addr.sun_path, socketPath.c_str(),
+                socketPath.size() + 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        throw RuntimeError(strprintf("client: socket: %s",
+                                     std::strerror(errno)));
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) != 0) {
+        int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        throw RuntimeError(strprintf("client: connect %s: %s",
+                                     socketPath.c_str(),
+                                     std::strerror(err)));
+    }
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+Frame
+Client::roundTrip(MsgKind kind, const std::string &payload)
+{
+    std::string frame = packFrame(kind, payload);
+    const char *data = frame.data();
+    std::size_t n = frame.size();
+    while (n > 0) {
+        ssize_t w = ::send(fd_, data, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            throw RuntimeError(strprintf("client: send: %s",
+                                         std::strerror(errno)));
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    std::vector<Frame> frames;
+    char buf[64 * 1024];
+    while (frames.empty()) {
+        ssize_t r = ::recv(fd_, buf, sizeof buf, 0);
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            throw RuntimeError(strprintf("client: recv: %s",
+                                         std::strerror(errno)));
+        }
+        if (r == 0)
+            throw RuntimeError(
+                "client: server closed the connection");
+        if (!reader_.feed(buf, static_cast<std::size_t>(r),
+                          frames) &&
+            frames.empty())
+            throw RuntimeError("client: framing: " +
+                               reader_.error());
+    }
+    Frame f = std::move(frames.front());
+    if (f.kind == MsgKind::ErrorResponse) {
+        ErrorResponse e = decodeErrorResponse(f.payload);
+        throw ServerError(e.code, e.message);
+    }
+    return f;
+}
+
+CompileResponse
+Client::compile(const CompileRequest &req)
+{
+    Frame f = roundTrip(MsgKind::CompileRequest, encode(req));
+    if (f.kind != MsgKind::CompileResponse)
+        throw RuntimeError("client: unexpected response kind");
+    return decodeCompileResponse(f.payload);
+}
+
+std::string
+Client::statsJson()
+{
+    Frame f = roundTrip(MsgKind::StatsRequest, std::string());
+    if (f.kind != MsgKind::StatsResponse)
+        throw RuntimeError("client: unexpected response kind");
+    return decodeStatsResponse(f.payload).json;
+}
+
+std::uint64_t
+Client::drain()
+{
+    Frame f = roundTrip(MsgKind::DrainRequest, std::string());
+    if (f.kind != MsgKind::DrainResponse)
+        throw RuntimeError("client: unexpected response kind");
+    return decodeDrainResponse(f.payload).inFlight;
+}
+
+void
+Client::ping()
+{
+    Frame f = roundTrip(MsgKind::PingRequest, std::string());
+    if (f.kind != MsgKind::PongResponse)
+        throw RuntimeError("client: unexpected response kind");
+}
+
+} // namespace symbol::server

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Client side of the symbold protocol: one blocking connection that
+ * frames requests with server/proto.hh and decodes the responses.
+ *
+ * Error model: transport problems (connect/send/recv failures,
+ * unexpected EOF, framing corruption) throw RuntimeError; a clean
+ * protocol-level rejection from the server — overloaded,
+ * deadline-expired, draining, bad request — throws ServerError
+ * carrying the ErrCode, so callers (symbolctl, the load generator)
+ * can branch on the code without string matching.
+ */
+
+#ifndef SYMBOL_SERVER_CLIENT_HH
+#define SYMBOL_SERVER_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "server/framing.hh"
+#include "server/proto.hh"
+#include "support/diagnostics.hh"
+
+namespace symbol::server
+{
+
+/** A clean protocol-level error answered by the server. */
+class ServerError : public RuntimeError
+{
+  public:
+    ServerError(ErrCode code, const std::string &message)
+        : RuntimeError(std::string(errCodeName(code)) + ": " +
+                       message),
+          code_(code)
+    {
+    }
+
+    ErrCode code() const { return code_; }
+
+  private:
+    ErrCode code_;
+};
+
+class Client
+{
+  public:
+    /** Connect to the server at @p socketPath (throws RuntimeError
+     *  if nothing is listening). */
+    explicit Client(const std::string &socketPath);
+    ~Client();
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Submit one compile-and-evaluate request and wait for the
+     *  response. */
+    CompileResponse compile(const CompileRequest &req);
+
+    /** The server's stats document (--stats-json shape + "server"
+     *  counters). */
+    std::string statsJson();
+
+    /** Ask the server to drain; returns the in-flight count it
+     *  acknowledged with. */
+    std::uint64_t drain();
+
+    /** Round-trip liveness probe. */
+    void ping();
+
+  private:
+    /** Send one frame, read frames until one response completes. */
+    Frame roundTrip(MsgKind kind, const std::string &payload);
+
+    int fd_ = -1;
+    FrameReader reader_;
+};
+
+} // namespace symbol::server
+
+#endif // SYMBOL_SERVER_CLIENT_HH

@@ -1,0 +1,99 @@
+#include "server/framing.hh"
+
+#include <cstring>
+
+#include "support/fnv.hh"
+#include "support/text.hh"
+
+namespace symbol::server
+{
+
+bool
+FrameReader::poison(const std::string &why)
+{
+    error_ = why;
+    buf_.clear();
+    return false;
+}
+
+bool
+FrameReader::complete(std::vector<Frame> &out)
+{
+    // Frame complete: verify the chained checksum over the first 20
+    // header bytes + payload (see proto.hh).
+    std::uint64_t sum = support::fnv1a(buf_.data(), 20);
+    sum = support::fnv1a(buf_.data() + kFrameHeaderBytes,
+                         static_cast<std::size_t>(payloadLen_),
+                         sum);
+    if (sum != checksum_)
+        return poison("frame checksum mismatch");
+    Frame f;
+    f.kind = kind_;
+    f.payload = buf_.substr(kFrameHeaderBytes);
+    out.push_back(std::move(f));
+    ++frames_;
+    buf_.clear();
+    haveHeader_ = false;
+    return true;
+}
+
+bool
+FrameReader::feed(const char *data, std::size_t n,
+                  std::vector<Frame> &out)
+{
+    if (broken())
+        return false;
+    std::size_t pos = 0;
+    while (pos < n) {
+        if (!haveHeader_) {
+            // Accumulate exactly one header's worth of bytes,
+            // validating the magic as early as possible so garbage
+            // streams die on their first bytes, not after 28.
+            std::size_t want = kFrameHeaderBytes - buf_.size();
+            std::size_t take = std::min(want, n - pos);
+            buf_.append(data + pos, take);
+            pos += take;
+            std::size_t check =
+                std::min(buf_.size(), sizeof kFrameMagic);
+            if (std::memcmp(buf_.data(), kFrameMagic, check) != 0)
+                return poison("bad frame magic");
+            if (buf_.size() < kFrameHeaderBytes)
+                return true; // short read: wait for more
+            serialize::Reader r(buf_.data() + 4, buf_.size() - 4);
+            std::uint32_t version = r.fixed32();
+            if (version != kProtoVersion)
+                return poison(strprintf(
+                    "protocol version %u (expected %u)", version,
+                    kProtoVersion));
+            std::uint32_t kind = r.fixed32();
+            payloadLen_ = r.fixed64();
+            checksum_ = r.fixed64();
+            if (payloadLen_ > maxPayload_)
+                return poison(strprintf(
+                    "payload length %llu exceeds bound %zu",
+                    static_cast<unsigned long long>(payloadLen_),
+                    maxPayload_));
+            kind_ = static_cast<MsgKind>(kind);
+            haveHeader_ = true;
+            // A zero-payload frame is already complete here — the
+            // payload branch below only runs when more bytes exist,
+            // which a lone 28-byte ping never provides.
+            if (payloadLen_ == 0 && !complete(out))
+                return false;
+            continue;
+        }
+        std::size_t have = buf_.size() - kFrameHeaderBytes;
+        std::size_t want =
+            static_cast<std::size_t>(payloadLen_) - have;
+        std::size_t take = std::min(want, n - pos);
+        buf_.append(data + pos, take);
+        pos += take;
+        if (buf_.size() - kFrameHeaderBytes < payloadLen_)
+            return true; // short read: wait for more
+        if (!complete(out))
+            return false;
+    }
+    return true;
+}
+
+} // namespace symbol::server

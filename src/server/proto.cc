@@ -1,0 +1,187 @@
+#include "server/proto.hh"
+
+#include "support/diagnostics.hh"
+
+namespace symbol::server
+{
+
+using serialize::DecodeError;
+using serialize::Reader;
+using serialize::Writer;
+
+const char kFrameMagic[4] = {'S', 'Y', 'R', 'F'};
+
+const char *
+errCodeName(ErrCode code)
+{
+    switch (code) {
+    case ErrCode::BadRequest:
+        return "bad-request";
+    case ErrCode::Overloaded:
+        return "overloaded";
+    case ErrCode::DeadlineExpired:
+        return "deadline-expired";
+    case ErrCode::Internal:
+        return "internal";
+    case ErrCode::Draining:
+        return "draining";
+    }
+    return "unknown";
+}
+
+std::string
+encode(const CompileRequest &m)
+{
+    Writer w;
+    w.str(m.source);
+    w.str(m.name);
+    w.b(m.indexing);
+    w.b(m.expandTags);
+    w.b(m.protoMachine);
+    w.vu(m.units);
+    w.str(m.mode);
+    w.vu(m.deadlineMillis);
+    w.b(m.wantSchedule);
+    return w.take();
+}
+
+CompileRequest
+decodeCompileRequest(const std::string &payload)
+{
+    Reader r(payload);
+    CompileRequest m;
+    m.source = r.str();
+    m.name = r.str();
+    m.indexing = r.b();
+    m.expandTags = r.b();
+    m.protoMachine = r.b();
+    std::uint64_t units = r.vu();
+    if (units < 1 || units > 64)
+        throw DecodeError("units out of range");
+    m.units = static_cast<std::uint32_t>(units);
+    m.mode = r.str();
+    if (m.mode != "trace" && m.mode != "bb" && m.mode != "seq")
+        throw DecodeError("unknown compaction mode '" + m.mode +
+                          "'");
+    m.deadlineMillis = r.vu();
+    m.wantSchedule = r.b();
+    r.expectEnd();
+    if (m.source.empty() && m.name.empty())
+        throw DecodeError("neither source nor benchmark name given");
+    return m;
+}
+
+std::string
+encode(const CompileResponse &m)
+{
+    Writer w;
+    w.str(m.answer);
+    w.vu(m.instructions);
+    w.vu(m.seqCycles);
+    w.vu(m.vliwCycles);
+    w.f64(m.speedup);
+    w.u8(static_cast<std::uint8_t>(m.origin));
+    w.str(m.schedule);
+    return w.take();
+}
+
+CompileResponse
+decodeCompileResponse(const std::string &payload)
+{
+    Reader r(payload);
+    CompileResponse m;
+    m.answer = r.str();
+    m.instructions = r.vu();
+    m.seqCycles = r.vu();
+    m.vliwCycles = r.vu();
+    m.speedup = r.f64();
+    std::uint8_t origin = r.u8();
+    if (origin > 2)
+        throw DecodeError("bad origin");
+    m.origin = static_cast<Origin>(origin);
+    m.schedule = r.str();
+    r.expectEnd();
+    return m;
+}
+
+std::string
+encode(const StatsResponse &m)
+{
+    Writer w;
+    w.str(m.json);
+    return w.take();
+}
+
+StatsResponse
+decodeStatsResponse(const std::string &payload)
+{
+    Reader r(payload);
+    StatsResponse m;
+    m.json = r.str();
+    r.expectEnd();
+    return m;
+}
+
+std::string
+encode(const DrainResponse &m)
+{
+    Writer w;
+    w.vu(m.inFlight);
+    return w.take();
+}
+
+DrainResponse
+decodeDrainResponse(const std::string &payload)
+{
+    Reader r(payload);
+    DrainResponse m;
+    m.inFlight = r.vu();
+    r.expectEnd();
+    return m;
+}
+
+std::string
+encode(const ErrorResponse &m)
+{
+    Writer w;
+    w.vu(static_cast<std::uint32_t>(m.code));
+    w.str(m.message);
+    return w.take();
+}
+
+ErrorResponse
+decodeErrorResponse(const std::string &payload)
+{
+    Reader r(payload);
+    ErrorResponse m;
+    std::uint64_t code = r.vu();
+    if (code < 1 || code > 5)
+        throw DecodeError("bad error code");
+    m.code = static_cast<ErrCode>(code);
+    m.message = r.str();
+    r.expectEnd();
+    return m;
+}
+
+std::string
+packFrame(MsgKind kind, const std::string &payload)
+{
+    if (payload.size() > kMaxPayloadBytes)
+        throw RuntimeError("packFrame: payload exceeds frame bound");
+    Writer w;
+    for (char c : kFrameMagic)
+        w.u8(static_cast<std::uint8_t>(c));
+    w.fixed32(kProtoVersion);
+    w.fixed32(static_cast<std::uint32_t>(kind));
+    w.fixed64(payload.size());
+    // Chained FNV-1a over the header-so-far and then the payload: a
+    // flip of any frame byte (kind and length included) breaks it.
+    std::uint64_t sum = support::fnv1a(w.bytes().data(), w.size());
+    sum = support::fnv1a(payload.data(), payload.size(), sum);
+    w.fixed64(sum);
+    std::string out = w.take();
+    out += payload;
+    return out;
+}
+
+} // namespace symbol::server

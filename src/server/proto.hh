@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The symbold wire protocol: length-prefixed, checksummed frames
+ * carrying versioned request/response messages over a Unix-domain
+ * socket (DESIGN.md §13).
+ *
+ * Frame layout (all header fields little-endian fixed-width):
+ *
+ *   offset 0   magic "SYRF" (SYmbol Request Frame)
+ *          4   u32 protocol version (kProtoVersion)
+ *          8   u32 message kind (MsgKind)
+ *         12   u64 payload size (<= kMaxPayloadBytes)
+ *         20   u64 FNV-1a checksum, chained over the first 20
+ *              header bytes and then the payload — a bit flip
+ *              anywhere in the frame is detected, mirroring the
+ *              SYAF container's section-table discipline
+ *         28   payload bytes (serialize::Writer encoding per kind)
+ *
+ * Version policy mirrors the artefact store: kProtoVersion covers
+ * every message encoding; any change bumps it and a mismatch is a
+ * framing error (there is no negotiation — client and server ship
+ * together).
+ *
+ * Robustness contract: decoding NEVER exhibits undefined behaviour
+ * on arbitrary bytes. The frame layer bounds the payload before
+ * buffering it, the checksum rejects corruption, and the per-kind
+ * decoders ride serialize::Reader's bounds checks — hostile input
+ * can only produce a clean protocol error.
+ */
+
+#ifndef SYMBOL_SERVER_PROTO_HH
+#define SYMBOL_SERVER_PROTO_HH
+
+#include <cstdint>
+#include <string>
+
+#include "serialize/codec.hh"
+
+namespace symbol::server
+{
+
+/** Bump on ANY change to ANY message encoding (see header). */
+constexpr std::uint32_t kProtoVersion = 1;
+
+/** The 4 magic bytes opening every frame. */
+extern const char kFrameMagic[4];
+
+/** Fixed frame-header size in bytes. */
+constexpr std::size_t kFrameHeaderBytes = 28;
+
+/** Hard payload bound: a request carries Prolog source and a
+ *  response carries answers/schedules — 16 MiB is generous, and the
+ *  bound is what keeps a hostile length prefix from allocating
+ *  gigabytes. */
+constexpr std::size_t kMaxPayloadBytes = 16u << 20;
+
+/** Message kinds. Requests are odd-numbered concepts (client →
+ *  server), responses even — but the numbering is flat and stable:
+ *  values are wire format, never reordered. */
+enum class MsgKind : std::uint32_t
+{
+    CompileRequest = 1,
+    CompileResponse = 2,
+    StatsRequest = 3,
+    StatsResponse = 4,
+    DrainRequest = 5,
+    DrainResponse = 6,
+    ErrorResponse = 7,
+    PingRequest = 8,
+    PongResponse = 9,
+};
+
+/** Error codes carried by ErrorResponse. */
+enum class ErrCode : std::uint32_t
+{
+    BadRequest = 1, ///< malformed message or unknown benchmark/mode
+    Overloaded = 2, ///< admission control rejected (in-flight bound)
+    DeadlineExpired = 3, ///< the request's own deadline ran out
+    Internal = 4,        ///< server-side failure (bug or resource)
+    Draining = 5,        ///< server is shutting down gracefully
+};
+
+/** Human-readable name of @p code ("overloaded", …). */
+const char *errCodeName(ErrCode code);
+
+/** Compile-and-evaluate request: one Prolog program + one machine
+ *  configuration. */
+struct CompileRequest
+{
+    /** Complete Prolog source; empty = run the built-in suite
+     *  benchmark named by @p name instead. */
+    std::string source;
+    /** Workload label; for empty @p source, a built-in benchmark
+     *  name (symbolc --list). */
+    std::string name;
+    bool indexing = true;    ///< first-argument indexing
+    bool expandTags = false; ///< plain-RISC tag-branch expansion
+    bool protoMachine = false; ///< prototype config (vs idealShared)
+    std::uint32_t units = 3;   ///< VLIW unit count, [1, 64]
+    /** Compaction mode: "trace", "bb" or "seq" (sequential only). */
+    std::string mode = "trace";
+    /** Cooperative deadline in milliseconds; 0 = none. */
+    std::uint64_t deadlineMillis = 0;
+    /** Include the compacted wide-code listing in the response. */
+    bool wantSchedule = false;
+};
+
+/** Where the served workload came from (mirrors
+ *  suite::WorkloadOrigin). */
+enum class Origin : std::uint8_t
+{
+    Built = 0, ///< full pipeline ran
+    Disk = 1,  ///< restored from the artefact store (warm hit)
+    Memory = 2 ///< already resident in the server's cache
+};
+
+struct CompileResponse
+{
+    std::string answer; ///< decoded out/1 stream of the program
+    std::uint64_t instructions = 0; ///< executed ICIs
+    std::uint64_t seqCycles = 0;    ///< sequential-model cycles
+    std::uint64_t vliwCycles = 0;   ///< 0 in "seq" mode
+    double speedup = 0.0;           ///< 0 in "seq" mode
+    Origin origin = Origin::Built;
+    std::string schedule; ///< wide-code listing, when requested
+};
+
+struct StatsResponse
+{
+    /** The --stats-json-shape document, plus a "server" object with
+     *  the connection/admission counters. */
+    std::string json;
+};
+
+struct DrainResponse
+{
+    /** Requests still in flight when the drain was acknowledged. */
+    std::uint64_t inFlight = 0;
+};
+
+struct ErrorResponse
+{
+    ErrCode code = ErrCode::Internal;
+    std::string message;
+};
+
+/** Per-kind payload codecs. Decoders throw serialize::DecodeError
+ *  on malformed payloads (including trailing bytes). */
+std::string encode(const CompileRequest &m);
+std::string encode(const CompileResponse &m);
+std::string encode(const StatsResponse &m);
+std::string encode(const DrainResponse &m);
+std::string encode(const ErrorResponse &m);
+
+CompileRequest decodeCompileRequest(const std::string &payload);
+CompileResponse decodeCompileResponse(const std::string &payload);
+StatsResponse decodeStatsResponse(const std::string &payload);
+DrainResponse decodeDrainResponse(const std::string &payload);
+ErrorResponse decodeErrorResponse(const std::string &payload);
+
+/** Pack one complete frame: header (with chained checksum) +
+ *  payload. Throws RuntimeError if payload exceeds
+ *  kMaxPayloadBytes. */
+std::string packFrame(MsgKind kind, const std::string &payload);
+
+} // namespace symbol::server
+
+#endif // SYMBOL_SERVER_PROTO_HH

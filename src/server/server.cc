@@ -1,0 +1,671 @@
+#include "server/server.hh"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "machine/config.hh"
+#include "pass/instrument.hh"
+#include "sched/compact.hh"
+#include "serialize/codec.hh"
+#include "suite/benchmarks.hh"
+#include "suite/cache.hh"
+#include "suite/statsjson.hh"
+#include "suite/store.hh"
+#include "support/deadline.hh"
+#include "support/diagnostics.hh"
+#include "support/json.hh"
+#include "support/text.hh"
+
+namespace symbol::server
+{
+
+namespace
+{
+
+suite::DriverOptions
+driverOptions(const ServerOptions &o)
+{
+    suite::DriverOptions d;
+    d.jobs = o.jobs;
+    d.cacheDir = o.cacheDir;
+    d.quiet = o.quiet;
+    return d;
+}
+
+/** Write all of @p n bytes, retrying short writes and EINTR.
+ *  MSG_NOSIGNAL: a vanished peer must yield EPIPE, not SIGPIPE. */
+bool
+sendAll(int fd, const char *data, std::size_t n)
+{
+    while (n > 0) {
+        ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        data += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+/** The wake fd of the server drainOnSignals() is routing to; the
+ *  handler only write()s, which is async-signal-safe. */
+std::atomic<int> gSignalWakeFd{-1};
+
+extern "C" void
+drainSignalHandler(int)
+{
+    int fd = gSignalWakeFd.load(std::memory_order_relaxed);
+    if (fd >= 0) {
+        char b = 1;
+        // Best effort: a full pipe means a wake-up is already
+        // pending, which is all we need.
+        [[maybe_unused]] ssize_t r = ::write(fd, &b, 1);
+    }
+}
+
+} // namespace
+
+Server::Server(const ServerOptions &opts)
+    : opts_(opts), driver_(driverOptions(opts))
+{
+    if (opts_.socketPath.empty())
+        throw RuntimeError("server: socket path is required");
+    if (opts_.maxInFlight == 0)
+        throw RuntimeError("server: maxInFlight must be positive");
+}
+
+Server::~Server()
+{
+    if (!started_)
+        return;
+    requestDrain();
+    wait();
+}
+
+void
+Server::start()
+{
+    if (started_)
+        throw RuntimeError("server: started twice");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (opts_.socketPath.size() >= sizeof addr.sun_path)
+        throw RuntimeError(strprintf(
+            "server: socket path too long (%zu bytes, max %zu)",
+            opts_.socketPath.size(), sizeof addr.sun_path - 1));
+    std::memcpy(addr.sun_path, opts_.socketPath.c_str(),
+                opts_.socketPath.size() + 1);
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        throw RuntimeError(strprintf("server: socket: %s",
+                                     std::strerror(errno)));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof addr) != 0) {
+        if (errno != EADDRINUSE) {
+            int err = errno;
+            ::close(fd);
+            throw RuntimeError(strprintf("server: bind %s: %s",
+                                         opts_.socketPath.c_str(),
+                                         std::strerror(err)));
+        }
+        // Distinguish a live server from a stale socket file left by
+        // a crashed one: only the latter may be replaced.
+        int probe = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        bool live = probe >= 0 &&
+                    ::connect(probe,
+                              reinterpret_cast<sockaddr *>(&addr),
+                              sizeof addr) == 0;
+        if (probe >= 0)
+            ::close(probe);
+        if (live) {
+            ::close(fd);
+            throw RuntimeError(strprintf(
+                "server: %s: a server is already listening",
+                opts_.socketPath.c_str()));
+        }
+        ::unlink(opts_.socketPath.c_str());
+        if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+                   sizeof addr) != 0) {
+            int err = errno;
+            ::close(fd);
+            throw RuntimeError(strprintf("server: bind %s: %s",
+                                         opts_.socketPath.c_str(),
+                                         std::strerror(err)));
+        }
+    }
+    if (::listen(fd, 64) != 0) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(opts_.socketPath.c_str());
+        throw RuntimeError(strprintf("server: listen %s: %s",
+                                     opts_.socketPath.c_str(),
+                                     std::strerror(err)));
+    }
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+        int err = errno;
+        ::close(fd);
+        ::unlink(opts_.socketPath.c_str());
+        throw RuntimeError(strprintf("server: pipe: %s",
+                                     std::strerror(err)));
+    }
+    listenFd_ = fd;
+    wakeR_ = pipefd[0];
+    wakeW_ = pipefd[1];
+    started_ = true;
+    acceptor_ = std::thread(&Server::acceptLoop, this);
+}
+
+void
+Server::requestDrain()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!started_ || draining_)
+            return;
+        draining_ = true;
+    }
+    char b = 1;
+    [[maybe_unused]] ssize_t r = ::write(wakeW_, &b, 1);
+}
+
+void
+Server::drainOnSignals(Server &s)
+{
+    gSignalWakeFd.store(s.wakeW_, std::memory_order_relaxed);
+    struct sigaction sa{};
+    sa.sa_handler = drainSignalHandler;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGINT, &sa, nullptr);
+    sigaction(SIGTERM, &sa, nullptr);
+    // The drain path closes client sockets; writes racing that must
+    // fail with EPIPE, not kill the process.
+    signal(SIGPIPE, SIG_IGN);
+}
+
+bool
+Server::draining() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return draining_;
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        pollfd fds[2] = {{listenFd_, POLLIN, 0}, {wakeR_, POLLIN, 0}};
+        int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        bool wake = (fds[1].revents & POLLIN) != 0;
+        if (!wake) {
+            // A drain set draining_ then wrote the pipe; without the
+            // pipe event yet, accepting is still correct (the flag
+            // is re-checked per request).
+            if (fds[0].revents & POLLIN) {
+                int conn = ::accept(listenFd_, nullptr, nullptr);
+                if (conn >= 0) {
+                    std::lock_guard<std::mutex> lock(mu_);
+                    if (draining_) {
+                        ::close(conn);
+                        continue;
+                    }
+                    ++counters_.accepted;
+                    connFds_.push_back(conn);
+                    connThreads_.emplace_back(&Server::connLoop,
+                                              this, conn);
+                }
+            }
+            continue;
+        }
+        break;
+    }
+    // Drain: stop new connections, then wake every blocked reader.
+    // shutdown(SHUT_RD) makes their recv() return 0 as if the peer
+    // closed; in-flight requests still answer before the connection
+    // thread exits.
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::unlink(opts_.socketPath.c_str());
+    for (int fd : connFds_)
+        ::shutdown(fd, SHUT_RD);
+}
+
+void
+Server::wait()
+{
+    if (!started_)
+        return;
+    if (acceptor_.joinable())
+        acceptor_.join();
+    std::vector<std::thread> threads;
+    {
+        // The acceptor has exited, so connThreads_ can only shrink
+        // conceptually from here; move the handles out and join
+        // outside the lock (threads lock mu_ on their way out).
+        std::lock_guard<std::mutex> lock(mu_);
+        threads.swap(connThreads_);
+    }
+    for (std::thread &t : threads)
+        if (t.joinable())
+            t.join();
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!drained_) {
+        drained_ = true;
+        ::close(wakeR_);
+        ::close(wakeW_);
+        wakeR_ = wakeW_ = -1;
+        if (gSignalWakeFd.load(std::memory_order_relaxed) != -1)
+            gSignalWakeFd.store(-1, std::memory_order_relaxed);
+        if (!opts_.quiet) {
+            std::fprintf(
+                stderr,
+                "[symbold] drained: %llu conns, %llu requests "
+                "(%llu completed, %llu overloaded, %llu expired, "
+                "%llu bad, %llu framing)\n",
+                static_cast<unsigned long long>(counters_.accepted),
+                static_cast<unsigned long long>(counters_.requests),
+                static_cast<unsigned long long>(counters_.completed),
+                static_cast<unsigned long long>(
+                    counters_.overloadRejected),
+                static_cast<unsigned long long>(
+                    counters_.deadlineExpired),
+                static_cast<unsigned long long>(
+                    counters_.badRequests),
+                static_cast<unsigned long long>(
+                    counters_.framingErrors));
+            driver_.reportStats();
+        }
+    }
+}
+
+ServerCounters
+Server::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ServerCounters c = counters_;
+    c.inFlight = inFlight_.load(std::memory_order_relaxed);
+    return c;
+}
+
+std::string
+Server::statsJson() const
+{
+    json::Value base = suite::statsDocument(
+        driver_.stats(), driver_.jobs(),
+        pass::PassInstrumentation::global().snapshot());
+    // json::Object is a std::map: copy the top-level object to graft
+    // the "server" member in (Value has no mutable member access).
+    json::Object top = base.asObject();
+    ServerCounters c = counters();
+    json::Object s;
+    s["accepted"] = c.accepted;
+    s["requests"] = c.requests;
+    s["completed"] = c.completed;
+    s["overloadRejected"] = c.overloadRejected;
+    s["deadlineExpired"] = c.deadlineExpired;
+    s["badRequests"] = c.badRequests;
+    s["framingErrors"] = c.framingErrors;
+    s["internalErrors"] = c.internalErrors;
+    s["drains"] = c.drains;
+    s["respMemoryHits"] = c.respMemoryHits;
+    s["respDiskHits"] = c.respDiskHits;
+    s["inFlight"] = c.inFlight;
+    s["draining"] = draining();
+    top["server"] = json::Value(std::move(s));
+    return json::Value(std::move(top)).dump() + "\n";
+}
+
+void
+Server::connLoop(int fd)
+{
+    FrameReader reader;
+    std::vector<Frame> frames;
+    char buf[64 * 1024];
+    bool dropped = false;
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0) {
+            // EOF (or our own drain shutdown) inside a frame is a
+            // mid-frame disconnect — account it like any other
+            // framing failure.
+            if (!reader.idle() && !reader.broken()) {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++counters_.framingErrors;
+            }
+            break;
+        }
+        frames.clear();
+        bool ok = reader.feed(buf, static_cast<std::size_t>(n),
+                              frames);
+        for (const Frame &f : frames)
+            if (!dispatch(fd, f)) {
+                dropped = true;
+                break;
+            }
+        if (dropped)
+            break;
+        if (!ok) {
+            // Out of sync: best-effort error response, then drop —
+            // a length-prefixed stream cannot resynchronise.
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                ++counters_.framingErrors;
+            }
+            sendError(fd, ErrCode::BadRequest, reader.error());
+            break;
+        }
+    }
+    ::close(fd);
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < connFds_.size(); ++i)
+        if (connFds_[i] == fd) {
+            connFds_.erase(connFds_.begin() + i);
+            break;
+        }
+}
+
+bool
+Server::sendFrame(int fd, MsgKind kind, const std::string &payload)
+{
+    std::string frame = packFrame(kind, payload);
+    return sendAll(fd, frame.data(), frame.size());
+}
+
+bool
+Server::sendError(int fd, ErrCode code, const std::string &msg)
+{
+    ErrorResponse e;
+    e.code = code;
+    e.message = msg;
+    return sendFrame(fd, MsgKind::ErrorResponse, encode(e));
+}
+
+bool
+Server::tryAcquireSlot()
+{
+    std::uint64_t cur = inFlight_.load(std::memory_order_relaxed);
+    // The admission bound is what keeps queueing delay off the
+    // latency path: beyond it, reject instead of buffering.
+    while (cur < opts_.maxInFlight)
+        if (inFlight_.compare_exchange_weak(
+                cur, cur + 1, std::memory_order_acq_rel))
+            return true;
+    return false;
+}
+
+void
+Server::releaseSlot()
+{
+    inFlight_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+bool
+Server::dispatch(int fd, const Frame &f)
+{
+    switch (f.kind) {
+    case MsgKind::PingRequest:
+        return sendFrame(fd, MsgKind::PongResponse, std::string());
+    case MsgKind::StatsRequest: {
+        StatsResponse s;
+        s.json = statsJson();
+        return sendFrame(fd, MsgKind::StatsResponse, encode(s));
+    }
+    case MsgKind::DrainRequest: {
+        DrainResponse d;
+        d.inFlight = inFlight_.load(std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.drains;
+        }
+        // Acknowledge first: requestDrain() shuts this connection's
+        // read side down, and the client deserves the response.
+        bool ok = sendFrame(fd, MsgKind::DrainResponse, encode(d));
+        requestDrain();
+        return ok;
+    }
+    case MsgKind::CompileRequest:
+        return handleCompile(fd, f.payload);
+    default: {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.badRequests;
+    }
+        sendError(fd, ErrCode::BadRequest,
+                  strprintf("unexpected message kind %u",
+                            static_cast<unsigned>(f.kind)));
+        return false;
+    }
+}
+
+bool
+Server::handleCompile(int fd, const std::string &payload)
+{
+    CompileRequest req;
+    try {
+        req = decodeCompileRequest(payload);
+    } catch (const serialize::DecodeError &e) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.badRequests;
+        }
+        // Framing was intact, only this payload is malformed: answer
+        // the error and keep the connection.
+        return sendError(fd, ErrCode::BadRequest, e.what());
+    }
+    if (draining())
+        return sendError(fd, ErrCode::Draining,
+                         "server is draining");
+    if (!tryAcquireSlot()) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.overloadRejected;
+        }
+        return sendError(fd, ErrCode::Overloaded,
+                         strprintf("%zu requests in flight",
+                                   opts_.maxInFlight));
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.requests;
+    }
+    support::Deadline deadline =
+        support::Deadline::afterMillis(req.deadlineMillis);
+    // Failures cross the pool boundary as values, never as thrown
+    // objects: rethrowing a stored exception would hand this thread
+    // a reference into the worker's task state, whose release races
+    // the handler (a use-after-free tsan catches).
+    struct Outcome
+    {
+        CompileResponse resp;
+        bool failed = false;
+        ErrCode code = ErrCode::Internal;
+        std::string message;
+    };
+    Outcome out;
+    try {
+        // Run on the driver pool so compile work shares workers with
+        // sweep tasks; the deadline is thread-local, so the scope
+        // must be established inside the task, not here.
+        auto fut = driver_.pool().submit([this, &req, &deadline] {
+            Outcome o;
+            support::DeadlineScope scope(deadline);
+            try {
+                o.resp = doCompile(req);
+            } catch (const support::DeadlineExceeded &e) {
+                o.failed = true;
+                o.code = ErrCode::DeadlineExpired;
+                o.message = e.what();
+            } catch (const CompileError &e) {
+                o.failed = true;
+                o.code = ErrCode::BadRequest;
+                o.message = e.what();
+            } catch (const std::exception &e) {
+                o.failed = true;
+                o.code = ErrCode::Internal;
+                o.message = e.what();
+            }
+            return o;
+        });
+        out = fut.get();
+    } catch (const std::exception &e) {
+        // The pool itself failed (submission or teardown).
+        out.failed = true;
+        out.code = ErrCode::Internal;
+        out.message = e.what();
+    }
+    releaseSlot();
+    if (!out.failed) {
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++counters_.completed;
+        }
+        return sendFrame(fd, MsgKind::CompileResponse,
+                         encode(out.resp));
+    }
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (out.code == ErrCode::DeadlineExpired)
+            ++counters_.deadlineExpired;
+        else if (out.code == ErrCode::BadRequest)
+            ++counters_.badRequests;
+        else
+            ++counters_.internalErrors;
+    }
+    return sendError(fd, out.code, out.message);
+}
+
+bool
+Server::lookupResponse(const std::string &key, CompileResponse &out)
+{
+    bool hit = false;
+    {
+        std::lock_guard<std::mutex> lock(respMu_);
+        auto it = respCache_.find(key);
+        if (it != respCache_.end()) {
+            out = it->second;
+            hit = true;
+        }
+    }
+    if (hit) {
+        out.origin = Origin::Memory;
+        std::lock_guard<std::mutex> lock(mu_);
+        ++counters_.respMemoryHits;
+        return true;
+    }
+    suite::ArtifactStore *store = driver_.store();
+    std::string blob;
+    if (!store || !store->loadBlob("rs", key, blob))
+        return false;
+    try {
+        out = decodeCompileResponse(blob);
+    } catch (const serialize::DecodeError &) {
+        // Corrupt blob: recompute (and overwrite it below).
+        return false;
+    }
+    out.origin = Origin::Disk;
+    {
+        std::lock_guard<std::mutex> lock(respMu_);
+        respCache_.emplace(key, out);
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    ++counters_.respDiskHits;
+    return true;
+}
+
+void
+Server::rememberResponse(const std::string &key,
+                         const CompileResponse &resp)
+{
+    {
+        std::lock_guard<std::mutex> lock(respMu_);
+        respCache_[key] = resp;
+    }
+    if (suite::ArtifactStore *store = driver_.store())
+        store->storeBlob("rs", key, encode(resp));
+}
+
+CompileResponse
+Server::doCompile(const CompileRequest &req)
+{
+    support::checkDeadline("admission");
+    suite::Benchmark adhoc;
+    const suite::Benchmark *bench;
+    if (req.source.empty()) {
+        bench = &suite::benchmark(req.name);
+    } else {
+        adhoc.name = req.name.empty() ? "request" : req.name;
+        adhoc.source = req.source;
+        bench = &adhoc;
+    }
+    suite::WorkloadOptions wo;
+    wo.compiler.indexing = req.indexing;
+    wo.translate.expandTagBranches = req.expandTags;
+
+    // The full request key: the workload's cache key (fingerprint +
+    // source) extended with the response-shaping dimensions. A hit
+    // skips compile AND simulation — the warm path is a lookup.
+    std::string rkey =
+        suite::WorkloadCache::keyOf(*bench, wo) +
+        strprintf("|pv%u|proto%d|u%u|m:%s|sched%d", kProtoVersion,
+                  req.protoMachine ? 1 : 0, req.units,
+                  req.mode.c_str(), req.wantSchedule ? 1 : 0);
+    CompileResponse cached;
+    if (lookupResponse(rkey, cached))
+        return cached;
+
+    suite::WorkloadOrigin origin = suite::WorkloadOrigin::Built;
+    const suite::Workload &w = driver_.workload(*bench, wo, &origin);
+
+    CompileResponse resp;
+    resp.origin = static_cast<Origin>(origin);
+    resp.answer = w.seqOutput();
+    resp.instructions = w.instructions();
+    resp.seqCycles = w.seqCycles();
+    if (req.mode != "seq") {
+        machine::MachineConfig mc =
+            req.protoMachine
+                ? machine::MachineConfig::prototype(
+                      static_cast<int>(req.units))
+                : machine::MachineConfig::idealShared(
+                      static_cast<int>(req.units));
+        sched::CompactOptions co;
+        co.traceMode = req.mode == "trace";
+        support::checkDeadline("compact");
+        suite::VliwRun run = w.runVliw(mc, co);
+        resp.vliwCycles = run.cycles;
+        resp.speedup = run.speedupVsSeq;
+        if (req.wantSchedule) {
+            sched::CompactResult cr =
+                sched::compact(w.ici(), w.profile(), mc, co);
+            resp.schedule = cr.code.str();
+        }
+    }
+    support::checkDeadline("respond");
+    rememberResponse(rkey, resp);
+    return resp;
+}
+
+} // namespace symbol::server

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * symbold's long-lived compile-and-evaluate service (DESIGN.md §13).
+ *
+ * The Server listens on a Unix-domain socket, speaks the framed
+ * protocol of server/proto.hh, and dispatches compile requests onto
+ * the existing evaluation stack: the suite::EvalDriver's
+ * support::ThreadPool runs the work, the content-keyed
+ * WorkloadCache deduplicates identical programs across clients, and
+ * the sharded ArtifactStore answers warm hits without touching the
+ * compiler at all.
+ *
+ * Service disciplines:
+ *  - Admission control: at most maxInFlight compile requests exist
+ *    at once — running or queued on the pool. Requests beyond the
+ *    bound are rejected *immediately* with an `overloaded` error
+ *    (never buffered), so latency stays bounded under overload and
+ *    a client can back off.
+ *  - Deadlines: each request may carry a budget in milliseconds; it
+ *    is enforced cooperatively at pass boundaries
+ *    (support/deadline.hh) and an expired request answers
+ *    `deadline-expired`. Work that already finished (cache entries,
+ *    store artefacts) is kept — a deadline aborts a response, not
+ *    the shared state.
+ *  - Graceful drain: requestDrain() (a DrainRequest frame, SIGINT or
+ *    SIGTERM) stops accepting connections, lets in-flight requests
+ *    complete and answer, wakes blocked readers, and wait() returns
+ *    with every thread joined and the socket unlinked. New requests
+ *    racing the drain answer `draining`.
+ *  - One connection is served by one thread, requests processed in
+ *    order; concurrency comes from concurrent connections, whose
+ *    compile work shares the driver pool.
+ */
+
+#ifndef SYMBOL_SERVER_SERVER_HH
+#define SYMBOL_SERVER_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "server/framing.hh"
+#include "server/proto.hh"
+#include "suite/driver.hh"
+
+namespace symbol::server
+{
+
+struct ServerOptions
+{
+    /** Unix-domain socket path (required). A stale socket file from
+     *  a dead server is replaced; a live one fails start(). */
+    std::string socketPath;
+    /** Artefact-store directory (empty = SYMBOL_CACHE_DIR env, and
+     *  when that is unset too, memory-only caching). */
+    std::string cacheDir;
+    /** Driver pool width; 0 = SYMBOL_JOBS / hardware concurrency. */
+    unsigned jobs = 0;
+    /** Admission bound: maximum compile requests in flight. */
+    std::size_t maxInFlight = 64;
+    /** Suppress the per-drain stderr summary. */
+    bool quiet = false;
+};
+
+/** Monotonic service counters (one snapshot; see statsJson for the
+ *  machine-readable form). */
+struct ServerCounters
+{
+    std::uint64_t accepted = 0;  ///< connections accepted
+    std::uint64_t requests = 0;  ///< compile requests admitted
+    std::uint64_t completed = 0; ///< compile responses sent
+    std::uint64_t overloadRejected = 0;
+    std::uint64_t deadlineExpired = 0;
+    std::uint64_t badRequests = 0;
+    std::uint64_t framingErrors = 0;
+    std::uint64_t internalErrors = 0;
+    std::uint64_t drains = 0; ///< drain requests received
+    /** Compile responses served straight from the in-memory
+     *  response cache (no pipeline work at all). */
+    std::uint64_t respMemoryHits = 0;
+    /** Compile responses restored from the artefact store's `rs-`
+     *  blobs (no pipeline work at all). */
+    std::uint64_t respDiskHits = 0;
+    std::uint64_t inFlight = 0; ///< snapshot, not monotonic
+};
+
+class Server
+{
+  public:
+    explicit Server(const ServerOptions &opts);
+    ~Server();
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /** Bind, listen and spawn the acceptor. Throws RuntimeError if
+     *  the socket cannot be bound (e.g. a live server owns it). */
+    void start();
+
+    /**
+     * Begin a graceful drain: stop accepting, wake blocked
+     * connection readers, let in-flight requests answer. Safe to
+     * call from any thread, any number of times.
+     */
+    void requestDrain();
+
+    /** Route SIGINT/SIGTERM to requestDrain() for this server (one
+     *  server per process; the handler is async-signal-safe). */
+    static void drainOnSignals(Server &s);
+
+    /** Block until the server has fully drained: every connection
+     *  closed, every thread joined, the socket unlinked. */
+    void wait();
+
+    bool draining() const;
+
+    ServerCounters counters() const;
+
+    /** The machine-readable stats document: the --stats-json shape
+     *  plus a "server" object with the counters above. */
+    std::string statsJson() const;
+
+    /** The evaluation driver serving this server (tests reconcile
+     *  its stats against responses). */
+    suite::EvalDriver &driver() { return driver_; }
+
+  private:
+    void acceptLoop();
+    void connLoop(int fd);
+    /** Process one frame; false = drop the connection. */
+    bool dispatch(int fd, const Frame &f);
+    bool handleCompile(int fd, const std::string &payload);
+    CompileResponse doCompile(const CompileRequest &req);
+    /** Serve @p key from the response cache (memory, then the
+     *  store's `rs-` blobs). False = compute it. */
+    bool lookupResponse(const std::string &key,
+                        CompileResponse &out);
+    void rememberResponse(const std::string &key,
+                          const CompileResponse &resp);
+    bool sendFrame(int fd, MsgKind kind, const std::string &payload);
+    bool sendError(int fd, ErrCode code, const std::string &msg);
+    bool tryAcquireSlot();
+    void releaseSlot();
+
+    ServerOptions opts_;
+    suite::EvalDriver driver_;
+
+    int listenFd_ = -1;
+    int wakeR_ = -1, wakeW_ = -1; ///< drain wake pipe
+    std::thread acceptor_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    bool started_ = false;
+    bool draining_ = false;
+    bool drained_ = false;
+    std::vector<int> connFds_; ///< open connections (for shutdown)
+    std::vector<std::thread> connThreads_;
+    ServerCounters counters_;
+    std::atomic<std::uint64_t> inFlight_{0};
+
+    /** Completed responses by full request key: identical requests
+     *  are answered without touching the pipeline. The simulation
+     *  is a pure function of (program, options, config), so a
+     *  cached response is byte-identical to a recomputed one. */
+    std::mutex respMu_;
+    std::unordered_map<std::string, CompileResponse> respCache_;
+};
+
+} // namespace symbol::server
+
+#endif // SYMBOL_SERVER_SERVER_HH

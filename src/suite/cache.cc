@@ -1,6 +1,7 @@
 #include "suite/cache.hh"
 
 #include "suite/store.hh"
+#include "support/deadline.hh"
 #include "support/diagnostics.hh"
 #include "support/fnv.hh"
 #include "support/text.hh"
@@ -99,6 +100,27 @@ WorkloadCache::get(const Benchmark &bench, const WorkloadOptions &opts,
             w->attachStore(store_, key);
         if (w)
             w->setVerifySchedules(verify_);
+        // A deterministic build failure is cached and rethrown to
+        // every requester forever — retrying cannot succeed. A
+        // DeadlineExceeded abort is NOT deterministic (it depends on
+        // the requester's wall-clock budget), so the entry is evicted
+        // and the next request rebuilds from scratch; only the
+        // requesters already waiting on this build share the abort.
+        bool transient = false;
+        if (err) {
+            try {
+                std::rethrow_exception(err);
+            } catch (const support::DeadlineExceeded &) {
+                transient = true;
+            } catch (...) {
+            }
+        }
+        if (transient) {
+            std::lock_guard<std::mutex> lk(mu_);
+            auto it = map_.find(key);
+            if (it != map_.end() && it->second == entry)
+                map_.erase(it);
+        }
         {
             std::lock_guard<std::mutex> lk(entry->m);
             entry->workload = std::move(w);

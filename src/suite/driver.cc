@@ -101,22 +101,29 @@ EvalDriver::~EvalDriver() = default;
 
 const Workload &
 EvalDriver::workload(const std::string &benchName,
-                     const WorkloadOptions &opts)
+                     const WorkloadOptions &opts,
+                     WorkloadOrigin *originOut)
 {
-    return workload(benchmark(benchName), opts);
+    return workload(benchmark(benchName), opts, originOut);
 }
 
 const Workload &
 EvalDriver::workload(const Benchmark &bench,
-                     const WorkloadOptions &opts)
+                     const WorkloadOptions &opts,
+                     WorkloadOrigin *originOut)
 {
     WorkloadOptions wopts = opts;
     if (!wopts.passInstr)
         wopts.passInstr = opts_.passInstr;
-    if (!opts_.useCache)
+    if (!opts_.useCache) {
+        if (originOut)
+            *originOut = WorkloadOrigin::Built;
         return fresh(bench, wopts);
+    }
     WorkloadOrigin origin = WorkloadOrigin::Built;
     const Workload &w = cache_.get(bench, wopts, &origin);
+    if (originOut)
+        *originOut = origin;
     {
         std::lock_guard<std::mutex> lk(mu_);
         switch (origin) {

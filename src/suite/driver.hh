@@ -123,12 +123,16 @@ class EvalDriver
     /**
      * The workload of a suite benchmark (by name) or an arbitrary
      * Benchmark, cached under its content key. Thread-safe; safe to
-     * call from inside driver tasks.
+     * call from inside driver tasks. @p origin, when given, receives
+     * where the artefact came from (built / disk store / memory) —
+     * the server reports it per request.
      */
     const Workload &workload(const std::string &benchName,
-                             const WorkloadOptions &opts = {});
+                             const WorkloadOptions &opts = {},
+                             WorkloadOrigin *origin = nullptr);
     const Workload &workload(const Benchmark &bench,
-                             const WorkloadOptions &opts = {});
+                             const WorkloadOptions &opts = {},
+                             WorkloadOrigin *origin = nullptr);
 
     /** Build the workloads of @p benchNames concurrently. */
     void prefetch(const std::vector<std::string> &benchNames,

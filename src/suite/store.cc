@@ -6,6 +6,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -48,6 +50,8 @@ constexpr std::uint32_t kSecSeqCycles = 8;
 constexpr std::uint32_t kSecVliwCode = 16;
 constexpr std::uint32_t kSecCompactStats = 17;
 constexpr std::uint32_t kSecSeqBaseline = 18;
+/** Section id of an opaque blob artefact. */
+constexpr std::uint32_t kSecBlob = 32;
 
 double
 now()
@@ -153,15 +157,45 @@ ArtifactStore::fileNameFor(const std::string &kind,
         key.size(), serialize::kFormatVersion);
 }
 
+std::string
+ArtifactStore::shardOf(const std::string &fileName)
+{
+    // "<kind>-<16 hex digits>-…": the shard is the leading byte of
+    // the embedded key hash — uniform, and recomputable from the
+    // name alone (migration never re-reads file contents).
+    std::size_t dash = fileName.find('-');
+    if (dash == std::string::npos || fileName.size() < dash + 3)
+        return "";
+    std::string shard = fileName.substr(dash + 1, 2);
+    for (char c : shard)
+        if (!std::isxdigit(static_cast<unsigned char>(c)))
+            return "";
+    return shard;
+}
+
+std::string
+ArtifactStore::pathFor(const std::string &kind,
+                       const std::string &key) const
+{
+    std::string name = fileNameFor(kind, key);
+    return dir_ + "/" + shardOf(name) + "/" + name;
+}
+
 bool
 ArtifactStore::loadFile(const std::string &kind,
                         const std::string &key, std::string &outBytes)
 {
-    std::string path = dir_ + "/" + fileNameFor(kind, key);
-    if (!readAll(path, outBytes)) {
-        std::lock_guard<std::mutex> lk(mu_);
-        ++stats_.diskMisses;
-        return false;
+    std::string name = fileNameFor(kind, key);
+    std::string sharded = dir_ + "/" + shardOf(name) + "/" + name;
+    bool viaFlat = false;
+    if (!readAll(sharded, outBytes)) {
+        // Transparent read-through of the pre-sharding flat layout.
+        if (!readAll(dir_ + "/" + name, outBytes)) {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.diskMisses;
+            return false;
+        }
+        viaFlat = true;
     }
     std::uint32_t version = 0;
     if (versionOf(outBytes, version) &&
@@ -170,8 +204,50 @@ ArtifactStore::loadFile(const std::string &kind,
         ++stats_.versionRejected;
         return false;
     }
+    if (viaFlat) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.flatReadThrough;
+    }
     return true;
 }
+
+namespace
+{
+
+/** Write @p bytes to a fresh @p tmp and flush them to stable
+ *  storage. The fsync before the publishing rename is load-bearing:
+ *  without it a crash (or power loss) after the rename could
+ *  publish a name whose *data* blocks never hit disk — a truncated
+ *  artefact that only the payload checksum would catch, one rebuild
+ *  at a time, forever. See tests/test_store.cc
+ *  (PublishedFilesAreDurableAndComplete). */
+bool
+writeAllSynced(const std::string &tmp, const std::string &bytes)
+{
+    int fd = ::open(tmp.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0666);
+    if (fd < 0)
+        return false;
+    const char *p = bytes.data();
+    std::size_t left = bytes.size();
+    bool ok = true;
+    while (left > 0) {
+        ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            ok = false;
+            break;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    if (ok)
+        ok = ::fsync(fd) == 0;
+    ok = (::close(fd) == 0) && ok;
+    return ok;
+}
+
+} // namespace
 
 void
 ArtifactStore::writeFile(const std::string &kind,
@@ -180,19 +256,16 @@ ArtifactStore::writeFile(const std::string &kind,
 {
     static std::atomic<std::uint64_t> seq{0};
     std::string name = fileNameFor(kind, key);
-    std::string path = dir_ + "/" + name;
+    std::string shardDir = dir_ + "/" + shardOf(name);
+    std::error_code ec;
+    fs::create_directories(shardDir, ec);
+    std::string path = shardDir + "/" + name;
     FileLock lock(path + ".lock");
     std::string tmp = strprintf(
         "%s.tmp.%d.%llu", path.c_str(), static_cast<int>(::getpid()),
         static_cast<unsigned long long>(
             seq.fetch_add(1, std::memory_order_relaxed)));
-    bool ok = false;
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        out.write(bytes.data(),
-                  static_cast<std::streamsize>(bytes.size()));
-        ok = out.good();
-    }
+    bool ok = writeAllSynced(tmp, bytes);
     if (ok)
         ok = std::rename(tmp.c_str(), path.c_str()) == 0;
     std::lock_guard<std::mutex> lk(mu_);
@@ -203,6 +276,61 @@ ArtifactStore::writeFile(const std::string &kind,
         std::remove(tmp.c_str());
         ++stats_.ioErrors;
     }
+}
+
+std::string
+ArtifactStore::MigrateReport::str() const
+{
+    return strprintf(
+        "%llu artefact(s) moved into shards, %llu superseded by an "
+        "existing sharded copy, %llu stale dropping(s) scrubbed, "
+        "%llu error(s)",
+        static_cast<unsigned long long>(moved),
+        static_cast<unsigned long long>(replaced),
+        static_cast<unsigned long long>(scrubbed),
+        static_cast<unsigned long long>(errors));
+}
+
+ArtifactStore::MigrateReport
+ArtifactStore::migrateFlat()
+{
+    MigrateReport rep;
+    std::error_code ec;
+    std::vector<fs::path> flat;
+    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
+        if (!entry.is_regular_file())
+            continue;
+        flat.push_back(entry.path());
+    }
+    for (const fs::path &p : flat) {
+        std::string name = p.filename().string();
+        if (name.size() > 5 &&
+            name.substr(name.size() - 5) == ".syaf") {
+            std::string shard = shardOf(name);
+            if (shard.empty()) {
+                ++rep.errors;
+                continue;
+            }
+            std::string destDir = dir_ + "/" + shard;
+            fs::create_directories(destDir, ec);
+            std::string dest = destDir + "/" + name;
+            if (fs::exists(dest)) {
+                // Concurrent writers already published a sharded
+                // (newer-format-era) copy; it wins.
+                fs::remove(p, ec);
+                ec ? ++rep.errors : ++rep.replaced;
+            } else if (std::rename(p.c_str(), dest.c_str()) == 0) {
+                ++rep.moved;
+            } else {
+                ++rep.errors;
+            }
+        } else if (name.find(".syaf.lock") != std::string::npos ||
+                   name.find(".syaf.tmp.") != std::string::npos) {
+            fs::remove(p, ec);
+            ec ? ++rep.errors : ++rep.scrubbed;
+        }
+    }
+    return rep;
 }
 
 bool
@@ -425,6 +553,55 @@ ArtifactStore::storeVliw(const std::string &key,
     }
 }
 
+bool
+ArtifactStore::loadBlob(const std::string &kind,
+                        const std::string &key, std::string &out)
+{
+    double t0 = now();
+    std::string bytes;
+    if (!loadFile(kind, key, bytes))
+        return false;
+    try {
+        Container c = serialize::unpackContainer(bytes);
+        if (c.section(kSecKey) != key) {
+            std::lock_guard<std::mutex> lk(mu_);
+            ++stats_.keyMismatches;
+            return false;
+        }
+        out = c.section(kSecBlob);
+    } catch (const DecodeError &) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.corruptRejected;
+        return false;
+    }
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.diskHits;
+    stats_.bytesRead += bytes.size();
+    stats_.deserializeSeconds += now() - t0;
+    return true;
+}
+
+void
+ArtifactStore::storeBlob(const std::string &kind,
+                         const std::string &key,
+                         const std::string &bytes)
+{
+    try {
+        double t0 = now();
+        std::string packed =
+            serialize::packContainer({{kSecKey, key},
+                                      {kSecBlob, bytes}});
+        {
+            std::lock_guard<std::mutex> lk(mu_);
+            stats_.serializeSeconds += now() - t0;
+        }
+        writeFile(kind, key, packed);
+    } catch (...) {
+        std::lock_guard<std::mutex> lk(mu_);
+        ++stats_.ioErrors;
+    }
+}
+
 StoreStats
 ArtifactStore::stats() const
 {
@@ -437,7 +614,10 @@ ArtifactStore::verifyDir(const std::string &dir)
 {
     std::vector<FileReport> reports;
     std::error_code ec;
-    for (const auto &entry : fs::directory_iterator(dir, ec)) {
+    // Recursive: sharded stores keep artefacts one subdirectory
+    // deep, and legacy flat files sit in the root; cover both.
+    for (const auto &entry :
+         fs::recursive_directory_iterator(dir, ec)) {
         if (!entry.is_regular_file())
             continue;
         std::string name = entry.path().filename().string();

@@ -21,13 +21,24 @@
  * on load, so a hash collision degrades to a rebuild, never an
  * aliased artefact.
  *
- * Concurrency: files are written to a unique temp name and published
- * with an atomic rename under a per-key advisory flock, so readers
- * — in other threads or other processes under `--jobs N` — only
- * ever observe complete files. Robust degradation: a missing,
- * truncated, bit-flipped, checksum-mismatched or version-bumped file
- * is a recorded miss and the artefact is rebuilt; no store failure
- * ever crashes the pipeline or changes an answer.
+ * Sharded layout: entries live in 256 two-hex-character
+ * subdirectories keyed by the leading byte of the key hash
+ * (`ab/wl-ab…-v2.syaf`), so a store holding millions of artefacts
+ * never concentrates them in one directory. Reads transparently fall
+ * back to the pre-sharding flat layout (counted in
+ * StoreStats::flatReadThrough), and migrateFlat() — surfaced as
+ * `symbolc --migrate-store DIR` — renames a flat store into the
+ * sharded layout in place.
+ *
+ * Concurrency: files are written to a unique temp name, fsync'd, and
+ * published with an atomic rename under a per-key advisory flock, so
+ * readers — in other threads or other processes under `--jobs N` —
+ * only ever observe complete files, and a crash between write and
+ * rename can never publish a short artefact. Robust degradation: a
+ * missing, truncated, bit-flipped, checksum-mismatched or
+ * version-bumped file is a recorded miss and the artefact is
+ * rebuilt; no store failure ever crashes the pipeline or changes an
+ * answer.
  */
 
 #ifndef SYMBOL_SUITE_STORE_HH
@@ -59,6 +70,8 @@ struct StoreStats
     std::uint64_t keyMismatches = 0;
     /** Write-side I/O failures (store kept degrading gracefully). */
     std::uint64_t ioErrors = 0;
+    /** Reads served from the legacy flat (unsharded) layout. */
+    std::uint64_t flatReadThrough = 0;
     std::uint64_t bytesRead = 0;
     std::uint64_t bytesWritten = 0;
     double deserializeSeconds = 0.0;
@@ -100,12 +113,61 @@ class ArtifactStore
                    const sched::CompactStats &stats,
                    std::uint64_t seqCycles);
 
+    /**
+     * Load the opaque blob stored under (@p kind, @p key) into
+     * @p out. Same miss semantics as loadWorkload. @p kind is a
+     * short lowercase tag naming the artefact family (e.g. "rs" for
+     * symbold's cached compile responses).
+     */
+    bool loadBlob(const std::string &kind, const std::string &key,
+                  std::string &out);
+
+    /** Persist an opaque blob under (@p kind, @p key). Atomic and
+     *  best-effort: failures are counted, never thrown. */
+    void storeBlob(const std::string &kind, const std::string &key,
+                   const std::string &bytes);
+
     StoreStats stats() const;
 
     /** The store file name of @p key (exposed for tests and the
-     *  verifier). @p kind is "wl" or "vc". */
+     *  verifier). @p kind is "wl", "vc", or a blob family tag. */
     static std::string fileNameFor(const std::string &kind,
                                    const std::string &key);
+
+    /** The 2-hex-char shard subdirectory of a store file name: the
+     *  leading byte of the key hash embedded in the name. Empty for
+     *  names that are not store files. */
+    static std::string shardOf(const std::string &fileName);
+
+    /** The canonical (sharded) path of @p key's artefact. */
+    std::string pathFor(const std::string &kind,
+                        const std::string &key) const;
+
+    /** Outcome of one migrateFlat() run. */
+    struct MigrateReport
+    {
+        /** Flat artefacts renamed into their shard directory. */
+        std::uint64_t moved = 0;
+        /** Flat artefacts whose sharded twin already existed (the
+         *  sharded copy wins; the flat one is removed). */
+        std::uint64_t replaced = 0;
+        /** Stale lock/temp droppings removed from the flat root. */
+        std::uint64_t scrubbed = 0;
+        /** Files that could not be moved (kept in place). */
+        std::uint64_t errors = 0;
+
+        std::string str() const;
+    };
+
+    /**
+     * Migrate the legacy flat layout in place: every `*.syaf` file
+     * sitting directly in the store root is renamed into its shard
+     * subdirectory, and stale `*.lock` / `*.tmp.*` droppings are
+     * scrubbed. Safe to run while other processes read the store —
+     * readers fall back flat→sharded and sharded→flat is a rename
+     * (atomic within the filesystem).
+     */
+    MigrateReport migrateFlat();
 
     /** One file's verdict from verifyDir. */
     struct FileReport

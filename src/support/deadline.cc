@@ -1,0 +1,38 @@
+#include "support/deadline.hh"
+
+namespace symbol::support
+{
+
+namespace
+{
+
+/** The calling thread's active deadline; null = unlimited. */
+thread_local const Deadline *tlsDeadline = nullptr;
+
+} // namespace
+
+const Deadline *
+currentDeadline()
+{
+    return tlsDeadline;
+}
+
+void
+checkDeadline(const char *where)
+{
+    const Deadline *d = tlsDeadline;
+    if (d && d->expired())
+        throw DeadlineExceeded(where);
+}
+
+DeadlineScope::DeadlineScope(const Deadline &d) : prev_(tlsDeadline)
+{
+    tlsDeadline = &d;
+}
+
+DeadlineScope::~DeadlineScope()
+{
+    tlsDeadline = prev_;
+}
+
+} // namespace symbol::support

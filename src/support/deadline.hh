@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Cooperative per-request deadlines.
+ *
+ * A Deadline is a wall-clock budget attached to one unit of work (a
+ * symbold request, a bounded sweep). It is enforced *cooperatively*:
+ * long-running code calls checkDeadline() at natural boundaries —
+ * the pass manager does so between pipeline passes — and the check
+ * throws DeadlineExceeded once the budget has run out. Nothing is
+ * ever interrupted mid-pass, so every artefact that exists when the
+ * exception unwinds is complete and consistent (the artefact store
+ * and caches keep whatever finished).
+ *
+ * The active deadline is published per thread with a DeadlineScope.
+ * Work that hops threads (the server dispatching onto the
+ * ThreadPool) re-establishes the scope inside the submitted task;
+ * threads with no scope run unlimited, so batch tools are
+ * unaffected.
+ */
+
+#ifndef SYMBOL_SUPPORT_DEADLINE_HH
+#define SYMBOL_SUPPORT_DEADLINE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <limits>
+
+#include "support/diagnostics.hh"
+
+namespace symbol::support
+{
+
+/** Thrown by checkDeadline() when the budget has run out. The
+ *  message names the boundary that noticed, for diagnosis of
+ *  which stage ate the budget. */
+class DeadlineExceeded : public RuntimeError
+{
+  public:
+    explicit DeadlineExceeded(const std::string &where)
+        : RuntimeError("deadline exceeded at " + where)
+    {
+    }
+};
+
+/** A point in time work must not run past; default: unlimited. */
+class Deadline
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Unlimited (never expires). */
+    Deadline() = default;
+
+    /** A budget of @p ms milliseconds from now; 0 = unlimited. */
+    static Deadline
+    afterMillis(std::uint64_t ms)
+    {
+        Deadline d;
+        if (ms > 0) {
+            d.limited_ = true;
+            d.at_ = Clock::now() + std::chrono::milliseconds(ms);
+        }
+        return d;
+    }
+
+    bool limited() const { return limited_; }
+
+    bool
+    expired() const
+    {
+        return limited_ && Clock::now() >= at_;
+    }
+
+    /** Seconds left (0 when expired; +inf when unlimited). */
+    double
+    remainingSeconds() const
+    {
+        if (!limited_)
+            return std::numeric_limits<double>::infinity();
+        double s = std::chrono::duration<double>(at_ - Clock::now())
+                       .count();
+        return s > 0.0 ? s : 0.0;
+    }
+
+  private:
+    bool limited_ = false;
+    Clock::time_point at_{};
+};
+
+/** The calling thread's active deadline (null = unlimited). */
+const Deadline *currentDeadline();
+
+/**
+ * Cooperative checkpoint: throws DeadlineExceeded(@p where) if the
+ * calling thread's active deadline has passed. No-op (and cheap —
+ * one thread-local read) when no deadline is in scope.
+ */
+void checkDeadline(const char *where);
+
+/**
+ * RAII: publish @p d as the calling thread's deadline for the
+ * scope's lifetime; nests (the previous deadline is restored).
+ */
+class DeadlineScope
+{
+  public:
+    explicit DeadlineScope(const Deadline &d);
+    ~DeadlineScope();
+    DeadlineScope(const DeadlineScope &) = delete;
+    DeadlineScope &operator=(const DeadlineScope &) = delete;
+
+  private:
+    const Deadline *prev_;
+};
+
+} // namespace symbol::support
+
+#endif // SYMBOL_SUPPORT_DEADLINE_HH

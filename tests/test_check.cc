@@ -741,7 +741,7 @@ TEST(CheckStore, BitFlippedBundleCaughtOnRestore)
     // the first mov, then re-encode and re-checksum the container so
     // every integrity check still passes.
     std::string path;
-    for (const auto &e : fs::directory_iterator(dir))
+    for (const auto &e : fs::recursive_directory_iterator(dir))
         if (e.path().extension() == ".syaf")
             path = e.path().string();
     ASSERT_FALSE(path.empty());

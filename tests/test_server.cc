@@ -1,0 +1,670 @@
+/**
+ * @file
+ * symbold service tests.
+ *
+ * Two halves:
+ *  - an adversarial framing corpus driving FrameReader through
+ *    truncated, bit-flipped, oversized-length, garbage and
+ *    mid-frame-disconnect streams (the wire-level counterpart of
+ *    test_serialize.cc's container corpus);
+ *  - in-process Server integration: answers byte-identical to a
+ *    direct pipeline run, concurrent clients, warm hits served from
+ *    the sharded store across a server restart, admission control,
+ *    per-request deadlines, and graceful drain (the drain race is
+ *    pinned under tsan via the CI preset).
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdlib.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "machine/config.hh"
+#include "server/client.hh"
+#include "server/framing.hh"
+#include "server/proto.hh"
+#include "server/server.hh"
+#include "suite/pipeline.hh"
+#include "support/json.hh"
+#include "support/text.hh"
+
+using namespace symbol;
+using namespace symbol::server;
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** A tiny list-reversal program; @p tag varies the content key so
+ *  tests control exactly what is and is not cached. */
+suite::Benchmark
+tinyBench(const std::string &tag, const std::string &list)
+{
+    suite::Benchmark b;
+    b.name = tag;
+    b.source = strprintf(R"(
+        %% %s
+        app([], L, L).
+        app([X|A], B, [X|C]) :- app(A, B, C).
+        rev([], []).
+        rev([X|L], R) :- rev(L, T), app(T, [X], R).
+        main :- rev(%s, R), out(R).
+    )", tag.c_str(), list.c_str());
+    return b;
+}
+
+/** A deliberately slow request: naive reverse of a long list is
+ *  quadratic, so the cold build's profiling emulation takes long
+ *  enough for another request to race it reliably. */
+suite::Benchmark
+slowBench(const std::string &tag)
+{
+    std::string list = "[1";
+    for (int i = 2; i <= 300; ++i)
+        list += strprintf(",%d", i);
+    list += "]";
+    return tinyBench(tag, list);
+}
+
+CompileRequest
+requestFor(const suite::Benchmark &b)
+{
+    CompileRequest req;
+    req.source = b.source;
+    req.name = b.name;
+    return req;
+}
+
+std::string
+pingFrame()
+{
+    return packFrame(MsgKind::PingRequest, std::string());
+}
+
+// ---------------------------------------------------------------
+// Framing corpus
+// ---------------------------------------------------------------
+
+std::vector<Frame>
+feedAll(FrameReader &r, const std::string &bytes, std::size_t chunk)
+{
+    std::vector<Frame> out;
+    for (std::size_t i = 0; i < bytes.size(); i += chunk)
+        r.feed(bytes.data() + i, std::min(chunk, bytes.size() - i),
+               out);
+    return out;
+}
+
+TEST(Framing, RoundTripsEveryKindAtAnyChunking)
+{
+    std::vector<std::pair<MsgKind, std::string>> msgs = {
+        {MsgKind::CompileRequest,
+         encode(requestFor(tinyBench("framing", "[1,2,3]")))},
+        {MsgKind::PingRequest, std::string()},
+        {MsgKind::StatsRequest, std::string()},
+        {MsgKind::ErrorResponse,
+         encode(ErrorResponse{ErrCode::Overloaded, "busy"})},
+        {MsgKind::DrainResponse, encode(DrainResponse{7})},
+    };
+    std::string stream;
+    for (const auto &[kind, payload] : msgs)
+        stream += packFrame(kind, payload);
+
+    for (std::size_t chunk : {std::size_t{1}, std::size_t{3},
+                              std::size_t{7}, stream.size()}) {
+        FrameReader r;
+        std::vector<Frame> out = feedAll(r, stream, chunk);
+        EXPECT_FALSE(r.broken());
+        EXPECT_TRUE(r.idle());
+        ASSERT_EQ(out.size(), msgs.size()) << "chunk " << chunk;
+        for (std::size_t i = 0; i < msgs.size(); ++i) {
+            EXPECT_EQ(out[i].kind, msgs[i].first);
+            EXPECT_EQ(out[i].payload, msgs[i].second);
+        }
+        EXPECT_EQ(r.framesRead(), msgs.size());
+    }
+}
+
+TEST(Framing, LonePingHeaderCompletesImmediately)
+{
+    // Regression: a zero-payload frame is exactly one header; the
+    // reader once waited for payload bytes that never come.
+    FrameReader r;
+    std::vector<Frame> out;
+    std::string f = pingFrame();
+    ASSERT_EQ(f.size(), kFrameHeaderBytes);
+    EXPECT_TRUE(r.feed(f.data(), f.size(), out));
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].kind, MsgKind::PingRequest);
+    EXPECT_TRUE(out[0].payload.empty());
+    EXPECT_TRUE(r.idle());
+}
+
+TEST(Framing, TruncationWaitsWithoutErrorOrFrames)
+{
+    std::string frame = packFrame(
+        MsgKind::CompileRequest,
+        encode(requestFor(tinyBench("trunc", "[1]"))));
+    // Every proper prefix: no frame, no error, not idle (a partial
+    // frame is buffered) — EOF here is a mid-frame disconnect.
+    for (std::size_t cut : {std::size_t{1}, std::size_t{4},
+                            std::size_t{27}, kFrameHeaderBytes,
+                            frame.size() - 1}) {
+        FrameReader r;
+        std::vector<Frame> out;
+        EXPECT_TRUE(r.feed(frame.data(), cut, out));
+        EXPECT_TRUE(out.empty()) << "cut " << cut;
+        EXPECT_FALSE(r.broken()) << "cut " << cut;
+        EXPECT_FALSE(r.idle()) << "cut " << cut;
+        // The remainder completes the frame.
+        EXPECT_TRUE(
+            r.feed(frame.data() + cut, frame.size() - cut, out));
+        ASSERT_EQ(out.size(), 1u) << "cut " << cut;
+        EXPECT_TRUE(r.idle());
+    }
+}
+
+TEST(Framing, AnyBitFlipIsRejectedNeverMisdelivered)
+{
+    std::string payload =
+        encode(requestFor(tinyBench("bitflip", "[2,4,6]")));
+    std::string frame = packFrame(MsgKind::CompileRequest, payload);
+    for (std::size_t i = 0; i < frame.size(); ++i) {
+        std::string bad = frame;
+        bad[i] ^= 0x20;
+        FrameReader r;
+        std::vector<Frame> out;
+        r.feed(bad.data(), bad.size(), out);
+        // Flips in the magic/version/length/checksum die in the
+        // header; flips in kind or payload die on the chained
+        // checksum. A flipped length can also leave the reader
+        // waiting for bytes that never come — but NEVER may a
+        // complete, wrong frame come out.
+        if (!out.empty()) {
+            ADD_FAILURE() << "byte " << i
+                          << " flip delivered a frame";
+            continue;
+        }
+        EXPECT_TRUE(r.broken() || !r.idle()) << "byte " << i;
+    }
+}
+
+TEST(Framing, OversizedLengthRejectedBeforeBuffering)
+{
+    // A hostile length prefix must die when the header completes,
+    // without the reader ever buffering payload.
+    FrameReader r(1024); // tests shrink the bound
+    serialize::Writer w;
+    for (char c : kFrameMagic)
+        w.u8(static_cast<std::uint8_t>(c));
+    w.fixed32(kProtoVersion);
+    w.fixed32(static_cast<std::uint32_t>(MsgKind::PingRequest));
+    w.fixed64(std::uint64_t{1} << 40); // 1 TiB claim
+    w.fixed64(0);
+    std::string hdr = w.take();
+    std::vector<Frame> out;
+    EXPECT_FALSE(r.feed(hdr.data(), hdr.size(), out));
+    EXPECT_TRUE(r.broken());
+    EXPECT_NE(r.error().find("exceeds bound"), std::string::npos);
+    EXPECT_TRUE(out.empty());
+    // Sticky: even a valid ping afterwards is refused.
+    std::string ping = pingFrame();
+    EXPECT_FALSE(r.feed(ping.data(), ping.size(), out));
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Framing, GarbageDiesOnItsFirstBytes)
+{
+    FrameReader r;
+    std::vector<Frame> out;
+    std::string garbage = "GET / HTTP/1.1\r\nHost: x\r\n\r\n";
+    EXPECT_FALSE(r.feed(garbage.data(), garbage.size(), out));
+    EXPECT_TRUE(r.broken());
+    EXPECT_NE(r.error().find("magic"), std::string::npos);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(Framing, VersionBumpIsAFramingError)
+{
+    std::string frame = pingFrame();
+    frame[4] = static_cast<char>(frame[4] + 1);
+    FrameReader r;
+    std::vector<Frame> out;
+    EXPECT_FALSE(r.feed(frame.data(), frame.size(), out));
+    EXPECT_NE(r.error().find("version"), std::string::npos);
+}
+
+// ---------------------------------------------------------------
+// Server integration
+// ---------------------------------------------------------------
+
+class ServerTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        char tmpl[] = "/tmp/symbol-server-XXXXXX";
+        ASSERT_NE(::mkdtemp(tmpl), nullptr);
+        dir_ = tmpl;
+        sock_ = dir_ + "/sock";
+        store_ = dir_ + "/store";
+    }
+
+    void
+    TearDown() override
+    {
+        std::error_code ec;
+        fs::remove_all(dir_, ec);
+    }
+
+    ServerOptions
+    serverOpts(std::size_t maxInFlight = 64) const
+    {
+        ServerOptions o;
+        o.socketPath = sock_;
+        o.cacheDir = store_;
+        o.jobs = 2;
+        o.maxInFlight = maxInFlight;
+        o.quiet = true;
+        return o;
+    }
+
+    /** Raw connected socket for wire-level tests. */
+    int
+    rawConnect() const
+    {
+        int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        EXPECT_GE(fd, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::memcpy(addr.sun_path, sock_.c_str(),
+                    sock_.size() + 1);
+        EXPECT_EQ(::connect(fd,
+                            reinterpret_cast<sockaddr *>(&addr),
+                            sizeof addr),
+                  0);
+        return fd;
+    }
+
+    /** Spin until @p pred or ~5 s pass. */
+    template <class P>
+    static bool
+    eventually(P pred)
+    {
+        // Generous ceiling (30 s): a loaded 1-cpu sanitizer runner
+        // can stall admission for seconds; success returns early.
+        for (int i = 0; i < 3000; ++i) {
+            if (pred())
+                return true;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+        }
+        return false;
+    }
+
+    std::string dir_, sock_, store_;
+};
+
+TEST_F(ServerTest, CompileMatchesDirectRunByteForByte)
+{
+    suite::Benchmark b = tinyBench("direct", "[5,4,3,2,1]");
+    machine::MachineConfig mc =
+        machine::MachineConfig::idealShared(3);
+    suite::Workload direct(b);
+    suite::VliwRun run = direct.runVliw(mc);
+
+    Server server(serverOpts());
+    server.start();
+    Client client(sock_);
+    CompileResponse r = client.compile(requestFor(b));
+    EXPECT_EQ(r.answer, direct.seqOutput());
+    EXPECT_EQ(r.instructions, direct.instructions());
+    EXPECT_EQ(r.seqCycles, direct.seqCycles());
+    EXPECT_EQ(r.vliwCycles, run.cycles);
+    EXPECT_EQ(r.speedup, run.speedupVsSeq);
+    EXPECT_EQ(r.origin, Origin::Built);
+
+    // Same request again: answered from memory, same bytes.
+    CompileResponse r2 = client.compile(requestFor(b));
+    EXPECT_EQ(r2.origin, Origin::Memory);
+    EXPECT_EQ(r2.answer, r.answer);
+    EXPECT_EQ(r2.vliwCycles, r.vliwCycles);
+    server.requestDrain();
+    server.wait();
+}
+
+TEST_F(ServerTest, ScheduleRequestCarriesTheWideCodeListing)
+{
+    suite::Benchmark b = tinyBench("sched", "[1,2]");
+    Server server(serverOpts());
+    server.start();
+    Client client(sock_);
+    CompileRequest req = requestFor(b);
+    req.wantSchedule = true;
+    CompileResponse r = client.compile(req);
+    EXPECT_FALSE(r.schedule.empty());
+    server.requestDrain();
+    server.wait();
+}
+
+TEST_F(ServerTest, EightConcurrentClientsGetIdenticalAnswers)
+{
+    // ≥8 concurrent clients, every response byte-identical to the
+    // direct run of the same benchmark (the acceptance bar).
+    std::vector<suite::Benchmark> benches;
+    std::vector<std::string> expectAnswer;
+    std::vector<std::uint64_t> expectInstr;
+    for (int i = 0; i < 4; ++i) {
+        benches.push_back(tinyBench(strprintf("conc%d", i),
+                                    strprintf("[%d,%d]", i, i + 1)));
+        suite::Workload w(benches.back());
+        expectAnswer.push_back(w.seqOutput());
+        expectInstr.push_back(w.instructions());
+    }
+
+    Server server(serverOpts());
+    server.start();
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&, t] {
+            try {
+                Client client(sock_);
+                for (int k = 0; k < 4; ++k) {
+                    std::size_t i =
+                        static_cast<std::size_t>(t + k) %
+                        benches.size();
+                    CompileResponse r =
+                        client.compile(requestFor(benches[i]));
+                    if (r.answer != expectAnswer[i] ||
+                        r.instructions != expectInstr[i])
+                        ++failures;
+                }
+            } catch (const std::exception &) {
+                ++failures;
+            }
+        });
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_EQ(server.counters().completed, 32u);
+    server.requestDrain();
+    server.wait();
+}
+
+TEST_F(ServerTest, WarmHitsServedFromShardedStoreAcrossRestart)
+{
+    suite::Benchmark b = tinyBench("warm", "[9,8,7,6]");
+    CompileResponse cold;
+    {
+        Server server(serverOpts());
+        server.start();
+        Client client(sock_);
+        cold = client.compile(requestFor(b));
+        EXPECT_EQ(cold.origin, Origin::Built);
+        server.requestDrain();
+        server.wait();
+    }
+    // New server process-equivalent on the same store: the request
+    // is a disk hit — zero workloads built — and byte-identical.
+    {
+        Server server(serverOpts());
+        server.start();
+        Client client(sock_);
+        CompileResponse warm = client.compile(requestFor(b));
+        EXPECT_EQ(warm.origin, Origin::Disk);
+        EXPECT_EQ(warm.answer, cold.answer);
+        EXPECT_EQ(warm.instructions, cold.instructions);
+        EXPECT_EQ(warm.vliwCycles, cold.vliwCycles);
+        EXPECT_EQ(server.driver().stats().workloadsBuilt, 0u);
+
+        // And the next identical request is a memory hit.
+        EXPECT_EQ(client.compile(requestFor(b)).origin,
+                  Origin::Memory);
+        server.requestDrain();
+        server.wait();
+    }
+}
+
+/** Identical requests are answered from the response cache: the
+ *  pipeline runs once, repeats are pure lookups, and the cached
+ *  response survives a restart through the store's rs- blobs —
+ *  the warm path never compiles or simulates anything. */
+TEST_F(ServerTest, ResponseCacheServesRepeatsWithoutRecompute)
+{
+    suite::Benchmark b = tinyBench("respcache", "[5,4,3,2,1]");
+    CompileResponse first;
+    {
+        Server server(serverOpts());
+        server.start();
+        Client client(sock_);
+        first = client.compile(requestFor(b));
+        EXPECT_EQ(first.origin, Origin::Built);
+        CompileResponse again = client.compile(requestFor(b));
+        EXPECT_EQ(again.origin, Origin::Memory);
+        EXPECT_EQ(again.answer, first.answer);
+        EXPECT_EQ(again.vliwCycles, first.vliwCycles);
+        EXPECT_EQ(server.counters().respMemoryHits, 1u);
+        // A different response shape (schedule requested) is a
+        // different key: computed fresh, not served stale.
+        CompileRequest withSched = requestFor(b);
+        withSched.wantSchedule = true;
+        CompileResponse sched = client.compile(withSched);
+        EXPECT_FALSE(sched.schedule.empty());
+        EXPECT_EQ(server.counters().respMemoryHits, 1u);
+        server.requestDrain();
+        server.wait();
+    }
+    {
+        Server server(serverOpts());
+        server.start();
+        Client client(sock_);
+        CompileResponse warm = client.compile(requestFor(b));
+        EXPECT_EQ(warm.origin, Origin::Disk);
+        EXPECT_EQ(warm.answer, first.answer);
+        EXPECT_EQ(warm.instructions, first.instructions);
+        EXPECT_EQ(warm.vliwCycles, first.vliwCycles);
+        EXPECT_EQ(warm.speedup, first.speedup);
+        EXPECT_EQ(server.counters().respDiskHits, 1u);
+        // Nothing was rebuilt, nothing re-simulated: the driver
+        // never even constructed a workload.
+        EXPECT_EQ(server.driver().stats().workloadsBuilt, 0u);
+        server.requestDrain();
+        server.wait();
+    }
+}
+
+TEST_F(ServerTest, OverloadedAnswersImmediatelyAtTheBound)
+{
+    Server server(serverOpts(/*maxInFlight=*/1));
+    server.start();
+    // Occupy the single slot with a slow cold build...
+    std::thread slow([&] {
+        Client client(sock_);
+        client.compile(requestFor(slowBench("ovl-slow")));
+    });
+    bool occupied = eventually(
+        [&] { return server.counters().inFlight == 1; });
+    if (!occupied) {
+        // Never leave `slow` joinable on the failure path: a
+        // joinable thread's destructor terminates the whole binary.
+        slow.join();
+        server.requestDrain();
+        server.wait();
+        FAIL() << "the slow build never occupied the slot";
+    }
+    // ...and the next request must be rejected, not queued.
+    Client client(sock_);
+    try {
+        client.compile(requestFor(tinyBench("ovl-tiny", "[1]")));
+        ADD_FAILURE() << "expected an overloaded rejection";
+    } catch (const ServerError &e) {
+        EXPECT_EQ(e.code(), ErrCode::Overloaded);
+    }
+    slow.join();
+    EXPECT_EQ(server.counters().overloadRejected, 1u);
+    EXPECT_EQ(server.counters().completed, 1u);
+    // With the slot free again the same connection is served.
+    CompileResponse r =
+        client.compile(requestFor(tinyBench("ovl-tiny", "[1]")));
+    EXPECT_NE(r.answer.find("[1]"), std::string::npos);
+    server.requestDrain();
+    server.wait();
+}
+
+TEST_F(ServerTest, DeadlineExpiresCooperativelyAndDoesNotPoison)
+{
+    Server server(serverOpts());
+    server.start();
+    Client client(sock_);
+    suite::Benchmark b = slowBench("deadline");
+    CompileRequest req = requestFor(b);
+    req.deadlineMillis = 1;
+    try {
+        client.compile(req);
+        ADD_FAILURE() << "expected a deadline rejection";
+    } catch (const ServerError &e) {
+        EXPECT_EQ(e.code(), ErrCode::DeadlineExpired);
+    }
+    EXPECT_EQ(server.counters().deadlineExpired, 1u);
+    // The abort was not cached as a build failure: the same program
+    // without a deadline compiles fine on the same server.
+    req.deadlineMillis = 0;
+    CompileResponse r = client.compile(req);
+    EXPECT_EQ(server.counters().completed, 1u);
+    EXPECT_FALSE(r.answer.empty());
+    server.requestDrain();
+    server.wait();
+}
+
+TEST_F(ServerTest, MidFrameDisconnectIsAccountedAndContained)
+{
+    Server server(serverOpts());
+    server.start();
+    int fd = rawConnect();
+    std::string frame = packFrame(
+        MsgKind::CompileRequest,
+        encode(requestFor(tinyBench("midframe", "[1]"))));
+    // Half a frame, then vanish.
+    ASSERT_EQ(::send(fd, frame.data(), frame.size() / 2,
+                     MSG_NOSIGNAL),
+              static_cast<ssize_t>(frame.size() / 2));
+    ::close(fd);
+    EXPECT_TRUE(eventually(
+        [&] { return server.counters().framingErrors == 1; }));
+    // The server survives and serves the next client normally.
+    Client client(sock_);
+    client.ping();
+    server.requestDrain();
+    server.wait();
+}
+
+TEST_F(ServerTest, GarbageOnTheWireGetsOneErrorThenTheBoot)
+{
+    Server server(serverOpts());
+    server.start();
+    int fd = rawConnect();
+    std::string garbage = "not a frame at all";
+    ASSERT_EQ(::send(fd, garbage.data(), garbage.size(),
+                     MSG_NOSIGNAL),
+              static_cast<ssize_t>(garbage.size()));
+    // Best-effort ErrorResponse, then the connection closes.
+    FrameReader reader;
+    std::vector<Frame> frames;
+    char buf[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+        if (n <= 0)
+            break;
+        reader.feed(buf, static_cast<std::size_t>(n), frames);
+    }
+    ::close(fd);
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].kind, MsgKind::ErrorResponse);
+    ErrorResponse e = decodeErrorResponse(frames[0].payload);
+    EXPECT_EQ(e.code, ErrCode::BadRequest);
+    EXPECT_NE(e.message.find("magic"), std::string::npos);
+    EXPECT_EQ(server.counters().framingErrors, 1u);
+    server.requestDrain();
+    server.wait();
+}
+
+TEST_F(ServerTest, StatsDocumentHasDriverStoreAndServerSections)
+{
+    Server server(serverOpts());
+    server.start();
+    Client client(sock_);
+    client.compile(requestFor(tinyBench("statsdoc", "[3,2,1]")));
+    json::Value doc = json::parse(client.statsJson());
+    EXPECT_EQ(doc.at("driver").at("workloadsBuilt").asInt(), 1);
+    EXPECT_TRUE(doc.has("store"));
+    EXPECT_TRUE(doc.has("passes"));
+    const json::Value &srv = doc.at("server");
+    EXPECT_EQ(srv.at("completed").asInt(), 1);
+    EXPECT_EQ(srv.at("accepted").asInt(), 1);
+    EXPECT_EQ(srv.at("draining").asBool(), false);
+    server.requestDrain();
+    server.wait();
+}
+
+TEST_F(ServerTest, DrainLeavesACleanWorld)
+{
+    Server server(serverOpts());
+    server.start();
+    {
+        Client client(sock_);
+        client.compile(requestFor(tinyBench("drain", "[1,2]")));
+        EXPECT_EQ(client.drain(), 0u);
+    }
+    server.wait();
+    ServerCounters c = server.counters();
+    EXPECT_EQ(c.drains, 1u);
+    EXPECT_EQ(c.completed, 1u);
+    EXPECT_EQ(c.inFlight, 0u);
+    // Socket unlinked; new connections are refused.
+    EXPECT_FALSE(fs::exists(sock_));
+    EXPECT_THROW(Client refused(sock_), RuntimeError);
+}
+
+TEST_F(ServerTest, ConcurrentClientsRacingDrain)
+{
+    // tsan coverage: requests in flight while a drain lands. Some
+    // requests succeed, some answer 'draining' or lose their
+    // connection — but nothing crashes, races or hangs, and wait()
+    // returns with everything joined.
+    Server server(serverOpts());
+    server.start();
+    std::atomic<int> completed{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 4; ++t)
+        threads.emplace_back([&, t] {
+            for (int k = 0; k < 8; ++k) {
+                try {
+                    Client client(sock_);
+                    client.compile(requestFor(tinyBench(
+                        strprintf("race%d", (t + k) % 3),
+                        "[1,2,3]")));
+                    ++completed;
+                } catch (const std::exception &) {
+                    // draining / closed mid-request: expected
+                }
+            }
+        });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    server.requestDrain();
+    for (auto &th : threads)
+        th.join();
+    server.wait();
+    EXPECT_GE(completed.load(), 0);
+}
+
+} // namespace

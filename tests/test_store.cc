@@ -64,12 +64,15 @@ class ArtifactStoreTest : public ::testing::Test
         fs::remove_all(dir_, ec);
     }
 
-    /** All .syaf files in the store, sorted. */
+    /** All .syaf files in the store (flat or sharded), sorted. */
     std::vector<std::string>
     storeFiles() const
     {
         std::vector<std::string> out;
-        for (const auto &e : fs::directory_iterator(dir_)) {
+        for (const auto &e :
+             fs::recursive_directory_iterator(dir_)) {
+            if (!e.is_regular_file())
+                continue;
             std::string n = e.path().filename().string();
             if (n.size() > 5 && n.substr(n.size() - 5) == ".syaf")
                 out.push_back(e.path().string());
@@ -93,6 +96,22 @@ class ArtifactStoreTest : public ::testing::Test
         std::ofstream out(path, std::ios::binary | std::ios::trunc);
         out.write(bytes.data(),
                   static_cast<std::streamsize>(bytes.size()));
+    }
+
+    /** Turn a sharded store back into the flat pre-sharding layout:
+     *  move every file into the root, drop the emptied shards. */
+    void
+    flattenStore() const
+    {
+        for (const std::string &path : storeFiles()) {
+            fs::path p(path);
+            fs::rename(p, dir_ + "/" + p.filename().string());
+        }
+        for (const auto &e : fs::directory_iterator(dir_)) {
+            std::error_code ec;
+            if (e.is_directory())
+                fs::remove(e.path(), ec); // only empties go
+        }
     }
 
     /** An EvalDriver holds a mutex and cannot move, so tests
@@ -306,10 +325,12 @@ TEST_F(ArtifactStoreTest, KeyCollisionDegradesToRebuild)
     }
     std::string keyA = suite::WorkloadCache::keyOf(a, opts);
     std::string keyB = suite::WorkloadCache::keyOf(b, opts);
-    std::string nameA = suite::ArtifactStore::fileNameFor("wl", keyA);
-    std::string nameB = suite::ArtifactStore::fileNameFor("wl", keyB);
-    ASSERT_NE(nameA, nameB);
-    fs::copy_file(dir_ + "/" + nameA, dir_ + "/" + nameB);
+    suite::ArtifactStore store(dir_);
+    std::string pathA = store.pathFor("wl", keyA);
+    std::string pathB = store.pathFor("wl", keyB);
+    ASSERT_NE(pathA, pathB);
+    fs::create_directories(fs::path(pathB).parent_path());
+    fs::copy_file(pathA, pathB);
 
     suite::EvalDriver again(driverOpts());
     const suite::Workload &w = again.workload(b);
@@ -361,6 +382,157 @@ TEST_F(ArtifactStoreTest, UnusableDirectoryDegradesToMemoryOnly)
     suite::DriverStats s = d.stats();
     EXPECT_EQ(s.workloadsBuilt, 1u);
     EXPECT_FALSE(s.hasStore);
+}
+
+TEST_F(ArtifactStoreTest, ShardedLayoutWritten)
+{
+    // New writes land under a 2-hex-char shard directory, not the
+    // store root — the shard is the leading byte of the key hash,
+    // recomputable from the file name alone.
+    suite::Benchmark b = tinyBench("store_shard", "[8,6,4,2]");
+    machine::MachineConfig mc =
+        machine::MachineConfig::idealShared(3);
+    {
+        suite::EvalDriver cold(driverOpts());
+        cold.workload(b).runVliw(mc);
+    }
+    std::vector<std::string> files = storeFiles();
+    ASSERT_EQ(files.size(), 2u);
+    for (const std::string &path : files) {
+        fs::path p(path);
+        std::string shard = p.parent_path().filename().string();
+        std::string name = p.filename().string();
+        EXPECT_EQ(shard.size(), 2u) << path;
+        EXPECT_EQ(shard, suite::ArtifactStore::shardOf(name));
+        // Nothing may sit flat in the root.
+        EXPECT_EQ(p.parent_path().parent_path().string(), dir_);
+    }
+}
+
+TEST_F(ArtifactStoreTest, FlatFilesReadThroughTransparently)
+{
+    // A store populated before sharding (files flat in the root)
+    // keeps serving hits without any migration step.
+    suite::Benchmark b = tinyBench("store_flat", "[1,2,4,8,16]");
+    {
+        suite::EvalDriver cold(driverOpts());
+        cold.workload(b);
+    }
+    flattenStore();
+
+    suite::EvalDriver warm(driverOpts());
+    warm.workload(b);
+    suite::DriverStats s = warm.stats();
+    EXPECT_EQ(s.workloadsBuilt, 0u);
+    EXPECT_EQ(s.diskHits, 1u);
+    EXPECT_EQ(s.store.flatReadThrough, 1u);
+}
+
+TEST_F(ArtifactStoreTest, MigrateFlatMovesEverything)
+{
+    suite::Benchmark a = tinyBench("store_mig_a", "[1,2,3]");
+    suite::Benchmark b = tinyBench("store_mig_b", "[4,5,6]");
+    machine::MachineConfig mc =
+        machine::MachineConfig::idealShared(3);
+    {
+        suite::EvalDriver cold(driverOpts());
+        cold.workload(a).runVliw(mc);
+        cold.workload(b).runVliw(mc);
+    }
+    std::vector<std::string> sharded = storeFiles();
+    ASSERT_EQ(sharded.size(), 4u);
+    // Flatten the store, plus droppings a crashed writer leaves.
+    flattenStore();
+    spit(dir_ + "/wl-0123456789abcdef-1-v1.syaf.lock", "");
+    spit(dir_ + "/wl-0123456789abcdef-1-v1.syaf.tmp.42", "partial");
+    spit(dir_ + "/notes.txt", "not a store file");
+
+    suite::ArtifactStore store(dir_);
+    suite::ArtifactStore::MigrateReport rep = store.migrateFlat();
+    EXPECT_EQ(rep.moved, 4u);
+    EXPECT_EQ(rep.replaced, 0u);
+    EXPECT_EQ(rep.scrubbed, 2u);
+    EXPECT_EQ(rep.errors, 0u);
+
+    // Same sharded paths as the original writes, nothing flat, the
+    // stranger file untouched.
+    std::vector<std::string> after = storeFiles();
+    EXPECT_EQ(after, sharded);
+    EXPECT_TRUE(fs::exists(dir_ + "/notes.txt"));
+    for (const auto &e : fs::directory_iterator(dir_)) {
+        if (e.is_regular_file()) {
+            EXPECT_EQ(e.path().filename().string(), "notes.txt");
+        }
+    }
+
+    // The migrated store serves warm starts with zero rebuilds.
+    suite::EvalDriver warm(driverOpts());
+    warm.workload(a).runVliw(mc);
+    warm.workload(b).runVliw(mc);
+    suite::DriverStats s = warm.stats();
+    EXPECT_EQ(s.workloadsBuilt, 0u);
+    EXPECT_EQ(s.store.flatReadThrough, 0u);
+
+    // A second migration is a no-op.
+    suite::ArtifactStore::MigrateReport rep2 =
+        suite::ArtifactStore(dir_).migrateFlat();
+    EXPECT_EQ(rep2.moved, 0u);
+    EXPECT_EQ(rep2.scrubbed, 0u);
+}
+
+TEST_F(ArtifactStoreTest, MigrateFlatPrefersShardedCopy)
+{
+    // When a name exists both flat and sharded (a writer raced the
+    // migration), the sharded copy — the one readers prefer — wins
+    // and the flat duplicate is dropped.
+    suite::Benchmark b = tinyBench("store_mig_dup", "[9,9,9]");
+    {
+        suite::EvalDriver cold(driverOpts());
+        cold.workload(b);
+    }
+    std::vector<std::string> files = storeFiles();
+    ASSERT_EQ(files.size(), 1u);
+    std::string shardedBytes = slurp(files[0]);
+    // Plant a differing flat duplicate.
+    spit(dir_ + "/" + fs::path(files[0]).filename().string(),
+         "flat impostor");
+
+    suite::ArtifactStore store(dir_);
+    suite::ArtifactStore::MigrateReport rep = store.migrateFlat();
+    EXPECT_EQ(rep.moved, 0u);
+    EXPECT_EQ(rep.replaced, 1u);
+    EXPECT_EQ(rep.errors, 0u);
+    EXPECT_EQ(slurp(files[0]), shardedBytes);
+    EXPECT_EQ(storeFiles(), files);
+}
+
+TEST_F(ArtifactStoreTest, PublishedFilesAreDurableAndComplete)
+{
+    // Regression note: writeFile once renamed the temp file into
+    // place WITHOUT fsyncing it first. The rename made the file
+    // visible atomically, but a crash (power loss) shortly after
+    // could leave a zero-length or partially-persisted file at the
+    // *final* name — exactly the corruption the temp-file dance is
+    // supposed to prevent. The store now fsyncs the temp file
+    // before the rename (store.cc, writeAllSynced). A crash cannot
+    // be simulated portably in a unit test, so this pins the
+    // observable half of the contract: every published file is
+    // complete and verifiable the moment it appears, and the write
+    // path reports no io errors.
+    suite::Benchmark b = tinyBench("store_durable", "[6,7,8]");
+    machine::MachineConfig mc =
+        machine::MachineConfig::idealShared(3);
+    {
+        suite::EvalDriver cold(driverOpts());
+        cold.workload(b).runVliw(mc);
+        EXPECT_EQ(cold.stats().store.ioErrors, 0u);
+    }
+    auto reports = suite::ArtifactStore::verifyDir(dir_);
+    ASSERT_EQ(reports.size(), 2u);
+    for (const auto &r : reports) {
+        EXPECT_TRUE(r.ok) << r.name << ": " << r.problem;
+        EXPECT_GT(r.bytes, 0u);
+    }
 }
 
 TEST_F(ArtifactStoreTest, StatsLineMentionsTraffic)

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bench/common.hh"
 #include "support/diagnostics.hh"
 #include "support/fnv.hh"
 #include "support/interner.hh"
@@ -204,4 +205,67 @@ TEST(Fnv, RawBytesOverloadAgrees)
 {
     const char buf[] = {'a', 'b', 'c'};
     EXPECT_EQ(support::fnv1a(buf, 3), support::fnv1a("abc"));
+}
+
+// bench/common.hh percentile(): the linear-interpolation definition
+// the symbold load generator reports p50/p90/p99 with.
+
+TEST(Percentile, SingleSampleIsEveryPercentile)
+{
+    std::vector<double> xs = {42.0};
+    EXPECT_EQ(bench::percentile(xs, 0.0), 42.0);
+    EXPECT_EQ(bench::percentile(xs, 50.0), 42.0);
+    EXPECT_EQ(bench::percentile(xs, 100.0), 42.0);
+}
+
+TEST(Percentile, InterpolatesBetweenClosestRanks)
+{
+    // Ranks for n=4: r = p/100 * 3.
+    std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+    EXPECT_DOUBLE_EQ(bench::percentile(xs, 0.0), 10.0);
+    EXPECT_DOUBLE_EQ(bench::percentile(xs, 50.0), 25.0);
+    EXPECT_DOUBLE_EQ(bench::percentile(xs, 75.0), 32.5);
+    EXPECT_DOUBLE_EQ(bench::percentile(xs, 100.0), 40.0);
+}
+
+TEST(Percentile, SortsACopyAndKeepsCallerOrder)
+{
+    std::vector<double> xs = {3.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(bench::percentile(xs, 50.0), 2.0);
+    EXPECT_EQ(xs, (std::vector<double>{3.0, 1.0, 2.0}));
+}
+
+TEST(Percentile, TailPercentilesOfAUniformRamp)
+{
+    std::vector<double> xs;
+    for (int i = 1; i <= 100; ++i)
+        xs.push_back(static_cast<double>(i));
+    EXPECT_NEAR(bench::percentile(xs, 50.0), 50.5, 1e-9);
+    EXPECT_NEAR(bench::percentile(xs, 90.0), 90.1, 1e-9);
+    EXPECT_NEAR(bench::percentile(xs, 99.0), 99.01, 1e-9);
+}
+
+TEST(Percentile, RejectsEmptyAndOutOfRange)
+{
+    EXPECT_THROW(bench::percentile({}, 50.0),
+                 std::invalid_argument);
+    EXPECT_THROW(bench::percentile({1.0}, -1.0),
+                 std::invalid_argument);
+    EXPECT_THROW(bench::percentile({1.0}, 100.5),
+                 std::invalid_argument);
+}
+
+TEST(ReqPerSec, RateDividesRequestsByWall)
+{
+    bench::ReqPerSec r{120, 4.0};
+    EXPECT_DOUBLE_EQ(r.rate(), 30.0);
+    EXPECT_EQ(r.str(), "30.0");
+}
+
+TEST(ReqPerSec, RejectsNonPositiveDuration)
+{
+    EXPECT_THROW((bench::ReqPerSec{1, 0.0}.rate()),
+                 std::invalid_argument);
+    EXPECT_THROW((bench::ReqPerSec{1, -2.0}.rate()),
+                 std::invalid_argument);
 }

@@ -46,6 +46,7 @@ struct Options
     std::string mode = "trace";
     std::string cacheDir;   // "" = SYMBOL_CACHE_DIR env / none
     std::string verifyDir;  // --cache-verify subcommand
+    std::string migrateDir; // --migrate-store subcommand
     std::string printAfter; // comma-separable pass names
     std::string statsJson;  // output path; "-" = stdout
     std::string analyzePasses; // --analyze=LIST selection
@@ -124,6 +125,12 @@ flagTable(Options &o)
                  "checksums and format version, print a per-file "
                  "report and exit (2 if any file is bad)",
          .s = &o.verifyDir},
+        {.name = "--migrate-store", .operand = "DIR",
+         .help = "migrate a flat (pre-sharding) artefact store in "
+                 "place: move every artefact into its 2-hex-char "
+                 "hash-prefix shard subdirectory, scrub stale lock/"
+                 "temp droppings, print a summary and exit",
+         .s = &o.migrateDir},
         {.name = "--store-stats", .operand = nullptr,
          .help = "print the driver/disk-store counters to stderr",
          .b = &o.storeStats},
@@ -371,7 +378,8 @@ parseArgs(int argc, char **argv, Options &o)
         }
     }
     return o.list || !o.file.empty() || !o.bench.empty() ||
-           !o.verifyDir.empty() || o.verifySchedule || o.analyze;
+           !o.verifyDir.empty() || !o.migrateDir.empty() ||
+           o.verifySchedule || o.analyze;
 }
 
 /** The analyzer configuration the parsed flags describe. */
@@ -783,6 +791,19 @@ main(int argc, char **argv)
     if (!o.verifyDir.empty()) {
         try {
             return cacheVerify(o.verifyDir);
+        } catch (const std::exception &e) {
+            std::fprintf(stderr, "symbolc: %s\n", e.what());
+            return 1;
+        }
+    }
+
+    if (!o.migrateDir.empty()) {
+        try {
+            suite::ArtifactStore store(o.migrateDir);
+            suite::ArtifactStore::MigrateReport rep =
+                store.migrateFlat();
+            std::printf("%s\n", rep.str().c_str());
+            return rep.errors ? 1 : 0;
         } catch (const std::exception &e) {
             std::fprintf(stderr, "symbolc: %s\n", e.what());
             return 1;

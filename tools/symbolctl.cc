@@ -1,0 +1,579 @@
+/**
+ * @file
+ * symbolctl — control and load-generation client for symbold.
+ *
+ * One-shot verbs: --submit FILE / --run NAME evaluate a program and
+ * print the same answer/cycle lines a direct `symbolc` run prints
+ * (byte-identical by construction — the server runs the identical
+ * pipeline); --stats fetches the server's --stats-json-shape
+ * document; --ping probes liveness; --drain asks for a graceful
+ * shutdown.
+ *
+ * Load generator: --bench NxM runs a cold pass (each probe
+ * benchmark once, sequentially) and then N concurrent client
+ * threads × M requests each over the same benchmarks, and writes
+ * p50/p90/p99 latencies plus req/s to --bench-out (default
+ * BENCH_symbold.json). Overloaded / deadline-expired responses are
+ * counted, not fatal, and excluded from the latency percentiles.
+ *
+ * Run `symbolctl --help` for the flag reference.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hh"
+#include "server/client.hh"
+#include "support/diagnostics.hh"
+#include "support/json.hh"
+#include "support/text.hh"
+
+using namespace symbol;
+
+namespace
+{
+
+struct Options
+{
+    std::string socket;
+    std::string submitFile; // --submit FILE
+    std::string runBench;   // --run NAME (built-in benchmark)
+    int units = 3;
+    std::string mode = "trace";
+    bool proto = false;
+    bool indexing = true;
+    bool expandTags = false;
+    int deadline = 0; // ms, 0 = none
+    bool schedule = false;
+    bool stats = false;
+    bool ping = false;
+    bool drain = false;
+    std::string bench;    // --bench NxM
+    std::string benchOut = "BENCH_symbold.json";
+    bool help = false;
+};
+
+/** One command-line flag (the symbolc table idiom). */
+struct Flag
+{
+    const char *name;
+    const char *operand;
+    const char *help;
+    bool *b = nullptr;
+    bool bval = true;
+    int *i = nullptr;
+    long lo = 0, hi = 0;
+    std::string *s = nullptr;
+};
+
+std::vector<Flag>
+flagTable(Options &o)
+{
+    return {
+        {.name = "--socket", .operand = "PATH",
+         .help = "symbold Unix-domain socket (required)",
+         .s = &o.socket},
+        {.name = "--submit", .operand = "FILE",
+         .help = "submit a Prolog source file ('-' = stdin) and "
+                 "print the answer and cycle accounting",
+         .s = &o.submitFile},
+        {.name = "--run", .operand = "NAME",
+         .help = "evaluate a built-in suite benchmark by name",
+         .s = &o.runBench},
+        {.name = "--units", .operand = "N",
+         .help = "number of VLIW units (default 3)", .i = &o.units,
+         .lo = 1, .hi = 64},
+        {.name = "--mode", .operand = "M",
+         .help = "compaction mode: trace | bb | seq (default trace)",
+         .s = &o.mode},
+        {.name = "--proto", .operand = nullptr,
+         .help = "SYMBOL prototype machine configuration",
+         .b = &o.proto},
+        {.name = "--no-indexing", .operand = nullptr,
+         .help = "disable first-argument indexing",
+         .b = &o.indexing, .bval = false},
+        {.name = "--expand-tags", .operand = nullptr,
+         .help = "expand tag branches (plain-RISC ablation)",
+         .b = &o.expandTags},
+        {.name = "--deadline", .operand = "MS",
+         .help = "per-request deadline in milliseconds, enforced "
+                 "cooperatively at pass boundaries (0 = none)",
+         .i = &o.deadline, .lo = 0, .hi = 86400000},
+        {.name = "--schedule", .operand = nullptr,
+         .help = "also print the compacted wide-code listing",
+         .b = &o.schedule},
+        {.name = "--stats", .operand = nullptr,
+         .help = "print the server's stats document (the "
+                 "--stats-json shape plus a \"server\" object)",
+         .b = &o.stats},
+        {.name = "--ping", .operand = nullptr,
+         .help = "liveness probe (exit 0 when the server answers)",
+         .b = &o.ping},
+        {.name = "--drain", .operand = nullptr,
+         .help = "ask the server to drain gracefully",
+         .b = &o.drain},
+        {.name = "--bench", .operand = "NxM",
+         .help = "load generator: a sequential cold pass, then N "
+                 "concurrent clients x M requests each; writes "
+                 "latency percentiles and req/s to --bench-out",
+         .s = &o.bench},
+        {.name = "--bench-out", .operand = "FILE",
+         .help = "load-generator report path (default "
+                 "BENCH_symbold.json; '-' = stdout)",
+         .s = &o.benchOut},
+        {.name = "--help", .operand = nullptr,
+         .help = "print this help and exit", .b = &o.help},
+    };
+}
+
+std::vector<std::string>
+splitWords(const std::string &text)
+{
+    std::vector<std::string> words;
+    std::istringstream ss(text);
+    std::string w;
+    while (ss >> w)
+        words.push_back(w);
+    return words;
+}
+
+std::string
+helpText(std::vector<Flag> flags)
+{
+    std::string out =
+        "usage: symbolctl --socket PATH <--submit FILE | --run NAME "
+        "| --stats | --ping | --drain | --bench NxM> [options]\n";
+    std::size_t width = 0;
+    for (const Flag &f : flags)
+        width = std::max(width,
+                         std::strlen(f.name) +
+                             (f.operand
+                                  ? 1 + std::strlen(f.operand)
+                                  : 0));
+    for (const Flag &f : flags) {
+        std::string head = "  " + std::string(f.name);
+        if (f.operand)
+            head += std::string(" ") + f.operand;
+        head.resize(std::max(head.size(), width + 4), ' ');
+        std::string line = head;
+        for (const std::string &word : splitWords(f.help)) {
+            if (line.size() + 1 + word.size() > 78) {
+                out += line + "\n";
+                line = std::string(width + 4, ' ');
+                line += word;
+            } else {
+                line += (line.back() == ' ' ? "" : " ") + word;
+            }
+        }
+        out += line + "\n";
+    }
+    out += "\nexit codes:\n"
+           "  0  success\n"
+           "  1  usage error, transport failure, or I/O error\n"
+           "  2  server-side rejection (overloaded, "
+           "deadline-expired, draining, bad request)\n";
+    return out;
+}
+
+int
+usage(Options &o)
+{
+    std::fputs(helpText(flagTable(o)).c_str(), stderr);
+    return 1;
+}
+
+bool
+intOperand(const char *name, const std::string &s, long lo, long hi,
+           int &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE ||
+        v < lo || v > hi) {
+        std::fprintf(stderr,
+                     "symbolctl: %s: invalid operand '%s' (expected "
+                     "an integer in [%ld, %ld])\n",
+                     name, s.c_str(), lo, hi);
+        return false;
+    }
+    out = static_cast<int>(v);
+    return true;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &o)
+{
+    std::vector<Flag> flags = flagTable(o);
+    for (int k = 1; k < argc; ++k) {
+        std::string a = argv[k];
+        std::string inlineVal;
+        bool hasInline = false;
+        if (a.rfind("--", 0) == 0) {
+            std::size_t eq = a.find('=');
+            if (eq != std::string::npos) {
+                inlineVal = a.substr(eq + 1);
+                a.resize(eq);
+                hasInline = true;
+            }
+        }
+        const Flag *f = nullptr;
+        for (const Flag &g : flags)
+            if (a == g.name) {
+                f = &g;
+                break;
+            }
+        if (!f) {
+            std::fprintf(stderr, "symbolctl: unknown option '%s'\n",
+                         a.c_str());
+            return false;
+        }
+        if (f->b) {
+            if (hasInline) {
+                std::fprintf(stderr,
+                             "symbolctl: %s takes no operand\n",
+                             f->name);
+                return false;
+            }
+            *f->b = f->bval;
+            continue;
+        }
+        std::string operand;
+        if (hasInline) {
+            operand = inlineVal;
+        } else if (k + 1 < argc) {
+            operand = argv[++k];
+        } else {
+            std::fprintf(stderr,
+                         "symbolctl: %s requires a%s operand\n",
+                         f->name, f->i ? " numeric" : "n");
+            return false;
+        }
+        if (f->i) {
+            if (!intOperand(f->name, operand, f->lo, f->hi, *f->i))
+                return false;
+        } else {
+            *f->s = operand;
+        }
+    }
+    if (o.help)
+        return true;
+    if (o.socket.empty()) {
+        std::fprintf(stderr,
+                     "symbolctl: --socket PATH is required\n");
+        return false;
+    }
+    int verbs = !o.submitFile.empty() + !o.runBench.empty() +
+                o.stats + o.ping + o.drain + !o.bench.empty();
+    if (verbs != 1) {
+        std::fprintf(stderr,
+                     "symbolctl: exactly one of --submit, --run, "
+                     "--stats, --ping, --drain, --bench\n");
+        return false;
+    }
+    if (o.mode != "trace" && o.mode != "bb" && o.mode != "seq") {
+        std::fprintf(stderr,
+                     "symbolctl: --mode: expected trace|bb|seq\n");
+        return false;
+    }
+    return true;
+}
+
+server::CompileRequest
+baseRequest(const Options &o)
+{
+    server::CompileRequest req;
+    req.indexing = o.indexing;
+    req.expandTags = o.expandTags;
+    req.protoMachine = o.proto;
+    req.units = static_cast<std::uint32_t>(o.units);
+    req.mode = o.mode;
+    req.deadlineMillis = static_cast<std::uint64_t>(o.deadline);
+    req.wantSchedule = o.schedule;
+    return req;
+}
+
+const char *
+originName(server::Origin origin)
+{
+    switch (origin) {
+    case server::Origin::Built:
+        return "built";
+    case server::Origin::Disk:
+        return "disk";
+    case server::Origin::Memory:
+        return "memory";
+    }
+    return "unknown";
+}
+
+/** Print one compile response the way symbolc prints a single run. */
+void
+printResponse(const Options &o, const server::CompileResponse &r)
+{
+    if (!r.schedule.empty())
+        std::printf("%s\n", r.schedule.c_str());
+    std::printf("answer: %s\n", r.answer.c_str());
+    std::printf("instructions: %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("seq cycles: %llu\n",
+                static_cast<unsigned long long>(r.seqCycles));
+    if (o.mode != "seq")
+        std::printf("vliw cycles: %llu (speedup %.2f)\n",
+                    static_cast<unsigned long long>(r.vliwCycles),
+                    r.speedup);
+    std::printf("origin: %s\n", originName(r.origin));
+}
+
+int
+submit(const Options &o)
+{
+    server::CompileRequest req = baseRequest(o);
+    if (!o.runBench.empty()) {
+        req.name = o.runBench;
+    } else if (o.submitFile == "-") {
+        std::ostringstream ss;
+        ss << std::cin.rdbuf();
+        req.source = ss.str();
+        req.name = "stdin";
+    } else {
+        std::ifstream in(o.submitFile, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "symbolctl: cannot read %s\n",
+                         o.submitFile.c_str());
+            return 1;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        req.source = ss.str();
+        req.name = o.submitFile;
+    }
+    server::Client client(o.socket);
+    printResponse(o, client.compile(req));
+    return 0;
+}
+
+/** The load-generator probe set: small suite benchmarks covering
+ *  distinct programs, so warm passes hit distinct store shards. */
+const std::vector<std::string> &
+probeBenches()
+{
+    static const std::vector<std::string> probes = {
+        "nreverse", "qsort", "serialise", "mu"};
+    return probes;
+}
+
+using Clock = std::chrono::steady_clock;
+
+double
+millisSince(Clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() -
+                                                     t0)
+        .count();
+}
+
+/** Latency samples + rejection counts of one load phase. */
+struct PhaseResult
+{
+    std::vector<double> latenciesMs;
+    std::uint64_t completed = 0;
+    std::uint64_t overloaded = 0;
+    std::uint64_t deadlineExpired = 0;
+    std::uint64_t otherRejected = 0;
+    double wallSeconds = 0.0;
+};
+
+json::Value
+phaseJson(const PhaseResult &r)
+{
+    json::Object o;
+    o["samples"] = static_cast<std::uint64_t>(r.latenciesMs.size());
+    o["completed"] = r.completed;
+    o["overloaded"] = r.overloaded;
+    o["deadlineExpired"] = r.deadlineExpired;
+    o["otherRejected"] = r.otherRejected;
+    o["wallSeconds"] = r.wallSeconds;
+    if (!r.latenciesMs.empty()) {
+        o["p50Ms"] = bench::percentile(r.latenciesMs, 50.0);
+        o["p90Ms"] = bench::percentile(r.latenciesMs, 90.0);
+        o["p99Ms"] = bench::percentile(r.latenciesMs, 99.0);
+        bench::ReqPerSec rps{r.completed, r.wallSeconds};
+        o["reqPerSec"] = rps.rate();
+    }
+    return json::Value(std::move(o));
+}
+
+int
+loadGenerate(const Options &o)
+{
+    unsigned clients = 0, perClient = 0;
+    if (std::sscanf(o.bench.c_str(), "%ux%u", &clients,
+                    &perClient) != 2 ||
+        clients < 1 || clients > 512 || perClient < 1 ||
+        perClient > 100000) {
+        std::fprintf(stderr,
+                     "symbolctl: --bench: expected NxM (e.g. 8x16), "
+                     "N in [1,512], M in [1,100000]\n");
+        return 1;
+    }
+    const std::vector<std::string> &probes = probeBenches();
+
+    // Cold pass: one sequential client, each probe once. With an
+    // empty store these requests run the full pipeline; against a
+    // pre-warmed store they measure disk-hit latency instead — the
+    // report is honest either way because the server returns the
+    // origin per response.
+    PhaseResult cold;
+    {
+        server::Client client(o.socket);
+        Clock::time_point t0 = Clock::now();
+        for (const std::string &name : probes) {
+            server::CompileRequest req = baseRequest(o);
+            req.name = name;
+            Clock::time_point r0 = Clock::now();
+            try {
+                client.compile(req);
+                cold.latenciesMs.push_back(millisSince(r0));
+                ++cold.completed;
+            } catch (const server::ServerError &e) {
+                if (e.code() == server::ErrCode::Overloaded)
+                    ++cold.overloaded;
+                else if (e.code() ==
+                         server::ErrCode::DeadlineExpired)
+                    ++cold.deadlineExpired;
+                else
+                    ++cold.otherRejected;
+            }
+        }
+        cold.wallSeconds = millisSince(t0) / 1000.0;
+    }
+
+    // Warm pass: N concurrent connections, M requests each,
+    // round-robin over the probe set — every request should be a
+    // memory (or at worst disk) hit now.
+    PhaseResult warm;
+    std::mutex mu;
+    std::vector<std::thread> threads;
+    Clock::time_point w0 = Clock::now();
+    for (unsigned c = 0; c < clients; ++c)
+        threads.emplace_back([&, c] {
+            try {
+                server::Client client(o.socket);
+                for (unsigned k = 0; k < perClient; ++k) {
+                    server::CompileRequest req = baseRequest(o);
+                    req.name =
+                        probes[(c + k) % probes.size()];
+                    Clock::time_point r0 = Clock::now();
+                    try {
+                        client.compile(req);
+                        double ms = millisSince(r0);
+                        std::lock_guard<std::mutex> lock(mu);
+                        warm.latenciesMs.push_back(ms);
+                        ++warm.completed;
+                    } catch (const server::ServerError &e) {
+                        std::lock_guard<std::mutex> lock(mu);
+                        if (e.code() ==
+                            server::ErrCode::Overloaded)
+                            ++warm.overloaded;
+                        else if (e.code() ==
+                                 server::ErrCode::DeadlineExpired)
+                            ++warm.deadlineExpired;
+                        else
+                            ++warm.otherRejected;
+                    }
+                }
+            } catch (const std::exception &e) {
+                std::lock_guard<std::mutex> lock(mu);
+                ++warm.otherRejected;
+                std::fprintf(stderr, "symbolctl: client %u: %s\n",
+                             c, e.what());
+            }
+        });
+    for (std::thread &t : threads)
+        t.join();
+    warm.wallSeconds = millisSince(w0) / 1000.0;
+
+    json::Object doc;
+    json::Object cfg;
+    cfg["clients"] = std::uint64_t{clients};
+    cfg["perClient"] = std::uint64_t{perClient};
+    json::Array parr;
+    for (const std::string &name : probes)
+        parr.push_back(json::Value(name));
+    cfg["benchmarks"] = json::Value(std::move(parr));
+    cfg["units"] = static_cast<std::uint64_t>(o.units);
+    cfg["mode"] = o.mode;
+    cfg["deadlineMillis"] = static_cast<std::uint64_t>(o.deadline);
+    doc["config"] = json::Value(std::move(cfg));
+    doc["cold"] = phaseJson(cold);
+    doc["warm"] = phaseJson(warm);
+    std::string text =
+        json::Value(std::move(doc)).dump() + "\n";
+
+    if (o.benchOut == "-") {
+        std::fputs(text.c_str(), stdout);
+    } else {
+        std::ofstream out(o.benchOut,
+                          std::ios::binary | std::ios::trunc);
+        out << text;
+        if (!out) {
+            std::fprintf(stderr, "symbolctl: cannot write %s\n",
+                         o.benchOut.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "[symbolctl] wrote %s\n",
+                     o.benchOut.c_str());
+    }
+    // A bench run that completed nothing is a failure: either the
+    // server rejected everything or the probes all errored.
+    return warm.completed > 0 ? 0 : 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parseArgs(argc, argv, o))
+        return usage(o);
+    if (o.help) {
+        std::fputs(helpText(flagTable(o)).c_str(), stdout);
+        return 0;
+    }
+    try {
+        if (!o.bench.empty())
+            return loadGenerate(o);
+        if (!o.submitFile.empty() || !o.runBench.empty())
+            return submit(o);
+        server::Client client(o.socket);
+        if (o.stats) {
+            std::fputs(client.statsJson().c_str(), stdout);
+        } else if (o.ping) {
+            client.ping();
+            std::printf("pong\n");
+        } else if (o.drain) {
+            std::uint64_t inFlight = client.drain();
+            std::printf(
+                "draining (%llu in flight)\n",
+                static_cast<unsigned long long>(inFlight));
+        }
+        return 0;
+    } catch (const server::ServerError &e) {
+        std::fprintf(stderr, "symbolctl: %s\n", e.what());
+        return 2;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "symbolctl: %s\n", e.what());
+        return 1;
+    }
+}

@@ -1,0 +1,259 @@
+/**
+ * @file
+ * symbold — the long-lived compile-and-evaluate daemon.
+ *
+ * Listens on a Unix-domain socket for framed requests (see
+ * src/server/proto.hh and DESIGN.md §13), serves them from one
+ * shared EvalDriver — so the in-memory WorkloadCache and the sharded
+ * on-disk ArtifactStore are shared by every client — and drains
+ * gracefully on SIGINT/SIGTERM or a symbolctl --drain.
+ *
+ * Run `symbold --help` for the flag reference; the help text is
+ * generated from the same flag table the parser walks.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/server.hh"
+#include "support/diagnostics.hh"
+
+using namespace symbol;
+
+namespace
+{
+
+struct Options
+{
+    std::string socket;
+    std::string cacheDir; // "" = SYMBOL_CACHE_DIR env / none
+    int jobs = 0;         // 0 = SYMBOL_JOBS env / hw concurrency
+    int maxInFlight = 64;
+    bool quiet = false;
+    bool help = false;
+};
+
+/** One command-line flag (the symbolc table idiom: parser and help
+ *  text are generated from the same rows). */
+struct Flag
+{
+    const char *name;
+    const char *operand;
+    const char *help;
+    bool *b = nullptr;
+    int *i = nullptr;
+    long lo = 0, hi = 0;
+    std::string *s = nullptr;
+};
+
+std::vector<Flag>
+flagTable(Options &o)
+{
+    return {
+        {.name = "--socket", .operand = "PATH",
+         .help = "Unix-domain socket to listen on (required; a "
+                 "stale socket file from a dead server is replaced, "
+                 "a live one is an error)",
+         .s = &o.socket},
+        {.name = "--cache-dir", .operand = "DIR",
+         .help = "sharded persistent artefact store shared with "
+                 "symbolc (default: SYMBOL_CACHE_DIR env; neither "
+                 "set = in-memory caching only)",
+         .s = &o.cacheDir},
+        {.name = "--jobs", .operand = "N",
+         .help = "worker threads of the shared evaluation driver "
+                 "(default: SYMBOL_JOBS env, else hardware "
+                 "concurrency)",
+         .i = &o.jobs, .lo = 1, .hi = 1024},
+        {.name = "--max-inflight", .operand = "N",
+         .help = "admission bound: compile requests in flight "
+                 "before new ones answer 'overloaded' (default 64)",
+         .i = &o.maxInFlight, .lo = 1, .hi = 100000},
+        {.name = "--quiet", .operand = nullptr,
+         .help = "suppress the startup/drain stderr summaries "
+                 "(also: SYMBOL_QUIET env)",
+         .b = &o.quiet},
+        {.name = "--help", .operand = nullptr,
+         .help = "print this help and exit", .b = &o.help},
+    };
+}
+
+std::vector<std::string>
+splitWords(const std::string &text)
+{
+    std::vector<std::string> words;
+    std::istringstream ss(text);
+    std::string w;
+    while (ss >> w)
+        words.push_back(w);
+    return words;
+}
+
+std::string
+helpText(std::vector<Flag> flags)
+{
+    std::string out = "usage: symbold --socket PATH [options]\n";
+    std::size_t width = 0;
+    for (const Flag &f : flags)
+        width = std::max(width,
+                         std::strlen(f.name) +
+                             (f.operand
+                                  ? 1 + std::strlen(f.operand)
+                                  : 0));
+    for (const Flag &f : flags) {
+        std::string head = "  " + std::string(f.name);
+        if (f.operand)
+            head += std::string(" ") + f.operand;
+        head.resize(std::max(head.size(), width + 4), ' ');
+        std::string line = head;
+        for (const std::string &word : splitWords(f.help)) {
+            if (line.size() + 1 + word.size() > 78) {
+                out += line + "\n";
+                line = std::string(width + 4, ' ');
+                line += word;
+            } else {
+                line += (line.back() == ' ' ? "" : " ") + word;
+            }
+        }
+        out += line + "\n";
+    }
+    out += "\nexit codes:\n"
+           "  0  clean drain (signal or symbolctl --drain)\n"
+           "  1  usage error or startup failure\n";
+    return out;
+}
+
+int
+usage(Options &o)
+{
+    std::fputs(helpText(flagTable(o)).c_str(), stderr);
+    return 1;
+}
+
+bool
+intOperand(const char *name, const std::string &s, long lo, long hi,
+           int &out)
+{
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0' || errno == ERANGE ||
+        v < lo || v > hi) {
+        std::fprintf(stderr,
+                     "symbold: %s: invalid operand '%s' (expected "
+                     "an integer in [%ld, %ld])\n",
+                     name, s.c_str(), lo, hi);
+        return false;
+    }
+    out = static_cast<int>(v);
+    return true;
+}
+
+bool
+parseArgs(int argc, char **argv, Options &o)
+{
+    std::vector<Flag> flags = flagTable(o);
+    for (int k = 1; k < argc; ++k) {
+        std::string a = argv[k];
+        std::string inlineVal;
+        bool hasInline = false;
+        if (a.rfind("--", 0) == 0) {
+            std::size_t eq = a.find('=');
+            if (eq != std::string::npos) {
+                inlineVal = a.substr(eq + 1);
+                a.resize(eq);
+                hasInline = true;
+            }
+        }
+        const Flag *f = nullptr;
+        for (const Flag &g : flags)
+            if (a == g.name) {
+                f = &g;
+                break;
+            }
+        if (!f) {
+            std::fprintf(stderr, "symbold: unknown option '%s'\n",
+                         a.c_str());
+            return false;
+        }
+        if (f->b) {
+            if (hasInline) {
+                std::fprintf(stderr,
+                             "symbold: %s takes no operand\n",
+                             f->name);
+                return false;
+            }
+            *f->b = true;
+            continue;
+        }
+        std::string operand;
+        if (hasInline) {
+            operand = inlineVal;
+        } else if (k + 1 < argc) {
+            operand = argv[++k];
+        } else {
+            std::fprintf(stderr, "symbold: %s requires a%s operand\n",
+                         f->name, f->i ? " numeric" : "n");
+            return false;
+        }
+        if (f->i) {
+            if (!intOperand(f->name, operand, f->lo, f->hi, *f->i))
+                return false;
+        } else {
+            *f->s = operand;
+        }
+    }
+    if (o.help)
+        return true;
+    if (o.socket.empty()) {
+        std::fprintf(stderr, "symbold: --socket PATH is required\n");
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options o;
+    if (!parseArgs(argc, argv, o))
+        return usage(o);
+    if (o.help) {
+        std::fputs(helpText(flagTable(o)).c_str(), stdout);
+        return 0;
+    }
+    if (const char *q = std::getenv("SYMBOL_QUIET"))
+        if (*q && std::strcmp(q, "0") != 0)
+            o.quiet = true;
+    try {
+        server::ServerOptions sopts;
+        sopts.socketPath = o.socket;
+        sopts.cacheDir = o.cacheDir;
+        sopts.jobs = o.jobs > 0 ? static_cast<unsigned>(o.jobs) : 0;
+        sopts.maxInFlight =
+            static_cast<std::size_t>(o.maxInFlight);
+        sopts.quiet = o.quiet;
+        server::Server server(sopts);
+        server.start();
+        server::Server::drainOnSignals(server);
+        if (!o.quiet)
+            std::fprintf(
+                stderr,
+                "[symbold] listening on %s (jobs=%u, "
+                "max-inflight=%d%s)\n",
+                o.socket.c_str(), server.driver().jobs(),
+                o.maxInFlight,
+                server.driver().store() ? ", disk store" : "");
+        server.wait();
+        return 0;
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "symbold: %s\n", e.what());
+        return 1;
+    }
+}
